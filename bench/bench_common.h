@@ -1,0 +1,80 @@
+#ifndef TGM_BENCH_BENCH_COMMON_H_
+#define TGM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "query/pipeline.h"
+
+namespace tgm::bench {
+
+/// Minimal --key=value flag reader shared by the bench binaries. Every
+/// binary runs with paper-shaped defaults when invoked without arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  double GetDouble(const char* name, double fallback) const {
+    std::string value;
+    if (!Find(name, &value)) return fallback;
+    return std::atof(value.c_str());
+  }
+
+  std::int64_t GetInt(const char* name, std::int64_t fallback) const {
+    std::string value;
+    if (!Find(name, &value)) return fallback;
+    return std::atoll(value.c_str());
+  }
+
+ private:
+  bool Find(const char* name, std::string* value) const {
+    std::string prefix = std::string("--") + name + "=";
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) == 0) {
+        *value = argv_[i] + prefix.size();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+/// The default pipeline scale used by the accuracy benches: small enough
+/// that the whole suite finishes in minutes, large enough that the Table 2
+/// / Figure 11-12 shapes are stable. Raise with --runs/--background/
+/// --instances/--scale to approach paper scale (100/10000/10000/1.0).
+inline PipelineConfig DefaultPipelineConfig(const Flags& flags) {
+  PipelineConfig config;
+  config.dataset.runs_per_behavior =
+      static_cast<int>(flags.GetInt("runs", 20));
+  config.dataset.background_graphs =
+      static_cast<int>(flags.GetInt("background", 100));
+  config.dataset.test_instances =
+      static_cast<int>(flags.GetInt("instances", 120));
+  config.dataset.seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  config.dataset.gen.size_scale = flags.GetDouble("scale", 1.0);
+  config.query_size = static_cast<int>(flags.GetInt("query_size", 6));
+  config.miner.max_millis = flags.GetInt("mine_budget_ms", 120000);
+  return config;
+}
+
+/// Header banner shared by all bench binaries.
+inline void Banner(const char* artifact, const char* description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("(scaled-down defaults; see EXPERIMENTS.md for paper-scale "
+              "flags and shape notes)\n");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace tgm::bench
+
+#endif  // TGM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Regenerates Figure 10: examples of discovered discriminative patterns.
+//
+// Paper observations to reproduce:
+//  - the sshd-login pattern contains *no node labeled "sshd"* — the
+//    discriminative skeleton is the interaction among session entities
+//    (something keyword searches on the application name cannot find);
+//  - wget-download and ftp-download are separated by how they touch
+//    libraries and sockets, not by any single exotic label.
+
+#include <string>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tgm;
+  bench::Flags flags(argc, argv);
+  bench::Banner("Figure 10", "discovered discriminative patterns");
+
+  PipelineConfig config = bench::DefaultPipelineConfig(flags);
+  config.dataset.runs_per_behavior =
+      static_cast<int>(flags.GetInt("runs", 12));
+  config.dataset.background_graphs =
+      static_cast<int>(flags.GetInt("background", 60));
+  Pipeline pipeline(config);
+  pipeline.Prepare();
+
+  const std::vector<BehaviorKind> featured = {
+      BehaviorKind::kSshdLogin,
+      BehaviorKind::kWgetDownload,
+      BehaviorKind::kFtpDownload,
+  };
+  for (BehaviorKind kind : featured) {
+    int idx = 0;
+    while (AllBehaviors()[static_cast<std::size_t>(idx)] != kind) ++idx;
+    MinerConfig mc = pipeline.config().miner;
+    mc.max_edges = config.query_size;
+    MineResult mined = pipeline.MineTemporal(idx, mc);
+    std::vector<MinedPattern> queries = pipeline.TemporalQueries(mined);
+    std::printf("\n--- %s (best score %.2f, %zu query patterns) ---\n",
+                BehaviorName(kind).c_str(), mined.best_score,
+                queries.size());
+    int shown = 0;
+    bool sshd_label_seen = false;
+    for (const MinedPattern& q : queries) {
+      if (shown++ >= 3) break;
+      std::printf("  %s\n",
+                  q.pattern.ToString(&pipeline.world().dict()).c_str());
+      if (kind == BehaviorKind::kSshdLogin) {
+        for (LabelId l : q.pattern.labels()) {
+          if (pipeline.world().dict().Name(l).find("sshd") !=
+              std::string::npos) {
+            sshd_label_seen = true;
+          }
+        }
+      }
+    }
+    if (kind == BehaviorKind::kSshdLogin) {
+      std::printf("  [check] top sshd-login pattern mentions 'sshd': %s "
+                  "(paper: the discovered pattern does not)\n",
+                  sshd_label_seen ? "yes" : "no");
+    }
+  }
+  return 0;
+}

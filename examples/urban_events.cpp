@@ -1,0 +1,92 @@
+// Urban computing — the paper's Example 3.
+//
+// Heterogeneous city data (traffic, health reports, food production) is
+// fused into temporal graphs: nodes are detected events, edges connect
+// events that are geographically close, timestamped by detection time.
+// Domain experts ask: are these unusual events caused by river pollution?
+// We mine the temporal dependency pattern of river-pollution episodes
+// against ordinary-congestion episodes and use it as a query template.
+
+#include <cstdio>
+#include <random>
+
+#include "matching/edge_scan_matcher.h"
+#include "mining/miner.h"
+#include "temporal/label_dict.h"
+
+namespace {
+
+using namespace tgm;
+
+TemporalGraph PollutionEpisode(LabelDict& dict, std::mt19937_64& rng) {
+  TemporalGraph g;
+  NodeId discharge = g.AddNode(dict.Intern("event:chemical-discharge"));
+  NodeId fish = g.AddNode(dict.Intern("event:fish-kill"));
+  NodeId sick = g.AddNode(dict.Intern("event:high-sickness-rate"));
+  NodeId food = g.AddNode(dict.Intern("event:food-yield-drop"));
+  NodeId jam = g.AddNode(dict.Intern("event:traffic-jam"));
+  Timestamp t = static_cast<Timestamp>(rng() % 24);
+  // Pollution propagates downstream over days: discharge -> fish kill ->
+  // sickness in river districts -> irrigation-fed food yield drop.
+  g.AddEdge(discharge, fish, t += 24 + static_cast<Timestamp>(rng() % 12));
+  g.AddEdge(fish, sick, t += 24 + static_cast<Timestamp>(rng() % 12));
+  g.AddEdge(sick, food, t += 24 + static_cast<Timestamp>(rng() % 12));
+  // A traffic jam near the hospital follows the sickness spike.
+  g.AddEdge(sick, jam, t += 6 + static_cast<Timestamp>(rng() % 6));
+  g.Finalize();
+  return g;
+}
+
+TemporalGraph CongestionEpisode(LabelDict& dict, std::mt19937_64& rng) {
+  TemporalGraph g;
+  NodeId concert = g.AddNode(dict.Intern("event:stadium-concert"));
+  NodeId jam = g.AddNode(dict.Intern("event:traffic-jam"));
+  NodeId sick = g.AddNode(dict.Intern("event:high-sickness-rate"));
+  NodeId food = g.AddNode(dict.Intern("event:food-yield-drop"));
+  Timestamp t = static_cast<Timestamp>(rng() % 24);
+  // Ordinary city life: a concert causes jams; sickness and a late-season
+  // yield dip exist too, but the jam precedes the sickness report here.
+  g.AddEdge(concert, jam, t += 6 + static_cast<Timestamp>(rng() % 6));
+  g.AddEdge(jam, sick, t += 24 + static_cast<Timestamp>(rng() % 12));
+  g.AddEdge(sick, food, t += 24 + static_cast<Timestamp>(rng() % 12));
+  g.Finalize();
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tgm;
+  LabelDict dict;
+  std::mt19937_64 rng(11);
+
+  std::vector<TemporalGraph> pollution;
+  std::vector<TemporalGraph> ordinary;
+  for (int i = 0; i < 25; ++i) {
+    pollution.push_back(PollutionEpisode(dict, rng));
+    ordinary.push_back(CongestionEpisode(dict, rng));
+  }
+
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  Miner miner(config, pollution, ordinary);
+  MineResult result = miner.Mine();
+
+  std::printf("river-pollution signature (score %.2f):\n", result.best_score);
+  int shown = 0;
+  for (const MinedPattern& m : result.top) {
+    if (m.score < result.best_score || shown >= 3) break;
+    std::printf("  %s\n", m.pattern.ToString(&dict).c_str());
+    ++shown;
+  }
+
+  // Use the top pattern as a query template on a "this month" feed.
+  std::mt19937_64 feed_rng(12);
+  TemporalGraph this_month = PollutionEpisode(dict, feed_rng);
+  EdgeScanMatcher matcher;
+  bool alarm = !result.top.empty() &&
+               matcher.Exists(result.top.front().pattern, this_month);
+  std::printf("does this month's event feed match the pollution signature? "
+              "%s\n", alarm ? "YES - investigate the river" : "no");
+  return alarm ? 0 : 1;
+}

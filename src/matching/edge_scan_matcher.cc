@@ -1,0 +1,144 @@
+#include "matching/edge_scan_matcher.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+struct EdgeScanMatcher::SearchContext {
+  const Pattern* pattern = nullptr;
+  const TemporalGraph* graph = nullptr;
+  const Options* options = nullptr;
+  const std::function<bool(const DataMatch&)>* sink = nullptr;
+  DataMatch match;
+  std::vector<bool> used;  // data node already mapped
+  std::int64_t delivered = 0;
+  bool stop = false;
+};
+
+bool EdgeScanMatcher::Extend(SearchContext& ctx, std::size_t k) const {
+  const Pattern& pattern = *ctx.pattern;
+  const TemporalGraph& graph = *ctx.graph;
+  if (k == pattern.edge_count()) {
+    ++ctx.delivered;
+    if (!(*ctx.sink)(ctx.match)) ctx.stop = true;
+    if (ctx.options->max_matches > 0 &&
+        ctx.delivered >= ctx.options->max_matches) {
+      ctx.stop = true;
+    }
+    return true;
+  }
+
+  const PatternEdge& qe = pattern.edge(k);
+  NodeId ms = ctx.match.node_map[static_cast<std::size_t>(qe.src)];
+  NodeId md = ctx.match.node_map[static_cast<std::size_t>(qe.dst)];
+  EdgePos after = (k == 0) ? -1 : ctx.match.edge_map[k - 1];
+  Timestamp first_ts =
+      (k == 0) ? 0 : graph.edge(ctx.match.edge_map[0]).ts;
+
+  auto try_position = [&](EdgePos pos) {
+    if (ctx.stop) return;
+    const TemporalEdge& de = graph.edge(pos);
+    if (de.elabel != qe.elabel) return;
+    if (ctx.options->window > 0 && k > 0 &&
+        de.ts - first_ts > ctx.options->window) {
+      return;
+    }
+    if ((qe.src == qe.dst) != (de.src == de.dst)) return;
+    // Endpoint compatibility.
+    if (ms != kInvalidNode && de.src != ms) return;
+    if (md != kInvalidNode && de.dst != md) return;
+    if (ms == kInvalidNode) {
+      if (graph.label(de.src) != pattern.label(qe.src)) return;
+      if (ctx.used[static_cast<std::size_t>(de.src)]) return;
+    }
+    if (md == kInvalidNode && qe.src != qe.dst) {
+      if (graph.label(de.dst) != pattern.label(qe.dst)) return;
+      if (ctx.used[static_cast<std::size_t>(de.dst)]) return;
+      if (ms == kInvalidNode && de.dst == de.src) return;  // injectivity
+    }
+    // Bind.
+    bool bound_src = false;
+    bool bound_dst = false;
+    if (ms == kInvalidNode) {
+      ctx.match.node_map[static_cast<std::size_t>(qe.src)] = de.src;
+      ctx.used[static_cast<std::size_t>(de.src)] = true;
+      bound_src = true;
+    }
+    if (qe.src != qe.dst &&
+        ctx.match.node_map[static_cast<std::size_t>(qe.dst)] ==
+            kInvalidNode) {
+      ctx.match.node_map[static_cast<std::size_t>(qe.dst)] = de.dst;
+      ctx.used[static_cast<std::size_t>(de.dst)] = true;
+      bound_dst = true;
+    }
+    ctx.match.edge_map.push_back(pos);
+    Extend(ctx, k + 1);
+    ctx.match.edge_map.pop_back();
+    if (bound_dst) {
+      ctx.used[static_cast<std::size_t>(de.dst)] = false;
+      ctx.match.node_map[static_cast<std::size_t>(qe.dst)] = kInvalidNode;
+    }
+    if (bound_src) {
+      ctx.used[static_cast<std::size_t>(de.src)] = false;
+      ctx.match.node_map[static_cast<std::size_t>(qe.src)] = kInvalidNode;
+    }
+  };
+
+  if (k == 0) {
+    const std::vector<EdgePos>& candidates = graph.EdgesWithSignature(
+        pattern.label(qe.src), pattern.label(qe.dst), qe.elabel);
+    for (EdgePos pos : candidates) {
+      if (ctx.stop) break;
+      try_position(pos);
+    }
+  } else if (ms != kInvalidNode) {
+    const std::vector<EdgePos>& positions = graph.out_edges(ms);
+    auto it = std::upper_bound(positions.begin(), positions.end(), after);
+    for (; it != positions.end() && !ctx.stop; ++it) try_position(*it);
+  } else {
+    TGM_DCHECK(md != kInvalidNode);  // T-connectivity
+    const std::vector<EdgePos>& positions = graph.in_edges(md);
+    auto it = std::upper_bound(positions.begin(), positions.end(), after);
+    for (; it != positions.end() && !ctx.stop; ++it) try_position(*it);
+  }
+  return false;
+}
+
+std::int64_t EdgeScanMatcher::EnumerateMatches(
+    const Pattern& pattern, const TemporalGraph& graph,
+    const std::function<bool(const DataMatch&)>& sink) const {
+  TGM_CHECK(graph.finalized());
+  if (pattern.edge_count() == 0) return 0;
+  SearchContext ctx;
+  ctx.pattern = &pattern;
+  ctx.graph = &graph;
+  ctx.options = &options_;
+  ctx.sink = &sink;
+  ctx.match.node_map.assign(pattern.node_count(), kInvalidNode);
+  ctx.match.edge_map.reserve(pattern.edge_count());
+  ctx.used.assign(graph.node_count(), false);
+  Extend(ctx, 0);
+  return ctx.delivered;
+}
+
+bool EdgeScanMatcher::Exists(const Pattern& pattern,
+                             const TemporalGraph& graph) const {
+  bool found = false;
+  EnumerateMatches(pattern, graph, [&found](const DataMatch&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::vector<DataMatch> EdgeScanMatcher::AllMatches(
+    const Pattern& pattern, const TemporalGraph& graph) const {
+  std::vector<DataMatch> matches;
+  EnumerateMatches(pattern, graph, [&matches](const DataMatch& m) {
+    matches.push_back(m);
+    return true;
+  });
+  return matches;
+}
+
+}  // namespace tgm

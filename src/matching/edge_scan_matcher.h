@@ -1,0 +1,68 @@
+#ifndef TGM_MATCHING_EDGE_SCAN_MATCHER_H_
+#define TGM_MATCHING_EDGE_SCAN_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/pattern.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// One match of a pattern inside a data graph: the node mapping plus the
+/// positions of the matched data edges (ascending — the edge order is
+/// preserved by construction).
+struct DataMatch {
+  std::vector<NodeId> node_map;   // pattern node -> data node
+  std::vector<EdgePos> edge_map;  // pattern edge i -> data edge position
+};
+
+/// Enumerates matches M(G, g) of a temporal pattern inside a (much larger)
+/// data graph by backtracking over the pattern's edges in temporal order.
+///
+/// Edge 0 candidates come from the data graph's one-edge signature index;
+/// each subsequent pattern edge scans the adjacency lists of its already
+/// mapped endpoint(s) restricted to positions after the previously matched
+/// edge. T-connectivity of patterns guarantees at least one endpoint of
+/// every non-initial edge is already mapped.
+///
+/// An optional time window bounds the span (last ts - first ts) of a match,
+/// which is how behaviour queries restrict matches to one behaviour
+/// lifetime, and an optional match cap bounds enumeration cost.
+class EdgeScanMatcher {
+ public:
+  struct Options {
+    /// Maximum allowed ts span of a match; 0 = unlimited.
+    Timestamp window = 0;
+    /// Stop after this many matches; 0 = unlimited.
+    std::int64_t max_matches = 0;
+  };
+
+  EdgeScanMatcher() = default;
+  explicit EdgeScanMatcher(const Options& options) : options_(options) {}
+
+  /// Invokes `sink` for every match; enumeration stops early if `sink`
+  /// returns false. Returns the number of matches delivered.
+  std::int64_t EnumerateMatches(
+      const Pattern& pattern, const TemporalGraph& graph,
+      const std::function<bool(const DataMatch&)>& sink) const;
+
+  /// True if at least one match exists.
+  bool Exists(const Pattern& pattern, const TemporalGraph& graph) const;
+
+  /// Collects all matches (subject to the cap).
+  std::vector<DataMatch> AllMatches(const Pattern& pattern,
+                                    const TemporalGraph& graph) const;
+
+ private:
+  struct SearchContext;
+  bool Extend(SearchContext& ctx, std::size_t k) const;
+
+  Options options_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MATCHING_EDGE_SCAN_MATCHER_H_

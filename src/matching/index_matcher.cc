@@ -1,0 +1,108 @@
+#include "matching/index_matcher.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+std::int64_t IndexMatcher::Signature(LabelId src_label, LabelId dst_label,
+                                     LabelId elabel) {
+  return (static_cast<std::int64_t>(src_label) << 42) ^
+         (static_cast<std::int64_t>(dst_label) << 21) ^
+         static_cast<std::int64_t>(elabel);
+}
+
+const IndexMatcher::EdgeIndex& IndexMatcher::GetIndex(const Pattern& big) {
+  auto it = index_cache_.find(big);
+  if (it != index_cache_.end()) return it->second;
+  EdgeIndex index;
+  const auto& edges = big.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const PatternEdge& e = edges[i];
+    index.by_signature[Signature(big.label(e.src), big.label(e.dst),
+                                 e.elabel)]
+        .push_back(static_cast<EdgePos>(i));
+  }
+  ++indexes_built_;
+  return index_cache_.emplace(big, std::move(index)).first->second;
+}
+
+bool IndexMatcher::Contains(const Pattern& small, const Pattern& big) {
+  return FindMapping(small, big).has_value();
+}
+
+std::optional<std::vector<NodeId>> IndexMatcher::FindMapping(
+    const Pattern& small, const Pattern& big) {
+  ++test_count_;
+  if (small.edge_count() > big.edge_count()) return std::nullopt;
+  if (small.node_count() > big.node_count()) return std::nullopt;
+  if (small.edge_count() == 0) return std::vector<NodeId>{};
+
+  const EdgeIndex& index = GetIndex(big);
+  const auto& big_edges = big.edges();
+
+  // Frontier join: start from the first query edge's candidate list, then
+  // extend every partial match with every compatible later edge.
+  std::vector<Partial> frontier;
+  for (std::size_t k = 0; k < small.edge_count(); ++k) {
+    const PatternEdge& qe = small.edge(k);
+    auto sig_it = index.by_signature.find(Signature(
+        small.label(qe.src), small.label(qe.dst), qe.elabel));
+    if (sig_it == index.by_signature.end()) return std::nullopt;
+    const std::vector<EdgePos>& candidates = sig_it->second;
+
+    std::vector<Partial> next;
+    auto extend = [&](const Partial* base) {
+      EdgePos after = (base == nullptr) ? -1 : base->last;
+      auto start = std::upper_bound(candidates.begin(), candidates.end(),
+                                    after);
+      for (auto cit = start; cit != candidates.end(); ++cit) {
+        const PatternEdge& be = big_edges[static_cast<std::size_t>(*cit)];
+        // A self-loop query edge can only match a self-loop target edge.
+        if ((qe.src == qe.dst) != (be.src == be.dst)) continue;
+        NodeId ms = (base == nullptr)
+                        ? kInvalidNode
+                        : base->map[static_cast<std::size_t>(qe.src)];
+        NodeId md = (base == nullptr)
+                        ? kInvalidNode
+                        : base->map[static_cast<std::size_t>(qe.dst)];
+        // Endpoint consistency + injectivity.
+        if (ms != kInvalidNode && ms != be.src) continue;
+        if (md != kInvalidNode && md != be.dst) continue;
+        Partial p = (base == nullptr)
+                        ? Partial{std::vector<NodeId>(small.node_count(),
+                                                      kInvalidNode),
+                                  std::vector<bool>(big.node_count(), false),
+                                  -1}
+                        : *base;
+        if (p.map[static_cast<std::size_t>(qe.src)] == kInvalidNode) {
+          if (p.used[static_cast<std::size_t>(be.src)]) continue;
+          p.map[static_cast<std::size_t>(qe.src)] = be.src;
+          p.used[static_cast<std::size_t>(be.src)] = true;
+        }
+        if (p.map[static_cast<std::size_t>(qe.dst)] == kInvalidNode) {
+          if (qe.src == qe.dst) {
+            // self-loop: dst already bound by src above.
+          } else if (p.used[static_cast<std::size_t>(be.dst)]) {
+            continue;
+          } else {
+            p.map[static_cast<std::size_t>(qe.dst)] = be.dst;
+            p.used[static_cast<std::size_t>(be.dst)] = true;
+          }
+        }
+        p.last = *cit;
+        next.push_back(std::move(p));
+      }
+    };
+
+    if (k == 0) {
+      extend(nullptr);
+    } else {
+      for (const Partial& base : frontier) extend(&base);
+    }
+    if (next.empty()) return std::nullopt;
+    frontier = std::move(next);
+  }
+  return frontier.front().map;
+}
+
+}  // namespace tgm

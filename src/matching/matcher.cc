@@ -1,0 +1,21 @@
+#include "matching/matcher.h"
+
+#include "matching/index_matcher.h"
+#include "matching/seq_matcher.h"
+#include "matching/vf2_matcher.h"
+
+namespace tgm {
+
+std::unique_ptr<TemporalSubgraphTester> MakeTester(SubgraphTestAlgo algo) {
+  switch (algo) {
+    case SubgraphTestAlgo::kSequence:
+      return std::make_unique<SeqMatcher>();
+    case SubgraphTestAlgo::kVf2:
+      return std::make_unique<Vf2Matcher>();
+    case SubgraphTestAlgo::kGraphIndex:
+      return std::make_unique<IndexMatcher>();
+  }
+  TGM_CHECK(false);
+}
+
+}  // namespace tgm

@@ -1,0 +1,49 @@
+#ifndef TGM_MATCHING_MATCHER_H_
+#define TGM_MATCHING_MATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/pattern.h"
+
+namespace tgm {
+
+/// Interface for temporal subgraph tests between patterns: does `small ⊆t
+/// big` hold (Section 2's temporal subgraph relation)? Implementations are
+/// the paper's three alternatives compared in Figure 13:
+///   SeqMatcher   — sequence-encoding + subsequence tests (TGMiner),
+///   Vf2Matcher   — modified VF2 (the PruneVF2 ablation),
+///   IndexMatcher — one-edge graph index + join (the PruneGI ablation).
+class TemporalSubgraphTester {
+ public:
+  virtual ~TemporalSubgraphTester() = default;
+
+  /// True iff `small` ⊆t `big`.
+  virtual bool Contains(const Pattern& small, const Pattern& big) = 0;
+
+  /// Returns an injective node mapping m (m[v] = node of `big` matched to
+  /// node v of `small`) witnessing small ⊆t big, or nullopt. When the
+  /// residual sets of the two patterns are equal, Proposition 1 guarantees
+  /// the mapping is unique, so the first witness is the only one.
+  virtual std::optional<std::vector<NodeId>> FindMapping(
+      const Pattern& small, const Pattern& big) = 0;
+
+  /// Number of Contains/FindMapping calls served (for MinerStats).
+  std::int64_t test_count() const { return test_count_; }
+
+ protected:
+  std::int64_t test_count_ = 0;
+};
+
+/// Identifiers for constructing testers from a MinerConfig.
+enum class SubgraphTestAlgo { kSequence, kVf2, kGraphIndex };
+
+/// Factory.
+std::unique_ptr<TemporalSubgraphTester> MakeTester(SubgraphTestAlgo algo);
+
+}  // namespace tgm
+
+#endif  // TGM_MATCHING_MATCHER_H_

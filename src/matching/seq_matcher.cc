@@ -1,0 +1,171 @@
+#include "matching/seq_matcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tgm {
+
+namespace {
+
+// Exact-equality hash map key for the prefix-pruning memo: the partial node
+// mapping (big node targeted by each of the first i nodeseq nodes, in
+// nodeseq order). Deterministic search means an identical prefix that failed
+// from enhseq position j will also fail from any position >= j, so we store
+// the minimum failing position per prefix.
+struct PrefixHash {
+  std::size_t operator()(const std::vector<NodeId>& prefix) const {
+    std::size_t h = 1469598103934665603ull;
+    for (NodeId v : prefix) {
+      h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+struct SeqMatcher::SearchContext {
+  const Pattern* small = nullptr;
+  const Pattern* big = nullptr;
+  SequenceRep small_rep;
+  SequenceRep big_rep;
+  std::vector<NeighborProfile> small_profiles;
+  std::vector<NeighborProfile> big_profiles;
+  std::vector<NodeId> map;     // small node -> big node
+  std::vector<bool> used;      // big node already targeted
+  std::vector<NodeId> prefix;  // map restricted to nodeseq[0..i), in order
+  // prefix -> smallest enhseq position from which this prefix failed.
+  std::unordered_map<std::vector<NodeId>, std::size_t, PrefixHash> failed;
+  bool want_mapping = false;
+  std::optional<std::vector<NodeId>> found_mapping;
+  const Options* options = nullptr;
+};
+
+std::vector<SeqMatcher::NeighborProfile> SeqMatcher::BuildProfiles(
+    const Pattern& p) {
+  std::vector<NeighborProfile> profiles(p.node_count());
+  for (const PatternEdge& e : p.edges()) {
+    profiles[static_cast<std::size_t>(e.src)].out.emplace_back(e.elabel,
+                                                               p.label(e.dst));
+    profiles[static_cast<std::size_t>(e.dst)].in.emplace_back(e.elabel,
+                                                              p.label(e.src));
+  }
+  for (NeighborProfile& prof : profiles) {
+    std::sort(prof.out.begin(), prof.out.end());
+    std::sort(prof.in.begin(), prof.in.end());
+  }
+  return profiles;
+}
+
+bool SeqMatcher::EdgeSubsequenceHolds(const Pattern& small, const Pattern& big,
+                                      const std::vector<NodeId>& map) {
+  // Greedy leftmost subsequence matching is exact for sequences compared by
+  // element equality: fs(edgeseq(small)) ⊑ edgeseq(big).
+  std::size_t j = 0;
+  const auto& big_edges = big.edges();
+  for (const PatternEdge& e : small.edges()) {
+    NodeId want_src = map[static_cast<std::size_t>(e.src)];
+    NodeId want_dst = map[static_cast<std::size_t>(e.dst)];
+    bool matched = false;
+    for (; j < big_edges.size(); ++j) {
+      const PatternEdge& b = big_edges[j];
+      if (b.src == want_src && b.dst == want_dst && b.elabel == e.elabel) {
+        ++j;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+bool SeqMatcher::Search(SearchContext& ctx, std::size_t i, std::size_t j) {
+  if (i == ctx.small_rep.nodeseq.size()) {
+    if (EdgeSubsequenceHolds(*ctx.small, *ctx.big, ctx.map)) {
+      if (ctx.want_mapping) ctx.found_mapping = ctx.map;
+      return true;
+    }
+    return false;
+  }
+  if (ctx.options->prefix_pruning) {
+    auto it = ctx.failed.find(ctx.prefix);
+    if (it != ctx.failed.end() && j >= it->second) return false;
+  }
+
+  NodeId small_node = ctx.small_rep.nodeseq[i];
+  LabelId want_label = ctx.small->label(small_node);
+  const NeighborProfile& small_prof =
+      ctx.small_profiles[static_cast<std::size_t>(small_node)];
+
+  for (std::size_t pos = j; pos < ctx.big_rep.enhseq.size(); ++pos) {
+    NodeId big_node = ctx.big_rep.enhseq[pos];
+    if (ctx.big->label(big_node) != want_label) continue;
+    if (ctx.used[static_cast<std::size_t>(big_node)]) continue;
+    if (ctx.options->local_information_match) {
+      const NeighborProfile& big_prof =
+          ctx.big_profiles[static_cast<std::size_t>(big_node)];
+      if (small_prof.out.size() > big_prof.out.size()) continue;
+      if (small_prof.in.size() > big_prof.in.size()) continue;
+      if (!std::includes(big_prof.out.begin(), big_prof.out.end(),
+                         small_prof.out.begin(), small_prof.out.end())) {
+        continue;
+      }
+      if (!std::includes(big_prof.in.begin(), big_prof.in.end(),
+                         small_prof.in.begin(), small_prof.in.end())) {
+        continue;
+      }
+    }
+    ctx.map[static_cast<std::size_t>(small_node)] = big_node;
+    ctx.used[static_cast<std::size_t>(big_node)] = true;
+    ctx.prefix.push_back(big_node);
+    bool ok = Search(ctx, i + 1, pos + 1);
+    ctx.prefix.pop_back();
+    ctx.map[static_cast<std::size_t>(small_node)] = kInvalidNode;
+    ctx.used[static_cast<std::size_t>(big_node)] = false;
+    if (ok) return true;
+  }
+
+  if (ctx.options->prefix_pruning) {
+    auto [it, inserted] = ctx.failed.emplace(ctx.prefix, j);
+    if (!inserted) it->second = std::min(it->second, j);
+  }
+  return false;
+}
+
+bool SeqMatcher::Contains(const Pattern& small, const Pattern& big) {
+  return FindMapping(small, big).has_value();
+}
+
+std::optional<std::vector<NodeId>> SeqMatcher::FindMapping(
+    const Pattern& small, const Pattern& big) {
+  ++test_count_;
+  if (small.edge_count() > big.edge_count()) return std::nullopt;
+  if (small.node_count() > big.node_count()) return std::nullopt;
+  if (small.edge_count() == 0) return std::vector<NodeId>{};
+
+  SearchContext ctx;
+  ctx.small = &small;
+  ctx.big = &big;
+  ctx.options = &options_;
+  ctx.small_rep = BuildSequenceRep(small);
+  ctx.big_rep = BuildSequenceRep(big);
+
+  if (options_.label_sequence_test &&
+      !LabelSubsequenceTest(small, ctx.small_rep, big, ctx.big_rep)) {
+    return std::nullopt;
+  }
+
+  ctx.small_profiles = BuildProfiles(small);
+  ctx.big_profiles = BuildProfiles(big);
+  ctx.map.assign(small.node_count(), kInvalidNode);
+  ctx.used.assign(big.node_count(), false);
+  ctx.prefix.reserve(small.node_count());
+  ctx.want_mapping = true;
+
+  if (Search(ctx, 0, 0)) return ctx.found_mapping;
+  return std::nullopt;
+}
+
+}  // namespace tgm

@@ -1,0 +1,64 @@
+#ifndef TGM_MATCHING_SEQ_MATCHER_H_
+#define TGM_MATCHING_SEQ_MATCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "matching/matcher.h"
+#include "temporal/sequence.h"
+
+namespace tgm {
+
+/// The paper's light-weight temporal subgraph test (Section 4.3, Lemma 5).
+///
+/// `small ⊆t big` is decided by enumerating injective node mappings fs for
+/// which nodeseq(small) embeds as a subsequence of enhseq(big) with matching
+/// labels, then verifying fs(edgeseq(small)) ⊑ edgeseq(big) with a greedy
+/// linear scan. Appendix J's three accelerations are implemented:
+///
+///  - label sequence test: reject in O(n) when even the label sequences are
+///    not in subsequence relation;
+///  - local information match: a candidate target node must dominate the
+///    pattern node's in/out degree and in/out neighbour (edge label, node
+///    label) multisets;
+///  - prefix pruning: a failed partial node mapping (the exact prefix of
+///    target nodes assigned so far) is memoized together with the smallest
+///    enhseq position it failed from; re-encountering the same prefix at
+///    the same or a later position is pruned. Keying by the exact prefix
+///    (not just the used-node set) keeps the memo sound when labels
+///    repeat.
+class SeqMatcher : public TemporalSubgraphTester {
+ public:
+  struct Options {
+    bool label_sequence_test = true;
+    bool local_information_match = true;
+    bool prefix_pruning = true;
+  };
+
+  SeqMatcher() = default;
+  explicit SeqMatcher(const Options& options) : options_(options) {}
+
+  bool Contains(const Pattern& small, const Pattern& big) override;
+  std::optional<std::vector<NodeId>> FindMapping(const Pattern& small,
+                                                 const Pattern& big) override;
+
+ private:
+  struct NeighborProfile {
+    // Sorted (edge label, neighbour label) multisets.
+    std::vector<std::pair<LabelId, LabelId>> out;
+    std::vector<std::pair<LabelId, LabelId>> in;
+  };
+
+  struct SearchContext;
+
+  bool Search(SearchContext& ctx, std::size_t i, std::size_t j);
+  static bool EdgeSubsequenceHolds(const Pattern& small, const Pattern& big,
+                                   const std::vector<NodeId>& map);
+  static std::vector<NeighborProfile> BuildProfiles(const Pattern& p);
+
+  Options options_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MATCHING_SEQ_MATCHER_H_

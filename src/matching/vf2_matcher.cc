@@ -1,0 +1,155 @@
+#include "matching/vf2_matcher.h"
+
+#include <algorithm>
+#include <array>
+
+namespace tgm {
+
+struct Vf2Matcher::SearchContext {
+  const Pattern* small = nullptr;
+  const Pattern* big = nullptr;
+  // Node order: connected order (each node after the first is adjacent to an
+  // earlier node) so adjacency checks bind early.
+  std::vector<NodeId> order;
+  std::vector<NodeId> map;       // small -> big
+  std::vector<bool> used;        // big side
+  // Multi-edge counts between ordered node pairs, per direction.
+  // small_adj[u] lists (v, #edges u->v, #edges v->u) for neighbours v.
+  std::vector<std::vector<std::array<std::int32_t, 3>>> small_adj;
+  std::vector<std::vector<std::array<std::int32_t, 3>>> big_adj;
+  std::optional<std::vector<NodeId>> found;
+};
+
+namespace {
+
+std::vector<std::vector<std::array<std::int32_t, 3>>> BuildAdjacency(
+    const Pattern& p) {
+  std::vector<std::vector<std::array<std::int32_t, 3>>> adj(p.node_count());
+  auto bump = [&adj](NodeId a, NodeId b, int dir) {
+    auto& list = adj[static_cast<std::size_t>(a)];
+    for (auto& entry : list) {
+      if (entry[0] == b) {
+        ++entry[static_cast<std::size_t>(dir)];
+        return;
+      }
+    }
+    std::array<std::int32_t, 3> entry{b, 0, 0};
+    entry[static_cast<std::size_t>(dir)] = 1;
+    list.push_back(entry);
+  };
+  for (const PatternEdge& e : p.edges()) {
+    bump(e.src, e.dst, 1);
+    if (e.src != e.dst) bump(e.dst, e.src, 2);
+  }
+  return adj;
+}
+
+std::vector<NodeId> ConnectedOrder(const Pattern& p) {
+  // First-appearance order is a connected order for canonical patterns.
+  std::vector<NodeId> order(p.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<NodeId>(i);
+  }
+  return order;
+}
+
+std::int32_t CountEdges(
+    const std::vector<std::vector<std::array<std::int32_t, 3>>>& adj,
+    NodeId a, NodeId b, int dir) {
+  for (const auto& entry : adj[static_cast<std::size_t>(a)]) {
+    if (entry[0] == b) return entry[static_cast<std::size_t>(dir)];
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool Vf2Matcher::TemporalEdgeMappingExists(const Pattern& small,
+                                           const Pattern& big,
+                                           const std::vector<NodeId>& map) {
+  // Greedy leftmost: walk small's edges in temporal order; for each, take
+  // the earliest unused target edge between the mapped endpoints that lies
+  // strictly after the previously chosen position.
+  std::size_t next_pos = 0;
+  const auto& big_edges = big.edges();
+  for (const PatternEdge& e : small.edges()) {
+    NodeId ws = map[static_cast<std::size_t>(e.src)];
+    NodeId wd = map[static_cast<std::size_t>(e.dst)];
+    bool found = false;
+    for (std::size_t j = next_pos; j < big_edges.size(); ++j) {
+      const PatternEdge& b = big_edges[j];
+      if (b.src == ws && b.dst == wd && b.elabel == e.elabel) {
+        next_pos = j + 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+bool Vf2Matcher::Search(SearchContext& ctx, std::size_t depth) {
+  if (depth == ctx.order.size()) {
+    if (TemporalEdgeMappingExists(*ctx.small, *ctx.big, ctx.map)) {
+      ctx.found = ctx.map;
+      return true;
+    }
+    return false;
+  }
+  NodeId u = ctx.order[depth];
+  LabelId want = ctx.small->label(u);
+  for (std::size_t b = 0; b < ctx.big->node_count(); ++b) {
+    NodeId v = static_cast<NodeId>(b);
+    if (ctx.used[b]) continue;
+    if (ctx.big->label(v) != want) continue;
+    if (ctx.small->out_degree(u) > ctx.big->out_degree(v)) continue;
+    if (ctx.small->in_degree(u) > ctx.big->in_degree(v)) continue;
+    // Adjacency consistency with already-mapped neighbours (multi-edge
+    // counts must be dominated in both directions).
+    bool feasible = true;
+    for (const auto& entry : ctx.small_adj[static_cast<std::size_t>(u)]) {
+      NodeId nb = entry[0];
+      NodeId mapped = ctx.map[static_cast<std::size_t>(nb)];
+      if (mapped == kInvalidNode) continue;
+      if (entry[1] > CountEdges(ctx.big_adj, v, mapped, 1) ||
+          entry[2] > CountEdges(ctx.big_adj, v, mapped, 2)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+    ctx.map[static_cast<std::size_t>(u)] = v;
+    ctx.used[b] = true;
+    bool ok = Search(ctx, depth + 1);
+    ctx.map[static_cast<std::size_t>(u)] = kInvalidNode;
+    ctx.used[b] = false;
+    if (ok) return true;
+  }
+  return false;
+}
+
+bool Vf2Matcher::Contains(const Pattern& small, const Pattern& big) {
+  return FindMapping(small, big).has_value();
+}
+
+std::optional<std::vector<NodeId>> Vf2Matcher::FindMapping(
+    const Pattern& small, const Pattern& big) {
+  ++test_count_;
+  if (small.edge_count() > big.edge_count()) return std::nullopt;
+  if (small.node_count() > big.node_count()) return std::nullopt;
+  if (small.edge_count() == 0) return std::vector<NodeId>{};
+
+  SearchContext ctx;
+  ctx.small = &small;
+  ctx.big = &big;
+  ctx.order = ConnectedOrder(small);
+  ctx.map.assign(small.node_count(), kInvalidNode);
+  ctx.used.assign(big.node_count(), false);
+  ctx.small_adj = BuildAdjacency(small);
+  ctx.big_adj = BuildAdjacency(big);
+  if (Search(ctx, 0)) return ctx.found;
+  return std::nullopt;
+}
+
+}  // namespace tgm

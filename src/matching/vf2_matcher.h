@@ -1,0 +1,40 @@
+#ifndef TGM_MATCHING_VF2_MATCHER_H_
+#define TGM_MATCHING_VF2_MATCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "matching/matcher.h"
+
+namespace tgm {
+
+/// Modified VF2 temporal subgraph tester — the `PruneVF2` ablation baseline
+/// of Figure 13.
+///
+/// Classic VF2 is node-oriented: it extends a partial node mapping one node
+/// pair at a time, checking label equality, degree lookahead, and adjacency
+/// consistency (every already-mapped neighbour must be connected with at
+/// least as many parallel edges in the target). The temporal modification:
+/// once a full node mapping is found, an order-preserving injective edge
+/// mapping is sought with a greedy leftmost assignment over the target's
+/// temporally ordered edge list (greedy is exact by the standard exchange
+/// argument). Because temporal order is only enforced at the end, VF2
+/// explores many node mappings that the sequence encoding would never
+/// enumerate — which is exactly why the paper's SeqMatcher wins.
+class Vf2Matcher : public TemporalSubgraphTester {
+ public:
+  bool Contains(const Pattern& small, const Pattern& big) override;
+  std::optional<std::vector<NodeId>> FindMapping(const Pattern& small,
+                                                 const Pattern& big) override;
+
+ private:
+  struct SearchContext;
+  bool Search(SearchContext& ctx, std::size_t depth);
+  static bool TemporalEdgeMappingExists(const Pattern& small,
+                                        const Pattern& big,
+                                        const std::vector<NodeId>& map);
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MATCHING_VF2_MATCHER_H_

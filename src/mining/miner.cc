@@ -1,0 +1,471 @@
+#include "mining/miner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace tgm {
+
+namespace {
+
+NodeId FindMappedNode(const std::vector<NodeId>& nodes, NodeId data_node) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == data_node) return static_cast<NodeId>(i);
+  }
+  return kNewNode;
+}
+
+}  // namespace
+
+Miner::Miner(const MinerConfig& config,
+             std::vector<const TemporalGraph*> positives,
+             std::vector<const TemporalGraph*> negatives)
+    : config_(config),
+      pos_graphs_(std::move(positives)),
+      neg_graphs_(std::move(negatives)),
+      score_(config.score_kind, static_cast<std::int64_t>(pos_graphs_.size()),
+             static_cast<std::int64_t>(neg_graphs_.size()), config.epsilon),
+      tester_(MakeTester(config.subgraph_algo)),
+      registry_(config.residual_algo),
+      best_score_(-std::numeric_limits<double>::infinity()) {
+  TGM_CHECK(config_.max_edges >= 1);
+  TGM_CHECK(!pos_graphs_.empty());
+  TGM_CHECK(!neg_graphs_.empty());
+  for (const TemporalGraph* g : pos_graphs_) TGM_CHECK(g->finalized());
+  for (const TemporalGraph* g : neg_graphs_) TGM_CHECK(g->finalized());
+}
+
+Miner::Miner(const MinerConfig& config,
+             const std::vector<TemporalGraph>& positives,
+             const std::vector<TemporalGraph>& negatives)
+    : Miner(config,
+            [&positives] {
+              std::vector<const TemporalGraph*> ptrs;
+              ptrs.reserve(positives.size());
+              for (const TemporalGraph& g : positives) ptrs.push_back(&g);
+              return ptrs;
+            }(),
+            [&negatives] {
+              std::vector<const TemporalGraph*> ptrs;
+              ptrs.reserve(negatives.size());
+              for (const TemporalGraph& g : negatives) ptrs.push_back(&g);
+              return ptrs;
+            }()) {}
+
+void Miner::DedupeAndCap(EmbeddingTable& table) {
+  for (GraphEmbeddings& ge : table) {
+    std::sort(ge.embeds.begin(), ge.embeds.end());
+    ge.embeds.erase(std::unique(ge.embeds.begin(), ge.embeds.end()),
+                    ge.embeds.end());
+    if (config_.max_embeddings_per_graph > 0 &&
+        static_cast<std::int64_t>(ge.embeds.size()) >
+            config_.max_embeddings_per_graph) {
+      ge.embeds.resize(
+          static_cast<std::size_t>(config_.max_embeddings_per_graph));
+      ++stats_.embedding_cap_hits;
+    }
+  }
+}
+
+void Miner::CollectExtensions(const EmbeddingTable& table,
+                              const std::vector<const TemporalGraph*>& graphs,
+                              bool positive_side,
+                              std::map<ExtensionKey, ChildBuckets>& out)
+    const {
+  for (const GraphEmbeddings& ge : table) {
+    const TemporalGraph& g = *graphs[static_cast<std::size_t>(ge.graph)];
+    const auto& edges = g.edges();
+    for (const Embedding& emb : ge.embeds) {
+      for (std::size_t p = static_cast<std::size_t>(emb.last) + 1;
+           p < edges.size(); ++p) {
+        const TemporalEdge& e = edges[p];
+        NodeId u = FindMappedNode(emb.nodes, e.src);
+        NodeId v = FindMappedNode(emb.nodes, e.dst);
+        if (u == kNewNode && v == kNewNode) continue;  // not T-connected
+        ExtensionKey key;
+        key.src = u;
+        key.dst = v;
+        key.src_label = g.label(e.src);
+        key.dst_label = g.label(e.dst);
+        key.elabel = e.elabel;
+        ChildBuckets& bucket = out[key];
+        EmbeddingTable& side = positive_side ? bucket.pos : bucket.neg;
+        if (side.empty() || side.back().graph != ge.graph) {
+          side.push_back(GraphEmbeddings{ge.graph, {}});
+        }
+        Embedding child;
+        child.nodes = emb.nodes;
+        if (u == kNewNode) child.nodes.push_back(e.src);
+        if (v == kNewNode) child.nodes.push_back(e.dst);
+        child.last = static_cast<EdgePos>(p);
+        side.back().embeds.push_back(std::move(child));
+      }
+    }
+  }
+}
+
+ResidualSet Miner::BuildResidual(
+    const EmbeddingTable& table,
+    const std::vector<const TemporalGraph*>& graphs) const {
+  std::vector<std::pair<std::int32_t, EdgePos>> cuts;
+  for (const GraphEmbeddings& ge : table) {
+    for (const Embedding& emb : ge.embeds) {
+      cuts.emplace_back(ge.graph, emb.last);
+    }
+  }
+  return ResidualSet(std::move(cuts), graphs);
+}
+
+Pattern Miner::Grow(const Pattern& parent, const ExtensionKey& key) const {
+  if (key.src != kNewNode && key.dst != kNewNode) {
+    return parent.GrowInward(key.src, key.dst, key.elabel);
+  }
+  if (key.src != kNewNode) {
+    return parent.GrowForward(key.src, key.dst_label, key.elabel);
+  }
+  TGM_DCHECK(key.dst != kNewNode);
+  return parent.GrowBackward(key.src_label, key.dst, key.elabel);
+}
+
+void Miner::UpdateTop(const Pattern& pattern, double freq_pos,
+                      double freq_neg, double score,
+                      std::int64_t support_pos, std::int64_t support_neg) {
+  if (support_pos == 0) return;  // patterns absent from Gp are never queries
+  // The support floor is a hard constraint on results as well as on
+  // expansion: a pattern occurring in a minority of the behaviour's runs is
+  // run-specific noise, not a behaviour signature, no matter its score.
+  if (freq_pos < config_.min_pos_freq) return;
+  best_score_ = std::max(best_score_, score);
+  if (static_cast<int>(top_.size()) >= config_.top_k &&
+      score <= top_.back().score) {
+    return;
+  }
+  MinedPattern mined;
+  mined.pattern = pattern;
+  mined.freq_pos = freq_pos;
+  mined.freq_neg = freq_neg;
+  mined.score = score;
+  mined.support_pos = support_pos;
+  mined.support_neg = support_neg;
+  // Insert keeping descending score order, stable for equal scores.
+  auto it = std::upper_bound(top_.begin(), top_.end(), mined,
+                             [](const MinedPattern& a, const MinedPattern& b) {
+                               return a.score > b.score;
+                             });
+  top_.insert(it, std::move(mined));
+  if (static_cast<int>(top_.size()) > config_.top_k) top_.pop_back();
+}
+
+bool Miner::TrySubgraphPrune(const Pattern& pattern,
+                             const ResidualSet& pos_res,
+                             double* inherited_bound) {
+  bool pruned = false;
+  registry_.ForEachPosCandidate(
+      pos_res.i_value(), pos_res.cuts(), &stats_.residual_equiv_tests,
+      [&](const RegisteredPattern& g1) {
+        // Optional eager gate: only a reference branch that never reached
+        // the current best score can justify pruning (Lemma 4), so a
+        // practical implementation may skip the tests outright.
+        if (config_.check_reference_score_first &&
+            g1.branch_best >= best_score_) {
+          return true;
+        }
+        if (static_cast<std::int32_t>(pattern.edge_count()) > g1.edge_count) {
+          return true;
+        }
+        ++stats_.subgraph_tests;
+        auto mapping = tester_->FindMapping(pattern, g1.pattern);
+        if (!mapping.has_value()) return true;
+        // Condition (3): labels of g1 nodes that no node of the current
+        // pattern maps to must not occur in the current pattern's positive
+        // residual node label set.
+        std::vector<bool> mapped(static_cast<std::size_t>(g1.node_count),
+                                 false);
+        for (NodeId target : *mapping) {
+          mapped[static_cast<std::size_t>(target)] = true;
+        }
+        for (std::size_t v = 0; v < mapped.size(); ++v) {
+          if (mapped[v]) continue;
+          LabelId l = g1.pattern.label(static_cast<NodeId>(v));
+          if (pos_res.ResidualLabelSetContains(l, pos_graphs_)) return true;
+        }
+        // The prune itself is gated on the reference branch's best score
+        // (checked last in the paper's order).
+        if (g1.branch_best >= best_score_) return true;
+        pruned = true;
+        *inherited_bound = g1.branch_best;
+        return false;
+      });
+  return pruned;
+}
+
+bool Miner::TrySupergraphPrune(const Pattern& pattern,
+                               const ResidualSet& pos_res,
+                               const ResidualSet& neg_res,
+                               double* inherited_bound) {
+  bool pruned = false;
+  registry_.ForEachPosCandidate(
+      pos_res.i_value(), pos_res.cuts(), &stats_.residual_equiv_tests,
+      [&](const RegisteredPattern& g1) {
+        if (config_.check_reference_score_first &&
+            g1.branch_best >= best_score_) {
+          return true;
+        }
+        if (g1.node_count != static_cast<std::int32_t>(pattern.node_count())) {
+          return true;
+        }
+        if (g1.edge_count > static_cast<std::int32_t>(pattern.edge_count())) {
+          return true;
+        }
+        // Negative residual sets must match as well.
+        ++stats_.residual_equiv_tests;
+        if (registry_.algo() == ResidualEquivAlgo::kIValue) {
+          if (g1.neg_i_value != neg_res.i_value()) return true;
+        } else {
+          if (g1.neg_cuts != neg_res.cuts()) return true;
+        }
+        ++stats_.subgraph_tests;
+        if (!tester_->Contains(g1.pattern, pattern)) return true;
+        if (g1.branch_best >= best_score_) return true;
+        pruned = true;
+        *inherited_bound = g1.branch_best;
+        return false;
+      });
+  return pruned;
+}
+
+double Miner::Dfs(const Pattern& pattern, EmbeddingTable pos_table,
+                  EmbeddingTable neg_table) {
+  ++stats_.patterns_visited;
+
+  std::int64_t support_pos = static_cast<std::int64_t>(pos_table.size());
+  std::int64_t support_neg = static_cast<std::int64_t>(neg_table.size());
+  double freq_pos = static_cast<double>(support_pos) /
+                    static_cast<double>(pos_graphs_.size());
+  double freq_neg = static_cast<double>(support_neg) /
+                    static_cast<double>(neg_graphs_.size());
+  double own_score = score_(freq_pos, freq_neg);
+  UpdateTop(pattern, freq_pos, freq_neg, own_score, support_pos, support_neg);
+
+  if (static_cast<int>(pattern.edge_count()) >= config_.max_edges) {
+    return own_score;
+  }
+  if (BudgetExhausted()) return own_score;
+  if (config_.use_naive_bound && support_pos == 0) {
+    // F(0, y) is the global minimum and frequency is anti-monotone: every
+    // supergraph also has zero positive support. This is the degenerate
+    // case of the Section 4.1 bound.
+    ++stats_.naive_prunes;
+    return own_score;
+  }
+  if (config_.use_naive_bound &&
+      score_.UpperBound(freq_pos) < best_score_) {
+    ++stats_.naive_prunes;
+    return own_score;
+  }
+  if (config_.stop_at_top_k_ties &&
+      static_cast<int>(top_.size()) >= config_.top_k &&
+      score_.UpperBound(freq_pos) <= top_.back().score) {
+    ++stats_.naive_prunes;
+    return own_score;
+  }
+  if (freq_pos < config_.min_pos_freq) {
+    return own_score;
+  }
+
+  ResidualSet pos_res = BuildResidual(pos_table, pos_graphs_);
+  ResidualSet neg_res = BuildResidual(neg_table, neg_graphs_);
+
+  double inherited = 0.0;
+  if (config_.use_subgraph_pruning &&
+      TrySubgraphPrune(pattern, pos_res, &inherited)) {
+    ++stats_.subgraph_prune_triggers;
+    RegisteredPattern entry;
+    entry.pattern = pattern;
+    entry.pos_i_value = pos_res.i_value();
+    entry.neg_i_value = neg_res.i_value();
+    entry.node_count = static_cast<std::int32_t>(pattern.node_count());
+    entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
+    entry.branch_best = inherited;  // bound from the mirrored branch
+    entry.pos_cuts = pos_res.cuts();
+    entry.neg_cuts = neg_res.cuts();
+    registry_.Add(std::move(entry));
+    return std::max(own_score, inherited);
+  }
+  if (config_.use_supergraph_pruning &&
+      TrySupergraphPrune(pattern, pos_res, neg_res, &inherited)) {
+    ++stats_.supergraph_prune_triggers;
+    RegisteredPattern entry;
+    entry.pattern = pattern;
+    entry.pos_i_value = pos_res.i_value();
+    entry.neg_i_value = neg_res.i_value();
+    entry.node_count = static_cast<std::int32_t>(pattern.node_count());
+    entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
+    entry.branch_best = inherited;
+    entry.pos_cuts = pos_res.cuts();
+    entry.neg_cuts = neg_res.cuts();
+    registry_.Add(std::move(entry));
+    return std::max(own_score, inherited);
+  }
+
+  ++stats_.patterns_expanded;
+  std::map<ExtensionKey, ChildBuckets> extensions;
+  CollectExtensions(pos_table, pos_graphs_, /*positive_side=*/true,
+                    extensions);
+  CollectExtensions(neg_table, neg_graphs_, /*positive_side=*/false,
+                    extensions);
+  // Release the parent's tables before recursing.
+  pos_table.clear();
+  pos_table.shrink_to_fit();
+  neg_table.clear();
+  neg_table.shrink_to_fit();
+
+  struct ChildWork {
+    ExtensionKey key;
+    ChildBuckets buckets;
+    double score = 0.0;
+  };
+  std::vector<ChildWork> children;
+  children.reserve(extensions.size());
+  for (auto& [key, buckets] : extensions) {
+    ChildWork work;
+    work.key = key;
+    double cfp = static_cast<double>(buckets.pos.size()) /
+                 static_cast<double>(pos_graphs_.size());
+    double cfn = static_cast<double>(buckets.neg.size()) /
+                 static_cast<double>(neg_graphs_.size());
+    work.score = score_(cfp, cfn);
+    work.buckets = std::move(buckets);
+    children.push_back(std::move(work));
+  }
+  extensions.clear();
+  if (config_.order_children_by_score) {
+    std::stable_sort(children.begin(), children.end(),
+                     [](const ChildWork& a, const ChildWork& b) {
+                       return a.score > b.score;
+                     });
+  }
+
+  double branch_best = own_score;
+  for (ChildWork& child : children) {
+    Pattern grown = Grow(pattern, child.key);
+    DedupeAndCap(child.buckets.pos);
+    DedupeAndCap(child.buckets.neg);
+    double sub = Dfs(grown, std::move(child.buckets.pos),
+                     std::move(child.buckets.neg));
+    branch_best = std::max(branch_best, sub);
+    if (BudgetExhausted()) break;
+  }
+
+  RegisteredPattern entry;
+  entry.pattern = pattern;
+  entry.pos_i_value = pos_res.i_value();
+  entry.neg_i_value = neg_res.i_value();
+  entry.node_count = static_cast<std::int32_t>(pattern.node_count());
+  entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
+  entry.branch_best = branch_best;
+  entry.pos_cuts = pos_res.cuts();
+  entry.neg_cuts = neg_res.cuts();
+  registry_.Add(std::move(entry));
+  return branch_best;
+}
+
+bool Miner::BudgetExhausted() {
+  if (config_.max_visited > 0 &&
+      stats_.patterns_visited >= config_.max_visited) {
+    return true;
+  }
+  if (config_.max_millis > 0) {
+    // Amortize the clock read: check every 64 visited patterns.
+    if ((stats_.patterns_visited & 63) == 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+      if (elapsed >= config_.max_millis) {
+        stats_.timed_out = true;
+      }
+    }
+    if (stats_.timed_out) return true;
+  }
+  return false;
+}
+
+MineResult Miner::Mine() {
+  start_time_ = std::chrono::steady_clock::now();
+  auto start = start_time_;
+
+  // Root level: bucket every data edge into a one-edge pattern. Both
+  // endpoints are new, so the extension-key machinery is special-cased.
+  using RootKey = std::tuple<LabelId, LabelId, LabelId>;
+  std::map<RootKey, ChildBuckets> roots;
+  auto scan_side = [&](const std::vector<const TemporalGraph*>& graphs,
+                       bool positive) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const TemporalGraph& g = *graphs[gi];
+      const auto& edges = g.edges();
+      for (std::size_t p = 0; p < edges.size(); ++p) {
+        const TemporalEdge& e = edges[p];
+        TGM_CHECK(e.src != e.dst);  // self-loops unsupported by the miner
+        RootKey key{g.label(e.src), g.label(e.dst), e.elabel};
+        ChildBuckets& bucket = roots[key];
+        EmbeddingTable& side = positive ? bucket.pos : bucket.neg;
+        if (side.empty() ||
+            side.back().graph != static_cast<std::int32_t>(gi)) {
+          side.push_back(GraphEmbeddings{static_cast<std::int32_t>(gi), {}});
+        }
+        Embedding emb;
+        emb.nodes = {e.src, e.dst};
+        emb.last = static_cast<EdgePos>(p);
+        side.back().embeds.push_back(std::move(emb));
+      }
+    }
+  };
+  scan_side(pos_graphs_, true);
+  scan_side(neg_graphs_, false);
+
+  struct RootWork {
+    RootKey key;
+    ChildBuckets buckets;
+    double score = 0.0;
+  };
+  std::vector<RootWork> work;
+  work.reserve(roots.size());
+  for (auto& [key, buckets] : roots) {
+    RootWork w;
+    w.key = key;
+    double fp = static_cast<double>(buckets.pos.size()) /
+                static_cast<double>(pos_graphs_.size());
+    double fn = static_cast<double>(buckets.neg.size()) /
+                static_cast<double>(neg_graphs_.size());
+    w.score = score_(fp, fn);
+    w.buckets = std::move(buckets);
+    work.push_back(std::move(w));
+  }
+  roots.clear();
+  if (config_.order_children_by_score) {
+    std::stable_sort(work.begin(), work.end(),
+                     [](const RootWork& a, const RootWork& b) {
+                       return a.score > b.score;
+                     });
+  }
+
+  for (RootWork& w : work) {
+    Pattern root = Pattern::SingleEdge(std::get<0>(w.key), std::get<1>(w.key),
+                                       std::get<2>(w.key));
+    DedupeAndCap(w.buckets.pos);
+    DedupeAndCap(w.buckets.neg);
+    Dfs(root, std::move(w.buckets.pos), std::move(w.buckets.neg));
+    if (BudgetExhausted()) break;
+  }
+
+  MineResult result;
+  result.top = top_;
+  result.best_score = best_score_;
+  stats_.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace tgm

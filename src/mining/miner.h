@@ -1,0 +1,141 @@
+#ifndef TGM_MINING_MINER_H_
+#define TGM_MINING_MINER_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "matching/matcher.h"
+#include "mining/miner_config.h"
+#include "mining/registry.h"
+#include "mining/result.h"
+#include "temporal/pattern.h"
+#include "temporal/residual.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// One match of the current pattern inside a data graph, reduced to what
+/// growth needs: the node map and the position of the last matched edge.
+/// Matches that agree on both behave identically for every future growth
+/// step and for residual computation, so they are deduplicated.
+struct Embedding {
+  std::vector<NodeId> nodes;  // pattern node -> data node
+  EdgePos last = -1;          // position of the matched max-timestamp edge
+
+  friend bool operator==(const Embedding&, const Embedding&) = default;
+  friend auto operator<=>(const Embedding& a, const Embedding& b) {
+    if (auto cmp = a.nodes <=> b.nodes; cmp != 0) return cmp;
+    return a.last <=> b.last;
+  }
+};
+
+/// All embeddings of the current pattern in one data graph.
+struct GraphEmbeddings {
+  std::int32_t graph = 0;  // index into the side's graph vector
+  std::vector<Embedding> embeds;
+};
+
+/// Embeddings across one side (positive or negative); only graphs with at
+/// least one embedding appear, in ascending graph order, so the entry count
+/// is the pattern's support on that side.
+using EmbeddingTable = std::vector<GraphEmbeddings>;
+
+/// The discriminative temporal graph pattern miner (TGMiner and its five
+/// ablation baselines, selected via MinerConfig).
+///
+/// Search: depth-first consecutive growth (Section 3) — every child pattern
+/// appends one edge with timestamp |E|+1, grown forward / backward / inward
+/// from the parent, so the pattern space is a tree (Theorem 1: complete, no
+/// repetition) and no canonical labeling is ever needed.
+///
+/// Growth is driven by embedding lists: for each data graph the miner keeps
+/// every (node map, last position) match of the current pattern; child
+/// candidates are exactly the data edges at later positions touching the
+/// mapped nodes, bucketed by extension key.
+///
+/// Pruning: the naive score upper bound (Section 4.1) plus subgraph pruning
+/// (Lemma 4) and supergraph pruning (Proposition 2) against the registry of
+/// already-explored patterns, with residual-set equivalence via I-values
+/// (Lemma 6) or linear scans, and temporal subgraph tests via the
+/// configured matcher.
+class Miner {
+ public:
+  /// The graph pointers must outlive the miner. Graphs must be finalized
+  /// and free of self-loops.
+  Miner(const MinerConfig& config,
+        std::vector<const TemporalGraph*> positives,
+        std::vector<const TemporalGraph*> negatives);
+
+  /// Convenience constructor over owned graph vectors.
+  Miner(const MinerConfig& config, const std::vector<TemporalGraph>& positives,
+        const std::vector<TemporalGraph>& negatives);
+
+  /// Runs the search and returns the retained top patterns plus stats.
+  MineResult Mine();
+
+ private:
+  struct ExtensionKey {
+    NodeId src = kNewNode;  // existing pattern node id, or kNewNode
+    NodeId dst = kNewNode;
+    LabelId src_label = kInvalidLabel;  // used when src == kNewNode
+    LabelId dst_label = kInvalidLabel;  // used when dst == kNewNode
+    LabelId elabel = kNoEdgeLabel;
+
+    friend bool operator==(const ExtensionKey&,
+                           const ExtensionKey&) = default;
+    friend auto operator<=>(const ExtensionKey&,
+                            const ExtensionKey&) = default;
+  };
+  struct ChildBuckets {
+    EmbeddingTable pos;
+    EmbeddingTable neg;
+  };
+
+  /// Returns the best score seen in the subtree rooted at `pattern`.
+  double Dfs(const Pattern& pattern, EmbeddingTable pos_table,
+             EmbeddingTable neg_table);
+
+  /// True if a visit/time budget has been exhausted (sets stats flags).
+  bool BudgetExhausted();
+
+  void CollectExtensions(const EmbeddingTable& table,
+                         const std::vector<const TemporalGraph*>& graphs,
+                         bool positive_side,
+                         std::map<ExtensionKey, ChildBuckets>& out) const;
+
+  ResidualSet BuildResidual(const EmbeddingTable& table,
+                            const std::vector<const TemporalGraph*>& graphs)
+      const;
+
+  Pattern Grow(const Pattern& parent, const ExtensionKey& key) const;
+
+  bool TrySubgraphPrune(const Pattern& pattern, const ResidualSet& pos_res,
+                        double* inherited_bound);
+  bool TrySupergraphPrune(const Pattern& pattern, const ResidualSet& pos_res,
+                          const ResidualSet& neg_res,
+                          double* inherited_bound);
+
+  void UpdateTop(const Pattern& pattern, double freq_pos, double freq_neg,
+                 double score, std::int64_t support_pos,
+                 std::int64_t support_neg);
+
+  void DedupeAndCap(EmbeddingTable& table);
+
+  MinerConfig config_;
+  std::vector<const TemporalGraph*> pos_graphs_;
+  std::vector<const TemporalGraph*> neg_graphs_;
+
+  DiscriminativeScore score_;
+  std::unique_ptr<TemporalSubgraphTester> tester_;
+  PatternRegistry registry_;
+  MinerStats stats_;
+  std::vector<MinedPattern> top_;
+  double best_score_;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_MINER_H_

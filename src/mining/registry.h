@@ -1,0 +1,68 @@
+#ifndef TGM_MINING_REGISTRY_H_
+#define TGM_MINING_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mining/miner_config.h"
+#include "temporal/pattern.h"
+#include "temporal/residual.h"
+
+namespace tgm {
+
+/// A fully explored (or pruned-with-inherited-bound) pattern recorded for
+/// later pruning-opportunity discovery.
+struct RegisteredPattern {
+  Pattern pattern;
+  std::int64_t pos_i_value = 0;
+  std::int64_t neg_i_value = 0;
+  std::int32_t node_count = 0;
+  std::int32_t edge_count = 0;
+  /// Upper bound on the discriminative score of every pattern in this
+  /// pattern's branch (exact maximum for fully explored branches).
+  double branch_best = 0.0;
+  /// Materialized residual cut lists — stored only under
+  /// ResidualEquivAlgo::kLinearScan, where the equivalence test is a
+  /// linear scan over these vectors (the LinearScan ablation).
+  std::vector<std::pair<std::int32_t, EdgePos>> pos_cuts;
+  std::vector<std::pair<std::int32_t, EdgePos>> neg_cuts;
+};
+
+/// Store of discovered patterns.
+///
+/// Under kIValue, entries are bucketed by the positive residual I-value so
+/// pruning candidates are found by one hash lookup and each candidate's
+/// residual-set equivalence check is a constant-time integer comparison
+/// (Lemma 6). Under kLinearScan every lookup walks all entries and each
+/// equivalence check compares the materialized cut lists element-wise.
+class PatternRegistry {
+ public:
+  explicit PatternRegistry(ResidualEquivAlgo algo) : algo_(algo) {}
+
+  void Add(RegisteredPattern entry);
+
+  /// Invokes `fn(entry)` for every candidate whose positive residual set
+  /// *may* equal one with I-value `pos_i_value`; `fn` returns false to stop
+  /// early. `equiv_tests` is incremented once per candidate comparison.
+  void ForEachPosCandidate(
+      std::int64_t pos_i_value,
+      const std::vector<std::pair<std::int32_t, EdgePos>>& pos_cuts,
+      std::int64_t* equiv_tests,
+      const std::function<bool(const RegisteredPattern&)>& fn) const;
+
+  std::size_t size() const { return entries_.size(); }
+  ResidualEquivAlgo algo() const { return algo_; }
+
+ private:
+  ResidualEquivAlgo algo_;
+  std::deque<RegisteredPattern> entries_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> by_pos_i_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_REGISTRY_H_

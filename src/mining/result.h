@@ -1,0 +1,61 @@
+#ifndef TGM_MINING_RESULT_H_
+#define TGM_MINING_RESULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "temporal/pattern.h"
+
+namespace tgm {
+
+/// A mined pattern together with its statistics.
+struct MinedPattern {
+  Pattern pattern;
+  double freq_pos = 0.0;
+  double freq_neg = 0.0;
+  double score = -std::numeric_limits<double>::infinity();
+  std::int64_t support_pos = 0;  // #positive graphs containing the pattern
+  std::int64_t support_neg = 0;
+};
+
+/// Counters gathered during mining. `patterns_visited` is the denominator
+/// of Table 3's empirical trigger probabilities.
+struct MinerStats {
+  std::int64_t patterns_visited = 0;
+  std::int64_t patterns_expanded = 0;
+  std::int64_t naive_prunes = 0;
+  std::int64_t subgraph_prune_triggers = 0;
+  std::int64_t supergraph_prune_triggers = 0;
+  std::int64_t subgraph_tests = 0;
+  std::int64_t residual_equiv_tests = 0;
+  std::int64_t embedding_cap_hits = 0;
+  double elapsed_seconds = 0.0;
+  /// True if the run hit MinerConfig::max_millis before completing.
+  bool timed_out = false;
+
+  double SubgraphTriggerRate() const {
+    return patterns_visited == 0
+               ? 0.0
+               : static_cast<double>(subgraph_prune_triggers) /
+                     static_cast<double>(patterns_visited);
+  }
+  double SupergraphTriggerRate() const {
+    return patterns_visited == 0
+               ? 0.0
+               : static_cast<double>(supergraph_prune_triggers) /
+                     static_cast<double>(patterns_visited);
+  }
+};
+
+/// Result of a mining run: the retained top patterns sorted by descending
+/// score (ties in discovery order) and the statistics.
+struct MineResult {
+  std::vector<MinedPattern> top;
+  double best_score = -std::numeric_limits<double>::infinity();
+  MinerStats stats;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_RESULT_H_

@@ -1,0 +1,95 @@
+#include "mining/score.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "temporal/common.h"
+
+namespace tgm {
+
+DiscriminativeScore::DiscriminativeScore(ScoreKind kind, std::int64_t num_pos,
+                                         std::int64_t num_neg, double epsilon)
+    : kind_(kind), num_pos_(num_pos), num_neg_(num_neg), epsilon_(epsilon) {
+  TGM_CHECK(num_pos_ > 0);
+  TGM_CHECK(num_neg_ > 0);
+  TGM_CHECK(epsilon_ > 0.0);
+}
+
+double DiscriminativeScore::operator()(double x, double y) const {
+  TGM_DCHECK(x >= 0.0 && x <= 1.0 + 1e-12);
+  TGM_DCHECK(y >= 0.0 && y <= 1.0 + 1e-12);
+  switch (kind_) {
+    case ScoreKind::kLogRatio:
+      return LogRatio(x, y);
+    case ScoreKind::kGTest:
+      return GTest(x, y);
+    case ScoreKind::kInfoGain:
+      return InfoGain(x, y);
+  }
+  TGM_CHECK(false);
+}
+
+double DiscriminativeScore::LogRatio(double x, double y) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(x / (y + epsilon_));
+}
+
+namespace {
+
+double XLogXOverY(double x, double y) {
+  if (x <= 0.0) return 0.0;
+  return x * std::log(x / y);
+}
+
+double Entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace
+
+double DiscriminativeScore::GTest(double x, double y) const {
+  // Two-sided G statistic comparing the positive-class rate x against the
+  // negative-class rate y, signed so that patterns over-represented in the
+  // positive class score high. Clamping keeps logs finite at y in {0, 1}.
+  double yc = std::clamp(y, epsilon_, 1.0 - epsilon_);
+  double g = 2.0 * static_cast<double>(num_pos_) *
+             (XLogXOverY(x, yc) + XLogXOverY(1.0 - x, 1.0 - yc));
+  return (x >= y) ? g : -g;
+}
+
+double DiscriminativeScore::InfoGain(double x, double y) const {
+  double np = static_cast<double>(num_pos_);
+  double nn = static_cast<double>(num_neg_);
+  double total = np + nn;
+  double prior = np / total;
+  double p_feature = (x * np + y * nn) / total;
+  if (p_feature <= 0.0) return 0.0;
+  double gain = Entropy(prior);
+  if (p_feature > 0.0) {
+    double pos_given_f = (x * np) / (p_feature * total);
+    gain -= p_feature * Entropy(pos_given_f);
+  }
+  if (p_feature < 1.0) {
+    double pos_given_not_f = ((1.0 - x) * np) / ((1.0 - p_feature) * total);
+    gain -= (1.0 - p_feature) * Entropy(pos_given_not_f);
+  }
+  // Sign the gain so patterns more frequent in the positive class rank
+  // first (information gain itself is class-symmetric).
+  return (x >= y) ? gain : -gain;
+}
+
+std::string DiscriminativeScore::KindName(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kLogRatio:
+      return "log-ratio";
+    case ScoreKind::kGTest:
+      return "G-test";
+    case ScoreKind::kInfoGain:
+      return "information-gain";
+  }
+  return "unknown";
+}
+
+}  // namespace tgm

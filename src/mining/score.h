@@ -1,0 +1,57 @@
+#ifndef TGM_MINING_SCORE_H_
+#define TGM_MINING_SCORE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tgm {
+
+/// Discriminative score functions F(x, y) over positive frequency x and
+/// negative frequency y (Problem 1). All satisfy the paper's partial
+/// (anti-)monotonicity on the region of interest: for fixed x, smaller y
+/// gives a larger score; for fixed y, larger x gives a larger score.
+enum class ScoreKind {
+  /// F(x, y) = log(x / (y + eps)) — the function adopted from GAIA [11]
+  /// that the paper uses with eps = 1e-6.
+  kLogRatio,
+  /// Signed two-class G-test statistic (leap search [30]).
+  kGTest,
+  /// Information gain of the pattern-presence feature w.r.t. the class.
+  kInfoGain,
+};
+
+/// Evaluates a discriminative score and its anti-monotone upper bound.
+///
+/// The bound (Section 4.1) is F(x, 0): any supergraph g' of g satisfies
+/// freq(Gp, g') <= freq(Gp, g) = x and freq(Gn, g') >= 0, hence
+/// F(g') <= F(x, 0).
+class DiscriminativeScore {
+ public:
+  /// `num_pos` / `num_neg` are |Gp| and |Gn| (used by G-test and info gain
+  /// to weight the classes).
+  DiscriminativeScore(ScoreKind kind, std::int64_t num_pos,
+                      std::int64_t num_neg, double epsilon = 1e-6);
+
+  /// F(x, y); x, y in [0, 1].
+  double operator()(double x, double y) const;
+
+  /// F(x, 0) — the largest score any supergraph can reach.
+  double UpperBound(double x) const { return (*this)(x, 0.0); }
+
+  ScoreKind kind() const { return kind_; }
+  static std::string KindName(ScoreKind kind);
+
+ private:
+  double LogRatio(double x, double y) const;
+  double GTest(double x, double y) const;
+  double InfoGain(double x, double y) const;
+
+  ScoreKind kind_;
+  std::int64_t num_pos_;
+  std::int64_t num_neg_;
+  double epsilon_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_SCORE_H_

@@ -1,0 +1,256 @@
+#include "nontemporal/dfs_code.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace tgm {
+
+bool DfsCodeEntry::operator<(const DfsCodeEntry& other) const {
+  bool f1 = IsForward();
+  bool f2 = other.IsForward();
+  if (f1 && f2) {
+    if (to != other.to) return to < other.to;
+    if (from != other.from) return from > other.from;
+  } else if (!f1 && !f2) {
+    if (from != other.from) return from < other.from;
+    if (to != other.to) return to < other.to;
+  } else if (!f1 && f2) {
+    // backward vs forward: backward first iff its source precedes the
+    // forward edge's new node.
+    if (from != other.to) return from < other.to;
+    return true;  // from == other.to: backward closes earlier, so smaller
+  } else {
+    // forward vs backward: forward first iff j1 <= i2... i.e. strictly
+    // smaller-or-equal destination.
+    if (to != other.from) return to < other.from;
+    return false;
+  }
+  // Same structural position: label tiebreak.
+  auto key = [](const DfsCodeEntry& e) {
+    return std::make_tuple(e.from_label, !e.along, e.elabel, e.to_label);
+  };
+  return key(*this) < key(other);
+}
+
+bool DfsCodeLess(const DfsCode& a, const DfsCode& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const DfsCodeEntry& x, const DfsCodeEntry& y) { return x < y; });
+}
+
+StaticGraph GraphFromCode(const DfsCode& code) {
+  StaticGraph g;
+  std::int32_t max_id = -1;
+  for (const DfsCodeEntry& e : code) {
+    max_id = std::max({max_id, e.from, e.to});
+  }
+  std::vector<LabelId> labels(static_cast<std::size_t>(max_id + 1),
+                              kInvalidLabel);
+  for (const DfsCodeEntry& e : code) {
+    labels[static_cast<std::size_t>(e.from)] = e.from_label;
+    labels[static_cast<std::size_t>(e.to)] = e.to_label;
+  }
+  for (LabelId l : labels) {
+    TGM_CHECK(l != kInvalidLabel);
+    g.AddNode(l);
+  }
+  for (const DfsCodeEntry& e : code) {
+    if (e.along) {
+      g.AddEdge(e.from, e.to, e.elabel);
+    } else {
+      g.AddEdge(e.to, e.from, e.elabel);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+std::vector<std::int32_t> RightmostPath(const DfsCode& code) {
+  std::vector<std::int32_t> path;
+  if (code.empty()) return path;
+  // parent[] over the DFS tree defined by the forward entries.
+  std::int32_t max_id = 0;
+  for (const DfsCodeEntry& e : code) {
+    max_id = std::max({max_id, e.from, e.to});
+  }
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(max_id + 1), -1);
+  for (const DfsCodeEntry& e : code) {
+    if (e.IsForward()) parent[static_cast<std::size_t>(e.to)] = e.from;
+  }
+  for (std::int32_t v = max_id; v != -1;
+       v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  TGM_DCHECK(path.front() == 0);
+  return path;
+}
+
+namespace {
+
+// Self-embedding used while constructing the minimal code: discovery id ->
+// graph node (injective).
+struct SelfEmbedding {
+  std::vector<NodeId> nodes;
+  std::vector<bool> used;
+};
+
+// Directed pattern edge (by discovery ids) an entry represents.
+struct PatternDirEdge {
+  std::int32_t src;
+  std::int32_t dst;
+  LabelId elabel;
+  friend bool operator==(const PatternDirEdge&,
+                         const PatternDirEdge&) = default;
+};
+
+PatternDirEdge DirEdgeOf(const DfsCodeEntry& e) {
+  return e.along ? PatternDirEdge{e.from, e.to, e.elabel}
+                 : PatternDirEdge{e.to, e.from, e.elabel};
+}
+
+bool CodeContainsDirEdge(const DfsCode& code, const PatternDirEdge& de) {
+  for (const DfsCodeEntry& e : code) {
+    if (DirEdgeOf(e) == de) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DfsCode MinimalDfsCode(const StaticGraph& g) {
+  TGM_CHECK(g.edge_count() >= 1);
+  DfsCode code;
+  std::vector<SelfEmbedding> embeddings;
+
+  // Initial entry: minimal over every edge mapped in both orientations.
+  {
+    DfsCodeEntry best;
+    bool have = false;
+    std::vector<std::pair<DfsCodeEntry, SelfEmbedding>> candidates;
+    for (const StaticEdge& e : g.edges()) {
+      DfsCodeEntry fwd{0, 1, g.label(e.src), g.label(e.dst), e.elabel, true};
+      DfsCodeEntry rev{0, 1, g.label(e.dst), g.label(e.src), e.elabel, false};
+      for (const DfsCodeEntry& entry : {fwd, rev}) {
+        SelfEmbedding emb;
+        emb.nodes = entry.along ? std::vector<NodeId>{e.src, e.dst}
+                                : std::vector<NodeId>{e.dst, e.src};
+        emb.used.assign(g.node_count(), false);
+        emb.used[static_cast<std::size_t>(e.src)] = true;
+        emb.used[static_cast<std::size_t>(e.dst)] = true;
+        candidates.emplace_back(entry, std::move(emb));
+        if (!have || entry < best) {
+          best = entry;
+          have = true;
+        }
+      }
+    }
+    code.push_back(best);
+    for (auto& [entry, emb] : candidates) {
+      if (entry == best) embeddings.push_back(std::move(emb));
+    }
+  }
+
+  while (code.size() < g.edge_count()) {
+    std::vector<std::int32_t> path = RightmostPath(code);
+    std::int32_t rightmost = path.back();
+    std::int32_t next_id = rightmost + 1;
+
+    DfsCodeEntry best;
+    bool have = false;
+    // (entry, source embedding index, new graph node or kInvalidNode)
+    std::vector<std::tuple<DfsCodeEntry, std::size_t, NodeId>> candidates;
+
+    auto offer = [&](const DfsCodeEntry& entry, std::size_t emb_idx,
+                     NodeId new_node) {
+      candidates.emplace_back(entry, emb_idx, new_node);
+      if (!have || entry < best) {
+        best = entry;
+        have = true;
+      }
+    };
+
+    for (std::size_t mi = 0; mi < embeddings.size(); ++mi) {
+      const SelfEmbedding& emb = embeddings[mi];
+      NodeId fr = emb.nodes[static_cast<std::size_t>(rightmost)];
+      // Backward extensions: rightmost vertex to earlier rightmost-path
+      // nodes, both directions, skipping already-present pattern edges.
+      for (std::int32_t v : path) {
+        if (v == rightmost) continue;
+        NodeId fv = emb.nodes[static_cast<std::size_t>(v)];
+        for (std::int32_t ei : g.out_edges(fr)) {
+          const StaticEdge& de = g.edge(static_cast<std::size_t>(ei));
+          if (de.dst != fv) continue;
+          DfsCodeEntry entry{rightmost, v, g.label(fr), g.label(fv),
+                             de.elabel, true};
+          if (CodeContainsDirEdge(code, DirEdgeOf(entry))) continue;
+          offer(entry, mi, kInvalidNode);
+        }
+        for (std::int32_t ei : g.in_edges(fr)) {
+          const StaticEdge& de = g.edge(static_cast<std::size_t>(ei));
+          if (de.src != fv) continue;
+          DfsCodeEntry entry{rightmost, v, g.label(fr), g.label(fv),
+                             de.elabel, false};
+          if (CodeContainsDirEdge(code, DirEdgeOf(entry))) continue;
+          offer(entry, mi, kInvalidNode);
+        }
+      }
+      // Forward extensions: from any rightmost-path node to a new node.
+      for (std::int32_t u : path) {
+        NodeId fu = emb.nodes[static_cast<std::size_t>(u)];
+        for (std::int32_t ei : g.out_edges(fu)) {
+          const StaticEdge& de = g.edge(static_cast<std::size_t>(ei));
+          if (emb.used[static_cast<std::size_t>(de.dst)]) continue;
+          offer(DfsCodeEntry{u, next_id, g.label(fu), g.label(de.dst),
+                             de.elabel, true},
+                mi, de.dst);
+        }
+        for (std::int32_t ei : g.in_edges(fu)) {
+          const StaticEdge& de = g.edge(static_cast<std::size_t>(ei));
+          if (emb.used[static_cast<std::size_t>(de.src)]) continue;
+          offer(DfsCodeEntry{u, next_id, g.label(fu), g.label(de.src),
+                             de.elabel, false},
+                mi, de.src);
+        }
+      }
+    }
+
+    TGM_CHECK(have);  // connected graph always extends
+    std::vector<SelfEmbedding> next_embeddings;
+    for (const auto& [entry, emb_idx, new_node] : candidates) {
+      if (!(entry == best)) continue;
+      SelfEmbedding extended = embeddings[emb_idx];
+      if (new_node != kInvalidNode) {
+        extended.nodes.push_back(new_node);
+        extended.used[static_cast<std::size_t>(new_node)] = true;
+      }
+      next_embeddings.push_back(std::move(extended));
+    }
+    code.push_back(best);
+    embeddings = std::move(next_embeddings);
+  }
+  return code;
+}
+
+bool IsMinimalCode(const DfsCode& code) {
+  if (code.empty()) return true;
+  StaticGraph g = GraphFromCode(code);
+  DfsCode minimal = MinimalDfsCode(g);
+  return minimal == code;
+}
+
+std::string CodeToString(const DfsCode& code) {
+  std::ostringstream os;
+  os << "DfsCode[";
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const DfsCodeEntry& e = code[i];
+    if (i > 0) os << " ";
+    os << "(" << e.from << (e.along ? ">" : "<") << e.to << ":" << e.from_label
+       << "," << e.elabel << "," << e.to_label << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace tgm

@@ -1,0 +1,68 @@
+#ifndef TGM_NONTEMPORAL_DFS_CODE_H_
+#define TGM_NONTEMPORAL_DFS_CODE_H_
+
+#include <string>
+#include <vector>
+
+#include "nontemporal/static_graph.h"
+#include "temporal/common.h"
+
+namespace tgm {
+
+/// One entry of a directed DFS code (gSpan [31] extended to directed,
+/// edge-labeled graphs).
+///
+/// `from` / `to` are DFS discovery ids. A forward entry has
+/// `to == max_id + 1` (discovers a new node); a backward entry has
+/// `to < from` (closes a cycle to a node on the rightmost path). `along`
+/// records the direction of the underlying edge: true means the edge runs
+/// from `from` to `to`, false means it runs `to` -> `from`.
+struct DfsCodeEntry {
+  std::int32_t from = 0;
+  std::int32_t to = 0;
+  LabelId from_label = kInvalidLabel;
+  LabelId to_label = kInvalidLabel;
+  LabelId elabel = kNoEdgeLabel;
+  bool along = true;
+
+  bool IsForward() const { return to > from; }
+
+  friend bool operator==(const DfsCodeEntry&, const DfsCodeEntry&) = default;
+
+  /// gSpan's neighbourhood-restricted total order on same-position
+  /// extension entries plus the label tiebreak; used when choosing the
+  /// minimal extension. Structural order follows the classic rules:
+  ///   both forward:  smaller `to` first, then larger `from` first;
+  ///   both backward: smaller `from` first, then smaller `to` first;
+  ///   backward (i1,j1) precedes forward (i2,j2) iff i1 < j2;
+  ///   forward  (i1,j1) precedes backward (i2,j2) iff j1 <= i2.
+  bool operator<(const DfsCodeEntry& other) const;
+};
+
+/// A DFS code — sequence of entries in discovery order.
+using DfsCode = std::vector<DfsCodeEntry>;
+
+/// Lexicographic comparison of codes under DfsCodeEntry::operator<.
+bool DfsCodeLess(const DfsCode& a, const DfsCode& b);
+
+/// Reconstructs the pattern graph a code describes.
+StaticGraph GraphFromCode(const DfsCode& code);
+
+/// Discovery ids on the rightmost path of `code`, root first. The
+/// rightmost path is the path from id 0 to the highest id following the
+/// forward (tree) entries.
+std::vector<std::int32_t> RightmostPath(const DfsCode& code);
+
+/// Computes the minimal DFS code of `g` (the canonical form). `g` must be
+/// connected and simple.
+DfsCode MinimalDfsCode(const StaticGraph& g);
+
+/// True iff `code` is its own graph's minimal code. Mining only expands
+/// minimal codes, which deduplicates the search space exactly as in gSpan.
+bool IsMinimalCode(const DfsCode& code);
+
+std::string CodeToString(const DfsCode& code);
+
+}  // namespace tgm
+
+#endif  // TGM_NONTEMPORAL_DFS_CODE_H_

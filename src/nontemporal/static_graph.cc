@@ -1,0 +1,94 @@
+#include "nontemporal/static_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tgm {
+
+NodeId StaticGraph::AddNode(LabelId label) {
+  TGM_CHECK(!finalized_);
+  node_labels_.push_back(label);
+  return static_cast<NodeId>(node_labels_.size() - 1);
+}
+
+void StaticGraph::AddEdge(NodeId src, NodeId dst, LabelId elabel) {
+  TGM_CHECK(!finalized_);
+  TGM_CHECK(src >= 0 && static_cast<std::size_t>(src) < node_labels_.size());
+  TGM_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < node_labels_.size());
+  StaticEdge e{src, dst, elabel};
+  if (std::find(edges_.begin(), edges_.end(), e) == edges_.end()) {
+    edges_.push_back(e);
+  }
+}
+
+void StaticGraph::Finalize() {
+  TGM_CHECK(!finalized_);
+  finalized_ = true;
+  out_edges_.assign(node_labels_.size(), {});
+  in_edges_.assign(node_labels_.size(), {});
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    out_edges_[static_cast<std::size_t>(edges_[i].src)].push_back(
+        static_cast<std::int32_t>(i));
+    in_edges_[static_cast<std::size_t>(edges_[i].dst)].push_back(
+        static_cast<std::int32_t>(i));
+  }
+}
+
+StaticGraph StaticGraph::Collapse(const TemporalGraph& g) {
+  StaticGraph s;
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    s.AddNode(g.label(static_cast<NodeId>(v)));
+  }
+  // Dedupe via a sorted copy to avoid the quadratic AddEdge scan on big
+  // graphs.
+  std::vector<StaticEdge> collected;
+  collected.reserve(g.edge_count());
+  for (const TemporalEdge& e : g.edges()) {
+    collected.push_back(StaticEdge{e.src, e.dst, e.elabel});
+  }
+  std::sort(collected.begin(), collected.end(),
+            [](const StaticEdge& a, const StaticEdge& b) {
+              return std::tie(a.src, a.dst, a.elabel) <
+                     std::tie(b.src, b.dst, b.elabel);
+            });
+  collected.erase(std::unique(collected.begin(), collected.end()),
+                  collected.end());
+  s.edges_ = std::move(collected);
+  s.Finalize();
+  return s;
+}
+
+const std::vector<std::int32_t>& StaticGraph::out_edges(NodeId v) const {
+  TGM_CHECK(finalized_);
+  return out_edges_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<std::int32_t>& StaticGraph::in_edges(NodeId v) const {
+  TGM_CHECK(finalized_);
+  return in_edges_[static_cast<std::size_t>(v)];
+}
+
+bool StaticGraph::HasEdge(NodeId src, NodeId dst, LabelId elabel) const {
+  TGM_CHECK(finalized_);
+  for (std::int32_t i : out_edges_[static_cast<std::size_t>(src)]) {
+    const StaticEdge& e = edges_[static_cast<std::size_t>(i)];
+    if (e.dst == dst && e.elabel == elabel) return true;
+  }
+  return false;
+}
+
+std::string StaticGraph::ToString() const {
+  std::ostringstream os;
+  os << "StaticGraph{" << node_count() << " nodes:";
+  for (std::size_t v = 0; v < node_labels_.size(); ++v) {
+    os << " L" << node_labels_[v];
+  }
+  os << ";";
+  for (const StaticEdge& e : edges_) {
+    os << " " << e.src << "->" << e.dst;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tgm

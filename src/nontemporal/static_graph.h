@@ -1,0 +1,68 @@
+#ifndef TGM_NONTEMPORAL_STATIC_GRAPH_H_
+#define TGM_NONTEMPORAL_STATIC_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// A directed edge of a non-temporal graph.
+struct StaticEdge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  LabelId elabel = kNoEdgeLabel;
+
+  friend bool operator==(const StaticEdge&, const StaticEdge&) = default;
+};
+
+/// A simple directed labeled graph — the non-temporal view used by the
+/// Ntemp baseline. Multi-edges are collapsed: the paper notes that
+/// canonical labeling on non-temporal graphs has difficulties with
+/// multi-edges, so the non-temporal baseline "collapse[s] multi-edges into
+/// a single edge" (Section 7.1), losing part of the signal.
+class StaticGraph {
+ public:
+  StaticGraph() = default;
+
+  NodeId AddNode(LabelId label);
+  /// Adds the edge unless an identical (src, dst, elabel) edge exists.
+  void AddEdge(NodeId src, NodeId dst, LabelId elabel = kNoEdgeLabel);
+  /// Builds adjacency indexes; call once after construction.
+  void Finalize();
+
+  /// Collapses a temporal graph: drops timestamps, dedupes parallel edges.
+  static StaticGraph Collapse(const TemporalGraph& g);
+
+  std::size_t node_count() const { return node_labels_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  LabelId label(NodeId v) const {
+    TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < node_labels_.size());
+    return node_labels_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<StaticEdge>& edges() const { return edges_; }
+  const StaticEdge& edge(std::size_t i) const { return edges_[i]; }
+
+  /// Edge indexes leaving / entering `v` (requires Finalize).
+  const std::vector<std::int32_t>& out_edges(NodeId v) const;
+  const std::vector<std::int32_t>& in_edges(NodeId v) const;
+
+  /// True if the directed edge (src, dst, elabel) exists.
+  bool HasEdge(NodeId src, NodeId dst, LabelId elabel) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<LabelId> node_labels_;
+  std::vector<StaticEdge> edges_;
+  std::vector<std::vector<std::int32_t>> out_edges_;
+  std::vector<std::vector<std::int32_t>> in_edges_;
+  bool finalized_ = false;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_NONTEMPORAL_STATIC_GRAPH_H_

@@ -1,0 +1,41 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+AccuracyResult EvaluateAccuracy(const std::vector<Interval>& matches,
+                                const std::vector<TruthInstance>& truth,
+                                BehaviorKind behavior) {
+  AccuracyResult result;
+  std::vector<TruthInstance> targets;
+  for (const TruthInstance& t : truth) {
+    if (t.behavior == behavior) targets.push_back(t);
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const TruthInstance& a, const TruthInstance& b) {
+              return a.t_begin < b.t_begin;
+            });
+  result.instances = static_cast<std::int64_t>(targets.size());
+  std::vector<bool> hit(targets.size(), false);
+
+  result.identified = static_cast<std::int64_t>(matches.size());
+  for (const Interval& m : matches) {
+    // Find candidate truth intervals with t_begin <= m.begin; the intervals
+    // are non-overlapping by construction, so checking the closest
+    // predecessor suffices.
+    auto it = std::upper_bound(
+        targets.begin(), targets.end(), m.begin,
+        [](Timestamp t, const TruthInstance& inst) { return t < inst.t_begin; });
+    if (it == targets.begin()) continue;
+    --it;
+    if (m.begin >= it->t_begin && m.end <= it->t_end) {
+      ++result.correct;
+      hit[static_cast<std::size_t>(it - targets.begin())] = true;
+    }
+  }
+  for (bool h : hit) result.discovered += h ? 1 : 0;
+  return result;
+}
+
+}  // namespace tgm

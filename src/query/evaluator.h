@@ -1,0 +1,44 @@
+#ifndef TGM_QUERY_EVALUATOR_H_
+#define TGM_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/searcher.h"
+#include "syslog/dataset.h"
+
+namespace tgm {
+
+/// Section 6.2 accuracy metrics. An identified instance (a match interval)
+/// is *correct* if it is fully contained in a ground-truth interval of the
+/// target behaviour; a behaviour instance is *discovered* if at least one
+/// correct identified instance lies inside it.
+///
+///   precision = #correct / #identified,  recall = #discovered / #instances.
+struct AccuracyResult {
+  std::int64_t identified = 0;
+  std::int64_t correct = 0;
+  std::int64_t discovered = 0;
+  std::int64_t instances = 0;
+
+  double precision() const {
+    return identified == 0 ? 0.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(identified);
+  }
+  double recall() const {
+    return instances == 0 ? 0.0
+                          : static_cast<double>(discovered) /
+                                static_cast<double>(instances);
+  }
+};
+
+/// Evaluates match intervals against the test log's ground truth for one
+/// behaviour.
+AccuracyResult EvaluateAccuracy(const std::vector<Interval>& matches,
+                                const std::vector<TruthInstance>& truth,
+                                BehaviorKind behavior);
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_EVALUATOR_H_

@@ -1,0 +1,65 @@
+#include "query/interest.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+bool InterestModel::IsBlacklisted(const std::string& name) {
+  auto starts_with = [&name](const char* prefix) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  return starts_with("file:/proc/") || starts_with("file:/tmp/") ||
+         starts_with("file:/dev/") || starts_with("file:/usr/lib/locale") ||
+         starts_with("file:/usr/share/zoneinfo") ||
+         starts_with("file:/etc/localtime") || starts_with("<none>");
+}
+
+InterestModel::InterestModel(
+    const std::vector<const std::vector<TemporalGraph>*>& graph_sets,
+    const LabelDict& dict) {
+  for (const std::vector<TemporalGraph>* set : graph_sets) {
+    for (const TemporalGraph& g : *set) {
+      for (LabelId l : g.DistinctNodeLabels()) {
+        ++label_graph_count_[l];
+      }
+    }
+  }
+  blacklisted_.assign(dict.size(), false);
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    blacklisted_[i] = IsBlacklisted(dict.Name(static_cast<LabelId>(i)));
+  }
+}
+
+double InterestModel::InterestOfLabel(LabelId l) const {
+  if (l >= 0 && static_cast<std::size_t>(l) < blacklisted_.size() &&
+      blacklisted_[static_cast<std::size_t>(l)]) {
+    return 0.0;
+  }
+  auto it = label_graph_count_.find(l);
+  if (it == label_graph_count_.end() || it->second == 0) return 1.0;
+  return 1.0 / static_cast<double>(it->second);
+}
+
+double InterestModel::InterestOfPattern(const Pattern& p) const {
+  double sum = 0.0;
+  for (LabelId l : p.labels()) sum += InterestOfLabel(l);
+  return sum;
+}
+
+std::vector<MinedPattern> SelectTopQueries(
+    const std::vector<MinedPattern>& mined, const InterestModel& model,
+    int top_n) {
+  std::vector<MinedPattern> ranked = mined;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&model](const MinedPattern& a, const MinedPattern& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return model.InterestOfPattern(a.pattern) >
+                            model.InterestOfPattern(b.pattern);
+                   });
+  if (static_cast<int>(ranked.size()) > top_n) {
+    ranked.resize(static_cast<std::size_t>(top_n));
+  }
+  return ranked;
+}
+
+}  // namespace tgm

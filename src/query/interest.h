@@ -1,0 +1,48 @@
+#ifndef TGM_QUERY_INTEREST_H_
+#define TGM_QUERY_INTEREST_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "mining/result.h"
+#include "temporal/label_dict.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// The domain-knowledge ranking function of Appendix M.
+///
+/// interest(l) = 1 / freq(l), where freq(l) is the number of training
+/// graphs containing a node labeled l, and blacklisted labels (TmpFile,
+/// CacheFile, /proc/stat/*, ... — labels carrying no security information)
+/// score 0. A pattern's interest is the sum over its nodes. Patterns tied
+/// on the discriminative score are ranked by interest.
+class InterestModel {
+ public:
+  /// Counts label frequencies over `graph_sets` (typically: every
+  /// behaviour's positives plus the background set) and derives the
+  /// blacklist from label names in `dict`.
+  InterestModel(const std::vector<const std::vector<TemporalGraph>*>&
+                    graph_sets,
+                const LabelDict& dict);
+
+  double InterestOfLabel(LabelId l) const;
+  double InterestOfPattern(const Pattern& p) const;
+
+  /// True if the label name is security-noise (procfs, tmp, locale, dev).
+  static bool IsBlacklisted(const std::string& name);
+
+ private:
+  std::unordered_map<LabelId, std::int64_t> label_graph_count_;
+  std::vector<bool> blacklisted_;  // by label id
+};
+
+/// Selects the top `top_n` query skeletons from a mining result: primary
+/// key descending discriminative score, secondary key descending interest.
+std::vector<MinedPattern> SelectTopQueries(
+    const std::vector<MinedPattern>& mined, const InterestModel& model,
+    int top_n);
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_INTEREST_H_

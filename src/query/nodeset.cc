@@ -1,0 +1,126 @@
+#include "query/nodeset.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace tgm {
+
+NodeSetQuery NodeSetQuery::Mine(
+    const std::vector<const TemporalGraph*>& positives,
+    const std::vector<const TemporalGraph*>& negatives, int k,
+    ScoreKind score_kind, double epsilon, double min_pos_freq) {
+  TGM_CHECK(!positives.empty() && !negatives.empty());
+  std::unordered_map<LabelId, std::int64_t> pos_count;
+  std::unordered_map<LabelId, std::int64_t> neg_count;
+  for (const TemporalGraph* g : positives) {
+    for (LabelId l : g->DistinctNodeLabels()) ++pos_count[l];
+  }
+  for (const TemporalGraph* g : negatives) {
+    for (LabelId l : g->DistinctNodeLabels()) ++neg_count[l];
+  }
+  DiscriminativeScore score(score_kind,
+                            static_cast<std::int64_t>(positives.size()),
+                            static_cast<std::int64_t>(negatives.size()),
+                            epsilon);
+  std::vector<std::pair<double, LabelId>> ranked;
+  ranked.reserve(pos_count.size());
+  for (const auto& [label, count] : pos_count) {
+    double x = static_cast<double>(count) /
+               static_cast<double>(positives.size());
+    if (x < min_pos_freq) continue;
+    auto it = neg_count.find(label);
+    double y = it == neg_count.end()
+                   ? 0.0
+                   : static_cast<double>(it->second) /
+                         static_cast<double>(negatives.size());
+    ranked.emplace_back(score(x, y), label);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  NodeSetQuery query;
+  for (const auto& [s, label] : ranked) {
+    if (static_cast<int>(query.labels_.size()) >= k) break;
+    query.labels_.push_back(label);
+  }
+  return query;
+}
+
+std::vector<Interval> NodeSetSearcher::Search(const NodeSetQuery& query,
+                                              const TemporalGraph& log)
+    const {
+  TGM_CHECK(log.finalized());
+  const std::vector<LabelId>& labels = query.labels();
+  if (labels.empty()) return {};
+
+  // Rarest label anchors the sliding windows.
+  std::size_t anchor_idx = 0;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::size_t count = log.LabelPositions(labels[i]).size();
+    if (count < best) {
+      best = count;
+      anchor_idx = i;
+    }
+  }
+  if (best == 0 || best == std::numeric_limits<std::size_t>::max()) return {};
+
+  const std::vector<EdgePos>& anchors = log.LabelPositions(labels[anchor_idx]);
+  std::vector<Interval> intervals;
+  Timestamp skip_until = std::numeric_limits<Timestamp>::min();
+  std::int64_t found = 0;
+
+  for (EdgePos anchor_pos : anchors) {
+    Timestamp t0 = log.edge(anchor_pos).ts;
+    if (t0 < skip_until) continue;
+    // The anchor can sit anywhere inside the match: for each other label,
+    // take the occurrence nearest to the anchor and require the spanned
+    // interval to stay within the window.
+    Timestamp earliest = t0;
+    Timestamp latest = t0;
+    bool all_present = true;
+    for (std::size_t i = 0; i < labels.size() && all_present; ++i) {
+      if (i == anchor_idx) continue;
+      const std::vector<EdgePos>& positions = log.LabelPositions(labels[i]);
+      auto it = std::lower_bound(
+          positions.begin(), positions.end(), t0,
+          [&log](EdgePos p, Timestamp t) { return log.edge(p).ts < t; });
+      Timestamp best_ts = 0;
+      bool have = false;
+      if (it != positions.end()) {
+        best_ts = log.edge(*it).ts;
+        have = true;
+      }
+      if (it != positions.begin()) {
+        Timestamp prev_ts = log.edge(*std::prev(it)).ts;
+        if (!have || t0 - prev_ts < best_ts - t0) {
+          best_ts = prev_ts;
+          have = true;
+        }
+      }
+      if (!have) {
+        all_present = false;
+        break;
+      }
+      Timestamp new_earliest = std::min(earliest, best_ts);
+      Timestamp new_latest = std::max(latest, best_ts);
+      if (options_.window > 0 &&
+          new_latest - new_earliest > options_.window) {
+        all_present = false;
+        break;
+      }
+      earliest = new_earliest;
+      latest = new_latest;
+    }
+    if (!all_present) continue;
+    intervals.push_back(Interval{earliest, latest});
+    skip_until = t0 + std::max<Timestamp>(options_.window, latest - t0) + 1;
+    if (options_.max_matches > 0 && ++found >= options_.max_matches) break;
+  }
+  return intervals;
+}
+
+}  // namespace tgm

@@ -1,0 +1,59 @@
+#ifndef TGM_QUERY_NODESET_H_
+#define TGM_QUERY_NODESET_H_
+
+#include <vector>
+
+#include "mining/score.h"
+#include "query/searcher.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// The NodeSet baseline (Section 6.1): keyword queries made of the top-k
+/// discriminative node labels. A match is a set of k nodes whose label set
+/// equals the query's, spanning no longer than the longest observed
+/// lifetime of the target behaviour.
+class NodeSetQuery {
+ public:
+  /// Mines the top-k labels: each label is scored with the same F(x, y)
+  /// over the fraction of positive/negative graphs containing it. Labels
+  /// below `min_pos_freq` positive frequency are excluded (the same
+  /// signature-not-noise support floor the pattern miners apply).
+  static NodeSetQuery Mine(const std::vector<const TemporalGraph*>& positives,
+                           const std::vector<const TemporalGraph*>& negatives,
+                           int k, ScoreKind score_kind = ScoreKind::kLogRatio,
+                           double epsilon = 1e-6, double min_pos_freq = 0.5);
+
+  const std::vector<LabelId>& labels() const { return labels_; }
+
+ private:
+  std::vector<LabelId> labels_;
+};
+
+/// Searches a NodeSet query over a log graph.
+///
+/// Every occurrence of the query's rarest label anchors a window
+/// [t0, t0 + window]; if each query label occurs inside the window the
+/// match interval [t0, latest required occurrence] is reported, and the
+/// anchor slides past the window end (non-overlapping matches), which
+/// keeps the identified-instance count comparable with the pattern-based
+/// searchers.
+class NodeSetSearcher {
+ public:
+  struct Options {
+    Timestamp window = 0;
+    std::int64_t max_matches = 200000;
+  };
+
+  explicit NodeSetSearcher(const Options& options) : options_(options) {}
+
+  std::vector<Interval> Search(const NodeSetQuery& query,
+                               const TemporalGraph& log) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_NODESET_H_

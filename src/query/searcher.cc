@@ -1,0 +1,196 @@
+#include "query/searcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace tgm {
+
+struct TemporalQuerySearcher::SearchContext {
+  const Pattern* query = nullptr;
+  const TemporalGraph* log = nullptr;
+  const Options* options = nullptr;
+  std::vector<std::size_t> plan;     // order in which pattern edges bind
+  std::vector<NodeId> node_map;      // pattern node -> data node
+  std::vector<bool> used;            // data node bound
+  std::vector<EdgePos> pos_of;       // pattern edge -> data position (-1)
+  std::int64_t raw_matches = 0;
+  bool stop = false;
+  std::set<Interval> intervals;
+};
+
+void TemporalQuerySearcher::Extend(SearchContext& ctx,
+                                   std::size_t step) const {
+  if (ctx.stop) return;
+  const Pattern& query = *ctx.query;
+  const TemporalGraph& log = *ctx.log;
+  std::size_t num_edges = query.edge_count();
+  if (step == ctx.plan.size()) {
+    ++ctx.raw_matches;
+    Interval interval{log.edge(ctx.pos_of[0]).ts,
+                      log.edge(ctx.pos_of[num_edges - 1]).ts};
+    ctx.intervals.insert(interval);
+    if (ctx.options->max_matches > 0 &&
+        ctx.raw_matches >= ctx.options->max_matches) {
+      ctx.stop = true;
+    }
+    return;
+  }
+
+  std::size_t k = ctx.plan[step];
+  const PatternEdge& qe = query.edge(k);
+  bool ascending = k == 0 || ctx.pos_of[k - 1] >= 0;
+
+  // Position bounds from the already-bound neighbours in pattern order.
+  EdgePos lo = -1;
+  EdgePos hi = std::numeric_limits<EdgePos>::max();
+  if (k > 0 && ctx.pos_of[k - 1] >= 0) lo = ctx.pos_of[k - 1];
+  if (k + 1 < num_edges && ctx.pos_of[k + 1] >= 0) hi = ctx.pos_of[k + 1];
+
+  Timestamp min_ts = std::numeric_limits<Timestamp>::max();
+  Timestamp max_ts = std::numeric_limits<Timestamp>::min();
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    if (ctx.pos_of[i] < 0) continue;
+    Timestamp ts = log.edge(ctx.pos_of[i]).ts;
+    min_ts = std::min(min_ts, ts);
+    max_ts = std::max(max_ts, ts);
+  }
+
+  NodeId ms = ctx.node_map[static_cast<std::size_t>(qe.src)];
+  NodeId md = ctx.node_map[static_cast<std::size_t>(qe.dst)];
+
+  auto try_position = [&](EdgePos p) {
+    if (ctx.stop) return;
+    if (p <= lo || p >= hi) return;
+    const TemporalEdge& de = log.edge(p);
+    if (de.elabel != qe.elabel) return;
+    if (ctx.options->window > 0) {
+      Timestamp new_min = std::min(min_ts, de.ts);
+      Timestamp new_max = std::max(max_ts, de.ts);
+      if (new_max - new_min > ctx.options->window) return;
+    }
+    if ((qe.src == qe.dst) != (de.src == de.dst)) return;
+    if (ms != kInvalidNode && de.src != ms) return;
+    if (md != kInvalidNode && de.dst != md) return;
+    if (ms == kInvalidNode) {
+      if (log.label(de.src) != query.label(qe.src)) return;
+      if (ctx.used[static_cast<std::size_t>(de.src)]) return;
+    }
+    if (md == kInvalidNode && qe.src != qe.dst) {
+      if (log.label(de.dst) != query.label(qe.dst)) return;
+      if (ctx.used[static_cast<std::size_t>(de.dst)]) return;
+      if (ms == kInvalidNode && de.src == de.dst) return;
+    }
+    bool bound_src = false;
+    bool bound_dst = false;
+    if (ms == kInvalidNode) {
+      ctx.node_map[static_cast<std::size_t>(qe.src)] = de.src;
+      ctx.used[static_cast<std::size_t>(de.src)] = true;
+      bound_src = true;
+    }
+    if (qe.src != qe.dst &&
+        ctx.node_map[static_cast<std::size_t>(qe.dst)] == kInvalidNode) {
+      ctx.node_map[static_cast<std::size_t>(qe.dst)] = de.dst;
+      ctx.used[static_cast<std::size_t>(de.dst)] = true;
+      bound_dst = true;
+    }
+    ctx.pos_of[k] = p;
+    Extend(ctx, step + 1);
+    ctx.pos_of[k] = -1;
+    if (bound_dst) {
+      ctx.used[static_cast<std::size_t>(de.dst)] = false;
+      ctx.node_map[static_cast<std::size_t>(qe.dst)] = kInvalidNode;
+    }
+    if (bound_src) {
+      ctx.used[static_cast<std::size_t>(de.src)] = false;
+      ctx.node_map[static_cast<std::size_t>(qe.src)] = kInvalidNode;
+    }
+  };
+
+  // Candidate list selection: adjacency when an endpoint is bound,
+  // signature index otherwise. Lists are ascending in position (and thus
+  // in timestamp), so window violations terminate the scan early in the
+  // ascending direction.
+  const std::vector<EdgePos>* positions = nullptr;
+  if (ms != kInvalidNode) {
+    positions = &log.out_edges(ms);
+  } else if (md != kInvalidNode) {
+    positions = &log.in_edges(md);
+  } else {
+    positions = &log.EdgesWithSignature(query.label(qe.src),
+                                        query.label(qe.dst), qe.elabel);
+  }
+
+  if (ascending) {
+    auto it = std::upper_bound(positions->begin(), positions->end(), lo);
+    for (; it != positions->end() && !ctx.stop; ++it) {
+      if (*it >= hi) break;
+      if (ctx.options->window > 0 && max_ts != std::numeric_limits<Timestamp>::min() &&
+          log.edge(*it).ts - min_ts > ctx.options->window) {
+        break;  // positions only get later; no candidate can fit the window
+      }
+      try_position(*it);
+    }
+  } else {
+    auto it = std::lower_bound(positions->begin(), positions->end(), hi);
+    while (it != positions->begin() && !ctx.stop) {
+      --it;
+      if (*it <= lo) break;
+      if (ctx.options->window > 0 && min_ts != std::numeric_limits<Timestamp>::max() &&
+          max_ts - log.edge(*it).ts > ctx.options->window) {
+        break;  // positions only get earlier
+      }
+      try_position(*it);
+    }
+  }
+}
+
+std::vector<Interval> TemporalQuerySearcher::Search(
+    const Pattern& query, const TemporalGraph& log) const {
+  TGM_CHECK(log.finalized());
+  std::size_t num_edges = query.edge_count();
+  if (num_edges == 0 || log.edge_count() == 0) return {};
+
+  // Anchor: the pattern edge with the fewest signature occurrences.
+  std::size_t anchor = 0;
+  std::size_t best_count = std::numeric_limits<std::size_t>::max();
+  for (std::size_t k = 0; k < num_edges; ++k) {
+    const PatternEdge& qe = query.edge(k);
+    std::size_t count = log.EdgesWithSignature(query.label(qe.src),
+                                               query.label(qe.dst), qe.elabel)
+                            .size();
+    if (count < best_count) {
+      best_count = count;
+      anchor = k;
+    }
+  }
+  if (best_count == 0) return {};
+
+  SearchContext ctx;
+  ctx.query = &query;
+  ctx.log = &log;
+  ctx.options = &options_;
+  ctx.plan.push_back(anchor);
+  for (std::size_t k = anchor + 1; k < num_edges; ++k) ctx.plan.push_back(k);
+  for (std::size_t k = anchor; k-- > 0;) ctx.plan.push_back(k);
+  ctx.node_map.assign(query.node_count(), kInvalidNode);
+  ctx.used.assign(log.node_count(), false);
+  ctx.pos_of.assign(num_edges, -1);
+
+  Extend(ctx, 0);
+
+  return std::vector<Interval>(ctx.intervals.begin(), ctx.intervals.end());
+}
+
+std::vector<Interval> TemporalQuerySearcher::SearchAll(
+    const std::vector<Pattern>& queries, const TemporalGraph& log) const {
+  std::set<Interval> all;
+  for (const Pattern& q : queries) {
+    for (const Interval& interval : Search(q, log)) {
+      all.insert(interval);
+    }
+  }
+  return std::vector<Interval>(all.begin(), all.end());
+}
+
+}  // namespace tgm

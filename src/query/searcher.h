@@ -1,0 +1,62 @@
+#ifndef TGM_QUERY_SEARCHER_H_
+#define TGM_QUERY_SEARCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/pattern.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// A time interval of an identified behaviour instance (inclusive).
+struct Interval {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  friend bool operator==(const Interval&, const Interval&) = default;
+  friend auto operator<=>(const Interval&, const Interval&) = default;
+};
+
+/// Searches a behaviour query (a temporal graph pattern) over a large
+/// monitoring log and returns the distinct time intervals of its matches.
+///
+/// Strategy (modelled on the one-edge-index joining of [38]): the pattern
+/// edge with the rarest (source label, destination label, edge label)
+/// signature anchors the search. For every anchor occurrence a DFS extends
+/// the match over later pattern edges in ascending position order and then
+/// over earlier pattern edges in descending order, using adjacency lists
+/// when an endpoint is already mapped and the signature index otherwise.
+/// The span of any match is bounded by `window` — the longest observed
+/// behaviour lifetime — which both matches the evaluation semantics
+/// (matches must fit inside one behaviour execution) and keeps the search
+/// local.
+class TemporalQuerySearcher {
+ public:
+  struct Options {
+    Timestamp window = 0;          // 0 = unbounded (not recommended)
+    std::int64_t max_matches = 200000;
+  };
+
+  explicit TemporalQuerySearcher(const Options& options)
+      : options_(options) {}
+
+  /// Distinct match intervals, sorted ascending.
+  std::vector<Interval> Search(const Pattern& query,
+                               const TemporalGraph& log) const;
+
+  /// Union of distinct intervals over several queries (a behaviour query
+  /// built from the top-k patterns).
+  std::vector<Interval> SearchAll(const std::vector<Pattern>& queries,
+                                  const TemporalGraph& log) const;
+
+ private:
+  struct SearchContext;
+  void Extend(SearchContext& ctx, std::size_t step) const;
+
+  Options options_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_SEARCHER_H_

@@ -1,0 +1,229 @@
+#include "query/static_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace tgm {
+
+struct StaticQuerySearcher::SearchContext {
+  const StaticGraph* query = nullptr;
+  const TemporalGraph* log = nullptr;
+  const Options* options = nullptr;
+  std::vector<std::size_t> plan;       // pattern edge visit order
+  std::vector<NodeId> node_map;        // pattern node -> data node
+  std::vector<bool> used_node;         // data node bound
+  std::vector<EdgePos> pos_of;         // pattern edge -> data position
+  std::vector<bool> used_pos_lookup;   // (unused; distinctness via pos_of)
+  std::int64_t raw_matches = 0;
+  bool stop = false;
+  std::set<Interval> intervals;
+};
+
+namespace {
+
+// Edge visit order: anchor first, then edges with at least one endpoint
+// already visited (pattern connectivity guarantees progress).
+std::vector<std::size_t> BuildPlan(const StaticGraph& query,
+                                   std::size_t anchor) {
+  std::size_t num_edges = query.edge_count();
+  std::vector<std::size_t> plan;
+  std::vector<bool> edge_done(num_edges, false);
+  std::vector<bool> node_seen(query.node_count(), false);
+  auto visit_edge = [&](std::size_t k) {
+    plan.push_back(k);
+    edge_done[k] = true;
+    node_seen[static_cast<std::size_t>(query.edge(k).src)] = true;
+    node_seen[static_cast<std::size_t>(query.edge(k).dst)] = true;
+  };
+  visit_edge(anchor);
+  while (plan.size() < num_edges) {
+    std::size_t next = num_edges;
+    for (std::size_t k = 0; k < num_edges; ++k) {
+      if (edge_done[k]) continue;
+      const StaticEdge& e = query.edge(k);
+      if (node_seen[static_cast<std::size_t>(e.src)] ||
+          node_seen[static_cast<std::size_t>(e.dst)]) {
+        next = k;
+        break;
+      }
+    }
+    if (next == num_edges) {
+      // Disconnected pattern: fall back to the first remaining edge.
+      for (std::size_t k = 0; k < num_edges; ++k) {
+        if (!edge_done[k]) {
+          next = k;
+          break;
+        }
+      }
+    }
+    visit_edge(next);
+  }
+  return plan;
+}
+
+}  // namespace
+
+void StaticQuerySearcher::Extend(SearchContext& ctx, std::size_t step) const {
+  if (ctx.stop) return;
+  const StaticGraph& query = *ctx.query;
+  const TemporalGraph& log = *ctx.log;
+  if (step == ctx.plan.size()) {
+    ++ctx.raw_matches;
+    Timestamp lo = std::numeric_limits<Timestamp>::max();
+    Timestamp hi = std::numeric_limits<Timestamp>::min();
+    for (EdgePos p : ctx.pos_of) {
+      Timestamp ts = log.edge(p).ts;
+      lo = std::min(lo, ts);
+      hi = std::max(hi, ts);
+    }
+    ctx.intervals.insert(Interval{lo, hi});
+    if (ctx.options->max_matches > 0 &&
+        ctx.raw_matches >= ctx.options->max_matches) {
+      ctx.stop = true;
+    }
+    return;
+  }
+
+  std::size_t k = ctx.plan[step];
+  const StaticEdge& qe = query.edge(k);
+  NodeId ms = ctx.node_map[static_cast<std::size_t>(qe.src)];
+  NodeId md = ctx.node_map[static_cast<std::size_t>(qe.dst)];
+
+  Timestamp min_ts = std::numeric_limits<Timestamp>::max();
+  Timestamp max_ts = std::numeric_limits<Timestamp>::min();
+  for (std::size_t i = 0; i < ctx.plan.size(); ++i) {
+    std::size_t bound_edge = ctx.plan[i];
+    if (ctx.pos_of[bound_edge] < 0) continue;
+    Timestamp ts = log.edge(ctx.pos_of[bound_edge]).ts;
+    min_ts = std::min(min_ts, ts);
+    max_ts = std::max(max_ts, ts);
+  }
+
+  auto try_position = [&](EdgePos p) {
+    if (ctx.stop) return;
+    const TemporalEdge& de = log.edge(p);
+    if (de.elabel != qe.elabel) return;
+    // Distinct data edges per pattern edge.
+    for (EdgePos existing : ctx.pos_of) {
+      if (existing == p) return;
+    }
+    if (ctx.options->window > 0 &&
+        min_ts != std::numeric_limits<Timestamp>::max()) {
+      Timestamp new_min = std::min(min_ts, de.ts);
+      Timestamp new_max = std::max(max_ts, de.ts);
+      if (new_max - new_min > ctx.options->window) return;
+    }
+    if ((qe.src == qe.dst) != (de.src == de.dst)) return;
+    if (ms != kInvalidNode && de.src != ms) return;
+    if (md != kInvalidNode && de.dst != md) return;
+    if (ms == kInvalidNode) {
+      if (log.label(de.src) != query.label(qe.src)) return;
+      if (ctx.used_node[static_cast<std::size_t>(de.src)]) return;
+    }
+    if (md == kInvalidNode && qe.src != qe.dst) {
+      if (log.label(de.dst) != query.label(qe.dst)) return;
+      if (ctx.used_node[static_cast<std::size_t>(de.dst)]) return;
+      if (ms == kInvalidNode && de.src == de.dst) return;
+    }
+    bool bound_src = false;
+    bool bound_dst = false;
+    if (ms == kInvalidNode) {
+      ctx.node_map[static_cast<std::size_t>(qe.src)] = de.src;
+      ctx.used_node[static_cast<std::size_t>(de.src)] = true;
+      bound_src = true;
+    }
+    if (qe.src != qe.dst &&
+        ctx.node_map[static_cast<std::size_t>(qe.dst)] == kInvalidNode) {
+      ctx.node_map[static_cast<std::size_t>(qe.dst)] = de.dst;
+      ctx.used_node[static_cast<std::size_t>(de.dst)] = true;
+      bound_dst = true;
+    }
+    ctx.pos_of[k] = p;
+    Extend(ctx, step + 1);
+    ctx.pos_of[k] = -1;
+    if (bound_dst) {
+      ctx.used_node[static_cast<std::size_t>(de.dst)] = false;
+      ctx.node_map[static_cast<std::size_t>(qe.dst)] = kInvalidNode;
+    }
+    if (bound_src) {
+      ctx.used_node[static_cast<std::size_t>(de.src)] = false;
+      ctx.node_map[static_cast<std::size_t>(qe.src)] = kInvalidNode;
+    }
+  };
+
+  // Candidate positions, restricted to the window around already-bound
+  // edges when possible.
+  const std::vector<EdgePos>* positions = nullptr;
+  if (ms != kInvalidNode) {
+    positions = &log.out_edges(ms);
+  } else if (md != kInvalidNode) {
+    positions = &log.in_edges(md);
+  } else {
+    positions = &log.EdgesWithSignature(query.label(qe.src),
+                                        query.label(qe.dst), qe.elabel);
+  }
+
+  if (options_.window > 0 && min_ts != std::numeric_limits<Timestamp>::max()) {
+    // Binary search the window range [max_ts - window, min_ts + window] in
+    // the ascending-position (ascending-ts) list.
+    Timestamp lo_ts = max_ts - options_.window;
+    Timestamp hi_ts = min_ts + options_.window;
+    auto first = std::lower_bound(
+        positions->begin(), positions->end(), lo_ts,
+        [&log](EdgePos p, Timestamp t) { return log.edge(p).ts < t; });
+    for (auto it = first; it != positions->end() && !ctx.stop; ++it) {
+      if (log.edge(*it).ts > hi_ts) break;
+      try_position(*it);
+    }
+  } else {
+    for (auto it = positions->begin(); it != positions->end() && !ctx.stop;
+         ++it) {
+      try_position(*it);
+    }
+  }
+}
+
+std::vector<Interval> StaticQuerySearcher::Search(
+    const StaticGraph& query, const TemporalGraph& log) const {
+  TGM_CHECK(log.finalized());
+  std::size_t num_edges = query.edge_count();
+  if (num_edges == 0 || log.edge_count() == 0) return {};
+
+  std::size_t anchor = 0;
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (std::size_t k = 0; k < num_edges; ++k) {
+    const StaticEdge& qe = query.edge(k);
+    std::size_t count = log.EdgesWithSignature(query.label(qe.src),
+                                               query.label(qe.dst), qe.elabel)
+                            .size();
+    if (count < best) {
+      best = count;
+      anchor = k;
+    }
+  }
+  if (best == 0) return {};
+
+  SearchContext ctx;
+  ctx.query = &query;
+  ctx.log = &log;
+  ctx.options = &options_;
+  ctx.plan = BuildPlan(query, anchor);
+  ctx.node_map.assign(query.node_count(), kInvalidNode);
+  ctx.used_node.assign(log.node_count(), false);
+  ctx.pos_of.assign(num_edges, -1);
+
+  Extend(ctx, 0);
+  return std::vector<Interval>(ctx.intervals.begin(), ctx.intervals.end());
+}
+
+std::vector<Interval> StaticQuerySearcher::SearchAll(
+    const std::vector<StaticGraph>& queries, const TemporalGraph& log) const {
+  std::set<Interval> all;
+  for (const StaticGraph& q : queries) {
+    for (const Interval& interval : Search(q, log)) all.insert(interval);
+  }
+  return std::vector<Interval>(all.begin(), all.end());
+}
+
+}  // namespace tgm

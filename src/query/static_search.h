@@ -1,0 +1,46 @@
+#ifndef TGM_QUERY_STATIC_SEARCH_H_
+#define TGM_QUERY_STATIC_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nontemporal/static_graph.h"
+#include "query/searcher.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// Searches a *non-temporal* pattern (the Ntemp baseline's query) over a
+/// temporal log. Edge order is ignored: a match is an injective node
+/// mapping where every pattern edge maps to a distinct log edge inside one
+/// behaviour-lifetime window, regardless of order. Multi-edges in the log
+/// all satisfy the same collapsed pattern edge.
+///
+/// This is exactly what makes Ntemp's precision suffer in Table 2: the
+/// order-shuffled decoys in the log contain the same static structure as
+/// the behaviours, and a non-temporal query cannot tell them apart.
+class StaticQuerySearcher {
+ public:
+  struct Options {
+    Timestamp window = 0;
+    std::int64_t max_matches = 200000;
+  };
+
+  explicit StaticQuerySearcher(const Options& options) : options_(options) {}
+
+  std::vector<Interval> Search(const StaticGraph& query,
+                               const TemporalGraph& log) const;
+
+  std::vector<Interval> SearchAll(const std::vector<StaticGraph>& queries,
+                                  const TemporalGraph& log) const;
+
+ private:
+  struct SearchContext;
+  void Extend(SearchContext& ctx, std::size_t step) const;
+
+  Options options_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STATIC_SEARCH_H_

@@ -1,0 +1,129 @@
+#include "query/stream_monitor.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+std::size_t StreamMonitor::AddQuery(const Pattern& query) {
+  TGM_CHECK(query.edge_count() >= 1);
+  QueryState state;
+  state.pattern = query;
+  queries_.push_back(std::move(state));
+  return queries_.size() - 1;
+}
+
+void StreamMonitor::OnEvent(
+    const StreamEvent& event,
+    const std::function<void(const StreamAlert&)>& sink) {
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    Advance(queries_[qi], qi, event, sink);
+  }
+}
+
+std::size_t StreamMonitor::PartialCount() const {
+  std::size_t total = 0;
+  for (const QueryState& q : queries_) total += q.partials.size();
+  return total;
+}
+
+void StreamMonitor::Advance(
+    QueryState& state, std::size_t query_index, const StreamEvent& event,
+    const std::function<void(const StreamAlert&)>& sink) {
+  const Pattern& pattern = state.pattern;
+
+  // Expire partials whose window has closed. Partials are appended in
+  // first_ts order, so expiry pops from the front.
+  if (options_.window > 0) {
+    while (!state.partials.empty() &&
+           event.ts - state.partials.front().first_ts > options_.window) {
+      state.partials.pop_front();
+    }
+    // Emitted-interval dedup entries older than the window can never be
+    // duplicated again.
+    std::erase_if(state.emitted, [&](const Interval& interval) {
+      return event.ts - interval.begin > options_.window;
+    });
+  }
+
+  auto try_extend = [&](const Partial* base) {
+    std::size_t k = base == nullptr ? 0 : base->next_edge;
+    const PatternEdge& qe = pattern.edge(k);
+    if (event.elabel != qe.elabel) return;
+    if ((qe.src == qe.dst) != (event.src_entity == event.dst_entity)) return;
+
+    std::int64_t bound_src =
+        base == nullptr
+            ? kUnbound
+            : base->binding[static_cast<std::size_t>(qe.src)];
+    std::int64_t bound_dst =
+        base == nullptr
+            ? kUnbound
+            : base->binding[static_cast<std::size_t>(qe.dst)];
+    if (bound_src != kUnbound && bound_src != event.src_entity) return;
+    if (bound_dst != kUnbound && bound_dst != event.dst_entity) return;
+    if (bound_src == kUnbound) {
+      if (event.src_label != pattern.label(qe.src)) return;
+      // Injectivity: the new entity must not already be bound elsewhere.
+      if (base != nullptr &&
+          std::find(base->binding.begin(), base->binding.end(),
+                    event.src_entity) != base->binding.end()) {
+        return;
+      }
+    }
+    if (bound_dst == kUnbound && qe.src != qe.dst) {
+      if (event.dst_label != pattern.label(qe.dst)) return;
+      if (base != nullptr &&
+          std::find(base->binding.begin(), base->binding.end(),
+                    event.dst_entity) != base->binding.end()) {
+        return;
+      }
+      if (bound_src == kUnbound && event.src_entity == event.dst_entity) {
+        return;
+      }
+    }
+
+    Partial extended;
+    if (base == nullptr) {
+      extended.binding.assign(pattern.node_count(), kUnbound);
+      extended.first_ts = event.ts;
+    } else {
+      extended = *base;
+    }
+    extended.binding[static_cast<std::size_t>(qe.src)] = event.src_entity;
+    extended.binding[static_cast<std::size_t>(qe.dst)] = event.dst_entity;
+    extended.next_edge = k + 1;
+    extended.last_ts = event.ts;
+    if (options_.window > 0 &&
+        extended.last_ts - extended.first_ts > options_.window) {
+      return;
+    }
+
+    if (extended.next_edge == pattern.edge_count()) {
+      Interval interval{extended.first_ts, extended.last_ts};
+      if (std::find(state.emitted.begin(), state.emitted.end(), interval) ==
+          state.emitted.end()) {
+        state.emitted.push_back(interval);
+        sink(StreamAlert{query_index, interval});
+      }
+      return;
+    }
+    if (state.partials.size() >= options_.max_partials_per_query) {
+      ++dropped_partials_;
+      return;
+    }
+    state.partials.push_back(std::move(extended));
+  };
+
+  // Existing partials first (snapshot the size: extensions appended during
+  // this event must not be re-extended by the same event).
+  std::size_t live = state.partials.size();
+  for (std::size_t i = 0; i < live; ++i) {
+    // deque iterators invalidate on push_back; index access is stable.
+    Partial snapshot = state.partials[i];
+    try_extend(&snapshot);
+  }
+  // And a fresh partial starting at this event.
+  try_extend(nullptr);
+}
+
+}  // namespace tgm

@@ -1,0 +1,98 @@
+#ifndef TGM_QUERY_STREAM_MONITOR_H_
+#define TGM_QUERY_STREAM_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "query/searcher.h"
+#include "temporal/pattern.h"
+
+namespace tgm {
+
+/// An event arriving on the live monitoring stream. Node identities are
+/// the producer's (e.g. pid/inode-derived) stable entity ids; labels are
+/// interned entity labels as in TemporalGraph.
+struct StreamEvent {
+  std::int64_t src_entity = 0;
+  std::int64_t dst_entity = 0;
+  LabelId src_label = kInvalidLabel;
+  LabelId dst_label = kInvalidLabel;
+  LabelId elabel = kNoEdgeLabel;
+  Timestamp ts = 0;
+};
+
+/// An alert: a behaviour query completed inside the stream.
+struct StreamAlert {
+  std::size_t query_index = 0;
+  Interval interval;
+};
+
+/// Online behaviour-query monitoring (Section 1: "the formulated behavior
+/// queries can also be applied on the real-time monitoring data for
+/// surveillance and policy compliance checking").
+///
+/// The monitor maintains, per registered query, the set of partial matches
+/// (prefixes of the query's edge sequence bound to concrete stream
+/// entities). Each incoming event can extend a partial match by the next
+/// query edge — temporal order is free because the stream itself arrives
+/// in time order. Partial matches expire once the window has passed, which
+/// bounds memory by (events in window) x (query size).
+///
+/// One alert is emitted per completed match interval (deduplicated).
+class StreamMonitor {
+ public:
+  struct Options {
+    /// Maximum allowed match span; also the partial-match expiry horizon.
+    Timestamp window = 0;
+    /// Cap on live partial matches per query (safety valve; counts
+    /// evictions in `dropped_partials`).
+    std::size_t max_partials_per_query = 100000;
+  };
+
+  explicit StreamMonitor(const Options& options) : options_(options) {}
+
+  /// Registers a behaviour query; returns its index in alerts.
+  std::size_t AddQuery(const Pattern& query);
+
+  /// Feeds one event (must be non-decreasing in ts); invokes `sink` for
+  /// every alert it completes.
+  void OnEvent(const StreamEvent& event,
+               const std::function<void(const StreamAlert&)>& sink);
+
+  /// Number of live partial matches (all queries).
+  std::size_t PartialCount() const;
+
+  std::int64_t dropped_partials() const { return dropped_partials_; }
+
+ private:
+  struct Partial {
+    // query node -> stream entity id (kUnbound when not bound yet).
+    std::vector<std::int64_t> binding;
+    std::size_t next_edge = 0;  // first unmatched query edge
+    Timestamp first_ts = 0;
+    Timestamp last_ts = 0;
+  };
+  struct QueryState {
+    Pattern pattern;
+    std::deque<Partial> partials;
+    // Dedup of emitted alert intervals.
+    std::vector<Interval> emitted;
+  };
+
+  static constexpr std::int64_t kUnbound = -1;
+
+  void Advance(QueryState& state, std::size_t query_index,
+               const StreamEvent& event,
+               const std::function<void(const StreamAlert&)>& sink);
+
+  Options options_;
+  std::vector<QueryState> queries_;
+  std::int64_t dropped_partials_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_MONITOR_H_

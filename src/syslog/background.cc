@@ -1,0 +1,198 @@
+#include "syslog/background.h"
+
+#include <string>
+
+namespace tgm {
+
+namespace {
+
+const char* const kDaemonPool[] = {
+    "cron",    "systemd",  "rsyslogd", "dbus-daemon",
+    "bash",    "top",      "snapd",    "NetworkManager",
+    "sshd",    "scp",      "ssh",      "update-notifier",
+};
+
+const char* const kConfigPool[] = {
+    "/etc/passwd",        "/etc/group",         "/etc/hosts",
+    "/etc/resolv.conf",   "/etc/nsswitch.conf", "/etc/crontab",
+    "/etc/profile",       "/etc/bash.bashrc",   "~/.bashrc",
+    "/etc/motd",          "/etc/login.defs",    "/etc/ld.so.cache",
+    "/etc/ssh/ssh_config", "/etc/apt/sources.list",
+};
+
+const char* const kLogPool[] = {
+    "/var/log/syslog",  "/var/log/auth.log", "/var/run/utmp",
+    "/var/log/wtmp",    "/var/log/lastlog",  "/var/log/kern.log",
+};
+
+const char* const kSockPool[] = {
+    "remote:80", "remote:443", "dns:53", "remote:22", "client:22",
+};
+
+const char* const kLibPool[] = {
+    "/lib/libc.so.6",          "/lib/libz.so.1",
+    "/usr/lib/libssl.so.3",    "/usr/lib/libcrypto.so.3",
+    "/usr/lib/libreadline.so.8", "/usr/lib/libstdc++.so.6",
+    "/usr/lib/libpam.so.0",    "/lib/security/pam_unix.so",
+};
+
+const char* const kHelperPool[] = {"sh", "awk", "grep", "sed", "sort"};
+
+// The shared path universe: files the *behaviours* also touch (headers,
+// package payloads, downloads, list files). Real background activity
+// covers almost every common path (the paper's background spans 9065
+// labels), which is what keeps "rare pool file" patterns from looking
+// perfectly discriminative by sampling accident.
+const char* const kSharedPathPool[] = {
+    "/usr/include/stdio.h",
+    "/usr/include/stdlib.h",
+    "/usr/include/string.h",
+    "/usr/include/c++/iostream",
+    "/usr/include/c++/vector",
+    "/usr/include/c++/string",
+    "/var/lib/apt/lists/archive-main_Packages",
+    "/var/lib/apt/lists/archive-universe_Packages",
+    "/var/lib/apt/lists/archive-security_Packages",
+    "/var/lib/apt/lists/archive-updates_Packages",
+    "/var/cache/apt/pkgcache.bin",
+    "/var/lib/dpkg/status",
+    "index.html",
+    "download.bin",
+    "payload.dat",
+    "data.tar",
+    "data",
+    "a.out",
+    "main.c",
+    "main.cpp",
+    "/tmp/cc-temp.s",
+    "/tmp/cc-temp.o",
+    "~/.ssh/known_hosts",
+    "~/.netrc",
+    "/etc/wgetrc",
+    "/dev/tty",
+    "/var/log/xferlog",
+    "/etc/shadow",
+    "/etc/pam.d/common-auth",
+    "/etc/ssh/sshd_config",
+};
+
+}  // namespace
+
+InstanceScript GenerateBackground(SyslogWorld& world, std::mt19937_64& rng,
+                                  const GenOptions& options,
+                                  double decoy_prob) {
+  ScriptBuilder b(&world, &rng);
+
+  int num_daemons = b.Uniform(8, 12);
+  for (int d = 0; d < num_daemons; ++d) {
+    std::int32_t proc =
+        b.Proc(kDaemonPool[static_cast<std::size_t>(b.Uniform(0, 11))]);
+    if (b.Chance(0.5)) {
+      b.Mmap(b.File(kLibPool[static_cast<std::size_t>(b.Uniform(0, 7))]),
+             proc);
+    }
+    int rounds =
+        std::max(2, static_cast<int>(b.Uniform(14, 32) * options.size_scale));
+    for (int r = 0; r < rounds; ++r) {
+      switch (b.Uniform(0, 6)) {
+        case 0:
+          b.Read(b.File(kConfigPool[static_cast<std::size_t>(
+                     b.Uniform(0, 13))]),
+                 proc);
+          break;
+        case 1:
+          b.Write(proc, b.File(kLogPool[static_cast<std::size_t>(
+                            b.Uniform(0, 5))]));
+          break;
+        case 2: {
+          std::int32_t tmp =
+              b.File("/tmp/noise" + std::to_string(b.Uniform(0, 49)));
+          if (b.Chance(0.5)) {
+            b.Write(proc, tmp);
+          } else {
+            b.Read(tmp, proc);
+          }
+          break;
+        }
+        case 3: {
+          std::int32_t sock =
+              b.Sock(kSockPool[static_cast<std::size_t>(b.Uniform(0, 4))]);
+          if (b.Chance(0.3)) b.Connect(proc, sock);
+          if (b.Chance(0.5)) {
+            b.Send(proc, sock);
+          } else {
+            b.Recv(sock, proc);
+          }
+          break;
+        }
+        case 4: {
+          std::int32_t helper = b.Proc(
+              kHelperPool[static_cast<std::size_t>(b.Uniform(0, 4))]);
+          b.Fork(proc, helper);
+          if (b.Chance(0.6)) {
+            b.Read(b.File(kConfigPool[static_cast<std::size_t>(
+                       b.Uniform(0, 13))]),
+                   helper);
+          }
+          break;
+        }
+        case 5: {
+          if (b.Chance(0.5)) {
+            // Rare labels: large id space so most appear in few graphs.
+            std::int32_t doc = b.File("/home/user/doc" +
+                                      std::to_string(b.Uniform(0, 4999)));
+            b.Read(doc, proc);
+          } else {
+            // Shared path universe (see kSharedPathPool above). Also cover
+            // the behaviours' per-instance pool files.
+            std::int32_t f;
+            if (b.Chance(0.3)) {
+              f = b.File("/usr/share/pkg/data" +
+                         std::to_string(b.Uniform(0, 39)));
+            } else {
+              f = b.File(kSharedPathPool[static_cast<std::size_t>(
+                  b.Uniform(0, 29))]);
+            }
+            if (b.Chance(0.5)) {
+              b.Read(f, proc);
+            } else {
+              b.Write(proc, f);
+            }
+          }
+          break;
+        }
+        default:
+          b.Mmap(b.File(kLibPool[static_cast<std::size_t>(b.Uniform(0, 7))]),
+                 proc);
+          break;
+      }
+    }
+  }
+
+  InstanceScript script = b.Finish();
+
+  // Order-shuffled behaviour decoys.
+  GenOptions decoy_options = options;
+  decoy_options.disruption_prob = 0.0;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (BehaviorKind kind : AllBehaviors()) {
+    double p = decoy_prob;
+    GenOptions opts = decoy_options;
+    if (BehaviorSizeClass(kind) == SizeClass::kLarge) {
+      // Large decoys are down-scaled and rarer to keep background graphs
+      // near their Table 1 size (avg ~749 edges).
+      p *= 0.4;
+      opts.size_scale *= 0.3;
+      opts.noise_level *= 0.3;
+    }
+    if (unit(rng) >= p) continue;
+    InstanceScript decoy = GenerateBehavior(world, kind, rng, opts);
+    decoy.Shuffle(rng);
+    Timestamp span = std::max<Timestamp>(script.Duration(), 1);
+    std::uniform_int_distribution<Timestamp> offset(0, span);
+    script.Merge(decoy, offset(rng));
+  }
+  return script;
+}
+
+}  // namespace tgm

@@ -1,0 +1,32 @@
+#ifndef TGM_SYSLOG_BACKGROUND_H_
+#define TGM_SYSLOG_BACKGROUND_H_
+
+#include <random>
+
+#include "syslog/behaviors.h"
+#include "syslog/script.h"
+
+namespace tgm {
+
+/// Generates one background-activity script (Appendix L: the closed
+/// environment running only default applications, none of the target
+/// behaviours).
+///
+/// The stream mixes:
+///  - daemon processes doing randomized reads/writes/socket traffic over
+///    the *same label pools the behaviours use* (so single edges and small
+///    label sets are non-discriminative — the Figure 11 effect),
+///  - rare per-graph labels (documents, caches) so the background label
+///    universe dwarfs each behaviour's (Table 1's 9065 background labels),
+///  - with probability `decoy_prob` per behaviour, one *order-shuffled*
+///    instance of that behaviour: identical static structure and labels,
+///    destroyed temporal order. Decoys are what separate TGMiner from the
+///    Ntemp/NodeSet baselines in Table 2 — a non-temporal pattern or label
+///    set cannot tell a decoy from the real thing.
+InstanceScript GenerateBackground(SyslogWorld& world, std::mt19937_64& rng,
+                                  const GenOptions& options,
+                                  double decoy_prob);
+
+}  // namespace tgm
+
+#endif  // TGM_SYSLOG_BACKGROUND_H_

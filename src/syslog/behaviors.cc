@@ -1,0 +1,621 @@
+#include "syslog/behaviors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tgm {
+
+const std::vector<BehaviorKind>& AllBehaviors() {
+  static const std::vector<BehaviorKind> kAll = {
+      BehaviorKind::kBzip2Decompress, BehaviorKind::kGzipDecompress,
+      BehaviorKind::kWgetDownload,    BehaviorKind::kFtpDownload,
+      BehaviorKind::kScpDownload,     BehaviorKind::kGccCompile,
+      BehaviorKind::kGxxCompile,      BehaviorKind::kFtpdLogin,
+      BehaviorKind::kSshLogin,        BehaviorKind::kSshdLogin,
+      BehaviorKind::kAptGetUpdate,    BehaviorKind::kAptGetInstall,
+  };
+  return kAll;
+}
+
+std::string BehaviorName(BehaviorKind kind) {
+  switch (kind) {
+    case BehaviorKind::kBzip2Decompress:
+      return "bzip2-decompress";
+    case BehaviorKind::kGzipDecompress:
+      return "gzip-decompress";
+    case BehaviorKind::kWgetDownload:
+      return "wget-download";
+    case BehaviorKind::kFtpDownload:
+      return "ftp-download";
+    case BehaviorKind::kScpDownload:
+      return "scp-download";
+    case BehaviorKind::kGccCompile:
+      return "gcc-compile";
+    case BehaviorKind::kGxxCompile:
+      return "g++-compile";
+    case BehaviorKind::kFtpdLogin:
+      return "ftpd-login";
+    case BehaviorKind::kSshLogin:
+      return "ssh-login";
+    case BehaviorKind::kSshdLogin:
+      return "sshd-login";
+    case BehaviorKind::kAptGetUpdate:
+      return "apt-get-update";
+    case BehaviorKind::kAptGetInstall:
+      return "apt-get-install";
+  }
+  return "unknown";
+}
+
+SizeClass BehaviorSizeClass(BehaviorKind kind) {
+  switch (kind) {
+    case BehaviorKind::kBzip2Decompress:
+    case BehaviorKind::kGzipDecompress:
+    case BehaviorKind::kWgetDownload:
+    case BehaviorKind::kFtpDownload:
+      return SizeClass::kSmall;
+    case BehaviorKind::kScpDownload:
+    case BehaviorKind::kGccCompile:
+    case BehaviorKind::kGxxCompile:
+    case BehaviorKind::kFtpdLogin:
+    case BehaviorKind::kSshLogin:
+      return SizeClass::kMedium;
+    case BehaviorKind::kSshdLogin:
+    case BehaviorKind::kAptGetUpdate:
+    case BehaviorKind::kAptGetInstall:
+      return SizeClass::kLarge;
+  }
+  return SizeClass::kSmall;
+}
+
+std::string SizeClassName(SizeClass c) {
+  switch (c) {
+    case SizeClass::kSmall:
+      return "small";
+    case SizeClass::kMedium:
+      return "medium";
+    case SizeClass::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+double DefaultDisruption(BehaviorKind kind) {
+  // Per-core-event drop probabilities, tuned so the Table 2 recall shape
+  // holds: the archive tools never fail, downloads/logins occasionally
+  // lose events, apt runs are the most disrupted. sshd-login has a large
+  // redundant core, so a tiny rate still yields near-perfect recall.
+  switch (kind) {
+    case BehaviorKind::kBzip2Decompress:
+    case BehaviorKind::kGzipDecompress:
+      return 0.0;
+    case BehaviorKind::kWgetDownload:
+      return 0.011;
+    case BehaviorKind::kFtpDownload:
+      return 0.007;
+    case BehaviorKind::kScpDownload:
+      return 0.015;
+    case BehaviorKind::kGccCompile:
+      return 0.021;
+    case BehaviorKind::kGxxCompile:
+      return 0.025;
+    case BehaviorKind::kFtpdLogin:
+      return 0.022;
+    case BehaviorKind::kSshLogin:
+      return 0.024;
+    case BehaviorKind::kSshdLogin:
+      return 0.002;
+    case BehaviorKind::kAptGetUpdate:
+      return 0.030;
+    case BehaviorKind::kAptGetInstall:
+      return 0.028;
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Rounds a scaled count, at least `min_value`.
+int Scaled(double base, double scale, int min_value = 1) {
+  return std::max(min_value, static_cast<int>(std::lround(base * scale)));
+}
+
+// --- shared noise vocabulary -------------------------------------------
+
+const char* const kProcFsPool[] = {
+    "/proc/stat",        "/proc/meminfo",     "/proc/self/status",
+    "/proc/self/maps",   "/proc/cpuinfo",     "/proc/loadavg",
+    "/proc/filesystems", "/proc/sys/kernel/ngroups_max",
+};
+
+const char* const kMiscNoisePool[] = {
+    "/dev/urandom",          "/etc/localtime",
+    "/usr/lib/locale/locale-archive", "/etc/nsswitch.conf",
+    "/etc/gai.conf",         "/usr/share/zoneinfo/UTC",
+    "/etc/environment",      "/etc/host.conf",
+};
+
+// Interleaves `n` noise reads/stats of common system files into the span.
+void AddNoise(ScriptBuilder& b, std::int32_t proc, int n) {
+  for (int i = 0; i < n; ++i) {
+    bool procfs = b.Chance(0.5);
+    const char* name =
+        procfs ? kProcFsPool[static_cast<std::size_t>(b.Uniform(0, 7))]
+               : kMiscNoisePool[static_cast<std::size_t>(b.Uniform(0, 7))];
+    std::int32_t f = b.File(name);
+    b.Noise(b.Chance(0.3) ? EdgeOp::kStat : EdgeOp::kRead, f, proc);
+  }
+}
+
+// Generic DNS resolution motif (shared by the network behaviours).
+void ResolveDns(ScriptBuilder& b, std::int32_t proc) {
+  b.Read(b.File("/etc/resolv.conf"), proc);
+  b.Read(b.File("/etc/hosts"), proc);
+  std::int32_t dns = b.Sock("dns:53");
+  b.Connect(proc, dns);
+  b.Send(proc, dns);
+  b.Recv(dns, proc);
+}
+
+// Client-side ssh authentication motif. ssh-login and scp-download use
+// the *same labels and static edges* — which is what makes them
+// confusable for the non-temporal baselines — but in different relative
+// order (an interactive login verifies the host key before loading the
+// identity; a batch copy loads the identity first), which is exactly the
+// temporal signal TGMiner exploits to tell them apart.
+std::int32_t SshClientAuth(ScriptBuilder& b, std::int32_t ssh,
+                           bool batch_variant) {
+  b.Read(b.File("/etc/ssh/ssh_config"), ssh);
+  if (b.Chance(0.5)) b.Read(b.File("~/.ssh/config"), ssh);
+  if (batch_variant) {
+    b.Read(b.File("~/.ssh/id_rsa"), ssh);
+    b.Read(b.File("~/.ssh/known_hosts"), ssh);
+  } else {
+    b.Read(b.File("~/.ssh/known_hosts"), ssh);
+    b.Read(b.File("~/.ssh/id_rsa"), ssh);
+  }
+  std::int32_t s22 = b.Sock("remote:22");
+  b.Connect(ssh, s22);
+  return s22;
+}
+
+// --- behaviour templates ------------------------------------------------
+
+InstanceScript GenDecompress(ScriptBuilder& b, const GenOptions& o,
+                             bool bzip2) {
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t tool = b.Proc(bzip2 ? "bzip2" : "gzip");
+  b.Fork(bash, tool);
+  b.Startup(tool, bzip2 ? "/bin/bzip2" : "/bin/gzip",
+            {bzip2 ? "/lib/libbz2.so.1" : "/lib/libz.so.1"});
+  std::int32_t archive = b.File(bzip2 ? "data.tar.bz2" : "data.gz");
+  std::int32_t out = b.File(bzip2 ? "data.tar" : "data");
+  int rounds = Scaled(2, o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Read(archive, tool);
+    b.Write(tool, out);
+  }
+  if (b.Chance(0.4)) b.Unlink(tool, archive);
+  AddNoise(b, tool, Scaled(2, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenWget(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t wget = b.Proc("wget");
+  b.Fork(bash, wget);
+  b.Startup(wget, "/usr/bin/wget",
+            {"/usr/lib/libssl.so.3", "/usr/lib/libcrypto.so.3",
+             "/lib/libz.so.1", "/usr/lib/libpcre2.so", "/usr/lib/libidn2.so"});
+  b.Read(b.File("/etc/wgetrc"), wget);
+  if (b.Chance(0.5)) b.Read(b.File("~/.wgetrc"), wget);
+  ResolveDns(b, wget);
+  std::int32_t http = b.Sock("remote:80");
+  b.Connect(wget, http);
+  b.Send(wget, http);  // GET
+  std::int32_t out = b.File("index.html");
+  int rounds = Scaled(4, o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Recv(http, wget);
+    b.Write(wget, out);
+  }
+  b.Write(wget, b.File("~/.wget-hsts"));
+  AddNoise(b, wget, Scaled(6, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenFtp(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t ftp = b.Proc("ftp");
+  b.Fork(bash, ftp);
+  b.Startup(ftp, "/usr/bin/ftp",
+            {"/usr/lib/libreadline.so.8", "/usr/lib/libresolv.so.2"});
+  b.Read(b.File("~/.netrc"), ftp);
+  ResolveDns(b, ftp);
+  std::int32_t ctl = b.Sock("remote:21");
+  b.Connect(ftp, ctl);
+  b.Recv(ctl, ftp);  // banner
+  b.Send(ftp, ctl);  // USER
+  b.Recv(ctl, ftp);
+  b.Send(ftp, ctl);  // PASS
+  b.Recv(ctl, ftp);
+  std::int32_t data = b.Sock("remote:20");
+  b.Connect(ftp, data);
+  std::int32_t out = b.File("download.bin");
+  int rounds = Scaled(b.Uniform(9, 13), o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Recv(data, ftp);
+    b.Write(ftp, out);
+  }
+  b.Send(ftp, ctl);  // QUIT
+  b.Recv(ctl, ftp);
+  AddNoise(b, ftp, Scaled(5, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenScp(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t scp = b.Proc("scp");
+  b.Fork(bash, scp);
+  b.Startup(scp, "/usr/bin/scp", {});
+  std::int32_t ssh = b.Proc("ssh");
+  b.Fork(scp, ssh);
+  b.Startup(ssh, "/usr/bin/ssh",
+            {"/usr/lib/libcrypto.so.3", "/usr/lib/libssl.so.3",
+             "/lib/libz.so.1", "/usr/lib/libgssapi.so.3"});
+  std::int32_t s22 = SshClientAuth(b, ssh, /*batch_variant=*/true);
+  int kex = Scaled(b.Uniform(3, 5), o.size_scale);
+  for (int i = 0; i < kex; ++i) {
+    b.Send(ssh, s22);
+    b.Recv(s22, ssh);
+  }
+  // The discriminative temporal core: socket bytes flow through the pipe
+  // into scp and then to the local file, strictly after the handshake.
+  // Shuffled background decoys contain the same edges in arbitrary order.
+  std::int32_t pipe = b.Pipe("scp");
+  std::int32_t payload = b.File("payload.dat");
+  int rounds = Scaled(b.Uniform(6, 9), o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Recv(s22, ssh);
+    b.PipeW(ssh, pipe);
+    b.PipeR(pipe, scp);
+    b.Write(scp, payload);
+  }
+  b.Chmod(scp, payload);
+  AddNoise(b, ssh, Scaled(5, o.noise_level, 0));
+  AddNoise(b, scp, Scaled(4, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenSshLogin(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t ssh = b.Proc("ssh");
+  b.Fork(bash, ssh);
+  b.Startup(ssh, "/usr/bin/ssh",
+            {"/usr/lib/libcrypto.so.3", "/usr/lib/libssl.so.3",
+             "/lib/libz.so.1", "/usr/lib/libgssapi.so.3"});
+  std::int32_t s22 = SshClientAuth(b, ssh, /*batch_variant=*/false);
+  // Interactive login verifies the host key and updates known_hosts right
+  // after the first server response — *before* the data exchange, which is
+  // the temporal difference from scp-download's late file writes.
+  b.Send(ssh, s22);
+  b.Recv(s22, ssh);
+  b.Write(ssh, b.File("~/.ssh/known_hosts"));
+  int kex = Scaled(b.Uniform(3, 5), o.size_scale);
+  for (int i = 0; i < kex; ++i) {
+    b.Send(ssh, s22);
+    b.Recv(s22, ssh);
+  }
+  std::int32_t tty = b.File("/dev/tty");
+  int rounds = Scaled(b.Uniform(10, 16), o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Read(tty, ssh);
+    b.Send(ssh, s22);
+    b.Recv(s22, ssh);
+    b.Write(ssh, tty);
+  }
+  AddNoise(b, ssh, Scaled(8, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenCompile(ScriptBuilder& b, const GenOptions& o, bool cxx) {
+  const char* const c_headers[] = {"/usr/include/stdio.h",
+                                   "/usr/include/stdlib.h",
+                                   "/usr/include/string.h",
+                                   "/usr/include/unistd.h",
+                                   "/usr/include/errno.h",
+                                   "/usr/include/math.h"};
+  const char* const cxx_headers[] = {"/usr/include/c++/iostream",
+                                     "/usr/include/c++/vector",
+                                     "/usr/include/c++/string",
+                                     "/usr/include/c++/memory",
+                                     "/usr/include/c++/algorithm",
+                                     "/usr/include/c++/map"};
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t driver = b.Proc(cxx ? "g++" : "gcc");
+  b.Fork(bash, driver);
+  b.Startup(driver, cxx ? "/usr/bin/g++" : "/usr/bin/gcc", {});
+  std::int32_t src = b.File(cxx ? "main.cpp" : "main.c");
+  b.Read(src, driver);
+  std::int32_t cc1 = b.Proc(cxx ? "cc1plus" : "cc1");
+  b.Fork(driver, cc1);
+  b.Startup(cc1, cxx ? "/usr/lib/gcc/cc1plus" : "/usr/lib/gcc/cc1",
+            cxx ? std::vector<std::string_view>{"/usr/lib/libstdc++.so.6"}
+                : std::vector<std::string_view>{});
+  b.Read(src, cc1);
+  // The first two header reads are fixed (every C program includes stdio/
+  // stdlib; every C++ one iostream/vector) — stable co-occurring labels;
+  // the rest vary per instance.
+  b.Read(b.File(cxx ? cxx_headers[0] : c_headers[0]), cc1);
+  b.Read(b.File(cxx ? cxx_headers[1] : c_headers[1]), cc1);
+  int hdrs = Scaled(b.Uniform(3, 6), o.size_scale);
+  for (int i = 0; i < hdrs; ++i) {
+    const char* h =
+        cxx ? cxx_headers[static_cast<std::size_t>(b.Uniform(0, 5))]
+            : c_headers[static_cast<std::size_t>(b.Uniform(0, 5))];
+    b.Read(b.File(h), cc1);
+  }
+  std::int32_t asm_file = b.File("/tmp/cc-temp.s");
+  int chunks = Scaled(3, o.size_scale);
+  for (int i = 0; i < chunks; ++i) b.Write(cc1, asm_file);
+  std::int32_t as = b.Proc("as");
+  b.Fork(driver, as);
+  b.Startup(as, "/usr/bin/as", {"/usr/lib/libbfd.so"});
+  b.Read(asm_file, as);
+  std::int32_t obj = b.File("/tmp/cc-temp.o");
+  b.Write(as, obj);
+  std::int32_t collect2 = b.Proc("collect2");
+  b.Fork(driver, collect2);
+  b.Startup(collect2, "/usr/lib/gcc/collect2", {});
+  std::int32_t ld = b.Proc("ld");
+  b.Fork(collect2, ld);
+  b.Startup(ld, "/usr/bin/ld", {"/usr/lib/libbfd.so"});
+  b.Read(b.File("/usr/lib/crt1.o"), ld);
+  b.Read(b.File("/usr/lib/crti.o"), ld);
+  b.Read(b.File("/usr/lib/libgcc.a"), ld);
+  if (cxx) b.Read(b.File("/usr/lib/libstdc++.so.6"), ld);
+  b.Read(obj, ld);
+  std::int32_t aout = b.File("a.out");
+  int wr = Scaled(2, o.size_scale);
+  for (int i = 0; i < wr; ++i) b.Write(ld, aout);
+  b.Chmod(ld, aout);
+  AddNoise(b, driver, Scaled(4, o.noise_level, 0));
+  AddNoise(b, cc1, Scaled(6, o.noise_level, 0));
+  AddNoise(b, ld, Scaled(4, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenFtpdLogin(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t inetd = b.Proc("inetd");
+  std::int32_t ftpd = b.Proc("ftpd");
+  b.Fork(inetd, ftpd);
+  b.Startup(ftpd, "/usr/sbin/ftpd",
+            {"/usr/lib/libpam.so.0", "/usr/lib/libwrap.so.0"});
+  std::int32_t cli = b.Sock("client:ftp");
+  b.Accept(cli, ftpd);
+  b.Send(ftpd, cli);  // banner
+  b.Recv(cli, ftpd);  // USER
+  b.Read(b.File("/etc/passwd"), ftpd);
+  b.Send(ftpd, cli);
+  b.Recv(cli, ftpd);  // PASS
+  // PAM authentication chain, then the session bookkeeping writes — the
+  // ordered core that identifies a *successful* server-side ftp login.
+  b.Read(b.File("/etc/pam.d/common-auth"), ftpd);
+  b.Mmap(b.File("/lib/security/pam_unix.so"), ftpd);
+  b.Read(b.File("/etc/shadow"), ftpd);
+  b.Write(ftpd, b.File("/var/run/utmp"));
+  b.Write(ftpd, b.File("/var/log/wtmp"));
+  b.Write(ftpd, b.File("/var/log/xferlog"));
+  std::int32_t sess = b.Proc("ftpd-session");
+  b.Fork(ftpd, sess);
+  b.Read(b.File("/etc/group"), sess);
+  int rounds = Scaled(b.Uniform(8, 12), o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Recv(cli, ftpd);
+    b.Send(ftpd, cli);
+  }
+  AddNoise(b, ftpd, Scaled(8, o.noise_level, 0));
+  AddNoise(b, sess, Scaled(4, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenSshdLogin(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t sshd = b.Proc("sshd");
+  std::int32_t cli = b.Sock("client:22");
+  b.Accept(cli, sshd);
+  std::int32_t sess = b.Proc("sshd-session");
+  b.Fork(sshd, sess);
+  b.Startup(sess, "/usr/sbin/sshd",
+            {"/usr/lib/libcrypto.so.3", "/usr/lib/libssl.so.3",
+             "/lib/libz.so.1", "/usr/lib/libpam.so.0",
+             "/usr/lib/libgssapi.so.3", "/usr/lib/libkrb5.so.3"});
+  b.Read(b.File("/etc/ssh/sshd_config"), sess);
+  b.Read(b.File("/etc/ssh/ssh_host_rsa_key"), sess);
+  b.Read(b.File("/etc/ssh/ssh_host_ed25519_key"), sess);
+  b.Read(b.File("/etc/ssh/moduli"), sess);
+  int kex = Scaled(b.Uniform(12, 16), o.size_scale);
+  for (int i = 0; i < kex; ++i) {
+    b.Recv(cli, sess);
+    b.Send(sess, cli);
+  }
+  // PAM + account lookup.
+  b.Read(b.File("/etc/pam.d/sshd"), sess);
+  b.Mmap(b.File("/lib/security/pam_unix.so"), sess);
+  b.Read(b.File("/etc/passwd"), sess);
+  b.Read(b.File("/etc/shadow"), sess);
+  b.Read(b.File("/etc/group"), sess);
+  b.Read(b.File("/etc/login.defs"), sess);
+  // The Figure-10-style core: session bookkeeping then shell spawn. Every
+  // node label here also occurs in background activity; only the order is
+  // unique to a completed sshd login.
+  b.Write(sess, b.File("/var/run/utmp"));
+  b.Write(sess, b.File("/var/log/wtmp"));
+  b.Write(sess, b.File("/var/log/lastlog"));
+  b.Read(b.File("/etc/motd"), sess);
+  std::int32_t shell = b.Proc("bash");
+  b.Fork(sess, shell);
+  b.Startup(shell, "/bin/bash",
+            {"/usr/lib/libreadline.so.8", "/usr/lib/libncurses.so.6"});
+  b.Read(b.File("/etc/profile"), shell);
+  b.Read(b.File("/etc/bash.bashrc"), shell);
+  b.Read(b.File("~/.bashrc"), shell);
+  b.Read(b.File("~/.bash_history"), shell);
+  std::int32_t pty = b.Pipe("pty");
+  int rounds = Scaled(b.Uniform(34, 46), o.size_scale);
+  for (int i = 0; i < rounds; ++i) {
+    b.Recv(cli, sess);
+    b.PipeW(sess, pty);
+    b.PipeR(pty, shell);
+    if (b.Chance(0.35)) b.Read(b.File("/etc/hostname"), shell);
+    b.PipeW(shell, pty);
+    b.PipeR(pty, sess);
+    b.Send(sess, cli);
+  }
+  b.Write(shell, b.File("~/.bash_history"));
+  AddNoise(b, sess, Scaled(20, o.noise_level, 0));
+  AddNoise(b, shell, Scaled(14, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenAptUpdate(ScriptBuilder& b, const GenOptions& o) {
+  const char* const repos[] = {"archive-main", "archive-universe",
+                               "archive-security", "archive-updates",
+                               "archive-backports", "ppa-tools"};
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t apt = b.Proc("apt-get");
+  b.Fork(bash, apt);
+  b.Startup(apt, "/usr/bin/apt-get",
+            {"/usr/lib/libapt-pkg.so.6", "/usr/lib/libstdc++.so.6",
+             "/lib/libz.so.1"});
+  b.Read(b.File("/etc/apt/sources.list"), apt);
+  if (b.Chance(0.6)) b.Read(b.File("/etc/apt/sources.list.d/extra.list"), apt);
+  b.Lock(apt, b.File("/var/lib/apt/lists/lock"));
+  std::int32_t meth = b.Proc("apt-http");
+  b.Fork(apt, meth);
+  b.Startup(meth, "/usr/lib/apt/methods/http", {});
+  ResolveDns(b, meth);
+  std::int32_t arch = b.Sock("archive:80");
+  b.Connect(meth, arch);
+  std::int32_t pipe = b.Pipe("apt-method");
+  int nrepos = Scaled(b.Uniform(10, 14), o.size_scale);
+  for (int r = 0; r < nrepos; ++r) {
+    const char* repo = repos[static_cast<std::size_t>(r % 6)];
+    b.Send(meth, arch);
+    int chunks = Scaled(b.Uniform(6, 9), o.size_scale);
+    std::int32_t list =
+        b.File(std::string("/var/lib/apt/lists/") + repo + "_Packages");
+    for (int c = 0; c < chunks; ++c) {
+      b.Recv(arch, meth);
+      b.Write(meth, list);
+    }
+    b.PipeW(meth, pipe);
+    b.PipeR(pipe, apt);
+  }
+  b.Write(apt, b.File("/var/cache/apt/pkgcache.bin"));
+  b.Write(apt, b.File("/var/cache/apt/srcpkgcache.bin"));
+  b.Unlink(apt, b.File("/var/lib/apt/lists/partial"));
+  AddNoise(b, apt, Scaled(22, o.noise_level, 0));
+  AddNoise(b, meth, Scaled(12, o.noise_level, 0));
+  return b.Finish();
+}
+
+InstanceScript GenAptInstall(ScriptBuilder& b, const GenOptions& o) {
+  std::int32_t bash = b.Proc("bash");
+  std::int32_t apt = b.Proc("apt-get");
+  b.Fork(bash, apt);
+  b.Startup(apt, "/usr/bin/apt-get",
+            {"/usr/lib/libapt-pkg.so.6", "/usr/lib/libstdc++.so.6",
+             "/lib/libz.so.1"});
+  b.Read(b.File("/etc/apt/sources.list"), apt);
+  b.Read(b.File("/var/lib/apt/lists/archive-main_Packages"), apt);
+  b.Lock(apt, b.File("/var/lib/dpkg/lock"));
+  // Download the package.
+  std::int32_t meth = b.Proc("apt-http");
+  b.Fork(apt, meth);
+  b.Startup(meth, "/usr/lib/apt/methods/http", {});
+  ResolveDns(b, meth);
+  std::int32_t arch = b.Sock("archive:80");
+  b.Connect(meth, arch);
+  b.Send(meth, arch);
+  std::int32_t deb = b.File("/var/cache/apt/archives/pkg.deb");
+  int chunks = Scaled(b.Uniform(14, 20), o.size_scale);
+  for (int c = 0; c < chunks; ++c) {
+    b.Recv(arch, meth);
+    b.Write(meth, deb);
+  }
+  // Unpack with dpkg — the heavy, discriminative tail.
+  std::int32_t dpkg = b.Proc("dpkg");
+  b.Fork(apt, dpkg);
+  b.Startup(dpkg, "/usr/bin/dpkg", {"/usr/lib/libapt-pkg.so.6"});
+  b.Read(b.File("/var/lib/dpkg/status"), dpkg);
+  b.Read(deb, dpkg);
+  int files = Scaled(b.Uniform(60, 90), o.size_scale);
+  for (int f = 0; f < files; ++f) {
+    // A handful of fixed payload paths keep the unpack signature minable;
+    // the rest are pooled paths that vary per instance.
+    std::int32_t target;
+    if (f == 0) {
+      target = b.File("/usr/bin/pkg-tool");
+    } else if (f == 1) {
+      target = b.File("/usr/share/doc/pkg/copyright");
+    } else {
+      target =
+          b.File("/usr/share/pkg/data" + std::to_string(b.Uniform(0, 39)));
+    }
+    b.Write(dpkg, target);
+  }
+  b.Write(dpkg, b.File("/var/lib/dpkg/info/pkg.list"));
+  b.Write(dpkg, b.File("/var/lib/dpkg/status"));
+  // Maintainer script + ldconfig.
+  std::int32_t post = b.Proc("sh");
+  b.Fork(dpkg, post);
+  b.Read(b.File("/var/lib/dpkg/info/pkg.postinst"), post);
+  std::int32_t ldc = b.Proc("ldconfig");
+  b.Fork(post, ldc);
+  b.Read(b.File("/etc/ld.so.conf"), ldc);
+  b.Write(ldc, b.File("/etc/ld.so.cache"));
+  b.Unlink(apt, b.File("/var/lib/dpkg/lock"));
+  AddNoise(b, apt, Scaled(26, o.noise_level, 0));
+  AddNoise(b, dpkg, Scaled(18, o.noise_level, 0));
+  return b.Finish();
+}
+
+}  // namespace
+
+InstanceScript GenerateBehavior(SyslogWorld& world, BehaviorKind kind,
+                                std::mt19937_64& rng,
+                                const GenOptions& options) {
+  ScriptBuilder b(&world, &rng);
+  double drop = options.disruption_prob >= 0.0 ? options.disruption_prob
+                                               : DefaultDisruption(kind);
+  b.SetDropProb(drop);
+  switch (kind) {
+    case BehaviorKind::kBzip2Decompress:
+      return GenDecompress(b, options, /*bzip2=*/true);
+    case BehaviorKind::kGzipDecompress:
+      return GenDecompress(b, options, /*bzip2=*/false);
+    case BehaviorKind::kWgetDownload:
+      return GenWget(b, options);
+    case BehaviorKind::kFtpDownload:
+      return GenFtp(b, options);
+    case BehaviorKind::kScpDownload:
+      return GenScp(b, options);
+    case BehaviorKind::kGccCompile:
+      return GenCompile(b, options, /*cxx=*/false);
+    case BehaviorKind::kGxxCompile:
+      return GenCompile(b, options, /*cxx=*/true);
+    case BehaviorKind::kFtpdLogin:
+      return GenFtpdLogin(b, options);
+    case BehaviorKind::kSshLogin:
+      return GenSshLogin(b, options);
+    case BehaviorKind::kSshdLogin:
+      return GenSshdLogin(b, options);
+    case BehaviorKind::kAptGetUpdate:
+      return GenAptUpdate(b, options);
+    case BehaviorKind::kAptGetInstall:
+      return GenAptInstall(b, options);
+  }
+  TGM_CHECK(false);
+}
+
+}  // namespace tgm

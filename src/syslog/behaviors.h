@@ -1,0 +1,65 @@
+#ifndef TGM_SYSLOG_BEHAVIORS_H_
+#define TGM_SYSLOG_BEHAVIORS_H_
+
+#include <random>
+#include <string>
+
+#include "syslog/script.h"
+
+namespace tgm {
+
+/// The 12 target behaviours of Table 1, spanning the paper's five
+/// security-relevant categories (Appendix L): file decompression, source
+/// compilation, file download, remote login, and system software
+/// management.
+enum class BehaviorKind {
+  kBzip2Decompress,
+  kGzipDecompress,
+  kWgetDownload,
+  kFtpDownload,
+  kScpDownload,
+  kGccCompile,
+  kGxxCompile,
+  kFtpdLogin,
+  kSshLogin,
+  kSshdLogin,
+  kAptGetUpdate,
+  kAptGetInstall,
+};
+
+inline constexpr int kNumBehaviors = 12;
+
+/// All behaviours in Table 1 order.
+const std::vector<BehaviorKind>& AllBehaviors();
+
+/// Table 1 name, e.g. "sshd-login".
+std::string BehaviorName(BehaviorKind kind);
+
+/// Table 1 trace size class.
+enum class SizeClass { kSmall, kMedium, kLarge };
+SizeClass BehaviorSizeClass(BehaviorKind kind);
+std::string SizeClassName(SizeClass c);
+
+/// Generation knobs shared by the training, background and test builders.
+struct GenOptions {
+  /// Scales repeated-round counts of the templates (trace sizes).
+  double size_scale = 1.0;
+  /// Scales the number of noise events interleaved into each instance.
+  double noise_level = 1.0;
+  /// Per-core-event drop probability; < 0 selects the per-behaviour
+  /// default (what keeps measured recall below 100%).
+  double disruption_prob = -1.0;
+};
+
+/// Per-behaviour default disruption probability.
+double DefaultDisruption(BehaviorKind kind);
+
+/// Generates one behaviour instance: the behaviour's fixed temporal core
+/// (its discoverable signature) plus randomized rounds and noise.
+InstanceScript GenerateBehavior(SyslogWorld& world, BehaviorKind kind,
+                                std::mt19937_64& rng,
+                                const GenOptions& options);
+
+}  // namespace tgm
+
+#endif  // TGM_SYSLOG_BEHAVIORS_H_

@@ -1,0 +1,135 @@
+#include "syslog/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tgm {
+
+TrainingData BuildTrainingData(SyslogWorld& world,
+                               const DatasetConfig& config) {
+  TrainingData data;
+  const auto& behaviors = AllBehaviors();
+  data.positives.resize(behaviors.size());
+  data.max_duration.assign(behaviors.size(), 0);
+
+  for (std::size_t bi = 0; bi < behaviors.size(); ++bi) {
+    std::mt19937_64 rng(config.seed * 7919 + bi * 104729 + 1);
+    for (int run = 0; run < config.runs_per_behavior; ++run) {
+      InstanceScript script =
+          GenerateBehavior(world, behaviors[bi], rng, config.gen);
+      data.max_duration[bi] =
+          std::max(data.max_duration[bi], script.Duration());
+      data.positives[bi].push_back(script.ToGraph());
+    }
+  }
+
+  std::mt19937_64 rng(config.seed * 7919 + 15485863);
+  data.background.reserve(static_cast<std::size_t>(config.background_graphs));
+  for (int i = 0; i < config.background_graphs; ++i) {
+    InstanceScript script = GenerateBackground(
+        world, rng, config.gen, config.background_decoy_prob);
+    data.background.push_back(script.ToGraph());
+  }
+  return data;
+}
+
+TestLog BuildTestLog(SyslogWorld& world, const DatasetConfig& config) {
+  TestLog log;
+  const auto& behaviors = AllBehaviors();
+  log.instance_counts.assign(behaviors.size(), 0);
+
+  std::mt19937_64 rng(config.seed * 6700417 + 2);
+  TemporalGraph& g = log.graph;
+  Timestamp t = 0;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Balanced behaviour schedule: shuffled round-robin, like the paper's
+  // "one of the target behaviors is randomly selected and performed" every
+  // minute, but guaranteeing per-behaviour denominators.
+  std::vector<BehaviorKind> schedule;
+  schedule.reserve(static_cast<std::size_t>(config.test_instances));
+  while (schedule.size() < static_cast<std::size_t>(config.test_instances)) {
+    std::vector<BehaviorKind> round = behaviors;
+    std::shuffle(round.begin(), round.end(), rng);
+    for (BehaviorKind k : round) {
+      if (schedule.size() < static_cast<std::size_t>(config.test_instances)) {
+        schedule.push_back(k);
+      }
+    }
+  }
+
+  for (BehaviorKind kind : schedule) {
+    // Background burst covering this slot.
+    InstanceScript burst =
+        GenerateBackground(world, rng, config.gen, /*decoy_prob=*/0.0);
+    burst.AppendTo(&g, t);
+    Timestamp burst_span = burst.Duration();
+
+    // The behaviour instance, offset into the burst so background events
+    // interleave with it on both sides.
+    InstanceScript inst = GenerateBehavior(world, kind, rng, config.gen);
+    std::uniform_int_distribution<Timestamp> offset_dist(
+        0, std::max<Timestamp>(burst_span / 3, 1));
+    Timestamp offset = offset_dist(rng);
+    inst.AppendTo(&g, t + offset);
+    std::size_t bi = 0;
+    while (behaviors[bi] != kind) ++bi;
+    log.truth.push_back(
+        TruthInstance{kind, t + offset, t + offset + inst.Duration()});
+    ++log.instance_counts[bi];
+
+    Timestamp slot_end = std::max(burst_span, offset + inst.Duration());
+
+    // Decoys: shuffled behaviour structures that are *not* ground truth.
+    if (unit(rng) < config.test_decoy_rate) {
+      BehaviorKind decoy_kind =
+          behaviors[static_cast<std::size_t>(rng() % behaviors.size())];
+      GenOptions opts = config.gen;
+      opts.disruption_prob = 0.0;
+      if (BehaviorSizeClass(decoy_kind) == SizeClass::kLarge) {
+        opts.size_scale *= 0.3;
+        opts.noise_level *= 0.3;
+      }
+      InstanceScript decoy = GenerateBehavior(world, decoy_kind, rng, opts);
+      decoy.Shuffle(rng);
+      std::uniform_int_distribution<Timestamp> decoy_offset(
+          0, std::max<Timestamp>(slot_end / 2, 1));
+      Timestamp doff = decoy_offset(rng);
+      decoy.AppendTo(&g, t + doff);
+      slot_end = std::max(slot_end, doff + decoy.Duration());
+    }
+
+    t += slot_end + 1000;  // inter-slot gap
+  }
+
+  g.Finalize(TiePolicy::kBreakByInsertionOrder);
+  return log;
+}
+
+BehaviorStats ComputeStats(const std::vector<TemporalGraph>& graphs) {
+  BehaviorStats stats;
+  if (graphs.empty()) return stats;
+  std::unordered_set<LabelId> labels;
+  for (const TemporalGraph& g : graphs) {
+    stats.avg_nodes += static_cast<double>(g.node_count());
+    stats.avg_edges += static_cast<double>(g.edge_count());
+    for (LabelId l : g.DistinctNodeLabels()) labels.insert(l);
+  }
+  stats.avg_nodes /= static_cast<double>(graphs.size());
+  stats.avg_edges /= static_cast<double>(graphs.size());
+  stats.total_labels = static_cast<std::int64_t>(labels.size());
+  return stats;
+}
+
+std::vector<TemporalGraph> ReplicateGraphs(
+    const std::vector<TemporalGraph>& graphs, int factor) {
+  TGM_CHECK(factor >= 1);
+  std::vector<TemporalGraph> out;
+  out.reserve(graphs.size() * static_cast<std::size_t>(factor));
+  for (int i = 0; i < factor; ++i) {
+    for (const TemporalGraph& g : graphs) out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace tgm

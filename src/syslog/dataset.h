@@ -1,0 +1,79 @@
+#ifndef TGM_SYSLOG_DATASET_H_
+#define TGM_SYSLOG_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "syslog/background.h"
+#include "syslog/behaviors.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// Knobs for the training / test collection processes of Appendix L,
+/// scaled down by default so the full bench suite runs in minutes. The
+/// paper's full scale is runs_per_behavior = 100, background_graphs =
+/// 10000, test_instances = 10000.
+struct DatasetConfig {
+  int runs_per_behavior = 30;
+  int background_graphs = 150;
+  int test_instances = 240;
+  /// Per-behaviour probability of one order-shuffled decoy inside each
+  /// background graph.
+  double background_decoy_prob = 0.22;
+  /// Expected decoys injected per test-log instance slot.
+  double test_decoy_rate = 0.6;
+  GenOptions gen;
+  std::uint64_t seed = 42;
+};
+
+/// The mining input: Gp per behaviour plus the shared Gn.
+struct TrainingData {
+  /// positives[i] are the runs of AllBehaviors()[i].
+  std::vector<std::vector<TemporalGraph>> positives;
+  std::vector<TemporalGraph> background;
+  /// Longest observed instance lifetime per behaviour (ticks) — the query
+  /// search window ("no longer than the longest observed lifetime",
+  /// Section 6.1).
+  std::vector<Timestamp> max_duration;
+};
+
+/// Builds the closed-environment training collection deterministically
+/// from `config.seed`.
+TrainingData BuildTrainingData(SyslogWorld& world,
+                               const DatasetConfig& config);
+
+/// One ground-truth behaviour execution inside the test log.
+struct TruthInstance {
+  BehaviorKind behavior;
+  Timestamp t_begin = 0;
+  Timestamp t_end = 0;
+};
+
+/// The 7-day-style evaluation log: one large temporal graph with
+/// behaviours injected on a schedule plus ground-truth intervals.
+struct TestLog {
+  TemporalGraph graph;
+  std::vector<TruthInstance> truth;
+  /// Number of injected instances per behaviour (Table 2 denominators).
+  std::vector<std::int64_t> instance_counts;
+};
+
+TestLog BuildTestLog(SyslogWorld& world, const DatasetConfig& config);
+
+/// Table 1 row: averages plus the distinct-label count of a graph set.
+struct BehaviorStats {
+  double avg_nodes = 0.0;
+  double avg_edges = 0.0;
+  std::int64_t total_labels = 0;
+};
+
+BehaviorStats ComputeStats(const std::vector<TemporalGraph>& graphs);
+
+/// SYN-k datasets (Figure 16): each graph replicated `factor` times.
+std::vector<TemporalGraph> ReplicateGraphs(
+    const std::vector<TemporalGraph>& graphs, int factor);
+
+}  // namespace tgm
+
+#endif  // TGM_SYSLOG_DATASET_H_

@@ -1,0 +1,65 @@
+#include "syslog/entity.h"
+
+namespace tgm {
+
+std::string EdgeOpName(EdgeOp op) {
+  switch (op) {
+    case EdgeOp::kFork:
+      return "op:fork";
+    case EdgeOp::kExec:
+      return "op:exec";
+    case EdgeOp::kRead:
+      return "op:read";
+    case EdgeOp::kWrite:
+      return "op:write";
+    case EdgeOp::kMmap:
+      return "op:mmap";
+    case EdgeOp::kStat:
+      return "op:stat";
+    case EdgeOp::kConnect:
+      return "op:connect";
+    case EdgeOp::kAccept:
+      return "op:accept";
+    case EdgeOp::kSend:
+      return "op:send";
+    case EdgeOp::kRecv:
+      return "op:recv";
+    case EdgeOp::kPipeW:
+      return "op:pipew";
+    case EdgeOp::kPipeR:
+      return "op:piper";
+    case EdgeOp::kChmod:
+      return "op:chmod";
+    case EdgeOp::kUnlink:
+      return "op:unlink";
+    case EdgeOp::kLock:
+      return "op:lock";
+  }
+  return "op:unknown";
+}
+
+SyslogWorld::SyslogWorld() {
+  // Reserve id 0 so kNoEdgeLabel is never a real label.
+  LabelId reserved = dict_.Intern("<none>");
+  TGM_CHECK(reserved == 0);
+}
+
+LabelId SyslogWorld::Proc(std::string_view name) {
+  return dict_.Intern("proc:" + std::string(name));
+}
+
+LabelId SyslogWorld::File(std::string_view name) {
+  return dict_.Intern("file:" + std::string(name));
+}
+
+LabelId SyslogWorld::Sock(std::string_view name) {
+  return dict_.Intern("sock:" + std::string(name));
+}
+
+LabelId SyslogWorld::Pipe(std::string_view name) {
+  return dict_.Intern("pipe:" + std::string(name));
+}
+
+LabelId SyslogWorld::Op(EdgeOp op) { return dict_.Intern(EdgeOpName(op)); }
+
+}  // namespace tgm

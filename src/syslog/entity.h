@@ -1,0 +1,64 @@
+#ifndef TGM_SYSLOG_ENTITY_H_
+#define TGM_SYSLOG_ENTITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "temporal/label_dict.h"
+
+namespace tgm {
+
+/// System entity categories recorded in syscall logs (Section 1: processes,
+/// files, sockets, and pipes).
+enum class EntityType { kProcess, kFile, kSocket, kPipe };
+
+/// Syscall-level interaction types used as edge labels. Directions encode
+/// data flow: reads/receives point from the passive entity to the process,
+/// writes/sends from the process outward.
+enum class EdgeOp {
+  kFork,     // proc -> proc
+  kExec,     // file -> proc (program image)
+  kRead,     // file -> proc
+  kWrite,    // proc -> file
+  kMmap,     // file -> proc (library load)
+  kStat,     // file -> proc
+  kConnect,  // proc -> sock
+  kAccept,   // sock -> proc
+  kSend,     // proc -> sock
+  kRecv,     // sock -> proc
+  kPipeW,    // proc -> pipe
+  kPipeR,    // pipe -> proc
+  kChmod,    // proc -> file
+  kUnlink,   // proc -> file
+  kLock,     // proc -> file
+};
+
+/// Human-readable name ("op:read" etc.).
+std::string EdgeOpName(EdgeOp op);
+
+/// Owns the label dictionary for one simulated world and interns entity /
+/// operation labels with type prefixes ("proc:sshd", "file:/etc/passwd",
+/// "sock:remote:22", "pipe:scp"). Label id 0 is reserved so kNoEdgeLabel
+/// never collides with a real label.
+class SyslogWorld {
+ public:
+  SyslogWorld();
+
+  LabelDict& dict() { return dict_; }
+  const LabelDict& dict() const { return dict_; }
+
+  LabelId Proc(std::string_view name);
+  LabelId File(std::string_view name);
+  LabelId Sock(std::string_view name);
+  LabelId Pipe(std::string_view name);
+
+  /// Edge label for a syscall op.
+  LabelId Op(EdgeOp op);
+
+ private:
+  LabelDict dict_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_SYSLOG_ENTITY_H_

@@ -1,0 +1,106 @@
+#include "syslog/parser.h"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace tgm {
+
+namespace {
+
+const std::pair<const char*, EdgeOp> kOpTokens[] = {
+    {"fork", EdgeOp::kFork},       {"exec", EdgeOp::kExec},
+    {"read", EdgeOp::kRead},       {"write", EdgeOp::kWrite},
+    {"mmap", EdgeOp::kMmap},       {"stat", EdgeOp::kStat},
+    {"connect", EdgeOp::kConnect}, {"accept", EdgeOp::kAccept},
+    {"send", EdgeOp::kSend},       {"recv", EdgeOp::kRecv},
+    {"pipew", EdgeOp::kPipeW},     {"piper", EdgeOp::kPipeR},
+    {"chmod", EdgeOp::kChmod},     {"unlink", EdgeOp::kUnlink},
+    {"lock", EdgeOp::kLock},
+};
+
+// Splits "57:file:/etc/passwd" into id 57 and label "file:/etc/passwd".
+bool SplitEntity(std::string_view token, std::int64_t* id,
+                 std::string_view* label) {
+  std::size_t colon = token.find(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= token.size()) {
+    return false;
+  }
+  std::string_view id_part = token.substr(0, colon);
+  auto [ptr, ec] = std::from_chars(id_part.data(),
+                                   id_part.data() + id_part.size(), *id);
+  if (ec != std::errc() || ptr != id_part.data() + id_part.size()) {
+    return false;
+  }
+  *label = token.substr(colon + 1);
+  return true;
+}
+
+}  // namespace
+
+LabelId ParseOpToken(std::string_view token, SyslogWorld& world) {
+  if (token.rfind("op:", 0) == 0) token = token.substr(3);
+  for (const auto& [name, op] : kOpTokens) {
+    if (token == name) return world.Op(op);
+  }
+  return kInvalidLabel;
+}
+
+std::optional<TemporalGraph> ParseSyscallLog(std::istream& is,
+                                             SyslogWorld& world,
+                                             ParseStats* stats) {
+  ParseStats local;
+  TemporalGraph g;
+  std::unordered_map<std::int64_t, NodeId> entity_to_node;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    ++local.lines_total;
+    // Trim leading whitespace; skip blanks and comments.
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') {
+      ++local.lines_skipped;
+      continue;
+    }
+    std::istringstream ls(line);
+    Timestamp ts = 0;
+    std::string op_token;
+    std::string src_token;
+    std::string dst_token;
+    if (!(ls >> ts >> op_token >> src_token >> dst_token) || ts < 0) {
+      ++local.lines_skipped;
+      continue;
+    }
+    LabelId op = ParseOpToken(op_token, world);
+    std::int64_t src_id = 0;
+    std::int64_t dst_id = 0;
+    std::string_view src_label;
+    std::string_view dst_label;
+    if (op == kInvalidLabel || !SplitEntity(src_token, &src_id, &src_label) ||
+        !SplitEntity(dst_token, &dst_id, &dst_label) || src_id == dst_id) {
+      ++local.lines_skipped;
+      continue;
+    }
+    auto node_of = [&](std::int64_t id, std::string_view label) {
+      auto it = entity_to_node.find(id);
+      if (it != entity_to_node.end()) return it->second;
+      NodeId node = g.AddNode(world.dict().Intern(label));
+      entity_to_node.emplace(id, node);
+      return node;
+    };
+    NodeId src = node_of(src_id, src_label);
+    NodeId dst = node_of(dst_id, dst_label);
+    g.AddEdge(src, dst, ts, op);
+    ++local.events_parsed;
+  }
+
+  if (stats != nullptr) *stats = local;
+  if (local.events_parsed == 0) return std::nullopt;
+  g.Finalize(TiePolicy::kBreakByInsertionOrder);
+  return g;
+}
+
+}  // namespace tgm

@@ -1,0 +1,49 @@
+#ifndef TGM_SYSLOG_PARSER_H_
+#define TGM_SYSLOG_PARSER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "syslog/entity.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// Parses textual syscall event logs into temporal graphs — the ingestion
+/// path a deployment would use instead of the simulator.
+///
+/// Line format (whitespace separated; '#' starts a comment line):
+///
+///   <timestamp> <op> <src_entity_id>:<src_label> <dst_entity_id>:<dst_label>
+///
+/// e.g.
+///
+///   1040 read 57:file:/etc/passwd 12:proc:sshd
+///
+/// Entity ids are the producer's stable identifiers (pid, inode, socket
+/// fd...); each distinct id becomes one node. Labels are interned into the
+/// world's dictionary; `op` must be one of the EdgeOp names without the
+/// "op:" prefix (fork, exec, read, write, mmap, stat, connect, accept,
+/// send, recv, pipew, piper, chmod, unlink, lock).
+struct ParseStats {
+  std::int64_t lines_total = 0;
+  std::int64_t events_parsed = 0;
+  std::int64_t lines_skipped = 0;  // comments, blanks and malformed lines
+};
+
+/// Parses the whole stream. Returns nullopt only if *nothing* could be
+/// parsed; otherwise returns the finalized graph (ties broken by line
+/// order) and fills `stats` when non-null.
+std::optional<TemporalGraph> ParseSyscallLog(std::istream& is,
+                                             SyslogWorld& world,
+                                             ParseStats* stats = nullptr);
+
+/// Parses an op token ("read", "op:read") to its edge label; kInvalidLabel
+/// if unknown.
+LabelId ParseOpToken(std::string_view token, SyslogWorld& world);
+
+}  // namespace tgm
+
+#endif  // TGM_SYSLOG_PARSER_H_

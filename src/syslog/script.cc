@@ -1,0 +1,170 @@
+#include "syslog/script.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+std::int32_t InstanceScript::AddSlot(LabelId label) {
+  slot_labels_.push_back(label);
+  return static_cast<std::int32_t>(slot_labels_.size() - 1);
+}
+
+void InstanceScript::AddEvent(std::int32_t src_slot, std::int32_t dst_slot,
+                              LabelId op, Timestamp tick) {
+  TGM_DCHECK(src_slot >= 0 &&
+             static_cast<std::size_t>(src_slot) < slot_labels_.size());
+  TGM_DCHECK(dst_slot >= 0 &&
+             static_cast<std::size_t>(dst_slot) < slot_labels_.size());
+  TGM_DCHECK(src_slot != dst_slot);
+  events_.push_back(RawEvent{src_slot, dst_slot, op, tick});
+}
+
+Timestamp InstanceScript::Duration() const {
+  Timestamp max_tick = 0;
+  for (const RawEvent& e : events_) max_tick = std::max(max_tick, e.tick);
+  return max_tick;
+}
+
+void InstanceScript::Shuffle(std::mt19937_64& rng) {
+  Timestamp duration = std::max<Timestamp>(Duration(), 1);
+  std::uniform_int_distribution<Timestamp> dist(0, duration);
+  for (RawEvent& e : events_) e.tick = dist(rng);
+  // Also permute insertion order so equal-tick sequencing carries no
+  // residue of the original order.
+  std::shuffle(events_.begin(), events_.end(), rng);
+}
+
+TemporalGraph InstanceScript::ToGraph() const {
+  TemporalGraph g;
+  for (LabelId l : slot_labels_) g.AddNode(l);
+  for (const RawEvent& e : events_) {
+    g.AddEdge(e.src_slot, e.dst_slot, e.tick, e.op);
+  }
+  g.Finalize(TiePolicy::kBreakByInsertionOrder);
+  return g;
+}
+
+void InstanceScript::AppendTo(TemporalGraph* g, Timestamp t0) const {
+  TGM_CHECK(g != nullptr && !g->finalized());
+  std::vector<NodeId> slot_to_node;
+  slot_to_node.reserve(slot_labels_.size());
+  for (LabelId l : slot_labels_) slot_to_node.push_back(g->AddNode(l));
+  for (const RawEvent& e : events_) {
+    g->AddEdge(slot_to_node[static_cast<std::size_t>(e.src_slot)],
+               slot_to_node[static_cast<std::size_t>(e.dst_slot)],
+               t0 + e.tick, e.op);
+  }
+}
+
+void InstanceScript::Merge(const InstanceScript& other, Timestamp t0) {
+  std::int32_t base = static_cast<std::int32_t>(slot_labels_.size());
+  slot_labels_.insert(slot_labels_.end(), other.slot_labels_.begin(),
+                      other.slot_labels_.end());
+  for (const RawEvent& e : other.events_) {
+    events_.push_back(RawEvent{base + e.src_slot, base + e.dst_slot, e.op,
+                               t0 + e.tick});
+  }
+}
+
+ScriptBuilder::ScriptBuilder(SyslogWorld* world, std::mt19937_64* rng)
+    : world_(world), rng_(rng) {
+  TGM_CHECK(world_ != nullptr && rng_ != nullptr);
+}
+
+std::int32_t ScriptBuilder::Proc(std::string_view name) {
+  return script_.AddSlot(world_->Proc(name));
+}
+std::int32_t ScriptBuilder::File(std::string_view name) {
+  return script_.AddSlot(world_->File(name));
+}
+std::int32_t ScriptBuilder::Sock(std::string_view name) {
+  return script_.AddSlot(world_->Sock(name));
+}
+std::int32_t ScriptBuilder::Pipe(std::string_view name) {
+  return script_.AddSlot(world_->Pipe(name));
+}
+
+void ScriptBuilder::CoreEvent(EdgeOp op, std::int32_t src, std::int32_t dst) {
+  // Jittered clock advance keeps the total order strict per instance while
+  // letting noise interleave everywhere.
+  std::uniform_int_distribution<Timestamp> jitter(0, kCoreGap / 2);
+  clock_ += kCoreGap + jitter(*rng_);
+  if (drop_prob_ > 0.0 && Chance(drop_prob_)) return;  // disrupted run
+  script_.AddEvent(src, dst, world_->Op(op), clock_);
+}
+
+void ScriptBuilder::Fork(std::int32_t parent, std::int32_t child) {
+  CoreEvent(EdgeOp::kFork, parent, child);
+}
+void ScriptBuilder::Exec(std::int32_t binary_file, std::int32_t proc) {
+  CoreEvent(EdgeOp::kExec, binary_file, proc);
+}
+void ScriptBuilder::Read(std::int32_t file, std::int32_t proc) {
+  CoreEvent(EdgeOp::kRead, file, proc);
+}
+void ScriptBuilder::Write(std::int32_t proc, std::int32_t file) {
+  CoreEvent(EdgeOp::kWrite, proc, file);
+}
+void ScriptBuilder::Mmap(std::int32_t file, std::int32_t proc) {
+  CoreEvent(EdgeOp::kMmap, file, proc);
+}
+void ScriptBuilder::Stat(std::int32_t file, std::int32_t proc) {
+  CoreEvent(EdgeOp::kStat, file, proc);
+}
+void ScriptBuilder::Connect(std::int32_t proc, std::int32_t sock) {
+  CoreEvent(EdgeOp::kConnect, proc, sock);
+}
+void ScriptBuilder::Accept(std::int32_t sock, std::int32_t proc) {
+  CoreEvent(EdgeOp::kAccept, sock, proc);
+}
+void ScriptBuilder::Send(std::int32_t proc, std::int32_t sock) {
+  CoreEvent(EdgeOp::kSend, proc, sock);
+}
+void ScriptBuilder::Recv(std::int32_t sock, std::int32_t proc) {
+  CoreEvent(EdgeOp::kRecv, sock, proc);
+}
+void ScriptBuilder::PipeW(std::int32_t proc, std::int32_t pipe) {
+  CoreEvent(EdgeOp::kPipeW, proc, pipe);
+}
+void ScriptBuilder::PipeR(std::int32_t pipe, std::int32_t proc) {
+  CoreEvent(EdgeOp::kPipeR, pipe, proc);
+}
+void ScriptBuilder::Chmod(std::int32_t proc, std::int32_t file) {
+  CoreEvent(EdgeOp::kChmod, proc, file);
+}
+void ScriptBuilder::Unlink(std::int32_t proc, std::int32_t file) {
+  CoreEvent(EdgeOp::kUnlink, proc, file);
+}
+void ScriptBuilder::Lock(std::int32_t proc, std::int32_t file) {
+  CoreEvent(EdgeOp::kLock, proc, file);
+}
+
+void ScriptBuilder::Noise(EdgeOp op, std::int32_t src, std::int32_t dst) {
+  std::uniform_int_distribution<Timestamp> dist(
+      0, std::max<Timestamp>(clock_, 1));
+  script_.AddEvent(src, dst, world_->Op(op), dist(*rng_));
+}
+
+void ScriptBuilder::Startup(std::int32_t proc, std::string_view binary_path,
+                            const std::vector<std::string_view>& extra_libs) {
+  Exec(File(binary_path), proc);
+  Mmap(File("/lib/ld-linux.so.2"), proc);
+  Read(File("/etc/ld.so.cache"), proc);
+  Mmap(File("/lib/libc.so.6"), proc);
+  for (std::string_view lib : extra_libs) {
+    Mmap(File(lib), proc);
+  }
+}
+
+int ScriptBuilder::Uniform(int lo, int hi) {
+  TGM_DCHECK(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(*rng_);
+}
+
+bool ScriptBuilder::Chance(double p) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(*rng_) < p;
+}
+
+}  // namespace tgm

@@ -1,0 +1,133 @@
+#ifndef TGM_SYSLOG_SCRIPT_H_
+#define TGM_SYSLOG_SCRIPT_H_
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "syslog/entity.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// One recorded event of an instance script, in slot space (slots are the
+/// instance-local node ids; they become fresh graph nodes on emission).
+struct RawEvent {
+  std::int32_t src_slot = 0;
+  std::int32_t dst_slot = 0;
+  LabelId op = kNoEdgeLabel;
+  Timestamp tick = 0;
+};
+
+/// The renderable output of a behaviour template: labeled node slots plus a
+/// timed event list. A script can be turned into a standalone temporal
+/// graph (training data), appended into a large log graph at an offset
+/// (test data), or order-shuffled first (background decoys that preserve
+/// the static structure but destroy the temporal signature).
+class InstanceScript {
+ public:
+  std::int32_t AddSlot(LabelId label);
+  void AddEvent(std::int32_t src_slot, std::int32_t dst_slot, LabelId op,
+                Timestamp tick);
+
+  std::size_t slot_count() const { return slot_labels_.size(); }
+  std::size_t event_count() const { return events_.size(); }
+  const std::vector<RawEvent>& events() const { return events_; }
+
+  /// Largest tick (the instance duration); 0 when empty.
+  Timestamp Duration() const;
+
+  /// Randomly permutes event ticks, destroying temporal order while keeping
+  /// every (src, dst, op) edge.
+  void Shuffle(std::mt19937_64& rng);
+
+  /// Renders as a standalone finalized temporal graph.
+  TemporalGraph ToGraph() const;
+
+  /// Appends fresh nodes and all events (offset by `t0`) into `g`, which
+  /// must not be finalized yet.
+  void AppendTo(TemporalGraph* g, Timestamp t0) const;
+
+  /// Merges `other`'s slots and events into this script, offsetting the
+  /// merged events by `t0` ticks.
+  void Merge(const InstanceScript& other, Timestamp t0);
+
+ private:
+  std::vector<LabelId> slot_labels_;
+  std::vector<RawEvent> events_;
+};
+
+/// Incremental builder used by the behaviour templates.
+///
+/// Core steps advance a logical clock by a jittered gap, fixing the
+/// behaviour's temporal signature; noise steps land at a uniformly random
+/// tick inside the span produced so far, so they interleave arbitrarily
+/// with the core. A drop probability models disrupted runs (the clock
+/// still advances, the event is simply not recorded), which is what keeps
+/// measured recall below 100%.
+class ScriptBuilder {
+ public:
+  ScriptBuilder(SyslogWorld* world, std::mt19937_64* rng);
+
+  /// Entity creation (slots).
+  std::int32_t Proc(std::string_view name);
+  std::int32_t File(std::string_view name);
+  std::int32_t Sock(std::string_view name);
+  std::int32_t Pipe(std::string_view name);
+
+  /// Probability that an individual core event is dropped.
+  void SetDropProb(double p) { drop_prob_ = p; }
+
+  /// Core ordered events — each advances the clock.
+  void Fork(std::int32_t parent, std::int32_t child);
+  void Exec(std::int32_t binary_file, std::int32_t proc);
+  void Read(std::int32_t file, std::int32_t proc);
+  void Write(std::int32_t proc, std::int32_t file);
+  void Mmap(std::int32_t file, std::int32_t proc);
+  void Stat(std::int32_t file, std::int32_t proc);
+  void Connect(std::int32_t proc, std::int32_t sock);
+  void Accept(std::int32_t sock, std::int32_t proc);
+  void Send(std::int32_t proc, std::int32_t sock);
+  void Recv(std::int32_t sock, std::int32_t proc);
+  void PipeW(std::int32_t proc, std::int32_t pipe);
+  void PipeR(std::int32_t pipe, std::int32_t proc);
+  void Chmod(std::int32_t proc, std::int32_t file);
+  void Unlink(std::int32_t proc, std::int32_t file);
+  void Lock(std::int32_t proc, std::int32_t file);
+
+  /// Noise event at a random tick within the current span (never dropped,
+  /// does not advance the clock).
+  void Noise(EdgeOp op, std::int32_t src, std::int32_t dst);
+
+  /// Convenience: the shared process-startup motif — exec + loader +
+  /// libc + the given extra libraries (mmap reads).
+  void Startup(std::int32_t proc, std::string_view binary_path,
+               const std::vector<std::string_view>& extra_libs);
+
+  /// Uniform integer in [lo, hi].
+  int Uniform(int lo, int hi);
+  /// True with probability p.
+  bool Chance(double p);
+
+  SyslogWorld& world() { return *world_; }
+  std::mt19937_64& rng() { return *rng_; }
+  Timestamp now() const { return clock_; }
+
+  InstanceScript Finish() { return std::move(script_); }
+
+ private:
+  void CoreEvent(EdgeOp op, std::int32_t src, std::int32_t dst);
+
+  SyslogWorld* world_;
+  std::mt19937_64* rng_;
+  InstanceScript script_;
+  Timestamp clock_ = 0;
+  double drop_prob_ = 0.0;
+
+  static constexpr Timestamp kCoreGap = 100;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_SYSLOG_SCRIPT_H_

@@ -1,0 +1,72 @@
+#ifndef TGM_TEMPORAL_COMMON_H_
+#define TGM_TEMPORAL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file common.h
+/// Fundamental identifier types and invariant-checking macros shared by all
+/// tgminer libraries.
+
+namespace tgm {
+
+/// Node identifier inside a single graph or pattern (dense, 0-based).
+using NodeId = std::int32_t;
+
+/// Interned node/edge label identifier (see LabelDict).
+using LabelId = std::int32_t;
+
+/// Event timestamp. Data graphs carry arbitrary non-negative timestamps;
+/// patterns use the aligned range 1..|E| (Section 2 of the paper).
+using Timestamp = std::int64_t;
+
+/// Index of an edge inside a graph's time-ordered edge list. Because edges
+/// are totally ordered, the position *is* the temporal order.
+using EdgePos = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Sentinel used by the mining engine's extension keys for "a new node".
+inline constexpr NodeId kNewNode = -2;
+
+/// Sentinel for "no label".
+inline constexpr LabelId kInvalidLabel = -1;
+
+/// Default edge label for graphs that do not use edge labels.
+inline constexpr LabelId kNoEdgeLabel = 0;
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "TGM_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Invariant check that stays enabled in release builds. The mining
+/// algorithms rely on representation invariants (canonical node numbering,
+/// strict edge order) whose violation would silently corrupt results, so we
+/// fail fast instead of continuing.
+#define TGM_CHECK(expr)                                          \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::tgm::internal::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                            \
+  } while (0)
+
+/// Cheaper check compiled out of release builds; use on hot paths.
+#ifndef NDEBUG
+#define TGM_DCHECK(expr) TGM_CHECK(expr)
+#else
+#define TGM_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_COMMON_H_

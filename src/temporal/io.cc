@@ -1,0 +1,158 @@
+#include "temporal/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tgm {
+
+void WriteTemporalGraph(std::ostream& os, const TemporalGraph& g,
+                        const LabelDict& dict) {
+  os << "tgraph " << g.node_count() << " " << g.edge_count() << "\n";
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    os << "n " << dict.Name(g.label(static_cast<NodeId>(v))) << "\n";
+  }
+  for (const TemporalEdge& e : g.edges()) {
+    os << "e " << e.src << " " << e.dst << " " << e.ts << " "
+       << dict.Name(e.elabel) << "\n";
+  }
+}
+
+std::optional<TemporalGraph> ReadTemporalGraph(std::istream& is,
+                                               LabelDict& dict) {
+  std::string header;
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  if (!(is >> header >> num_nodes >> num_edges) || header != "tgraph") {
+    return std::nullopt;
+  }
+  TemporalGraph g;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    std::string tag;
+    std::string name;
+    if (!(is >> tag >> name) || tag != "n") return std::nullopt;
+    g.AddNode(dict.Intern(name));
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    std::string tag;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Timestamp ts = 0;
+    std::string elabel;
+    if (!(is >> tag >> src >> dst >> ts >> elabel) || tag != "e") {
+      return std::nullopt;
+    }
+    if (src < 0 || dst < 0 ||
+        static_cast<std::size_t>(src) >= num_nodes ||
+        static_cast<std::size_t>(dst) >= num_nodes || ts < 0) {
+      return std::nullopt;
+    }
+    g.AddEdge(src, dst, ts, dict.Intern(elabel));
+  }
+  g.Finalize(TiePolicy::kBreakByInsertionOrder);
+  return g;
+}
+
+void WritePattern(std::ostream& os, const Pattern& p, const LabelDict& dict) {
+  os << "tpattern " << p.node_count() << " " << p.edge_count() << "\n";
+  for (std::size_t v = 0; v < p.node_count(); ++v) {
+    os << "n " << dict.Name(p.label(static_cast<NodeId>(v))) << "\n";
+  }
+  for (const PatternEdge& e : p.edges()) {
+    os << "e " << e.src << " " << e.dst << " " << dict.Name(e.elabel)
+       << "\n";
+  }
+}
+
+std::optional<Pattern> ReadPattern(std::istream& is, LabelDict& dict) {
+  std::string header;
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  if (!(is >> header >> num_nodes >> num_edges) || header != "tpattern") {
+    return std::nullopt;
+  }
+  TemporalGraph g;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    std::string tag;
+    std::string name;
+    if (!(is >> tag >> name) || tag != "n") return std::nullopt;
+    g.AddNode(dict.Intern(name));
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    std::string tag;
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::string elabel;
+    if (!(is >> tag >> src >> dst >> elabel) || tag != "e") {
+      return std::nullopt;
+    }
+    if (src < 0 || dst < 0 ||
+        static_cast<std::size_t>(src) >= num_nodes ||
+        static_cast<std::size_t>(dst) >= num_nodes) {
+      return std::nullopt;
+    }
+    g.AddEdge(src, dst, static_cast<Timestamp>(i + 1), dict.Intern(elabel));
+  }
+  g.Finalize(TiePolicy::kRequireStrict);
+  return Pattern::FromTemporalGraph(g);
+}
+
+namespace {
+
+// DOT string literals need escaped quotes and backslashes.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PatternToDot(const Pattern& p, const LabelDict& dict,
+                         std::string_view graph_name) {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (std::size_t v = 0; v < p.node_count(); ++v) {
+    os << "  n" << v << " [label=\""
+       << DotEscape(dict.Name(p.label(static_cast<NodeId>(v)))) << "\"];\n";
+  }
+  for (std::size_t i = 0; i < p.edge_count(); ++i) {
+    const PatternEdge& e = p.edge(i);
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\"" << (i + 1);
+    if (e.elabel != kNoEdgeLabel) {
+      os << ": " << DotEscape(dict.Name(e.elabel));
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string TemporalGraphToDot(const TemporalGraph& g, const LabelDict& dict,
+                               std::string_view graph_name) {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v << " [label=\""
+       << DotEscape(dict.Name(g.label(static_cast<NodeId>(v)))) << "\"];\n";
+  }
+  for (const TemporalEdge& e : g.edges()) {
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\"t=" << e.ts;
+    if (e.elabel != kNoEdgeLabel) {
+      os << " " << DotEscape(dict.Name(e.elabel));
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tgm

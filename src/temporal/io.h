@@ -1,0 +1,54 @@
+#ifndef TGM_TEMPORAL_IO_H_
+#define TGM_TEMPORAL_IO_H_
+
+#include <iosfwd>
+#include <optional>
+
+#include "temporal/label_dict.h"
+#include "temporal/pattern.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// Line-based text serialization for temporal graphs and patterns, so
+/// mined behaviour queries can be exported, versioned and re-loaded.
+///
+/// Graph format:
+///   tgraph <num_nodes> <num_edges>
+///   n <label-name>                  (one per node, in node-id order)
+///   e <src> <dst> <ts> <elabel-name>
+/// Pattern format is identical with header `tpattern` and no timestamps
+/// (edge order is the line order).
+///
+/// Label names must not contain whitespace; the syslog generator's labels
+/// satisfy this by construction.
+
+/// Writes `g` using names from `dict`.
+void WriteTemporalGraph(std::ostream& os, const TemporalGraph& g,
+                        const LabelDict& dict);
+
+/// Reads a graph, interning labels into `dict`. Returns nullopt on parse
+/// errors. The graph is returned finalized.
+std::optional<TemporalGraph> ReadTemporalGraph(std::istream& is,
+                                               LabelDict& dict);
+
+/// Writes a pattern using names from `dict`.
+void WritePattern(std::ostream& os, const Pattern& p, const LabelDict& dict);
+
+/// Reads a pattern, interning labels into `dict`.
+std::optional<Pattern> ReadPattern(std::istream& is, LabelDict& dict);
+
+/// Graphviz DOT rendering of a pattern: nodes carry their labels, edges
+/// their temporal order (and edge label when present). Paste into `dot
+/// -Tpng` to visualize mined behaviour queries like the paper's Figures
+/// 1(c) and 10.
+std::string PatternToDot(const Pattern& p, const LabelDict& dict,
+                         std::string_view graph_name = "pattern");
+
+/// DOT rendering of a (small) temporal graph with timestamps on edges.
+std::string TemporalGraphToDot(const TemporalGraph& g, const LabelDict& dict,
+                               std::string_view graph_name = "tgraph");
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_IO_H_

@@ -1,0 +1,171 @@
+#include "temporal/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tgm {
+
+Pattern Pattern::SingleEdge(LabelId src_label, LabelId dst_label,
+                            LabelId elabel) {
+  Pattern p;
+  p.node_labels_.push_back(src_label);
+  p.node_labels_.push_back(dst_label);
+  p.edges_.push_back(PatternEdge{0, 1, elabel});
+  return p;
+}
+
+Pattern Pattern::GrowForward(NodeId src, LabelId dst_label,
+                             LabelId elabel) const {
+  TGM_CHECK(src >= 0 && static_cast<std::size_t>(src) < node_labels_.size());
+  Pattern p = *this;
+  NodeId dst = static_cast<NodeId>(p.node_labels_.size());
+  p.node_labels_.push_back(dst_label);
+  p.edges_.push_back(PatternEdge{src, dst, elabel});
+  return p;
+}
+
+Pattern Pattern::GrowBackward(LabelId src_label, NodeId dst,
+                              LabelId elabel) const {
+  TGM_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < node_labels_.size());
+  Pattern p = *this;
+  NodeId src = static_cast<NodeId>(p.node_labels_.size());
+  p.node_labels_.push_back(src_label);
+  p.edges_.push_back(PatternEdge{src, dst, elabel});
+  return p;
+}
+
+Pattern Pattern::GrowInward(NodeId src, NodeId dst, LabelId elabel) const {
+  TGM_CHECK(src >= 0 && static_cast<std::size_t>(src) < node_labels_.size());
+  TGM_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < node_labels_.size());
+  Pattern p = *this;
+  p.edges_.push_back(PatternEdge{src, dst, elabel});
+  return p;
+}
+
+Pattern Pattern::Parent() const {
+  TGM_CHECK(!edges_.empty());
+  Pattern p = *this;
+  const PatternEdge& last = p.edges_.back();
+  // A node was introduced by the last edge iff it is the highest-numbered
+  // node, the last edge touches it, and no earlier edge references it (an
+  // inward last edge can touch the highest node without having created it).
+  NodeId last_node = static_cast<NodeId>(p.node_labels_.size() - 1);
+  bool introduced = (last.src == last_node || last.dst == last_node);
+  for (std::size_t i = 0; introduced && i + 1 < p.edges_.size(); ++i) {
+    if (p.edges_[i].src == last_node || p.edges_[i].dst == last_node) {
+      introduced = false;
+    }
+  }
+  if (introduced) p.node_labels_.pop_back();
+  p.edges_.pop_back();
+  return p;
+}
+
+std::int32_t Pattern::out_degree(NodeId v) const {
+  std::int32_t d = 0;
+  for (const PatternEdge& e : edges_) d += (e.src == v) ? 1 : 0;
+  return d;
+}
+
+std::int32_t Pattern::in_degree(NodeId v) const {
+  std::int32_t d = 0;
+  for (const PatternEdge& e : edges_) d += (e.dst == v) ? 1 : 0;
+  return d;
+}
+
+bool Pattern::IsCanonical() const {
+  // First-appearance numbering: replay edges and check each node id is
+  // assigned in order, and T-connectivity: every edge after the first must
+  // touch an already-seen node.
+  std::vector<bool> seen(node_labels_.size(), false);
+  NodeId next = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const PatternEdge& e = edges_[i];
+    if (e.src < 0 || e.dst < 0) return false;
+    if (static_cast<std::size_t>(e.src) >= node_labels_.size()) return false;
+    if (static_cast<std::size_t>(e.dst) >= node_labels_.size()) return false;
+    bool src_seen = seen[static_cast<std::size_t>(e.src)];
+    bool dst_seen = seen[static_cast<std::size_t>(e.dst)];
+    if (i > 0 && !src_seen && !dst_seen) return false;  // not T-connected
+    if (!src_seen) {
+      if (e.src != next) return false;
+      seen[static_cast<std::size_t>(e.src)] = true;
+      ++next;
+    }
+    if (!seen[static_cast<std::size_t>(e.dst)]) {
+      if (e.dst != next) return false;
+      seen[static_cast<std::size_t>(e.dst)] = true;
+      ++next;
+    }
+  }
+  return static_cast<std::size_t>(next) == node_labels_.size() ||
+         edges_.empty();
+}
+
+TemporalGraph Pattern::ToTemporalGraph() const {
+  TemporalGraph g;
+  for (LabelId l : node_labels_) g.AddNode(l);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    g.AddEdge(edges_[i].src, edges_[i].dst, static_cast<Timestamp>(i + 1),
+              edges_[i].elabel);
+  }
+  g.Finalize(TiePolicy::kRequireStrict);
+  return g;
+}
+
+std::optional<Pattern> Pattern::FromTemporalGraph(const TemporalGraph& g) {
+  TGM_CHECK(g.finalized());
+  if (!g.IsTConnected()) return std::nullopt;
+  Pattern p;
+  std::vector<NodeId> remap(g.node_count(), kInvalidNode);
+  auto map_node = [&](NodeId v) {
+    NodeId& m = remap[static_cast<std::size_t>(v)];
+    if (m == kInvalidNode) {
+      m = static_cast<NodeId>(p.node_labels_.size());
+      p.node_labels_.push_back(g.label(v));
+    }
+    return m;
+  };
+  for (const TemporalEdge& e : g.edges()) {
+    NodeId s = map_node(e.src);
+    NodeId d = map_node(e.dst);
+    p.edges_.push_back(PatternEdge{s, d, e.elabel});
+  }
+  TGM_DCHECK(p.IsCanonical());
+  return p;
+}
+
+std::size_t Pattern::Hash() const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  for (LabelId l : node_labels_) mix(static_cast<std::size_t>(l));
+  for (const PatternEdge& e : edges_) {
+    mix(static_cast<std::size_t>(e.src));
+    mix(static_cast<std::size_t>(e.dst));
+    mix(static_cast<std::size_t>(e.elabel));
+  }
+  return h;
+}
+
+std::string Pattern::ToString(const LabelDict* dict) const {
+  std::ostringstream os;
+  auto name = [&](LabelId l) -> std::string {
+    if (dict != nullptr) return dict->Name(l);
+    return "L" + std::to_string(l);
+  };
+  os << "Pattern{";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) os << ", ";
+    const PatternEdge& e = edges_[i];
+    os << name(node_labels_[static_cast<std::size_t>(e.src)]) << "(" << e.src
+       << ")->" << name(node_labels_[static_cast<std::size_t>(e.dst)]) << "("
+       << e.dst << ")@" << (i + 1);
+    if (e.elabel != kNoEdgeLabel) os << "[" << name(e.elabel) << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tgm

@@ -1,0 +1,36 @@
+#include "temporal/residual.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+ResidualSet::ResidualSet(std::vector<std::pair<std::int32_t, EdgePos>> cuts,
+                         const std::vector<const TemporalGraph*>& graphs)
+    : cuts_(std::move(cuts)) {
+  std::sort(cuts_.begin(), cuts_.end());
+  cuts_.erase(std::unique(cuts_.begin(), cuts_.end()), cuts_.end());
+  for (const auto& [graph_idx, cut] : cuts_) {
+    TGM_DCHECK(graph_idx >= 0 &&
+               static_cast<std::size_t>(graph_idx) < graphs.size());
+    const TemporalGraph& g = *graphs[static_cast<std::size_t>(graph_idx)];
+    std::int64_t remaining =
+        static_cast<std::int64_t>(g.edge_count()) - cut - 1;
+    TGM_DCHECK(remaining >= 0);
+    i_value_ += remaining;
+  }
+}
+
+bool ResidualSet::ResidualLabelSetContains(
+    LabelId l, const std::vector<const TemporalGraph*>& graphs) const {
+  for (const auto& [graph_idx, cut] : cuts_) {
+    const TemporalGraph& g = *graphs[static_cast<std::size_t>(graph_idx)];
+    const std::vector<EdgePos>& positions = g.LabelPositions(l);
+    // Any incident position strictly after the cut means the label occurs
+    // in this residual graph.
+    auto it = std::upper_bound(positions.begin(), positions.end(), cut);
+    if (it != positions.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace tgm

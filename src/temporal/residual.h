@@ -1,0 +1,62 @@
+#ifndef TGM_TEMPORAL_RESIDUAL_H_
+#define TGM_TEMPORAL_RESIDUAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+
+/// A residual graph set R(G, g) for a pattern g over a graph set G
+/// (Section 4.2), represented compactly.
+///
+/// Because edges are totally ordered, the residual graph of a match G' in
+/// data graph G is fully determined by the *cut position*: the edge-list
+/// position of the last matched edge. Two matches in the same graph with
+/// the same cut yield the identical residual graph, so the set is exactly
+/// the set of distinct (graph index, cut position) pairs.
+///
+/// The I-value compression (Lemma 6) is
+///   I(G, g) = sum over distinct cuts of |R| = |E_G| - cut - 1,
+/// and under the precondition g1 ⊆t g2, R(G,g1) = R(G,g2) iff their
+/// I-values are equal — a constant-time equivalence test once I is cached.
+class ResidualSet {
+ public:
+  ResidualSet() = default;
+
+  /// Builds from (graph index, cut position) pairs; duplicates are removed.
+  /// `graphs` supplies edge counts for the I-value.
+  ResidualSet(std::vector<std::pair<std::int32_t, EdgePos>> cuts,
+              const std::vector<const TemporalGraph*>& graphs);
+
+  /// Sorted, deduplicated cut list.
+  const std::vector<std::pair<std::int32_t, EdgePos>>& cuts() const {
+    return cuts_;
+  }
+
+  /// The integer compression I(G, g).
+  std::int64_t i_value() const { return i_value_; }
+
+  /// Structural set equality — the "linear scan" equivalence test used by
+  /// the LinearScan ablation baseline. O(|cuts|).
+  bool StructurallyEqual(const ResidualSet& other) const {
+    return cuts_ == other.cuts_;
+  }
+
+  /// True if label `l` appears in the residual node label set L(G, g),
+  /// i.e. some residual edge of some cut touches a node labeled `l`.
+  /// O(|cuts| * log) using the graphs' per-label position lists.
+  bool ResidualLabelSetContains(
+      LabelId l, const std::vector<const TemporalGraph*>& graphs) const;
+
+ private:
+  std::vector<std::pair<std::int32_t, EdgePos>> cuts_;
+  std::int64_t i_value_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_RESIDUAL_H_

@@ -1,0 +1,45 @@
+#include "temporal/sequence.h"
+
+namespace tgm {
+
+SequenceRep BuildSequenceRep(const Pattern& p) {
+  SequenceRep rep;
+  rep.nodeseq.reserve(p.node_count());
+  rep.enhseq.reserve(2 * p.edge_count());
+
+  std::vector<bool> visited(p.node_count(), false);
+  auto visit = [&](NodeId v) {
+    if (!visited[static_cast<std::size_t>(v)]) {
+      visited[static_cast<std::size_t>(v)] = true;
+      rep.nodeseq.push_back(v);
+    }
+  };
+
+  NodeId prev_source = kInvalidNode;
+  for (const PatternEdge& e : p.edges()) {
+    visit(e.src);
+    visit(e.dst);
+    // Enhanced sequence construction (Section 4.3): skip u when it is the
+    // last appended node or the source of the last processed edge.
+    bool skip_src = (!rep.enhseq.empty() && rep.enhseq.back() == e.src) ||
+                    (prev_source == e.src);
+    if (!skip_src) rep.enhseq.push_back(e.src);
+    rep.enhseq.push_back(e.dst);
+    prev_source = e.src;
+  }
+  return rep;
+}
+
+bool LabelSubsequenceTest(const Pattern& p_needle, const SequenceRep& needle,
+                          const Pattern& p_hay, const SequenceRep& hay) {
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < hay.enhseq.size() && i < needle.nodeseq.size();
+       ++j) {
+    if (p_needle.label(needle.nodeseq[i]) == p_hay.label(hay.enhseq[j])) {
+      ++i;
+    }
+  }
+  return i == needle.nodeseq.size();
+}
+
+}  // namespace tgm

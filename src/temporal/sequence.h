@@ -1,0 +1,41 @@
+#ifndef TGM_TEMPORAL_SEQUENCE_H_
+#define TGM_TEMPORAL_SEQUENCE_H_
+
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/pattern.h"
+
+namespace tgm {
+
+/// Sequence-based representation of a temporal graph pattern (Section 4.3).
+///
+/// - `nodeseq`: node ids ordered by first visit when edges are traversed in
+///   temporal order (each node appears exactly once);
+/// - `edgeseq`: the pattern's edge list itself (already in temporal order);
+/// - `enhseq`: the *enhanced* node sequence. Traversing edges in temporal
+///   order, for edge (u, v, t): u is appended unless it is the last node
+///   appended so far or the source of the previously processed edge; v is
+///   always appended. Nodes may appear multiple times.
+///
+/// Lemma 5: g1 ⊆t g2 iff nodeseq(g1) is a subsequence of enhseq(g2) under an
+/// injective label-preserving node mapping fs, and fs(edgeseq(g1)) is a
+/// subsequence of edgeseq(g2).
+struct SequenceRep {
+  std::vector<NodeId> nodeseq;
+  std::vector<NodeId> enhseq;
+};
+
+/// Builds both sequences for `p`. O(|E|).
+SequenceRep BuildSequenceRep(const Pattern& p);
+
+/// True if the label sequence of `needle` (labels of `np.nodeseq` under
+/// pattern `p_needle`) is a subsequence of the label sequence of
+/// `hay.enhseq` under `p_hay`. This is the cheap necessary condition used
+/// as the "label sequence test" pruning (Appendix J).
+bool LabelSubsequenceTest(const Pattern& p_needle, const SequenceRep& needle,
+                          const Pattern& p_hay, const SequenceRep& hay);
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_SEQUENCE_H_

@@ -1,0 +1,185 @@
+#include "temporal/temporal_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace tgm {
+
+namespace {
+const std::vector<EdgePos> kEmptyPositions;
+}  // namespace
+
+NodeId TemporalGraph::AddNode(LabelId label) {
+  TGM_CHECK(!finalized_);
+  TGM_CHECK(label >= 0);
+  node_labels_.push_back(label);
+  return static_cast<NodeId>(node_labels_.size() - 1);
+}
+
+void TemporalGraph::AddEdge(NodeId src, NodeId dst, Timestamp ts,
+                            LabelId elabel) {
+  TGM_CHECK(!finalized_);
+  TGM_CHECK(src >= 0 && static_cast<std::size_t>(src) < node_labels_.size());
+  TGM_CHECK(dst >= 0 && static_cast<std::size_t>(dst) < node_labels_.size());
+  TGM_CHECK(ts >= 0);
+  edges_.push_back(TemporalEdge{src, dst, ts, elabel});
+}
+
+TemporalGraph::SignatureKey TemporalGraph::MakeSignature(LabelId src_label,
+                                                         LabelId dst_label,
+                                                         LabelId elabel) {
+  // Labels are dense and well below 2^21 in practice; pack into one int64.
+  std::int64_t packed = (static_cast<std::int64_t>(src_label) << 42) ^
+                        (static_cast<std::int64_t>(dst_label) << 21) ^
+                        static_cast<std::int64_t>(elabel);
+  return SignatureKey{packed};
+}
+
+void TemporalGraph::Finalize(TiePolicy policy) {
+  TGM_CHECK(!finalized_);
+  // Stable sort keeps insertion order among equal timestamps, which is the
+  // kBreakByInsertionOrder sequentialization policy.
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.ts < b.ts;
+                   });
+  if (policy == TiePolicy::kRequireStrict) {
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+      TGM_CHECK(edges_[i - 1].ts < edges_[i].ts);
+    }
+  }
+  finalized_ = true;
+
+  out_edges_.assign(node_labels_.size(), {});
+  in_edges_.assign(node_labels_.size(), {});
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const TemporalEdge& e = edges_[i];
+    EdgePos pos = static_cast<EdgePos>(i);
+    out_edges_[static_cast<std::size_t>(e.src)].push_back(pos);
+    in_edges_[static_cast<std::size_t>(e.dst)].push_back(pos);
+    label_positions_[node_labels_[static_cast<std::size_t>(e.src)]].push_back(
+        pos);
+    label_positions_[node_labels_[static_cast<std::size_t>(e.dst)]].push_back(
+        pos);
+    signature_index_[MakeSignature(
+                         node_labels_[static_cast<std::size_t>(e.src)],
+                         node_labels_[static_cast<std::size_t>(e.dst)],
+                         e.elabel)]
+        .push_back(pos);
+  }
+  // label_positions_ may contain a position twice for self-referential
+  // labels (src and dst share the label); dedupe so binary searches over the
+  // lists see strictly ascending positions.
+  for (auto& [label, positions] : label_positions_) {
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+  }
+}
+
+const std::vector<EdgePos>& TemporalGraph::out_edges(NodeId v) const {
+  TGM_CHECK(finalized_);
+  TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < out_edges_.size());
+  return out_edges_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<EdgePos>& TemporalGraph::in_edges(NodeId v) const {
+  TGM_CHECK(finalized_);
+  TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < in_edges_.size());
+  return in_edges_[static_cast<std::size_t>(v)];
+}
+
+bool TemporalGraph::LabelOccursAfter(LabelId l, EdgePos pos) const {
+  TGM_CHECK(finalized_);
+  auto it = label_positions_.find(l);
+  if (it == label_positions_.end()) return false;
+  const std::vector<EdgePos>& positions = it->second;
+  return !positions.empty() && positions.back() > pos;
+}
+
+const std::vector<EdgePos>& TemporalGraph::EdgesWithSignature(
+    LabelId src_label, LabelId dst_label, LabelId elabel) const {
+  TGM_CHECK(finalized_);
+  auto it = signature_index_.find(MakeSignature(src_label, dst_label, elabel));
+  return it == signature_index_.end() ? kEmptyPositions : it->second;
+}
+
+const std::vector<EdgePos>& TemporalGraph::LabelPositions(LabelId l) const {
+  TGM_CHECK(finalized_);
+  auto it = label_positions_.find(l);
+  return it == label_positions_.end() ? kEmptyPositions : it->second;
+}
+
+bool TemporalGraph::IsTConnected() const {
+  TGM_CHECK(finalized_);
+  if (edges_.empty()) return true;
+  // Union-find over nodes, adding edges in temporal order. The prefix up to
+  // edge i is connected iff after adding edge i the number of components
+  // among *touched* nodes is exactly one.
+  std::vector<NodeId> parent(node_labels_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](NodeId x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  std::int64_t touched = 0;
+  std::int64_t components = 0;
+  std::vector<bool> seen(node_labels_.size(), false);
+  for (const TemporalEdge& e : edges_) {
+    for (NodeId v : {e.src, e.dst}) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++touched;
+        ++components;
+      }
+    }
+    NodeId a = find(e.src);
+    NodeId b = find(e.dst);
+    if (a != b) {
+      parent[static_cast<std::size_t>(a)] = b;
+      --components;
+    }
+    if (components != 1) return false;
+  }
+  (void)touched;
+  return true;
+}
+
+Timestamp TemporalGraph::Span() const {
+  if (edges_.size() < 2) return 0;
+  return edges_.back().ts - edges_.front().ts;
+}
+
+std::vector<LabelId> TemporalGraph::DistinctNodeLabels() const {
+  std::vector<LabelId> labels = node_labels_;
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+std::string TemporalGraph::ToString(const LabelDict* dict) const {
+  std::ostringstream os;
+  auto name = [&](LabelId l) -> std::string {
+    if (dict != nullptr) return dict->Name(l);
+    return "L" + std::to_string(l);
+  };
+  os << "TemporalGraph{" << node_count() << " nodes, " << edge_count()
+     << " edges\n";
+  for (std::size_t v = 0; v < node_labels_.size(); ++v) {
+    os << "  n" << v << ": " << name(node_labels_[v]) << "\n";
+  }
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const TemporalEdge& e = edges_[i];
+    os << "  e" << i << ": n" << e.src << " -> n" << e.dst << " @" << e.ts;
+    if (e.elabel != kNoEdgeLabel) os << " [" << name(e.elabel) << "]";
+    os << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace tgm

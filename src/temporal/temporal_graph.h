@@ -1,0 +1,139 @@
+#ifndef TGM_TEMPORAL_TEMPORAL_GRAPH_H_
+#define TGM_TEMPORAL_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "temporal/common.h"
+#include "temporal/label_dict.h"
+
+namespace tgm {
+
+/// One directed, timestamped interaction between two system entities.
+struct TemporalEdge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Timestamp ts = 0;
+  /// Optional edge label (syscall type such as read/write/fork). Graphs that
+  /// do not use edge labels leave this as kNoEdgeLabel; all algorithms treat
+  /// the edge label as part of edge identity, which degenerates gracefully.
+  LabelId elabel = kNoEdgeLabel;
+
+  friend bool operator==(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+/// Policy for turning raw event streams into the strict total edge order the
+/// paper's model requires (Section 5 discusses concurrent edges).
+enum class TiePolicy {
+  /// Reject graphs with duplicate timestamps (TGM_CHECK failure).
+  kRequireStrict,
+  /// Sequentialize concurrent edges by their insertion order — the paper's
+  /// "pre-defined policy" option for approximating concurrent data.
+  kBreakByInsertionOrder,
+};
+
+/// A heterogeneous temporal graph: labeled nodes, directed multi-edges
+/// totally ordered by timestamp (the paper's `G = (V, E, A, T)`).
+///
+/// Usage: AddNode/AddEdge in any order, then Finalize() exactly once.
+/// Finalize sorts edges, enforces/establishes the total order, and builds
+/// the adjacency and label indexes used by the matchers and the miner.
+/// After Finalize the graph is immutable.
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  /// Adds a node with label `label`; returns its dense id.
+  NodeId AddNode(LabelId label);
+
+  /// Adds a directed edge. Both endpoints must already exist.
+  void AddEdge(NodeId src, NodeId dst, Timestamp ts,
+               LabelId elabel = kNoEdgeLabel);
+
+  /// Sorts edges into the strict total order and builds indexes.
+  void Finalize(TiePolicy policy = TiePolicy::kBreakByInsertionOrder);
+
+  bool finalized() const { return finalized_; }
+  std::size_t node_count() const { return node_labels_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  LabelId label(NodeId v) const {
+    TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < node_labels_.size());
+    return node_labels_[static_cast<std::size_t>(v)];
+  }
+
+  /// Edges in strict temporal order; index into this vector is the EdgePos.
+  const std::vector<TemporalEdge>& edges() const { return edges_; }
+  const TemporalEdge& edge(EdgePos p) const {
+    TGM_DCHECK(p >= 0 && static_cast<std::size_t>(p) < edges_.size());
+    return edges_[static_cast<std::size_t>(p)];
+  }
+
+  /// Positions of out-/in-edges per node, ascending. Requires Finalize.
+  const std::vector<EdgePos>& out_edges(NodeId v) const;
+  const std::vector<EdgePos>& in_edges(NodeId v) const;
+
+  std::int32_t out_degree(NodeId v) const {
+    return static_cast<std::int32_t>(out_edges(v).size());
+  }
+  std::int32_t in_degree(NodeId v) const {
+    return static_cast<std::int32_t>(in_edges(v).size());
+  }
+
+  /// True if some edge strictly after position `pos` touches a node labeled
+  /// `l`. This answers the residual-node-label-set membership queries used
+  /// by subgraph pruning (Section 4.2) in O(log n). Requires Finalize.
+  bool LabelOccursAfter(LabelId l, EdgePos pos) const;
+
+  /// Positions of edges whose source/destination labels (and edge label)
+  /// equal the key — the "one-edge substructure" index used by the
+  /// graph-index matcher and the query searcher. Empty if none.
+  const std::vector<EdgePos>& EdgesWithSignature(LabelId src_label,
+                                                 LabelId dst_label,
+                                                 LabelId elabel) const;
+
+  /// Positions (ascending) of edges incident to a node labeled `l`.
+  const std::vector<EdgePos>& LabelPositions(LabelId l) const;
+
+  /// True if the graph is T-connected: for every edge, the edges strictly
+  /// before it (plus itself) form a connected graph (Section 2).
+  bool IsTConnected() const;
+
+  /// Timestamp span max(ts) - min(ts); 0 for graphs with < 2 edges.
+  Timestamp Span() const;
+
+  /// Set of distinct node labels in this graph.
+  std::vector<LabelId> DistinctNodeLabels() const;
+
+  /// Human-readable dump (for tests and examples).
+  std::string ToString(const LabelDict* dict = nullptr) const;
+
+ private:
+  struct SignatureKey {
+    std::int64_t packed;
+    bool operator==(const SignatureKey&) const = default;
+  };
+  struct SignatureHash {
+    std::size_t operator()(const SignatureKey& k) const {
+      return std::hash<std::int64_t>()(k.packed);
+    }
+  };
+  static SignatureKey MakeSignature(LabelId src_label, LabelId dst_label,
+                                    LabelId elabel);
+
+  std::vector<LabelId> node_labels_;
+  std::vector<TemporalEdge> edges_;
+  bool finalized_ = false;
+
+  std::vector<std::vector<EdgePos>> out_edges_;
+  std::vector<std::vector<EdgePos>> in_edges_;
+  std::unordered_map<LabelId, std::vector<EdgePos>> label_positions_;
+  std::unordered_map<SignatureKey, std::vector<EdgePos>, SignatureHash>
+      signature_index_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_TEMPORAL_GRAPH_H_

@@ -1,0 +1,50 @@
+#ifndef TGM_TGMINER_TGMINER_H_
+#define TGM_TGMINER_TGMINER_H_
+
+/// \file tgminer.h
+/// Umbrella header: the full public API of the TGMiner library.
+///
+/// Layering (each header is also usable on its own):
+///  - temporal graph substrate: temporal_graph.h, pattern.h, sequence.h,
+///    residual.h, label_dict.h
+///  - temporal subgraph testers and match enumeration: matcher.h,
+///    seq_matcher.h, vf2_matcher.h, index_matcher.h, edge_scan_matcher.h
+///  - the discriminative miner and its ablations: miner.h, miner_config.h,
+///    score.h, result.h
+///  - the non-temporal baseline: static_graph.h, dfs_code.h, gspan.h
+///  - the syscall-log simulator: entity.h, script.h, behaviors.h,
+///    background.h, dataset.h
+///  - query formulation, search and evaluation: interest.h, searcher.h,
+///    nodeset.h, static_search.h, evaluator.h, pipeline.h
+
+#include "matching/edge_scan_matcher.h"
+#include "matching/index_matcher.h"
+#include "matching/matcher.h"
+#include "matching/seq_matcher.h"
+#include "matching/vf2_matcher.h"
+#include "mining/miner.h"
+#include "mining/miner_config.h"
+#include "mining/result.h"
+#include "mining/score.h"
+#include "nontemporal/dfs_code.h"
+#include "nontemporal/gspan.h"
+#include "nontemporal/static_graph.h"
+#include "query/evaluator.h"
+#include "query/interest.h"
+#include "query/nodeset.h"
+#include "query/pipeline.h"
+#include "query/searcher.h"
+#include "query/static_search.h"
+#include "syslog/background.h"
+#include "syslog/behaviors.h"
+#include "syslog/dataset.h"
+#include "syslog/entity.h"
+#include "syslog/script.h"
+#include "temporal/common.h"
+#include "temporal/label_dict.h"
+#include "temporal/pattern.h"
+#include "temporal/residual.h"
+#include "temporal/sequence.h"
+#include "temporal/temporal_graph.h"
+
+#endif  // TGM_TGMINER_TGMINER_H_

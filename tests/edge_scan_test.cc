@@ -1,0 +1,161 @@
+#include "matching/edge_scan_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+using ::tgm::testing::MakePattern;
+
+TEST(EdgeScanTest, FindsSingleMatch) {
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{0, 1, 1}, {1, 2, 2}});
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  EdgeScanMatcher matcher;
+  std::vector<DataMatch> matches = matcher.AllMatches(p, g);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].node_map, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(matches[0].edge_map, (std::vector<EdgePos>{0, 1}));
+}
+
+TEST(EdgeScanTest, RespectsTemporalOrder) {
+  // Data has B->C before A->B: the ordered pattern cannot match.
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{1, 2, 1}, {0, 1, 2}});
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  EdgeScanMatcher matcher;
+  EXPECT_FALSE(matcher.Exists(p, g));
+}
+
+TEST(EdgeScanTest, CountsAllEmbeddings) {
+  // Two A->B edges each followed by two B->C edges: 2 choices for the
+  // first pattern edge x later B->C edges.
+  TemporalGraph g = MakeGraph(
+      {0, 1, 2}, {{0, 1, 1}, {0, 1, 2}, {1, 2, 3}, {1, 2, 4}});
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  EdgeScanMatcher matcher;
+  // Matches: (e0,e2) (e0,e3) (e1,e2) (e1,e3).
+  EXPECT_EQ(matcher.AllMatches(p, g).size(), 4u);
+}
+
+TEST(EdgeScanTest, InjectiveNodeMapping) {
+  // Pattern wants two distinct B destinations.
+  TemporalGraph g = MakeGraph({0, 1}, {{0, 1, 1}, {0, 1, 2}});
+  Pattern p = Pattern::SingleEdge(0, 1).GrowForward(0, 1);
+  EdgeScanMatcher matcher;
+  EXPECT_FALSE(matcher.Exists(p, g));
+}
+
+TEST(EdgeScanTest, WindowBoundsMatchSpan) {
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{0, 1, 0}, {1, 2, 1000}});
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  EdgeScanMatcher::Options narrow;
+  narrow.window = 100;
+  EXPECT_FALSE(EdgeScanMatcher(narrow).Exists(p, g));
+  EdgeScanMatcher::Options wide;
+  wide.window = 2000;
+  EXPECT_TRUE(EdgeScanMatcher(wide).Exists(p, g));
+}
+
+TEST(EdgeScanTest, MaxMatchesCapsEnumeration) {
+  TemporalGraph g = MakeGraph(
+      {0, 1, 2}, {{0, 1, 1}, {0, 1, 2}, {1, 2, 3}, {1, 2, 4}});
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  EdgeScanMatcher::Options options;
+  options.max_matches = 2;
+  std::vector<DataMatch> matches = EdgeScanMatcher(options).AllMatches(p, g);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(EdgeScanTest, BackwardGrowthEdgeMatches) {
+  // Pattern: A->B then C->B (backward-grown node C).
+  Pattern p = Pattern::SingleEdge(0, 1).GrowBackward(2, 1);
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{0, 1, 1}, {2, 1, 2}});
+  EdgeScanMatcher matcher;
+  EXPECT_TRUE(matcher.Exists(p, g));
+}
+
+TEST(EdgeScanTest, EdgeLabelsMustMatch) {
+  TemporalGraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddEdge(0, 1, 1, /*elabel=*/7);
+  g.Finalize();
+  EdgeScanMatcher matcher;
+  EXPECT_TRUE(matcher.Exists(Pattern::SingleEdge(0, 1, 7), g));
+  EXPECT_FALSE(matcher.Exists(Pattern::SingleEdge(0, 1, 8), g));
+}
+
+TEST(EdgeScanTest, SinkCanStopEnumeration) {
+  TemporalGraph g = MakeGraph({0, 1}, {{0, 1, 1}, {0, 1, 2}, {0, 1, 3}});
+  Pattern p = Pattern::SingleEdge(0, 1);
+  EdgeScanMatcher matcher;
+  int seen = 0;
+  matcher.EnumerateMatches(p, g, [&seen](const DataMatch&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+// Cross-check against a brute-force enumerator over edge subsets.
+class EdgeScanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeScanPropertyTest, MatchCountEqualsBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  TemporalGraph g = tgm::testing::RandomGraph(rng, 5, 8, 2);
+  Pattern p = tgm::testing::RandomPattern(rng, 2 + static_cast<int>(rng() % 2),
+                                          2);
+  EdgeScanMatcher matcher;
+  std::vector<DataMatch> matches = matcher.AllMatches(p, g);
+
+  // Brute force: choose |E(p)| data-edge positions in increasing order and
+  // test whether they form a match under some node identification.
+  std::size_t k = p.edge_count();
+  std::size_t n = g.edge_count();
+  std::int64_t expected = 0;
+  std::vector<std::size_t> idx(k);
+  std::function<void(std::size_t, std::size_t)> choose =
+      [&](std::size_t depth, std::size_t start) {
+        if (depth == k) {
+          // Try to build a consistent injective node map.
+          std::vector<NodeId> map(p.node_count(), kInvalidNode);
+          std::vector<bool> used(g.node_count(), false);
+          for (std::size_t i = 0; i < k; ++i) {
+            const PatternEdge& qe = p.edge(i);
+            const TemporalEdge& de = g.edge(static_cast<EdgePos>(idx[i]));
+            if (de.elabel != qe.elabel) return;
+            for (auto [qn, dn] : {std::pair{qe.src, de.src},
+                                  std::pair{qe.dst, de.dst}}) {
+              if (g.label(dn) != p.label(qn)) return;
+              NodeId& slot = map[static_cast<std::size_t>(qn)];
+              if (slot == kInvalidNode) {
+                if (used[static_cast<std::size_t>(dn)]) return;
+                slot = dn;
+                used[static_cast<std::size_t>(dn)] = true;
+              } else if (slot != dn) {
+                return;
+              }
+            }
+          }
+          ++expected;
+          return;
+        }
+        for (std::size_t i = start; i < n; ++i) {
+          idx[depth] = i;
+          choose(depth + 1, i + 1);
+        }
+      };
+  choose(0, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(matches.size()), expected)
+      << p.ToString() << "\n"
+      << g.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeScanPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,79 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace tgm {
+namespace {
+
+std::vector<TruthInstance> MakeTruth() {
+  return {
+      {BehaviorKind::kSshLogin, 100, 200},
+      {BehaviorKind::kScpDownload, 300, 400},
+      {BehaviorKind::kSshLogin, 500, 600},
+  };
+}
+
+TEST(EvaluatorTest, PerfectMatches) {
+  AccuracyResult r = EvaluateAccuracy({{110, 190}, {510, 590}}, MakeTruth(),
+                                      BehaviorKind::kSshLogin);
+  EXPECT_EQ(r.identified, 2);
+  EXPECT_EQ(r.correct, 2);
+  EXPECT_EQ(r.discovered, 2);
+  EXPECT_EQ(r.instances, 2);
+  EXPECT_DOUBLE_EQ(r.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+}
+
+TEST(EvaluatorTest, MatchInOtherBehaviorIntervalIsIncorrect) {
+  // A match inside the scp interval does not count for ssh-login.
+  AccuracyResult r = EvaluateAccuracy({{310, 390}}, MakeTruth(),
+                                      BehaviorKind::kSshLogin);
+  EXPECT_EQ(r.correct, 0);
+  EXPECT_DOUBLE_EQ(r.precision(), 0.0);
+}
+
+TEST(EvaluatorTest, PartialOverlapIsIncorrect) {
+  // Containment is required, not overlap.
+  AccuracyResult r = EvaluateAccuracy({{150, 250}}, MakeTruth(),
+                                      BehaviorKind::kSshLogin);
+  EXPECT_EQ(r.correct, 0);
+}
+
+TEST(EvaluatorTest, BoundaryContainmentCounts) {
+  AccuracyResult r = EvaluateAccuracy({{100, 200}}, MakeTruth(),
+                                      BehaviorKind::kSshLogin);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(EvaluatorTest, MultipleMatchesOneInstance) {
+  AccuracyResult r = EvaluateAccuracy({{110, 150}, {120, 160}, {130, 170}},
+                                      MakeTruth(), BehaviorKind::kSshLogin);
+  EXPECT_EQ(r.identified, 3);
+  EXPECT_EQ(r.correct, 3);
+  EXPECT_EQ(r.discovered, 1);  // one instance discovered
+  EXPECT_DOUBLE_EQ(r.recall(), 0.5);
+}
+
+TEST(EvaluatorTest, NoMatchesGivesZeroPrecisionZeroRecall) {
+  AccuracyResult r =
+      EvaluateAccuracy({}, MakeTruth(), BehaviorKind::kSshLogin);
+  EXPECT_DOUBLE_EQ(r.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(r.recall(), 0.0);
+}
+
+TEST(EvaluatorTest, NoInstancesOfBehavior) {
+  AccuracyResult r = EvaluateAccuracy({{100, 150}}, MakeTruth(),
+                                      BehaviorKind::kGccCompile);
+  EXPECT_EQ(r.instances, 0);
+  EXPECT_EQ(r.correct, 0);
+  EXPECT_DOUBLE_EQ(r.recall(), 0.0);
+}
+
+TEST(EvaluatorTest, MatchBeforeAllInstances) {
+  AccuracyResult r =
+      EvaluateAccuracy({{10, 20}}, MakeTruth(), BehaviorKind::kSshLogin);
+  EXPECT_EQ(r.correct, 0);
+}
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,227 @@
+#include "nontemporal/gspan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "nontemporal/dfs_code.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+StaticGraph MakeStatic(const std::vector<LabelId>& labels,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  StaticGraph g;
+  for (LabelId l : labels) g.AddNode(l);
+  for (const auto& [s, d] : edges) g.AddEdge(s, d);
+  g.Finalize();
+  return g;
+}
+
+TEST(StaticGraphTest, CollapseDedupesParallelEdges) {
+  TemporalGraph t = tgm::testing::MakeGraph(
+      {0, 1}, {{0, 1, 1}, {0, 1, 2}, {0, 1, 3}, {1, 0, 4}});
+  StaticGraph s = StaticGraph::Collapse(t);
+  EXPECT_EQ(s.node_count(), 2u);
+  EXPECT_EQ(s.edge_count(), 2u);  // 0->1 and 1->0
+  EXPECT_TRUE(s.HasEdge(0, 1, kNoEdgeLabel));
+  EXPECT_TRUE(s.HasEdge(1, 0, kNoEdgeLabel));
+}
+
+TEST(StaticGraphTest, CollapseKeepsDistinctEdgeLabels) {
+  TemporalGraph t;
+  t.AddNode(0);
+  t.AddNode(1);
+  t.AddEdge(0, 1, 1, 5);
+  t.AddEdge(0, 1, 2, 6);
+  t.AddEdge(0, 1, 3, 5);
+  t.Finalize();
+  StaticGraph s = StaticGraph::Collapse(t);
+  EXPECT_EQ(s.edge_count(), 2u);
+}
+
+TEST(DfsCodeTest, GraphFromCodeRoundTrip) {
+  DfsCode code;
+  code.push_back(DfsCodeEntry{0, 1, 0, 1, 0, true});   // 0(A) -> 1(B)
+  code.push_back(DfsCodeEntry{1, 2, 1, 2, 0, true});   // 1(B) -> 2(C)
+  code.push_back(DfsCodeEntry{2, 0, 2, 0, 0, false});  // edge 0(A) -> 2(C)
+  StaticGraph g = GraphFromCode(code);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2, 0));
+  EXPECT_TRUE(g.HasEdge(0, 2, 0));  // `along=false` reverses direction
+}
+
+TEST(DfsCodeTest, RightmostPathFollowsForwardEdges) {
+  DfsCode code;
+  code.push_back(DfsCodeEntry{0, 1, 0, 1, 0, true});
+  code.push_back(DfsCodeEntry{1, 2, 1, 2, 0, true});
+  code.push_back(DfsCodeEntry{1, 3, 1, 3, 0, true});
+  // Tree: 0-1, 1-2, 1-3. Rightmost vertex 3, path 0,1,3.
+  EXPECT_EQ(RightmostPath(code), (std::vector<std::int32_t>{0, 1, 3}));
+}
+
+TEST(DfsCodeTest, MinimalCodeInvariantUnderNodePermutation) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random connected static graph via a random pattern.
+    Pattern p = tgm::testing::RandomPattern(
+        rng, 3 + static_cast<int>(rng() % 4), 3);
+    StaticGraph g = StaticGraph::Collapse(p.ToTemporalGraph());
+    DfsCode code = MinimalDfsCode(g);
+
+    // Permute node ids and recompute: the minimal code must not change.
+    std::vector<NodeId> perm(g.node_count());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    StaticGraph h;
+    std::vector<NodeId> inv(g.node_count());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      inv[static_cast<std::size_t>(perm[i])] = static_cast<NodeId>(i);
+    }
+    // Add nodes in permuted positions.
+    std::vector<LabelId> labels(g.node_count());
+    for (std::size_t i = 0; i < g.node_count(); ++i) {
+      labels[static_cast<std::size_t>(perm[i])] =
+          g.label(static_cast<NodeId>(i));
+    }
+    for (LabelId l : labels) h.AddNode(l);
+    for (const StaticEdge& e : g.edges()) {
+      h.AddEdge(perm[static_cast<std::size_t>(e.src)],
+                perm[static_cast<std::size_t>(e.dst)], e.elabel);
+    }
+    h.Finalize();
+    EXPECT_EQ(CodeToString(MinimalDfsCode(h)), CodeToString(code));
+  }
+}
+
+TEST(DfsCodeTest, MinimalCodeIsMinimal) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    Pattern p = tgm::testing::RandomPattern(
+        rng, 2 + static_cast<int>(rng() % 4), 2);
+    StaticGraph g = StaticGraph::Collapse(p.ToTemporalGraph());
+    DfsCode code = MinimalDfsCode(g);
+    EXPECT_TRUE(IsMinimalCode(code)) << CodeToString(code);
+  }
+}
+
+TEST(GspanTest, FindsPlantedStaticPattern) {
+  // Positives share A->B->C; negatives have A->B and C elsewhere.
+  std::vector<StaticGraph> pos;
+  std::vector<StaticGraph> neg;
+  for (int i = 0; i < 4; ++i) {
+    pos.push_back(MakeStatic({0, 1, 2}, {{0, 1}, {1, 2}}));
+    neg.push_back(MakeStatic({0, 1, 2}, {{0, 1}, {2, 1}}));
+  }
+  GspanConfig config;
+  config.max_edges = 2;
+  GspanMiner miner(config, pos, neg);
+  GspanResult result = miner.Mine();
+  ASSERT_FALSE(result.top.empty());
+  const StaticMinedPattern& best = result.top.front();
+  EXPECT_EQ(best.freq_pos, 1.0);
+  EXPECT_EQ(best.freq_neg, 0.0);
+  // B->C alone already separates the classes (negatives reverse it), and
+  // the full A->B->C chain ties it; both must be present among the top
+  // results at the best score.
+  bool chain_found = false;
+  for (const StaticMinedPattern& m : result.top) {
+    if (m.graph.edge_count() == 2 && m.score == result.best_score) {
+      chain_found = true;
+    }
+  }
+  EXPECT_TRUE(chain_found);
+}
+
+TEST(GspanTest, SupportIsPerGraphNotPerEmbedding) {
+  // One positive graph with many embeddings still counts once.
+  std::vector<StaticGraph> pos;
+  pos.push_back(MakeStatic({0, 1, 1, 1}, {{0, 1}, {0, 2}, {0, 3}}));
+  std::vector<StaticGraph> neg;
+  neg.push_back(MakeStatic({2, 3}, {{0, 1}}));
+  GspanConfig config;
+  config.max_edges = 1;
+  GspanMiner miner(config, pos, neg);
+  GspanResult result = miner.Mine();
+  for (const StaticMinedPattern& m : result.top) {
+    EXPECT_LE(m.support_pos, 1);
+  }
+}
+
+TEST(GspanTest, DirectionalityIsRespected) {
+  // Positives: A->B; negatives: B->A. Best pattern must be A->B with zero
+  // negative frequency.
+  std::vector<StaticGraph> pos;
+  std::vector<StaticGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(MakeStatic({0, 1}, {{0, 1}}));
+    neg.push_back(MakeStatic({0, 1}, {{1, 0}}));
+  }
+  GspanConfig config;
+  config.max_edges = 1;
+  GspanMiner miner(config, pos, neg);
+  GspanResult result = miner.Mine();
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top.front().freq_neg, 0.0);
+}
+
+TEST(GspanTest, VisitsEachPatternOnce) {
+  // A triangle with identical labels stresses minimality-based dedup.
+  std::vector<StaticGraph> pos;
+  pos.push_back(MakeStatic({0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}}));
+  std::vector<StaticGraph> neg;
+  neg.push_back(MakeStatic({1, 1}, {{0, 1}}));
+  GspanConfig config;
+  config.max_edges = 3;
+  config.use_naive_bound = false;
+  config.top_k = 1000;
+  GspanMiner miner(config, pos, neg);
+  GspanResult result = miner.Mine();
+  // Patterns occurring in the triangle: single edge, path of 2, path of 3,
+  // triangle (plus the neg-side single edge with its own label).
+  // Exact count: edge(1), 2-path(1: A->A->A ... also A->A<-A? In a directed
+  // 3-cycle the 2-edge patterns are: ->->, and the 3-edge is the cycle.
+  // What matters here: every retained pattern is distinct.
+  std::vector<std::string> codes;
+  for (const StaticMinedPattern& m : result.top) {
+    codes.push_back(CodeToString(m.code));
+  }
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(std::unique(codes.begin(), codes.end()), codes.end());
+}
+
+class GspanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GspanPropertyTest, MinimalityDedupIsExact) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 42);
+  // Random graphs; mine everything; check retained patterns are unique as
+  // canonical graphs.
+  std::vector<StaticGraph> pos;
+  pos.push_back(StaticGraph::Collapse(
+      tgm::testing::RandomGraph(rng, 5, 8, 2)));
+  std::vector<StaticGraph> neg;
+  neg.push_back(StaticGraph::Collapse(
+      tgm::testing::RandomGraph(rng, 4, 4, 2)));
+  GspanConfig config;
+  config.max_edges = 3;
+  config.use_naive_bound = false;
+  config.top_k = 100000;
+  GspanMiner miner(config, pos, neg);
+  GspanResult result = miner.Mine();
+  std::vector<std::string> codes;
+  for (const StaticMinedPattern& m : result.top) {
+    EXPECT_TRUE(IsMinimalCode(m.code));
+    codes.push_back(CodeToString(m.code));
+  }
+  std::sort(codes.begin(), codes.end());
+  EXPECT_EQ(std::unique(codes.begin(), codes.end()), codes.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GspanPropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace tgm

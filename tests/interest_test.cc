@@ -1,0 +1,91 @@
+#include "query/interest.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+TEST(InterestTest, BlacklistPrefixes) {
+  EXPECT_TRUE(InterestModel::IsBlacklisted("file:/proc/stat"));
+  EXPECT_TRUE(InterestModel::IsBlacklisted("file:/tmp/noise3"));
+  EXPECT_TRUE(InterestModel::IsBlacklisted("file:/dev/urandom"));
+  EXPECT_FALSE(InterestModel::IsBlacklisted("file:/etc/shadow"));
+  EXPECT_FALSE(InterestModel::IsBlacklisted("proc:sshd"));
+}
+
+TEST(InterestTest, RareLabelsScoreHigher) {
+  LabelDict dict;
+  LabelId common = dict.Intern("proc:bash");
+  LabelId rare = dict.Intern("file:/etc/shadow");
+  std::vector<TemporalGraph> graphs;
+  for (int i = 0; i < 4; ++i) {
+    TemporalGraph g;
+    g.AddNode(common);
+    NodeId other = g.AddNode(i == 0 ? rare : common);
+    g.AddEdge(0, other, 1);
+    g.Finalize();
+    graphs.push_back(std::move(g));
+  }
+  InterestModel model({&graphs}, dict);
+  EXPECT_GT(model.InterestOfLabel(rare), model.InterestOfLabel(common));
+}
+
+TEST(InterestTest, BlacklistedLabelScoresZero) {
+  LabelDict dict;
+  LabelId junk = dict.Intern("file:/proc/meminfo");
+  std::vector<TemporalGraph> graphs;
+  TemporalGraph g;
+  g.AddNode(junk);
+  g.AddNode(junk);
+  g.AddEdge(0, 1, 1);
+  g.Finalize();
+  graphs.push_back(std::move(g));
+  InterestModel model({&graphs}, dict);
+  EXPECT_EQ(model.InterestOfLabel(junk), 0.0);
+}
+
+TEST(InterestTest, SelectTopQueriesRanksByScoreThenInterest) {
+  LabelDict dict;
+  LabelId rare = dict.Intern("file:/etc/shadow");
+  LabelId common = dict.Intern("proc:bash");
+  std::vector<TemporalGraph> graphs;
+  for (int i = 0; i < 3; ++i) {
+    TemporalGraph g;
+    g.AddNode(common);
+    g.AddNode(i == 0 ? rare : common);
+    g.AddEdge(0, 1, 1);
+    g.Finalize();
+    graphs.push_back(std::move(g));
+  }
+  InterestModel model({&graphs}, dict);
+
+  MinedPattern high_score;
+  high_score.pattern = Pattern::SingleEdge(common, common);
+  high_score.score = 10.0;
+  MinedPattern tied_rare;
+  tied_rare.pattern = Pattern::SingleEdge(common, rare);
+  tied_rare.score = 5.0;
+  MinedPattern tied_common;
+  tied_common.pattern = Pattern::SingleEdge(common, common);
+  tied_common.score = 5.0;
+
+  std::vector<MinedPattern> mined = {tied_common, tied_rare, high_score};
+  std::vector<MinedPattern> top = SelectTopQueries(mined, model, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].score, 10.0);
+  // Among the tied pair, the pattern containing the rare label wins.
+  EXPECT_EQ(top[1].pattern, tied_rare.pattern);
+}
+
+TEST(InterestTest, UnknownLabelDefaultsToFullInterest) {
+  LabelDict dict;
+  dict.Intern("proc:a");
+  std::vector<TemporalGraph> graphs;
+  InterestModel model({&graphs}, dict);
+  EXPECT_EQ(model.InterestOfLabel(999), 1.0);
+}
+
+}  // namespace
+}  // namespace tgm

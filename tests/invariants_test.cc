@@ -1,0 +1,113 @@
+// Cross-module invariants: properties that must hold across the whole
+// pipeline regardless of seeds or scales.
+
+#include <gtest/gtest.h>
+
+#include "mining/miner.h"
+#include "syslog/dataset.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+class DatasetInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetInvariantTest, TruthIntervalsContainInstanceEvents) {
+  SyslogWorld world;
+  DatasetConfig config;
+  config.runs_per_behavior = 2;
+  config.background_graphs = 2;
+  config.test_instances = 12;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  TestLog log = BuildTestLog(world, config);
+  // Every truth interval is within the log's global time span and
+  // intervals are disjoint and ordered.
+  ASSERT_FALSE(log.truth.empty());
+  Timestamp log_begin = log.graph.edges().front().ts;
+  Timestamp log_end = log.graph.edges().back().ts;
+  for (std::size_t i = 0; i < log.truth.size(); ++i) {
+    EXPECT_GE(log.truth[i].t_begin, log_begin - 1);
+    EXPECT_LE(log.truth[i].t_end, log_end + 1);
+    EXPECT_LE(log.truth[i].t_begin, log.truth[i].t_end);
+    if (i > 0) EXPECT_GE(log.truth[i].t_begin, log.truth[i - 1].t_end);
+  }
+  // Instance counts add up.
+  std::int64_t total = 0;
+  for (std::int64_t c : log.instance_counts) total += c;
+  EXPECT_EQ(total, static_cast<std::int64_t>(log.truth.size()));
+}
+
+TEST_P(DatasetInvariantTest, TrainingGraphsAreStrictlyOrdered) {
+  SyslogWorld world;
+  DatasetConfig config;
+  config.runs_per_behavior = 2;
+  config.background_graphs = 3;
+  config.seed = static_cast<std::uint64_t>(GetParam()) + 100;
+  TrainingData data = BuildTrainingData(world, config);
+  auto check = [](const TemporalGraph& g) {
+    for (std::size_t i = 1; i < g.edge_count(); ++i) {
+      EXPECT_LE(g.edge(static_cast<EdgePos>(i - 1)).ts,
+                g.edge(static_cast<EdgePos>(i)).ts);
+    }
+  };
+  for (const auto& runs : data.positives) {
+    for (const TemporalGraph& g : runs) check(g);
+  }
+  for (const TemporalGraph& g : data.background) check(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetInvariantTest, ::testing::Range(1, 6));
+
+class MinerInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinerInvariantTest, StatsAreInternallyConsistent) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 900);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  MineResult result = Miner(config, pos, neg).Mine();
+  const MinerStats& s = result.stats;
+  EXPECT_LE(s.patterns_expanded, s.patterns_visited);
+  EXPECT_LE(s.subgraph_prune_triggers + s.supergraph_prune_triggers +
+                s.naive_prunes,
+            s.patterns_visited);
+  EXPECT_GE(s.elapsed_seconds, 0.0);
+  EXPECT_GE(s.SubgraphTriggerRate(), 0.0);
+  EXPECT_LE(s.SubgraphTriggerRate(), 1.0);
+}
+
+TEST_P(MinerInvariantTest, TopListSortedAndBounded) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1900);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.top_k = 7;
+  MineResult result = Miner(config, pos, neg).Mine();
+  EXPECT_LE(result.top.size(), 7u);
+  for (std::size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].score, result.top[i].score);
+  }
+  if (!result.top.empty()) {
+    EXPECT_DOUBLE_EQ(result.top.front().score, result.best_score);
+  }
+  for (const MinedPattern& m : result.top) {
+    EXPECT_TRUE(m.pattern.IsCanonical());
+    EXPECT_GT(m.support_pos, 0);
+    EXPECT_LE(m.pattern.edge_count(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerInvariantTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,141 @@
+#include "temporal/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+TEST(IoTest, GraphRoundTrip) {
+  LabelDict dict;
+  LabelId a = dict.Intern("proc:bash");
+  LabelId b = dict.Intern("file:/etc/passwd");
+  LabelId op = dict.Intern("op:read");
+  TemporalGraph g;
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddEdge(1, 0, 100, op);
+  g.AddEdge(1, 0, 250, op);
+  g.Finalize();
+
+  std::stringstream ss;
+  WriteTemporalGraph(ss, g, dict);
+  LabelDict dict2;
+  auto back = ReadTemporalGraph(ss, dict2);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node_count(), 2u);
+  EXPECT_EQ(back->edge_count(), 2u);
+  EXPECT_EQ(dict2.Name(back->label(0)), "proc:bash");
+  EXPECT_EQ(back->edge(0).ts, 100);
+  EXPECT_EQ(back->edge(1).ts, 250);
+  EXPECT_EQ(dict2.Name(back->edge(0).elabel), "op:read");
+}
+
+TEST(IoTest, GraphRoundTripPreservesMatching) {
+  std::mt19937_64 rng(3);
+  LabelDict dict;
+  for (int i = 0; i < 8; ++i) dict.Intern("L" + std::to_string(i));
+  TemporalGraph g = tgm::testing::RandomGraph(rng, 6, 12, 4);
+  std::stringstream ss;
+  WriteTemporalGraph(ss, g, dict);
+  LabelDict dict2;
+  for (int i = 0; i < 8; ++i) dict2.Intern("L" + std::to_string(i));
+  auto back = ReadTemporalGraph(ss, dict2);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->edge_count(), g.edge_count());
+  for (std::size_t i = 0; i < g.edge_count(); ++i) {
+    EXPECT_EQ(back->edge(static_cast<EdgePos>(i)),
+              g.edge(static_cast<EdgePos>(i)));
+  }
+}
+
+TEST(IoTest, PatternRoundTrip) {
+  LabelDict dict;
+  LabelId a = dict.Intern("alert:cpu");
+  LabelId b = dict.Intern("alert:io");
+  Pattern p = Pattern::SingleEdge(a, b).GrowForward(1, a).GrowInward(0, 1);
+  std::stringstream ss;
+  WritePattern(ss, p, dict);
+  LabelDict dict2;
+  auto back = ReadPattern(ss, dict2);
+  ASSERT_TRUE(back.has_value());
+  // Same structure under re-interned labels.
+  EXPECT_EQ(back->node_count(), p.node_count());
+  EXPECT_EQ(back->edge_count(), p.edge_count());
+  for (std::size_t i = 0; i < p.edge_count(); ++i) {
+    EXPECT_EQ(back->edge(i).src, p.edge(i).src);
+    EXPECT_EQ(back->edge(i).dst, p.edge(i).dst);
+  }
+  EXPECT_EQ(dict2.Name(back->label(0)), "alert:cpu");
+}
+
+TEST(IoTest, RejectsBadHeader) {
+  std::stringstream ss("garbage 1 1\n");
+  LabelDict dict;
+  EXPECT_FALSE(ReadTemporalGraph(ss, dict).has_value());
+  std::stringstream ss2("tgraph\n");
+  EXPECT_FALSE(ReadTemporalGraph(ss2, dict).has_value());
+}
+
+TEST(IoTest, RejectsOutOfRangeNodeIds) {
+  std::stringstream ss("tgraph 1 1\nn A\ne 0 7 5 <none>\n");
+  LabelDict dict;
+  EXPECT_FALSE(ReadTemporalGraph(ss, dict).has_value());
+}
+
+TEST(IoTest, RejectsTruncatedInput) {
+  std::stringstream ss("tgraph 2 2\nn A\nn B\ne 0 1 5 <none>\n");
+  LabelDict dict;
+  EXPECT_FALSE(ReadTemporalGraph(ss, dict).has_value());
+}
+
+TEST(IoTest, PatternDotRendering) {
+  LabelDict dict;
+  LabelId a = dict.Intern("proc:sshd");
+  LabelId b = dict.Intern("file:\"quoted\"");
+  LabelId op = dict.Intern("op:read");
+  Pattern p = Pattern::SingleEdge(a, b, op);
+  std::string dot = PatternToDot(p, dict, "q");
+  EXPECT_NE(dot.find("digraph \"q\""), std::string::npos);
+  EXPECT_NE(dot.find("proc:sshd"), std::string::npos);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);  // escaped
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("1: op:read"), std::string::npos);
+}
+
+TEST(IoTest, TemporalGraphDotRendering) {
+  LabelDict dict;
+  LabelId a = dict.Intern("A");
+  LabelId b = dict.Intern("B");
+  TemporalGraph g;
+  g.AddNode(a);
+  g.AddNode(b);
+  g.AddEdge(0, 1, 42);
+  g.Finalize();
+  std::string dot = TemporalGraphToDot(g, dict);
+  EXPECT_NE(dot.find("t=42"), std::string::npos);
+}
+
+TEST(IoTest, MultiplePatternsInOneStream) {
+  LabelDict dict;
+  LabelId a = dict.Intern("x");
+  LabelId b = dict.Intern("y");
+  Pattern p1 = Pattern::SingleEdge(a, b);
+  Pattern p2 = Pattern::SingleEdge(b, a).GrowForward(1, b);
+  std::stringstream ss;
+  WritePattern(ss, p1, dict);
+  WritePattern(ss, p2, dict);
+  LabelDict dict2;
+  auto r1 = ReadPattern(ss, dict2);
+  auto r2 = ReadPattern(ss, dict2);
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->edge_count(), 1u);
+  EXPECT_EQ(r2->edge_count(), 2u);
+}
+
+}  // namespace
+}  // namespace tgm

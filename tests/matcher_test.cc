@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "matching/index_matcher.h"
+#include "matching/seq_matcher.h"
+#include "matching/vf2_matcher.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakePattern;
+
+// Figure 3: G2 ⊆t G1 — the subgraph formed by the suffix of G1 matches G2.
+TEST(MatcherTest, PaperFigure3Containment) {
+  // G1: A->B@1, A->B@2, B->C@3, B->C@4 (labels A=0,B=1,C=2).
+  Pattern g1 =
+      MakePattern({0, 1, 2}, {{0, 1}, {0, 1}, {1, 2}, {1, 2}});
+  // G2: A->B@1, B->C@2.
+  Pattern g2 = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_TRUE(seq.Contains(g2, g1));
+  EXPECT_TRUE(vf2.Contains(g2, g1));
+  EXPECT_TRUE(gi.Contains(g2, g1));
+  EXPECT_FALSE(seq.Contains(g1, g2));
+  EXPECT_FALSE(vf2.Contains(g1, g2));
+  EXPECT_FALSE(gi.Contains(g1, g2));
+}
+
+TEST(MatcherTest, TemporalOrderMatters) {
+  // small: A->B then B->C; big has the edges in the opposite order.
+  Pattern small = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  Pattern big = MakePattern({1, 2, 0}, {{0, 1}, {2, 0}});  // B->C then A->B
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_FALSE(seq.Contains(small, big));
+  EXPECT_FALSE(vf2.Contains(small, big));
+  EXPECT_FALSE(gi.Contains(small, big));
+}
+
+TEST(MatcherTest, SelfContainment) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 10; ++i) {
+    Pattern p = tgm::testing::RandomPattern(rng, 6, 3);
+    SeqMatcher seq;
+    Vf2Matcher vf2;
+    IndexMatcher gi;
+    EXPECT_TRUE(seq.Contains(p, p)) << p.ToString();
+    EXPECT_TRUE(vf2.Contains(p, p)) << p.ToString();
+    EXPECT_TRUE(gi.Contains(p, p)) << p.ToString();
+  }
+}
+
+TEST(MatcherTest, EmptyPatternContainedEverywhere) {
+  Pattern empty;
+  Pattern p = Pattern::SingleEdge(0, 1);
+  SeqMatcher seq;
+  EXPECT_TRUE(seq.Contains(empty, p));
+}
+
+TEST(MatcherTest, LabelMismatchFails) {
+  Pattern small = MakePattern({5, 1}, {{0, 1}});
+  Pattern big = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_FALSE(seq.Contains(small, big));
+  EXPECT_FALSE(vf2.Contains(small, big));
+  EXPECT_FALSE(gi.Contains(small, big));
+}
+
+TEST(MatcherTest, EdgeLabelMismatchFails) {
+  Pattern small = Pattern::SingleEdge(0, 1, /*elabel=*/3);
+  Pattern big = Pattern::SingleEdge(0, 1, /*elabel=*/4);
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_FALSE(seq.Contains(small, big));
+  EXPECT_FALSE(vf2.Contains(small, big));
+  EXPECT_FALSE(gi.Contains(small, big));
+}
+
+TEST(MatcherTest, MultiEdgeCountsRespected) {
+  // small needs two A->B edges; big has only one.
+  Pattern small = Pattern::SingleEdge(0, 1).GrowInward(0, 1);
+  Pattern big = Pattern::SingleEdge(0, 1).GrowForward(1, 2);
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_FALSE(seq.Contains(small, big));
+  EXPECT_FALSE(vf2.Contains(small, big));
+  EXPECT_FALSE(gi.Contains(small, big));
+}
+
+TEST(MatcherTest, InjectivityRequired) {
+  // small: A->B, A->B' (two distinct B-labeled destinations).
+  Pattern small = Pattern::SingleEdge(0, 1).GrowForward(0, 1);
+  // big: a single A->B multi-edge pair — only ONE B node.
+  Pattern big = Pattern::SingleEdge(0, 1).GrowInward(0, 1);
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_FALSE(seq.Contains(small, big));
+  EXPECT_FALSE(vf2.Contains(small, big));
+  EXPECT_FALSE(gi.Contains(small, big));
+}
+
+TEST(MatcherTest, FindMappingReturnsValidMapping) {
+  Pattern small = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  Pattern big =
+      MakePattern({3, 0, 1, 2}, {{0, 1}, {1, 2}, {2, 3}, {1, 3}});
+  SeqMatcher seq;
+  auto mapping = seq.FindMapping(small, big);
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_EQ(mapping->size(), small.node_count());
+  for (std::size_t v = 0; v < small.node_count(); ++v) {
+    EXPECT_EQ(small.label(static_cast<NodeId>(v)),
+              big.label((*mapping)[v]));
+  }
+  // Injectivity.
+  std::vector<NodeId> sorted = *mapping;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(MatcherTest, Figure9StyleEmbedding) {
+  // Figure 9's point: nodeseq(g1) is not a subsequence of nodeseq(g2) but
+  // g1 ⊆t g2 still holds via the enhanced sequence.
+  // g2: B(1)->A(0)@1, A->B'(1)@2, B'->E(4)@3, C(2)->A@4, A->E'(4)@5 ...
+  // Simplified variant: g2 revisits an earlier node late.
+  Pattern g2 = MakePattern({1, 0, 4, 2}, {{0, 1}, {1, 2}, {3, 1}, {1, 3}});
+  // g1: B->A, A->C  — needs the C visited late in g2.
+  Pattern g1 = MakePattern({1, 0, 2}, {{0, 1}, {1, 2}});
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  EXPECT_TRUE(seq.Contains(g1, g2));
+  EXPECT_TRUE(vf2.Contains(g1, g2));
+}
+
+TEST(MatcherTest, SeqMatcherOptionsCanBeDisabled) {
+  SeqMatcher::Options options;
+  options.label_sequence_test = false;
+  options.local_information_match = false;
+  options.prefix_pruning = false;
+  SeqMatcher plain(options);
+  Pattern small = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  Pattern big =
+      MakePattern({0, 1, 2}, {{0, 1}, {0, 1}, {1, 2}});
+  EXPECT_TRUE(plain.Contains(small, big));
+  EXPECT_FALSE(plain.Contains(big, small));
+}
+
+TEST(MatcherTest, TestCountIncrements) {
+  SeqMatcher seq;
+  Pattern p = Pattern::SingleEdge(0, 1);
+  seq.Contains(p, p);
+  seq.Contains(p, p);
+  EXPECT_EQ(seq.test_count(), 2);
+}
+
+TEST(MatcherTest, FactoryProducesAllKinds) {
+  EXPECT_NE(MakeTester(SubgraphTestAlgo::kSequence), nullptr);
+  EXPECT_NE(MakeTester(SubgraphTestAlgo::kVf2), nullptr);
+  EXPECT_NE(MakeTester(SubgraphTestAlgo::kGraphIndex), nullptr);
+}
+
+// Property sweep: the three matchers must agree on random pattern pairs,
+// and containment must hold for grown supergraphs by construction.
+class MatcherAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherAgreementTest, GrownSupergraphsContainTheirBase) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  Pattern base = tgm::testing::RandomPattern(rng, 3, 3);
+  Pattern grown = tgm::testing::GrowRandomly(rng, base, 4, 3);
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  EXPECT_TRUE(seq.Contains(base, grown))
+      << base.ToString() << " in " << grown.ToString();
+  EXPECT_TRUE(vf2.Contains(base, grown));
+  EXPECT_TRUE(gi.Contains(base, grown));
+}
+
+TEST_P(MatcherAgreementTest, AllMatchersAgreeOnRandomPairs) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  for (int trial = 0; trial < 20; ++trial) {
+    Pattern a = tgm::testing::RandomPattern(
+        rng, 2 + static_cast<int>(rng() % 3), 2);
+    Pattern b = tgm::testing::RandomPattern(
+        rng, 3 + static_cast<int>(rng() % 4), 2);
+    bool s = seq.Contains(a, b);
+    bool v = vf2.Contains(a, b);
+    bool g = gi.Contains(a, b);
+    EXPECT_EQ(s, v) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(s, g) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST_P(MatcherAgreementTest, AllMatchersReturnValidMappings) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 7700);
+  Pattern base = tgm::testing::RandomPattern(rng, 3, 2);
+  Pattern grown = tgm::testing::GrowRandomly(rng, base, 5, 2);
+  SeqMatcher seq;
+  Vf2Matcher vf2;
+  IndexMatcher gi;
+  for (TemporalSubgraphTester* tester :
+       std::initializer_list<TemporalSubgraphTester*>{&seq, &vf2, &gi}) {
+    auto mapping = tester->FindMapping(base, grown);
+    ASSERT_TRUE(mapping.has_value());
+    ASSERT_EQ(mapping->size(), base.node_count());
+    // Labels preserved and mapping injective.
+    std::vector<NodeId> sorted = *mapping;
+    for (std::size_t v = 0; v < base.node_count(); ++v) {
+      EXPECT_EQ(base.label(static_cast<NodeId>(v)),
+                grown.label((*mapping)[v]));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    // An order-preserving injective edge mapping exists under fs: verify
+    // with the greedy subsequence walk.
+    std::size_t j = 0;
+    const auto& big_edges = grown.edges();
+    for (const PatternEdge& e : base.edges()) {
+      NodeId ws = (*mapping)[static_cast<std::size_t>(e.src)];
+      NodeId wd = (*mapping)[static_cast<std::size_t>(e.dst)];
+      bool matched = false;
+      for (; j < big_edges.size(); ++j) {
+        if (big_edges[j].src == ws && big_edges[j].dst == wd &&
+            big_edges[j].elabel == e.elabel) {
+          ++j;
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched);
+    }
+  }
+}
+
+TEST_P(MatcherAgreementTest, SeqMatcherPruningPreservesDecisions) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 9000);
+  SeqMatcher fast;  // all prunings on
+  SeqMatcher::Options off;
+  off.label_sequence_test = false;
+  off.local_information_match = false;
+  off.prefix_pruning = false;
+  SeqMatcher slow(off);
+  for (int trial = 0; trial < 15; ++trial) {
+    Pattern a = tgm::testing::RandomPattern(
+        rng, 2 + static_cast<int>(rng() % 3), 2);
+    Pattern b = tgm::testing::RandomPattern(
+        rng, 3 + static_cast<int>(rng() % 4), 2);
+    EXPECT_EQ(fast.Contains(a, b), slow.Contains(a, b))
+        << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreementTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace tgm

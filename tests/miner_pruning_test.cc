@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "mining/miner.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+
+// Datasets engineered so the Section 4.2 pruning rules demonstrably fire,
+// plus equivalence checks that pruning never changes results (Theorem 2).
+
+// Graphs with long shared chains create many sub/supergraph pairs with
+// identical residual sets.
+std::vector<TemporalGraph> ChainGraphs(int count, int chain_length,
+                                       int label_period) {
+  std::vector<TemporalGraph> graphs;
+  for (int i = 0; i < count; ++i) {
+    TemporalGraph g;
+    for (int v = 0; v <= chain_length; ++v) {
+      g.AddNode(static_cast<LabelId>(v % label_period));
+    }
+    for (int e = 0; e < chain_length; ++e) {
+      g.AddEdge(static_cast<NodeId>(e), static_cast<NodeId>(e + 1),
+                static_cast<Timestamp>(e + 1));
+    }
+    g.Finalize();
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+TEST(PruningTest, SubgraphPruningTriggersOnChains) {
+  std::vector<TemporalGraph> pos = ChainGraphs(4, 8, 3);
+  std::vector<TemporalGraph> neg = ChainGraphs(4, 3, 2);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 5;
+  Miner miner(config, pos, neg);
+  MineResult result = miner.Mine();
+  EXPECT_GT(result.stats.subgraph_prune_triggers +
+                result.stats.supergraph_prune_triggers +
+                result.stats.naive_prunes,
+            0);
+}
+
+TEST(PruningTest, PrunedResultEqualsUnprunedResult) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<TemporalGraph> pos;
+    std::vector<TemporalGraph> neg;
+    for (int i = 0; i < 4; ++i) {
+      pos.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+      neg.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+    }
+    MinerConfig off;
+    off.max_edges = 3;
+    off.top_k = 4096;
+    off.use_naive_bound = false;
+    off.use_subgraph_pruning = false;
+    off.use_supergraph_pruning = false;
+    MineResult base = Miner(off, pos, neg).Mine();
+
+    MinerConfig on = MinerConfig::TGMiner();
+    on.max_edges = 3;
+    on.top_k = 4096;
+    MineResult pruned = Miner(on, pos, neg).Mine();
+
+    // Theorem 2: the maximum score is preserved exactly.
+    EXPECT_DOUBLE_EQ(base.best_score, pruned.best_score);
+    // And the best-scoring patterns found by the pruned search are a
+    // subset of the full tie set (ties may be cut, the maximum may not).
+    std::vector<Pattern> full_ties;
+    for (const MinedPattern& m : base.top) {
+      if (m.score == base.best_score) full_ties.push_back(m.pattern);
+    }
+    for (const MinedPattern& m : pruned.top) {
+      if (m.score != pruned.best_score) continue;
+      bool found = false;
+      for (const Pattern& p : full_ties) found = found || (p == m.pattern);
+      EXPECT_TRUE(found) << m.pattern.ToString();
+    }
+  }
+}
+
+TEST(PruningTest, SubgraphTestsAreCounted) {
+  std::vector<TemporalGraph> pos = ChainGraphs(3, 7, 2);
+  std::vector<TemporalGraph> neg = ChainGraphs(3, 2, 2);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 4;
+  Miner miner(config, pos, neg);
+  MineResult result = miner.Mine();
+  // Chains of repeated labels produce candidate pairs, so tests happen.
+  EXPECT_GT(result.stats.residual_equiv_tests, 0);
+}
+
+TEST(PruningTest, TimeBudgetSetsTimedOut) {
+  std::mt19937_64 rng(17);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 6; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 8, 40, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 8, 40, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 12;
+  config.use_naive_bound = false;  // force a big search
+  config.max_millis = 1;
+  MineResult result = Miner(config, pos, neg).Mine();
+  EXPECT_TRUE(result.stats.timed_out);
+}
+
+TEST(PruningTest, VisitCapStopsSearch) {
+  std::vector<TemporalGraph> pos = ChainGraphs(3, 10, 2);
+  std::vector<TemporalGraph> neg = ChainGraphs(3, 2, 2);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 10;
+  config.max_visited = 50;
+  MineResult result = Miner(config, pos, neg).Mine();
+  // The cap is checked between visits, so allow a small overshoot.
+  EXPECT_LE(result.stats.patterns_visited, 60);
+}
+
+TEST(PruningTest, EmbeddingCapIsDeterministic) {
+  std::vector<TemporalGraph> pos = ChainGraphs(3, 12, 1);  // all same label
+  std::vector<TemporalGraph> neg = ChainGraphs(3, 3, 1);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.max_embeddings_per_graph = 4;
+  MineResult a = Miner(config, pos, neg).Mine();
+  MineResult b = Miner(config, pos, neg).Mine();
+  EXPECT_EQ(a.stats.patterns_visited, b.stats.patterns_visited);
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_GT(a.stats.embedding_cap_hits, 0);
+}
+
+TEST(PruningTest, StopAtTopKTiesPreservesBestScore) {
+  std::mt19937_64 rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<TemporalGraph> pos;
+    std::vector<TemporalGraph> neg;
+    for (int i = 0; i < 4; ++i) {
+      pos.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+      neg.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+    }
+    MinerConfig base = MinerConfig::TGMiner();
+    base.max_edges = 3;
+    MineResult full = Miner(base, pos, neg).Mine();
+
+    MinerConfig cut = base;
+    cut.stop_at_top_k_ties = true;
+    cut.top_k = 4;
+    MineResult cut_result = Miner(cut, pos, neg).Mine();
+    EXPECT_DOUBLE_EQ(full.best_score, cut_result.best_score);
+    EXPECT_LE(cut_result.stats.patterns_visited,
+              full.stats.patterns_visited);
+  }
+}
+
+class ScoreKindPruningTest : public ::testing::TestWithParam<ScoreKind> {};
+
+TEST_P(ScoreKindPruningTest, PruningPreservesBestScoreForEveryScore) {
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<TemporalGraph> pos;
+    std::vector<TemporalGraph> neg;
+    for (int i = 0; i < 4; ++i) {
+      pos.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+      neg.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+    }
+    MinerConfig off;
+    off.score_kind = GetParam();
+    off.max_edges = 3;
+    off.use_naive_bound = false;
+    off.use_subgraph_pruning = false;
+    off.use_supergraph_pruning = false;
+    double reference = Miner(off, pos, neg).Mine().best_score;
+
+    MinerConfig on = MinerConfig::TGMiner();
+    on.score_kind = GetParam();
+    on.max_edges = 3;
+    EXPECT_DOUBLE_EQ(Miner(on, pos, neg).Mine().best_score, reference)
+        << DiscriminativeScore::KindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScores, ScoreKindPruningTest,
+                         ::testing::Values(ScoreKind::kLogRatio,
+                                           ScoreKind::kGTest,
+                                           ScoreKind::kInfoGain),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case ScoreKind::kLogRatio:
+                               return "LogRatio";
+                             case ScoreKind::kGTest:
+                               return "GTest";
+                             case ScoreKind::kInfoGain:
+                               return "InfoGain";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(PruningTest, ConditionOrderDoesNotChangeResults) {
+  std::mt19937_64 rng(47);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<TemporalGraph> pos;
+    std::vector<TemporalGraph> neg;
+    for (int i = 0; i < 4; ++i) {
+      pos.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+      neg.push_back(tgm::testing::RandomGraph(rng, 5, 10, 2));
+    }
+    MinerConfig paper_order = MinerConfig::TGMiner();
+    paper_order.max_edges = 3;
+    MinerConfig eager = paper_order;
+    eager.check_reference_score_first = true;
+    MineResult a = Miner(paper_order, pos, neg).Mine();
+    MineResult b = Miner(eager, pos, neg).Mine();
+    EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+    EXPECT_EQ(a.stats.patterns_visited, b.stats.patterns_visited);
+    // The eager order performs at most as many expensive tests.
+    EXPECT_LE(b.stats.subgraph_tests, a.stats.subgraph_tests);
+  }
+}
+
+// The paper (Section 6.1) observes that the different score functions
+// "deliver a common set of discriminative patterns" — on cleanly planted
+// data the top pattern coincides.
+TEST(PruningTest, ScoreFunctionsAgreeOnPlantedPattern) {
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 5; ++i) {
+    pos.push_back(MakeGraph({0, 1, 2}, {{0, 1, 1}, {1, 2, 2}}));
+    neg.push_back(MakeGraph({0, 1, 2}, {{1, 2, 1}, {0, 1, 2}}));
+  }
+  Pattern planted =
+      tgm::testing::MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  for (ScoreKind kind :
+       {ScoreKind::kLogRatio, ScoreKind::kGTest, ScoreKind::kInfoGain}) {
+    MinerConfig config = MinerConfig::TGMiner();
+    config.score_kind = kind;
+    config.max_edges = 2;
+    MineResult result = Miner(config, pos, neg).Mine();
+    bool found = false;
+    for (const MinedPattern& m : result.top) {
+      if (m.score == result.best_score && m.pattern == planted) found = true;
+    }
+    EXPECT_TRUE(found) << DiscriminativeScore::KindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace tgm

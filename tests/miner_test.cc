@@ -1,0 +1,294 @@
+#include "mining/miner.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+using ::tgm::testing::MakePattern;
+
+// A dataset where positives share the ordered chain A->B, B->C and
+// negatives contain the same edges in the opposite order.
+class PlantedPatternTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Labels: A=0 B=1 C=2 D=3.
+    for (int i = 0; i < 4; ++i) {
+      positives_.push_back(MakeGraph(
+          {0, 1, 2, 3},
+          {{0, 1, 1}, {3, 0, 2}, {1, 2, 3}, {2, 3, 4}}));
+    }
+    for (int i = 0; i < 4; ++i) {
+      // Reversed order: B->C before A->B, plus noise.
+      negatives_.push_back(MakeGraph(
+          {0, 1, 2, 3},
+          {{1, 2, 1}, {2, 3, 2}, {0, 1, 3}, {3, 0, 4}}));
+    }
+  }
+
+  std::vector<TemporalGraph> positives_;
+  std::vector<TemporalGraph> negatives_;
+};
+
+TEST_F(PlantedPatternTest, FindsTheOrderedChain) {
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 2;
+  Miner miner(config, positives_, negatives_);
+  MineResult result = miner.Mine();
+  ASSERT_FALSE(result.top.empty());
+  const MinedPattern& best = result.top.front();
+  EXPECT_EQ(best.freq_pos, 1.0);
+  EXPECT_EQ(best.freq_neg, 0.0);
+  // The planted discriminator: A->B then B->C (in canonical form).
+  Pattern planted = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  bool found = false;
+  for (const MinedPattern& m : result.top) {
+    if (m.pattern == planted) {
+      found = true;
+      EXPECT_EQ(m.score, result.best_score);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PlantedPatternTest, SingleEdgesAreNotDiscriminative) {
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 1;
+  Miner miner(config, positives_, negatives_);
+  MineResult result = miner.Mine();
+  // Every single edge occurs in all graphs on both sides.
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_NEAR(result.top.front().freq_neg, 1.0, 1e-12);
+  EXPECT_NEAR(result.best_score, std::log(1.0 / (1.0 + 1e-6)), 1e-9);
+}
+
+TEST_F(PlantedPatternTest, AllSixMinersAgreeOnBestScore) {
+  std::vector<MinerConfig> configs = {
+      MinerConfig::TGMiner(),   MinerConfig::SubPrune(),
+      MinerConfig::SupPrune(),  MinerConfig::PruneGI(),
+      MinerConfig::PruneVF2(),  MinerConfig::LinearScan(),
+  };
+  for (auto& config : configs) config.max_edges = 3;
+  std::vector<double> best;
+  for (const auto& config : configs) {
+    Miner miner(config, positives_, negatives_);
+    best.push_back(miner.Mine().best_score);
+  }
+  for (std::size_t i = 1; i < best.size(); ++i) {
+    EXPECT_DOUBLE_EQ(best[0], best[i]) << "config " << i;
+  }
+}
+
+TEST_F(PlantedPatternTest, StatsAreRecorded) {
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  Miner miner(config, positives_, negatives_);
+  MineResult result = miner.Mine();
+  EXPECT_GT(result.stats.patterns_visited, 0);
+  EXPECT_GE(result.stats.patterns_expanded, 0);
+  EXPECT_GE(result.stats.elapsed_seconds, 0.0);
+}
+
+TEST_F(PlantedPatternTest, MaxEdgesIsRespected) {
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 2;
+  Miner miner(config, positives_, negatives_);
+  MineResult result = miner.Mine();
+  for (const MinedPattern& m : result.top) {
+    EXPECT_LE(m.pattern.edge_count(), 2u);
+  }
+}
+
+TEST_F(PlantedPatternTest, MinPosFreqFiltersRarePatterns) {
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.min_pos_freq = 0.9;
+  Miner miner(config, positives_, negatives_);
+  MineResult result = miner.Mine();
+  EXPECT_GT(result.best_score, 0.0);  // planted pattern still found
+}
+
+TEST(MinerTest, SupportCountsFractionOfGraphs) {
+  // Pattern present in 2 of 3 positives.
+  std::vector<TemporalGraph> pos;
+  pos.push_back(MakeGraph({0, 1}, {{0, 1, 1}}));
+  pos.push_back(MakeGraph({0, 1}, {{0, 1, 1}}));
+  pos.push_back(MakeGraph({1, 0}, {{0, 1, 1}}));  // B->A instead
+  std::vector<TemporalGraph> neg;
+  neg.push_back(MakeGraph({2, 3}, {{0, 1, 1}}));
+  MinerConfig config;
+  config.max_edges = 1;
+  Miner miner(config, pos, neg);
+  MineResult result = miner.Mine();
+  bool checked = false;
+  for (const MinedPattern& m : result.top) {
+    if (m.pattern == Pattern::SingleEdge(0, 1)) {
+      EXPECT_NEAR(m.freq_pos, 2.0 / 3.0, 1e-12);
+      EXPECT_EQ(m.freq_neg, 0.0);
+      EXPECT_EQ(m.support_pos, 2);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(MinerTest, MultiEdgePatternsAreMined) {
+  // Positives have a double A->B edge, negatives only single.
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(MakeGraph({0, 1}, {{0, 1, 1}, {0, 1, 2}}));
+    neg.push_back(MakeGraph({0, 1}, {{0, 1, 1}}));
+  }
+  MinerConfig config;
+  config.max_edges = 2;
+  Miner miner(config, pos, neg);
+  MineResult result = miner.Mine();
+  Pattern doubled = Pattern::SingleEdge(0, 1).GrowInward(0, 1);
+  bool found = false;
+  for (const MinedPattern& m : result.top) {
+    if (m.pattern == doubled) {
+      found = true;
+      EXPECT_EQ(m.freq_pos, 1.0);
+      EXPECT_EQ(m.freq_neg, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Brute-force enumeration of all T-connected canonical patterns occurring
+// in a graph set (as subgraphs), up to max_edges.
+std::set<Pattern, bool (*)(const Pattern&, const Pattern&)> BruteForcePatterns(
+    const std::vector<TemporalGraph>& graphs, int max_edges) {
+  auto less = +[](const Pattern& a, const Pattern& b) {
+    if (a.labels() != b.labels()) return a.labels() < b.labels();
+    auto key = [](const PatternEdge& e) {
+      return std::make_tuple(e.src, e.dst, e.elabel);
+    };
+    const auto& ea = a.edges();
+    const auto& eb = b.edges();
+    if (ea.size() != eb.size()) return ea.size() < eb.size();
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (key(ea[i]) != key(eb[i])) return key(ea[i]) < key(eb[i]);
+    }
+    return false;
+  };
+  std::set<Pattern, bool (*)(const Pattern&, const Pattern&)> out(less);
+  for (const TemporalGraph& g : graphs) {
+    std::size_t n = g.edge_count();
+    std::vector<std::size_t> chosen;
+    std::function<void(std::size_t)> rec = [&](std::size_t start) {
+      if (!chosen.empty() &&
+          static_cast<int>(chosen.size()) <= max_edges) {
+        // Build the sub-temporal-graph induced by the chosen edges.
+        TemporalGraph sub;
+        std::vector<NodeId> remap(g.node_count(), kInvalidNode);
+        for (std::size_t idx : chosen) {
+          const TemporalEdge& e = g.edge(static_cast<EdgePos>(idx));
+          for (NodeId v : {e.src, e.dst}) {
+            if (remap[static_cast<std::size_t>(v)] == kInvalidNode) {
+              remap[static_cast<std::size_t>(v)] = sub.AddNode(g.label(v));
+            }
+          }
+        }
+        for (std::size_t idx : chosen) {
+          const TemporalEdge& e = g.edge(static_cast<EdgePos>(idx));
+          sub.AddEdge(remap[static_cast<std::size_t>(e.src)],
+                      remap[static_cast<std::size_t>(e.dst)], e.ts, e.elabel);
+        }
+        sub.Finalize(TiePolicy::kRequireStrict);
+        auto p = Pattern::FromTemporalGraph(sub);
+        if (p.has_value()) out.insert(*p);
+      }
+      if (static_cast<int>(chosen.size()) >= max_edges) return;
+      for (std::size_t i = start; i < n; ++i) {
+        chosen.push_back(i);
+        rec(i + 1);
+        chosen.pop_back();
+      }
+    };
+    rec(0);
+  }
+  return out;
+}
+
+// Theorem 1: with all pruning off, the miner visits every T-connected
+// pattern occurring anywhere in the data, exactly once.
+class GrowthCompletenessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GrowthCompletenessTest, VisitsExactlyTheOccurringPatterns) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<TemporalGraph> pos;
+  pos.push_back(tgm::testing::RandomGraph(rng, 4, 6, 2));
+  std::vector<TemporalGraph> neg;
+  neg.push_back(tgm::testing::RandomGraph(rng, 3, 3, 2));
+
+  MinerConfig config;
+  config.max_edges = 4;
+  config.top_k = 100000;
+  config.use_naive_bound = false;
+  config.use_subgraph_pruning = false;
+  config.use_supergraph_pruning = false;
+  Miner miner(config, pos, neg);
+  MineResult result = miner.Mine();
+
+  auto expected = BruteForcePatterns(pos, config.max_edges);
+  auto expected_neg = BruteForcePatterns(neg, config.max_edges);
+  for (const Pattern& p : expected_neg) expected.insert(p);
+
+  // Visited count equals the number of distinct patterns (no repetition).
+  EXPECT_EQ(result.stats.patterns_visited,
+            static_cast<std::int64_t>(expected.size()));
+
+  // Every pattern with positive support is in the retained list (top_k is
+  // huge), and matches the brute-force set restricted to pos occurrences.
+  auto expected_pos = BruteForcePatterns(pos, config.max_edges);
+  std::size_t with_pos_support = 0;
+  for (const MinedPattern& m : result.top) {
+    if (m.support_pos > 0) {
+      ++with_pos_support;
+      EXPECT_TRUE(expected_pos.contains(m.pattern)) << m.pattern.ToString();
+    }
+  }
+  EXPECT_EQ(with_pos_support, expected_pos.size());
+}
+
+TEST_P(GrowthCompletenessTest, PruningPreservesBestScore) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 777);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 8, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 8, 2));
+  }
+  MinerConfig off;
+  off.max_edges = 3;
+  off.use_naive_bound = false;
+  off.use_subgraph_pruning = false;
+  off.use_supergraph_pruning = false;
+  Miner slow(off, pos, neg);
+  double reference = slow.Mine().best_score;
+
+  for (const MinerConfig& config :
+       {MinerConfig::TGMiner(), MinerConfig::SubPrune(),
+        MinerConfig::SupPrune(), MinerConfig::PruneGI(),
+        MinerConfig::PruneVF2(), MinerConfig::LinearScan()}) {
+    MinerConfig c = config;
+    c.max_edges = 3;
+    Miner fast(c, pos, neg);
+    EXPECT_DOUBLE_EQ(fast.Mine().best_score, reference)
+        << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrowthCompletenessTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace tgm

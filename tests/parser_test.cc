@@ -1,0 +1,110 @@
+#include "syslog/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mining/miner.h"
+
+namespace tgm {
+namespace {
+
+TEST(ParserTest, ParsesWellFormedLog) {
+  SyslogWorld world;
+  std::stringstream ss(
+      "# sshd login fragment\n"
+      "100 accept 3:sock:client:22 12:proc:sshd\n"
+      "110 fork 12:proc:sshd 13:proc:sshd-session\n"
+      "120 read 57:file:/etc/shadow 13:proc:sshd-session\n");
+  ParseStats stats;
+  auto g = ParseSyscallLog(ss, world, &stats);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(stats.events_parsed, 3);
+  EXPECT_EQ(stats.lines_skipped, 1);  // the comment
+  EXPECT_EQ(g->node_count(), 4u);
+  EXPECT_EQ(g->edge_count(), 3u);
+  EXPECT_EQ(world.dict().Name(g->label(0)), "sock:client:22");
+  EXPECT_EQ(g->edge(0).ts, 100);
+  EXPECT_EQ(world.dict().Name(g->edge(0).elabel), "op:accept");
+}
+
+TEST(ParserTest, SharedEntityIdsShareNodes) {
+  SyslogWorld world;
+  std::stringstream ss(
+      "10 read 5:file:x 9:proc:a\n"
+      "20 write 9:proc:a 5:file:x\n");
+  auto g = ParseSyscallLog(ss, world, nullptr);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->node_count(), 2u);
+  EXPECT_EQ(g->edge(0).src, g->edge(1).dst);
+}
+
+TEST(ParserTest, SkipsMalformedLines) {
+  SyslogWorld world;
+  std::stringstream ss(
+      "10 read 5:file:x 9:proc:a\n"
+      "garbage\n"
+      "20 flurp 5:file:x 9:proc:a\n"      // unknown op
+      "30 read nofield 9:proc:a\n"        // bad entity
+      "-5 read 5:file:x 9:proc:a\n"       // negative ts
+      "40 read 9:proc:a 9:proc:a\n"       // self-loop
+      "50 write 9:proc:a 5:file:x\n");
+  ParseStats stats;
+  auto g = ParseSyscallLog(ss, world, &stats);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(stats.events_parsed, 2);
+  EXPECT_EQ(stats.lines_skipped, 5);
+}
+
+TEST(ParserTest, EmptyLogReturnsNullopt) {
+  SyslogWorld world;
+  std::stringstream ss("# only comments\n\n");
+  EXPECT_FALSE(ParseSyscallLog(ss, world, nullptr).has_value());
+}
+
+TEST(ParserTest, OutOfOrderTimestampsAreSorted) {
+  SyslogWorld world;
+  std::stringstream ss(
+      "300 read 5:file:x 9:proc:a\n"
+      "100 write 9:proc:a 6:file:y\n");
+  auto g = ParseSyscallLog(ss, world, nullptr);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->edge(0).ts, 100);
+  EXPECT_EQ(g->edge(1).ts, 300);
+}
+
+TEST(ParserTest, OpTokenAcceptsPrefixedForm) {
+  SyslogWorld world;
+  EXPECT_EQ(ParseOpToken("read", world), world.Op(EdgeOp::kRead));
+  EXPECT_EQ(ParseOpToken("op:read", world), world.Op(EdgeOp::kRead));
+  EXPECT_EQ(ParseOpToken("bogus", world), kInvalidLabel);
+}
+
+TEST(ParserTest, ParsedLogIsMinable) {
+  // End-to-end: parse two tiny logs and mine them against each other.
+  SyslogWorld world;
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    std::stringstream p(
+        "10 fork 1:proc:sshd 2:proc:bash\n"
+        "20 read 3:file:/hr/salaries 2:proc:bash\n"
+        "30 send 2:proc:bash 4:sock:remote\n");
+    pos.push_back(*ParseSyscallLog(p, world, nullptr));
+    std::stringstream n(
+        "10 fork 1:proc:sshd 2:proc:bash\n"
+        "20 send 2:proc:bash 4:sock:remote\n"
+        "30 read 3:file:/hr/salaries 2:proc:bash\n");
+    neg.push_back(*ParseSyscallLog(n, world, nullptr));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 2;
+  Miner miner(config, pos, neg);
+  MineResult result = miner.Mine();
+  ASSERT_FALSE(result.top.empty());
+  EXPECT_EQ(result.top.front().freq_pos, 1.0);
+  EXPECT_EQ(result.top.front().freq_neg, 0.0);
+}
+
+}  // namespace
+}  // namespace tgm

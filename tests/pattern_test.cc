@@ -1,0 +1,154 @@
+#include "temporal/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+using ::tgm::testing::MakePattern;
+using ::tgm::testing::RandomPattern;
+
+TEST(PatternTest, SingleEdgeShape) {
+  Pattern p = Pattern::SingleEdge(3, 7);
+  EXPECT_EQ(p.node_count(), 2u);
+  EXPECT_EQ(p.edge_count(), 1u);
+  EXPECT_EQ(p.label(0), 3);
+  EXPECT_EQ(p.label(1), 7);
+  EXPECT_TRUE(p.IsCanonical());
+}
+
+TEST(PatternTest, ForwardGrowthAddsNewDestination) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowForward(1, 2);
+  EXPECT_EQ(p.node_count(), 3u);
+  EXPECT_EQ(p.edge_count(), 2u);
+  EXPECT_EQ(p.edge(1).src, 1);
+  EXPECT_EQ(p.edge(1).dst, 2);
+  EXPECT_EQ(p.label(2), 2);
+  EXPECT_TRUE(p.IsCanonical());
+}
+
+TEST(PatternTest, BackwardGrowthAddsNewSource) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowBackward(5, 0);
+  EXPECT_EQ(p.node_count(), 3u);
+  EXPECT_EQ(p.edge(1).src, 2);
+  EXPECT_EQ(p.edge(1).dst, 0);
+  EXPECT_EQ(p.label(2), 5);
+  EXPECT_TRUE(p.IsCanonical());
+}
+
+TEST(PatternTest, InwardGrowthAllowsMultiEdges) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowInward(0, 1);
+  EXPECT_EQ(p.node_count(), 2u);
+  EXPECT_EQ(p.edge_count(), 2u);
+  EXPECT_TRUE(p.IsCanonical());
+}
+
+TEST(PatternTest, ConsecutiveGrowthFigure4) {
+  // Figure 4: g1 (A->B) grows to g4 via forward, backward, inward.
+  // Labels: A=0, B=1, C=2.
+  Pattern g1 = Pattern::SingleEdge(0, 1);
+  Pattern g2 = g1.GrowForward(0, 2);   // A->C
+  Pattern g3 = g2.GrowInward(0, 1);    // second A->B
+  EXPECT_EQ(g3.edge_count(), 3u);
+  EXPECT_TRUE(g3.IsCanonical());
+  EXPECT_EQ(g3.Parent(), g2);
+  EXPECT_EQ(g2.Parent(), g1);
+}
+
+TEST(PatternTest, ParentRemovesIntroducedNode) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowForward(1, 2);
+  Pattern parent = p.Parent();
+  EXPECT_EQ(parent, Pattern::SingleEdge(0, 1));
+  EXPECT_EQ(parent.node_count(), 2u);
+}
+
+TEST(PatternTest, ParentOfInwardKeepsNodes) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowInward(1, 0);
+  Pattern parent = p.Parent();
+  EXPECT_EQ(parent.node_count(), 2u);
+  EXPECT_EQ(parent, Pattern::SingleEdge(0, 1));
+}
+
+TEST(PatternTest, EqualityIsStructural) {
+  Pattern a = Pattern::SingleEdge(0, 1).GrowForward(1, 2);
+  Pattern b = Pattern::SingleEdge(0, 1).GrowForward(1, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Pattern c = Pattern::SingleEdge(0, 1).GrowForward(0, 2);
+  EXPECT_NE(a, c);
+}
+
+TEST(PatternTest, EdgeLabelsParticipateInIdentity) {
+  Pattern a = Pattern::SingleEdge(0, 1, 5);
+  Pattern b = Pattern::SingleEdge(0, 1, 6);
+  EXPECT_NE(a, b);
+}
+
+TEST(PatternTest, RoundTripThroughTemporalGraph) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowForward(1, 2).GrowBackward(3, 0);
+  TemporalGraph g = p.ToTemporalGraph();
+  EXPECT_EQ(g.node_count(), p.node_count());
+  EXPECT_EQ(g.edge_count(), p.edge_count());
+  auto back = Pattern::FromTemporalGraph(g);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(PatternTest, FromTemporalGraphCanonicalizesNodeIds) {
+  // Same structure with scrambled node ids and sparse timestamps.
+  TemporalGraph g = MakeGraph({2, 0, 1}, {{1, 2, 5}, {2, 0, 9}});
+  auto p = Pattern::FromTemporalGraph(g);
+  ASSERT_TRUE(p.has_value());
+  // Canonical: node0 = source of first edge (label 0), node1 = label 1,
+  // node2 = label 2.
+  EXPECT_EQ(p->label(0), 0);
+  EXPECT_EQ(p->label(1), 1);
+  EXPECT_EQ(p->label(2), 2);
+  EXPECT_TRUE(p->IsCanonical());
+}
+
+TEST(PatternTest, FromTemporalGraphRejectsNonTConnected) {
+  TemporalGraph g = MakeGraph({0, 1, 2, 3}, {{0, 1, 1}, {2, 3, 2}});
+  EXPECT_FALSE(Pattern::FromTemporalGraph(g).has_value());
+}
+
+TEST(PatternTest, DegreesCountMultiEdges) {
+  Pattern p = Pattern::SingleEdge(0, 1).GrowInward(0, 1).GrowInward(1, 0);
+  EXPECT_EQ(p.out_degree(0), 2);
+  EXPECT_EQ(p.in_degree(1), 2);
+  EXPECT_EQ(p.out_degree(1), 1);
+  EXPECT_EQ(p.in_degree(0), 1);
+}
+
+class RandomPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPatternTest, GrowthAlwaysProducesCanonicalPatterns) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  Pattern p = RandomPattern(rng, 8, 4);
+  EXPECT_TRUE(p.IsCanonical());
+  EXPECT_EQ(p.edge_count(), 8u);
+  // Round trip preserves identity (Lemma 1's canonical-form consequence).
+  auto back = Pattern::FromTemporalGraph(p.ToTemporalGraph());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST_P(RandomPatternTest, ParentChainReachesSingleEdge) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  Pattern p = RandomPattern(rng, 7, 3);
+  int steps = 0;
+  while (p.edge_count() > 1) {
+    p = p.Parent();
+    EXPECT_TRUE(p.IsCanonical());
+    ++steps;
+  }
+  EXPECT_EQ(steps, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,167 @@
+// Additional query-layer edge cases: searcher plans, window boundaries,
+// pipeline determinism, and formulation invariants.
+
+#include <gtest/gtest.h>
+
+#include "query/evaluator.h"
+#include "query/interest.h"
+#include "query/nodeset.h"
+#include "query/searcher.h"
+#include "query/static_search.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+using ::tgm::testing::MakePattern;
+
+TEST(TemporalSearchEdgeTest, EmptyQueryYieldsNothing) {
+  TemporalGraph log = MakeGraph({0, 1}, {{0, 1, 1}});
+  TemporalQuerySearcher searcher({});
+  EXPECT_TRUE(searcher.Search(Pattern{}, log).empty());
+}
+
+TEST(TemporalSearchEdgeTest, EmptyLogYieldsNothing) {
+  TemporalGraph log;
+  log.Finalize();
+  TemporalQuerySearcher searcher({});
+  EXPECT_TRUE(searcher.Search(Pattern::SingleEdge(0, 1), log).empty());
+}
+
+TEST(TemporalSearchEdgeTest, MatchCapRespected) {
+  // 30 disjoint occurrences, cap at 10.
+  TemporalGraph log = [] {
+    TemporalGraph g;
+    for (int i = 0; i < 30; ++i) {
+      NodeId a = g.AddNode(0);
+      NodeId b = g.AddNode(1);
+      g.AddEdge(a, b, 10 * i + 1);
+    }
+    g.Finalize();
+    return g;
+  }();
+  TemporalQuerySearcher::Options options;
+  options.max_matches = 10;
+  std::vector<Interval> hits =
+      TemporalQuerySearcher(options).Search(Pattern::SingleEdge(0, 1), log);
+  EXPECT_EQ(hits.size(), 10u);
+}
+
+TEST(TemporalSearchEdgeTest, BackwardExtensionAcrossAnchor) {
+  // Rarest edge is the middle one; both directions must extend.
+  TemporalGraph log = MakeGraph({0, 5, 2, 0, 2},
+                                {{0, 1, 10}, {1, 2, 20}, {3, 4, 30}});
+  // Pattern: A->X, X->C where X is the rare label 5.
+  Pattern q = MakePattern({0, 5, 2}, {{0, 1}, {1, 2}});
+  TemporalQuerySearcher::Options options;
+  options.window = 100;
+  std::vector<Interval> hits = TemporalQuerySearcher(options).Search(q, log);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Interval{10, 20}));
+}
+
+TEST(TemporalSearchEdgeTest, ExactWindowBoundaryIncluded) {
+  TemporalGraph log = MakeGraph({0, 1, 2}, {{0, 1, 0}, {1, 2, 100}});
+  Pattern q = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  TemporalQuerySearcher::Options options;
+  options.window = 100;  // span == window exactly
+  EXPECT_EQ(TemporalQuerySearcher(options).Search(q, log).size(), 1u);
+}
+
+TEST(StaticSearchEdgeTest, AnchorlessSignatureShortCircuits) {
+  TemporalGraph log = MakeGraph({0, 1}, {{0, 1, 1}});
+  StaticGraph q;
+  q.AddNode(7);
+  q.AddNode(8);
+  q.AddEdge(0, 1);
+  q.Finalize();
+  StaticQuerySearcher searcher({});
+  EXPECT_TRUE(searcher.Search(q, log).empty());
+}
+
+TEST(StaticSearchEdgeTest, MultipleComponentsViaPlanFallback) {
+  // A disconnected static pattern still searches (plan falls back), the
+  // window keeping it local.
+  TemporalGraph log =
+      MakeGraph({0, 1, 2, 3}, {{0, 1, 10}, {2, 3, 20}});
+  StaticGraph q;
+  q.AddNode(0);
+  q.AddNode(1);
+  q.AddNode(2);
+  q.AddNode(3);
+  q.AddEdge(0, 1);
+  q.AddEdge(2, 3);
+  q.Finalize();
+  StaticQuerySearcher::Options options;
+  options.window = 100;
+  std::vector<Interval> hits = StaticQuerySearcher(options).Search(q, log);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Interval{10, 20}));
+}
+
+TEST(NodeSetEdgeTest, SingleLabelQueryMatchesEveryOccurrenceWindow) {
+  TemporalGraph log = MakeGraph({7, 8}, {{0, 1, 100}, {0, 1, 5000}});
+  std::vector<TemporalGraph> pos;
+  pos.push_back(MakeGraph({7}, {}));
+  // A graph with no edges has no label positions; build one with an edge.
+  pos.back() = MakeGraph({7, 7}, {{0, 1, 1}});
+  std::vector<TemporalGraph> neg;
+  neg.push_back(MakeGraph({9, 9}, {{0, 1, 1}}));
+  NodeSetQuery q = NodeSetQuery::Mine({&pos[0]}, {&neg[0]}, 1);
+  ASSERT_EQ(q.labels().size(), 1u);
+  NodeSetSearcher::Options options;
+  options.window = 200;
+  // Two non-overlapping windows -> two matches.
+  EXPECT_EQ(NodeSetSearcher(options).Search(q, log).size(), 2u);
+}
+
+TEST(NodeSetEdgeTest, MineRespectsSupportFloor) {
+  // Label 8 occurs in 1 of 4 positives; floor 0.5 excludes it.
+  std::vector<TemporalGraph> pos;
+  for (int i = 0; i < 4; ++i) {
+    pos.push_back(MakeGraph({7, i == 0 ? 8 : 7}, {{0, 1, 1}}));
+  }
+  std::vector<TemporalGraph> neg;
+  neg.push_back(MakeGraph({9, 9}, {{0, 1, 1}}));
+  std::vector<const TemporalGraph*> pp;
+  for (auto& g : pos) pp.push_back(&g);
+  NodeSetQuery q =
+      NodeSetQuery::Mine(pp, {&neg[0]}, 2, ScoreKind::kLogRatio, 1e-6, 0.5);
+  for (LabelId l : q.labels()) EXPECT_NE(l, 8);
+}
+
+TEST(InterestEdgeTest, PatternInterestSumsNodeInterests) {
+  LabelDict dict;
+  LabelId a = dict.Intern("proc:rare");
+  LabelId b = dict.Intern("proc:common");
+  std::vector<TemporalGraph> graphs;
+  for (int i = 0; i < 2; ++i) {
+    TemporalGraph g;
+    g.AddNode(b);
+    g.AddNode(i == 0 ? a : b);
+    g.AddEdge(0, 1, 1);
+    g.Finalize();
+    graphs.push_back(std::move(g));
+  }
+  InterestModel model({&graphs}, dict);
+  Pattern p = Pattern::SingleEdge(a, b);
+  EXPECT_DOUBLE_EQ(model.InterestOfPattern(p),
+                   model.InterestOfLabel(a) + model.InterestOfLabel(b));
+}
+
+TEST(EvaluatorEdgeTest, NestedTruthIntervalsNotRequired) {
+  // Matches at the exact beginning/end of distinct instances.
+  std::vector<TruthInstance> truth = {
+      {BehaviorKind::kWgetDownload, 0, 10},
+      {BehaviorKind::kWgetDownload, 20, 30},
+  };
+  AccuracyResult r = EvaluateAccuracy({{0, 10}, {20, 30}, {11, 19}}, truth,
+                                      BehaviorKind::kWgetDownload);
+  EXPECT_EQ(r.correct, 2);
+  EXPECT_EQ(r.discovered, 2);
+  EXPECT_EQ(r.identified, 3);
+}
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,104 @@
+#include "mining/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+RegisteredPattern MakeEntry(Pattern p, std::int64_t pos_i, std::int64_t neg_i,
+                            double branch_best,
+                            std::vector<std::pair<std::int32_t, EdgePos>>
+                                pos_cuts = {}) {
+  RegisteredPattern entry;
+  entry.node_count = static_cast<std::int32_t>(p.node_count());
+  entry.edge_count = static_cast<std::int32_t>(p.edge_count());
+  entry.pattern = std::move(p);
+  entry.pos_i_value = pos_i;
+  entry.neg_i_value = neg_i;
+  entry.branch_best = branch_best;
+  entry.pos_cuts = std::move(pos_cuts);
+  return entry;
+}
+
+TEST(RegistryTest, IValueModeBucketsByPosIValue) {
+  PatternRegistry registry(ResidualEquivAlgo::kIValue);
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 1), 10, 0, 1.0));
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 2), 10, 0, 2.0));
+  registry.Add(MakeEntry(Pattern::SingleEdge(1, 2), 99, 0, 3.0));
+
+  std::int64_t tests = 0;
+  int seen = 0;
+  registry.ForEachPosCandidate(10, {}, &tests,
+                               [&seen](const RegisteredPattern&) {
+                                 ++seen;
+                                 return true;
+                               });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(tests, 2);
+
+  seen = 0;
+  registry.ForEachPosCandidate(12345, {}, &tests,
+                               [&seen](const RegisteredPattern&) {
+                                 ++seen;
+                                 return true;
+                               });
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(RegistryTest, IValueModeDropsCutLists) {
+  PatternRegistry registry(ResidualEquivAlgo::kIValue);
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 1), 5, 0, 1.0,
+                         {{0, 1}, {0, 2}}));
+  std::int64_t tests = 0;
+  registry.ForEachPosCandidate(5, {}, &tests,
+                               [](const RegisteredPattern& e) {
+                                 EXPECT_TRUE(e.pos_cuts.empty());
+                                 return true;
+                               });
+}
+
+TEST(RegistryTest, LinearScanComparesCutLists) {
+  PatternRegistry registry(ResidualEquivAlgo::kLinearScan);
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 1), 5, 0, 1.0, {{0, 1}}));
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 2), 7, 0, 2.0, {{0, 2}}));
+
+  std::int64_t tests = 0;
+  int seen = 0;
+  // Linear scan ignores the i-value argument and walks every entry.
+  registry.ForEachPosCandidate(/*pos_i_value=*/-1, {{0, 2}}, &tests,
+                               [&seen](const RegisteredPattern& e) {
+                                 ++seen;
+                                 EXPECT_EQ(e.pos_i_value, 7);
+                                 return true;
+                               });
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(tests, 2);  // every stored entry compared
+}
+
+TEST(RegistryTest, EarlyStopOnFalseReturn) {
+  PatternRegistry registry(ResidualEquivAlgo::kIValue);
+  for (int i = 0; i < 5; ++i) {
+    registry.Add(MakeEntry(Pattern::SingleEdge(0, i), 1, 0, i));
+  }
+  std::int64_t tests = 0;
+  int seen = 0;
+  registry.ForEachPosCandidate(1, {}, &tests,
+                               [&seen](const RegisteredPattern&) {
+                                 ++seen;
+                                 return seen < 2;
+                               });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(RegistryTest, SizeCounts) {
+  PatternRegistry registry(ResidualEquivAlgo::kIValue);
+  EXPECT_EQ(registry.size(), 0u);
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 1), 1, 0, 0.0));
+  registry.Add(MakeEntry(Pattern::SingleEdge(0, 2), 2, 0, 0.0));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,120 @@
+#include "temporal/residual.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+
+class ResidualSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Graph 0: labels A(0) B(1) C(2); 4 edges.
+    g0_ = MakeGraph({0, 1, 2}, {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}, {2, 1, 4}});
+    // Graph 1: labels A(0) D(3); 2 edges.
+    g1_ = MakeGraph({0, 3}, {{0, 1, 1}, {1, 0, 2}});
+    graphs_ = {&g0_, &g1_};
+  }
+
+  TemporalGraph g0_;
+  TemporalGraph g1_;
+  std::vector<const TemporalGraph*> graphs_;
+};
+
+TEST_F(ResidualSetTest, IValueSumsSuffixSizes) {
+  // Cut after position 1 in g0 leaves 2 edges; cut after 0 in g1 leaves 1.
+  ResidualSet rs({{0, 1}, {1, 0}}, graphs_);
+  EXPECT_EQ(rs.i_value(), 3);
+}
+
+TEST_F(ResidualSetTest, DuplicateCutsCollapse) {
+  // The same (graph, cut) from two matches is one residual graph.
+  ResidualSet rs({{0, 1}, {0, 1}, {0, 1}}, graphs_);
+  EXPECT_EQ(rs.cuts().size(), 1u);
+  EXPECT_EQ(rs.i_value(), 2);
+}
+
+TEST_F(ResidualSetTest, DistinctCutsInSameGraphAreDistinctResiduals) {
+  ResidualSet rs({{0, 1}, {0, 2}}, graphs_);
+  EXPECT_EQ(rs.cuts().size(), 2u);
+  EXPECT_EQ(rs.i_value(), 2 + 1);
+}
+
+TEST_F(ResidualSetTest, FullCutHasZeroIValue) {
+  ResidualSet rs({{0, 3}}, graphs_);
+  EXPECT_EQ(rs.i_value(), 0);
+}
+
+TEST_F(ResidualSetTest, StructuralEqualityMatchesCutEquality) {
+  ResidualSet a({{0, 1}, {1, 0}}, graphs_);
+  ResidualSet b({{1, 0}, {0, 1}}, graphs_);  // order-insensitive
+  ResidualSet c({{0, 2}, {1, 0}}, graphs_);
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  EXPECT_FALSE(a.StructurallyEqual(c));
+}
+
+TEST_F(ResidualSetTest, ResidualLabelSetMembership) {
+  // Cut after position 2 in g0: remaining edge is (2,1)@4 touching labels
+  // C(2) and B(1) only.
+  ResidualSet rs({{0, 2}}, graphs_);
+  EXPECT_TRUE(rs.ResidualLabelSetContains(1, graphs_));
+  EXPECT_TRUE(rs.ResidualLabelSetContains(2, graphs_));
+  EXPECT_FALSE(rs.ResidualLabelSetContains(0, graphs_));
+  EXPECT_FALSE(rs.ResidualLabelSetContains(3, graphs_));
+}
+
+TEST_F(ResidualSetTest, ResidualLabelSetUnionsAcrossCuts) {
+  ResidualSet rs({{0, 2}, {1, 0}}, graphs_);
+  EXPECT_TRUE(rs.ResidualLabelSetContains(3, graphs_));  // D in g1 residual
+  EXPECT_TRUE(rs.ResidualLabelSetContains(0, graphs_));  // A in g1 residual
+}
+
+TEST_F(ResidualSetTest, EmptySet) {
+  ResidualSet rs({}, graphs_);
+  EXPECT_EQ(rs.i_value(), 0);
+  EXPECT_TRUE(rs.cuts().empty());
+  EXPECT_FALSE(rs.ResidualLabelSetContains(0, graphs_));
+}
+
+// Lemma 6 sanity: for nested patterns (sub/super relation holds by
+// construction), equal I-values coincide with structural equality on a
+// bundle of random cut configurations.
+class ResidualLemma6Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResidualLemma6Test, IValueEqualityMatchesStructuralEqualityWhenNested) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  TemporalGraph g = tgm::testing::RandomGraph(rng, 6, 12, 3);
+  std::vector<const TemporalGraph*> graphs = {&g};
+  // Build two cut sets where the second dominates the first pointwise
+  // (what happens for g1 ⊆t g2 matches in the same graph).
+  std::vector<std::pair<std::int32_t, EdgePos>> cuts1;
+  std::vector<std::pair<std::int32_t, EdgePos>> cuts2;
+  for (int i = 0; i < 4; ++i) {
+    EdgePos c1 = static_cast<EdgePos>(rng() % g.edge_count());
+    EdgePos c2 = static_cast<EdgePos>(
+        c1 + static_cast<EdgePos>(rng() % (g.edge_count() - c1)));
+    cuts1.emplace_back(0, c1);
+    cuts2.emplace_back(0, c2);
+  }
+  ResidualSet r1(cuts1, graphs);
+  ResidualSet r2(cuts2, graphs);
+  if (r1.i_value() == r2.i_value() &&
+      r1.cuts().size() == r2.cuts().size()) {
+    // With pointwise domination and equal sums, the sets must coincide.
+    bool dominated = true;
+    for (std::size_t i = 0; i < r1.cuts().size(); ++i) {
+      if (r1.cuts()[i].second > r2.cuts()[i].second) dominated = false;
+    }
+    if (dominated) {
+      EXPECT_TRUE(r1.StructurallyEqual(r2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResidualLemma6Test, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace tgm

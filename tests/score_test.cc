@@ -1,0 +1,109 @@
+#include "mining/score.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tgm {
+namespace {
+
+class ScoreKindTest : public ::testing::TestWithParam<ScoreKind> {};
+
+TEST_P(ScoreKindTest, AntiMonotoneInNegativeFrequency) {
+  DiscriminativeScore score(GetParam(), 100, 1000);
+  // Fixed x, growing y => score must not increase (Problem 1 condition 1).
+  for (double x : {0.3, 0.6, 1.0}) {
+    double prev = score(x, 0.0);
+    for (double y = 0.05; y <= x; y += 0.05) {
+      double s = score(x, y);
+      EXPECT_LE(s, prev + 1e-12)
+          << DiscriminativeScore::KindName(GetParam()) << " x=" << x
+          << " y=" << y;
+      prev = s;
+    }
+  }
+}
+
+TEST_P(ScoreKindTest, MonotoneInPositiveFrequency) {
+  DiscriminativeScore score(GetParam(), 100, 1000);
+  // Fixed y, growing x => score must not decrease (condition 2).
+  for (double y : {0.0, 0.1}) {
+    double prev = -1e300;
+    for (double x = std::max(y, 0.1); x <= 1.0; x += 0.1) {
+      double s = score(x, y);
+      EXPECT_GE(s, prev - 1e-12)
+          << DiscriminativeScore::KindName(GetParam()) << " x=" << x
+          << " y=" << y;
+      prev = s;
+    }
+  }
+}
+
+TEST_P(ScoreKindTest, UpperBoundDominatesAllNegativeFrequencies) {
+  DiscriminativeScore score(GetParam(), 50, 500);
+  for (double x : {0.2, 0.5, 0.9}) {
+    double bound = score.UpperBound(x);
+    for (double y = 0.0; y <= 1.0; y += 0.1) {
+      EXPECT_GE(bound, score(x, y) - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ScoreKindTest,
+                         ::testing::Values(ScoreKind::kLogRatio,
+                                           ScoreKind::kGTest,
+                                           ScoreKind::kInfoGain),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case ScoreKind::kLogRatio:
+                               return "LogRatio";
+                             case ScoreKind::kGTest:
+                               return "GTest";
+                             case ScoreKind::kInfoGain:
+                               return "InfoGain";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ScoreTest, LogRatioMatchesFormula) {
+  DiscriminativeScore score(ScoreKind::kLogRatio, 10, 10, 1e-6);
+  EXPECT_NEAR(score(1.0, 0.0), std::log(1.0 / 1e-6), 1e-9);
+  EXPECT_NEAR(score(0.5, 0.25), std::log(0.5 / 0.250001), 1e-9);
+}
+
+TEST(ScoreTest, LogRatioZeroPositiveIsNegativeInfinity) {
+  DiscriminativeScore score(ScoreKind::kLogRatio, 10, 10);
+  EXPECT_TRUE(std::isinf(score(0.0, 0.0)));
+  EXPECT_LT(score(0.0, 0.0), 0.0);
+}
+
+TEST(ScoreTest, GTestZeroAtEqualRates) {
+  DiscriminativeScore score(ScoreKind::kGTest, 100, 100);
+  EXPECT_NEAR(score(0.4, 0.4), 0.0, 1e-9);
+}
+
+TEST(ScoreTest, InfoGainPerfectSplitEqualsPriorEntropy) {
+  DiscriminativeScore score(ScoreKind::kInfoGain, 100, 100);
+  // x=1, y=0 separates the classes perfectly: gain = H(0.5) = 1 bit.
+  EXPECT_NEAR(score(1.0, 0.0), 1.0, 1e-9);
+}
+
+TEST(ScoreTest, InfoGainNeverExceedsPriorEntropy) {
+  DiscriminativeScore score(ScoreKind::kInfoGain, 100, 900);
+  double prior_entropy = -(0.1 * std::log2(0.1) + 0.9 * std::log2(0.9));
+  for (double x = 0.0; x <= 1.0; x += 0.25) {
+    for (double y = 0.0; y <= 1.0; y += 0.25) {
+      EXPECT_LE(std::abs(score(x, y)), prior_entropy + 1e-9);
+    }
+  }
+}
+
+TEST(ScoreTest, KindNames) {
+  EXPECT_EQ(DiscriminativeScore::KindName(ScoreKind::kLogRatio), "log-ratio");
+  EXPECT_EQ(DiscriminativeScore::KindName(ScoreKind::kGTest), "G-test");
+  EXPECT_EQ(DiscriminativeScore::KindName(ScoreKind::kInfoGain),
+            "information-gain");
+}
+
+}  // namespace
+}  // namespace tgm

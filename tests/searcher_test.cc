@@ -1,0 +1,192 @@
+#include "query/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "query/nodeset.h"
+#include "query/static_search.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+using ::tgm::testing::MakePattern;
+
+TEST(TemporalSearchTest, FindsPlantedOccurrences) {
+  // Two occurrences of A->B,B->C at t=10..20 and t=100..110, plus a
+  // reversed decoy at t=50..60.
+  TemporalGraph log = MakeGraph(
+      {0, 1, 2, 0, 1, 2, 0, 1, 2},
+      {{0, 1, 10}, {1, 2, 20},     // real
+       {4, 5, 50}, {3, 4, 60},     // decoy: B->C then A->B
+       {6, 7, 100}, {7, 8, 110}});  // real
+  Pattern q = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  TemporalQuerySearcher::Options options;
+  options.window = 30;
+  TemporalQuerySearcher searcher(options);
+  std::vector<Interval> hits = searcher.Search(q, log);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (Interval{10, 20}));
+  EXPECT_EQ(hits[1], (Interval{100, 110}));
+}
+
+TEST(TemporalSearchTest, WindowExcludesStretchedMatches) {
+  TemporalGraph log = MakeGraph({0, 1, 2}, {{0, 1, 0}, {1, 2, 500}});
+  Pattern q = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  TemporalQuerySearcher::Options narrow;
+  narrow.window = 100;
+  EXPECT_TRUE(TemporalQuerySearcher(narrow).Search(q, log).empty());
+  TemporalQuerySearcher::Options wide;
+  wide.window = 1000;
+  EXPECT_EQ(TemporalQuerySearcher(wide).Search(q, log).size(), 1u);
+}
+
+TEST(TemporalSearchTest, DuplicateIntervalsAreDeduped) {
+  // Two parallel A->B edges at the same endpoints and overlapping C edges
+  // produce several matches with the same interval.
+  TemporalGraph log = MakeGraph(
+      {0, 1, 2, 2}, {{0, 1, 10}, {1, 2, 20}, {1, 3, 20}});
+  Pattern q = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  TemporalQuerySearcher::Options options;
+  options.window = 100;
+  std::vector<Interval> hits = TemporalQuerySearcher(options).Search(q, log);
+  EXPECT_EQ(hits.size(), 1u);  // same [10, 20] interval
+}
+
+TEST(TemporalSearchTest, SearchAllUnionsQueries) {
+  TemporalGraph log = MakeGraph({0, 1, 2}, {{0, 1, 10}, {1, 2, 20}});
+  Pattern q1 = MakePattern({0, 1}, {{0, 1}});
+  Pattern q2 = MakePattern({1, 2}, {{0, 1}});
+  TemporalQuerySearcher::Options options;
+  options.window = 100;
+  std::vector<Interval> hits =
+      TemporalQuerySearcher(options).SearchAll({q1, q2}, log);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(TemporalSearchTest, AbsentSignatureShortCircuits) {
+  TemporalGraph log = MakeGraph({0, 1}, {{0, 1, 1}});
+  Pattern q = MakePattern({5, 6}, {{0, 1}});
+  TemporalQuerySearcher::Options options;
+  EXPECT_TRUE(TemporalQuerySearcher(options).Search(q, log).empty());
+}
+
+TEST(TemporalSearchTest, AnchorOnRareLaterEdgeStillFindsMatch) {
+  // First pattern edge is common, second is rare: the searcher anchors on
+  // the rare one and extends backwards.
+  std::vector<LabelId> labels = {0, 1, 9};
+  std::vector<std::tuple<NodeId, NodeId, Timestamp>> edges;
+  for (int i = 0; i < 20; ++i) {
+    edges.push_back({0, 1, 10 + i});
+  }
+  edges.push_back({1, 2, 100});
+  TemporalGraph log = MakeGraph(labels, edges);
+  Pattern q = MakePattern({0, 1, 9}, {{0, 1}, {1, 2}});
+  TemporalQuerySearcher::Options options;
+  options.window = 1000;
+  std::vector<Interval> hits = TemporalQuerySearcher(options).Search(q, log);
+  EXPECT_EQ(hits.size(), 20u);  // any of the A->B edges can start the match
+}
+
+TEST(NodeSetTest, MinesTopDiscriminativeLabels) {
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(MakeGraph({7, 8}, {{0, 1, 1}}));      // labels 7,8
+    neg.push_back(MakeGraph({7, 9}, {{0, 1, 1}}));      // labels 7,9
+  }
+  std::vector<const TemporalGraph*> pp;
+  std::vector<const TemporalGraph*> nn;
+  for (auto& g : pos) pp.push_back(&g);
+  for (auto& g : neg) nn.push_back(&g);
+  NodeSetQuery q = NodeSetQuery::Mine(pp, nn, 1);
+  ASSERT_EQ(q.labels().size(), 1u);
+  EXPECT_EQ(q.labels()[0], 8);  // only label unique to positives
+}
+
+TEST(NodeSetTest, SearchFindsCooccurrenceWindows) {
+  TemporalGraph log = MakeGraph(
+      {7, 8, 7, 9},
+      {{0, 1, 100}, {2, 3, 5000}});  // labels 7&8 together, 7&9 later
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  pos.push_back(MakeGraph({7, 8}, {{0, 1, 1}}));
+  neg.push_back(MakeGraph({9, 10}, {{0, 1, 1}}));
+  std::vector<const TemporalGraph*> pp{&pos[0]};
+  std::vector<const TemporalGraph*> nn{&neg[0]};
+  NodeSetQuery q = NodeSetQuery::Mine(pp, nn, 2);
+  NodeSetSearcher::Options options;
+  options.window = 200;
+  std::vector<Interval> hits = NodeSetSearcher(options).Search(q, log);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].begin, 100);
+}
+
+TEST(NodeSetTest, SlidesPastWindowAfterMatch) {
+  // Repeated co-occurrence within one window yields one match.
+  TemporalGraph log = MakeGraph(
+      {7, 8}, {{0, 1, 100}, {0, 1, 110}, {0, 1, 120}});
+  std::vector<TemporalGraph> pos;
+  pos.push_back(MakeGraph({7, 8}, {{0, 1, 1}}));
+  std::vector<TemporalGraph> neg;
+  neg.push_back(MakeGraph({9, 10}, {{0, 1, 1}}));
+  NodeSetQuery q = NodeSetQuery::Mine({&pos[0]}, {&neg[0]}, 2);
+  NodeSetSearcher::Options options;
+  options.window = 200;
+  EXPECT_EQ(NodeSetSearcher(options).Search(q, log).size(), 1u);
+}
+
+TEST(StaticSearchTest, IgnoresTemporalOrder) {
+  // Log contains B->C before A->B: static query still matches (that is
+  // the point of the baseline — and its weakness).
+  TemporalGraph log = MakeGraph({0, 1, 2}, {{1, 2, 10}, {0, 1, 20}});
+  StaticGraph q;
+  q.AddNode(0);
+  q.AddNode(1);
+  q.AddNode(2);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.Finalize();
+  StaticQuerySearcher::Options options;
+  options.window = 100;
+  std::vector<Interval> hits = StaticQuerySearcher(options).Search(q, log);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Interval{10, 20}));
+}
+
+TEST(StaticSearchTest, WindowStillBoundsSpan) {
+  TemporalGraph log = MakeGraph({0, 1, 2}, {{1, 2, 10}, {0, 1, 2000}});
+  StaticGraph q;
+  q.AddNode(0);
+  q.AddNode(1);
+  q.AddNode(2);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.Finalize();
+  StaticQuerySearcher::Options options;
+  options.window = 100;
+  EXPECT_TRUE(StaticQuerySearcher(options).Search(q, log).empty());
+}
+
+TEST(StaticSearchTest, DistinctLogEdgesPerPatternEdge) {
+  // Pattern has two A->B edges collapsed? No — static patterns are simple;
+  // but two pattern edges with the same endpoints and different labels
+  // need two distinct log edges.
+  TemporalGraph log;
+  log.AddNode(0);
+  log.AddNode(1);
+  log.AddEdge(0, 1, 10, 5);
+  log.Finalize();
+  StaticGraph q;
+  q.AddNode(0);
+  q.AddNode(1);
+  q.AddEdge(0, 1, 5);
+  q.AddEdge(0, 1, 6);
+  q.Finalize();
+  StaticQuerySearcher::Options options;
+  options.window = 100;
+  EXPECT_TRUE(StaticQuerySearcher(options).Search(q, log).empty());
+}
+
+}  // namespace
+}  // namespace tgm

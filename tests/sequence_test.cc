@@ -1,0 +1,92 @@
+#include "temporal/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakePattern;
+
+TEST(SequenceTest, NodeSeqIsFirstVisitOrder) {
+  // B(0)->A(1), B(0)->C(2): nodeseq = 0, 1, 2.
+  Pattern p = MakePattern({1, 0, 2}, {{0, 1}, {0, 2}});
+  SequenceRep rep = BuildSequenceRep(p);
+  EXPECT_EQ(rep.nodeseq, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SequenceTest, EnhSeqSkipsRepeatedSource) {
+  // Same source twice in a row: u skipped the second time.
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {0, 2}});
+  SequenceRep rep = BuildSequenceRep(p);
+  // Edge 1: src=0 added, dst=1 added. Edge 2: src=0 == last source ->
+  // skipped; dst=2 added.
+  EXPECT_EQ(rep.enhseq, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SequenceTest, EnhSeqSkipsLastAddedNode) {
+  // Chain 0->1, 1->2: source of edge 2 (node 1) is the last added node.
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  SequenceRep rep = BuildSequenceRep(p);
+  EXPECT_EQ(rep.enhseq, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SequenceTest, EnhSeqRecordsRevisitedNodes) {
+  // 0->1, 2->1: source of edge 2 (node 2) must be added; dst 1 re-added.
+  Pattern p = MakePattern({0, 1, 2}, {{0, 1}, {2, 1}});
+  SequenceRep rep = BuildSequenceRep(p);
+  EXPECT_EQ(rep.enhseq, (std::vector<NodeId>{0, 1, 2, 1}));
+  // nodeseq still lists each node once, in first-visit order.
+  EXPECT_EQ(rep.nodeseq, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(SequenceTest, PaperFigure9G1) {
+  // Figure 9's g1: B(1) -> A(2) -> E(3), A(2) later visited by C(4)?
+  // We reproduce the published property that matters: a node's first visit
+  // in nodeseq can be inconsistent between sub- and supergraph, while
+  // enhseq repeats destinations so the embedding still exists. Build:
+  // g: B->A, A->E, B->C with labels B=1, A=0, E=4, C=2.
+  Pattern g = MakePattern({1, 0, 4, 2}, {{0, 1}, {1, 2}, {0, 3}});
+  SequenceRep rep = BuildSequenceRep(g);
+  EXPECT_EQ(rep.nodeseq.size(), 4u);
+  // enhseq: e1 adds 0,1; e2: src 1 == last added -> skip, add 2; e3: src 0
+  // != last added (2), != last source (1) -> add 0, add 3.
+  EXPECT_EQ(rep.enhseq, (std::vector<NodeId>{0, 1, 2, 0, 3}));
+}
+
+TEST(SequenceTest, MultiEdgeEnhSeq) {
+  // 0->1, 0->1 again: second source skipped (same last source), dst
+  // re-added.
+  Pattern p = Pattern::SingleEdge(0, 1).GrowInward(0, 1);
+  SequenceRep rep = BuildSequenceRep(p);
+  EXPECT_EQ(rep.enhseq, (std::vector<NodeId>{0, 1, 1}));
+}
+
+TEST(SequenceTest, LabelSubsequenceTestPositive) {
+  Pattern small = MakePattern({0, 1}, {{0, 1}});
+  Pattern big = MakePattern({2, 0, 1}, {{0, 1}, {1, 2}});
+  SequenceRep rs = BuildSequenceRep(small);
+  SequenceRep rb = BuildSequenceRep(big);
+  EXPECT_TRUE(LabelSubsequenceTest(small, rs, big, rb));
+}
+
+TEST(SequenceTest, LabelSubsequenceTestNegative) {
+  Pattern small = MakePattern({5, 6}, {{0, 1}});
+  Pattern big = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  SequenceRep rs = BuildSequenceRep(small);
+  SequenceRep rb = BuildSequenceRep(big);
+  EXPECT_FALSE(LabelSubsequenceTest(small, rs, big, rb));
+}
+
+TEST(SequenceTest, LabelSubsequenceRespectsOrder) {
+  // Labels 1 then 0 as a sequence is not a subsequence of 0 then 1.
+  Pattern small = MakePattern({1, 0}, {{0, 1}});
+  Pattern big = MakePattern({0, 1}, {{0, 1}});
+  SequenceRep rs = BuildSequenceRep(small);
+  SequenceRep rb = BuildSequenceRep(big);
+  EXPECT_FALSE(LabelSubsequenceTest(small, rs, big, rb));
+}
+
+}  // namespace
+}  // namespace tgm

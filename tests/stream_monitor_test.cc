@@ -1,0 +1,196 @@
+#include "query/stream_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakePattern;
+
+StreamEvent Ev(std::int64_t src, std::int64_t dst, LabelId src_label,
+               LabelId dst_label, Timestamp ts,
+               LabelId elabel = kNoEdgeLabel) {
+  return StreamEvent{src, dst, src_label, dst_label, elabel, ts};
+}
+
+class StreamMonitorTest : public ::testing::Test {
+ protected:
+  std::vector<StreamAlert> FeedAll(StreamMonitor& monitor,
+                                   const std::vector<StreamEvent>& events) {
+    std::vector<StreamAlert> alerts;
+    for (const StreamEvent& e : events) {
+      monitor.OnEvent(e, [&alerts](const StreamAlert& a) {
+        alerts.push_back(a);
+      });
+    }
+    return alerts;
+  }
+};
+
+TEST_F(StreamMonitorTest, DetectsOrderedChain) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  // Query: A(0) -> B(1), B -> C(2).
+  monitor.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {1, 2}}));
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 5),
+                                     Ev(11, 12, 1, 2, 15),
+                                 });
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].interval, (Interval{5, 15}));
+}
+
+TEST_F(StreamMonitorTest, IgnoresWrongOrder) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  monitor.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {1, 2}}));
+  auto alerts = FeedAll(monitor, {
+                                     Ev(11, 12, 1, 2, 5),   // B->C first
+                                     Ev(10, 11, 0, 1, 15),  // A->B second
+                                 });
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST_F(StreamMonitorTest, WindowExpiresPartials) {
+  StreamMonitor::Options options;
+  options.window = 50;
+  StreamMonitor monitor(options);
+  monitor.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {1, 2}}));
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 5),
+                                     Ev(11, 12, 1, 2, 500),  // too late
+                                 });
+  EXPECT_TRUE(alerts.empty());
+  // The expired A->B partial is evicted, and the late B->C event cannot
+  // start a new partial (it does not match query edge 0).
+  EXPECT_EQ(monitor.PartialCount(), 0u);
+}
+
+TEST_F(StreamMonitorTest, EntityConsistencyRequired) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  monitor.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {1, 2}}));
+  // Second event's source is a *different* B-labeled entity.
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 5),
+                                     Ev(99, 12, 1, 2, 15),
+                                 });
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST_F(StreamMonitorTest, InjectivityEnforced) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  // Query wants two distinct B nodes: A->B, A->B'.
+  monitor.AddQuery(Pattern::SingleEdge(0, 1).GrowForward(0, 1));
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 5),
+                                     Ev(10, 11, 0, 1, 15),  // same B entity
+                                     Ev(10, 13, 0, 1, 25),  // distinct B
+                                 });
+  // The second event cannot pair with the first (same B entity — the
+  // injectivity rule); it does start its own partial, so the distinct-B
+  // event completes two matches with distinct intervals.
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].interval, (Interval{5, 25}));
+  EXPECT_EQ(alerts[1].interval, (Interval{15, 25}));
+}
+
+TEST_F(StreamMonitorTest, MultiEdgeQueriesNeedRepeatedEvents) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  monitor.AddQuery(Pattern::SingleEdge(0, 1).GrowInward(0, 1));
+  auto first = FeedAll(monitor, {Ev(1, 2, 0, 1, 5)});
+  EXPECT_TRUE(first.empty());
+  auto second = FeedAll(monitor, {Ev(1, 2, 0, 1, 9)});
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].interval, (Interval{5, 9}));
+}
+
+TEST_F(StreamMonitorTest, MultipleQueriesIndependentAlerts) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  std::size_t q0 = monitor.AddQuery(MakePattern({0, 1}, {{0, 1}}));
+  std::size_t q1 = monitor.AddQuery(MakePattern({1, 2}, {{0, 1}}));
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 5),
+                                     Ev(11, 12, 1, 2, 15),
+                                 });
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].query_index, q0);
+  EXPECT_EQ(alerts[1].query_index, q1);
+}
+
+TEST_F(StreamMonitorTest, DuplicateIntervalsSuppressed) {
+  StreamMonitor::Options options;
+  options.window = 100;
+  StreamMonitor monitor(options);
+  // Two B entities both complete the chain with identical timestamps is
+  // impossible on a stream (one event per call), but two different
+  // bindings may complete at the same (first, last): A->B1, A->B2, then
+  // an event that closes both.
+  monitor.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {0, 2}}));
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 5),
+                                     Ev(10, 12, 0, 2, 15),
+                                 });
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST_F(StreamMonitorTest, AgreesWithOfflineSearcher) {
+  // Property: feeding a finalized log's edges in order produces exactly
+  // the offline searcher's distinct match intervals.
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    TemporalGraph log = tgm::testing::RandomGraph(rng, 6, 25, 2);
+    Pattern query = tgm::testing::RandomPattern(
+        rng, 2 + static_cast<int>(rng() % 2), 2);
+
+    TemporalQuerySearcher::Options search_options;
+    search_options.window = 40;
+    std::vector<Interval> offline =
+        TemporalQuerySearcher(search_options).Search(query, log);
+
+    StreamMonitor::Options monitor_options;
+    monitor_options.window = 40;
+    StreamMonitor monitor(monitor_options);
+    monitor.AddQuery(query);
+    std::vector<Interval> online;
+    for (const TemporalEdge& e : log.edges()) {
+      StreamEvent event{e.src, e.dst, log.label(e.src), log.label(e.dst),
+                        e.elabel, e.ts};
+      monitor.OnEvent(event, [&online](const StreamAlert& a) {
+        online.push_back(a.interval);
+      });
+    }
+    std::sort(online.begin(), online.end());
+    online.erase(std::unique(online.begin(), online.end()), online.end());
+    EXPECT_EQ(online, offline) << query.ToString() << "\n" << log.ToString();
+  }
+}
+
+TEST_F(StreamMonitorTest, PartialCapCountsDrops) {
+  StreamMonitor::Options options;
+  options.window = 1000000;
+  options.max_partials_per_query = 3;
+  StreamMonitor monitor(options);
+  monitor.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {1, 2}}));
+  std::vector<StreamEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(Ev(100 + i, 200 + i, 0, 1, 10 + i));
+  }
+  FeedAll(monitor, events);
+  EXPECT_EQ(monitor.PartialCount(), 3u);
+  EXPECT_GT(monitor.dropped_partials(), 0);
+}
+
+}  // namespace
+}  // namespace tgm

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "syslog/background.h"
+#include "syslog/behaviors.h"
+#include "syslog/dataset.h"
+
+namespace tgm {
+namespace {
+
+TEST(EntityTest, LabelsArePrefixed) {
+  SyslogWorld world;
+  LabelId p = world.Proc("sshd");
+  LabelId f = world.File("/etc/passwd");
+  EXPECT_EQ(world.dict().Name(p), "proc:sshd");
+  EXPECT_EQ(world.dict().Name(f), "file:/etc/passwd");
+  EXPECT_NE(p, f);
+}
+
+TEST(EntityTest, ReservedZeroLabel) {
+  SyslogWorld world;
+  // Label id 0 is reserved so edge label 0 (= kNoEdgeLabel) is unambiguous.
+  EXPECT_EQ(world.dict().Name(0), "<none>");
+  EXPECT_NE(world.Op(EdgeOp::kRead), kNoEdgeLabel);
+}
+
+TEST(ScriptTest, CoreEventsAreStrictlyOrdered) {
+  SyslogWorld world;
+  std::mt19937_64 rng(1);
+  ScriptBuilder b(&world, &rng);
+  std::int32_t p = b.Proc("a");
+  std::int32_t f = b.File("x");
+  b.Read(f, p);
+  b.Write(p, f);
+  b.Read(f, p);
+  InstanceScript script = b.Finish();
+  ASSERT_EQ(script.event_count(), 3u);
+  EXPECT_LT(script.events()[0].tick, script.events()[1].tick);
+  EXPECT_LT(script.events()[1].tick, script.events()[2].tick);
+}
+
+TEST(ScriptTest, DropProbabilityDropsEverythingAtOne) {
+  SyslogWorld world;
+  std::mt19937_64 rng(2);
+  ScriptBuilder b(&world, &rng);
+  b.SetDropProb(1.0);
+  std::int32_t p = b.Proc("a");
+  std::int32_t f = b.File("x");
+  for (int i = 0; i < 10; ++i) b.Read(f, p);
+  EXPECT_EQ(b.Finish().event_count(), 0u);
+}
+
+TEST(ScriptTest, ShuffleKeepsEdgesChangesOrder) {
+  SyslogWorld world;
+  std::mt19937_64 rng(3);
+  ScriptBuilder b(&world, &rng);
+  std::int32_t p = b.Proc("a");
+  std::int32_t f = b.File("x");
+  std::int32_t g = b.File("y");
+  for (int i = 0; i < 10; ++i) {
+    b.Read(f, p);
+    b.Write(p, g);
+  }
+  InstanceScript script = b.Finish();
+  std::size_t before = script.event_count();
+  script.Shuffle(rng);
+  EXPECT_EQ(script.event_count(), before);
+}
+
+TEST(ScriptTest, ToGraphIsFinalizedAndSelfLoopFree) {
+  SyslogWorld world;
+  std::mt19937_64 rng(4);
+  InstanceScript script =
+      GenerateBehavior(world, BehaviorKind::kSshdLogin, rng, GenOptions{});
+  TemporalGraph g = script.ToGraph();
+  EXPECT_TRUE(g.finalized());
+  for (const TemporalEdge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(ScriptTest, MergeOffsetsEvents) {
+  SyslogWorld world;
+  std::mt19937_64 rng(5);
+  ScriptBuilder b1(&world, &rng);
+  std::int32_t p1 = b1.Proc("a");
+  b1.Read(b1.File("x"), p1);
+  InstanceScript s1 = b1.Finish();
+  ScriptBuilder b2(&world, &rng);
+  std::int32_t p2 = b2.Proc("b");
+  b2.Read(b2.File("y"), p2);
+  InstanceScript s2 = b2.Finish();
+  std::size_t slots_before = s1.slot_count();
+  s1.Merge(s2, 100000);
+  EXPECT_EQ(s1.slot_count(), slots_before + s2.slot_count());
+  EXPECT_GE(s1.Duration(), 100000);
+}
+
+TEST(BehaviorsTest, AllTwelveGenerate) {
+  SyslogWorld world;
+  std::mt19937_64 rng(6);
+  for (BehaviorKind kind : AllBehaviors()) {
+    InstanceScript script = GenerateBehavior(world, kind, rng, GenOptions{});
+    EXPECT_GT(script.event_count(), 5u) << BehaviorName(kind);
+    EXPECT_GT(script.slot_count(), 3u) << BehaviorName(kind);
+  }
+}
+
+TEST(BehaviorsTest, DeterministicGivenSeed) {
+  SyslogWorld w1;
+  SyslogWorld w2;
+  std::mt19937_64 r1(77);
+  std::mt19937_64 r2(77);
+  InstanceScript a =
+      GenerateBehavior(w1, BehaviorKind::kScpDownload, r1, GenOptions{});
+  InstanceScript b =
+      GenerateBehavior(w2, BehaviorKind::kScpDownload, r2, GenOptions{});
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (std::size_t i = 0; i < a.event_count(); ++i) {
+    EXPECT_EQ(a.events()[i].src_slot, b.events()[i].src_slot);
+    EXPECT_EQ(a.events()[i].tick, b.events()[i].tick);
+  }
+}
+
+TEST(BehaviorsTest, SizeClassesFollowTable1) {
+  EXPECT_EQ(BehaviorSizeClass(BehaviorKind::kBzip2Decompress),
+            SizeClass::kSmall);
+  EXPECT_EQ(BehaviorSizeClass(BehaviorKind::kScpDownload),
+            SizeClass::kMedium);
+  EXPECT_EQ(BehaviorSizeClass(BehaviorKind::kSshdLogin), SizeClass::kLarge);
+  EXPECT_EQ(BehaviorSizeClass(BehaviorKind::kAptGetInstall),
+            SizeClass::kLarge);
+}
+
+TEST(BehaviorsTest, SizeClassesOrderedBySize) {
+  SyslogWorld world;
+  std::mt19937_64 rng(8);
+  double small = 0.0;
+  double medium = 0.0;
+  double large = 0.0;
+  int ns = 0;
+  int nm = 0;
+  int nl = 0;
+  for (BehaviorKind kind : AllBehaviors()) {
+    double total = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      total += static_cast<double>(
+          GenerateBehavior(world, kind, rng, GenOptions{}).event_count());
+    }
+    total /= 5.0;
+    switch (BehaviorSizeClass(kind)) {
+      case SizeClass::kSmall:
+        small += total;
+        ++ns;
+        break;
+      case SizeClass::kMedium:
+        medium += total;
+        ++nm;
+        break;
+      case SizeClass::kLarge:
+        large += total;
+        ++nl;
+        break;
+    }
+  }
+  small /= ns;
+  medium /= nm;
+  large /= nl;
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+}
+
+TEST(BehaviorsTest, SizeScaleGrowsTraces) {
+  SyslogWorld world;
+  std::mt19937_64 r1(9);
+  std::mt19937_64 r2(9);
+  GenOptions small_opts;
+  small_opts.size_scale = 0.5;
+  GenOptions big_opts;
+  big_opts.size_scale = 2.0;
+  auto a = GenerateBehavior(world, BehaviorKind::kAptGetUpdate, r1,
+                            small_opts);
+  auto b = GenerateBehavior(world, BehaviorKind::kAptGetUpdate, r2, big_opts);
+  EXPECT_LT(a.event_count(), b.event_count());
+}
+
+TEST(BackgroundTest, GeneratesActivity) {
+  SyslogWorld world;
+  std::mt19937_64 rng(10);
+  InstanceScript script =
+      GenerateBackground(world, rng, GenOptions{}, /*decoy_prob=*/0.0);
+  EXPECT_GT(script.event_count(), 20u);
+}
+
+TEST(BackgroundTest, DecoysIncreaseSize) {
+  SyslogWorld world;
+  std::mt19937_64 r1(11);
+  std::mt19937_64 r2(11);
+  InstanceScript without =
+      GenerateBackground(world, r1, GenOptions{}, /*decoy_prob=*/0.0);
+  InstanceScript with =
+      GenerateBackground(world, r2, GenOptions{}, /*decoy_prob=*/1.0);
+  EXPECT_GT(with.event_count(), without.event_count());
+}
+
+TEST(DatasetTest, TrainingDataShape) {
+  SyslogWorld world;
+  DatasetConfig config;
+  config.runs_per_behavior = 3;
+  config.background_graphs = 5;
+  TrainingData data = BuildTrainingData(world, config);
+  ASSERT_EQ(data.positives.size(), static_cast<std::size_t>(kNumBehaviors));
+  for (const auto& runs : data.positives) {
+    EXPECT_EQ(runs.size(), 3u);
+  }
+  EXPECT_EQ(data.background.size(), 5u);
+  for (Timestamp d : data.max_duration) EXPECT_GT(d, 0);
+}
+
+TEST(DatasetTest, TrainingIsDeterministic) {
+  SyslogWorld w1;
+  SyslogWorld w2;
+  DatasetConfig config;
+  config.runs_per_behavior = 2;
+  config.background_graphs = 2;
+  TrainingData a = BuildTrainingData(w1, config);
+  TrainingData b = BuildTrainingData(w2, config);
+  for (std::size_t i = 0; i < a.positives.size(); ++i) {
+    for (std::size_t j = 0; j < a.positives[i].size(); ++j) {
+      EXPECT_EQ(a.positives[i][j].edge_count(),
+                b.positives[i][j].edge_count());
+    }
+  }
+}
+
+TEST(DatasetTest, TestLogHasBalancedTruth) {
+  SyslogWorld world;
+  DatasetConfig config;
+  config.runs_per_behavior = 2;
+  config.background_graphs = 2;
+  config.test_instances = 24;
+  TestLog log = BuildTestLog(world, config);
+  EXPECT_EQ(log.truth.size(), 24u);
+  for (std::int64_t count : log.instance_counts) {
+    EXPECT_EQ(count, 2);  // 24 / 12 behaviours
+  }
+  EXPECT_GT(log.graph.edge_count(), 24u);
+  // Truth intervals are ordered and within the log span.
+  for (std::size_t i = 1; i < log.truth.size(); ++i) {
+    EXPECT_GE(log.truth[i].t_begin, log.truth[i - 1].t_end);
+  }
+}
+
+TEST(DatasetTest, ComputeStatsAverages) {
+  SyslogWorld world;
+  std::mt19937_64 rng(13);
+  std::vector<TemporalGraph> graphs;
+  for (int i = 0; i < 4; ++i) {
+    graphs.push_back(
+        GenerateBehavior(world, BehaviorKind::kWgetDownload, rng, GenOptions{})
+            .ToGraph());
+  }
+  BehaviorStats stats = ComputeStats(graphs);
+  EXPECT_GT(stats.avg_nodes, 5.0);
+  EXPECT_GT(stats.avg_edges, stats.avg_nodes * 0.5);
+  EXPECT_GT(stats.total_labels, 5);
+}
+
+TEST(DatasetTest, ReplicateMultipliesGraphs) {
+  SyslogWorld world;
+  std::mt19937_64 rng(14);
+  std::vector<TemporalGraph> graphs;
+  graphs.push_back(
+      GenerateBehavior(world, BehaviorKind::kGzipDecompress, rng, GenOptions{})
+          .ToGraph());
+  std::vector<TemporalGraph> syn = ReplicateGraphs(graphs, 4);
+  EXPECT_EQ(syn.size(), 4u);
+  EXPECT_EQ(syn[3].edge_count(), graphs[0].edge_count());
+}
+
+// Property sweep over behaviours: every generated instance is loadable,
+// self-loop free, and its duration covers all events.
+class BehaviorSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BehaviorSweepTest, InstanceWellFormed) {
+  auto [behavior_idx, seed] = GetParam();
+  SyslogWorld world;
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  BehaviorKind kind = AllBehaviors()[static_cast<std::size_t>(behavior_idx)];
+  InstanceScript script = GenerateBehavior(world, kind, rng, GenOptions{});
+  TemporalGraph g = script.ToGraph();
+  EXPECT_GT(g.edge_count(), 0u);
+  for (const TemporalEdge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_NE(e.elabel, kNoEdgeLabel);  // all syscall edges are typed
+  }
+  EXPECT_EQ(g.Span(), script.Duration() - g.edges().front().ts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBehaviorsAndSeeds, BehaviorSweepTest,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace tgm

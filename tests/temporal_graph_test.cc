@@ -1,0 +1,148 @@
+#include "temporal/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/label_dict.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using ::tgm::testing::MakeGraph;
+
+TEST(LabelDictTest, InternIsIdempotent) {
+  LabelDict dict;
+  LabelId a = dict.Intern("proc:sshd");
+  LabelId b = dict.Intern("proc:sshd");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.Name(a), "proc:sshd");
+}
+
+TEST(LabelDictTest, DistinctNamesGetDistinctIds) {
+  LabelDict dict;
+  LabelId a = dict.Intern("a");
+  LabelId b = dict.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(LabelDictTest, LookupMissingReturnsInvalid) {
+  LabelDict dict;
+  EXPECT_EQ(dict.Lookup("missing"), kInvalidLabel);
+  dict.Intern("present");
+  EXPECT_NE(dict.Lookup("present"), kInvalidLabel);
+}
+
+TEST(TemporalGraphTest, NodesAndEdgesAreStored) {
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{0, 1, 10}, {1, 2, 20}});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.label(0), 0);
+  EXPECT_EQ(g.label(2), 2);
+}
+
+TEST(TemporalGraphTest, FinalizeSortsEdgesByTimestamp) {
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{1, 2, 30}, {0, 1, 10}, {0, 2, 20}});
+  EXPECT_EQ(g.edge(0).ts, 10);
+  EXPECT_EQ(g.edge(1).ts, 20);
+  EXPECT_EQ(g.edge(2).ts, 30);
+}
+
+TEST(TemporalGraphTest, TiesBrokenByInsertionOrder) {
+  TemporalGraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddEdge(0, 1, 10);
+  g.AddEdge(1, 2, 10);
+  g.Finalize(TiePolicy::kBreakByInsertionOrder);
+  EXPECT_EQ(g.edge(0).src, 0);
+  EXPECT_EQ(g.edge(1).src, 1);
+}
+
+TEST(TemporalGraphTest, OutAndInEdgesAreAscending) {
+  TemporalGraph g =
+      MakeGraph({0, 1, 2}, {{0, 1, 1}, {0, 2, 2}, {1, 0, 3}, {0, 1, 4}});
+  const auto& out0 = g.out_edges(0);
+  ASSERT_EQ(out0.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(out0.begin(), out0.end()));
+  EXPECT_EQ(g.in_edges(1).size(), 2u);
+  EXPECT_EQ(g.out_degree(1), 1);
+  EXPECT_EQ(g.in_degree(0), 1);
+}
+
+TEST(TemporalGraphTest, MultiEdgesAreAllowed) {
+  TemporalGraph g = MakeGraph({0, 1}, {{0, 1, 1}, {0, 1, 2}, {0, 1, 3}});
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(0), 3);
+}
+
+TEST(TemporalGraphTest, LabelOccursAfterUsesIncidentPositions) {
+  // Node labels: 0:A 1:B 2:C; edges (A->B)@1, (B->C)@2.
+  TemporalGraph g = MakeGraph({0, 1, 2}, {{0, 1, 1}, {1, 2, 2}});
+  EXPECT_TRUE(g.LabelOccursAfter(2, 0));   // C appears at position 1
+  EXPECT_FALSE(g.LabelOccursAfter(0, 0));  // A only at position 0
+  EXPECT_FALSE(g.LabelOccursAfter(2, 1));
+  EXPECT_FALSE(g.LabelOccursAfter(99, 0));  // unknown label
+}
+
+TEST(TemporalGraphTest, SignatureIndexFindsEdges) {
+  TemporalGraph g = MakeGraph({0, 1, 0}, {{0, 1, 1}, {2, 1, 2}, {1, 0, 3}});
+  // Two edges have signature (0 -> 1): positions 0 and 1.
+  const auto& hits = g.EdgesWithSignature(0, 1, kNoEdgeLabel);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0);
+  EXPECT_EQ(hits[1], 1);
+  EXPECT_TRUE(g.EdgesWithSignature(1, 1, kNoEdgeLabel).empty());
+}
+
+TEST(TemporalGraphTest, SignatureIndexDistinguishesEdgeLabels) {
+  TemporalGraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddEdge(0, 1, 1, /*elabel=*/5);
+  g.AddEdge(0, 1, 2, /*elabel=*/6);
+  g.Finalize();
+  EXPECT_EQ(g.EdgesWithSignature(0, 1, 5).size(), 1u);
+  EXPECT_EQ(g.EdgesWithSignature(0, 1, 6).size(), 1u);
+  EXPECT_TRUE(g.EdgesWithSignature(0, 1, 7).empty());
+}
+
+TEST(TemporalGraphTest, TConnectedExamplesFromPaperFigure3) {
+  // G1 (Figure 3): A->B, B->C with multi-edges, all prefix-connected.
+  TemporalGraph g1 =
+      MakeGraph({0, 1, 2}, {{0, 1, 1}, {0, 1, 2}, {1, 2, 3}, {1, 2, 4}});
+  EXPECT_TRUE(g1.IsTConnected());
+
+  // G3-style: the edge at time 5 arrives after a disconnected prefix.
+  TemporalGraph g3 =
+      MakeGraph({0, 1, 2, 3}, {{0, 1, 1}, {2, 3, 2}, {1, 2, 5}});
+  EXPECT_FALSE(g3.IsTConnected());
+}
+
+TEST(TemporalGraphTest, SingleEdgeIsTConnected) {
+  TemporalGraph g = MakeGraph({0, 1}, {{0, 1, 1}});
+  EXPECT_TRUE(g.IsTConnected());
+}
+
+TEST(TemporalGraphTest, EmptyGraphIsTConnected) {
+  TemporalGraph g;
+  g.Finalize();
+  EXPECT_TRUE(g.IsTConnected());
+}
+
+TEST(TemporalGraphTest, SpanIsLastMinusFirst) {
+  TemporalGraph g = MakeGraph({0, 1}, {{0, 1, 10}, {0, 1, 35}});
+  EXPECT_EQ(g.Span(), 25);
+  TemporalGraph single = MakeGraph({0, 1}, {{0, 1, 10}});
+  EXPECT_EQ(single.Span(), 0);
+}
+
+TEST(TemporalGraphTest, DistinctNodeLabelsSortedUnique) {
+  TemporalGraph g = MakeGraph({3, 1, 3, 2}, {{0, 1, 1}});
+  std::vector<LabelId> labels = g.DistinctNodeLabels();
+  EXPECT_EQ(labels, (std::vector<LabelId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace tgm
