@@ -1,9 +1,12 @@
 #ifndef TGM_BENCH_BENCH_COMMON_H_
 #define TGM_BENCH_BENCH_COMMON_H_
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "query/pipeline.h"
@@ -12,23 +15,93 @@ namespace tgm::bench {
 
 /// Minimal --key=value flag reader shared by the bench binaries. Every
 /// binary runs with paper-shaped defaults when invoked without arguments.
+/// Malformed arguments are a usage error and terminate the binary, rather
+/// than silently becoming 0 (or being ignored) and running the bench with
+/// nonsense parameters: numeric values must parse completely
+/// (`--runs=abc`, `--scale=1.5x`, empty values are rejected), every
+/// argument must have `--key=value` shape, and the key must be one of the
+/// known bench flags (so a typo like `--thread=4` fails instead of
+/// silently using the default). The vocabulary is shared across all bench
+/// binaries, so a valid flag a particular binary never reads is accepted
+/// and ignored — key validation catches typos, not inapplicable flags.
 class Flags {
  public:
-  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {
+    // The closed vocabulary of flags across all bench binaries; google-
+    // benchmark's own --benchmark_* flags pass through untouched.
+    static constexpr const char* kKnown[] = {
+        "background", "budget_ms", "instances",      "max_edges", "runs",
+        "query_size", "scale",     "mine_budget_ms", "seed",      "threads"};
+    for (int i = 1; i < argc_; ++i) {
+      const char* arg = argv_[i];
+      if (std::strncmp(arg, "--benchmark_", 12) == 0) continue;
+      const char* eq = std::strchr(arg, '=');
+      bool known = false;
+      if (std::strncmp(arg, "--", 2) == 0 && eq != nullptr) {
+        std::string key(arg + 2, eq);
+        for (const char* k : kKnown) known |= key == k;
+      }
+      if (!known) {
+        std::fprintf(stderr,
+                     "error: unknown argument '%s'\n"
+                     "usage: %s [--key=value ...], where key is one of:\n ",
+                     arg, argc_ > 0 ? argv_[0] : "bench");
+        for (const char* k : kKnown) std::fprintf(stderr, " --%s", k);
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+    }
+  }
 
   double GetDouble(const char* name, double fallback) const {
     std::string value;
     if (!Find(name, &value)) return fallback;
-    return std::atof(value.c_str());
+    char* end = nullptr;
+    errno = 0;
+    double parsed = std::strtod(value.c_str(), &end);
+    // ERANGE on underflow still yields a usable (sub)normal value; only
+    // overflow to +/-HUGE_VAL is a real error.
+    bool overflow = errno == ERANGE &&
+                    (parsed == HUGE_VAL || parsed == -HUGE_VAL);
+    if (value.empty() || end != value.c_str() + value.size() || overflow) {
+      Usage(name, value, "a floating-point number");
+    }
+    return parsed;
   }
 
-  std::int64_t GetInt(const char* name, std::int64_t fallback) const {
+  std::int64_t GetInt(const char* name, std::int64_t fallback,
+                      std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+                      std::int64_t max = std::numeric_limits<std::int64_t>::max())
+      const {
     std::string value;
     if (!Find(name, &value)) return fallback;
-    return std::atoll(value.c_str());
+    char* end = nullptr;
+    errno = 0;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() || errno != 0) {
+      Usage(name, value, "an integer");
+    }
+    if (parsed < min || parsed > max) {
+      std::fprintf(stderr,
+                   "error: flag --%s=%s is out of range [%lld, %lld]\n",
+                   name, value.c_str(), static_cast<long long>(min),
+                   static_cast<long long>(max));
+      std::exit(2);
+    }
+    return static_cast<std::int64_t>(parsed);
   }
 
  private:
+  [[noreturn]] void Usage(const char* name, const std::string& value,
+                          const char* expected) const {
+    std::fprintf(stderr,
+                 "error: flag --%s=%s is not %s\n"
+                 "usage: %s [--key=value ...] (numeric values only)\n",
+                 name, value.c_str(), expected,
+                 argc_ > 0 ? argv_[0] : "bench");
+    std::exit(2);
+  }
+
   bool Find(const char* name, std::string* value) const {
     std::string prefix = std::string("--") + name + "=";
     for (int i = 1; i < argc_; ++i) {
@@ -61,6 +134,12 @@ inline PipelineConfig DefaultPipelineConfig(const Flags& flags) {
   config.dataset.gen.size_scale = flags.GetDouble("scale", 1.0);
   config.query_size = static_cast<int>(flags.GetInt("query_size", 6));
   config.miner.max_millis = flags.GetInt("mine_budget_ms", 120000);
+  // Threads for the miner's data-parallel inner loops; results are
+  // bit-identical across values unless the mine_budget_ms wall-clock
+  // cutoff triggers (see MinerConfig::num_threads). 0 = all hardware
+  // threads.
+  config.miner.num_threads =
+      static_cast<int>(flags.GetInt("threads", 1, 0, 4096));
   return config;
 }
 

@@ -37,6 +37,11 @@ int main(int argc, char** argv) {
 
   std::int64_t budget_ms = flags.GetInt("budget_ms", 45000);
   int max_edges = static_cast<int>(flags.GetInt("max_edges", 6));
+  // Threads for every miner's data-parallel inner loops. For runs that
+  // finish within --budget_ms the mined results are bit-identical across
+  // values and only the response times change; TIMEOUT rows truncate at a
+  // timing-dependent point, so their results may differ per thread count.
+  int num_threads = static_cast<int>(flags.GetInt("threads", 1, 0, 4096));
 
   const std::vector<MinerSpec> miners = {
       {"TGMiner", MinerConfig::TGMiner()},  {"PruneGI", MinerConfig::PruneGI()},
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
       mc.min_pos_freq = 0.5;
       mc.max_embeddings_per_graph = 2000;
       mc.max_millis = budget_ms;
+      mc.num_threads = num_threads;
       MineResult result = pipeline.MineTemporal(behavior_idx, mc, fraction);
       const char* status = result.stats.timed_out ? "TIMEOUT" : "ok";
       std::printf("%-12s %10.2f %12lld %14lld %14lld %9s", spec.name,

@@ -1,0 +1,82 @@
+#ifndef TGM_EXEC_PARALLEL_FOR_H_
+#define TGM_EXEC_PARALLEL_FOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace tgm {
+
+/// Deterministic parallel-for: runs `body(i)` for every i in [0, n).
+///
+/// The index space is split into at most `1 + pool->num_workers()`
+/// contiguous chunks whose boundaries are a pure function of (n, chunk
+/// count) — never of timing — so iterations see a schedule-independent
+/// index assignment. Results must be written to per-index (or per-chunk)
+/// slots; callers that then combine slots in index order get output
+/// bit-identical to the serial loop, which is how the miner keeps
+/// `num_threads > 1` results equal to serial mining.
+///
+/// Chunk 0 runs on the calling thread; the call blocks until every chunk
+/// has finished. With a null pool, zero workers, or n < 2 the loop runs
+/// inline. If bodies throw, the exception from the lowest-indexed chunk is
+/// rethrown after all chunks complete (again schedule-independent).
+///
+/// Must not be called from inside a pool worker: the pool has no work
+/// stealing, so a region waiting on its own pool's queue can deadlock.
+template <typename Body>
+void ParallelFor(ThreadPool* pool, std::size_t n, const Body& body) {
+  const std::size_t max_chunks =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->num_workers()) + 1;
+  if (max_chunks <= 1 || n < 2) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = n < max_chunks ? n : max_chunks;
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  // Chunk c covers [c*base + min(c, rem), ...) — the first `rem` chunks get
+  // one extra iteration. Depends only on (n, chunks).
+  auto chunk_begin = [base, rem](std::size_t c) {
+    return c * base + (c < rem ? c : rem);
+  };
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = chunks - 1;
+  std::vector<std::exception_ptr> errors(chunks);
+
+  auto run_chunk = [&body, &errors, chunk_begin](std::size_t c,
+                                                 std::size_t end) {
+    try {
+      for (std::size_t i = chunk_begin(c); i < end; ++i) body(i);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  };
+
+  for (std::size_t c = 1; c < chunks; ++c) {
+    pool->Submit([&, c] {
+      run_chunk(c, chunk_begin(c + 1));
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) done_cv.notify_one();
+    });
+  }
+  run_chunk(0, chunk_begin(1));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&pending] { return pending == 0; });
+  }
+  for (std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(std::move(e));
+  }
+}
+
+}  // namespace tgm
+
+#endif  // TGM_EXEC_PARALLEL_FOR_H_

@@ -1,0 +1,58 @@
+#ifndef TGM_EXEC_THREAD_POOL_H_
+#define TGM_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tgm {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// The pool provides mechanism only; determinism is the callers' contract.
+/// ParallelFor (exec/parallel_for.h) builds on Submit() so that every
+/// parallel region computes results that are a pure function of its inputs
+/// and are merged in index order, never in completion order.
+///
+/// A pool for a total parallelism of N spawns N-1 workers; the Nth
+/// participant is the thread that blocks in ParallelFor.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is allowed and spawns none).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains nothing: outstanding tasks submitted through ParallelFor are
+  /// always joined before their region returns, so at destruction time the
+  /// queue is empty unless a caller misused raw Submit().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not block on other tasks in this pool
+  /// (the pool has no work stealing, so that can deadlock).
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a `num_threads` config knob into a concrete thread count:
+/// values <= 0 mean "all hardware threads"; anything else is taken as-is.
+int ResolveNumThreads(int requested);
+
+}  // namespace tgm
+
+#endif  // TGM_EXEC_THREAD_POOL_H_

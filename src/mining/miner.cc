@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "exec/parallel_for.h"
+
 namespace tgm {
 
 namespace {
@@ -13,6 +15,12 @@ NodeId FindMappedNode(const std::vector<NodeId>& nodes, NodeId data_node) {
     if (nodes[i] == data_node) return static_cast<NodeId>(i);
   }
   return kNewNode;
+}
+
+std::size_t CountEmbeddings(const EmbeddingTable& table) {
+  std::size_t n = 0;
+  for (const GraphEmbeddings& ge : table) n += ge.embeds.size();
+  return n;
 }
 
 }  // namespace
@@ -25,6 +33,10 @@ Miner::Miner(const MinerConfig& config,
       neg_graphs_(std::move(negatives)),
       score_(config.score_kind, static_cast<std::int64_t>(pos_graphs_.size()),
              static_cast<std::int64_t>(neg_graphs_.size()), config.epsilon),
+      pool_(ResolveNumThreads(config.num_threads) > 1
+                ? std::make_unique<ThreadPool>(
+                      ResolveNumThreads(config.num_threads) - 1)
+                : nullptr),
       tester_(MakeTester(config.subgraph_algo)),
       registry_(config.residual_algo),
       best_score_(-std::numeric_limits<double>::infinity()) {
@@ -52,17 +64,74 @@ Miner::Miner(const MinerConfig& config,
               return ptrs;
             }()) {}
 
-void Miner::DedupeAndCap(EmbeddingTable& table) {
-  for (GraphEmbeddings& ge : table) {
-    std::sort(ge.embeds.begin(), ge.embeds.end());
-    ge.embeds.erase(std::unique(ge.embeds.begin(), ge.embeds.end()),
-                    ge.embeds.end());
-    if (config_.max_embeddings_per_graph > 0 &&
-        static_cast<std::int64_t>(ge.embeds.size()) >
-            config_.max_embeddings_per_graph) {
-      ge.embeds.resize(
-          static_cast<std::size_t>(config_.max_embeddings_per_graph));
-      ++stats_.embedding_cap_hits;
+std::int64_t Miner::DedupeAndCapGraph(GraphEmbeddings& ge) const {
+  std::sort(ge.embeds.begin(), ge.embeds.end());
+  ge.embeds.erase(std::unique(ge.embeds.begin(), ge.embeds.end()),
+                  ge.embeds.end());
+  if (config_.max_embeddings_per_graph > 0 &&
+      static_cast<std::int64_t>(ge.embeds.size()) >
+          config_.max_embeddings_per_graph) {
+    ge.embeds.resize(
+        static_cast<std::size_t>(config_.max_embeddings_per_graph));
+    return 1;
+  }
+  return 0;
+}
+
+std::int64_t Miner::DedupeAndCap(EmbeddingTable& table) const {
+  std::int64_t cap_hits = 0;
+  for (GraphEmbeddings& ge : table) cap_hits += DedupeAndCapGraph(ge);
+  return cap_hits;
+}
+
+void Miner::DedupeAndCapAll(const std::vector<EmbeddingTable*>& tables) {
+  std::size_t total_embeddings = 0;
+  for (const EmbeddingTable* table : tables) {
+    total_embeddings += CountEmbeddings(*table);
+  }
+  if (pool_ == nullptr ||
+      static_cast<std::int64_t>(total_embeddings) <
+          config_.parallel_min_embeddings) {
+    for (EmbeddingTable* table : tables) {
+      stats_.embedding_cap_hits += DedupeAndCap(*table);
+    }
+    return;
+  }
+  // One unit per (table, graph) entry so a single large child still
+  // spreads across the pool. Cap hits are folded in index order.
+  std::vector<GraphEmbeddings*> units;
+  for (EmbeddingTable* table : tables) {
+    for (GraphEmbeddings& ge : *table) units.push_back(&ge);
+  }
+  std::vector<std::int64_t> cap_hits(units.size(), 0);
+  ParallelFor(pool_.get(), units.size(),
+              [&](std::size_t i) { cap_hits[i] = DedupeAndCapGraph(*units[i]); });
+  for (std::int64_t h : cap_hits) stats_.embedding_cap_hits += h;
+}
+
+void Miner::CollectGraphExtensions(
+    const GraphEmbeddings& ge, const TemporalGraph& g,
+    std::map<ExtensionKey, std::vector<Embedding>>& out) const {
+  const auto& edges = g.edges();
+  for (const Embedding& emb : ge.embeds) {
+    for (std::size_t p = static_cast<std::size_t>(emb.last) + 1;
+         p < edges.size(); ++p) {
+      const TemporalEdge& e = edges[p];
+      NodeId u = FindMappedNode(emb.nodes, e.src);
+      NodeId v = FindMappedNode(emb.nodes, e.dst);
+      if (u == kNewNode && v == kNewNode) continue;  // not T-connected
+      ExtensionKey key;
+      key.src = u;
+      key.dst = v;
+      key.src_label = g.label(e.src);
+      key.dst_label = g.label(e.dst);
+      key.elabel = e.elabel;
+      Embedding child;
+      child.nodes = emb.nodes;
+      if (u == kNewNode) child.nodes.push_back(e.src);
+      if (v == kNewNode) child.nodes.push_back(e.dst);
+      child.last = static_cast<EdgePos>(p);
+      out[key].push_back(std::move(child));
     }
   }
 }
@@ -72,34 +141,37 @@ void Miner::CollectExtensions(const EmbeddingTable& table,
                               bool positive_side,
                               std::map<ExtensionKey, ChildBuckets>& out)
     const {
-  for (const GraphEmbeddings& ge : table) {
-    const TemporalGraph& g = *graphs[static_cast<std::size_t>(ge.graph)];
-    const auto& edges = g.edges();
-    for (const Embedding& emb : ge.embeds) {
-      for (std::size_t p = static_cast<std::size_t>(emb.last) + 1;
-           p < edges.size(); ++p) {
-        const TemporalEdge& e = edges[p];
-        NodeId u = FindMappedNode(emb.nodes, e.src);
-        NodeId v = FindMappedNode(emb.nodes, e.dst);
-        if (u == kNewNode && v == kNewNode) continue;  // not T-connected
-        ExtensionKey key;
-        key.src = u;
-        key.dst = v;
-        key.src_label = g.label(e.src);
-        key.dst_label = g.label(e.dst);
-        key.elabel = e.elabel;
+  if (pool_ != nullptr && table.size() > 1 &&
+      static_cast<std::int64_t>(CountEmbeddings(table)) >=
+          config_.parallel_min_embeddings) {
+    // Each graph's contribution is computed independently in parallel and
+    // merged in ascending graph order — the exact order the serial loop
+    // visits graphs — so `out` is identical for every thread count.
+    std::vector<std::map<ExtensionKey, std::vector<Embedding>>> per_graph(
+        table.size());
+    ParallelFor(pool_.get(), table.size(), [&](std::size_t i) {
+      const GraphEmbeddings& ge = table[i];
+      CollectGraphExtensions(ge, *graphs[static_cast<std::size_t>(ge.graph)],
+                             per_graph[i]);
+    });
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      for (auto& [key, embeds] : per_graph[i]) {
         ChildBuckets& bucket = out[key];
         EmbeddingTable& side = positive_side ? bucket.pos : bucket.neg;
-        if (side.empty() || side.back().graph != ge.graph) {
-          side.push_back(GraphEmbeddings{ge.graph, {}});
-        }
-        Embedding child;
-        child.nodes = emb.nodes;
-        if (u == kNewNode) child.nodes.push_back(e.src);
-        if (v == kNewNode) child.nodes.push_back(e.dst);
-        child.last = static_cast<EdgePos>(p);
-        side.back().embeds.push_back(std::move(child));
+        side.push_back(GraphEmbeddings{table[i].graph, std::move(embeds)});
       }
+    }
+    return;
+  }
+  // Serial path: build the buckets directly, graph by graph.
+  for (const GraphEmbeddings& ge : table) {
+    std::map<ExtensionKey, std::vector<Embedding>> local;
+    CollectGraphExtensions(ge, *graphs[static_cast<std::size_t>(ge.graph)],
+                           local);
+    for (auto& [key, embeds] : local) {
+      ChildBuckets& bucket = out[key];
+      EmbeddingTable& side = positive_side ? bucket.pos : bucket.neg;
+      side.push_back(GraphEmbeddings{ge.graph, std::move(embeds)});
     }
   }
 }
@@ -346,11 +418,31 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable pos_table,
                      });
   }
 
+  // With a pool, per-graph embedding evaluation for every child happens up
+  // front, in parallel across (child, graph) units; the recursion below
+  // then visits children in the exact serial order with all pruning state
+  // sequential. Serial runs keep the seed's lazy per-child dedupe so a
+  // budget break skips the work for children that are never visited (the
+  // parallel pre-pass may therefore count cap hits for unvisited children
+  // on budget-truncated runs; ranked results are unaffected).
+  const bool prededuped = pool_ != nullptr && !BudgetExhausted();
+  if (prededuped) {
+    std::vector<EmbeddingTable*> child_tables;
+    child_tables.reserve(children.size() * 2);
+    for (ChildWork& child : children) {
+      child_tables.push_back(&child.buckets.pos);
+      child_tables.push_back(&child.buckets.neg);
+    }
+    DedupeAndCapAll(child_tables);
+  }
+
   double branch_best = own_score;
   for (ChildWork& child : children) {
     Pattern grown = Grow(pattern, child.key);
-    DedupeAndCap(child.buckets.pos);
-    DedupeAndCap(child.buckets.neg);
+    if (!prededuped) {
+      stats_.embedding_cap_hits += DedupeAndCap(child.buckets.pos);
+      stats_.embedding_cap_hits += DedupeAndCap(child.buckets.neg);
+    }
     double sub = Dfs(grown, std::move(child.buckets.pos),
                      std::move(child.buckets.neg));
     branch_best = std::max(branch_best, sub);
@@ -449,11 +541,28 @@ MineResult Miner::Mine() {
                      });
   }
 
+  // With a pool, root-bucket preparation is data-parallel across
+  // (root, graph) units; the DFS dispatch below stays sequential so every
+  // pruning decision sees the same registry/best-score state as a serial
+  // run. Serial runs keep the seed's lazy per-root dedupe (see Dfs).
+  const bool prededuped = pool_ != nullptr;
+  if (prededuped) {
+    std::vector<EmbeddingTable*> root_tables;
+    root_tables.reserve(work.size() * 2);
+    for (RootWork& w : work) {
+      root_tables.push_back(&w.buckets.pos);
+      root_tables.push_back(&w.buckets.neg);
+    }
+    DedupeAndCapAll(root_tables);
+  }
+
   for (RootWork& w : work) {
     Pattern root = Pattern::SingleEdge(std::get<0>(w.key), std::get<1>(w.key),
                                        std::get<2>(w.key));
-    DedupeAndCap(w.buckets.pos);
-    DedupeAndCap(w.buckets.neg);
+    if (!prededuped) {
+      stats_.embedding_cap_hits += DedupeAndCap(w.buckets.pos);
+      stats_.embedding_cap_hits += DedupeAndCap(w.buckets.neg);
+    }
     Dfs(root, std::move(w.buckets.pos), std::move(w.buckets.neg));
     if (BudgetExhausted()) break;
   }

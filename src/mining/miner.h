@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "matching/matcher.h"
 #include "mining/miner_config.h"
 #include "mining/registry.h"
@@ -60,6 +61,16 @@ using EmbeddingTable = std::vector<GraphEmbeddings>;
 /// already-explored patterns, with residual-set equivalence via I-values
 /// (Lemma 6) or linear scans, and temporal subgraph tests via the
 /// configured matcher.
+///
+/// Parallelism: with `MinerConfig::num_threads > 1` the data-parallel
+/// inner loops — per-graph extension collection, per-graph embedding
+/// dedupe, root-bucket preparation — run on an internal thread pool via
+/// the deterministic ParallelFor (exec/parallel_for.h). The DFS skeleton
+/// and all pruning state stay on the calling thread and parallel results
+/// are merged in index order, so the ranked result is bit-identical to a
+/// serial run for every thread count — unless a max_millis wall-clock
+/// budget truncates the search at a timing-dependent point (see
+/// MinerConfig::num_threads).
 class Miner {
  public:
   /// The graph pointers must outlive the miner. Graphs must be finalized
@@ -105,6 +116,18 @@ class Miner {
                          bool positive_side,
                          std::map<ExtensionKey, ChildBuckets>& out) const;
 
+  /// One data graph's contribution to CollectExtensions: embeddings per
+  /// extension key, in the serial visit order. Pure; safe to run for
+  /// different graphs concurrently.
+  void CollectGraphExtensions(
+      const GraphEmbeddings& ge, const TemporalGraph& g,
+      std::map<ExtensionKey, std::vector<Embedding>>& out) const;
+
+  /// Dedupes (and caps) every per-graph embedding list in `tables`, using
+  /// the pool when available: one parallel unit per (table, graph) entry.
+  /// Adds the cap-hit count to stats in index order.
+  void DedupeAndCapAll(const std::vector<EmbeddingTable*>& tables);
+
   ResidualSet BuildResidual(const EmbeddingTable& table,
                             const std::vector<const TemporalGraph*>& graphs)
       const;
@@ -121,13 +144,21 @@ class Miner {
                  double score, std::int64_t support_pos,
                  std::int64_t support_neg);
 
-  void DedupeAndCap(EmbeddingTable& table);
+  /// Returns the number of cap hits (callers fold it into stats).
+  std::int64_t DedupeAndCap(EmbeddingTable& table) const;
+
+  /// Sort-unique-truncate for one graph's embedding list; returns 1 if the
+  /// cap was hit, 0 otherwise. Pure per-entry work.
+  std::int64_t DedupeAndCapGraph(GraphEmbeddings& ge) const;
 
   MinerConfig config_;
   std::vector<const TemporalGraph*> pos_graphs_;
   std::vector<const TemporalGraph*> neg_graphs_;
 
   DiscriminativeScore score_;
+  /// Worker pool for the data-parallel inner loops; null when the
+  /// resolved num_threads is 1 (the serial path has zero pool overhead).
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<TemporalSubgraphTester> tester_;
   PatternRegistry registry_;
   MinerStats stats_;

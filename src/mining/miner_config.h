@@ -82,6 +82,31 @@ struct MinerConfig {
   /// pipeline, at the cost of no longer measuring the paper's overheads.
   bool check_reference_score_first = false;
 
+  /// Threads used for the miner's data-parallel inner loops (root-bucket
+  /// preparation, per-graph embedding dedupe, per-graph extension
+  /// collection). 1 = fully serial (no pool is created); 0 = all hardware
+  /// threads. The DFS skeleton — visit order, pruning decisions, registry
+  /// and top-k updates — always runs on the calling thread and every
+  /// parallel region merges per-index results in index order, so ranked
+  /// results are bit-identical for every thread count — provided the
+  /// search runs to its natural end or a max_visited cap. A max_millis
+  /// wall-clock cutoff truncates the search at a timing-dependent point,
+  /// so timed-out runs may differ across thread counts (just as they may
+  /// across repeated serial runs). On budget-truncated runs the
+  /// stats.embedding_cap_hits counter may also differ: the pooled pre-pass
+  /// dedupes (and counts) branches a lazily-deduping serial run never
+  /// reaches. Ranked results and the search-shape counters
+  /// (patterns_visited/expanded, prune triggers) are unaffected.
+  int num_threads = 1;
+
+  /// Minimum number of embeddings in a parallel region before the pool is
+  /// engaged; smaller regions run inline because the handoff overhead
+  /// exceeds the work (deep DFS nodes have a handful of embeddings, roots
+  /// have thousands). Purely a scheduling knob: the inline fallback
+  /// computes identical results. Tests set 0 to force the parallel paths
+  /// on small fixtures.
+  std::int64_t parallel_min_embeddings = 512;
+
   /// Safety cap on visited patterns; 0 = unlimited.
   std::int64_t max_visited = 0;
 

@@ -1,0 +1,211 @@
+// Parallel mining determinism: MinerConfig::num_threads must not change
+// mined results — for every thread count the ranked result list (patterns,
+// scores, frequencies, order) and best score are bit-identical to serial,
+// because the DFS skeleton stays sequential and every parallel inner loop
+// merges per-index slots in index order.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mining/miner.h"
+#include "syslog/dataset.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+/// Asserts bitwise equality of two mining results (ranked list + best
+/// score). Stats are intentionally not compared: counters such as
+/// elapsed_seconds are timing-dependent by nature.
+void ExpectIdenticalResults(const MineResult& want, const MineResult& got,
+                            int num_threads) {
+  SCOPED_TRACE(::testing::Message() << "num_threads=" << num_threads);
+  EXPECT_EQ(want.best_score, got.best_score);
+  ASSERT_EQ(want.top.size(), got.top.size());
+  for (std::size_t i = 0; i < want.top.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "rank " << i);
+    EXPECT_TRUE(want.top[i].pattern == got.top[i].pattern);
+    EXPECT_EQ(want.top[i].score, got.top[i].score);
+    EXPECT_EQ(want.top[i].freq_pos, got.top[i].freq_pos);
+    EXPECT_EQ(want.top[i].freq_neg, got.top[i].freq_neg);
+    EXPECT_EQ(want.top[i].support_pos, got.top[i].support_pos);
+    EXPECT_EQ(want.top[i].support_neg, got.top[i].support_neg);
+  }
+}
+
+void ExpectThreadCountInvariance(const MinerConfig& base,
+                                 const std::vector<TemporalGraph>& pos,
+                                 const std::vector<TemporalGraph>& neg) {
+  MinerConfig serial = base;
+  serial.num_threads = 1;
+  MineResult want = Miner(serial, pos, neg).Mine();
+  for (int num_threads : {2, 4, 8}) {
+    MinerConfig config = base;
+    config.num_threads = num_threads;
+    // Force the pool to engage even on these small fixtures, so the
+    // parallel merge paths themselves are what gets pinned (the inline
+    // fallback below the default grain is trivially identical to serial).
+    config.parallel_min_embeddings = 0;
+    MineResult got = Miner(config, pos, neg).Mine();
+    ExpectIdenticalResults(want, got, num_threads);
+    // The search itself must also be identical, not just the output: the
+    // parallel loops may not change what gets visited, expanded or pruned.
+    EXPECT_EQ(want.stats.patterns_visited, got.stats.patterns_visited);
+    EXPECT_EQ(want.stats.patterns_expanded, got.stats.patterns_expanded);
+    EXPECT_EQ(want.stats.subgraph_prune_triggers,
+              got.stats.subgraph_prune_triggers);
+    EXPECT_EQ(want.stats.supergraph_prune_triggers,
+              got.stats.supergraph_prune_triggers);
+  }
+}
+
+class ParallelMinerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelMinerTest, RandomFixturesRankIdentically) {
+  // The replication-test fixtures: random strict-order temporal graphs.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 8, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 8, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.top_k = 512;
+  ExpectThreadCountInvariance(config, pos, neg);
+}
+
+TEST_P(ParallelMinerTest, ReplicatedFixturesRankIdentically) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 7000);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 2; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+  }
+  int factor = 2 + GetParam() % 3;
+  std::vector<TemporalGraph> pos_syn = ReplicateGraphs(pos, factor);
+  std::vector<TemporalGraph> neg_syn = ReplicateGraphs(neg, factor);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.top_k = 256;
+  ExpectThreadCountInvariance(config, pos_syn, neg_syn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelMinerTest, ::testing::Range(0, 6));
+
+TEST(ParallelMinerConfigTest, EmbeddingCapStaysDeterministic) {
+  // The cap truncates after a deterministic sort; per-graph parallel
+  // dedupe must preserve both the truncation and the ranked output.
+  std::mt19937_64 rng(91);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 4; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 14, 1));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 14, 1));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.max_embeddings_per_graph = 4;
+  ExpectThreadCountInvariance(config, pos, neg);
+}
+
+TEST(ParallelMinerConfigTest, PipelineShapedConfigRanksIdentically) {
+  // The accuracy pipeline's miner settings (support floor, tie cut, eager
+  // score gate) exercise every pruning path; thread count must still be
+  // invisible in the results.
+  std::mt19937_64 rng(47);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 5; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 7, 12, 3));
+    neg.push_back(tgm::testing::RandomGraph(rng, 7, 12, 3));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 4;
+  config.min_pos_freq = 0.5;
+  config.stop_at_top_k_ties = true;
+  config.check_reference_score_first = true;
+  config.top_k = 16;
+  ExpectThreadCountInvariance(config, pos, neg);
+}
+
+TEST(ParallelMinerConfigTest, AblationConfigsRankIdentically) {
+  std::mt19937_64 rng(5);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+  }
+  for (const MinerConfig& preset :
+       {MinerConfig::SubPrune(), MinerConfig::SupPrune(),
+        MinerConfig::LinearScan()}) {
+    MinerConfig config = preset;
+    config.max_edges = 3;
+    ExpectThreadCountInvariance(config, pos, neg);
+  }
+}
+
+TEST(ParallelMinerConfigTest, DefaultGrainCrossedOnLargeFixture) {
+  // A fixture big enough that the *default* parallel_min_embeddings grain
+  // is crossed at the root level (single label -> one root bucket holding
+  // every edge: 3+3 graphs x 90 edges = 540 embeddings >= 512), exercising
+  // the gate-plus-parallel interplay exactly as production runs do.
+  std::mt19937_64 rng(77);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 10, 90, 1));
+    neg.push_back(tgm::testing::RandomGraph(rng, 10, 90, 1));
+  }
+  MinerConfig serial = MinerConfig::TGMiner();
+  serial.max_edges = 2;
+  serial.max_embeddings_per_graph = 100;
+  MineResult want = Miner(serial, pos, neg).Mine();
+  for (int num_threads : {2, 4}) {
+    MinerConfig config = serial;
+    config.num_threads = num_threads;
+    MineResult got = Miner(config, pos, neg).Mine();
+    ExpectIdenticalResults(want, got, num_threads);
+  }
+}
+
+TEST(ParallelMinerConfigTest, VisitCapBudgetStaysDeterministic) {
+  // Unlike max_millis (wall-clock, inherently timing-dependent), the
+  // max_visited budget counts DFS visits, which happen only on the serial
+  // skeleton — so a capped search must still be thread-count-invariant.
+  std::mt19937_64 rng(63);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 12, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 12, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 4;
+  config.max_visited = 40;
+  ExpectThreadCountInvariance(config, pos, neg);
+}
+
+TEST(ParallelMinerConfigTest, ZeroMeansHardwareThreadsAndStillMatches) {
+  std::mt19937_64 rng(11);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 8, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 8, 2));
+  }
+  MinerConfig serial = MinerConfig::TGMiner();
+  serial.max_edges = 3;
+  MineResult want = Miner(serial, pos, neg).Mine();
+  MinerConfig hw = serial;
+  hw.num_threads = 0;  // all hardware threads
+  MineResult got = Miner(hw, pos, neg).Mine();
+  ExpectIdenticalResults(want, got, 0);
+}
+
+}  // namespace
+}  // namespace tgm
