@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "query/pipeline.h"
 
@@ -26,7 +29,13 @@ namespace tgm::bench {
 /// and ignored — key validation catches typos, not inapplicable flags.
 class Flags {
  public:
-  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {
+  /// `extra_keys` are flags only this particular binary implements (e.g.
+  /// fig13's --miners/--classes/--json_out); keeping them out of the shared
+  /// vocabulary preserves the strict-rejection guarantee for binaries that
+  /// would silently ignore them.
+  Flags(int argc, char** argv,
+        std::initializer_list<const char*> extra_keys = {})
+      : argc_(argc), argv_(argv) {
     // The closed vocabulary of flags across all bench binaries; google-
     // benchmark's own --benchmark_* flags pass through untouched.
     static constexpr const char* kKnown[] = {
@@ -40,6 +49,7 @@ class Flags {
       if (std::strncmp(arg, "--", 2) == 0 && eq != nullptr) {
         std::string key(arg + 2, eq);
         for (const char* k : kKnown) known |= key == k;
+        for (const char* k : extra_keys) known |= key == k;
       }
       if (!known) {
         std::fprintf(stderr,
@@ -47,6 +57,7 @@ class Flags {
                      "usage: %s [--key=value ...], where key is one of:\n ",
                      arg, argc_ > 0 ? argv_[0] : "bench");
         for (const char* k : kKnown) std::fprintf(stderr, " --%s", k);
+        for (const char* k : extra_keys) std::fprintf(stderr, " --%s", k);
         std::fprintf(stderr, "\n");
         std::exit(2);
       }
@@ -67,6 +78,14 @@ class Flags {
       Usage(name, value, "a floating-point number");
     }
     return parsed;
+  }
+
+  /// Raw string flag value (e.g. --miners=TGMiner,PruneGI); empty-string
+  /// values are allowed and returned as such.
+  std::string GetString(const char* name, const std::string& fallback) const {
+    std::string value;
+    if (!Find(name, &value)) return fallback;
+    return value;
   }
 
   std::int64_t GetInt(const char* name, std::int64_t fallback,
@@ -141,6 +160,91 @@ inline PipelineConfig DefaultPipelineConfig(const Flags& flags) {
   config.miner.num_threads =
       static_cast<int>(flags.GetInt("threads", 1, 0, 4096));
   return config;
+}
+
+/// Minimal JSON result writer for the custom (non-google-benchmark) bench
+/// binaries, schema-compatible enough with --benchmark_out for the
+/// BENCH_*.json trajectory: {"benchmarks": [{"name", "real_time",
+/// "time_unit", <counters...>}]}. The gbench binaries emit JSON natively.
+class JsonBenchWriter {
+ public:
+  void Add(const std::string& name, double real_time_seconds,
+           std::vector<std::pair<std::string, double>> counters = {}) {
+    rows_.push_back(Row{name, real_time_seconds, std::move(counters)});
+  }
+
+  /// Writes the collected rows; returns false (with a stderr note) on I/O
+  /// failure so benches can keep their exit status meaningful.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open --json_out=%s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"real_time\": %.6f, "
+                   "\"time_unit\": \"s\"",
+                   row.name.c_str(), row.real_time_seconds);
+      for (const auto& [key, value] : row.counters) {
+        std::fprintf(f, ", \"%s\": %.6f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    bool ok = std::fclose(f) == 0;
+    if (!ok) std::fprintf(stderr, "error: writing %s failed\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_time_seconds = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Row> rows_;
+};
+
+/// True if `name` is in the comma-separated `filter` (empty = everything).
+inline bool NameSelected(const std::string& filter, const std::string& name) {
+  if (filter.empty()) return true;
+  std::size_t start = 0;
+  while (start <= filter.size()) {
+    std::size_t comma = filter.find(',', start);
+    std::size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (filter.compare(start, end - start, name) == 0) return true;
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return false;
+}
+
+/// Usage-errors (exit 2) unless every comma-separated token of `filter` is
+/// one of `known` — a typo'd --miners/--classes selection must not silently
+/// run zero work and "succeed".
+inline void RequireKnownNames(const std::string& filter, const char* flag,
+                              const std::vector<std::string>& known) {
+  std::size_t start = 0;
+  while (start < filter.size()) {
+    std::size_t comma = filter.find(',', start);
+    std::size_t end = comma == std::string::npos ? filter.size() : comma;
+    std::string token = filter.substr(start, end - start);
+    bool ok = false;
+    for (const std::string& k : known) ok |= token == k;
+    if (!ok) {
+      std::fprintf(stderr, "error: --%s=%s names unknown entry '%s'; known:",
+                   flag, filter.c_str(), token.c_str());
+      for (const std::string& k : known) std::fprintf(stderr, " %s", k.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
 }
 
 /// Header banner shared by all bench binaries.

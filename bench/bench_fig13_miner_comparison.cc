@@ -25,7 +25,7 @@ struct MinerSpec {
 
 int main(int argc, char** argv) {
   using namespace tgm;
-  bench::Flags flags(argc, argv);
+  bench::Flags flags(argc, argv, {"miners", "classes", "json_out"});
   bench::Banner("Figure 13", "mining response time per miner and size class");
 
   PipelineConfig config = bench::DefaultPipelineConfig(flags);
@@ -37,6 +37,13 @@ int main(int argc, char** argv) {
 
   std::int64_t budget_ms = flags.GetInt("budget_ms", 45000);
   int max_edges = static_cast<int>(flags.GetInt("max_edges", 6));
+  // Comma-separated selections (empty = all), e.g. --miners=TGMiner
+  // --classes=medium, plus --json_out=BENCH_fig13.json for the bench
+  // trajectory.
+  std::string miner_filter = flags.GetString("miners", "");
+  std::string class_filter = flags.GetString("classes", "");
+  std::string json_out = flags.GetString("json_out", "");
+  bench::JsonBenchWriter json;
   // Threads for every miner's data-parallel inner loops. For runs that
   // finish within --budget_ms the mined results are bit-identical across
   // values and only the response times change; TIMEOUT rows truncate at a
@@ -66,18 +73,34 @@ int main(int argc, char** argv) {
     int behavior_idx;
     double fraction;
   };
-  const std::vector<ClassSpec> classes = {
-      {"small (gzip-decompress)", 1, 1.0},
-      {"medium (scp-download)", 4, 1.0},
-      {"large (sshd-login, 50% data)", 9, 0.5},
+  struct ClassRow {
+    const char* name;
+    const char* key;  // --classes selector
+    int behavior_idx;
+    double fraction;
   };
+  const std::vector<ClassRow> classes = {
+      {"small (gzip-decompress)", "small", 1, 1.0},
+      {"medium (scp-download)", "medium", 4, 1.0},
+      {"large (sshd-login, 50% data)", "large", 9, 0.5},
+  };
+  {
+    std::vector<std::string> miner_names;
+    for (const MinerSpec& spec : miners) miner_names.emplace_back(spec.name);
+    bench::RequireKnownNames(miner_filter, "miners", miner_names);
+    std::vector<std::string> class_names;
+    for (const ClassRow& row : classes) class_names.emplace_back(row.key);
+    bench::RequireKnownNames(class_filter, "classes", class_names);
+  }
 
-  for (const auto& [class_name, behavior_idx, fraction] : classes) {
+  for (const auto& [class_name, class_key, behavior_idx, fraction] : classes) {
+    if (!bench::NameSelected(class_filter, class_key)) continue;
     std::printf("\n--- %s ---\n", class_name);
     std::printf("%-12s %10s %12s %14s %14s %9s\n", "Miner", "Time (s)",
                 "Visited", "Subgr.tests", "Resid.tests", "Status");
     double tgminer_time = 0.0;
     for (const MinerSpec& spec : miners) {
+      if (!bench::NameSelected(miner_filter, spec.name)) continue;
       MinerConfig mc = spec.config;
       mc.max_edges = max_edges;
       mc.min_pos_freq = 0.5;
@@ -86,6 +109,15 @@ int main(int argc, char** argv) {
       mc.num_threads = num_threads;
       MineResult result = pipeline.MineTemporal(behavior_idx, mc, fraction);
       const char* status = result.stats.timed_out ? "TIMEOUT" : "ok";
+      json.Add(std::string("fig13/") + class_key + "/" + spec.name,
+               result.stats.elapsed_seconds,
+               {{"patterns_visited",
+                 static_cast<double>(result.stats.patterns_visited)},
+                {"subgraph_tests",
+                 static_cast<double>(result.stats.subgraph_tests)},
+                {"residual_equiv_tests",
+                 static_cast<double>(result.stats.residual_equiv_tests)},
+                {"timed_out", result.stats.timed_out ? 1.0 : 0.0}});
       std::printf("%-12s %10.2f %12lld %14lld %14lld %9s", spec.name,
                   result.stats.elapsed_seconds,
                   static_cast<long long>(result.stats.patterns_visited),
@@ -104,5 +136,6 @@ int main(int argc, char** argv) {
   std::printf("\n(paper shape: TGMiner fastest; PruneGI/LinearScan/PruneVF2 "
               "up to 6/17/32x slower;\n SupPrune times out on medium/large "
               "behaviours)\n");
+  if (!json_out.empty() && !json.WriteTo(json_out)) return 1;
   return 0;
 }

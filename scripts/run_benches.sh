@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the miner benchmark set and writes one BENCH_<name>.json per binary,
+# seeding the repo's benchmark-baseline trajectory.
+#
+# Usage: scripts/run_benches.sh [--smoke] [BUILD_DIR] [OUT_DIR]
+#   --smoke    tiny sizes for CI (seconds, shape checks only; numbers from
+#              shared CI runners are not comparable across runs)
+#   BUILD_DIR  CMake build directory with the bench binaries (default: build)
+#   OUT_DIR    where the BENCH_*.json files land (default: bench-results)
+#
+# Full mode (the default) uses the benches' paper-shaped defaults and takes
+# tens of minutes; run it on an idle machine when recording a baseline.
+set -euo pipefail
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-results}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_micro_operations" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_micro_operations not found." >&2
+  echo "Build first: cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+# Micro benches emit google-benchmark JSON natively.
+MICRO_ARGS=(--benchmark_out="$OUT_DIR/BENCH_micro_operations.json"
+            --benchmark_out_format=json)
+if [[ "$SMOKE" == 1 ]]; then
+  MICRO_ARGS+=(--benchmark_filter='BM_MineParallel/1|BM_EdgeScanEnumerate|BM_SubgraphTest<SeqMatcher>'
+               --benchmark_min_time=0.05)
+fi
+"$BUILD_DIR/bench/bench_micro_operations" "${MICRO_ARGS[@]}"
+
+# The fig13 miner comparison writes the same-shaped JSON via --json_out.
+FIG13_ARGS=(--json_out="$OUT_DIR/BENCH_fig13_miner_comparison.json")
+if [[ "$SMOKE" == 1 ]]; then
+  FIG13_ARGS+=(--scale=0.2 --budget_ms=5000 --max_edges=4
+               --miners=TGMiner --classes=small,medium)
+fi
+"$BUILD_DIR/bench/bench_fig13_miner_comparison" "${FIG13_ARGS[@]}"
+
+echo
+echo "Wrote:"
+ls -l "$OUT_DIR"/BENCH_*.json

@@ -85,19 +85,19 @@ bool EdgeScanMatcher::Extend(SearchContext& ctx, std::size_t k) const {
   };
 
   if (k == 0) {
-    const std::vector<EdgePos>& candidates = graph.EdgesWithSignature(
+    EdgePosSpan candidates = graph.EdgesWithSignature(
         pattern.label(qe.src), pattern.label(qe.dst), qe.elabel);
     for (EdgePos pos : candidates) {
       if (ctx.stop) break;
       try_position(pos);
     }
   } else if (ms != kInvalidNode) {
-    const std::vector<EdgePos>& positions = graph.out_edges(ms);
+    EdgePosSpan positions = graph.out_edges(ms);
     auto it = std::upper_bound(positions.begin(), positions.end(), after);
     for (; it != positions.end() && !ctx.stop; ++it) try_position(*it);
   } else {
     TGM_DCHECK(md != kInvalidNode);  // T-connectivity
-    const std::vector<EdgePos>& positions = graph.in_edges(md);
+    EdgePosSpan positions = graph.in_edges(md);
     auto it = std::upper_bound(positions.begin(), positions.end(), after);
     for (; it != positions.end() && !ctx.stop; ++it) try_position(*it);
   }

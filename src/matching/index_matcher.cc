@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "temporal/flat_index.h"
+
 namespace tgm {
 
 std::int64_t IndexMatcher::Signature(LabelId src_label, LabelId dst_label,
@@ -11,17 +13,28 @@ std::int64_t IndexMatcher::Signature(LabelId src_label, LabelId dst_label,
          static_cast<std::int64_t>(elabel);
 }
 
+std::span<const EdgePos> IndexMatcher::EdgeIndex::Lookup(
+    std::int64_t signature) const {
+  return LookupCsr(keys, offsets, csr, signature);
+}
+
 const IndexMatcher::EdgeIndex& IndexMatcher::GetIndex(const Pattern& big) {
   auto it = index_cache_.find(big);
   if (it != index_cache_.end()) return it->second;
   EdgeIndex index;
   const auto& edges = big.edges();
+  // (signature, position) pairs sorted then grouped into the flat CSR;
+  // positions come out ascending within a signature because the pair sort
+  // orders by position after the key.
+  std::vector<std::pair<std::int64_t, EdgePos>> pairs;
+  pairs.reserve(edges.size());
   for (std::size_t i = 0; i < edges.size(); ++i) {
     const PatternEdge& e = edges[i];
-    index.by_signature[Signature(big.label(e.src), big.label(e.dst),
-                                 e.elabel)]
-        .push_back(static_cast<EdgePos>(i));
+    pairs.emplace_back(Signature(big.label(e.src), big.label(e.dst), e.elabel),
+                       static_cast<EdgePos>(i));
   }
+  std::sort(pairs.begin(), pairs.end());
+  GroupSortedPairs(pairs, index.keys, index.offsets, index.csr);
   ++indexes_built_;
   return index_cache_.emplace(big, std::move(index)).first->second;
 }
@@ -45,10 +58,9 @@ std::optional<std::vector<NodeId>> IndexMatcher::FindMapping(
   std::vector<Partial> frontier;
   for (std::size_t k = 0; k < small.edge_count(); ++k) {
     const PatternEdge& qe = small.edge(k);
-    auto sig_it = index.by_signature.find(Signature(
-        small.label(qe.src), small.label(qe.dst), qe.elabel));
-    if (sig_it == index.by_signature.end()) return std::nullopt;
-    const std::vector<EdgePos>& candidates = sig_it->second;
+    std::span<const EdgePos> candidates = index.Lookup(
+        Signature(small.label(qe.src), small.label(qe.dst), qe.elabel));
+    if (candidates.empty()) return std::nullopt;
 
     std::vector<Partial> next;
     auto extend = [&](const Partial* base) {

@@ -2,6 +2,7 @@
 #define TGM_MATCHING_INDEX_MATCHER_H_
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,8 +35,16 @@ class IndexMatcher : public TemporalSubgraphTester {
 
  private:
   struct EdgeIndex {
-    // signature -> ascending positions in the target's edge list.
-    std::unordered_map<std::int64_t, std::vector<EdgePos>> by_signature;
+    // Sorted-key CSR: signature keys_[k]'s ascending positions in the
+    // target's edge list are csr_[offsets_[k] .. offsets_[k+1]). Binary
+    // searched on lookup — targets are small patterns, so three flat
+    // arrays beat a hash map both to build and to probe.
+    std::vector<std::int64_t> keys;
+    std::vector<std::int32_t> offsets;
+    std::vector<EdgePos> csr;
+
+    /// Positions under `signature`, empty when absent.
+    std::span<const EdgePos> Lookup(std::int64_t signature) const;
   };
   struct Partial {
     std::vector<NodeId> map;  // small node -> big node (kInvalidNode if not)

@@ -28,10 +28,10 @@ struct PrefixHash {
 struct SeqMatcher::SearchContext {
   const Pattern* small = nullptr;
   const Pattern* big = nullptr;
-  SequenceRep small_rep;
-  SequenceRep big_rep;
-  std::vector<NeighborProfile> small_profiles;
-  std::vector<NeighborProfile> big_profiles;
+  const SequenceRep* small_rep = nullptr;
+  const SequenceRep* big_rep = nullptr;
+  const std::vector<NeighborProfile>* small_profiles = nullptr;
+  const std::vector<NeighborProfile>* big_profiles = nullptr;
   std::vector<NodeId> map;     // small node -> big node
   std::vector<bool> used;      // big node already targeted
   std::vector<NodeId> prefix;  // map restricted to nodeseq[0..i), in order
@@ -81,8 +81,27 @@ bool SeqMatcher::EdgeSubsequenceHolds(const Pattern& small, const Pattern& big,
   return true;
 }
 
+SeqMatcher::CachedPattern& SeqMatcher::Lookup(CachedPattern& slot,
+                                              const Pattern& p) {
+  if (slot.valid && slot.pattern == p) return slot;
+  slot.valid = true;
+  slot.has_profiles = false;
+  slot.pattern = p;
+  slot.rep = BuildSequenceRep(p);
+  return slot;
+}
+
+const std::vector<SeqMatcher::NeighborProfile>& SeqMatcher::Profiles(
+    CachedPattern& entry) {
+  if (!entry.has_profiles) {
+    entry.profiles = BuildProfiles(entry.pattern);
+    entry.has_profiles = true;
+  }
+  return entry.profiles;
+}
+
 bool SeqMatcher::Search(SearchContext& ctx, std::size_t i, std::size_t j) {
-  if (i == ctx.small_rep.nodeseq.size()) {
+  if (i == ctx.small_rep->nodeseq.size()) {
     if (EdgeSubsequenceHolds(*ctx.small, *ctx.big, ctx.map)) {
       if (ctx.want_mapping) ctx.found_mapping = ctx.map;
       return true;
@@ -94,18 +113,18 @@ bool SeqMatcher::Search(SearchContext& ctx, std::size_t i, std::size_t j) {
     if (it != ctx.failed.end() && j >= it->second) return false;
   }
 
-  NodeId small_node = ctx.small_rep.nodeseq[i];
+  NodeId small_node = ctx.small_rep->nodeseq[i];
   LabelId want_label = ctx.small->label(small_node);
   const NeighborProfile& small_prof =
-      ctx.small_profiles[static_cast<std::size_t>(small_node)];
+      (*ctx.small_profiles)[static_cast<std::size_t>(small_node)];
 
-  for (std::size_t pos = j; pos < ctx.big_rep.enhseq.size(); ++pos) {
-    NodeId big_node = ctx.big_rep.enhseq[pos];
+  for (std::size_t pos = j; pos < ctx.big_rep->enhseq.size(); ++pos) {
+    NodeId big_node = ctx.big_rep->enhseq[pos];
     if (ctx.big->label(big_node) != want_label) continue;
     if (ctx.used[static_cast<std::size_t>(big_node)]) continue;
     if (ctx.options->local_information_match) {
       const NeighborProfile& big_prof =
-          ctx.big_profiles[static_cast<std::size_t>(big_node)];
+          (*ctx.big_profiles)[static_cast<std::size_t>(big_node)];
       if (small_prof.out.size() > big_prof.out.size()) continue;
       if (small_prof.in.size() > big_prof.in.size()) continue;
       if (!std::includes(big_prof.out.begin(), big_prof.out.end(),
@@ -145,20 +164,23 @@ std::optional<std::vector<NodeId>> SeqMatcher::FindMapping(
   if (small.node_count() > big.node_count()) return std::nullopt;
   if (small.edge_count() == 0) return std::vector<NodeId>{};
 
+  CachedPattern& small_entry = Lookup(small_slot_, small);
+  CachedPattern& big_entry = Lookup(big_slot_, big);
+
   SearchContext ctx;
   ctx.small = &small;
   ctx.big = &big;
   ctx.options = &options_;
-  ctx.small_rep = BuildSequenceRep(small);
-  ctx.big_rep = BuildSequenceRep(big);
+  ctx.small_rep = &small_entry.rep;
+  ctx.big_rep = &big_entry.rep;
 
   if (options_.label_sequence_test &&
-      !LabelSubsequenceTest(small, ctx.small_rep, big, ctx.big_rep)) {
+      !LabelSubsequenceTest(small, small_entry.rep, big, big_entry.rep)) {
     return std::nullopt;
   }
 
-  ctx.small_profiles = BuildProfiles(small);
-  ctx.big_profiles = BuildProfiles(big);
+  ctx.small_profiles = &Profiles(small_entry);
+  ctx.big_profiles = &Profiles(big_entry);
   ctx.map.assign(small.node_count(), kInvalidNode);
   ctx.used.assign(big.node_count(), false);
   ctx.prefix.reserve(small.node_count());

@@ -27,6 +27,19 @@ namespace tgm {
 ///    the same or a later position is pruned. Keying by the exact prefix
 ///    (not just the used-node set) keeps the memo sound when labels
 ///    repeat.
+///
+/// The miner issues these tests in runs that repeat one argument — the
+/// current pattern stays fixed while the registry candidate varies — so the
+/// matcher memoizes the last pattern seen in each argument slot (sequences
+/// plus lazily built neighbour profiles) instead of rebuilding them for
+/// every test. The memo is two entries, so memory stays O(pattern size);
+/// the varying slot still pays one Pattern copy per miss, which is small
+/// next to the sequence/profile rebuild it replaces (patterns own their
+/// lifetime elsewhere, so the memo cannot safely hold references).
+///
+/// NOT thread-safe: the memo makes Contains/FindMapping mutating calls.
+/// Give each thread its own SeqMatcher (the miner's tester runs only on
+/// the DFS thread).
 class SeqMatcher : public TemporalSubgraphTester {
  public:
   struct Options {
@@ -51,12 +64,30 @@ class SeqMatcher : public TemporalSubgraphTester {
 
   struct SearchContext;
 
+  /// One memo slot: the last pattern seen in an argument position with its
+  /// sequence representation and (on demand) neighbour profiles.
+  struct CachedPattern {
+    bool valid = false;
+    bool has_profiles = false;
+    Pattern pattern;
+    SequenceRep rep;
+    std::vector<NeighborProfile> profiles;
+  };
+
+  /// Returns `slot` primed for `p`: reused when the pattern matches the
+  /// cached one, rebuilt otherwise.
+  static CachedPattern& Lookup(CachedPattern& slot, const Pattern& p);
+  /// Builds `entry`'s neighbour profiles on first use.
+  static const std::vector<NeighborProfile>& Profiles(CachedPattern& entry);
+
   bool Search(SearchContext& ctx, std::size_t i, std::size_t j);
   static bool EdgeSubsequenceHolds(const Pattern& small, const Pattern& big,
                                    const std::vector<NodeId>& map);
   static std::vector<NeighborProfile> BuildProfiles(const Pattern& p);
 
   Options options_;
+  CachedPattern small_slot_;
+  CachedPattern big_slot_;
 };
 
 }  // namespace tgm

@@ -1,0 +1,77 @@
+#ifndef TGM_MINING_ARENA_H_
+#define TGM_MINING_ARENA_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tgm {
+
+/// Per-thread free list of std::vector<T> buffers for the miner's DFS inner
+/// loops.
+///
+/// Every DFS level materializes short-lived vectors — the flat extension
+/// stream, one embedding list per (extension key, graph) — and the seed
+/// allocated and freed them at every level of a recursion that visits
+/// millions of patterns. The arena keeps released buffers (cleared, capacity
+/// intact) on a thread-local stack so steady-state levels reuse warmed
+/// buffers instead of calling the allocator.
+///
+/// Thread safety: each thread has its own free list, so Acquire/Release are
+/// lock-free and safe from pool workers. A buffer acquired on one thread may
+/// be released on another (embedding lists produced by the parallel
+/// collection pass are consumed by the DFS thread); ownership simply moves
+/// to the releasing thread's list. Idle memory is bounded both by buffer
+/// count and by retained bytes per (thread, type): releases beyond either
+/// bound fall through to the normal destructor, so a large run's
+/// peak-capacity buffers cannot pin worst-case memory for process lifetime.
+template <typename T>
+class ScratchPool {
+ public:
+  /// Returns an empty vector, reusing a pooled buffer's capacity if any.
+  static std::vector<T> Acquire() {
+    State& state = PoolState();
+    if (state.free_list.empty()) return {};
+    std::vector<T> buffer = std::move(state.free_list.back());
+    state.free_list.pop_back();
+    state.retained_bytes -= buffer.capacity() * sizeof(T);
+    return buffer;
+  }
+
+  /// Stashes `buffer`'s storage for a later Acquire. By-value so the call
+  /// unconditionally consumes the argument: whether the storage is pooled
+  /// or dropped (bounds exceeded — the parameter's destructor frees it),
+  /// the caller's vector is left empty either way.
+  static void Release(std::vector<T> buffer) {
+    if (buffer.capacity() == 0) return;
+    State& state = PoolState();
+    std::size_t bytes = buffer.capacity() * sizeof(T);
+    if (state.free_list.size() >= kMaxPooled ||
+        state.retained_bytes + bytes > kMaxPooledBytes) {
+      return;  // drop: freed on return
+    }
+    buffer.clear();
+    state.retained_bytes += bytes;
+    state.free_list.push_back(std::move(buffer));
+  }
+
+ private:
+  /// Bounds idle memory per thread and type: at most kMaxPooled warmed
+  /// buffers totalling at most kMaxPooledBytes of retained capacity.
+  static constexpr std::size_t kMaxPooled = 256;
+  static constexpr std::size_t kMaxPooledBytes = 16u << 20;  // 16 MiB
+
+  struct State {
+    std::vector<std::vector<T>> free_list;
+    std::size_t retained_bytes = 0;
+  };
+
+  static State& PoolState() {
+    static thread_local State state;
+    return state;
+  }
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_ARENA_H_

@@ -1,0 +1,98 @@
+#ifndef TGM_MINING_KEY_INDEX_H_
+#define TGM_MINING_KEY_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mining/arena.h"
+
+namespace tgm {
+
+/// Sentinel returned by HybridKeyIndex::Find for an absent key.
+inline constexpr std::size_t kKeyIndexNotFound = static_cast<std::size_t>(-1);
+
+/// Hybrid lookup index over the tail [base, end) of a growing array of
+/// keyed items: a plain linear scan while the tail holds only a handful of
+/// distinct keys (the common case deep in the miner's DFS), graduating to a
+/// small open-addressing table — slot -> index relative to `base`, -1
+/// empty, linear probing, rehash at 50% load — once the scan would start to
+/// quadratically hurt. Slot storage is recycled through the ScratchPool.
+///
+/// The index never owns items; `key_at(i)` must return the key of item `i`
+/// in the caller's array. After Find returns kKeyIndexNotFound, the caller
+/// appends the new item at index `end` and reports it with Inserted(end).
+template <typename Hash, typename KeyAt>
+class HybridKeyIndex {
+ public:
+  HybridKeyIndex(std::size_t base, Hash hash, KeyAt key_at)
+      : base_(base), hash_(std::move(hash)), key_at_(std::move(key_at)) {}
+
+  HybridKeyIndex(const HybridKeyIndex&) = delete;
+  HybridKeyIndex& operator=(const HybridKeyIndex&) = delete;
+
+  ~HybridKeyIndex() {
+    if (!slots_.empty()) {
+      ScratchPool<std::int32_t>::Release(std::move(slots_));
+    }
+  }
+
+  /// Index in [base, end) of the item whose key equals `key`, or
+  /// kKeyIndexNotFound. `end` is the caller's current item count.
+  template <typename Key>
+  std::size_t Find(const Key& key, std::size_t end) {
+    if (slots_.empty()) {
+      for (std::size_t i = base_; i < end; ++i) {
+        if (key_at_(i) == key) return i;
+      }
+      if (end - base_ < kLinearItems) return kKeyIndexNotFound;
+      Grow(end);  // graduate, seeding the table with the existing items
+    }
+    for (std::size_t s = hash_(key) & mask_;; s = (s + 1) & mask_) {
+      std::int32_t r = slots_[s];
+      if (r < 0) return kKeyIndexNotFound;
+      std::size_t idx = base_ + static_cast<std::size_t>(r);
+      if (key_at_(idx) == key) return idx;
+    }
+  }
+
+  /// Registers the item the caller just appended at index `idx`.
+  void Inserted(std::size_t idx) {
+    if (slots_.empty()) return;  // still in the linear phase
+    if (2 * (idx + 1 - base_) >= slots_.size()) {
+      Grow(idx + 1);
+      return;
+    }
+    Insert(idx);
+  }
+
+ private:
+  /// Distinct-key count up to which the linear scan wins.
+  static constexpr std::size_t kLinearItems = 8;
+
+  void Insert(std::size_t idx) {
+    std::size_t s = hash_(key_at_(idx)) & mask_;
+    while (slots_[s] >= 0) s = (s + 1) & mask_;
+    slots_[s] = static_cast<std::int32_t>(idx - base_);
+  }
+
+  void Grow(std::size_t end) {
+    std::size_t target = slots_.empty() ? 64 : 2 * slots_.size();
+    while (2 * (end - base_) >= target) target *= 2;
+    if (slots_.empty()) slots_ = ScratchPool<std::int32_t>::Acquire();
+    slots_.assign(target, -1);
+    mask_ = target - 1;
+    for (std::size_t i = base_; i < end; ++i) Insert(i);
+  }
+
+  std::size_t base_;
+  Hash hash_;
+  KeyAt key_at_;
+  std::vector<std::int32_t> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_KEY_INDEX_H_

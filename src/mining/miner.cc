@@ -5,12 +5,13 @@
 #include <limits>
 
 #include "exec/parallel_for.h"
+#include "mining/key_index.h"
 
 namespace tgm {
 
 namespace {
 
-NodeId FindMappedNode(const std::vector<NodeId>& nodes, NodeId data_node) {
+NodeId FindMappedNode(const NodeSeq& nodes, NodeId data_node) {
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (nodes[i] == data_node) return static_cast<NodeId>(i);
   }
@@ -109,16 +110,90 @@ void Miner::DedupeAndCapAll(const std::vector<EmbeddingTable*>& tables) {
   for (std::int64_t h : cap_hits) stats_.embedding_cap_hits += h;
 }
 
-void Miner::CollectGraphExtensions(
-    const GraphEmbeddings& ge, const TemporalGraph& g,
-    std::map<ExtensionKey, std::vector<Embedding>>& out) const {
+void Miner::ReleaseTable(EmbeddingTable& table) {
+  for (GraphEmbeddings& ge : table) {
+    ScratchPool<Embedding>::Release(std::move(ge.embeds));
+  }
+  ScratchPool<GraphEmbeddings>::Release(std::move(table));
+  table.clear();
+}
+
+std::uint64_t Miner::HashKey(const ExtensionKey& k) {
+  auto mix = [](std::uint64_t h, std::int32_t x) {
+    h ^= static_cast<std::uint32_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    return h;
+  };
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  h = mix(h, k.src);
+  h = mix(h, k.dst);
+  h = mix(h, k.src_label);
+  h = mix(h, k.dst_label);
+  return mix(h, k.elabel);
+}
+
+void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
+                                   const TemporalGraph& g,
+                                   std::vector<KeyedEmbeds>& out) const {
   const auto& edges = g.edges();
+  const std::size_t base = out.size();
+
+  // Deep DFS levels see one or two embeddings with short tails, so every
+  // fixed per-call cost here is hot. Strategy selection is driven by the
+  // actual tail work instead of worst-case sizes.
+  std::size_t total_tail = 0;
   for (const Embedding& emb : ge.embeds) {
+    total_tail += edges.size() - static_cast<std::size_t>(emb.last) - 1;
+  }
+  if (total_tail == 0) return;
+
+  // Run lookup: candidates go straight into their run's embedding list, so
+  // nothing is sorted or moved twice, and BuildChildren's key sort erases
+  // the first-encounter order.
+  HybridKeyIndex run_index(
+      base, [](const ExtensionKey& key) { return HashKey(key); },
+      [&out](std::size_t i) -> const ExtensionKey& { return out[i].key; });
+  auto find_run = [&](const ExtensionKey& key) -> std::size_t {
+    std::size_t idx = run_index.Find(key, out.size());
+    if (idx != kKeyIndexNotFound) return idx;
+    idx = out.size();
+    KeyedEmbeds& run = out.emplace_back();
+    run.key = key;
+    run.graph = ge.graph;
+    run.embeds = ScratchPool<Embedding>::Acquire();
+    run_index.Inserted(idx);
+    return idx;
+  };
+
+  // O(1) data-node -> pattern-slot lookup for the tail scan; entries are
+  // set per embedding and unset afterwards, so the full fill happens once
+  // per call. The fill costs node_count stores while the payoff is one
+  // inline-map scan saved per tail edge, so short total tails keep the
+  // scanning fallback.
+  std::vector<NodeId> node_slot;
+  const bool use_node_slot =
+      total_tail * ge.embeds.front().nodes.size() >= 2 * g.node_count();
+  if (use_node_slot) {
+    node_slot = ScratchPool<NodeId>::Acquire();
+    node_slot.assign(g.node_count(), kNewNode);
+  }
+
+  for (const Embedding& emb : ge.embeds) {
+    if (use_node_slot) {
+      for (std::size_t i = 0; i < emb.nodes.size(); ++i) {
+        node_slot[static_cast<std::size_t>(emb.nodes[i])] =
+            static_cast<NodeId>(i);
+      }
+    }
     for (std::size_t p = static_cast<std::size_t>(emb.last) + 1;
          p < edges.size(); ++p) {
       const TemporalEdge& e = edges[p];
-      NodeId u = FindMappedNode(emb.nodes, e.src);
-      NodeId v = FindMappedNode(emb.nodes, e.dst);
+      NodeId u = use_node_slot
+                     ? node_slot[static_cast<std::size_t>(e.src)]
+                     : FindMappedNode(emb.nodes, e.src);
+      NodeId v = use_node_slot
+                     ? node_slot[static_cast<std::size_t>(e.dst)]
+                     : FindMappedNode(emb.nodes, e.dst);
       if (u == kNewNode && v == kNewNode) continue;  // not T-connected
       ExtensionKey key;
       key.src = u;
@@ -126,54 +201,99 @@ void Miner::CollectGraphExtensions(
       key.src_label = g.label(e.src);
       key.dst_label = g.label(e.dst);
       key.elabel = e.elabel;
-      Embedding child;
+      Embedding& child = out[find_run(key)].embeds.emplace_back();
       child.nodes = emb.nodes;
       if (u == kNewNode) child.nodes.push_back(e.src);
       if (v == kNewNode) child.nodes.push_back(e.dst);
       child.last = static_cast<EdgePos>(p);
-      out[key].push_back(std::move(child));
+    }
+    if (use_node_slot) {
+      for (std::size_t i = 0; i < emb.nodes.size(); ++i) {
+        node_slot[static_cast<std::size_t>(emb.nodes[i])] = kNewNode;
+      }
     }
   }
+  if (use_node_slot) ScratchPool<NodeId>::Release(std::move(node_slot));
 }
 
 void Miner::CollectExtensions(const EmbeddingTable& table,
                               const std::vector<const TemporalGraph*>& graphs,
                               bool positive_side,
-                              std::map<ExtensionKey, ChildBuckets>& out)
-    const {
+                              std::vector<KeyedEmbeds>& out) const {
+  std::size_t first = out.size();
   if (pool_ != nullptr && table.size() > 1 &&
       static_cast<std::int64_t>(CountEmbeddings(table)) >=
           config_.parallel_min_embeddings) {
     // Each graph's contribution is computed independently in parallel and
-    // merged in ascending graph order — the exact order the serial loop
+    // appended in ascending graph order — the exact order the serial loop
     // visits graphs — so `out` is identical for every thread count.
-    std::vector<std::map<ExtensionKey, std::vector<Embedding>>> per_graph(
-        table.size());
+    std::vector<std::vector<KeyedEmbeds>> per_graph(table.size());
     ParallelFor(pool_.get(), table.size(), [&](std::size_t i) {
       const GraphEmbeddings& ge = table[i];
       CollectGraphExtensions(ge, *graphs[static_cast<std::size_t>(ge.graph)],
                              per_graph[i]);
     });
-    for (std::size_t i = 0; i < table.size(); ++i) {
-      for (auto& [key, embeds] : per_graph[i]) {
-        ChildBuckets& bucket = out[key];
-        EmbeddingTable& side = positive_side ? bucket.pos : bucket.neg;
-        side.push_back(GraphEmbeddings{table[i].graph, std::move(embeds)});
-      }
+    for (std::vector<KeyedEmbeds>& runs : per_graph) {
+      for (KeyedEmbeds& run : runs) out.push_back(std::move(run));
     }
-    return;
-  }
-  // Serial path: build the buckets directly, graph by graph.
-  for (const GraphEmbeddings& ge : table) {
-    std::map<ExtensionKey, std::vector<Embedding>> local;
-    CollectGraphExtensions(ge, *graphs[static_cast<std::size_t>(ge.graph)],
-                           local);
-    for (auto& [key, embeds] : local) {
-      ChildBuckets& bucket = out[key];
-      EmbeddingTable& side = positive_side ? bucket.pos : bucket.neg;
-      side.push_back(GraphEmbeddings{ge.graph, std::move(embeds)});
+  } else {
+    for (const GraphEmbeddings& ge : table) {
+      CollectGraphExtensions(ge, *graphs[static_cast<std::size_t>(ge.graph)],
+                             out);
     }
   }
+  for (std::size_t i = first; i < out.size(); ++i) {
+    out[i].positive = positive_side;
+  }
+}
+
+std::vector<Miner::ChildWork> Miner::BuildChildren(
+    std::vector<KeyedEmbeds>& runs) const {
+  // Merge the runs into per-key buckets through a second open-addressing
+  // key -> child view. The runs arrive positive side first, graphs
+  // ascending within each side (CollectExtensions appends them that way for
+  // every thread count), so appending each run to its child in arrival
+  // order reproduces the exact per-key bucket layout the seed built by
+  // inserting into a std::map — without comparison-sorting the whole run
+  // list. Only the small distinct-key children list is sorted, which also
+  // erases the hash-driven first-encounter order.
+  std::vector<ChildWork> children;
+  HybridKeyIndex child_index(
+      0, [](const ExtensionKey& key) { return HashKey(key); },
+      [&children](std::size_t i) -> const ExtensionKey& {
+        return children[i].key;
+      });
+  for (KeyedEmbeds& run : runs) {
+    std::size_t idx = child_index.Find(run.key, children.size());
+    if (idx == kKeyIndexNotFound) {
+      idx = children.size();
+      children.emplace_back().key = run.key;
+      child_index.Inserted(idx);
+    }
+    ChildWork& child = children[idx];
+    EmbeddingTable& side = run.positive ? child.buckets.pos
+                                        : child.buckets.neg;
+    if (side.capacity() == 0) side = ScratchPool<GraphEmbeddings>::Acquire();
+    side.push_back(GraphEmbeddings{run.graph, std::move(run.embeds)});
+  }
+  std::sort(children.begin(), children.end(),
+            [](const ChildWork& a, const ChildWork& b) {
+              return a.key < b.key;
+            });
+  for (ChildWork& work : children) {
+    double fp = static_cast<double>(work.buckets.pos.size()) /
+                static_cast<double>(pos_graphs_.size());
+    double fn = static_cast<double>(work.buckets.neg.size()) /
+                static_cast<double>(neg_graphs_.size());
+    work.score = score_(fp, fn);
+  }
+  if (config_.order_children_by_score) {
+    std::stable_sort(children.begin(), children.end(),
+                     [](const ChildWork& a, const ChildWork& b) {
+                       return a.score > b.score;
+                     });
+  }
+  return children;
 }
 
 ResidualSet Miner::BuildResidual(
@@ -234,15 +354,17 @@ bool Miner::TrySubgraphPrune(const Pattern& pattern,
   bool pruned = false;
   registry_.ForEachPosCandidate(
       pos_res.i_value(), pos_res.cuts(), &stats_.residual_equiv_tests,
-      [&](const RegisteredPattern& g1) {
+      [&](const PatternRegistry::CandidateMeta& meta,
+          const RegisteredPattern& g1) {
         // Optional eager gate: only a reference branch that never reached
         // the current best score can justify pruning (Lemma 4), so a
         // practical implementation may skip the tests outright.
         if (config_.check_reference_score_first &&
-            g1.branch_best >= best_score_) {
+            meta.branch_best >= best_score_) {
           return true;
         }
-        if (static_cast<std::int32_t>(pattern.edge_count()) > g1.edge_count) {
+        if (static_cast<std::int32_t>(pattern.edge_count()) >
+            meta.edge_count) {
           return true;
         }
         ++stats_.subgraph_tests;
@@ -250,22 +372,23 @@ bool Miner::TrySubgraphPrune(const Pattern& pattern,
         if (!mapping.has_value()) return true;
         // Condition (3): labels of g1 nodes that no node of the current
         // pattern maps to must not occur in the current pattern's positive
-        // residual node label set.
-        std::vector<bool> mapped(static_cast<std::size_t>(g1.node_count),
-                                 false);
+        // residual node label set. The mark buffer is a member so this
+        // per-candidate check does not allocate.
+        std::vector<char>& mapped = mapped_scratch_;
+        mapped.assign(static_cast<std::size_t>(meta.node_count), 0);
         for (NodeId target : *mapping) {
-          mapped[static_cast<std::size_t>(target)] = true;
+          mapped[static_cast<std::size_t>(target)] = 1;
         }
         for (std::size_t v = 0; v < mapped.size(); ++v) {
-          if (mapped[v]) continue;
+          if (mapped[v] != 0) continue;
           LabelId l = g1.pattern.label(static_cast<NodeId>(v));
           if (pos_res.ResidualLabelSetContains(l, pos_graphs_)) return true;
         }
         // The prune itself is gated on the reference branch's best score
         // (checked last in the paper's order).
-        if (g1.branch_best >= best_score_) return true;
+        if (meta.branch_best >= best_score_) return true;
         pruned = true;
-        *inherited_bound = g1.branch_best;
+        *inherited_bound = meta.branch_best;
         return false;
       });
   return pruned;
@@ -278,36 +401,58 @@ bool Miner::TrySupergraphPrune(const Pattern& pattern,
   bool pruned = false;
   registry_.ForEachPosCandidate(
       pos_res.i_value(), pos_res.cuts(), &stats_.residual_equiv_tests,
-      [&](const RegisteredPattern& g1) {
+      [&](const PatternRegistry::CandidateMeta& meta,
+          const RegisteredPattern& g1) {
         if (config_.check_reference_score_first &&
-            g1.branch_best >= best_score_) {
+            meta.branch_best >= best_score_) {
           return true;
         }
-        if (g1.node_count != static_cast<std::int32_t>(pattern.node_count())) {
+        if (meta.node_count !=
+            static_cast<std::int32_t>(pattern.node_count())) {
           return true;
         }
-        if (g1.edge_count > static_cast<std::int32_t>(pattern.edge_count())) {
+        if (meta.edge_count >
+            static_cast<std::int32_t>(pattern.edge_count())) {
           return true;
         }
         // Negative residual sets must match as well.
         ++stats_.residual_equiv_tests;
         if (registry_.algo() == ResidualEquivAlgo::kIValue) {
-          if (g1.neg_i_value != neg_res.i_value()) return true;
+          if (meta.neg_i_value != neg_res.i_value()) return true;
         } else {
           if (g1.neg_cuts != neg_res.cuts()) return true;
         }
         ++stats_.subgraph_tests;
         if (!tester_->Contains(g1.pattern, pattern)) return true;
-        if (g1.branch_best >= best_score_) return true;
+        if (meta.branch_best >= best_score_) return true;
         pruned = true;
-        *inherited_bound = g1.branch_best;
+        *inherited_bound = meta.branch_best;
         return false;
       });
   return pruned;
 }
 
-double Miner::Dfs(const Pattern& pattern, EmbeddingTable pos_table,
-                  EmbeddingTable neg_table) {
+void Miner::RegisterEntry(const Pattern& pattern, const ResidualSet& pos_res,
+                          const ResidualSet& neg_res, double branch_best) {
+  RegisteredPattern entry;
+  entry.pattern = pattern;
+  entry.pos_i_value = pos_res.i_value();
+  entry.neg_i_value = neg_res.i_value();
+  entry.node_count = static_cast<std::int32_t>(pattern.node_count());
+  entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
+  entry.branch_best = branch_best;
+  // The cut lists are only consulted (and kept) by the kLinearScan
+  // ablation; the I-value path compares the integer compression, so the
+  // copies would be made and immediately discarded.
+  if (registry_.algo() == ResidualEquivAlgo::kLinearScan) {
+    entry.pos_cuts = pos_res.cuts();
+    entry.neg_cuts = neg_res.cuts();
+  }
+  registry_.Add(std::move(entry));
+}
+
+double Miner::Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
+                  EmbeddingTable& neg_table) {
   ++stats_.patterns_visited;
 
   std::int64_t support_pos = static_cast<std::int64_t>(pos_table.size());
@@ -352,71 +497,27 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable pos_table,
   if (config_.use_subgraph_pruning &&
       TrySubgraphPrune(pattern, pos_res, &inherited)) {
     ++stats_.subgraph_prune_triggers;
-    RegisteredPattern entry;
-    entry.pattern = pattern;
-    entry.pos_i_value = pos_res.i_value();
-    entry.neg_i_value = neg_res.i_value();
-    entry.node_count = static_cast<std::int32_t>(pattern.node_count());
-    entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
-    entry.branch_best = inherited;  // bound from the mirrored branch
-    entry.pos_cuts = pos_res.cuts();
-    entry.neg_cuts = neg_res.cuts();
-    registry_.Add(std::move(entry));
+    RegisterEntry(pattern, pos_res, neg_res, inherited);
     return std::max(own_score, inherited);
   }
   if (config_.use_supergraph_pruning &&
       TrySupergraphPrune(pattern, pos_res, neg_res, &inherited)) {
     ++stats_.supergraph_prune_triggers;
-    RegisteredPattern entry;
-    entry.pattern = pattern;
-    entry.pos_i_value = pos_res.i_value();
-    entry.neg_i_value = neg_res.i_value();
-    entry.node_count = static_cast<std::int32_t>(pattern.node_count());
-    entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
-    entry.branch_best = inherited;
-    entry.pos_cuts = pos_res.cuts();
-    entry.neg_cuts = neg_res.cuts();
-    registry_.Add(std::move(entry));
+    RegisterEntry(pattern, pos_res, neg_res, inherited);
     return std::max(own_score, inherited);
   }
 
   ++stats_.patterns_expanded;
-  std::map<ExtensionKey, ChildBuckets> extensions;
-  CollectExtensions(pos_table, pos_graphs_, /*positive_side=*/true,
-                    extensions);
-  CollectExtensions(neg_table, neg_graphs_, /*positive_side=*/false,
-                    extensions);
-  // Release the parent's tables before recursing.
-  pos_table.clear();
-  pos_table.shrink_to_fit();
-  neg_table.clear();
-  neg_table.shrink_to_fit();
+  std::vector<KeyedEmbeds> runs = ScratchPool<KeyedEmbeds>::Acquire();
+  CollectExtensions(pos_table, pos_graphs_, /*positive_side=*/true, runs);
+  CollectExtensions(neg_table, neg_graphs_, /*positive_side=*/false, runs);
+  // The parent's embeddings have been copied into the child streams;
+  // recycle the buffers for the levels below.
+  ReleaseTable(pos_table);
+  ReleaseTable(neg_table);
 
-  struct ChildWork {
-    ExtensionKey key;
-    ChildBuckets buckets;
-    double score = 0.0;
-  };
-  std::vector<ChildWork> children;
-  children.reserve(extensions.size());
-  for (auto& [key, buckets] : extensions) {
-    ChildWork work;
-    work.key = key;
-    double cfp = static_cast<double>(buckets.pos.size()) /
-                 static_cast<double>(pos_graphs_.size());
-    double cfn = static_cast<double>(buckets.neg.size()) /
-                 static_cast<double>(neg_graphs_.size());
-    work.score = score_(cfp, cfn);
-    work.buckets = std::move(buckets);
-    children.push_back(std::move(work));
-  }
-  extensions.clear();
-  if (config_.order_children_by_score) {
-    std::stable_sort(children.begin(), children.end(),
-                     [](const ChildWork& a, const ChildWork& b) {
-                       return a.score > b.score;
-                     });
-  }
+  std::vector<ChildWork> children = BuildChildren(runs);
+  ScratchPool<KeyedEmbeds>::Release(std::move(runs));
 
   // With a pool, per-graph embedding evaluation for every child happens up
   // front, in parallel across (child, graph) units; the recursion below
@@ -443,22 +544,16 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable pos_table,
       stats_.embedding_cap_hits += DedupeAndCap(child.buckets.pos);
       stats_.embedding_cap_hits += DedupeAndCap(child.buckets.neg);
     }
-    double sub = Dfs(grown, std::move(child.buckets.pos),
-                     std::move(child.buckets.neg));
+    double sub = Dfs(grown, child.buckets.pos, child.buckets.neg);
+    // Paths that return before expanding leave their tables populated;
+    // recycle them here so every level reuses warmed buffers.
+    ReleaseTable(child.buckets.pos);
+    ReleaseTable(child.buckets.neg);
     branch_best = std::max(branch_best, sub);
     if (BudgetExhausted()) break;
   }
 
-  RegisteredPattern entry;
-  entry.pattern = pattern;
-  entry.pos_i_value = pos_res.i_value();
-  entry.neg_i_value = neg_res.i_value();
-  entry.node_count = static_cast<std::int32_t>(pattern.node_count());
-  entry.edge_count = static_cast<std::int32_t>(pattern.edge_count());
-  entry.branch_best = branch_best;
-  entry.pos_cuts = pos_res.cuts();
-  entry.neg_cuts = neg_res.cuts();
-  registry_.Add(std::move(entry));
+  RegisterEntry(pattern, pos_res, neg_res, branch_best);
   return branch_best;
 }
 
@@ -486,60 +581,59 @@ MineResult Miner::Mine() {
   start_time_ = std::chrono::steady_clock::now();
   auto start = start_time_;
 
-  // Root level: bucket every data edge into a one-edge pattern. Both
-  // endpoints are new, so the extension-key machinery is special-cased.
-  using RootKey = std::tuple<LabelId, LabelId, LabelId>;
-  std::map<RootKey, ChildBuckets> roots;
+  // Root level: bucket every data edge into a one-edge pattern. A root is
+  // an extension whose endpoints are both new, so root buckets flow through
+  // the same flat sort-then-group machinery as DFS extensions; ExtensionKey
+  // order with src == dst == kNewNode degenerates to the (src label, dst
+  // label, edge label) tuple order the seed's root map used.
+  std::vector<KeyedEmbeds> runs = ScratchPool<KeyedEmbeds>::Acquire();
   auto scan_side = [&](const std::vector<const TemporalGraph*>& graphs,
                        bool positive) {
     for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
       const TemporalGraph& g = *graphs[gi];
       const auto& edges = g.edges();
+      std::vector<FlatExtension> flat = ScratchPool<FlatExtension>::Acquire();
       for (std::size_t p = 0; p < edges.size(); ++p) {
         const TemporalEdge& e = edges[p];
         TGM_CHECK(e.src != e.dst);  // self-loops unsupported by the miner
-        RootKey key{g.label(e.src), g.label(e.dst), e.elabel};
-        ChildBuckets& bucket = roots[key];
-        EmbeddingTable& side = positive ? bucket.pos : bucket.neg;
-        if (side.empty() ||
-            side.back().graph != static_cast<std::int32_t>(gi)) {
-          side.push_back(GraphEmbeddings{static_cast<std::int32_t>(gi), {}});
-        }
-        Embedding emb;
-        emb.nodes = {e.src, e.dst};
-        emb.last = static_cast<EdgePos>(p);
-        side.back().embeds.push_back(std::move(emb));
+        FlatExtension& ext = flat.emplace_back();
+        ext.key.src = kNewNode;
+        ext.key.dst = kNewNode;
+        ext.key.src_label = g.label(e.src);
+        ext.key.dst_label = g.label(e.dst);
+        ext.key.elabel = e.elabel;
+        ext.seq = static_cast<std::int32_t>(flat.size() - 1);
+        ext.emb.nodes = {e.src, e.dst};
+        ext.emb.last = static_cast<EdgePos>(p);
       }
+      std::sort(flat.begin(), flat.end(),
+                [](const FlatExtension& a, const FlatExtension& b) {
+                  if (a.key != b.key) return a.key < b.key;
+                  return a.seq < b.seq;
+                });
+      std::size_t i = 0;
+      while (i < flat.size()) {
+        KeyedEmbeds run;
+        run.key = flat[i].key;
+        run.graph = static_cast<std::int32_t>(gi);
+        run.positive = positive;
+        run.embeds = ScratchPool<Embedding>::Acquire();
+        std::size_t j = i;
+        while (j < flat.size() && flat[j].key == run.key) {
+          run.embeds.push_back(std::move(flat[j].emb));
+          ++j;
+        }
+        runs.push_back(std::move(run));
+        i = j;
+      }
+      ScratchPool<FlatExtension>::Release(std::move(flat));
     }
   };
   scan_side(pos_graphs_, true);
   scan_side(neg_graphs_, false);
 
-  struct RootWork {
-    RootKey key;
-    ChildBuckets buckets;
-    double score = 0.0;
-  };
-  std::vector<RootWork> work;
-  work.reserve(roots.size());
-  for (auto& [key, buckets] : roots) {
-    RootWork w;
-    w.key = key;
-    double fp = static_cast<double>(buckets.pos.size()) /
-                static_cast<double>(pos_graphs_.size());
-    double fn = static_cast<double>(buckets.neg.size()) /
-                static_cast<double>(neg_graphs_.size());
-    w.score = score_(fp, fn);
-    w.buckets = std::move(buckets);
-    work.push_back(std::move(w));
-  }
-  roots.clear();
-  if (config_.order_children_by_score) {
-    std::stable_sort(work.begin(), work.end(),
-                     [](const RootWork& a, const RootWork& b) {
-                       return a.score > b.score;
-                     });
-  }
+  std::vector<ChildWork> work = BuildChildren(runs);
+  ScratchPool<KeyedEmbeds>::Release(std::move(runs));
 
   // With a pool, root-bucket preparation is data-parallel across
   // (root, graph) units; the DFS dispatch below stays sequential so every
@@ -549,21 +643,23 @@ MineResult Miner::Mine() {
   if (prededuped) {
     std::vector<EmbeddingTable*> root_tables;
     root_tables.reserve(work.size() * 2);
-    for (RootWork& w : work) {
+    for (ChildWork& w : work) {
       root_tables.push_back(&w.buckets.pos);
       root_tables.push_back(&w.buckets.neg);
     }
     DedupeAndCapAll(root_tables);
   }
 
-  for (RootWork& w : work) {
-    Pattern root = Pattern::SingleEdge(std::get<0>(w.key), std::get<1>(w.key),
-                                       std::get<2>(w.key));
+  for (ChildWork& w : work) {
+    Pattern root = Pattern::SingleEdge(w.key.src_label, w.key.dst_label,
+                                       w.key.elabel);
     if (!prededuped) {
       stats_.embedding_cap_hits += DedupeAndCap(w.buckets.pos);
       stats_.embedding_cap_hits += DedupeAndCap(w.buckets.neg);
     }
-    Dfs(root, std::move(w.buckets.pos), std::move(w.buckets.neg));
+    Dfs(root, w.buckets.pos, w.buckets.neg);
+    ReleaseTable(w.buckets.pos);
+    ReleaseTable(w.buckets.neg);
     if (BudgetExhausted()) break;
   }
 

@@ -2,13 +2,14 @@
 #define TGM_MINING_MINER_H_
 
 #include <chrono>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "exec/thread_pool.h"
 #include "matching/matcher.h"
+#include "mining/arena.h"
 #include "mining/miner_config.h"
+#include "mining/node_seq.h"
 #include "mining/registry.h"
 #include "mining/result.h"
 #include "temporal/pattern.h"
@@ -20,10 +21,12 @@ namespace tgm {
 /// One match of the current pattern inside a data graph, reduced to what
 /// growth needs: the node map and the position of the last matched edge.
 /// Matches that agree on both behave identically for every future growth
-/// step and for residual computation, so they are deduplicated.
+/// step and for residual computation, so they are deduplicated. The node
+/// map lives inline (NodeSeq), so embeddings are flat objects the dedupe
+/// sort can compare without chasing pointers.
 struct Embedding {
-  std::vector<NodeId> nodes;  // pattern node -> data node
-  EdgePos last = -1;          // position of the matched max-timestamp edge
+  NodeSeq nodes;      // pattern node -> data node
+  EdgePos last = -1;  // position of the matched max-timestamp edge
 
   friend bool operator==(const Embedding&, const Embedding&) = default;
   friend auto operator<=>(const Embedding& a, const Embedding& b) {
@@ -103,25 +106,77 @@ class Miner {
     EmbeddingTable pos;
     EmbeddingTable neg;
   };
+  /// One candidate child embedding tagged with its extension key — an entry
+  /// of the flat per-graph extension stream that sort-then-group turns into
+  /// buckets (the seed used a std::map per graph here).
+  struct FlatExtension {
+    ExtensionKey key;
+    Embedding emb;
+    /// Position in the generation order; sorting by (key, seq) reproduces a
+    /// stable sort without its per-call temporary buffer.
+    std::int32_t seq = 0;
+  };
+  /// One (extension key, side, graph) run of child embeddings.
+  /// BuildChildren groups the run list into per-key ChildBuckets laid out
+  /// exactly as the seed's std::map produced them, keeping ranked results
+  /// bit-identical.
+  struct KeyedEmbeds {
+    ExtensionKey key;
+    std::int32_t graph = 0;
+    bool positive = true;
+    std::vector<Embedding> embeds;
+  };
+  /// One child (or root) pattern's extension key, support buckets, and
+  /// one-step score, ready for the DFS dispatch loop.
+  struct ChildWork {
+    ExtensionKey key;
+    ChildBuckets buckets;
+    double score = 0.0;
+  };
+
+  /// Merges key-sorted runs into per-key ChildWork items (scored, and
+  /// score-ordered when config_.order_children_by_score). Consumes `runs`.
+  std::vector<ChildWork> BuildChildren(std::vector<KeyedEmbeds>& runs) const;
+
+  /// Mixes an extension key into the hash used by CollectGraphExtensions'
+  /// open-addressing run table.
+  static std::uint64_t HashKey(const ExtensionKey& key);
 
   /// Returns the best score seen in the subtree rooted at `pattern`.
-  double Dfs(const Pattern& pattern, EmbeddingTable pos_table,
-             EmbeddingTable neg_table);
+  /// Consumes both tables: embeddings are moved into child buckets and the
+  /// spent buffers are recycled through the scratch arena.
+  double Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
+             EmbeddingTable& neg_table);
 
   /// True if a visit/time budget has been exhausted (sets stats flags).
   bool BudgetExhausted();
 
+  /// Appends one side's key-grouped extension runs to `out`, graphs in
+  /// ascending order. Run order within a graph is first-encounter (hash
+  /// probe) order, NOT key order — consumers must group through
+  /// BuildChildren, whose key sort establishes the deterministic order.
   void CollectExtensions(const EmbeddingTable& table,
                          const std::vector<const TemporalGraph*>& graphs,
                          bool positive_side,
-                         std::map<ExtensionKey, ChildBuckets>& out) const;
+                         std::vector<KeyedEmbeds>& out) const;
 
-  /// One data graph's contribution to CollectExtensions: embeddings per
-  /// extension key, in the serial visit order. Pure; safe to run for
+  /// One data graph's contribution to CollectExtensions: one run per
+  /// distinct extension key, runs in first-encounter order, embeddings
+  /// within a run in the serial visit order. Pure; safe to run for
   /// different graphs concurrently.
-  void CollectGraphExtensions(
-      const GraphEmbeddings& ge, const TemporalGraph& g,
-      std::map<ExtensionKey, std::vector<Embedding>>& out) const;
+  void CollectGraphExtensions(const GraphEmbeddings& ge,
+                              const TemporalGraph& g,
+                              std::vector<KeyedEmbeds>& out) const;
+
+  /// Records `pattern` in the registry; materializes the residual cut lists
+  /// only when the registry's equivalence algorithm actually stores them
+  /// (the kLinearScan ablation), instead of copying them unconditionally.
+  void RegisterEntry(const Pattern& pattern, const ResidualSet& pos_res,
+                     const ResidualSet& neg_res, double branch_best);
+
+  /// Returns every embedding buffer in `table` to the scratch arena and
+  /// empties the table.
+  static void ReleaseTable(EmbeddingTable& table);
 
   /// Dedupes (and caps) every per-graph embedding list in `tables`, using
   /// the pool when available: one parallel unit per (table, graph) entry.
@@ -154,6 +209,8 @@ class Miner {
   MinerConfig config_;
   std::vector<const TemporalGraph*> pos_graphs_;
   std::vector<const TemporalGraph*> neg_graphs_;
+  /// Reused mark buffer for TrySubgraphPrune's condition-(3) check.
+  std::vector<char> mapped_scratch_;
 
   DiscriminativeScore score_;
   /// Worker pool for the data-parallel inner loops; null when the

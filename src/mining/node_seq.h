@@ -1,0 +1,151 @@
+#ifndef TGM_MINING_NODE_SEQ_H_
+#define TGM_MINING_NODE_SEQ_H_
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+
+#include "temporal/common.h"
+
+namespace tgm {
+
+/// Node-map sequence of an embedding (pattern node -> data node, in pattern
+/// node order) with inline storage.
+///
+/// The miner materializes one of these per embedding per DFS level, and the
+/// dedupe pass compares them pairwise; with std::vector that is one heap
+/// allocation and one pointer chase per embedding. Patterns have at most
+/// max_edges + 1 nodes and max_edges is small (<= 12 across the paper's
+/// workloads and this repo's tests), so the sequence lives inline in the
+/// embedding — copies are memcpys and comparisons stay cache-resident. The
+/// rare longer sequence spills to the heap with the usual doubling growth.
+class NodeSeq {
+ public:
+  NodeSeq() = default;
+
+  NodeSeq(std::initializer_list<NodeId> init) {
+    for (NodeId v : init) push_back(v);
+  }
+
+  NodeSeq(const NodeSeq& other) { CopyFrom(other); }
+
+  NodeSeq(NodeSeq&& other) noexcept { MoveFrom(other); }
+
+  NodeSeq& operator=(const NodeSeq& other) {
+    if (this != &other) {
+      FreeHeap();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  NodeSeq& operator=(NodeSeq&& other) noexcept {
+    if (this != &other) {
+      FreeHeap();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  NodeSeq& operator=(std::initializer_list<NodeId> init) {
+    clear();
+    for (NodeId v : init) push_back(v);
+    return *this;
+  }
+
+  ~NodeSeq() { FreeHeap(); }
+
+  void push_back(NodeId v) {
+    std::int32_t cap = heap_cap_ == 0 ? kInlineCapacity : heap_cap_;
+    if (size_ == cap) Grow();
+    data()[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  std::size_t size() const { return static_cast<std::size_t>(size_); }
+  bool empty() const { return size_ == 0; }
+
+  NodeId operator[](std::size_t i) const {
+    TGM_DCHECK(i < size());
+    return data()[i];
+  }
+  NodeId& operator[](std::size_t i) {
+    TGM_DCHECK(i < size());
+    return data()[i];
+  }
+
+  const NodeId* data() const { return heap_cap_ == 0 ? inline_ : heap_; }
+  NodeId* data() { return heap_cap_ == 0 ? inline_ : heap_; }
+
+  const NodeId* begin() const { return data(); }
+  const NodeId* end() const { return data() + size_; }
+
+  friend bool operator==(const NodeSeq& a, const NodeSeq& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  /// Lexicographic, matching std::vector<NodeId> ordering so the dedupe
+  /// sort order (and thus every downstream ranked result) is unchanged.
+  friend std::strong_ordering operator<=>(const NodeSeq& a, const NodeSeq& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(),
+                                                  b.begin(), b.end());
+  }
+
+ private:
+  static constexpr std::int32_t kInlineCapacity = 14;
+
+  void CopyFrom(const NodeSeq& other) {
+    size_ = other.size_;
+    if (other.size_ <= kInlineCapacity) {
+      heap_cap_ = 0;
+      std::copy(other.begin(), other.end(), inline_);
+    } else {
+      heap_cap_ = other.size_;
+      heap_ = new NodeId[static_cast<std::size_t>(heap_cap_)];
+      std::copy(other.begin(), other.end(), heap_);
+    }
+  }
+
+  void MoveFrom(NodeSeq& other) noexcept {
+    size_ = other.size_;
+    heap_cap_ = other.heap_cap_;
+    if (heap_cap_ == 0) {
+      std::copy(other.inline_, other.inline_ + other.size_, inline_);
+    } else {
+      heap_ = other.heap_;
+      other.heap_cap_ = 0;
+    }
+    other.size_ = 0;
+  }
+
+  void FreeHeap() {
+    if (heap_cap_ != 0) {
+      delete[] heap_;
+      heap_cap_ = 0;
+    }
+  }
+
+  void Grow() {
+    std::int32_t new_cap =
+        heap_cap_ == 0 ? 2 * kInlineCapacity : 2 * heap_cap_;
+    NodeId* grown = new NodeId[static_cast<std::size_t>(new_cap)];
+    std::copy(begin(), end(), grown);
+    FreeHeap();
+    heap_ = grown;
+    heap_cap_ = new_cap;
+  }
+
+  std::int32_t size_ = 0;
+  /// 0 while the elements live in `inline_`; otherwise the heap capacity.
+  std::int32_t heap_cap_ = 0;
+  union {
+    NodeId inline_[kInlineCapacity];
+    NodeId* heap_;
+  };
+};
+
+}  // namespace tgm
+
+#endif  // TGM_MINING_NODE_SEQ_H_

@@ -12,31 +12,11 @@ void PatternRegistry::Add(RegisteredPattern entry) {
   }
   std::size_t idx = entries_.size();
   std::int64_t key = entry.pos_i_value;
+  meta_.push_back(CandidateMeta{entry.branch_best, entry.neg_i_value,
+                                entry.node_count, entry.edge_count});
   entries_.push_back(std::move(entry));
   if (algo_ == ResidualEquivAlgo::kIValue) {
     by_pos_i_[key].push_back(idx);
-  }
-}
-
-void PatternRegistry::ForEachPosCandidate(
-    std::int64_t pos_i_value,
-    const std::vector<std::pair<std::int32_t, EdgePos>>& pos_cuts,
-    std::int64_t* equiv_tests,
-    const std::function<bool(const RegisteredPattern&)>& fn) const {
-  if (algo_ == ResidualEquivAlgo::kIValue) {
-    auto it = by_pos_i_.find(pos_i_value);
-    if (it == by_pos_i_.end()) return;
-    for (std::size_t idx : it->second) {
-      ++*equiv_tests;  // one O(1) integer comparison per candidate
-      if (!fn(entries_[idx])) return;
-    }
-    return;
-  }
-  // LinearScan: walk everything, compare materialized cut lists.
-  for (const RegisteredPattern& entry : entries_) {
-    ++*equiv_tests;
-    if (entry.pos_cuts != pos_cuts) continue;
-    if (!fn(entry)) return;
   }
 }
 

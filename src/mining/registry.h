@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -39,20 +38,56 @@ struct RegisteredPattern {
 /// residual-set equivalence check is a constant-time integer comparison
 /// (Lemma 6). Under kLinearScan every lookup walks all entries and each
 /// equivalence check compares the materialized cut lists element-wise.
+///
+/// The miner's pruning passes gate millions of candidates on a few scalar
+/// fields before doing any real work, so those fields are mirrored in a
+/// flat array parallel to the entry store; the gate scan stays
+/// cache-resident and the full entry (pattern, cut lists) is only touched
+/// for candidates that survive.
 class PatternRegistry {
  public:
+  /// The gate fields of one registered pattern, stored contiguously.
+  struct CandidateMeta {
+    double branch_best = 0.0;
+    std::int64_t neg_i_value = 0;
+    std::int32_t node_count = 0;
+    std::int32_t edge_count = 0;
+  };
+
   explicit PatternRegistry(ResidualEquivAlgo algo) : algo_(algo) {}
 
   void Add(RegisteredPattern entry);
 
-  /// Invokes `fn(entry)` for every candidate whose positive residual set
-  /// *may* equal one with I-value `pos_i_value`; `fn` returns false to stop
-  /// early. `equiv_tests` is incremented once per candidate comparison.
+  /// Invokes `fn(meta, entry)` for every candidate whose positive residual
+  /// set *may* equal one with I-value `pos_i_value`; `fn` returns false to
+  /// stop early. `equiv_tests` is incremented once per candidate
+  /// comparison. Callbacks should gate on `meta` (flat, hot) and touch
+  /// `entry` only past the gates.
+  ///
+  /// Statically dispatched: this runs once per visited pattern with a
+  /// capturing lambda, and a std::function callback would heap-allocate and
+  /// indirect-call in that loop.
+  template <typename Fn>
   void ForEachPosCandidate(
       std::int64_t pos_i_value,
       const std::vector<std::pair<std::int32_t, EdgePos>>& pos_cuts,
-      std::int64_t* equiv_tests,
-      const std::function<bool(const RegisteredPattern&)>& fn) const;
+      std::int64_t* equiv_tests, Fn&& fn) const {
+    if (algo_ == ResidualEquivAlgo::kIValue) {
+      auto it = by_pos_i_.find(pos_i_value);
+      if (it == by_pos_i_.end()) return;
+      for (std::size_t idx : it->second) {
+        ++*equiv_tests;  // one O(1) integer comparison per candidate
+        if (!fn(meta_[idx], entries_[idx])) return;
+      }
+      return;
+    }
+    // LinearScan: walk everything, compare materialized cut lists.
+    for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+      ++*equiv_tests;
+      if (entries_[idx].pos_cuts != pos_cuts) continue;
+      if (!fn(meta_[idx], entries_[idx])) return;
+    }
+  }
 
   std::size_t size() const { return entries_.size(); }
   ResidualEquivAlgo algo() const { return algo_; }
@@ -60,6 +95,8 @@ class PatternRegistry {
  private:
   ResidualEquivAlgo algo_;
   std::deque<RegisteredPattern> entries_;
+  /// Gate fields of entries_[i], contiguous for the candidate scans.
+  std::vector<CandidateMeta> meta_;
   std::unordered_map<std::int64_t, std::vector<std::size_t>> by_pos_i_;
 };
 

@@ -68,7 +68,7 @@ std::vector<Interval> NodeSetSearcher::Search(const NodeSetQuery& query,
   }
   if (best == 0 || best == std::numeric_limits<std::size_t>::max()) return {};
 
-  const std::vector<EdgePos>& anchors = log.LabelPositions(labels[anchor_idx]);
+  EdgePosSpan anchors = log.LabelPositions(labels[anchor_idx]);
   std::vector<Interval> intervals;
   Timestamp skip_until = std::numeric_limits<Timestamp>::min();
   std::int64_t found = 0;
@@ -84,7 +84,7 @@ std::vector<Interval> NodeSetSearcher::Search(const NodeSetQuery& query,
     bool all_present = true;
     for (std::size_t i = 0; i < labels.size() && all_present; ++i) {
       if (i == anchor_idx) continue;
-      const std::vector<EdgePos>& positions = log.LabelPositions(labels[i]);
+      EdgePosSpan positions = log.LabelPositions(labels[i]);
       auto it = std::lower_bound(
           positions.begin(), positions.end(), t0,
           [&log](EdgePos p, Timestamp t) { return log.edge(p).ts < t; });

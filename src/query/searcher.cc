@@ -111,19 +111,19 @@ void TemporalQuerySearcher::Extend(SearchContext& ctx,
   // signature index otherwise. Lists are ascending in position (and thus
   // in timestamp), so window violations terminate the scan early in the
   // ascending direction.
-  const std::vector<EdgePos>* positions = nullptr;
+  EdgePosSpan positions;
   if (ms != kInvalidNode) {
-    positions = &log.out_edges(ms);
+    positions = log.out_edges(ms);
   } else if (md != kInvalidNode) {
-    positions = &log.in_edges(md);
+    positions = log.in_edges(md);
   } else {
-    positions = &log.EdgesWithSignature(query.label(qe.src),
-                                        query.label(qe.dst), qe.elabel);
+    positions = log.EdgesWithSignature(query.label(qe.src),
+                                       query.label(qe.dst), qe.elabel);
   }
 
   if (ascending) {
-    auto it = std::upper_bound(positions->begin(), positions->end(), lo);
-    for (; it != positions->end() && !ctx.stop; ++it) {
+    auto it = std::upper_bound(positions.begin(), positions.end(), lo);
+    for (; it != positions.end() && !ctx.stop; ++it) {
       if (*it >= hi) break;
       if (ctx.options->window > 0 && max_ts != std::numeric_limits<Timestamp>::min() &&
           log.edge(*it).ts - min_ts > ctx.options->window) {
@@ -132,8 +132,8 @@ void TemporalQuerySearcher::Extend(SearchContext& ctx,
       try_position(*it);
     }
   } else {
-    auto it = std::lower_bound(positions->begin(), positions->end(), hi);
-    while (it != positions->begin() && !ctx.stop) {
+    auto it = std::lower_bound(positions.begin(), positions.end(), hi);
+    while (it != positions.begin() && !ctx.stop) {
       --it;
       if (*it <= lo) break;
       if (ctx.options->window > 0 && min_ts != std::numeric_limits<Timestamp>::max() &&

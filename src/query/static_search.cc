@@ -154,14 +154,14 @@ void StaticQuerySearcher::Extend(SearchContext& ctx, std::size_t step) const {
 
   // Candidate positions, restricted to the window around already-bound
   // edges when possible.
-  const std::vector<EdgePos>* positions = nullptr;
+  EdgePosSpan positions;
   if (ms != kInvalidNode) {
-    positions = &log.out_edges(ms);
+    positions = log.out_edges(ms);
   } else if (md != kInvalidNode) {
-    positions = &log.in_edges(md);
+    positions = log.in_edges(md);
   } else {
-    positions = &log.EdgesWithSignature(query.label(qe.src),
-                                        query.label(qe.dst), qe.elabel);
+    positions = log.EdgesWithSignature(query.label(qe.src),
+                                       query.label(qe.dst), qe.elabel);
   }
 
   if (options_.window > 0 && min_ts != std::numeric_limits<Timestamp>::max()) {
@@ -170,14 +170,14 @@ void StaticQuerySearcher::Extend(SearchContext& ctx, std::size_t step) const {
     Timestamp lo_ts = max_ts - options_.window;
     Timestamp hi_ts = min_ts + options_.window;
     auto first = std::lower_bound(
-        positions->begin(), positions->end(), lo_ts,
+        positions.begin(), positions.end(), lo_ts,
         [&log](EdgePos p, Timestamp t) { return log.edge(p).ts < t; });
-    for (auto it = first; it != positions->end() && !ctx.stop; ++it) {
+    for (auto it = first; it != positions.end() && !ctx.stop; ++it) {
       if (log.edge(*it).ts > hi_ts) break;
       try_position(*it);
     }
   } else {
-    for (auto it = positions->begin(); it != positions->end() && !ctx.stop;
+    for (auto it = positions.begin(); it != positions.end() && !ctx.stop;
          ++it) {
       try_position(*it);
     }

@@ -1,0 +1,57 @@
+#ifndef TGM_TEMPORAL_FLAT_INDEX_H_
+#define TGM_TEMPORAL_FLAT_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "temporal/common.h"
+
+namespace tgm {
+
+/// Sorted-key CSR building blocks shared by the flat lookup indexes
+/// (TemporalGraph's label/signature indexes, IndexMatcher's per-pattern
+/// edge index): a distinct sorted key array, an offset array with
+/// keys.size() + 1 entries, and one flat position array; lookups
+/// binary-search the keys and return a contiguous span.
+
+/// Groups a (key, position) pair list that is already sorted by key into
+/// the CSR triple. Positions keep their within-key order.
+template <typename Key>
+void GroupSortedPairs(const std::vector<std::pair<Key, EdgePos>>& pairs,
+                      std::vector<Key>& keys,
+                      std::vector<std::int32_t>& offsets,
+                      std::vector<EdgePos>& csr) {
+  keys.clear();
+  offsets.clear();
+  csr.clear();
+  csr.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i == 0 || pairs[i].first != pairs[i - 1].first) {
+      keys.push_back(pairs[i].first);
+      offsets.push_back(static_cast<std::int32_t>(csr.size()));
+    }
+    csr.push_back(pairs[i].second);
+  }
+  offsets.push_back(static_cast<std::int32_t>(csr.size()));
+}
+
+/// Binary-searches `keys` for `key`; returns the span of the matching CSR
+/// run, or an empty span when absent.
+template <typename Key>
+std::span<const EdgePos> LookupCsr(const std::vector<Key>& keys,
+                                   const std::vector<std::int32_t>& offsets,
+                                   const std::vector<EdgePos>& csr, Key key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return {};
+  std::size_t k = static_cast<std::size_t>(it - keys.begin());
+  return std::span<const EdgePos>(
+      csr.data() + offsets[k],
+      static_cast<std::size_t>(offsets[k + 1] - offsets[k]));
+}
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_FLAT_INDEX_H_

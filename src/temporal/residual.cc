@@ -24,7 +24,7 @@ bool ResidualSet::ResidualLabelSetContains(
     LabelId l, const std::vector<const TemporalGraph*>& graphs) const {
   for (const auto& [graph_idx, cut] : cuts_) {
     const TemporalGraph& g = *graphs[static_cast<std::size_t>(graph_idx)];
-    const std::vector<EdgePos>& positions = g.LabelPositions(l);
+    EdgePosSpan positions = g.LabelPositions(l);
     // Any incident position strictly after the cut means the label occurs
     // in this residual graph.
     auto it = std::upper_bound(positions.begin(), positions.end(), cut);

@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <numeric>
 #include <sstream>
+#include <utility>
+
+#include "temporal/flat_index.h"
 
 namespace tgm {
-
-namespace {
-const std::vector<EdgePos> kEmptyPositions;
-}  // namespace
 
 NodeId TemporalGraph::AddNode(LabelId label) {
   TGM_CHECK(!finalized_);
@@ -26,14 +25,12 @@ void TemporalGraph::AddEdge(NodeId src, NodeId dst, Timestamp ts,
   edges_.push_back(TemporalEdge{src, dst, ts, elabel});
 }
 
-TemporalGraph::SignatureKey TemporalGraph::MakeSignature(LabelId src_label,
-                                                         LabelId dst_label,
-                                                         LabelId elabel) {
+std::int64_t TemporalGraph::PackSignature(LabelId src_label, LabelId dst_label,
+                                          LabelId elabel) {
   // Labels are dense and well below 2^21 in practice; pack into one int64.
-  std::int64_t packed = (static_cast<std::int64_t>(src_label) << 42) ^
-                        (static_cast<std::int64_t>(dst_label) << 21) ^
-                        static_cast<std::int64_t>(elabel);
-  return SignatureKey{packed};
+  return (static_cast<std::int64_t>(src_label) << 42) ^
+         (static_cast<std::int64_t>(dst_label) << 21) ^
+         static_cast<std::int64_t>(elabel);
 }
 
 void TemporalGraph::Finalize(TiePolicy policy) {
@@ -51,63 +48,106 @@ void TemporalGraph::Finalize(TiePolicy policy) {
   }
   finalized_ = true;
 
-  out_edges_.assign(node_labels_.size(), {});
-  in_edges_.assign(node_labels_.size(), {});
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
+  const std::size_t n = node_labels_.size();
+  const std::size_t m = edges_.size();
+
+  // CSR adjacency via counting sort: degree histogram, exclusive prefix
+  // sum, then a fill pass in ascending edge position so every node's run
+  // comes out ascending.
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const TemporalEdge& e : edges_) {
+    ++out_offsets_[static_cast<std::size_t>(e.src) + 1];
+    ++in_offsets_[static_cast<std::size_t>(e.dst) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_csr_.resize(m);
+  in_csr_.resize(m);
+  std::vector<std::int32_t> out_next(out_offsets_.begin(),
+                                     out_offsets_.end() - 1);
+  std::vector<std::int32_t> in_next(in_offsets_.begin(),
+                                    in_offsets_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
     const TemporalEdge& e = edges_[i];
     EdgePos pos = static_cast<EdgePos>(i);
-    out_edges_[static_cast<std::size_t>(e.src)].push_back(pos);
-    in_edges_[static_cast<std::size_t>(e.dst)].push_back(pos);
-    label_positions_[node_labels_[static_cast<std::size_t>(e.src)]].push_back(
-        pos);
-    label_positions_[node_labels_[static_cast<std::size_t>(e.dst)]].push_back(
-        pos);
-    signature_index_[MakeSignature(
-                         node_labels_[static_cast<std::size_t>(e.src)],
-                         node_labels_[static_cast<std::size_t>(e.dst)],
-                         e.elabel)]
-        .push_back(pos);
+    out_csr_[static_cast<std::size_t>(
+        out_next[static_cast<std::size_t>(e.src)]++)] = pos;
+    in_csr_[static_cast<std::size_t>(
+        in_next[static_cast<std::size_t>(e.dst)]++)] = pos;
   }
-  // label_positions_ may contain a position twice for self-referential
-  // labels (src and dst share the label); dedupe so binary searches over the
-  // lists see strictly ascending positions.
-  for (auto& [label, positions] : label_positions_) {
-    positions.erase(std::unique(positions.begin(), positions.end()),
-                    positions.end());
+
+  // Label incidence: (label, position) pairs, sorted by (label, position).
+  // Generating both endpoints per edge can duplicate (label, pos) when the
+  // endpoints share a label; dedupe so binary searches over a run see
+  // strictly ascending positions.
+  std::vector<std::pair<LabelId, EdgePos>> label_pairs;
+  label_pairs.reserve(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const TemporalEdge& e = edges_[i];
+    EdgePos pos = static_cast<EdgePos>(i);
+    label_pairs.emplace_back(node_labels_[static_cast<std::size_t>(e.src)],
+                             pos);
+    label_pairs.emplace_back(node_labels_[static_cast<std::size_t>(e.dst)],
+                             pos);
   }
+  std::sort(label_pairs.begin(), label_pairs.end());
+  label_pairs.erase(std::unique(label_pairs.begin(), label_pairs.end()),
+                    label_pairs.end());
+  GroupSortedPairs(label_pairs, label_keys_, label_offsets_, label_csr_);
+
+  // Signature index: one (packed signature, position) pair per edge.
+  std::vector<std::pair<std::int64_t, EdgePos>> sig_pairs;
+  sig_pairs.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const TemporalEdge& e = edges_[i];
+    sig_pairs.emplace_back(
+        PackSignature(node_labels_[static_cast<std::size_t>(e.src)],
+                      node_labels_[static_cast<std::size_t>(e.dst)],
+                      e.elabel),
+        static_cast<EdgePos>(i));
+  }
+  std::sort(sig_pairs.begin(), sig_pairs.end());
+  GroupSortedPairs(sig_pairs, sig_keys_, sig_offsets_, sig_csr_);
 }
 
-const std::vector<EdgePos>& TemporalGraph::out_edges(NodeId v) const {
+EdgePosSpan TemporalGraph::out_edges(NodeId v) const {
   TGM_CHECK(finalized_);
-  TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < out_edges_.size());
-  return out_edges_[static_cast<std::size_t>(v)];
+  TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) + 1 < out_offsets_.size());
+  std::size_t u = static_cast<std::size_t>(v);
+  return EdgePosSpan(
+      out_csr_.data() + out_offsets_[u],
+      static_cast<std::size_t>(out_offsets_[u + 1] - out_offsets_[u]));
 }
 
-const std::vector<EdgePos>& TemporalGraph::in_edges(NodeId v) const {
+EdgePosSpan TemporalGraph::in_edges(NodeId v) const {
   TGM_CHECK(finalized_);
-  TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < in_edges_.size());
-  return in_edges_[static_cast<std::size_t>(v)];
+  TGM_DCHECK(v >= 0 && static_cast<std::size_t>(v) + 1 < in_offsets_.size());
+  std::size_t u = static_cast<std::size_t>(v);
+  return EdgePosSpan(
+      in_csr_.data() + in_offsets_[u],
+      static_cast<std::size_t>(in_offsets_[u + 1] - in_offsets_[u]));
 }
 
 bool TemporalGraph::LabelOccursAfter(LabelId l, EdgePos pos) const {
   TGM_CHECK(finalized_);
-  auto it = label_positions_.find(l);
-  if (it == label_positions_.end()) return false;
-  const std::vector<EdgePos>& positions = it->second;
+  EdgePosSpan positions = LookupCsr(label_keys_, label_offsets_, label_csr_, l);
   return !positions.empty() && positions.back() > pos;
 }
 
-const std::vector<EdgePos>& TemporalGraph::EdgesWithSignature(
-    LabelId src_label, LabelId dst_label, LabelId elabel) const {
+EdgePosSpan TemporalGraph::EdgesWithSignature(LabelId src_label,
+                                              LabelId dst_label,
+                                              LabelId elabel) const {
   TGM_CHECK(finalized_);
-  auto it = signature_index_.find(MakeSignature(src_label, dst_label, elabel));
-  return it == signature_index_.end() ? kEmptyPositions : it->second;
+  return LookupCsr(sig_keys_, sig_offsets_, sig_csr_,
+                   PackSignature(src_label, dst_label, elabel));
 }
 
-const std::vector<EdgePos>& TemporalGraph::LabelPositions(LabelId l) const {
+EdgePosSpan TemporalGraph::LabelPositions(LabelId l) const {
   TGM_CHECK(finalized_);
-  auto it = label_positions_.find(l);
-  return it == label_positions_.end() ? kEmptyPositions : it->second;
+  return LookupCsr(label_keys_, label_offsets_, label_csr_, l);
 }
 
 bool TemporalGraph::IsTConnected() const {

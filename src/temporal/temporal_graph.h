@@ -2,8 +2,8 @@
 #define TGM_TEMPORAL_TEMPORAL_GRAPH_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "temporal/common.h"
@@ -34,6 +34,11 @@ enum class TiePolicy {
   kBreakByInsertionOrder,
 };
 
+/// Read-only view over an ascending run of edge positions inside one of the
+/// graph's flat index arrays. Everything the matchers and the miner iterate
+/// is one of these — contiguous, cache-resident, no per-node heap objects.
+using EdgePosSpan = std::span<const EdgePos>;
+
 /// A heterogeneous temporal graph: labeled nodes, directed multi-edges
 /// totally ordered by timestamp (the paper's `G = (V, E, A, T)`).
 ///
@@ -41,6 +46,17 @@ enum class TiePolicy {
 /// Finalize sorts edges, enforces/establishes the total order, and builds
 /// the adjacency and label indexes used by the matchers and the miner.
 /// After Finalize the graph is immutable.
+///
+/// Layout: all post-Finalize indexes are flat CSR-style arrays — one
+/// contiguous position array plus an offset array per index — so the
+/// repeated temporal scans of the mining and matching hot paths walk
+/// contiguous memory instead of chasing per-node/per-key heap vectors:
+///  - adjacency: `out_csr_`/`in_csr_` + per-node offsets,
+///  - label incidence: positions grouped by label, sorted label keys
+///    binary-searched on lookup,
+///  - one-edge signatures: positions grouped by packed
+///    (src label, dst label, edge label) key, sorted keys binary-searched
+///    on lookup.
 class TemporalGraph {
  public:
   TemporalGraph() = default;
@@ -72,8 +88,8 @@ class TemporalGraph {
   }
 
   /// Positions of out-/in-edges per node, ascending. Requires Finalize.
-  const std::vector<EdgePos>& out_edges(NodeId v) const;
-  const std::vector<EdgePos>& in_edges(NodeId v) const;
+  EdgePosSpan out_edges(NodeId v) const;
+  EdgePosSpan in_edges(NodeId v) const;
 
   std::int32_t out_degree(NodeId v) const {
     return static_cast<std::int32_t>(out_edges(v).size());
@@ -90,12 +106,11 @@ class TemporalGraph {
   /// Positions of edges whose source/destination labels (and edge label)
   /// equal the key — the "one-edge substructure" index used by the
   /// graph-index matcher and the query searcher. Empty if none.
-  const std::vector<EdgePos>& EdgesWithSignature(LabelId src_label,
-                                                 LabelId dst_label,
-                                                 LabelId elabel) const;
+  EdgePosSpan EdgesWithSignature(LabelId src_label, LabelId dst_label,
+                                 LabelId elabel) const;
 
   /// Positions (ascending) of edges incident to a node labeled `l`.
-  const std::vector<EdgePos>& LabelPositions(LabelId l) const;
+  EdgePosSpan LabelPositions(LabelId l) const;
 
   /// True if the graph is T-connected: for every edge, the edges strictly
   /// before it (plus itself) form a connected graph (Section 2).
@@ -111,27 +126,34 @@ class TemporalGraph {
   std::string ToString(const LabelDict* dict = nullptr) const;
 
  private:
-  struct SignatureKey {
-    std::int64_t packed;
-    bool operator==(const SignatureKey&) const = default;
-  };
-  struct SignatureHash {
-    std::size_t operator()(const SignatureKey& k) const {
-      return std::hash<std::int64_t>()(k.packed);
-    }
-  };
-  static SignatureKey MakeSignature(LabelId src_label, LabelId dst_label,
+  static std::int64_t PackSignature(LabelId src_label, LabelId dst_label,
                                     LabelId elabel);
 
   std::vector<LabelId> node_labels_;
   std::vector<TemporalEdge> edges_;
   bool finalized_ = false;
 
-  std::vector<std::vector<EdgePos>> out_edges_;
-  std::vector<std::vector<EdgePos>> in_edges_;
-  std::unordered_map<LabelId, std::vector<EdgePos>> label_positions_;
-  std::unordered_map<SignatureKey, std::vector<EdgePos>, SignatureHash>
-      signature_index_;
+  // CSR adjacency: node v's out-edge positions are
+  // out_csr_[out_offsets_[v] .. out_offsets_[v+1]), ascending. Offsets have
+  // node_count()+1 entries. Same shape for in-edges.
+  std::vector<EdgePos> out_csr_;
+  std::vector<std::int32_t> out_offsets_;
+  std::vector<EdgePos> in_csr_;
+  std::vector<std::int32_t> in_offsets_;
+
+  // Label incidence index: label_keys_ holds the distinct incident labels in
+  // ascending order; label l's positions (ascending, deduped) are
+  // label_csr_[label_offsets_[k] .. label_offsets_[k+1]) where k is l's rank
+  // in label_keys_ (binary search on lookup).
+  std::vector<LabelId> label_keys_;
+  std::vector<std::int32_t> label_offsets_;
+  std::vector<EdgePos> label_csr_;
+
+  // One-edge signature index, same sorted-key CSR shape keyed by the packed
+  // (src label, dst label, edge label) signature.
+  std::vector<std::int64_t> sig_keys_;
+  std::vector<std::int32_t> sig_offsets_;
+  std::vector<EdgePos> sig_csr_;
 };
 
 }  // namespace tgm

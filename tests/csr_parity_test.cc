@@ -1,0 +1,194 @@
+// Parity tests for the CSR/flat-index TemporalGraph layout: every indexed
+// accessor must return exactly the sequences a straightforward
+// pointer-per-node / map-per-key reference implementation produces, on
+// randomized graphs including empty (edge-less) nodes, duplicate-timestamp
+// tie-breaks, shared src/dst labels, and absent keys. The miner's NodeSeq
+// inline small-vector is covered here too, including its heap-spill path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "mining/node_seq.h"
+#include "temporal/temporal_graph.h"
+
+namespace tgm {
+namespace {
+
+/// The seed's layout, rebuilt naively from the finalized edge list.
+struct ReferenceIndexes {
+  std::vector<std::vector<EdgePos>> out_edges;
+  std::vector<std::vector<EdgePos>> in_edges;
+  std::map<LabelId, std::vector<EdgePos>> label_positions;
+  std::map<std::tuple<LabelId, LabelId, LabelId>, std::vector<EdgePos>>
+      signatures;
+
+  explicit ReferenceIndexes(const TemporalGraph& g)
+      : out_edges(g.node_count()), in_edges(g.node_count()) {
+    for (std::size_t i = 0; i < g.edge_count(); ++i) {
+      const TemporalEdge& e = g.edge(static_cast<EdgePos>(i));
+      EdgePos pos = static_cast<EdgePos>(i);
+      out_edges[static_cast<std::size_t>(e.src)].push_back(pos);
+      in_edges[static_cast<std::size_t>(e.dst)].push_back(pos);
+      label_positions[g.label(e.src)].push_back(pos);
+      label_positions[g.label(e.dst)].push_back(pos);
+      signatures[{g.label(e.src), g.label(e.dst), e.elabel}].push_back(pos);
+    }
+    for (auto& [label, positions] : label_positions) {
+      positions.erase(std::unique(positions.begin(), positions.end()),
+                      positions.end());
+    }
+  }
+};
+
+std::vector<EdgePos> ToVector(EdgePosSpan span) {
+  return std::vector<EdgePos>(span.begin(), span.end());
+}
+
+void ExpectParity(const TemporalGraph& g, LabelId max_label,
+                  LabelId max_elabel) {
+  ReferenceIndexes ref(g);
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    NodeId node = static_cast<NodeId>(v);
+    EXPECT_EQ(ToVector(g.out_edges(node)), ref.out_edges[v]) << "node " << v;
+    EXPECT_EQ(ToVector(g.in_edges(node)), ref.in_edges[v]) << "node " << v;
+  }
+  // Sweep past the used label range so absent keys are exercised as well.
+  for (LabelId l = 0; l <= max_label + 2; ++l) {
+    auto it = ref.label_positions.find(l);
+    std::vector<EdgePos> want =
+        it == ref.label_positions.end() ? std::vector<EdgePos>{} : it->second;
+    EXPECT_EQ(ToVector(g.LabelPositions(l)), want) << "label " << l;
+    // LabelOccursAfter must agree with the reference list at every cut,
+    // including past-the-end cuts.
+    for (EdgePos pos = 0;
+         pos <= static_cast<EdgePos>(g.edge_count()); ++pos) {
+      bool want_after = !want.empty() && want.back() > pos;
+      EXPECT_EQ(g.LabelOccursAfter(l, pos), want_after)
+          << "label " << l << " pos " << pos;
+    }
+  }
+  for (LabelId sl = 0; sl <= max_label + 1; ++sl) {
+    for (LabelId dl = 0; dl <= max_label + 1; ++dl) {
+      for (LabelId el = 0; el <= max_elabel + 1; ++el) {
+        auto it = ref.signatures.find({sl, dl, el});
+        std::vector<EdgePos> want =
+            it == ref.signatures.end() ? std::vector<EdgePos>{} : it->second;
+        EXPECT_EQ(ToVector(g.EdgesWithSignature(sl, dl, el)), want)
+            << "signature (" << sl << "," << dl << "," << el << ")";
+      }
+    }
+  }
+}
+
+TEST(CsrParityTest, RandomizedGraphsMatchReference) {
+  std::mt19937_64 rng(20260728);
+  for (int round = 0; round < 12; ++round) {
+    int nodes = 2 + static_cast<int>(rng() % 20);
+    int edges = static_cast<int>(rng() % 120);  // may leave nodes empty
+    LabelId max_label = 1 + static_cast<LabelId>(rng() % 5);
+    LabelId max_elabel = static_cast<LabelId>(rng() % 3);
+    TemporalGraph g;
+    for (int i = 0; i < nodes; ++i) {
+      g.AddNode(static_cast<LabelId>(rng() % (max_label + 1)));
+    }
+    for (int i = 0; i < edges; ++i) {
+      NodeId u = static_cast<NodeId>(rng() % nodes);
+      NodeId v = static_cast<NodeId>(rng() % nodes);
+      // Duplicate timestamps on purpose: ties break by insertion order.
+      Timestamp ts = static_cast<Timestamp>(rng() % 40);
+      g.AddEdge(u, v, ts, static_cast<LabelId>(rng() % (max_elabel + 1)));
+    }
+    g.Finalize(TiePolicy::kBreakByInsertionOrder);
+    ExpectParity(g, max_label, max_elabel);
+  }
+}
+
+TEST(CsrParityTest, EmptyGraphHasEmptyIndexes) {
+  TemporalGraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.Finalize();
+  EXPECT_TRUE(g.out_edges(0).empty());
+  EXPECT_TRUE(g.in_edges(1).empty());
+  EXPECT_TRUE(g.LabelPositions(0).empty());
+  EXPECT_TRUE(g.EdgesWithSignature(0, 1, kNoEdgeLabel).empty());
+  EXPECT_FALSE(g.LabelOccursAfter(0, 0));
+}
+
+TEST(CsrParityTest, SharedEndpointLabelPositionsAreDeduped) {
+  // Both endpoints carry label 0, so each position would appear twice
+  // without dedupe.
+  TemporalGraph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(1, 0, 2);
+  g.Finalize();
+  EXPECT_EQ(ToVector(g.LabelPositions(0)), (std::vector<EdgePos>{0, 1}));
+}
+
+TEST(CsrParityTest, DuplicateTimestampsKeepInsertionOrder) {
+  TemporalGraph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(static_cast<LabelId>(i));
+  g.AddEdge(2, 3, 7);  // inserted first among the ts=7 ties
+  g.AddEdge(0, 1, 7);
+  g.AddEdge(1, 2, 3);
+  g.Finalize(TiePolicy::kBreakByInsertionOrder);
+  // Sorted order: (1->2)@3, then the two @7 edges in insertion order.
+  EXPECT_EQ(g.edge(0).src, 1);
+  EXPECT_EQ(g.edge(1).src, 2);
+  EXPECT_EQ(g.edge(2).src, 0);
+  ExpectParity(g, 3, 0);
+}
+
+TEST(NodeSeqTest, InlineAndHeapPathsBehaveLikeVector) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    // Cross the inline capacity (14) often enough to exercise the spill.
+    std::size_t len = rng() % 40;
+    std::vector<NodeId> want;
+    NodeSeq seq;
+    for (std::size_t i = 0; i < len; ++i) {
+      NodeId v = static_cast<NodeId>(rng() % 100);
+      want.push_back(v);
+      seq.push_back(v);
+    }
+    ASSERT_EQ(seq.size(), want.size());
+    for (std::size_t i = 0; i < len; ++i) EXPECT_EQ(seq[i], want[i]);
+    EXPECT_TRUE(std::equal(seq.begin(), seq.end(), want.begin(), want.end()));
+
+    NodeSeq copy = seq;             // copy keeps contents
+    NodeSeq moved = std::move(seq);  // move empties the source
+    EXPECT_EQ(copy, moved);
+    EXPECT_EQ(seq.size(), 0u);  // NOLINT(bugprone-use-after-move): asserted
+
+    copy.push_back(1);
+    EXPECT_NE(copy, moved);  // size mismatch
+  }
+}
+
+TEST(NodeSeqTest, ComparisonIsLexicographicLikeVector) {
+  NodeSeq a{1, 2, 3};
+  NodeSeq b{1, 2, 4};
+  NodeSeq prefix{1, 2};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(prefix < a);  // shorter prefix sorts first
+  EXPECT_TRUE(a == (NodeSeq{1, 2, 3}));
+  NodeSeq long_a;
+  NodeSeq long_b;
+  for (NodeId v = 0; v < 30; ++v) {
+    long_a.push_back(v);
+    long_b.push_back(v);
+  }
+  EXPECT_EQ(long_a, long_b);
+  long_b.push_back(0);
+  EXPECT_TRUE(long_a < long_b);
+}
+
+}  // namespace
+}  // namespace tgm

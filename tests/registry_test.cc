@@ -31,7 +31,8 @@ TEST(RegistryTest, IValueModeBucketsByPosIValue) {
   std::int64_t tests = 0;
   int seen = 0;
   registry.ForEachPosCandidate(10, {}, &tests,
-                               [&seen](const RegisteredPattern&) {
+                               [&seen](const PatternRegistry::CandidateMeta&,
+                                       const RegisteredPattern&) {
                                  ++seen;
                                  return true;
                                });
@@ -40,7 +41,8 @@ TEST(RegistryTest, IValueModeBucketsByPosIValue) {
 
   seen = 0;
   registry.ForEachPosCandidate(12345, {}, &tests,
-                               [&seen](const RegisteredPattern&) {
+                               [&seen](const PatternRegistry::CandidateMeta&,
+                                       const RegisteredPattern&) {
                                  ++seen;
                                  return true;
                                });
@@ -53,7 +55,8 @@ TEST(RegistryTest, IValueModeDropsCutLists) {
                          {{0, 1}, {0, 2}}));
   std::int64_t tests = 0;
   registry.ForEachPosCandidate(5, {}, &tests,
-                               [](const RegisteredPattern& e) {
+                               [](const PatternRegistry::CandidateMeta&,
+                                  const RegisteredPattern& e) {
                                  EXPECT_TRUE(e.pos_cuts.empty());
                                  return true;
                                });
@@ -68,7 +71,8 @@ TEST(RegistryTest, LinearScanComparesCutLists) {
   int seen = 0;
   // Linear scan ignores the i-value argument and walks every entry.
   registry.ForEachPosCandidate(/*pos_i_value=*/-1, {{0, 2}}, &tests,
-                               [&seen](const RegisteredPattern& e) {
+                               [&seen](const PatternRegistry::CandidateMeta&,
+                                       const RegisteredPattern& e) {
                                  ++seen;
                                  EXPECT_EQ(e.pos_i_value, 7);
                                  return true;
@@ -85,7 +89,8 @@ TEST(RegistryTest, EarlyStopOnFalseReturn) {
   std::int64_t tests = 0;
   int seen = 0;
   registry.ForEachPosCandidate(1, {}, &tests,
-                               [&seen](const RegisteredPattern&) {
+                               [&seen](const PatternRegistry::CandidateMeta&,
+                                       const RegisteredPattern&) {
                                  ++seen;
                                  return seen < 2;
                                });
