@@ -40,7 +40,8 @@ class Flags {
     // benchmark's own --benchmark_* flags pass through untouched.
     static constexpr const char* kKnown[] = {
         "background", "budget_ms", "instances",      "max_edges", "runs",
-        "query_size", "scale",     "mine_budget_ms", "seed",      "threads"};
+        "query_size", "scale",     "mine_budget_ms", "seed",      "threads",
+        "root_batch"};
     for (int i = 1; i < argc_; ++i) {
       const char* arg = argv_[i];
       if (std::strncmp(arg, "--benchmark_", 12) == 0) continue;
@@ -153,12 +154,16 @@ inline PipelineConfig DefaultPipelineConfig(const Flags& flags) {
   config.dataset.gen.size_scale = flags.GetDouble("scale", 1.0);
   config.query_size = static_cast<int>(flags.GetInt("query_size", 6));
   config.miner.max_millis = flags.GetInt("mine_budget_ms", 120000);
-  // Threads for the miner's data-parallel inner loops; results are
-  // bit-identical across values unless the mine_budget_ms wall-clock
-  // cutoff triggers (see MinerConfig::num_threads). 0 = all hardware
-  // threads.
+  // Threads for the miner's parallel work; results are bit-identical
+  // across values unless the mine_budget_ms wall-clock cutoff triggers
+  // (see MinerConfig::num_threads). 0 = all hardware threads. With
+  // --root_batch=N (default 1: exact serial search) whole root subtrees
+  // run concurrently in batches of N; results then depend on N (but still
+  // not on --threads), so keep it fixed when comparing runs.
   config.miner.num_threads =
       static_cast<int>(flags.GetInt("threads", 1, 0, 4096));
+  config.miner.root_batch =
+      static_cast<int>(flags.GetInt("root_batch", 1, 1, 4096));
   return config;
 }
 

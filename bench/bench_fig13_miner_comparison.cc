@@ -44,11 +44,18 @@ int main(int argc, char** argv) {
   std::string class_filter = flags.GetString("classes", "");
   std::string json_out = flags.GetString("json_out", "");
   bench::JsonBenchWriter json;
-  // Threads for every miner's data-parallel inner loops. For runs that
-  // finish within --budget_ms the mined results are bit-identical across
-  // values and only the response times change; TIMEOUT rows truncate at a
+  // Threads for every miner's parallel work. With the default
+  // --root_batch=16 the DFS itself runs across root subtrees on the pool:
+  // subtrees are mined in fixed batches of 16 with per-worker registries
+  // committed in ascending root order, so for runs that finish within
+  // --budget_ms the mined results are bit-identical across --threads
+  // values and only the response times change. TIMEOUT rows truncate at a
   // timing-dependent point, so their results may differ per thread count.
+  // --root_batch=1 recovers the exact serial search (inner-loop
+  // parallelism only); note results are comparable across runs only for
+  // equal --root_batch, which is therefore recorded in the JSON payload.
   int num_threads = static_cast<int>(flags.GetInt("threads", 1, 0, 4096));
+  int root_batch = static_cast<int>(flags.GetInt("root_batch", 16, 1, 4096));
 
   const std::vector<MinerSpec> miners = {
       {"TGMiner", MinerConfig::TGMiner()},  {"PruneGI", MinerConfig::PruneGI()},
@@ -107,8 +114,11 @@ int main(int argc, char** argv) {
       mc.max_embeddings_per_graph = 2000;
       mc.max_millis = budget_ms;
       mc.num_threads = num_threads;
+      mc.root_batch = root_batch;
       MineResult result = pipeline.MineTemporal(behavior_idx, mc, fraction);
-      const char* status = result.stats.timed_out ? "TIMEOUT" : "ok";
+      const char* status = result.stats.timed_out        ? "TIMEOUT"
+                           : result.stats.visit_cap_hit ? "VISIT-CAP"
+                                                         : "ok";
       json.Add(std::string("fig13/") + class_key + "/" + spec.name,
                result.stats.elapsed_seconds,
                {{"patterns_visited",
@@ -117,7 +127,11 @@ int main(int argc, char** argv) {
                  static_cast<double>(result.stats.subgraph_tests)},
                 {"residual_equiv_tests",
                  static_cast<double>(result.stats.residual_equiv_tests)},
-                {"timed_out", result.stats.timed_out ? 1.0 : 0.0}});
+                {"timed_out", result.stats.timed_out ? 1.0 : 0.0},
+                // Multicore baselines are only comparable for equal
+                // parallelism settings; record them with every row.
+                {"threads", static_cast<double>(num_threads)},
+                {"root_batch", static_cast<double>(root_batch)}});
       std::printf("%-12s %10.2f %12lld %14lld %14lld %9s", spec.name,
                   result.stats.elapsed_seconds,
                   static_cast<long long>(result.stats.patterns_visited),

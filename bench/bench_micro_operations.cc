@@ -225,10 +225,14 @@ void BM_EdgeScanEnumerate(benchmark::State& state) {
 }
 BENCHMARK(BM_EdgeScanEnumerate)->Arg(2)->Arg(3)->Arg(4);
 
-// End-to-end mining throughput of the parallelized hot path, parameterized
-// by MinerConfig::num_threads (the arg). Results are bit-identical across
-// thread counts; on a multicore host the time/iteration should drop as the
-// per-graph embedding work spreads over the exec pool.
+// End-to-end mining throughput of the parallelized hot paths. Args are
+// (num_threads, root_batch): root_batch=1 rows measure the data-parallel
+// inner loops alone (the DFS skeleton stays on the calling thread);
+// root_batch=16 rows mine whole root subtrees concurrently on the pool
+// with per-worker registries merged in ascending root order. Results are
+// bit-identical across thread counts within each root_batch value; on a
+// multicore host the time/iteration should drop with threads, most
+// steeply for the subtree rows, whose parallel grain is an entire DFS.
 void BM_MineParallel(benchmark::State& state) {
   std::mt19937_64 rng(1234);
   std::vector<TemporalGraph> pos;
@@ -257,6 +261,7 @@ void BM_MineParallel(benchmark::State& state) {
   config.max_edges = 4;
   config.max_embeddings_per_graph = 500;
   config.num_threads = static_cast<int>(state.range(0));
+  config.root_batch = static_cast<int>(state.range(1));
   std::int64_t visited = 0;
   for (auto _ : state) {
     MineResult result = Miner(config, pos, neg).Mine();
@@ -265,7 +270,15 @@ void BM_MineParallel(benchmark::State& state) {
   }
   state.counters["patterns_visited"] = static_cast<double>(visited);
 }
-BENCHMARK(BM_MineParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(BM_MineParallel)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->Args({8, 16})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

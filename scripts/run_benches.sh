@@ -2,21 +2,46 @@
 # Runs the miner benchmark set and writes one BENCH_<name>.json per binary,
 # seeding the repo's benchmark-baseline trajectory.
 #
-# Usage: scripts/run_benches.sh [--smoke] [BUILD_DIR] [OUT_DIR]
-#   --smoke    tiny sizes for CI (seconds, shape checks only; numbers from
-#              shared CI runners are not comparable across runs)
-#   BUILD_DIR  CMake build directory with the bench binaries (default: build)
-#   OUT_DIR    where the BENCH_*.json files land (default: bench-results)
+# Usage: scripts/run_benches.sh [--smoke] [--threads=N] [BUILD_DIR] [OUT_DIR]
+#   --smoke      tiny sizes for CI (seconds, shape checks only; numbers from
+#                shared CI runners are not comparable across runs)
+#   --threads=N  thread count for the fig13 miner rows (default 1). The
+#                value is recorded in the BENCH_fig13 JSON payload (along
+#                with the fixed root_batch) so multicore baselines are only
+#                ever compared against equal-parallelism baselines.
+#   BUILD_DIR    CMake build directory with the bench binaries (default: build)
+#   OUT_DIR      where the BENCH_*.json files land (default: bench-results)
 #
 # Full mode (the default) uses the benches' paper-shaped defaults and takes
 # tens of minutes; run it on an idle machine when recording a baseline.
+# The micro JSON needs no extra tagging: BM_MineParallel rows carry their
+# (threads, root_batch) pair in the benchmark name.
 set -euo pipefail
 
 SMOKE=0
-if [[ "${1:-}" == "--smoke" ]]; then
-  SMOKE=1
-  shift
-fi
+THREADS=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke)
+      SMOKE=1
+      shift
+      ;;
+    --threads=*)
+      THREADS="${1#--threads=}"
+      shift
+      ;;
+    --threads)
+      THREADS="${2:?--threads needs a value}"
+      shift 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
+case "$THREADS" in
+  ''|*[!0-9]*) echo "error: --threads must be a non-negative integer, got '$THREADS'" >&2; exit 2 ;;
+esac
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
 
@@ -27,17 +52,20 @@ if [[ ! -x "$BUILD_DIR/bench/bench_micro_operations" ]]; then
 fi
 mkdir -p "$OUT_DIR"
 
-# Micro benches emit google-benchmark JSON natively.
+# Micro benches emit google-benchmark JSON natively; BM_MineParallel rows
+# are named BM_MineParallel/<threads>/<root_batch>.
 MICRO_ARGS=(--benchmark_out="$OUT_DIR/BENCH_micro_operations.json"
             --benchmark_out_format=json)
 if [[ "$SMOKE" == 1 ]]; then
-  MICRO_ARGS+=(--benchmark_filter='BM_MineParallel/1|BM_EdgeScanEnumerate|BM_SubgraphTest<SeqMatcher>'
+  MICRO_ARGS+=(--benchmark_filter='BM_MineParallel/1/1|BM_MineParallel/2/16|BM_EdgeScanEnumerate|BM_SubgraphTest<SeqMatcher>'
                --benchmark_min_time=0.05)
 fi
 "$BUILD_DIR/bench/bench_micro_operations" "${MICRO_ARGS[@]}"
 
-# The fig13 miner comparison writes the same-shaped JSON via --json_out.
-FIG13_ARGS=(--json_out="$OUT_DIR/BENCH_fig13_miner_comparison.json")
+# The fig13 miner comparison writes the same-shaped JSON via --json_out and
+# records --threads/--root_batch as counters on every row.
+FIG13_ARGS=(--json_out="$OUT_DIR/BENCH_fig13_miner_comparison.json"
+            --threads="$THREADS")
 if [[ "$SMOKE" == 1 ]]; then
   FIG13_ARGS+=(--scale=0.2 --budget_ms=5000 --max_edges=4
                --miners=TGMiner --classes=small,medium)

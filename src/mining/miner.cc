@@ -85,16 +85,18 @@ std::int64_t Miner::DedupeAndCap(EmbeddingTable& table) const {
   return cap_hits;
 }
 
-void Miner::DedupeAndCapAll(const std::vector<EmbeddingTable*>& tables) {
+void Miner::DedupeAndCapAll(ThreadPool* pool,
+                            const std::vector<EmbeddingTable*>& tables,
+                            std::int64_t* cap_hits) const {
   std::size_t total_embeddings = 0;
   for (const EmbeddingTable* table : tables) {
     total_embeddings += CountEmbeddings(*table);
   }
-  if (pool_ == nullptr ||
+  if (pool == nullptr ||
       static_cast<std::int64_t>(total_embeddings) <
           config_.parallel_min_embeddings) {
     for (EmbeddingTable* table : tables) {
-      stats_.embedding_cap_hits += DedupeAndCap(*table);
+      *cap_hits += DedupeAndCap(*table);
     }
     return;
   }
@@ -104,10 +106,10 @@ void Miner::DedupeAndCapAll(const std::vector<EmbeddingTable*>& tables) {
   for (EmbeddingTable* table : tables) {
     for (GraphEmbeddings& ge : *table) units.push_back(&ge);
   }
-  std::vector<std::int64_t> cap_hits(units.size(), 0);
-  ParallelFor(pool_.get(), units.size(),
-              [&](std::size_t i) { cap_hits[i] = DedupeAndCapGraph(*units[i]); });
-  for (std::int64_t h : cap_hits) stats_.embedding_cap_hits += h;
+  std::vector<std::int64_t> hits(units.size(), 0);
+  ParallelFor(pool, units.size(),
+              [&](std::size_t i) { hits[i] = DedupeAndCapGraph(*units[i]); });
+  for (std::int64_t h : hits) *cap_hits += h;
 }
 
 void Miner::ReleaseTable(EmbeddingTable& table) {
@@ -216,19 +218,19 @@ void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
   if (use_node_slot) ScratchPool<NodeId>::Release(std::move(node_slot));
 }
 
-void Miner::CollectExtensions(const EmbeddingTable& table,
+void Miner::CollectExtensions(ThreadPool* pool, const EmbeddingTable& table,
                               const std::vector<const TemporalGraph*>& graphs,
                               bool positive_side,
                               std::vector<KeyedEmbeds>& out) const {
   std::size_t first = out.size();
-  if (pool_ != nullptr && table.size() > 1 &&
+  if (pool != nullptr && table.size() > 1 &&
       static_cast<std::int64_t>(CountEmbeddings(table)) >=
           config_.parallel_min_embeddings) {
     // Each graph's contribution is computed independently in parallel and
     // appended in ascending graph order — the exact order the serial loop
     // visits graphs — so `out` is identical for every thread count.
     std::vector<std::vector<KeyedEmbeds>> per_graph(table.size());
-    ParallelFor(pool_.get(), table.size(), [&](std::size_t i) {
+    ParallelFor(pool, table.size(), [&](std::size_t i) {
       const GraphEmbeddings& ge = table[i];
       CollectGraphExtensions(ge, *graphs[static_cast<std::size_t>(ge.graph)],
                              per_graph[i]);
@@ -319,17 +321,17 @@ Pattern Miner::Grow(const Pattern& parent, const ExtensionKey& key) const {
   return parent.GrowBackward(key.src_label, key.dst, key.elabel);
 }
 
-void Miner::UpdateTop(const Pattern& pattern, double freq_pos,
-                      double freq_neg, double score,
+void Miner::UpdateTop(WorkerState& ws, const Pattern& pattern,
+                      double freq_pos, double freq_neg, double score,
                       std::int64_t support_pos, std::int64_t support_neg) {
   if (support_pos == 0) return;  // patterns absent from Gp are never queries
   // The support floor is a hard constraint on results as well as on
   // expansion: a pattern occurring in a minority of the behaviour's runs is
   // run-specific noise, not a behaviour signature, no matter its score.
   if (freq_pos < config_.min_pos_freq) return;
-  best_score_ = std::max(best_score_, score);
-  if (static_cast<int>(top_.size()) >= config_.top_k &&
-      score <= top_.back().score) {
+  ws.best_score = std::max(ws.best_score, score);
+  if (static_cast<int>(ws.top.size()) >= config_.top_k &&
+      score <= ws.top.back().score) {
     return;
   }
   MinedPattern mined;
@@ -340,6 +342,22 @@ void Miner::UpdateTop(const Pattern& pattern, double freq_pos,
   mined.support_pos = support_pos;
   mined.support_neg = support_neg;
   // Insert keeping descending score order, stable for equal scores.
+  auto it = std::upper_bound(ws.top.begin(), ws.top.end(), mined,
+                             [](const MinedPattern& a, const MinedPattern& b) {
+                               return a.score > b.score;
+                             });
+  ws.top.insert(it, mined);
+  if (static_cast<int>(ws.top.size()) > config_.top_k) ws.top.pop_back();
+  // Log the insertion for the commit replay; entries later displaced from
+  // ws.top stay in the log and are re-gated (and then dropped) at commit.
+  ws.inserts.push_back(std::move(mined));
+}
+
+void Miner::CommitTopEntry(MinedPattern mined) {
+  if (static_cast<int>(top_.size()) >= config_.top_k &&
+      mined.score <= top_.back().score) {
+    return;
+  }
   auto it = std::upper_bound(top_.begin(), top_.end(), mined,
                              [](const MinedPattern& a, const MinedPattern& b) {
                                return a.score > b.score;
@@ -348,33 +366,33 @@ void Miner::UpdateTop(const Pattern& pattern, double freq_pos,
   if (static_cast<int>(top_.size()) > config_.top_k) top_.pop_back();
 }
 
-bool Miner::TrySubgraphPrune(const Pattern& pattern,
+bool Miner::TrySubgraphPrune(WorkerState& ws, const Pattern& pattern,
                              const ResidualSet& pos_res,
                              double* inherited_bound) {
   bool pruned = false;
-  registry_.ForEachPosCandidate(
-      pos_res.i_value(), pos_res.cuts(), &stats_.residual_equiv_tests,
+  ForEachCandidate(
+      ws, pos_res.i_value(), pos_res.cuts(), &ws.stats.residual_equiv_tests,
       [&](const PatternRegistry::CandidateMeta& meta,
           const RegisteredPattern& g1) {
         // Optional eager gate: only a reference branch that never reached
         // the current best score can justify pruning (Lemma 4), so a
         // practical implementation may skip the tests outright.
         if (config_.check_reference_score_first &&
-            meta.branch_best >= best_score_) {
+            meta.branch_best >= ws.best_score) {
           return true;
         }
         if (static_cast<std::int32_t>(pattern.edge_count()) >
             meta.edge_count) {
           return true;
         }
-        ++stats_.subgraph_tests;
-        auto mapping = tester_->FindMapping(pattern, g1.pattern);
+        ++ws.stats.subgraph_tests;
+        auto mapping = ws.tester->FindMapping(pattern, g1.pattern);
         if (!mapping.has_value()) return true;
         // Condition (3): labels of g1 nodes that no node of the current
         // pattern maps to must not occur in the current pattern's positive
-        // residual node label set. The mark buffer is a member so this
-        // per-candidate check does not allocate.
-        std::vector<char>& mapped = mapped_scratch_;
+        // residual node label set. The mark buffer lives in the worker so
+        // this per-candidate check does not allocate.
+        std::vector<char>& mapped = ws.mapped_scratch;
         mapped.assign(static_cast<std::size_t>(meta.node_count), 0);
         for (NodeId target : *mapping) {
           mapped[static_cast<std::size_t>(target)] = 1;
@@ -386,7 +404,7 @@ bool Miner::TrySubgraphPrune(const Pattern& pattern,
         }
         // The prune itself is gated on the reference branch's best score
         // (checked last in the paper's order).
-        if (meta.branch_best >= best_score_) return true;
+        if (meta.branch_best >= ws.best_score) return true;
         pruned = true;
         *inherited_bound = meta.branch_best;
         return false;
@@ -394,17 +412,17 @@ bool Miner::TrySubgraphPrune(const Pattern& pattern,
   return pruned;
 }
 
-bool Miner::TrySupergraphPrune(const Pattern& pattern,
+bool Miner::TrySupergraphPrune(WorkerState& ws, const Pattern& pattern,
                                const ResidualSet& pos_res,
                                const ResidualSet& neg_res,
                                double* inherited_bound) {
   bool pruned = false;
-  registry_.ForEachPosCandidate(
-      pos_res.i_value(), pos_res.cuts(), &stats_.residual_equiv_tests,
+  ForEachCandidate(
+      ws, pos_res.i_value(), pos_res.cuts(), &ws.stats.residual_equiv_tests,
       [&](const PatternRegistry::CandidateMeta& meta,
           const RegisteredPattern& g1) {
         if (config_.check_reference_score_first &&
-            meta.branch_best >= best_score_) {
+            meta.branch_best >= ws.best_score) {
           return true;
         }
         if (meta.node_count !=
@@ -416,15 +434,15 @@ bool Miner::TrySupergraphPrune(const Pattern& pattern,
           return true;
         }
         // Negative residual sets must match as well.
-        ++stats_.residual_equiv_tests;
-        if (registry_.algo() == ResidualEquivAlgo::kIValue) {
+        ++ws.stats.residual_equiv_tests;
+        if (ws.local.algo() == ResidualEquivAlgo::kIValue) {
           if (meta.neg_i_value != neg_res.i_value()) return true;
         } else {
           if (g1.neg_cuts != neg_res.cuts()) return true;
         }
-        ++stats_.subgraph_tests;
-        if (!tester_->Contains(g1.pattern, pattern)) return true;
-        if (meta.branch_best >= best_score_) return true;
+        ++ws.stats.subgraph_tests;
+        if (!ws.tester->Contains(g1.pattern, pattern)) return true;
+        if (meta.branch_best >= ws.best_score) return true;
         pruned = true;
         *inherited_bound = meta.branch_best;
         return false;
@@ -432,7 +450,8 @@ bool Miner::TrySupergraphPrune(const Pattern& pattern,
   return pruned;
 }
 
-void Miner::RegisterEntry(const Pattern& pattern, const ResidualSet& pos_res,
+void Miner::RegisterEntry(WorkerState& ws, const Pattern& pattern,
+                          const ResidualSet& pos_res,
                           const ResidualSet& neg_res, double branch_best) {
   RegisteredPattern entry;
   entry.pattern = pattern;
@@ -444,16 +463,16 @@ void Miner::RegisterEntry(const Pattern& pattern, const ResidualSet& pos_res,
   // The cut lists are only consulted (and kept) by the kLinearScan
   // ablation; the I-value path compares the integer compression, so the
   // copies would be made and immediately discarded.
-  if (registry_.algo() == ResidualEquivAlgo::kLinearScan) {
+  if (ws.local.algo() == ResidualEquivAlgo::kLinearScan) {
     entry.pos_cuts = pos_res.cuts();
     entry.neg_cuts = neg_res.cuts();
   }
-  registry_.Add(std::move(entry));
+  ws.local.Add(std::move(entry));
 }
 
-double Miner::Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
-                  EmbeddingTable& neg_table) {
-  ++stats_.patterns_visited;
+double Miner::Dfs(WorkerState& ws, const Pattern& pattern,
+                  EmbeddingTable& pos_table, EmbeddingTable& neg_table) {
+  ++ws.stats.patterns_visited;
 
   std::int64_t support_pos = static_cast<std::int64_t>(pos_table.size());
   std::int64_t support_neg = static_cast<std::int64_t>(neg_table.size());
@@ -462,28 +481,29 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
   double freq_neg = static_cast<double>(support_neg) /
                     static_cast<double>(neg_graphs_.size());
   double own_score = score_(freq_pos, freq_neg);
-  UpdateTop(pattern, freq_pos, freq_neg, own_score, support_pos, support_neg);
+  UpdateTop(ws, pattern, freq_pos, freq_neg, own_score, support_pos,
+            support_neg);
 
   if (static_cast<int>(pattern.edge_count()) >= config_.max_edges) {
     return own_score;
   }
-  if (BudgetExhausted()) return own_score;
+  if (BudgetExhausted(ws)) return own_score;
   if (config_.use_naive_bound && support_pos == 0) {
     // F(0, y) is the global minimum and frequency is anti-monotone: every
     // supergraph also has zero positive support. This is the degenerate
     // case of the Section 4.1 bound.
-    ++stats_.naive_prunes;
+    ++ws.stats.naive_prunes;
     return own_score;
   }
   if (config_.use_naive_bound &&
-      score_.UpperBound(freq_pos) < best_score_) {
-    ++stats_.naive_prunes;
+      score_.UpperBound(freq_pos) < ws.best_score) {
+    ++ws.stats.naive_prunes;
     return own_score;
   }
   if (config_.stop_at_top_k_ties &&
-      static_cast<int>(top_.size()) >= config_.top_k &&
-      score_.UpperBound(freq_pos) <= top_.back().score) {
-    ++stats_.naive_prunes;
+      static_cast<int>(ws.top.size()) >= config_.top_k &&
+      score_.UpperBound(freq_pos) <= ws.top.back().score) {
+    ++ws.stats.naive_prunes;
     return own_score;
   }
   if (freq_pos < config_.min_pos_freq) {
@@ -495,22 +515,24 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
 
   double inherited = 0.0;
   if (config_.use_subgraph_pruning &&
-      TrySubgraphPrune(pattern, pos_res, &inherited)) {
-    ++stats_.subgraph_prune_triggers;
-    RegisterEntry(pattern, pos_res, neg_res, inherited);
+      TrySubgraphPrune(ws, pattern, pos_res, &inherited)) {
+    ++ws.stats.subgraph_prune_triggers;
+    RegisterEntry(ws, pattern, pos_res, neg_res, inherited);
     return std::max(own_score, inherited);
   }
   if (config_.use_supergraph_pruning &&
-      TrySupergraphPrune(pattern, pos_res, neg_res, &inherited)) {
-    ++stats_.supergraph_prune_triggers;
-    RegisterEntry(pattern, pos_res, neg_res, inherited);
+      TrySupergraphPrune(ws, pattern, pos_res, neg_res, &inherited)) {
+    ++ws.stats.supergraph_prune_triggers;
+    RegisterEntry(ws, pattern, pos_res, neg_res, inherited);
     return std::max(own_score, inherited);
   }
 
-  ++stats_.patterns_expanded;
+  ++ws.stats.patterns_expanded;
   std::vector<KeyedEmbeds> runs = ScratchPool<KeyedEmbeds>::Acquire();
-  CollectExtensions(pos_table, pos_graphs_, /*positive_side=*/true, runs);
-  CollectExtensions(neg_table, neg_graphs_, /*positive_side=*/false, runs);
+  CollectExtensions(ws.pool, pos_table, pos_graphs_, /*positive_side=*/true,
+                    runs);
+  CollectExtensions(ws.pool, neg_table, neg_graphs_, /*positive_side=*/false,
+                    runs);
   // The parent's embeddings have been copied into the child streams;
   // recycle the buffers for the levels below.
   ReleaseTable(pos_table);
@@ -526,7 +548,7 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
   // budget break skips the work for children that are never visited (the
   // parallel pre-pass may therefore count cap hits for unvisited children
   // on budget-truncated runs; ranked results are unaffected).
-  const bool prededuped = pool_ != nullptr && !BudgetExhausted();
+  const bool prededuped = ws.pool != nullptr && !BudgetExhausted(ws);
   if (prededuped) {
     std::vector<EmbeddingTable*> child_tables;
     child_tables.reserve(children.size() * 2);
@@ -534,45 +556,112 @@ double Miner::Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
       child_tables.push_back(&child.buckets.pos);
       child_tables.push_back(&child.buckets.neg);
     }
-    DedupeAndCapAll(child_tables);
+    DedupeAndCapAll(ws.pool, child_tables, &ws.stats.embedding_cap_hits);
   }
 
   double branch_best = own_score;
   for (ChildWork& child : children) {
     Pattern grown = Grow(pattern, child.key);
     if (!prededuped) {
-      stats_.embedding_cap_hits += DedupeAndCap(child.buckets.pos);
-      stats_.embedding_cap_hits += DedupeAndCap(child.buckets.neg);
+      ws.stats.embedding_cap_hits += DedupeAndCap(child.buckets.pos);
+      ws.stats.embedding_cap_hits += DedupeAndCap(child.buckets.neg);
     }
-    double sub = Dfs(grown, child.buckets.pos, child.buckets.neg);
+    double sub = Dfs(ws, grown, child.buckets.pos, child.buckets.neg);
     // Paths that return before expanding leave their tables populated;
     // recycle them here so every level reuses warmed buffers.
     ReleaseTable(child.buckets.pos);
     ReleaseTable(child.buckets.neg);
     branch_best = std::max(branch_best, sub);
-    if (BudgetExhausted()) break;
+    if (BudgetExhausted(ws)) break;
   }
 
-  RegisterEntry(pattern, pos_res, neg_res, branch_best);
+  RegisterEntry(ws, pattern, pos_res, neg_res, branch_best);
   return branch_best;
 }
 
-bool Miner::BudgetExhausted() {
+bool Miner::BudgetExhausted(WorkerState& ws) {
   if (config_.max_visited > 0 &&
-      stats_.patterns_visited >= config_.max_visited) {
+      ws.committed_visited + ws.stats.patterns_visited >=
+          config_.max_visited) {
+    // Unlike a wall-clock cut this one is reported (visit_cap_hit) AND
+    // deterministic: committed + own visits depend only on root indices,
+    // never on timing, so capped searches rank identically for every
+    // thread count (subtrees in the same batch each stop against their own
+    // count, so the summed total may overshoot max_visited by at most the
+    // in-flight batch).
+    ws.stats.visit_cap_hit = true;
     return true;
   }
   if (config_.max_millis > 0) {
-    // Amortize the clock read: check every 64 visited patterns.
-    if ((stats_.patterns_visited & 63) == 0) {
+    if (ws.stats.timed_out) return true;
+    if (timed_out_.load(std::memory_order_relaxed)) {
+      ws.stats.timed_out = true;
+      return true;
+    }
+    // Amortize the clock read on the *call* count, not the visit count: a
+    // visit-count trigger never fires while patterns_visited stalls
+    // between calls (deep unwinds, one pattern doing unbounded embedding
+    // work), and calls happen at least once per visit, so counting calls
+    // bounds the staleness in both regimes.
+    if ((++ws.budget_calls & 63) == 0) {
       auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                          std::chrono::steady_clock::now() - start_time_)
                          .count();
       if (elapsed >= config_.max_millis) {
-        stats_.timed_out = true;
+        timed_out_.store(true, std::memory_order_relaxed);
+        ws.stats.timed_out = true;
+        return true;
       }
     }
-    if (stats_.timed_out) return true;
+  }
+  return false;
+}
+
+Miner::WorkerState Miner::MakeWorker(std::size_t batch_size) {
+  WorkerState ws(config_.residual_algo);
+  ws.committed = &registry_;
+  ws.top = top_;
+  ws.best_score = best_score_;
+  ws.committed_visited = stats_.patterns_visited;
+  if (batch_size <= 1) {
+    // Nothing runs concurrently with a single-subtree batch, so the worker
+    // may drive the inner-loop pool and share the miner's memoizing tester
+    // (keeping the serial search's warm memo across roots).
+    ws.pool = pool_.get();
+    ws.tester = tester_.get();
+  } else {
+    ws.owned_tester = MakeTester(config_.subgraph_algo);
+    ws.tester = ws.owned_tester.get();
+  }
+  return ws;
+}
+
+void Miner::CommitWorker(WorkerState& ws) {
+  stats_.MergeFrom(ws.stats);
+  best_score_ = std::max(best_score_, ws.best_score);
+  for (MinedPattern& mined : ws.inserts) CommitTopEntry(std::move(mined));
+  registry_.Absorb(std::move(ws.local));
+}
+
+bool Miner::CommittedBudgetExhausted() {
+  if (config_.max_visited > 0 &&
+      stats_.patterns_visited >= config_.max_visited) {
+    stats_.visit_cap_hit = true;
+    return true;
+  }
+  if (config_.max_millis > 0) {
+    if (!timed_out_.load(std::memory_order_relaxed)) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
+      if (elapsed >= config_.max_millis) {
+        timed_out_.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (timed_out_.load(std::memory_order_relaxed)) {
+      stats_.timed_out = true;
+      return true;
+    }
   }
   return false;
 }
@@ -580,6 +669,12 @@ bool Miner::BudgetExhausted() {
 MineResult Miner::Mine() {
   start_time_ = std::chrono::steady_clock::now();
   auto start = start_time_;
+  // Reset the committed state so repeated Mine() calls are independent.
+  registry_ = PatternRegistry(config_.residual_algo);
+  stats_ = MinerStats{};
+  top_.clear();
+  best_score_ = -std::numeric_limits<double>::infinity();
+  timed_out_.store(false, std::memory_order_relaxed);
 
   // Root level: bucket every data edge into a one-edge pattern. A root is
   // an extension whose endpoints are both new, so root buckets flow through
@@ -635,32 +730,53 @@ MineResult Miner::Mine() {
   std::vector<ChildWork> work = BuildChildren(runs);
   ScratchPool<KeyedEmbeds>::Release(std::move(runs));
 
-  // With a pool, root-bucket preparation is data-parallel across
-  // (root, graph) units; the DFS dispatch below stays sequential so every
-  // pruning decision sees the same registry/best-score state as a serial
-  // run. Serial runs keep the seed's lazy per-root dedupe (see Dfs).
-  const bool prededuped = pool_ != nullptr;
-  if (prededuped) {
-    std::vector<EmbeddingTable*> root_tables;
-    root_tables.reserve(work.size() * 2);
-    for (ChildWork& w : work) {
-      root_tables.push_back(&w.buckets.pos);
-      root_tables.push_back(&w.buckets.neg);
-    }
-    DedupeAndCapAll(root_tables);
-  }
+  // Root subtrees are mined in fixed-size batches. Every subtree in a
+  // batch runs against the same read-only committed snapshot (registry,
+  // top-k, best score, visit count) on its own WorkerState, then the
+  // workers are committed in ascending root-bucket order — so the search
+  // is a pure function of (inputs, root_batch), independent of thread
+  // count and scheduling. With root_batch == 1 (the default) each
+  // snapshot holds every earlier root and the search is exactly the
+  // serial DFS dispatch, including the inner-loop pool use.
+  const std::size_t batch_size =
+      static_cast<std::size_t>(std::max(config_.root_batch, 1));
+  for (std::size_t begin = 0; begin < work.size(); begin += batch_size) {
+    // Budget check between batches (the first batch always runs, as the
+    // serial dispatch always mined at least one root).
+    if (begin > 0 && CommittedBudgetExhausted()) break;
+    const std::size_t n = std::min(batch_size, work.size() - begin);
 
-  for (ChildWork& w : work) {
-    Pattern root = Pattern::SingleEdge(w.key.src_label, w.key.dst_label,
-                                       w.key.elabel);
-    if (!prededuped) {
-      stats_.embedding_cap_hits += DedupeAndCap(w.buckets.pos);
-      stats_.embedding_cap_hits += DedupeAndCap(w.buckets.neg);
+    // Root-bucket preparation for this batch, data-parallel across
+    // (root, graph) units when pooled — never for roots a budget break
+    // would leave unvisited.
+    std::vector<EmbeddingTable*> root_tables;
+    root_tables.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      root_tables.push_back(&work[begin + i].buckets.pos);
+      root_tables.push_back(&work[begin + i].buckets.neg);
     }
-    Dfs(root, w.buckets.pos, w.buckets.neg);
-    ReleaseTable(w.buckets.pos);
-    ReleaseTable(w.buckets.neg);
-    if (BudgetExhausted()) break;
+    DedupeAndCapAll(pool_.get(), root_tables, &stats_.embedding_cap_hits);
+
+    std::vector<WorkerState> workers;
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) workers.push_back(MakeWorker(n));
+
+    // Chunk 0 runs on this thread; single-subtree batches (n == 1) run
+    // entirely inline here, which keeps the n == 1 workers free to drive
+    // the inner-loop pool without nesting.
+    ParallelFor(pool_.get(), n, [&](std::size_t i) {
+      WorkerState& ws = workers[i];
+      ChildWork& w = work[begin + i];
+      Pattern root = Pattern::SingleEdge(w.key.src_label, w.key.dst_label,
+                                         w.key.elabel);
+      Dfs(ws, root, w.buckets.pos, w.buckets.neg);
+      ReleaseTable(w.buckets.pos);
+      ReleaseTable(w.buckets.neg);
+    });
+
+    // Deterministic merge: ascending root-bucket index, regardless of
+    // which worker finished first.
+    for (WorkerState& ws : workers) CommitWorker(ws);
   }
 
   MineResult result;

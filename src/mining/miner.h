@@ -1,6 +1,7 @@
 #ifndef TGM_MINING_MINER_H_
 #define TGM_MINING_MINER_H_
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <vector>
@@ -65,15 +66,30 @@ using EmbeddingTable = std::vector<GraphEmbeddings>;
 /// (Lemma 6) or linear scans, and temporal subgraph tests via the
 /// configured matcher.
 ///
-/// Parallelism: with `MinerConfig::num_threads > 1` the data-parallel
-/// inner loops — per-graph extension collection, per-graph embedding
-/// dedupe, root-bucket preparation — run on an internal thread pool via
-/// the deterministic ParallelFor (exec/parallel_for.h). The DFS skeleton
-/// and all pruning state stay on the calling thread and parallel results
-/// are merged in index order, so the ranked result is bit-identical to a
-/// serial run for every thread count — unless a max_millis wall-clock
-/// budget truncates the search at a timing-dependent point (see
-/// MinerConfig::num_threads).
+/// Parallelism: two levels, both deterministic for every thread count.
+///
+///  1. Data-parallel inner loops (`MinerConfig::num_threads > 1`):
+///     per-graph extension collection, per-graph embedding dedupe, and
+///     root-bucket preparation run on an internal thread pool via the
+///     deterministic ParallelFor (exec/parallel_for.h), merging per-index
+///     results in index order.
+///  2. Root-subtree parallelism (`MinerConfig::root_batch > 1`): the root
+///     buckets are independent subtrees of the pattern-space tree, mined
+///     in fixed-size batches. Every subtree in a batch runs on a pool
+///     worker with its own WorkerState — thread-local PatternRegistry,
+///     top-k list, MinerStats, subgraph tester, and scratch — seeded from
+///     a read-only snapshot of the registry/top/best-score committed by
+///     earlier batches. When the batch joins, worker results are
+///     committed in ascending root-bucket order: registries are absorbed,
+///     top-k insertions are replayed, and stats are summed. Batch
+///     membership and snapshots depend only on root indices, so ranked
+///     output is bit-identical for any thread count.
+///
+/// root_batch == 1 (the default) makes level 2 degenerate into the exact
+/// serial search: each root's snapshot holds every earlier root, which is
+/// what the serial DFS dispatch sees. A max_millis wall-clock budget
+/// truncates either mode at a timing-dependent point, so timed-out runs
+/// may differ across thread counts (see MinerConfig::num_threads).
 class Miner {
  public:
   /// The graph pointers must outlive the miner. Graphs must be finalized
@@ -134,6 +150,52 @@ class Miner {
     double score = 0.0;
   };
 
+  /// Per-subtree mining state. The DFS and every helper below it operate
+  /// exclusively on one WorkerState, so a root subtree is a pure function
+  /// of (its root bucket, the committed snapshot it was seeded from) and
+  /// can run on any pool worker without locks. The serial search is the
+  /// degenerate case of one worker per batch whose snapshot holds all
+  /// earlier roots.
+  struct WorkerState {
+    /// Counters for this subtree only; committed via MinerStats::MergeFrom
+    /// in ascending root order.
+    MinerStats stats;
+    /// Patterns registered while mining this subtree. Candidate scans
+    /// consult `committed` first, then this — the exact registration order
+    /// a serial run would have produced.
+    PatternRegistry local;
+    /// Read-only snapshot of the registries committed by earlier batches.
+    /// Mutated only between batches, on the dispatching thread.
+    const PatternRegistry* committed = nullptr;
+    /// Top-k list seeded from the committed top; updated like the serial
+    /// list so in-subtree gates (UpdateTop early-out, stop_at_top_k_ties)
+    /// see the scores a serial run would see.
+    std::vector<MinedPattern> top;
+    /// Every successful UpdateTop insertion, in insertion order — the
+    /// replay log for the deterministic commit (an insertion that a later
+    /// sibling commit invalidates is simply skipped during replay).
+    std::vector<MinedPattern> inserts;
+    double best_score = 0.0;
+    /// Patterns visited by committed batches when this batch started; the
+    /// max_visited budget cut is committed + own, which is exact for
+    /// root_batch == 1 and index-deterministic (siblings excluded) above.
+    std::int64_t committed_visited = 0;
+    /// BudgetExhausted call counter; the wall clock is read every 64 calls.
+    std::int64_t budget_calls = 0;
+    /// Pool for the data-parallel inner loops. Null on batch workers:
+    /// nesting ParallelFor inside a pool task can deadlock, so subtree
+    /// workers run their inner loops inline.
+    ThreadPool* pool = nullptr;
+    /// Subgraph tester for the pruning passes. Testers memoize (SeqMatcher
+    /// caches per-argument reps), so they are per-worker, never shared.
+    TemporalSubgraphTester* tester = nullptr;
+    std::unique_ptr<TemporalSubgraphTester> owned_tester;
+    /// Reused mark buffer for TrySubgraphPrune's condition-(3) check.
+    std::vector<char> mapped_scratch;
+
+    explicit WorkerState(ResidualEquivAlgo algo) : local(algo) {}
+  };
+
   /// Merges key-sorted runs into per-key ChildWork items (scored, and
   /// score-ordered when config_.order_children_by_score). Consumes `runs`.
   std::vector<ChildWork> BuildChildren(std::vector<KeyedEmbeds>& runs) const;
@@ -142,20 +204,52 @@ class Miner {
   /// open-addressing run table.
   static std::uint64_t HashKey(const ExtensionKey& key);
 
+  /// Returns one WorkerState seeded from the committed snapshot (all
+  /// workers of a batch get identical seeds; which root a worker mines is
+  /// decided by the dispatch loop). `batch_size` decides whether the
+  /// worker may use the inner-loop pool and the shared memoizing tester
+  /// (only single-subtree batches can: nothing else runs concurrently).
+  WorkerState MakeWorker(std::size_t batch_size);
+
   /// Returns the best score seen in the subtree rooted at `pattern`.
   /// Consumes both tables: embeddings are moved into child buckets and the
   /// spent buffers are recycled through the scratch arena.
-  double Dfs(const Pattern& pattern, EmbeddingTable& pos_table,
-             EmbeddingTable& neg_table);
+  double Dfs(WorkerState& ws, const Pattern& pattern,
+             EmbeddingTable& pos_table, EmbeddingTable& neg_table);
 
-  /// True if a visit/time budget has been exhausted (sets stats flags).
-  bool BudgetExhausted();
+  /// True if a visit/time budget has been exhausted (sets ws stats flags).
+  bool BudgetExhausted(WorkerState& ws);
+
+  /// Invokes `fn` over pruning candidates from the committed snapshot
+  /// first, then the worker-local registry — the combined sequence is the
+  /// single-registry order of a serial run. `fn` returns false to stop.
+  template <typename Fn>
+  void ForEachCandidate(
+      const WorkerState& ws, std::int64_t pos_i_value,
+      const std::vector<std::pair<std::int32_t, EdgePos>>& pos_cuts,
+      std::int64_t* equiv_tests, Fn&& fn) const {
+    bool stopped = false;
+    auto wrapped = [&](const PatternRegistry::CandidateMeta& meta,
+                       const RegisteredPattern& entry) {
+      if (!fn(meta, entry)) {
+        stopped = true;
+        return false;
+      }
+      return true;
+    };
+    ws.committed->ForEachPosCandidate(pos_i_value, pos_cuts, equiv_tests,
+                                      wrapped);
+    if (stopped) return;
+    ws.local.ForEachPosCandidate(pos_i_value, pos_cuts, equiv_tests,
+                                 wrapped);
+  }
 
   /// Appends one side's key-grouped extension runs to `out`, graphs in
   /// ascending order. Run order within a graph is first-encounter (hash
   /// probe) order, NOT key order — consumers must group through
   /// BuildChildren, whose key sort establishes the deterministic order.
-  void CollectExtensions(const EmbeddingTable& table,
+  /// `pool` may be null (inline).
+  void CollectExtensions(ThreadPool* pool, const EmbeddingTable& table,
                          const std::vector<const TemporalGraph*>& graphs,
                          bool positive_side,
                          std::vector<KeyedEmbeds>& out) const;
@@ -168,20 +262,24 @@ class Miner {
                               const TemporalGraph& g,
                               std::vector<KeyedEmbeds>& out) const;
 
-  /// Records `pattern` in the registry; materializes the residual cut lists
-  /// only when the registry's equivalence algorithm actually stores them
-  /// (the kLinearScan ablation), instead of copying them unconditionally.
-  void RegisterEntry(const Pattern& pattern, const ResidualSet& pos_res,
-                     const ResidualSet& neg_res, double branch_best);
+  /// Records `pattern` in the worker-local registry; materializes the
+  /// residual cut lists only when the registry's equivalence algorithm
+  /// actually stores them (the kLinearScan ablation), instead of copying
+  /// them unconditionally.
+  void RegisterEntry(WorkerState& ws, const Pattern& pattern,
+                     const ResidualSet& pos_res, const ResidualSet& neg_res,
+                     double branch_best);
 
   /// Returns every embedding buffer in `table` to the scratch arena and
   /// empties the table.
   static void ReleaseTable(EmbeddingTable& table);
 
   /// Dedupes (and caps) every per-graph embedding list in `tables`, using
-  /// the pool when available: one parallel unit per (table, graph) entry.
-  /// Adds the cap-hit count to stats in index order.
-  void DedupeAndCapAll(const std::vector<EmbeddingTable*>& tables);
+  /// `pool` when non-null: one parallel unit per (table, graph) entry.
+  /// Adds the cap-hit count to `*cap_hits` in index order.
+  void DedupeAndCapAll(ThreadPool* pool,
+                       const std::vector<EmbeddingTable*>& tables,
+                       std::int64_t* cap_hits) const;
 
   ResidualSet BuildResidual(const EmbeddingTable& table,
                             const std::vector<const TemporalGraph*>& graphs)
@@ -189,15 +287,28 @@ class Miner {
 
   Pattern Grow(const Pattern& parent, const ExtensionKey& key) const;
 
-  bool TrySubgraphPrune(const Pattern& pattern, const ResidualSet& pos_res,
-                        double* inherited_bound);
-  bool TrySupergraphPrune(const Pattern& pattern, const ResidualSet& pos_res,
+  bool TrySubgraphPrune(WorkerState& ws, const Pattern& pattern,
+                        const ResidualSet& pos_res, double* inherited_bound);
+  bool TrySupergraphPrune(WorkerState& ws, const Pattern& pattern,
+                          const ResidualSet& pos_res,
                           const ResidualSet& neg_res,
                           double* inherited_bound);
 
-  void UpdateTop(const Pattern& pattern, double freq_pos, double freq_neg,
-                 double score, std::int64_t support_pos,
+  void UpdateTop(WorkerState& ws, const Pattern& pattern, double freq_pos,
+                 double freq_neg, double score, std::int64_t support_pos,
                  std::int64_t support_neg);
+
+  /// Replays one worker insertion into the committed top-k list (the
+  /// ordered insert of UpdateTop without the support/frequency gates,
+  /// which the worker already applied).
+  void CommitTopEntry(MinedPattern mined);
+
+  /// Folds one finished worker into the committed state. Must be called in
+  /// ascending root-bucket order — that order is the determinism contract.
+  void CommitWorker(WorkerState& ws);
+
+  /// Budget check between batches, on the committed state only.
+  bool CommittedBudgetExhausted();
 
   /// Returns the number of cap hits (callers fold it into stats).
   std::int64_t DedupeAndCap(EmbeddingTable& table) const;
@@ -209,18 +320,30 @@ class Miner {
   MinerConfig config_;
   std::vector<const TemporalGraph*> pos_graphs_;
   std::vector<const TemporalGraph*> neg_graphs_;
-  /// Reused mark buffer for TrySubgraphPrune's condition-(3) check.
-  std::vector<char> mapped_scratch_;
 
   DiscriminativeScore score_;
-  /// Worker pool for the data-parallel inner loops; null when the
-  /// resolved num_threads is 1 (the serial path has zero pool overhead).
+  /// Worker pool for batch subtrees and the data-parallel inner loops;
+  /// null when the resolved num_threads is 1 (the serial path has zero
+  /// pool overhead).
   std::unique_ptr<ThreadPool> pool_;
+  /// Tester lent to single-subtree batches so the serial search keeps one
+  /// warm memo across roots; multi-subtree batches build per-worker ones.
   std::unique_ptr<TemporalSubgraphTester> tester_;
+
+  /// Committed state: everything below reflects exactly the root subtrees
+  /// committed so far, is read-only while a batch is in flight, and is
+  /// advanced by CommitWorker in ascending root order between batches.
   PatternRegistry registry_;
+  /// stats_.patterns_visited doubles as the committed visit count that
+  /// seeds WorkerState::committed_visited and gates the max_visited
+  /// budget between batches.
   MinerStats stats_;
   std::vector<MinedPattern> top_;
   double best_score_;
+  /// Latched by whichever worker observes the max_millis cutoff first so
+  /// sibling subtrees stop promptly (truncation points are
+  /// timing-dependent either way; see MinerConfig::num_threads).
+  std::atomic<bool> timed_out_{false};
   std::chrono::steady_clock::time_point start_time_;
 };
 

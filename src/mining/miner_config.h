@@ -82,22 +82,55 @@ struct MinerConfig {
   /// pipeline, at the cost of no longer measuring the paper's overheads.
   bool check_reference_score_first = false;
 
-  /// Threads used for the miner's data-parallel inner loops (root-bucket
-  /// preparation, per-graph embedding dedupe, per-graph extension
-  /// collection). 1 = fully serial (no pool is created); 0 = all hardware
-  /// threads. The DFS skeleton — visit order, pruning decisions, registry
-  /// and top-k updates — always runs on the calling thread and every
-  /// parallel region merges per-index results in index order, so ranked
-  /// results are bit-identical for every thread count — provided the
-  /// search runs to its natural end or a max_visited cap. A max_millis
-  /// wall-clock cutoff truncates the search at a timing-dependent point,
-  /// so timed-out runs may differ across thread counts (just as they may
-  /// across repeated serial runs). On budget-truncated runs the
-  /// stats.embedding_cap_hits counter may also differ: the pooled pre-pass
-  /// dedupes (and counts) branches a lazily-deduping serial run never
-  /// reaches. Ranked results and the search-shape counters
-  /// (patterns_visited/expanded, prune triggers) are unaffected.
+  /// Threads used for the miner's parallel work. 1 = fully serial (no pool
+  /// is created); 0 = all hardware threads. What the pool runs depends on
+  /// `root_batch`:
+  ///
+  ///  - root_batch == 1 (default): only the data-parallel inner loops —
+  ///    root-bucket preparation, per-graph embedding dedupe, per-graph
+  ///    extension collection — run on the pool. The DFS skeleton — visit
+  ///    order, pruning decisions, registry and top-k updates — runs on the
+  ///    calling thread and every parallel region merges per-index results
+  ///    in index order, so ranked results are bit-identical for every
+  ///    thread count.
+  ///  - root_batch > 1: whole root subtrees additionally run concurrently
+  ///    on the pool (see root_batch below); inner loops then run inline on
+  ///    their subtree's worker. Ranked results remain bit-identical for
+  ///    every thread count because subtree inputs are fixed at batch start
+  ///    and commits happen in ascending root-bucket order.
+  ///
+  /// Both invariants hold provided the search runs to its natural end or a
+  /// max_visited cap. A max_millis wall-clock cutoff truncates the search
+  /// at a timing-dependent point, so timed-out runs may differ across
+  /// thread counts (just as they may across repeated serial runs). On
+  /// budget-truncated runs the stats.embedding_cap_hits counter may also
+  /// differ: the pooled pre-pass dedupes (and counts) buckets a
+  /// lazily-deduping serial run never reaches. Ranked results and the
+  /// search-shape counters (patterns_visited/expanded, prune triggers) are
+  /// unaffected.
   int num_threads = 1;
+
+  /// Number of root subtrees mined concurrently per batch. The root-level
+  /// ChildWork buckets are independent subtrees of the pattern-space tree
+  /// (Theorem 1), so they can be explored in parallel; each subtree in a
+  /// batch runs on a pool worker with its own thread-local registry,
+  /// top-k list, and stats, all seeded from a read-only snapshot of the
+  /// state committed by earlier batches, and the per-subtree results are
+  /// committed in ascending root-bucket order once the batch joins.
+  ///
+  /// 1 (default) reproduces the fully serial search exactly: each "batch"
+  /// is one root whose snapshot contains every earlier root, which is
+  /// precisely what the serial DFS dispatch sees. Values > 1 trade pruning
+  /// visibility for parallelism: subtrees in the same batch cannot see
+  /// each other's registrations or best scores, so the search explores
+  /// (somewhat) more patterns and its ranked tail may cut score ties
+  /// differently than root_batch=1 — the maximum score is preserved
+  /// either way (the pruning rules are sound under any registry subset,
+  /// Theorem 2). For a fixed root_batch the search is deterministic: batch
+  /// membership and snapshots depend only on root indices, never on
+  /// timing or thread count. Keep it a constant (not derived from
+  /// num_threads) when comparing runs across machines.
+  int root_batch = 1;
 
   /// Minimum number of embeddings in a parallel region before the pool is
   /// engaged; smaller regions run inline because the handoff overhead

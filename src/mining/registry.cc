@@ -20,4 +20,27 @@ void PatternRegistry::Add(RegisteredPattern entry) {
   }
 }
 
+void PatternRegistry::Absorb(PatternRegistry&& other) {
+  TGM_CHECK(other.algo_ == algo_);
+  if (&other == this || other.entries_.empty()) return;
+  const std::size_t offset = entries_.size();
+  meta_.insert(meta_.end(), other.meta_.begin(), other.meta_.end());
+  for (RegisteredPattern& entry : other.entries_) {
+    entries_.push_back(std::move(entry));
+  }
+  if (algo_ == ResidualEquivAlgo::kIValue) {
+    // Bucket-local index order is registration order; rebasing and
+    // appending keeps absorbed candidates after the existing ones, exactly
+    // where serial registration would have put them.
+    for (auto& [key, indices] : other.by_pos_i_) {
+      std::vector<std::size_t>& dst = by_pos_i_[key];
+      dst.reserve(dst.size() + indices.size());
+      for (std::size_t idx : indices) dst.push_back(idx + offset);
+    }
+  }
+  other.entries_.clear();
+  other.meta_.clear();
+  other.by_pos_i_.clear();
+}
+
 }  // namespace tgm

@@ -58,6 +58,17 @@ class PatternRegistry {
 
   void Add(RegisteredPattern entry);
 
+  /// Appends every entry of `other` (which must use the same algorithm)
+  /// after this registry's entries, preserving `other`'s registration
+  /// order, and folds its I-value buckets in with rebased indices. `other`
+  /// is left empty. This is the merge step of parallel root-subtree
+  /// mining: each subtree records its patterns in a thread-local registry,
+  /// and the registries are absorbed into the shared committed registry in
+  /// ascending root-bucket order, so the combined entry order — and hence
+  /// every later candidate scan — is identical to a serial run that mined
+  /// the subtrees in that order.
+  void Absorb(PatternRegistry&& other);
+
   /// Invokes `fn(meta, entry)` for every candidate whose positive residual
   /// set *may* equal one with I-value `pos_i_value`; `fn` returns false to
   /// stop early. `equiv_tests` is incremented once per candidate

@@ -33,6 +33,31 @@ struct MinerStats {
   double elapsed_seconds = 0.0;
   /// True if the run hit MinerConfig::max_millis before completing.
   bool timed_out = false;
+  /// True if the run hit MinerConfig::max_visited before completing. A
+  /// capped search is truncated exactly like a timed-out one, so callers
+  /// must be able to tell it from a completed search.
+  bool visit_cap_hit = false;
+
+  /// True if the search stopped on any budget rather than exhausting the
+  /// pattern space; truncated results are a prefix of the full search.
+  bool truncated() const { return timed_out || visit_cap_hit; }
+
+  /// Folds another stats block into this one (counters sum, truncation
+  /// flags OR). Used to commit per-subtree worker stats in root-index
+  /// order; `elapsed_seconds` is wall-clock for the whole mine and is set
+  /// once at the end, not merged.
+  void MergeFrom(const MinerStats& other) {
+    patterns_visited += other.patterns_visited;
+    patterns_expanded += other.patterns_expanded;
+    naive_prunes += other.naive_prunes;
+    subgraph_prune_triggers += other.subgraph_prune_triggers;
+    supergraph_prune_triggers += other.supergraph_prune_triggers;
+    subgraph_tests += other.subgraph_tests;
+    residual_equiv_tests += other.residual_equiv_tests;
+    embedding_cap_hits += other.embedding_cap_hits;
+    timed_out = timed_out || other.timed_out;
+    visit_cap_hit = visit_cap_hit || other.visit_cap_hit;
+  }
 
   double SubgraphTriggerRate() const {
     return patterns_visited == 0

@@ -30,19 +30,30 @@ void StreamMonitor::Advance(
     QueryState& state, std::size_t query_index, const StreamEvent& event,
     const std::function<void(const StreamAlert&)>& sink) {
   const Pattern& pattern = state.pattern;
+  std::vector<Partial>& partials = state.partials;
 
-  // Expire partials whose window has closed. Partials are appended in
-  // first_ts order, so expiry pops from the front.
   if (options_.window > 0) {
-    while (!state.partials.empty() &&
-           event.ts - state.partials.front().first_ts > options_.window) {
-      state.partials.pop_front();
+    // Expire by full scan (stable compaction). Extensions inherit their
+    // base's first_ts but sit at the back of the list, so it is not
+    // ordered by first_ts; expiring only from the front would strand
+    // expired partials behind any younger one — alive forever as far as
+    // PartialCount and the max_partials cap are concerned, though the
+    // window check makes them unextendable.
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < partials.size(); ++i) {
+      if (event.ts - partials[i].first_ts > options_.window) continue;
+      if (live != i) partials[live] = std::move(partials[i]);
+      ++live;
     }
+    partials.resize(live);
     // Emitted-interval dedup entries older than the window can never be
-    // duplicated again.
-    std::erase_if(state.emitted, [&](const Interval& interval) {
-      return event.ts - interval.begin > options_.window;
-    });
+    // duplicated again; the set is ordered by begin, so they form its
+    // prefix.
+    auto it = state.emitted.begin();
+    while (it != state.emitted.end() &&
+           event.ts - it->begin > options_.window) {
+      it = state.emitted.erase(it);
+    }
   }
 
   auto try_extend = [&](const Partial* base) {
@@ -100,30 +111,30 @@ void StreamMonitor::Advance(
 
     if (extended.next_edge == pattern.edge_count()) {
       Interval interval{extended.first_ts, extended.last_ts};
-      if (std::find(state.emitted.begin(), state.emitted.end(), interval) ==
-          state.emitted.end()) {
-        state.emitted.push_back(interval);
+      // One ordered probe both tests and records the interval.
+      if (state.emitted.insert(interval).second) {
         sink(StreamAlert{query_index, interval});
       }
       return;
     }
-    if (state.partials.size() >= options_.max_partials_per_query) {
+    if (partials.size() + pending_.size() >=
+        options_.max_partials_per_query) {
       ++dropped_partials_;
       return;
     }
-    state.partials.push_back(std::move(extended));
+    pending_.push_back(std::move(extended));
   };
 
-  // Existing partials first (snapshot the size: extensions appended during
-  // this event must not be re-extended by the same event).
-  std::size_t live = state.partials.size();
-  for (std::size_t i = 0; i < live; ++i) {
-    // deque iterators invalidate on push_back; index access is stable.
-    Partial snapshot = state.partials[i];
-    try_extend(&snapshot);
-  }
+  // Existing partials first. Extensions land in pending_, so the live list
+  // is never reallocated mid-scan and each base is read in place — no
+  // per-partial snapshot copy, and nothing appended during this event can
+  // be re-extended by the same event.
+  for (const Partial& base : partials) try_extend(&base);
   // And a fresh partial starting at this event.
   try_extend(nullptr);
+
+  for (Partial& p : pending_) partials.push_back(std::move(p));
+  pending_.clear();
 }
 
 }  // namespace tgm

@@ -2,9 +2,8 @@
 #define TGM_QUERY_STREAM_MONITOR_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <set>
 #include <vector>
 
 #include "query/searcher.h"
@@ -41,7 +40,16 @@ struct StreamAlert {
 /// in time order. Partial matches expire once the window has passed, which
 /// bounds memory by (events in window) x (query size).
 ///
-/// One alert is emitted per completed match interval (deduplicated).
+/// Expiry scans the full partial list: an extension inherits its base's
+/// first_ts but is appended at the back, so the list is NOT ordered by
+/// first_ts and a front-only expiry would strand never-completable
+/// partials behind younger ones (inflating PartialCount and burning the
+/// max_partials cap). The scan is O(live partials), the same as the
+/// extension pass every event already performs.
+///
+/// One alert is emitted per completed match interval; the dedup set is
+/// ordered by interval begin, so duplicate suppression is O(log alerts)
+/// per completion and expiring old dedup entries pops the ordered front.
 class StreamMonitor {
  public:
   struct Options {
@@ -77,9 +85,11 @@ class StreamMonitor {
   };
   struct QueryState {
     Pattern pattern;
-    std::deque<Partial> partials;
-    // Dedup of emitted alert intervals.
-    std::vector<Interval> emitted;
+    std::vector<Partial> partials;
+    // Dedup of emitted alert intervals, ordered by (begin, end): lookup
+    // and insert are one O(log) probe, window expiry erases from the
+    // ordered front.
+    std::set<Interval> emitted;
   };
 
   static constexpr std::int64_t kUnbound = -1;
@@ -90,6 +100,10 @@ class StreamMonitor {
 
   Options options_;
   std::vector<QueryState> queries_;
+  /// Extensions produced by the current event, appended to the live list
+  /// after the scan (so the scan extends in place, copy-free). A member
+  /// only to reuse its capacity across events.
+  std::vector<Partial> pending_;
   std::int64_t dropped_partials_ = 0;
 };
 

@@ -115,10 +115,30 @@ TEST(PruningTest, VisitCapStopsSearch) {
   std::vector<TemporalGraph> neg = ChainGraphs(3, 2, 2);
   MinerConfig config = MinerConfig::TGMiner();
   config.max_edges = 10;
-  config.max_visited = 50;
+  // The uncapped search visits 19 patterns on this fixture; the cap must
+  // actually bind for the truncation reporting below to be exercised.
+  config.max_visited = 10;
   MineResult result = Miner(config, pos, neg).Mine();
   // The cap is checked between visits, so allow a small overshoot.
-  EXPECT_LE(result.stats.patterns_visited, 60);
+  EXPECT_LE(result.stats.patterns_visited, 15);
+  // A capped search is a truncated search and must say so: callers could
+  // not previously tell a max_visited cut from a completed search.
+  EXPECT_TRUE(result.stats.visit_cap_hit);
+  EXPECT_TRUE(result.stats.truncated());
+  EXPECT_FALSE(result.stats.timed_out);
+}
+
+TEST(PruningTest, CompletedSearchReportsNoTruncation) {
+  std::vector<TemporalGraph> pos = ChainGraphs(3, 6, 2);
+  std::vector<TemporalGraph> neg = ChainGraphs(3, 2, 2);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.max_visited = 1000000;
+  config.max_millis = 600000;
+  MineResult result = Miner(config, pos, neg).Mine();
+  EXPECT_FALSE(result.stats.visit_cap_hit);
+  EXPECT_FALSE(result.stats.timed_out);
+  EXPECT_FALSE(result.stats.truncated());
 }
 
 TEST(PruningTest, EmbeddingCapIsDeterministic) {

@@ -3,6 +3,13 @@
 // scores, frequencies, order) and best score are bit-identical to serial,
 // because the DFS skeleton stays sequential and every parallel inner loop
 // merges per-index slots in index order.
+//
+// With MinerConfig::root_batch > 1 whole root subtrees additionally run
+// concurrently on the pool; determinism then comes from fixed batch
+// membership (a function of root indices only), per-subtree WorkerState
+// seeded from the committed snapshot, and commits in ascending
+// root-bucket order — pinned below across 1/2/4/8 threads, including the
+// search-shape stats.
 
 #include <gtest/gtest.h>
 
@@ -188,6 +195,175 @@ TEST(ParallelMinerConfigTest, VisitCapBudgetStaysDeterministic) {
   config.max_edges = 4;
   config.max_visited = 40;
   ExpectThreadCountInvariance(config, pos, neg);
+}
+
+// ---------------------------------------------------------------------------
+// Root-subtree parallelism (MinerConfig::root_batch > 1).
+
+/// For a fixed root_batch, ranked output AND the search-shape stats must
+/// be bit-identical for every thread count: each subtree is a pure
+/// function of (its root bucket, the committed snapshot at batch start)
+/// and commits land in ascending root-bucket order.
+void ExpectRootBatchThreadInvariance(const MinerConfig& base,
+                                     const std::vector<TemporalGraph>& pos,
+                                     const std::vector<TemporalGraph>& neg) {
+  MinerConfig serial = base;
+  serial.num_threads = 1;
+  MineResult want = Miner(serial, pos, neg).Mine();
+  for (int num_threads : {2, 4, 8}) {
+    MinerConfig config = base;
+    config.num_threads = num_threads;
+    config.parallel_min_embeddings = 0;
+    MineResult got = Miner(config, pos, neg).Mine();
+    ExpectIdenticalResults(want, got, num_threads);
+    EXPECT_EQ(want.stats.patterns_visited, got.stats.patterns_visited);
+    EXPECT_EQ(want.stats.patterns_expanded, got.stats.patterns_expanded);
+    EXPECT_EQ(want.stats.subgraph_prune_triggers,
+              got.stats.subgraph_prune_triggers);
+    EXPECT_EQ(want.stats.supergraph_prune_triggers,
+              got.stats.supergraph_prune_triggers);
+    // On budget-truncated runs embedding_cap_hits may legitimately differ
+    // across thread counts (a pooled pre-pass dedupes children a lazy
+    // serial run never reaches — see MinerConfig::num_threads), so only
+    // completed searches pin it.
+    if (!want.stats.truncated()) {
+      EXPECT_EQ(want.stats.embedding_cap_hits, got.stats.embedding_cap_hits);
+    }
+  }
+}
+
+class RootSubtreeParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootSubtreeParallelTest, RandomFixturesRankIdenticallyAcrossThreads) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 11000);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.top_k = 512;
+  // Small batches exercise multiple commit rounds, large ones one big
+  // batch; both must be schedule-independent.
+  for (int root_batch : {2, 4, 16}) {
+    SCOPED_TRACE(::testing::Message() << "root_batch=" << root_batch);
+    config.root_batch = root_batch;
+    ExpectRootBatchThreadInvariance(config, pos, neg);
+  }
+}
+
+TEST_P(RootSubtreeParallelTest, AblationConfigsRankIdenticallyAcrossThreads) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 13000);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+  }
+  for (const MinerConfig& preset :
+       {MinerConfig::SubPrune(), MinerConfig::SupPrune(),
+        MinerConfig::LinearScan()}) {
+    MinerConfig config = preset;
+    config.max_edges = 3;
+    config.root_batch = 4;
+    ExpectRootBatchThreadInvariance(config, pos, neg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RootSubtreeParallelTest,
+                         ::testing::Range(0, 4));
+
+TEST(RootSubtreeParallelTest, PreservesBestScoreOfSerialSearch) {
+  // Subtrees in a batch cannot see each other's registrations, so the
+  // batched search prunes (at most) less than root_batch=1 and its ranked
+  // tail may cut ties differently — but the pruning rules stay sound
+  // under any registry subset, so the maximum score must match the fully
+  // serial search exactly (Theorem 2 across modes).
+  std::mt19937_64 rng(29);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<TemporalGraph> pos;
+    std::vector<TemporalGraph> neg;
+    for (int i = 0; i < 4; ++i) {
+      pos.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+      neg.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+    }
+    MinerConfig serial = MinerConfig::TGMiner();
+    serial.max_edges = 3;
+    MineResult want = Miner(serial, pos, neg).Mine();
+    MinerConfig batched = serial;
+    batched.root_batch = 8;
+    batched.num_threads = 4;
+    batched.parallel_min_embeddings = 0;
+    MineResult got = Miner(batched, pos, neg).Mine();
+    EXPECT_DOUBLE_EQ(want.best_score, got.best_score);
+    ASSERT_FALSE(want.top.empty());
+    ASSERT_FALSE(got.top.empty());
+    EXPECT_EQ(want.top[0].score, got.top[0].score);
+  }
+}
+
+TEST(RootSubtreeParallelTest, MinPosFreqAndTieCutConfigsStayInvariant) {
+  // The pipeline-shaped knobs (support floor, tie cut, eager score gate)
+  // gate on per-worker state; they must stay thread-count-invariant in
+  // batched mode too.
+  std::mt19937_64 rng(53);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 5; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 7, 12, 3));
+    neg.push_back(tgm::testing::RandomGraph(rng, 7, 12, 3));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 4;
+  config.min_pos_freq = 0.5;
+  config.stop_at_top_k_ties = true;
+  config.check_reference_score_first = true;
+  config.top_k = 16;
+  config.root_batch = 4;
+  ExpectRootBatchThreadInvariance(config, pos, neg);
+}
+
+TEST(RootSubtreeParallelTest, VisitCapIsDeterministicAndReported) {
+  // max_visited cuts against committed + own visits — a function of root
+  // indices, not timing — so capped batched searches must rank
+  // identically for every thread count, and the cut must be visible to
+  // callers via stats.visit_cap_hit (a capped search is truncated, not
+  // complete).
+  std::mt19937_64 rng(71);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 12, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 12, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 4;
+  config.max_visited = 40;
+  config.root_batch = 4;
+  ExpectRootBatchThreadInvariance(config, pos, neg);
+  MineResult capped = Miner(config, pos, neg).Mine();
+  EXPECT_TRUE(capped.stats.visit_cap_hit);
+  EXPECT_TRUE(capped.stats.truncated());
+  EXPECT_FALSE(capped.stats.timed_out);
+}
+
+TEST(RootSubtreeParallelTest, ReplicatedFixturesRankIdenticallyAcrossThreads) {
+  std::mt19937_64 rng(97);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 2; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+  }
+  std::vector<TemporalGraph> pos_syn = ReplicateGraphs(pos, 3);
+  std::vector<TemporalGraph> neg_syn = ReplicateGraphs(neg, 3);
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.top_k = 256;
+  config.root_batch = 8;
+  ExpectRootBatchThreadInvariance(config, pos_syn, neg_syn);
 }
 
 TEST(ParallelMinerConfigTest, ZeroMeansHardwareThreadsAndStillMatches) {

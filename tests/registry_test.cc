@@ -105,5 +105,68 @@ TEST(RegistryTest, SizeCounts) {
   EXPECT_EQ(registry.size(), 2u);
 }
 
+TEST(RegistryTest, AbsorbAppendsInRegistrationOrder) {
+  // Absorbing a thread-local registry must behave exactly as if its
+  // entries had been Add()ed after the committed ones: same candidate
+  // sequence per I-value bucket, absorbed entries last.
+  PatternRegistry committed(ResidualEquivAlgo::kIValue);
+  committed.Add(MakeEntry(Pattern::SingleEdge(0, 1), 10, 0, 1.0));
+  committed.Add(MakeEntry(Pattern::SingleEdge(0, 2), 99, 0, 2.0));
+
+  PatternRegistry local(ResidualEquivAlgo::kIValue);
+  local.Add(MakeEntry(Pattern::SingleEdge(1, 2), 10, 7, 3.0));
+  local.Add(MakeEntry(Pattern::SingleEdge(1, 3), 10, 8, 4.0));
+
+  committed.Absorb(std::move(local));
+  EXPECT_EQ(committed.size(), 4u);
+  EXPECT_EQ(local.size(), 0u);
+
+  std::int64_t tests = 0;
+  std::vector<double> branch_bests;
+  committed.ForEachPosCandidate(
+      10, {}, &tests,
+      [&branch_bests](const PatternRegistry::CandidateMeta& meta,
+                      const RegisteredPattern& entry) {
+        branch_bests.push_back(meta.branch_best);
+        EXPECT_EQ(meta.branch_best, entry.branch_best);
+        return true;
+      });
+  EXPECT_EQ(branch_bests, (std::vector<double>{1.0, 3.0, 4.0}));
+  EXPECT_EQ(tests, 3);
+}
+
+TEST(RegistryTest, AbsorbLinearScanKeepsCutLists) {
+  std::vector<std::pair<std::int32_t, EdgePos>> cuts = {{0, 3}, {1, 5}};
+  PatternRegistry committed(ResidualEquivAlgo::kLinearScan);
+  committed.Add(MakeEntry(Pattern::SingleEdge(0, 1), 1, 0, 1.0, cuts));
+  PatternRegistry local(ResidualEquivAlgo::kLinearScan);
+  local.Add(MakeEntry(Pattern::SingleEdge(0, 2), 2, 0, 2.0, cuts));
+  local.Add(MakeEntry(Pattern::SingleEdge(0, 3), 3, 0, 3.0, {{2, 9}}));
+
+  committed.Absorb(std::move(local));
+
+  // LinearScan matches on the materialized cut lists, which must survive
+  // the merge.
+  std::int64_t tests = 0;
+  int seen = 0;
+  committed.ForEachPosCandidate(
+      0, cuts, &tests,
+      [&seen](const PatternRegistry::CandidateMeta&,
+              const RegisteredPattern&) {
+        ++seen;
+        return true;
+      });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(tests, 3);  // every stored entry compared
+}
+
+TEST(RegistryTest, AbsorbEmptyIsNoOp) {
+  PatternRegistry committed(ResidualEquivAlgo::kIValue);
+  committed.Add(MakeEntry(Pattern::SingleEdge(0, 1), 10, 0, 1.0));
+  PatternRegistry empty(ResidualEquivAlgo::kIValue);
+  committed.Absorb(std::move(empty));
+  EXPECT_EQ(committed.size(), 1u);
+}
+
 }  // namespace
 }  // namespace tgm

@@ -177,6 +177,76 @@ TEST_F(StreamMonitorTest, AgreesWithOfflineSearcher) {
   }
 }
 
+TEST_F(StreamMonitorTest, LateExtensionDoesNotStrandExpiredPartials) {
+  // Regression: an extension inherits its base's first_ts but is appended
+  // at the back of the partial list, so the list is not ordered by
+  // first_ts. The old front-only expiry then never reached an expired
+  // extension sitting behind any younger partial: it stayed "live"
+  // forever — inflating PartialCount and burning max_partials_per_query —
+  // despite being unable to ever complete (the window check rejects all
+  // its extensions).
+  StreamMonitor::Options options;
+  options.window = 50;
+  options.max_partials_per_query = 3;
+  StreamMonitor monitor(options);
+  // Query: A(0)->B(1), B->C(2), C->D(3) — three edges, so one extension
+  // still leaves an (uncompletable once expired) partial behind.
+  monitor.AddQuery(MakePattern({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}}));
+
+  auto alerts = FeedAll(monitor, {
+                                     Ev(10, 11, 0, 1, 1),   // P1 (first_ts 1)
+                                     Ev(20, 21, 0, 1, 49),  // P2 (first_ts 49)
+                                     // Extends P1: inherits first_ts=1 but
+                                     // lands BEHIND the younger P2.
+                                     Ev(11, 12, 1, 2, 49),
+                                 });
+  EXPECT_TRUE(alerts.empty());
+  ASSERT_EQ(monitor.PartialCount(), 3u);
+
+  // ts=60: P1 and its extension expired (60 - 1 > 50), P2 did not. The
+  // old front-only expiry popped P1, stopped at the younger P2, and
+  // stranded the dead extension behind it (PartialCount 3, not 2).
+  auto late = FeedAll(monitor, {Ev(30, 31, 0, 1, 60)});
+  EXPECT_TRUE(late.empty());
+  EXPECT_EQ(monitor.PartialCount(), 2u);  // P2 + the fresh (30,31) partial
+  EXPECT_EQ(monitor.dropped_partials(), 0);
+
+  // The surviving fresh partial must still be able to complete — proof
+  // that no live state was evicted by the full-scan expiry.
+  auto done = FeedAll(monitor, {
+                                   Ev(31, 32, 1, 2, 61),
+                                   Ev(32, 33, 2, 3, 62),
+                               });
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].interval, (Interval{60, 62}));
+}
+
+TEST_F(StreamMonitorTest, ExpiredExtensionsFreeCapForLiveWork) {
+  // Same stranding setup, but measuring the cap: after expiry the slots
+  // held by dead partials must be reusable.
+  StreamMonitor::Options options;
+  options.window = 10;
+  options.max_partials_per_query = 3;
+  StreamMonitor monitor(options);
+  monitor.AddQuery(MakePattern({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}}));
+
+  FeedAll(monitor, {
+                       Ev(10, 11, 0, 1, 1),  // P1
+                       Ev(20, 21, 0, 1, 9),  // P2 (younger, stands in front)
+                       Ev(11, 12, 1, 2, 9),  // extension of P1, at the back
+                   });
+  ASSERT_EQ(monitor.PartialCount(), 3u);  // cap reached
+
+  // ts=15: P1 and its extension expire; only P2 (first_ts 9) survives.
+  // Both freed slots must be available for new partials, with no drops.
+  FeedAll(monitor, {
+                       Ev(40, 41, 0, 1, 15),
+                       Ev(50, 51, 0, 1, 15),
+                   });
+  EXPECT_EQ(monitor.PartialCount(), 3u);
+  EXPECT_EQ(monitor.dropped_partials(), 0);
+}
+
 TEST_F(StreamMonitorTest, PartialCapCountsDrops) {
   StreamMonitor::Options options;
   options.window = 1000000;
