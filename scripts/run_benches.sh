@@ -2,13 +2,16 @@
 # Runs the miner benchmark set and writes one BENCH_<name>.json per binary,
 # seeding the repo's benchmark-baseline trajectory.
 #
-# Usage: scripts/run_benches.sh [--smoke] [--threads=N] [BUILD_DIR] [OUT_DIR]
+# Usage: scripts/run_benches.sh [--smoke] [--threads=N] [--shards=N] [BUILD_DIR] [OUT_DIR]
 #   --smoke      tiny sizes for CI (seconds, shape checks only; numbers from
 #                shared CI runners are not comparable across runs)
 #   --threads=N  thread count for the fig13 miner rows (default 1). The
 #                value is recorded in the BENCH_fig13 JSON payload (along
 #                with the fixed root_batch) so multicore baselines are only
 #                ever compared against equal-parallelism baselines.
+#   --shards=N   extra shard count for the stream-engine rows (default 0 =
+#                just the built-in 1/2/4 sweep); recorded per row in the
+#                BENCH_stream_monitor JSON payload.
 #   BUILD_DIR    CMake build directory with the bench binaries (default: build)
 #   OUT_DIR      where the BENCH_*.json files land (default: bench-results)
 #
@@ -20,6 +23,7 @@ set -euo pipefail
 
 SMOKE=0
 THREADS=1
+SHARDS=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke)
@@ -34,6 +38,14 @@ while [[ $# -gt 0 ]]; do
       THREADS="${2:?--threads needs a value}"
       shift 2
       ;;
+    --shards=*)
+      SHARDS="${1#--shards=}"
+      shift
+      ;;
+    --shards)
+      SHARDS="${2:?--shards needs a value}"
+      shift 2
+      ;;
     *)
       break
       ;;
@@ -41,6 +53,9 @@ while [[ $# -gt 0 ]]; do
 done
 case "$THREADS" in
   ''|*[!0-9]*) echo "error: --threads must be a non-negative integer, got '$THREADS'" >&2; exit 2 ;;
+esac
+case "$SHARDS" in
+  ''|*[!0-9]*) echo "error: --shards must be a non-negative integer, got '$SHARDS'" >&2; exit 2 ;;
 esac
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
@@ -71,6 +86,16 @@ if [[ "$SMOKE" == 1 ]]; then
                --miners=TGMiner --classes=small,medium)
 fi
 "$BUILD_DIR/bench/bench_fig13_miner_comparison" "${FIG13_ARGS[@]}"
+
+# The stream-engine throughput sweep (events/sec vs query count, matching
+# path, and shard count) writes the same JSON shape via --json_out; every
+# row carries queries/shards/indexed counters.
+STREAM_ARGS=(--json_out="$OUT_DIR/BENCH_stream_monitor.json"
+             --shards="$SHARDS")
+if [[ "$SMOKE" == 1 ]]; then
+  STREAM_ARGS+=(--events=3000 --queries=16)
+fi
+"$BUILD_DIR/bench/bench_stream_monitor" "${STREAM_ARGS[@]}"
 
 echo
 echo "Wrote:"

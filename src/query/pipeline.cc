@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "query/stream/engine.h"
 
 namespace tgm {
 
@@ -81,6 +84,34 @@ std::vector<Interval> Pipeline::SearchTemporal(
   patterns.reserve(queries.size());
   for (const MinedPattern& q : queries) patterns.push_back(q.pattern);
   return searcher.SearchAll(patterns, test_log_.graph);
+}
+
+std::vector<Interval> Pipeline::MonitorTemporal(
+    int behavior_idx, const std::vector<MinedPattern>& queries,
+    int num_shards) const {
+  StreamEngine::Options options;
+  options.window = WindowFor(behavior_idx);
+  options.num_shards = num_shards;
+  options.batch_size = 64;
+  // Offline replay must match SearchTemporal exactly: no backpressure —
+  // the offline searcher never drops work, so this stage must not either.
+  options.max_partials_per_query = std::numeric_limits<std::size_t>::max();
+  StreamEngine engine(options);
+  for (const MinedPattern& q : queries) engine.AddQuery(q.pattern);
+
+  const TemporalGraph& log = test_log_.graph;
+  std::vector<Interval> intervals;
+  auto sink = [&intervals](const StreamAlert& alert) {
+    intervals.push_back(alert.interval);
+  };
+  for (const TemporalEdge& e : log.edges()) {
+    engine.OnEvent(StreamEvent::FromEdge(log, e), sink);
+  }
+  engine.Flush(sink);
+  std::sort(intervals.begin(), intervals.end());
+  intervals.erase(std::unique(intervals.begin(), intervals.end()),
+                  intervals.end());
+  return intervals;
 }
 
 const std::vector<StaticGraph>& Pipeline::StaticPositives(int behavior_idx) {

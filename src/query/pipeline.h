@@ -84,6 +84,14 @@ class Pipeline {
   std::vector<MinedPattern> TemporalQueries(const MineResult& result) const;
   std::vector<Interval> SearchTemporal(
       int behavior_idx, const std::vector<MinedPattern>& queries) const;
+  /// Online analogue of SearchTemporal: registers the formulated behaviour
+  /// queries with the stream engine (src/query/stream/) and replays the
+  /// test log as a live event stream. Returns the distinct alert
+  /// intervals, sorted ascending — identical for every `num_shards`
+  /// (<= 0 means all hardware threads).
+  std::vector<Interval> MonitorTemporal(
+      int behavior_idx, const std::vector<MinedPattern>& queries,
+      int num_shards = 1) const;
 
   GspanResult MineStatic(int behavior_idx, double fraction = 1.0);
   std::vector<Interval> SearchStatic(

@@ -1,0 +1,32 @@
+#include "query/stream/compiled_plan.h"
+
+namespace tgm {
+
+CompiledQueryPlan::CompiledQueryPlan(const Pattern& pattern)
+    : pattern_(pattern) {
+  TGM_CHECK(pattern_.edge_count() >= 1);
+  transitions_.reserve(pattern_.edge_count());
+  // Canonical numbering: nodes are numbered by first appearance in temporal
+  // edge order, so the nodes bound after matching edges [0, k) are exactly
+  // the slots [0, max id seen + 1).
+  std::uint32_t bound = 0;
+  for (std::size_t k = 0; k < pattern_.edge_count(); ++k) {
+    const PatternEdge& qe = pattern_.edge(k);
+    PlanTransition t;
+    t.elabel = qe.elabel;
+    t.src = qe.src;
+    t.dst = qe.dst;
+    t.src_label = pattern_.label(qe.src);
+    t.dst_label = pattern_.label(qe.dst);
+    t.self_loop = qe.src == qe.dst;
+    t.src_bound = static_cast<std::uint32_t>(qe.src) < bound;
+    t.dst_bound = static_cast<std::uint32_t>(qe.dst) < bound;
+    t.bound_nodes = bound;
+    transitions_.push_back(t);
+    std::uint32_t high = static_cast<std::uint32_t>(qe.src > qe.dst ? qe.src
+                                                                    : qe.dst);
+    if (high + 1 > bound) bound = high + 1;
+  }
+}
+
+}  // namespace tgm

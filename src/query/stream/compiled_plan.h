@@ -1,0 +1,72 @@
+#ifndef TGM_QUERY_STREAM_COMPILED_PLAN_H_
+#define TGM_QUERY_STREAM_COMPILED_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/stream/event.h"
+#include "temporal/pattern.h"
+
+namespace tgm {
+
+/// One state transition of a compiled behaviour query: matching pattern
+/// edge k moves a partial match from state k to state k+1. Everything the
+/// per-event dispatch needs — labels, which binding slots must already be
+/// bound, injectivity scan length — is precomputed here, so the hot path
+/// never re-derives it from the Pattern (cf. the per-edge guards of timed
+/// automata for temporal graph patterns).
+struct PlanTransition {
+  LabelId elabel = kNoEdgeLabel;
+  /// Binding slots of the edge endpoints (canonical pattern node ids).
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Labels required of a *newly bound* endpoint (already-bound endpoints
+  /// were label-checked when first bound).
+  LabelId src_label = kInvalidLabel;
+  LabelId dst_label = kInvalidLabel;
+  bool self_loop = false;
+  /// Whether the endpoint slot is necessarily bound in any partial waiting
+  /// on this transition (the node appears in an earlier pattern edge).
+  /// Canonical consecutive growth guarantees at least one of the two for
+  /// every edge after the first.
+  bool src_bound = false;
+  bool dst_bound = false;
+  /// Number of bound binding slots in a partial waiting on this transition
+  /// (canonical numbering makes the bound slots exactly [0, bound_nodes)),
+  /// i.e. the injectivity scan length.
+  std::uint32_t bound_nodes = 0;
+};
+
+/// A behaviour query compiled for per-event dispatch: the edge sequence is
+/// flattened into a transition table indexed by the partial's next
+/// unmatched edge. Built once at query registration; read-only afterwards
+/// (shared freely across threads).
+class CompiledQueryPlan {
+ public:
+  explicit CompiledQueryPlan(const Pattern& pattern);
+
+  const Pattern& pattern() const { return pattern_; }
+  std::size_t edge_count() const { return transitions_.size(); }
+  std::size_t node_count() const { return pattern_.node_count(); }
+  const PlanTransition& transition(std::size_t k) const {
+    TGM_DCHECK(k < transitions_.size());
+    return transitions_[k];
+  }
+
+  /// Cheap seed test: can `event` start a fresh partial (match edge 0)?
+  bool SeedMatches(const StreamEvent& event) const {
+    const PlanTransition& t = transitions_[0];
+    return event.elabel == t.elabel &&
+           t.self_loop == (event.src_entity == event.dst_entity) &&
+           event.src_label == t.src_label &&
+           (t.self_loop || event.dst_label == t.dst_label);
+  }
+
+ private:
+  Pattern pattern_;
+  std::vector<PlanTransition> transitions_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_COMPILED_PLAN_H_

@@ -1,0 +1,119 @@
+#include "query/stream/engine.h"
+
+#include <algorithm>
+
+#include "exec/parallel_for.h"
+
+namespace tgm {
+
+StreamEngine::StreamEngine(const Options& options) : options_(options) {
+  int shards = ResolveNumThreads(options_.num_shards);
+  TGM_CHECK(shards >= 1);
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  limits_.window = options_.window;
+  limits_.max_partials = options_.max_partials_per_query;
+  limits_.entity_index = options_.entity_index;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) shards_.emplace_back(limits_);
+  shard_alerts_.resize(static_cast<std::size_t>(shards));
+  if (shards > 1) pool_ = std::make_unique<ThreadPool>(shards - 1);
+  batch_.reserve(options_.batch_size);
+}
+
+std::size_t StreamEngine::AddQuery(const Pattern& query) {
+  TGM_CHECK(query.edge_count() >= 1);
+  // Registering mid-batch would make buffered events see a different query
+  // set than their arrival order implies.
+  TGM_CHECK(batch_.empty());
+  std::size_t index = query_count_++;
+  shards_[index % shards_.size()].AddQuery(index, query);
+  return index;
+}
+
+void StreamEngine::OnEvent(const StreamEvent& event, const AlertSink& sink) {
+  StreamEvent accepted = event;
+  if (any_event_ && accepted.ts < last_ts_) {
+    // Stream precondition violated. Clamping to the newest timestamp keeps
+    // window expiry monotonic (a raw out-of-order ts would expire live
+    // partials of every query against a time that then jumps back); the
+    // counter surfaces the violation instead of hiding it.
+    ++out_of_order_events_;
+    accepted.ts = last_ts_;
+  }
+  last_ts_ = accepted.ts;
+  any_event_ = true;
+  batch_.push_back(accepted);
+  if (batch_.size() >= options_.batch_size) ProcessBatch(sink);
+}
+
+void StreamEngine::Flush(const AlertSink& sink) { ProcessBatch(sink); }
+
+void StreamEngine::ProcessBatch(const AlertSink& sink) {
+  if (batch_.empty()) return;
+  // Broadcast the batch: one deterministic chunk per shard (the pool has
+  // shards-1 workers, so ParallelFor assigns exactly one shard per chunk;
+  // shard 0 runs on the calling thread). Shards share nothing but the
+  // read-only batch.
+  ParallelFor(pool_.get(), shards_.size(), [this](std::size_t s) {
+    shards_[s].ProcessBatch(batch_, &shard_alerts_[s]);
+  });
+  // Merge the per-shard outboxes into canonical (event, query, interval)
+  // order. Keys never collide across shards (queries are partitioned), so
+  // the merged order — and therefore the sink-visible alert stream — is
+  // independent of the shard count. A flat sort (rather than a k-way
+  // merge of the already-sorted outboxes) is deliberate: alerts per batch
+  // are few, and the sort does not depend on the outboxes' order at all.
+  merged_.clear();
+  for (const std::vector<ShardAlert>& alerts : shard_alerts_) {
+    merged_.insert(merged_.end(), alerts.begin(), alerts.end());
+  }
+  std::sort(merged_.begin(), merged_.end());
+  for (const ShardAlert& alert : merged_) {
+    sink(StreamAlert{alert.query_index, alert.interval});
+  }
+  batch_.clear();
+}
+
+std::size_t StreamEngine::PartialCount() const {
+  std::size_t total = 0;
+  for (const StreamShard& shard : shards_) total += shard.PartialCount();
+  return total;
+}
+
+std::int64_t StreamEngine::dropped_partials() const {
+  std::int64_t total = 0;
+  for (const StreamShard& shard : shards_) total += shard.dropped_partials();
+  return total;
+}
+
+EngineStats StreamEngine::Stats() const {
+  EngineStats stats;
+  stats.out_of_order_events = out_of_order_events_;
+  stats.shard_events.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const StreamShard& shard = shards_[s];
+    stats.shard_events.push_back(shard.events_processed());
+    for (const QueryRuntime& query : shard.queries()) {
+      EngineQueryStats row;
+      row.query_index = query.global_index();
+      row.shard = s;
+      row.live_partials = query.table().live();
+      row.peak_partials = query.table().peak();
+      row.index_buckets = query.table().bucket_count();
+      row.wildcard_partials = query.table().wildcard_size();
+      row.dropped_partials = query.dropped_partials();
+      row.alerts = query.alerts();
+      stats.queries.push_back(row);
+      stats.live_partials += row.live_partials;
+      stats.dropped_partials += row.dropped_partials;
+      stats.alerts += row.alerts;
+    }
+  }
+  std::sort(stats.queries.begin(), stats.queries.end(),
+            [](const EngineQueryStats& a, const EngineQueryStats& b) {
+              return a.query_index < b.query_index;
+            });
+  return stats;
+}
+
+}  // namespace tgm

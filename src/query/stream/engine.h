@@ -1,0 +1,135 @@
+#ifndef TGM_QUERY_STREAM_ENGINE_H_
+#define TGM_QUERY_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "query/stream/shard.h"
+
+namespace tgm {
+
+/// Per-query snapshot row of EngineStats.
+struct EngineQueryStats {
+  std::size_t query_index = 0;
+  std::size_t shard = 0;
+  std::size_t live_partials = 0;
+  std::size_t peak_partials = 0;  ///< high-water mark of live partials
+  std::size_t index_buckets = 0;  ///< occupied entity buckets
+  std::size_t wildcard_partials = 0;
+  std::int64_t dropped_partials = 0;  ///< backpressure evictions/drops
+  std::int64_t alerts = 0;
+};
+
+/// A point-in-time snapshot of engine health; take it between events (the
+/// engine is externally synchronized, see StreamEngine).
+struct EngineStats {
+  std::vector<EngineQueryStats> queries;  ///< ascending query_index
+  std::vector<std::int64_t> shard_events;
+  std::int64_t out_of_order_events = 0;
+  std::size_t live_partials = 0;
+  std::int64_t dropped_partials = 0;
+  std::int64_t alerts = 0;
+};
+
+/// The online surveillance engine (Section 1: behaviour queries "applied
+/// on the real-time monitoring data for surveillance and policy compliance
+/// checking"), replacing the monolithic scan-everything StreamMonitor:
+///
+/// - Queries are compiled once (CompiledQueryPlan) and partitioned
+///   round-robin across `num_shards` worker shards; per-event work inside
+///   a shard touches only the partials the event's entity ids can extend
+///   (PartialTable's entity-keyed index).
+/// - Events are buffered into batches of `batch_size` and broadcast to
+///   every shard through the exec/ pool (one deterministic ParallelFor
+///   chunk per shard); per-shard alerts come back tagged with their batch
+///   position and are merged in (event, query index, interval) order
+///   before reaching the sink.
+/// - Because every shard sees every event and a query lives in exactly one
+///   shard, the alert stream — including drop counters and all per-query
+///   stats — is bit-identical for every shard count and batch size.
+/// - Backpressure: per-query partial caps evict oldest-first with
+///   per-query drop accounting (StreamLimits::max_partials); an
+///   EngineStats snapshot exposes live partials, index occupancy, drops,
+///   and per-shard event counts.
+///
+/// The engine is externally synchronized: one caller feeds OnEvent/Flush
+/// (internally it fans work out to its own pool). Alerts surface on the
+/// OnEvent call that completes a batch, and on Flush for a partial batch;
+/// with batch_size = 1 (the default and the StreamMonitor facade setting)
+/// every OnEvent is synchronous.
+class StreamEngine {
+ public:
+  struct Options {
+    /// Maximum allowed match span; also the partial-match expiry horizon.
+    Timestamp window = 0;
+    /// Per-query live-partial high-water mark (oldest-first eviction).
+    std::size_t max_partials_per_query = 100000;
+    /// Worker shards queries are partitioned across; <= 0 means all
+    /// hardware threads. 1 runs inline with no pool.
+    int num_shards = 1;
+    /// Events per fan-out batch (>= 1). Larger batches amortize the
+    /// per-batch shard join at the cost of alert latency.
+    std::size_t batch_size = 1;
+    /// Disable to run the legacy full-scan matching path (bench baseline).
+    /// Both paths accept exactly the same matches; while no partials are
+    /// dropped their alert streams are identical. Under backpressure the
+    /// eviction tie-break among equal-first_ts partials follows insertion
+    /// order, which differs between the paths (candidate probe order vs.
+    /// wildcard scan order), so capped runs may evict different victims.
+    /// The bit-identical guarantee across shard counts and batch sizes is
+    /// per-path and holds with or without drops.
+    bool entity_index = true;
+  };
+
+  using AlertSink = std::function<void(const StreamAlert&)>;
+
+  explicit StreamEngine(const Options& options);
+
+  /// Registers a behaviour query; returns its index in alerts. Must not be
+  /// called while events are buffered (register queries up front, or Flush
+  /// first).
+  std::size_t AddQuery(const Pattern& query);
+
+  /// Feeds one event. Timestamps must be non-decreasing: a decreasing
+  /// `ts` is clamped to the newest timestamp seen (so window expiry stays
+  /// monotonic instead of silently corrupting) and counted in
+  /// `out_of_order_events`. Invokes `sink` for every alert of the batch
+  /// this event completes.
+  void OnEvent(const StreamEvent& event, const AlertSink& sink);
+
+  /// Processes any buffered partial batch (call at end of stream, or
+  /// before reading stats that must include all fed events).
+  void Flush(const AlertSink& sink);
+
+  std::size_t query_count() const { return query_count_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Number of live partial matches (all queries).
+  std::size_t PartialCount() const;
+  std::int64_t dropped_partials() const;
+  std::int64_t out_of_order_events() const { return out_of_order_events_; }
+
+  EngineStats Stats() const;
+
+ private:
+  void ProcessBatch(const AlertSink& sink);
+
+  Options options_;
+  StreamLimits limits_;
+  std::unique_ptr<ThreadPool> pool_;  // num_shards - 1 workers
+  std::vector<StreamShard> shards_;
+  std::vector<std::vector<ShardAlert>> shard_alerts_;  // per-shard outbox
+  std::vector<StreamEvent> batch_;                     // shared inbox
+  std::vector<ShardAlert> merged_;
+  std::size_t query_count_ = 0;
+  bool any_event_ = false;
+  Timestamp last_ts_ = 0;
+  std::int64_t out_of_order_events_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_ENGINE_H_

@@ -1,0 +1,92 @@
+#include "query/stream/partial_table.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+void PartialTable::CollectCandidates(std::int64_t src_entity,
+                                     std::int64_t dst_entity,
+                                     std::vector<std::uint32_t>* out) const {
+  if (entity_index_) {
+    auto src_it = by_src_.find(src_entity);
+    if (src_it != by_src_.end()) {
+      out->insert(out->end(), src_it->second.begin(), src_it->second.end());
+    }
+    auto dst_it = by_dst_.find(dst_entity);
+    if (dst_it != by_dst_.end()) {
+      out->insert(out->end(), dst_it->second.begin(), dst_it->second.end());
+    }
+  }
+  out->insert(out->end(), wildcard_.begin(), wildcard_.end());
+}
+
+std::vector<std::uint32_t>& PartialTable::BucketFor(Role role,
+                                                    std::int64_t key) {
+  if (role == Role::kSrc) return by_src_[key];
+  if (role == Role::kDst) return by_dst_[key];
+  return wildcard_;
+}
+
+std::uint32_t PartialTable::Insert(std::span<const std::int64_t> binding,
+                                   std::uint32_t next_edge,
+                                   Timestamp first_ts, Role role,
+                                   std::int64_t key) {
+  TGM_DCHECK(binding.size() == node_count_);
+  if (!entity_index_) role = Role::kWildcard;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(meta_.size());
+    meta_.emplace_back();
+    bindings_.resize(bindings_.size() + node_count_);
+  }
+  std::copy(binding.begin(), binding.end(),
+            bindings_.begin() + slot * node_count_);
+  Meta& m = meta_[slot];
+  m.next_edge = next_edge;
+  m.first_ts = first_ts;
+  m.role = role;
+  m.key = key;
+  m.seq = next_seq_++;
+  std::vector<std::uint32_t>& bucket = BucketFor(role, key);
+  m.bucket_pos = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(slot);
+  by_age_.push(AgeKey{first_ts, m.seq, slot});
+  ++live_;
+  if (live_ > peak_) peak_ = live_;
+  return slot;
+}
+
+void PartialTable::Remove(std::uint32_t slot) {
+  Meta& m = meta_[slot];
+  std::vector<std::uint32_t>& bucket = BucketFor(m.role, m.key);
+  TGM_DCHECK(m.bucket_pos < bucket.size() && bucket[m.bucket_pos] == slot);
+  std::uint32_t moved = bucket.back();
+  bucket[m.bucket_pos] = moved;
+  meta_[moved].bucket_pos = m.bucket_pos;
+  bucket.pop_back();
+  if (bucket.empty() && m.role != Role::kWildcard) {
+    (m.role == Role::kSrc ? by_src_ : by_dst_).erase(m.key);
+  }
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+void PartialTable::ExpireBefore(Timestamp cutoff) {
+  while (!by_age_.empty() && std::get<0>(by_age_.top()) < cutoff) {
+    std::uint32_t slot = std::get<2>(by_age_.top());
+    by_age_.pop();
+    Remove(slot);
+  }
+}
+
+void PartialTable::EvictOldest() {
+  TGM_CHECK(!by_age_.empty());
+  std::uint32_t slot = std::get<2>(by_age_.top());
+  by_age_.pop();
+  Remove(slot);
+}
+
+}  // namespace tgm

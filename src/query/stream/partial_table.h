@@ -1,0 +1,117 @@
+#ifndef TGM_QUERY_STREAM_PARTIAL_TABLE_H_
+#define TGM_QUERY_STREAM_PARTIAL_TABLE_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "temporal/common.h"
+
+namespace tgm {
+
+/// Storage for one query's live partial matches, organised for O(touched)
+/// per-event work instead of O(live):
+///
+/// - **Slot arena.** Partial metadata lives in a flat slot vector and all
+///   bindings in one `slots x node_count` array (every partial of a query
+///   has the same binding width), so steady-state insert/remove recycles
+///   slots and never allocates.
+/// - **Entity-keyed index.** Each partial is filed under the concrete
+///   entity its next unmatched edge requires: the bound source entity if
+///   the transition's source slot is bound, else the bound destination
+///   entity, else a wildcard bucket (canonical consecutive growth makes
+///   the wildcard reachable only by edge 0, but the bucket keeps the
+///   structure total). An event then probes exactly
+///   `by_src[event.src] ∪ by_dst[event.dst] ∪ wildcard` — the only
+///   partials that can possibly extend — instead of scanning all of them.
+///   The three sources are disjoint by construction, so no partial is
+///   probed twice. With `entity_index = false` everything is filed under
+///   the wildcard bucket, which *is* the legacy full-scan path (used as
+///   the bench baseline).
+/// - **Age order.** A min-heap keyed by (first_ts, insertion seq) drives
+///   both window expiry (pop while older than the cutoff) and
+///   backpressure eviction (pop the oldest), replacing the full
+///   compaction scan the old monitor ran per event. Partials are only
+///   ever removed through this heap, so it needs no lazy deletion.
+///
+/// Bucket iteration order is insertion order (swap-removal perturbs it
+/// deterministically), so every operation is a pure function of the event
+/// history — the basis of the engine's cross-shard determinism.
+class PartialTable {
+ public:
+  enum class Role : std::uint8_t { kSrc, kDst, kWildcard };
+
+  PartialTable(std::size_t node_count, bool entity_index)
+      : node_count_(node_count), entity_index_(entity_index) {}
+
+  std::size_t live() const { return live_; }
+  /// High-water mark of live partials.
+  std::size_t peak() const { return peak_; }
+  /// Occupied entity buckets (excluding the wildcard bucket).
+  std::size_t bucket_count() const { return by_src_.size() + by_dst_.size(); }
+  std::size_t wildcard_size() const { return wildcard_.size(); }
+
+  std::span<const std::int64_t> binding(std::uint32_t slot) const {
+    return {bindings_.data() + slot * node_count_, node_count_};
+  }
+  std::uint32_t next_edge(std::uint32_t slot) const {
+    return meta_[slot].next_edge;
+  }
+  Timestamp first_ts(std::uint32_t slot) const { return meta_[slot].first_ts; }
+
+  /// Appends the slots an event (src_entity, dst_entity) can possibly
+  /// extend, in deterministic bucket order (by_src, by_dst, wildcard).
+  void CollectCandidates(std::int64_t src_entity, std::int64_t dst_entity,
+                         std::vector<std::uint32_t>* out) const;
+
+  /// Files a new partial; `binding` must have node_count entries. `role`
+  /// and `key` describe where the *next* transition requires it (with the
+  /// index disabled the role is forced to wildcard).
+  std::uint32_t Insert(std::span<const std::int64_t> binding,
+                       std::uint32_t next_edge, Timestamp first_ts,
+                       Role role, std::int64_t key);
+
+  /// Removes every partial with first_ts < cutoff (window expiry).
+  void ExpireBefore(Timestamp cutoff);
+
+  /// Removes the oldest partial — smallest (first_ts, insertion seq).
+  /// Requires live() > 0.
+  void EvictOldest();
+
+ private:
+  struct Meta {
+    std::uint32_t next_edge = 0;
+    Timestamp first_ts = 0;
+    Role role = Role::kWildcard;
+    std::int64_t key = 0;
+    std::uint32_t bucket_pos = 0;
+    std::uint64_t seq = 0;
+  };
+  // (first_ts, insertion seq, slot); seq makes the order total and
+  // deterministic under first_ts ties.
+  using AgeKey = std::tuple<Timestamp, std::uint64_t, std::uint32_t>;
+
+  std::vector<std::uint32_t>& BucketFor(Role role, std::int64_t key);
+  void Remove(std::uint32_t slot);
+
+  std::size_t node_count_;
+  bool entity_index_;
+  std::vector<Meta> meta_;
+  std::vector<std::int64_t> bindings_;  // slots x node_count_
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> by_src_;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> by_dst_;
+  std::vector<std::uint32_t> wildcard_;
+  std::priority_queue<AgeKey, std::vector<AgeKey>, std::greater<AgeKey>>
+      by_age_;
+  std::size_t live_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_PARTIAL_TABLE_H_

@@ -1,0 +1,147 @@
+#include "query/stream/query_runtime.h"
+
+#include <algorithm>
+
+namespace tgm {
+
+void QueryRuntime::Advance(const StreamEvent& event,
+                           std::vector<Interval>* completions) {
+  const auto out_base =
+      static_cast<std::vector<Interval>::difference_type>(completions->size());
+  if (limits_.window > 0) {
+    // A partial expires when event.ts - first_ts > window, i.e. exactly
+    // when first_ts < event.ts - window.
+    table_.ExpireBefore(event.ts - limits_.window);
+    // Emitted-interval dedup entries older than the window can never be
+    // duplicated again; the set is ordered by begin, so they form its
+    // prefix.
+    while (!emitted_.empty() &&
+           event.ts - emitted_.begin()->begin > limits_.window) {
+      emitted_.erase(emitted_.begin());
+    }
+  }
+
+  // Existing partials first. Extensions land in the pending scratch, so
+  // the table is never mutated mid-scan and nothing produced by this event
+  // can be re-extended by it.
+  candidates_.clear();
+  table_.CollectCandidates(event.src_entity, event.dst_entity, &candidates_);
+  for (std::uint32_t slot : candidates_) TryExtend(event, slot, completions);
+  // And a fresh partial starting at this event.
+  TrySeed(event, completions);
+
+  InsertPending();
+  // Intervals are distinct (dedup above), so this order is total.
+  std::sort(completions->begin() + out_base, completions->end());
+}
+
+void QueryRuntime::TryExtend(const StreamEvent& event, std::uint32_t slot,
+                             std::vector<Interval>* completions) {
+  const std::uint32_t k = table_.next_edge(slot);
+  const PlanTransition& t = plan_.transition(k);
+  if (event.elabel != t.elabel) return;
+  if (t.self_loop != (event.src_entity == event.dst_entity)) return;
+
+  std::span<const std::int64_t> binding = table_.binding(slot);
+  const std::int64_t bound_src =
+      t.src_bound ? binding[static_cast<std::size_t>(t.src)] : kUnbound;
+  const std::int64_t bound_dst =
+      t.dst_bound ? binding[static_cast<std::size_t>(t.dst)] : kUnbound;
+  if (bound_src != kUnbound && bound_src != event.src_entity) return;
+  if (bound_dst != kUnbound && bound_dst != event.dst_entity) return;
+  // Canonical numbering makes the bound slots exactly [0, t.bound_nodes),
+  // so injectivity only needs to scan that prefix.
+  std::span<const std::int64_t> bound = binding.first(t.bound_nodes);
+  if (bound_src == kUnbound) {
+    if (event.src_label != t.src_label) return;
+    // Injectivity: the new entity must not already be bound elsewhere.
+    if (std::find(bound.begin(), bound.end(), event.src_entity) !=
+        bound.end()) {
+      return;
+    }
+  }
+  if (bound_dst == kUnbound && !t.self_loop) {
+    if (event.dst_label != t.dst_label) return;
+    if (std::find(bound.begin(), bound.end(), event.dst_entity) !=
+        bound.end()) {
+      return;
+    }
+    if (bound_src == kUnbound && event.src_entity == event.dst_entity) return;
+  }
+
+  const Timestamp first = table_.first_ts(slot);
+  if (limits_.window > 0 && event.ts - first > limits_.window) return;
+  if (k + 1 == plan_.edge_count()) {
+    Complete(Interval{first, event.ts}, completions);
+    return;
+  }
+  QueuePending(binding, event, k, first);
+}
+
+void QueryRuntime::TrySeed(const StreamEvent& event,
+                           std::vector<Interval>* completions) {
+  if (!plan_.SeedMatches(event)) return;
+  if (plan_.edge_count() == 1) {
+    Complete(Interval{event.ts, event.ts}, completions);
+    return;
+  }
+  QueuePending({}, event, 0, event.ts);
+}
+
+void QueryRuntime::Complete(Interval interval,
+                            std::vector<Interval>* completions) {
+  // One ordered probe both tests and records the interval.
+  if (emitted_.insert(interval).second) {
+    completions->push_back(interval);
+    ++alerts_;
+  }
+}
+
+void QueryRuntime::QueuePending(std::span<const std::int64_t> base_binding,
+                                const StreamEvent& event,
+                                std::uint32_t matched_edge,
+                                Timestamp first_ts) {
+  const std::size_t n = plan_.node_count();
+  const std::size_t off = pending_bindings_.size();
+  pending_bindings_.resize(off + n, kUnbound);
+  if (!base_binding.empty()) {
+    std::copy(base_binding.begin(), base_binding.end(),
+              pending_bindings_.begin() +
+                  static_cast<std::ptrdiff_t>(off));
+  }
+  const PlanTransition& t = plan_.transition(matched_edge);
+  pending_bindings_[off + static_cast<std::size_t>(t.src)] = event.src_entity;
+  pending_bindings_[off + static_cast<std::size_t>(t.dst)] = event.dst_entity;
+  pending_.push_back(PendingMeta{matched_edge + 1, first_ts});
+}
+
+void QueryRuntime::InsertPending() {
+  const std::size_t n = plan_.node_count();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    std::span<const std::int64_t> binding{pending_bindings_.data() + i * n, n};
+    if (table_.live() >= limits_.max_partials) {
+      // Backpressure: make room by evicting the oldest live partial (see
+      // StreamLimits::max_partials). With a zero cap nothing can be
+      // stored at all, so the newcomer itself is the drop.
+      ++dropped_partials_;
+      if (limits_.max_partials == 0) continue;
+      table_.EvictOldest();
+    }
+    const PlanTransition& t = plan_.transition(pending_[i].next_edge);
+    PartialTable::Role role = PartialTable::Role::kWildcard;
+    std::int64_t key = 0;
+    if (binding[static_cast<std::size_t>(t.src)] != kUnbound) {
+      role = PartialTable::Role::kSrc;
+      key = binding[static_cast<std::size_t>(t.src)];
+    } else if (binding[static_cast<std::size_t>(t.dst)] != kUnbound) {
+      role = PartialTable::Role::kDst;
+      key = binding[static_cast<std::size_t>(t.dst)];
+    }
+    table_.Insert(binding, pending_[i].next_edge, pending_[i].first_ts, role,
+                  key);
+  }
+  pending_.clear();
+  pending_bindings_.clear();
+}
+
+}  // namespace tgm

@@ -1,0 +1,94 @@
+#ifndef TGM_QUERY_STREAM_QUERY_RUNTIME_H_
+#define TGM_QUERY_STREAM_QUERY_RUNTIME_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "query/stream/compiled_plan.h"
+#include "query/stream/event.h"
+#include "query/stream/partial_table.h"
+
+namespace tgm {
+
+/// Per-query limits shared by every runtime of an engine.
+struct StreamLimits {
+  /// Maximum allowed match span; also the partial-match expiry horizon
+  /// (0 = unbounded).
+  Timestamp window = 0;
+  /// High-water mark on live partials per query. When a new partial would
+  /// exceed it, the *oldest* live partial (smallest first_ts, then
+  /// insertion order) is evicted to make room — older partials are both
+  /// the closest to expiring and the first the window would have
+  /// reclaimed — and the query's drop counter increments.
+  std::size_t max_partials = 100000;
+  /// Disable to file every partial under the wildcard bucket — the legacy
+  /// full-scan path, kept as the bench baseline.
+  bool entity_index = true;
+};
+
+/// One registered behaviour query's live state: compiled plan, the
+/// entity-indexed partial table, and the emitted-interval dedup set.
+///
+/// `Advance` preserves the original StreamMonitor semantics exactly —
+/// expiry before extension, in-place extension with a pending list (an
+/// extension is never re-extended by the event that created it), strict
+/// injectivity, window check on the extended span, one alert per distinct
+/// interval — while touching only the partials the event's entities can
+/// extend. Completions are reported sorted by interval, which makes the
+/// per-event alert order a pure function of the event history (the
+/// engine's canonical (ts, query, interval) order).
+class QueryRuntime {
+ public:
+  QueryRuntime(std::size_t global_index, const Pattern& query,
+               const StreamLimits& limits)
+      : global_index_(global_index),
+        plan_(query),
+        limits_(limits),
+        table_(plan_.node_count(), limits.entity_index) {}
+
+  std::size_t global_index() const { return global_index_; }
+  const CompiledQueryPlan& plan() const { return plan_; }
+  const PartialTable& table() const { return table_; }
+  std::int64_t dropped_partials() const { return dropped_partials_; }
+  std::int64_t alerts() const { return alerts_; }
+
+  /// Feeds one event; appends every newly completed (distinct) match
+  /// interval to `completions`, sorted ascending.
+  void Advance(const StreamEvent& event, std::vector<Interval>* completions);
+
+ private:
+  static constexpr std::int64_t kUnbound = -1;
+
+  void TryExtend(const StreamEvent& event, std::uint32_t slot,
+                 std::vector<Interval>* completions);
+  void TrySeed(const StreamEvent& event, std::vector<Interval>* completions);
+  void Complete(Interval interval, std::vector<Interval>* completions);
+  void QueuePending(std::span<const std::int64_t> base_binding,
+                    const StreamEvent& event, std::uint32_t matched_edge,
+                    Timestamp first_ts);
+  void InsertPending();
+
+  std::size_t global_index_;
+  CompiledQueryPlan plan_;
+  StreamLimits limits_;
+  PartialTable table_;
+  /// Dedup of emitted alert intervals, ordered by (begin, end): lookup and
+  /// insert are one O(log) probe, window expiry erases the ordered front.
+  std::set<Interval> emitted_;
+  std::int64_t dropped_partials_ = 0;
+  std::int64_t alerts_ = 0;
+  // Scratch reused across events (capacity persists, no steady-state
+  // allocation).
+  std::vector<std::uint32_t> candidates_;
+  struct PendingMeta {
+    std::uint32_t next_edge = 0;
+    Timestamp first_ts = 0;
+  };
+  std::vector<PendingMeta> pending_;
+  std::vector<std::int64_t> pending_bindings_;  // pending_ x node_count
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_QUERY_RUNTIME_H_

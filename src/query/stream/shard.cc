@@ -1,0 +1,21 @@
+#include "query/stream/shard.h"
+
+namespace tgm {
+
+void StreamShard::ProcessBatch(std::span<const StreamEvent> batch,
+                               std::vector<ShardAlert>* out) {
+  out->clear();
+  for (std::size_t ei = 0; ei < batch.size(); ++ei) {
+    for (QueryRuntime& query : queries_) {
+      scratch_.clear();
+      query.Advance(batch[ei], &scratch_);
+      for (const Interval& interval : scratch_) {
+        out->push_back(ShardAlert{static_cast<std::uint32_t>(ei),
+                                  query.global_index(), interval});
+      }
+    }
+    ++events_processed_;
+  }
+}
+
+}  // namespace tgm

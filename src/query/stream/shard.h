@@ -1,0 +1,73 @@
+#ifndef TGM_QUERY_STREAM_SHARD_H_
+#define TGM_QUERY_STREAM_SHARD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "query/stream/query_runtime.h"
+
+namespace tgm {
+
+/// An alert produced inside a shard, tagged with its batch position so the
+/// engine can merge shard outputs into the canonical order. The member
+/// order makes the defaulted comparison exactly the merge key
+/// (event, query, interval).
+struct ShardAlert {
+  std::uint32_t event_index = 0;  ///< position of the event in its batch
+  std::size_t query_index = 0;    ///< engine-global query index
+  Interval interval;
+
+  friend auto operator<=>(const ShardAlert&, const ShardAlert&) = default;
+};
+
+/// One worker shard of the stream engine: a disjoint subset of the
+/// registered queries plus all of their live state. Every shard sees the
+/// full event batch (events are broadcast; queries are partitioned), so a
+/// query's state evolution is identical no matter how many shards the
+/// engine runs — the root of the engine's shard-count determinism.
+///
+/// A shard is single-threaded by construction: the engine gives each
+/// batch's ProcessBatch call to exactly one worker, and no state is shared
+/// between shards.
+class StreamShard {
+ public:
+  explicit StreamShard(const StreamLimits& limits) : limits_(limits) {}
+
+  /// Registers a query under its engine-global index. Indexes must arrive
+  /// in increasing order (the engine assigns round-robin).
+  void AddQuery(std::size_t global_index, const Pattern& query) {
+    queries_.emplace_back(global_index, query, limits_);
+  }
+
+  /// Feeds every event of `batch` (in order) to every query of this
+  /// shard. `out` is replaced with the alerts, already sorted by
+  /// (event_index, query_index, interval) because queries are advanced in
+  /// ascending global order and each advance reports sorted intervals.
+  void ProcessBatch(std::span<const StreamEvent> batch,
+                    std::vector<ShardAlert>* out);
+
+  const std::vector<QueryRuntime>& queries() const { return queries_; }
+  std::int64_t events_processed() const { return events_processed_; }
+
+  std::size_t PartialCount() const {
+    std::size_t total = 0;
+    for (const QueryRuntime& q : queries_) total += q.table().live();
+    return total;
+  }
+  std::int64_t dropped_partials() const {
+    std::int64_t total = 0;
+    for (const QueryRuntime& q : queries_) total += q.dropped_partials();
+    return total;
+  }
+
+ private:
+  StreamLimits limits_;
+  std::vector<QueryRuntime> queries_;
+  std::int64_t events_processed_ = 0;
+  std::vector<Interval> scratch_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_SHARD_H_

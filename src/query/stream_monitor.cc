@@ -1,140 +1,15 @@
 #include "query/stream_monitor.h"
 
-#include <algorithm>
-
 namespace tgm {
 
-std::size_t StreamMonitor::AddQuery(const Pattern& query) {
-  TGM_CHECK(query.edge_count() >= 1);
-  QueryState state;
-  state.pattern = query;
-  queries_.push_back(std::move(state));
-  return queries_.size() - 1;
-}
-
-void StreamMonitor::OnEvent(
-    const StreamEvent& event,
-    const std::function<void(const StreamAlert&)>& sink) {
-  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-    Advance(queries_[qi], qi, event, sink);
-  }
-}
-
-std::size_t StreamMonitor::PartialCount() const {
-  std::size_t total = 0;
-  for (const QueryState& q : queries_) total += q.partials.size();
-  return total;
-}
-
-void StreamMonitor::Advance(
-    QueryState& state, std::size_t query_index, const StreamEvent& event,
-    const std::function<void(const StreamAlert&)>& sink) {
-  const Pattern& pattern = state.pattern;
-  std::vector<Partial>& partials = state.partials;
-
-  if (options_.window > 0) {
-    // Expire by full scan (stable compaction). Extensions inherit their
-    // base's first_ts but sit at the back of the list, so it is not
-    // ordered by first_ts; expiring only from the front would strand
-    // expired partials behind any younger one — alive forever as far as
-    // PartialCount and the max_partials cap are concerned, though the
-    // window check makes them unextendable.
-    std::size_t live = 0;
-    for (std::size_t i = 0; i < partials.size(); ++i) {
-      if (event.ts - partials[i].first_ts > options_.window) continue;
-      if (live != i) partials[live] = std::move(partials[i]);
-      ++live;
-    }
-    partials.resize(live);
-    // Emitted-interval dedup entries older than the window can never be
-    // duplicated again; the set is ordered by begin, so they form its
-    // prefix.
-    auto it = state.emitted.begin();
-    while (it != state.emitted.end() &&
-           event.ts - it->begin > options_.window) {
-      it = state.emitted.erase(it);
-    }
-  }
-
-  auto try_extend = [&](const Partial* base) {
-    std::size_t k = base == nullptr ? 0 : base->next_edge;
-    const PatternEdge& qe = pattern.edge(k);
-    if (event.elabel != qe.elabel) return;
-    if ((qe.src == qe.dst) != (event.src_entity == event.dst_entity)) return;
-
-    std::int64_t bound_src =
-        base == nullptr
-            ? kUnbound
-            : base->binding[static_cast<std::size_t>(qe.src)];
-    std::int64_t bound_dst =
-        base == nullptr
-            ? kUnbound
-            : base->binding[static_cast<std::size_t>(qe.dst)];
-    if (bound_src != kUnbound && bound_src != event.src_entity) return;
-    if (bound_dst != kUnbound && bound_dst != event.dst_entity) return;
-    if (bound_src == kUnbound) {
-      if (event.src_label != pattern.label(qe.src)) return;
-      // Injectivity: the new entity must not already be bound elsewhere.
-      if (base != nullptr &&
-          std::find(base->binding.begin(), base->binding.end(),
-                    event.src_entity) != base->binding.end()) {
-        return;
-      }
-    }
-    if (bound_dst == kUnbound && qe.src != qe.dst) {
-      if (event.dst_label != pattern.label(qe.dst)) return;
-      if (base != nullptr &&
-          std::find(base->binding.begin(), base->binding.end(),
-                    event.dst_entity) != base->binding.end()) {
-        return;
-      }
-      if (bound_src == kUnbound && event.src_entity == event.dst_entity) {
-        return;
-      }
-    }
-
-    Partial extended;
-    if (base == nullptr) {
-      extended.binding.assign(pattern.node_count(), kUnbound);
-      extended.first_ts = event.ts;
-    } else {
-      extended = *base;
-    }
-    extended.binding[static_cast<std::size_t>(qe.src)] = event.src_entity;
-    extended.binding[static_cast<std::size_t>(qe.dst)] = event.dst_entity;
-    extended.next_edge = k + 1;
-    extended.last_ts = event.ts;
-    if (options_.window > 0 &&
-        extended.last_ts - extended.first_ts > options_.window) {
-      return;
-    }
-
-    if (extended.next_edge == pattern.edge_count()) {
-      Interval interval{extended.first_ts, extended.last_ts};
-      // One ordered probe both tests and records the interval.
-      if (state.emitted.insert(interval).second) {
-        sink(StreamAlert{query_index, interval});
-      }
-      return;
-    }
-    if (partials.size() + pending_.size() >=
-        options_.max_partials_per_query) {
-      ++dropped_partials_;
-      return;
-    }
-    pending_.push_back(std::move(extended));
-  };
-
-  // Existing partials first. Extensions land in pending_, so the live list
-  // is never reallocated mid-scan and each base is read in place — no
-  // per-partial snapshot copy, and nothing appended during this event can
-  // be re-extended by the same event.
-  for (const Partial& base : partials) try_extend(&base);
-  // And a fresh partial starting at this event.
-  try_extend(nullptr);
-
-  for (Partial& p : pending_) partials.push_back(std::move(p));
-  pending_.clear();
+StreamEngine::Options StreamMonitor::EngineOptions(const Options& options) {
+  StreamEngine::Options engine_options;
+  engine_options.window = options.window;
+  engine_options.max_partials_per_query = options.max_partials_per_query;
+  engine_options.num_shards = 1;
+  engine_options.batch_size = 1;
+  engine_options.entity_index = true;
+  return engine_options;
 }
 
 }  // namespace tgm

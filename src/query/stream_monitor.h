@@ -3,108 +3,67 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
-#include <vector>
 
-#include "query/searcher.h"
+#include "query/stream/engine.h"
+#include "query/stream/event.h"
 #include "temporal/pattern.h"
 
 namespace tgm {
-
-/// An event arriving on the live monitoring stream. Node identities are
-/// the producer's (e.g. pid/inode-derived) stable entity ids; labels are
-/// interned entity labels as in TemporalGraph.
-struct StreamEvent {
-  std::int64_t src_entity = 0;
-  std::int64_t dst_entity = 0;
-  LabelId src_label = kInvalidLabel;
-  LabelId dst_label = kInvalidLabel;
-  LabelId elabel = kNoEdgeLabel;
-  Timestamp ts = 0;
-};
-
-/// An alert: a behaviour query completed inside the stream.
-struct StreamAlert {
-  std::size_t query_index = 0;
-  Interval interval;
-};
 
 /// Online behaviour-query monitoring (Section 1: "the formulated behavior
 /// queries can also be applied on the real-time monitoring data for
 /// surveillance and policy compliance checking").
 ///
-/// The monitor maintains, per registered query, the set of partial matches
-/// (prefixes of the query's edge sequence bound to concrete stream
-/// entities). Each incoming event can extend a partial match by the next
-/// query edge — temporal order is free because the stream itself arrives
-/// in time order. Partial matches expire once the window has passed, which
-/// bounds memory by (events in window) x (query size).
-///
-/// Expiry scans the full partial list: an extension inherits its base's
-/// first_ts but is appended at the back, so the list is NOT ordered by
-/// first_ts and a front-only expiry would strand never-completable
-/// partials behind younger ones (inflating PartialCount and burning the
-/// max_partials cap). The scan is O(live partials), the same as the
-/// extension pass every event already performs.
-///
-/// One alert is emitted per completed match interval; the dedup set is
-/// ordered by interval begin, so duplicate suppression is O(log alerts)
-/// per completion and expiring old dedup entries pops the ordered front.
+/// Compatibility facade over the stream engine subsystem
+/// (src/query/stream/): a single-shard, batch-of-one StreamEngine, so
+/// every OnEvent is synchronous and alerts arrive in the engine's
+/// canonical (event, query index, interval) order. Use StreamEngine
+/// directly for sharded execution, batching, and the full stats surface;
+/// this class keeps the original monitor's constructor-and-two-calls API
+/// for existing callers and tests.
 class StreamMonitor {
  public:
   struct Options {
     /// Maximum allowed match span; also the partial-match expiry horizon.
     Timestamp window = 0;
-    /// Cap on live partial matches per query (safety valve; counts
-    /// evictions in `dropped_partials`).
+    /// Cap on live partial matches per query. When exceeded the oldest
+    /// partial is evicted to make room (counted in `dropped_partials`).
     std::size_t max_partials_per_query = 100000;
   };
 
-  explicit StreamMonitor(const Options& options) : options_(options) {}
+  explicit StreamMonitor(const Options& options)
+      : engine_(EngineOptions(options)) {}
 
   /// Registers a behaviour query; returns its index in alerts.
-  std::size_t AddQuery(const Pattern& query);
+  std::size_t AddQuery(const Pattern& query) {
+    return engine_.AddQuery(query);
+  }
 
-  /// Feeds one event (must be non-decreasing in ts); invokes `sink` for
-  /// every alert it completes.
+  /// Feeds one event (must be non-decreasing in ts — a decreasing ts is
+  /// clamped to the newest timestamp seen and counted in
+  /// `out_of_order_events`); invokes `sink` for every alert it completes.
   void OnEvent(const StreamEvent& event,
-               const std::function<void(const StreamAlert&)>& sink);
+               const std::function<void(const StreamAlert&)>& sink) {
+    engine_.OnEvent(event, sink);
+  }
 
   /// Number of live partial matches (all queries).
-  std::size_t PartialCount() const;
+  std::size_t PartialCount() const { return engine_.PartialCount(); }
 
-  std::int64_t dropped_partials() const { return dropped_partials_; }
+  std::int64_t dropped_partials() const { return engine_.dropped_partials(); }
+
+  /// Events that violated the non-decreasing-ts precondition (clamped).
+  std::int64_t out_of_order_events() const {
+    return engine_.out_of_order_events();
+  }
+
+  /// Full engine snapshot (live partials, index occupancy, drops, ...).
+  EngineStats Stats() const { return engine_.Stats(); }
 
  private:
-  struct Partial {
-    // query node -> stream entity id (kUnbound when not bound yet).
-    std::vector<std::int64_t> binding;
-    std::size_t next_edge = 0;  // first unmatched query edge
-    Timestamp first_ts = 0;
-    Timestamp last_ts = 0;
-  };
-  struct QueryState {
-    Pattern pattern;
-    std::vector<Partial> partials;
-    // Dedup of emitted alert intervals, ordered by (begin, end): lookup
-    // and insert are one O(log) probe, window expiry erases from the
-    // ordered front.
-    std::set<Interval> emitted;
-  };
+  static StreamEngine::Options EngineOptions(const Options& options);
 
-  static constexpr std::int64_t kUnbound = -1;
-
-  void Advance(QueryState& state, std::size_t query_index,
-               const StreamEvent& event,
-               const std::function<void(const StreamAlert&)>& sink);
-
-  Options options_;
-  std::vector<QueryState> queries_;
-  /// Extensions produced by the current event, appended to the live list
-  /// after the scan (so the scan extends in place, copy-free). A member
-  /// only to reuse its capacity across events.
-  std::vector<Partial> pending_;
-  std::int64_t dropped_partials_ = 0;
+  StreamEngine engine_;
 };
 
 }  // namespace tgm

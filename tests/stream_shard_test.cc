@@ -1,0 +1,174 @@
+// Shard-count determinism of the stream engine: because every shard sees
+// every event and each query lives in exactly one shard, the merged alert
+// stream — order and content — plus drops and per-query stats must be
+// bit-identical across 1/2/4 shards and any batch size (mirroring
+// parallel_miner_test.cc's approach for the miner). The TSAN CI job runs
+// this suite to pin the batch fan-out / merge protocol race-free.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "query/stream/engine.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+struct RunResult {
+  std::vector<StreamAlert> alerts;
+  std::size_t live_partials;
+  std::int64_t dropped;
+  std::vector<std::int64_t> per_query_drops;
+  std::vector<std::int64_t> per_query_alerts;
+};
+
+RunResult RunEngine(const StreamEngine::Options& options,
+                    const std::vector<Pattern>& queries,
+                    const std::vector<StreamEvent>& events) {
+  StreamEngine engine(options);
+  for (const Pattern& q : queries) engine.AddQuery(q);
+  RunResult result;
+  auto sink = [&result](const StreamAlert& a) {
+    result.alerts.push_back(a);
+  };
+  for (const StreamEvent& e : events) engine.OnEvent(e, sink);
+  engine.Flush(sink);
+  result.live_partials = engine.PartialCount();
+  result.dropped = engine.dropped_partials();
+  for (const EngineQueryStats& q : engine.Stats().queries) {
+    result.per_query_drops.push_back(q.dropped_partials);
+    result.per_query_alerts.push_back(q.alerts);
+  }
+  return result;
+}
+
+void ExpectIdentical(const RunResult& want, const RunResult& got,
+                     int num_shards, std::size_t batch_size) {
+  SCOPED_TRACE(::testing::Message() << "num_shards=" << num_shards
+                                    << " batch_size=" << batch_size);
+  EXPECT_EQ(want.alerts, got.alerts);
+  EXPECT_EQ(want.live_partials, got.live_partials);
+  EXPECT_EQ(want.dropped, got.dropped);
+  EXPECT_EQ(want.per_query_drops, got.per_query_drops);
+  EXPECT_EQ(want.per_query_alerts, got.per_query_alerts);
+}
+
+class StreamShardTest : public ::testing::TestWithParam<int> {
+ protected:
+  /// Randomized fixture: a strict-order event stream replayed against a
+  /// handful of random behaviour queries.
+  void BuildFixture(std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    TemporalGraph log = tgm::testing::RandomGraph(rng, 8, 60, 2);
+    for (const TemporalEdge& e : log.edges()) {
+      events_.push_back(StreamEvent::FromEdge(log, e));
+    }
+    for (int q = 0; q < 6; ++q) {
+      queries_.push_back(tgm::testing::RandomPattern(
+          rng, 2 + static_cast<int>(rng() % 2), 2));
+    }
+  }
+
+  std::vector<Pattern> queries_;
+  std::vector<StreamEvent> events_;
+};
+
+TEST_P(StreamShardTest, AlertsIdenticalAcrossShardCounts) {
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 500);
+  StreamEngine::Options base;
+  base.window = 40;
+  base.batch_size = 8;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  RunResult want = RunEngine(serial, queries_, events_);
+  EXPECT_FALSE(want.alerts.empty());  // fixtures must exercise the merge
+
+  for (int num_shards : {2, 4}) {
+    StreamEngine::Options options = base;
+    options.num_shards = num_shards;
+    ExpectIdentical(want, RunEngine(options, queries_, events_), num_shards,
+                    base.batch_size);
+  }
+}
+
+TEST_P(StreamShardTest, AlertsIdenticalAcrossBatchSizes) {
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 900);
+  StreamEngine::Options base;
+  base.window = 40;
+  base.num_shards = 2;
+
+  StreamEngine::Options serial = base;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries_, events_);
+
+  for (std::size_t batch_size : {std::size_t{3}, std::size_t{16}}) {
+    StreamEngine::Options options = base;
+    options.batch_size = batch_size;
+    ExpectIdentical(want, RunEngine(options, queries_, events_),
+                    base.num_shards, batch_size);
+  }
+}
+
+TEST_P(StreamShardTest, BackpressureDeterministicAcrossShards) {
+  // A tight partial cap makes eviction order part of the observable
+  // behaviour; it must not depend on the shard count either.
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 1300);
+  StreamEngine::Options base;
+  base.window = 40;
+  base.batch_size = 4;
+  base.max_partials_per_query = 3;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  RunResult want = RunEngine(serial, queries_, events_);
+  EXPECT_GT(want.dropped, 0);  // the cap must actually bite
+
+  for (int num_shards : {2, 4}) {
+    StreamEngine::Options options = base;
+    options.num_shards = num_shards;
+    ExpectIdentical(want, RunEngine(options, queries_, events_), num_shards,
+                    base.batch_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamShardTest, ::testing::Range(0, 6));
+
+TEST(StreamShardPlumbingTest, EveryShardSeesEveryEvent) {
+  StreamEngine::Options options;
+  options.window = 100;
+  options.num_shards = 3;
+  options.batch_size = 2;
+  StreamEngine engine(options);
+  ASSERT_EQ(engine.num_shards(), 3);
+  for (int q = 0; q < 3; ++q) {
+    engine.AddQuery(Pattern::SingleEdge(static_cast<LabelId>(q), 9));
+  }
+  auto sink = [](const StreamAlert&) {};
+  for (int i = 0; i < 5; ++i) {
+    engine.OnEvent(StreamEvent{i, 100 + i, 0, 9, kNoEdgeLabel, i}, sink);
+  }
+  engine.Flush(sink);
+  EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.shard_events.size(), 3u);
+  for (std::int64_t count : stats.shard_events) EXPECT_EQ(count, 5);
+}
+
+TEST(StreamShardPlumbingTest, RoundRobinPartition) {
+  StreamEngine::Options options;
+  options.num_shards = 2;
+  StreamEngine engine(options);
+  for (int q = 0; q < 5; ++q) {
+    engine.AddQuery(Pattern::SingleEdge(static_cast<LabelId>(q), 9));
+  }
+  EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.queries.size(), 5u);
+  for (std::size_t q = 0; q < 5; ++q) {
+    EXPECT_EQ(stats.queries[q].query_index, q);
+    EXPECT_EQ(stats.queries[q].shard, q % 2);
+  }
+}
+
+}  // namespace
+}  // namespace tgm
