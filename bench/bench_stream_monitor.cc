@@ -54,6 +54,7 @@ struct RunStats {
   std::int64_t alerts = 0;
   std::size_t peak_partials = 0;
   std::int64_t dropped = 0;
+  std::int64_t seed_skips = 0;
 };
 
 RunStats RunEngine(const std::vector<Pattern>& queries,
@@ -78,7 +79,9 @@ RunStats RunEngine(const std::vector<Pattern>& queries,
   stats.events_per_sec =
       static_cast<double>(events.size()) / (seconds > 0 ? seconds : 1e-9);
   stats.dropped = engine.dropped_partials();
-  for (const EngineQueryStats& q : engine.Stats().queries) {
+  EngineStats engine_stats = engine.Stats();
+  stats.seed_skips = engine_stats.seed_skips;
+  for (const EngineQueryStats& q : engine_stats.queries) {
     stats.peak_partials += q.peak_partials;
   }
   return stats;
@@ -126,8 +129,9 @@ int main(int argc, char** argv) {
                                  kNoEdgeLabel, i});
   }
 
-  std::printf("%8s %8s %8s %14s %10s %12s %10s\n", "queries", "path",
-              "shards", "events/sec", "alerts", "peak_partials", "dropped");
+  std::printf("%8s %8s %8s %14s %10s %12s %10s %12s\n", "queries", "path",
+              "shards", "events/sec", "alerts", "peak_partials", "dropped",
+              "seed_skips");
   std::vector<int> steps;
   for (int q = 4; q < max_queries; q *= 4) steps.push_back(q);
   steps.push_back(max_queries);
@@ -137,10 +141,11 @@ int main(int argc, char** argv) {
                                 queries.begin() + num_queries);
     auto row = [&](const char* path, bool indexed, int shards) {
       RunStats stats = RunEngine(subset, events, window, indexed, shards);
-      std::printf("%8d %8s %8d %14.0f %10lld %12zu %10lld\n", num_queries,
-                  path, shards, stats.events_per_sec,
+      std::printf("%8d %8s %8d %14.0f %10lld %12zu %10lld %12lld\n",
+                  num_queries, path, shards, stats.events_per_sec,
                   static_cast<long long>(stats.alerts), stats.peak_partials,
-                  static_cast<long long>(stats.dropped));
+                  static_cast<long long>(stats.dropped),
+                  static_cast<long long>(stats.seed_skips));
       std::string name = std::string("StreamEngine/") + path + "/queries:" +
                          std::to_string(num_queries) + "/shards:" +
                          std::to_string(shards);
@@ -151,7 +156,8 @@ int main(int argc, char** argv) {
                 {"shards", static_cast<double>(shards)},
                 {"indexed", indexed ? 1.0 : 0.0},
                 {"alerts", static_cast<double>(stats.alerts)},
-                {"dropped", static_cast<double>(stats.dropped)}});
+                {"dropped", static_cast<double>(stats.dropped)},
+                {"seed_skips", static_cast<double>(stats.seed_skips)}});
       return stats;
     };
     RunStats scan = row("scan", false, 1);
@@ -182,16 +188,19 @@ int main(int argc, char** argv) {
       for (int shards : shard_steps) {
         RunStats sharded = row("index", true, shards);
         if (sharded.alerts != index.alerts ||
-            sharded.dropped != index.dropped) {
+            sharded.dropped != index.dropped ||
+            sharded.seed_skips != index.seed_skips) {
           std::fprintf(stderr,
                        "error: shard determinism violated at queries=%d "
                        "shards=%d: alerts %lld vs %lld, dropped %lld vs "
-                       "%lld\n",
+                       "%lld, seed_skips %lld vs %lld\n",
                        num_queries, shards,
                        static_cast<long long>(sharded.alerts),
                        static_cast<long long>(index.alerts),
                        static_cast<long long>(sharded.dropped),
-                       static_cast<long long>(index.dropped));
+                       static_cast<long long>(index.dropped),
+                       static_cast<long long>(sharded.seed_skips),
+                       static_cast<long long>(index.seed_skips));
           ok = false;
         }
       }

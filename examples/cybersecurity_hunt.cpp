@@ -1,14 +1,22 @@
-// Cybersecurity behaviour hunt — the paper's Example 1 end to end.
+// Cybersecurity behaviour hunt — the paper's Example 1 end to end, on the
+// tgm::api front door.
 //
 // A security analyst wants to find every sshd login in a week of syscall
-// logs without hand-writing a query over low-level entities. The pipeline:
-//  1. run sshd-login repeatedly in a closed environment (simulated),
-//  2. mine its most discriminative temporal patterns against background,
-//  3. rank them with the domain-knowledge interest score,
-//  4. search the 7-day monitoring log and report every identified login
-//     with its time interval, scored against ground truth.
+// logs without hand-writing a query over low-level entities. The
+// workflow:
+//  1. run sshd-login repeatedly in a closed environment (the bundled
+//     simulator — just one Session data source),
+//  2. Session::Mine its most discriminative temporal patterns against
+//     background, ranked with the domain-knowledge interest score,
+//  3. persist the BehaviorQuery artifact,
+//  4. in a *fresh analyst session*, reload the artifact, ingest the 7-day
+//     monitoring log as generic event records, and Session::Search it —
+//     every identified login with its time interval, scored against
+//     ground truth.
 
 #include <cstdio>
+#include <sstream>
+#include <vector>
 
 #include "query/pipeline.h"
 
@@ -34,33 +42,79 @@ int main() {
   }
 
   std::printf("mining discriminative temporal patterns for sshd-login...\n");
-  MinerConfig miner_config = pipeline.config().miner;
-  miner_config.max_edges = config.query_size;
-  MineResult mined = pipeline.MineTemporal(sshd_idx, miner_config);
-  std::printf("  explored %lld patterns in %.2fs; best score %.2f\n",
-              static_cast<long long>(mined.stats.patterns_visited),
-              mined.stats.elapsed_seconds, mined.best_score);
-
-  std::vector<MinedPattern> queries = pipeline.TemporalQueries(mined);
+  api::MineSpec spec;
+  spec.positives = Pipeline::PositivesCorpus(sshd_idx);
+  spec.negatives = std::string(Pipeline::kBackgroundCorpus);
+  spec.config = pipeline.config().miner;
+  spec.config.max_edges = config.query_size;
+  spec.interest = &pipeline.interest();
+  spec.window = pipeline.WindowFor(sshd_idx);
+  StatusOr<api::BehaviorQuery> mined = pipeline.session().Mine(spec);
+  if (!mined.ok()) {
+    std::printf("mining failed: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  explored %lld patterns in %.2fs\n",
+              static_cast<long long>(mined->provenance().patterns_visited),
+              mined->provenance().elapsed_seconds);
   std::printf("behavior query built from %zu top-ranked patterns:\n",
-              queries.size());
-  for (const MinedPattern& q : queries) {
+              mined->size());
+  for (const MinedPattern& q : mined->patterns()) {
     std::printf("  %s\n", q.pattern.ToString(&pipeline.world().dict()).c_str());
   }
 
+  // Persist the artifact; any future session can run it.
+  std::stringstream artifact;
+  if (Status saved = pipeline.session().SaveQuery(*mined, artifact);
+      !saved.ok()) {
+    std::printf("save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("persisted the query as a %zu-byte tquery artifact\n",
+              artifact.str().size());
+
+  // The analyst's session: fresh dictionary, fresh corpora. The weekly
+  // monitoring log arrives as generic event records (entity ids +
+  // labels), as from any real audit source.
+  api::Session analyst;
+  StatusOr<api::BehaviorQuery> query = analyst.LoadQuery(artifact);
+  if (!query.ok()) {
+    std::printf("load failed: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  const TemporalGraph& log = pipeline.test_log().graph;
+  const LabelDict& dict = pipeline.world().dict();
+  std::vector<api::EventRecord> week;
+  week.reserve(log.edge_count());
+  for (const TemporalEdge& e : log.edges()) {
+    week.push_back(api::EventRecord{
+        e.src, e.dst, dict.Name(log.label(e.src)), dict.Name(log.label(e.dst)),
+        e.elabel == kNoEdgeLabel ? "" : dict.Name(e.elabel), e.ts});
+  }
+  if (auto ingested = analyst.Ingest("seven-day-log", week); !ingested.ok()) {
+    std::printf("ingest failed: %s\n",
+                ingested.status().ToString().c_str());
+    return 1;
+  }
   std::printf("searching the 7-day monitoring log (%zu events)...\n",
-              pipeline.test_log().graph.edge_count());
-  std::vector<Interval> matches = pipeline.SearchTemporal(sshd_idx, queries);
-  AccuracyResult accuracy = pipeline.Evaluate(sshd_idx, matches);
+              week.size());
+  StatusOr<std::vector<Interval>> matches =
+      analyst.Search(*query, "seven-day-log");
+  if (!matches.ok()) {
+    std::printf("search failed: %s\n", matches.status().ToString().c_str());
+    return 1;
+  }
+  AccuracyResult accuracy = pipeline.Evaluate(sshd_idx, *matches);
 
   std::printf("identified %lld sshd-login instances "
               "(precision %.1f%%, recall %.1f%%)\n",
               static_cast<long long>(accuracy.identified),
               100 * accuracy.precision(), 100 * accuracy.recall());
   std::size_t shown = 0;
-  for (const Interval& m : matches) {
+  for (const Interval& m : *matches) {
     if (shown++ >= 5) {
-      std::printf("  ... and %zu more\n", matches.size() - 5);
+      std::printf("  ... and %zu more\n", matches->size() - 5);
       break;
     }
     std::printf("  login activity in [%lld, %lld]\n",

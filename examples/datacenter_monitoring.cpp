@@ -1,105 +1,126 @@
-// Datacenter monitoring — the paper's Example 2.
+// Datacenter monitoring — the paper's Example 2, on the tgm::api front
+// door.
 //
 // Nodes are system performance alerts (cpu-high, io-latency, full table
 // joins...), edges are triggering dependencies between alerts over time.
 // The operator wants a *behaviour query* for "disk failure episode" —
-// without hand-specifying how alerts cascade. We mine it from labelled
-// episodes: disk failures cascade io-latency -> cpu-high -> query-timeout
-// in a fixed temporal order, while workload spikes raise the same alerts
-// in a different order.
+// without hand-specifying how alerts cascade. Each labelled episode is
+// ingested as a generic event stream; mining the disk-failure corpus
+// against the workload-spike corpus yields the cascade signature (and the
+// reverse direction yields a false-page suppressor).
 
 #include <cstdio>
 #include <random>
+#include <vector>
 
-#include "mining/miner.h"
-#include "query/interest.h"
-#include "temporal/label_dict.h"
+#include "api/session.h"
 
 namespace {
 
 using namespace tgm;
 
-// One monitoring episode: a temporal graph of alert dependencies.
-TemporalGraph DiskFailureEpisode(LabelDict& dict, std::mt19937_64& rng) {
-  TemporalGraph g;
-  NodeId smart = g.AddNode(dict.Intern("alert:smart-errors"));
-  NodeId io = g.AddNode(dict.Intern("alert:io-latency"));
-  NodeId cpu = g.AddNode(dict.Intern("alert:cpu-high"));
-  NodeId timeout = g.AddNode(dict.Intern("alert:query-timeout"));
-  NodeId replica = g.AddNode(dict.Intern("alert:replica-lag"));
+// Stable entity ids of the alert streams on one host.
+enum : std::int64_t {
+  kSmart = 1, kIo = 2, kCpu = 3, kTimeout = 4, kReplica = 5, kGc = 6,
+  kJoins = 7,
+};
+
+// One monitoring episode: the triggering dependencies between alerts.
+std::vector<api::EventRecord> DiskFailureEpisode(std::mt19937_64& rng) {
   Timestamp t = 100 + static_cast<Timestamp>(rng() % 50);
+  auto step = [&] { return t += 10 + static_cast<Timestamp>(rng() % 20); };
+  std::vector<api::EventRecord> ev;
   // The failure cascade: SMART errors trigger io latency, io latency
   // triggers cpu pressure and query timeouts, timeouts lag the replicas.
-  g.AddEdge(smart, io, t += 10 + static_cast<Timestamp>(rng() % 20));
-  g.AddEdge(io, cpu, t += 10 + static_cast<Timestamp>(rng() % 20));
-  g.AddEdge(io, timeout, t += 10 + static_cast<Timestamp>(rng() % 20));
-  g.AddEdge(timeout, replica, t += 10 + static_cast<Timestamp>(rng() % 20));
+  ev.push_back({kSmart, kIo, "alert:smart-errors", "alert:io-latency", "",
+                step()});
+  ev.push_back({kIo, kCpu, "alert:io-latency", "alert:cpu-high", "", step()});
+  ev.push_back({kIo, kTimeout, "alert:io-latency", "alert:query-timeout", "",
+                step()});
+  ev.push_back({kTimeout, kReplica, "alert:query-timeout",
+                "alert:replica-lag", "", step()});
   // Unrelated noise alerts fire throughout.
-  NodeId gc = g.AddNode(dict.Intern("alert:gc-pause"));
-  g.AddEdge(gc, cpu, 100 + static_cast<Timestamp>(rng() % 40));
-  g.Finalize();
-  return g;
+  ev.push_back({kGc, kCpu, "alert:gc-pause", "alert:cpu-high", "",
+                100 + static_cast<Timestamp>(rng() % 40)});
+  return ev;
 }
 
-TemporalGraph WorkloadSpikeEpisode(LabelDict& dict, std::mt19937_64& rng) {
-  TemporalGraph g;
-  NodeId joins = g.AddNode(dict.Intern("alert:full-table-joins"));
-  NodeId cpu = g.AddNode(dict.Intern("alert:cpu-high"));
-  NodeId io = g.AddNode(dict.Intern("alert:io-latency"));
-  NodeId timeout = g.AddNode(dict.Intern("alert:query-timeout"));
-  NodeId replica = g.AddNode(dict.Intern("alert:replica-lag"));
+std::vector<api::EventRecord> WorkloadSpikeEpisode(std::mt19937_64& rng) {
   Timestamp t = 100 + static_cast<Timestamp>(rng() % 50);
+  auto step = [&] { return t += 10 + static_cast<Timestamp>(rng() % 20); };
+  std::vector<api::EventRecord> ev;
   // A workload spike raises the *same alerts in a different order*: the
   // joins hammer the cpu first, io latency follows the cpu contention.
-  g.AddEdge(joins, cpu, t += 10 + static_cast<Timestamp>(rng() % 20));
-  g.AddEdge(cpu, timeout, t += 10 + static_cast<Timestamp>(rng() % 20));
-  g.AddEdge(cpu, io, t += 10 + static_cast<Timestamp>(rng() % 20));
-  g.AddEdge(timeout, replica, t += 10 + static_cast<Timestamp>(rng() % 20));
-  NodeId gc = g.AddNode(dict.Intern("alert:gc-pause"));
-  g.AddEdge(gc, cpu, 100 + static_cast<Timestamp>(rng() % 40));
-  g.Finalize();
-  return g;
+  ev.push_back({kJoins, kCpu, "alert:full-table-joins", "alert:cpu-high", "",
+                step()});
+  ev.push_back({kCpu, kTimeout, "alert:cpu-high", "alert:query-timeout", "",
+                step()});
+  ev.push_back({kCpu, kIo, "alert:cpu-high", "alert:io-latency", "", step()});
+  ev.push_back({kTimeout, kReplica, "alert:query-timeout",
+                "alert:replica-lag", "", step()});
+  ev.push_back({kGc, kCpu, "alert:gc-pause", "alert:cpu-high", "",
+                100 + static_cast<Timestamp>(rng() % 40)});
+  return ev;
+}
+
+void PrintTop(const api::Session& session, const api::BehaviorQuery& query) {
+  double best = query.patterns().empty() ? 0.0 : query.patterns()[0].score;
+  int shown = 0;
+  for (const MinedPattern& m : query.patterns()) {
+    if (m.score < best || shown >= 3) break;
+    std::printf("  %s\n", m.pattern.ToString(&session.dict()).c_str());
+    ++shown;
+  }
 }
 
 }  // namespace
 
 int main() {
   using namespace tgm;
-  LabelDict dict;
   std::mt19937_64 rng(2026);
 
-  std::vector<TemporalGraph> disk_failures;
-  std::vector<TemporalGraph> workload_spikes;
+  api::Session session;
   for (int i = 0; i < 20; ++i) {
-    disk_failures.push_back(DiskFailureEpisode(dict, rng));
-    workload_spikes.push_back(WorkloadSpikeEpisode(dict, rng));
+    if (!session.Ingest("disk-failures", DiskFailureEpisode(rng)).ok() ||
+        !session.Ingest("workload-spikes", WorkloadSpikeEpisode(rng)).ok()) {
+      std::printf("ingest failed\n");
+      return 1;
+    }
   }
 
-  MinerConfig config = MinerConfig::TGMiner();
-  config.max_edges = 4;
-  Miner miner(config, disk_failures, workload_spikes);
-  MineResult result = miner.Mine();
+  auto config = api::MinerConfigBuilder().MaxEdges(4).Build();
+  if (!config.ok()) return 1;
 
-  std::printf("disk-failure episodes vs workload spikes: best score %.2f\n",
-              result.best_score);
+  api::MineSpec spec;
+  spec.positives = "disk-failures";
+  spec.negatives = "workload-spikes";
+  spec.config = *config;
+  StatusOr<api::BehaviorQuery> disk = session.Mine(spec);
+  if (!disk.ok()) {
+    std::printf("mining failed: %s\n", disk.status().ToString().c_str());
+    return 1;
+  }
+  double disk_best = disk->patterns().empty() ? 0.0 : disk->patterns()[0].score;
+  std::printf("disk-failure episodes vs workload spikes: best score %.2f "
+              "(%lld patterns explored over %lld+%lld episodes)\n",
+              disk_best,
+              static_cast<long long>(disk->provenance().patterns_visited),
+              static_cast<long long>(disk->provenance().positive_graphs),
+              static_cast<long long>(disk->provenance().negative_graphs));
   std::printf("the alert-cascade signature of a disk failure:\n");
-  int shown = 0;
-  for (const MinedPattern& m : result.top) {
-    if (m.score < result.best_score || shown >= 3) break;
-    std::printf("  %s\n", m.pattern.ToString(&dict).c_str());
-    ++shown;
-  }
+  PrintTop(session, *disk);
 
   // The reverse direction answers "what does a pure workload spike look
   // like" — useful for suppressing false pages.
-  Miner reverse(config, workload_spikes, disk_failures);
-  MineResult reverse_result = reverse.Mine();
-  std::printf("the workload-spike signature (for alert suppression):\n");
-  shown = 0;
-  for (const MinedPattern& m : reverse_result.top) {
-    if (m.score < reverse_result.best_score || shown >= 3) break;
-    std::printf("  %s\n", m.pattern.ToString(&dict).c_str());
-    ++shown;
+  std::swap(spec.positives, spec.negatives);
+  StatusOr<api::BehaviorQuery> spike = session.Mine(spec);
+  if (!spike.ok()) {
+    std::printf("mining failed: %s\n", spike.status().ToString().c_str());
+    return 1;
   }
-  return (result.best_score > 0 && reverse_result.best_score > 0) ? 0 : 1;
+  double spike_best =
+      spike->patterns().empty() ? 0.0 : spike->patterns()[0].score;
+  std::printf("the workload-spike signature (for alert suppression):\n");
+  PrintTop(session, *spike);
+  return (disk_best > 0 && spike_best > 0) ? 0 : 1;
 }

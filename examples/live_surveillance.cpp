@@ -1,17 +1,20 @@
 // Live surveillance — the intro's "the formulated behavior queries can
 // also be applied on the real-time monitoring data for surveillance and
-// policy compliance checking".
+// policy compliance checking", on the tgm::api front door.
 //
-// We mine behaviour queries for scp-download offline, register them with
-// the StreamMonitor, then replay the 7-day monitoring log as a live event
-// stream. Alerts fire the moment a query completes — no offline search
-// pass, bounded memory.
+// We mine a BehaviorQuery for scp-download offline, register it with the
+// session's live stream engine (Session::Watch), then replay the 7-day
+// monitoring log as a live event stream (Session::Feed). Alerts fire the
+// moment a query completes — no offline search pass, bounded memory —
+// and the same artifact replayed through Session::Watch over the log
+// corpus with 2 shards produces identical intervals.
 
+#include <algorithm>
 #include <cstdio>
-#include <limits>
+#include <vector>
 
 #include "query/pipeline.h"
-#include "query/stream_monitor.h"
+#include "query/stream/event.h"
 
 int main() {
   using namespace tgm;
@@ -32,21 +35,30 @@ int main() {
          BehaviorKind::kScpDownload) {
     ++scp_idx;
   }
-  MinerConfig miner_config = pipeline.config().miner;
-  miner_config.max_edges = config.query_size;
-  MineResult mined = pipeline.MineTemporal(scp_idx, miner_config);
-  std::vector<MinedPattern> queries = pipeline.TemporalQueries(mined);
-  std::printf("registered %zu behaviour queries with the monitor\n",
-              queries.size());
+  api::MineSpec spec;
+  spec.positives = Pipeline::PositivesCorpus(scp_idx);
+  spec.negatives = std::string(Pipeline::kBackgroundCorpus);
+  spec.config = pipeline.config().miner;
+  spec.config.max_edges = config.query_size;
+  spec.interest = &pipeline.interest();
+  spec.window = pipeline.WindowFor(scp_idx);
+  api::Session& session = pipeline.session();
+  StatusOr<api::BehaviorQuery> mined = session.Mine(spec);
+  if (!mined.ok()) {
+    std::printf("mining failed: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
 
-  StreamMonitor::Options options;
-  options.window = pipeline.WindowFor(scp_idx);
-  // Uncapped, like the offline pipeline stages this replay is scored
-  // against (and the MonitorTemporal parity check below): backpressure
-  // drops would otherwise show up as score/parity differences.
-  options.max_partials_per_query = std::numeric_limits<std::size_t>::max();
-  StreamMonitor monitor(options);
-  for (const MinedPattern& q : queries) monitor.AddQuery(q.pattern);
+  // Go live: one Watch registers every pattern of the artifact with the
+  // session's stream engine (lazily started; uncapped by default so the
+  // replay can be scored against the offline stages).
+  StatusOr<api::WatchId> watch = session.Watch(*mined);
+  if (!watch.ok()) {
+    std::printf("watch failed: %s\n", watch.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("watching %zu behaviour-query patterns (watch #%zu)\n",
+              mined->size(), *watch);
 
   // Replay the log as a live stream, sampling the engine periodically: by
   // end of replay the window has expired everything, so only in-stream
@@ -58,9 +70,20 @@ int main() {
   std::size_t event_count = 0;
   std::size_t busy_live = 0;
   std::size_t busy_buckets = 0;
+  auto on_alert = [&](const api::WatchAlert& alert) {
+    ++alerts;
+    alert_intervals.push_back(alert.interval);
+    if (alerts <= 5) {
+      std::printf("  ALERT: scp-download activity in [%lld, %lld] "
+                  "(watch %zu, pattern %zu)\n",
+                  static_cast<long long>(alert.interval.begin),
+                  static_cast<long long>(alert.interval.end), alert.watch,
+                  alert.pattern);
+    }
+  };
   for (const TemporalEdge& e : log.edges()) {
     if (++event_count % 256 == 0) {
-      EngineStats sample = monitor.Stats();
+      EngineStats sample = session.WatchStats();
       if (sample.live_partials > busy_live) {
         busy_live = sample.live_partials;
         busy_buckets = 0;
@@ -69,18 +92,15 @@ int main() {
         }
       }
     }
-    monitor.OnEvent(StreamEvent::FromEdge(log, e),
-                    [&](const StreamAlert& alert) {
-      ++alerts;
-      alert_intervals.push_back(alert.interval);
-      if (alerts <= 5) {
-        std::printf("  ALERT: scp-download activity in [%lld, %lld] "
-                    "(query %zu)\n",
-                    static_cast<long long>(alert.interval.begin),
-                    static_cast<long long>(alert.interval.end),
-                    alert.query_index);
-      }
-    });
+    if (Status fed = session.Feed(StreamEvent::FromEdge(log, e), on_alert);
+        !fed.ok()) {
+      std::printf("feed failed: %s\n", fed.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status flushed = session.FlushWatches(on_alert); !flushed.ok()) {
+    std::printf("flush failed: %s\n", flushed.ToString().c_str());
+    return 1;
   }
   if (alerts > 5) {
     std::printf("  ... and %lld more alerts\n",
@@ -93,32 +113,40 @@ int main() {
       std::unique(alert_intervals.begin(), alert_intervals.end()),
       alert_intervals.end());
   AccuracyResult accuracy = pipeline.Evaluate(scp_idx, alert_intervals);
+  EngineStats stats = session.WatchStats();
   std::printf("stream results: %lld alert intervals, precision %.1f%%, "
               "recall %.1f%% (live partial matches at end: %zu)\n",
               static_cast<long long>(accuracy.identified),
               100 * accuracy.precision(), 100 * accuracy.recall(),
-              monitor.PartialCount());
+              stats.live_partials);
 
-  // The monitor is a facade over the stream engine (src/query/stream/);
-  // its stats snapshots show the entity index and backpressure at work.
-  EngineStats stats = monitor.Stats();
+  // The engine's stats snapshots show the entity index, backpressure and
+  // seed dispatch at work.
   std::size_t peak = 0;
   for (const EngineQueryStats& q : stats.queries) peak += q.peak_partials;
   std::printf("engine stats: busiest sample %zu live partials in %zu "
-              "entity buckets; peak partials %zu, dropped %lld, "
-              "out-of-order events %lld\n",
+              "entity buckets; peak partials %zu, dropped %lld, seed-skipped "
+              "%lld query probes, out-of-order events %lld\n",
               busy_live, busy_buckets, peak,
               static_cast<long long>(stats.dropped_partials),
+              static_cast<long long>(stats.seed_skips),
               static_cast<long long>(stats.out_of_order_events));
 
-  // The same queries can drive the engine sharded: the pipeline stage
-  // partitions them across worker shards and the alert intervals are
-  // identical for any shard count.
-  std::vector<Interval> sharded =
-      pipeline.MonitorTemporal(scp_idx, queries, /*num_shards=*/2);
+  // The same artifact drives the engine sharded: a Watch replay over the
+  // attached log corpus partitions the patterns across worker shards and
+  // returns identical intervals for any shard count.
+  api::WatchOptions replay;
+  replay.shards = 2;
+  replay.batch_size = 64;
+  StatusOr<std::vector<Interval>> sharded =
+      session.Watch(*mined, Pipeline::kTestLogCorpus, replay);
+  if (!sharded.ok()) {
+    std::printf("replay failed: %s\n", sharded.status().ToString().c_str());
+    return 1;
+  }
   std::printf("2-shard engine replay: %zu distinct intervals (%s)\n",
-              sharded.size(),
-              sharded == alert_intervals ? "identical to the monitor"
-                                         : "MISMATCH");
-  return alerts > 0 && sharded == alert_intervals ? 0 : 1;
+              sharded->size(),
+              *sharded == alert_intervals ? "identical to the live watch"
+                                          : "MISMATCH");
+  return alerts > 0 && *sharded == alert_intervals ? 0 : 1;
 }

@@ -1,89 +1,145 @@
-// Quickstart: build temporal graphs by hand, mine the discriminative
-// temporal pattern that separates the positive set from the negative set,
-// and verify it with a temporal subgraph test.
+// Quickstart for the tgm::api front door: ingest generic event records
+// into a Session, mine the discriminative temporal pattern that separates
+// the positive corpus from the negative corpus, persist the resulting
+// BehaviorQuery artifact, and run it — in a *different* session — over a
+// monitoring log.
 //
 // The scenario is the paper's running example in miniature: positive runs
 // contain an ordered chain (login -> read -> exfiltrate) while negative
 // runs contain the same edges in a harmless order.
 
 #include <cstdio>
+#include <sstream>
+#include <vector>
 
+#include "api/session.h"
 #include "matching/seq_matcher.h"
-#include "mining/miner.h"
-#include "temporal/label_dict.h"
-#include "temporal/temporal_graph.h"
+
+namespace {
+
+using namespace tgm;
+
+// Entity ids are the producer's stable identities; one run = one graph.
+enum : std::int64_t { kSshd = 1, kBash = 2, kSecrets = 3, kRemote = 4 };
+
+std::vector<api::EventRecord> Run(bool exfiltrating, Timestamp base) {
+  auto ev = [&](std::int64_t src, const char* src_label, std::int64_t dst,
+                const char* dst_label, Timestamp ts) {
+    return api::EventRecord{src, dst, src_label, dst_label, "", base + ts};
+  };
+  std::vector<api::EventRecord> events;
+  events.push_back(ev(kSshd, "proc:sshd", kBash, "proc:bash", 10));  // fork
+  if (exfiltrating) {
+    // bash reads the HR file, then sends to a remote socket.
+    events.push_back(
+        ev(kSecrets, "file:/hr/salaries.csv", kBash, "proc:bash", 20));
+    events.push_back(ev(kBash, "proc:bash", kRemote, "sock:remote:443", 30));
+  } else {
+    // The socket traffic precedes the file read — no exfiltration.
+    events.push_back(ev(kBash, "proc:bash", kRemote, "sock:remote:443", 20));
+    events.push_back(
+        ev(kSecrets, "file:/hr/salaries.csv", kBash, "proc:bash", 30));
+  }
+  return events;
+}
+
+}  // namespace
 
 int main() {
   using namespace tgm;
 
-  LabelDict dict;
-  LabelId sshd = dict.Intern("proc:sshd");
-  LabelId bash = dict.Intern("proc:bash");
-  LabelId secrets = dict.Intern("file:/hr/salaries.csv");
-  LabelId remote = dict.Intern("sock:remote:443");
-
-  // Positive runs: sshd forks bash, bash reads the HR file, bash sends to
-  // a remote socket — in that order.
-  std::vector<TemporalGraph> positives;
+  // 1. Ingest: any audit-log source reduces to EventRecord streams.
+  api::Session session;
   for (int run = 0; run < 5; ++run) {
-    TemporalGraph g;
-    NodeId a = g.AddNode(sshd);
-    NodeId b = g.AddNode(bash);
-    NodeId f = g.AddNode(secrets);
-    NodeId s = g.AddNode(remote);
-    g.AddEdge(a, b, 10);  // fork
-    g.AddEdge(f, b, 20);  // read
-    g.AddEdge(b, s, 30);  // send
-    g.Finalize();
-    positives.push_back(std::move(g));
+    auto pos = session.Ingest("exfiltration-runs", Run(true, 100 * run));
+    auto neg = session.Ingest("benign-runs", Run(false, 100 * run));
+    if (!pos.ok() || !neg.ok()) {
+      const Status& failed = !pos.ok() ? pos.status() : neg.status();
+      std::printf("ingest failed: %s\n", failed.ToString().c_str());
+      return 1;
+    }
   }
 
-  // Negative runs: the same entities interact, but the socket traffic
-  // precedes the file read — no exfiltration.
-  std::vector<TemporalGraph> negatives;
-  for (int run = 0; run < 5; ++run) {
-    TemporalGraph g;
-    NodeId a = g.AddNode(sshd);
-    NodeId b = g.AddNode(bash);
-    NodeId f = g.AddNode(secrets);
-    NodeId s = g.AddNode(remote);
-    g.AddEdge(a, b, 10);
-    g.AddEdge(b, s, 20);  // send first...
-    g.AddEdge(f, b, 30);  // ...then read: harmless order
-    g.Finalize();
-    negatives.push_back(std::move(g));
+  // 2. Mine: corpora in, BehaviorQuery artifact out.
+  api::MineSpec spec;
+  spec.positives = "exfiltration-runs";
+  spec.negatives = "benign-runs";
+  // This toy scenario has exactly two perfectly discriminative patterns;
+  // keep the query to those (a weak pattern would also match benign runs).
+  spec.top_patterns = 2;
+  auto config = api::MinerConfigBuilder().MaxEdges(3).Build();
+  if (!config.ok()) {
+    std::printf("bad miner config: %s\n", config.status().ToString().c_str());
+    return 1;
   }
-
-  // Mine the most discriminative T-connected temporal patterns.
-  MinerConfig config = MinerConfig::TGMiner();
-  config.max_edges = 3;
-  Miner miner(config, positives, negatives);
-  MineResult result = miner.Mine();
-
-  std::printf("mined %lld patterns, best score %.3f\n",
-              static_cast<long long>(result.stats.patterns_visited),
-              result.best_score);
-  std::printf("top patterns:\n");
-  int shown = 0;
-  for (const MinedPattern& m : result.top) {
-    if (m.score < result.best_score || shown >= 3) break;
-    std::printf("  %s  freq+=%.2f freq-=%.2f\n",
-                m.pattern.ToString(&dict).c_str(), m.freq_pos, m.freq_neg);
-    ++shown;
+  spec.config = *config;
+  StatusOr<api::BehaviorQuery> mined = session.Mine(spec);
+  if (!mined.ok()) {
+    std::printf("mining failed: %s\n", mined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mined a behaviour query: %zu patterns, window %lld, "
+              "%lld patterns visited%s\n",
+              mined->size(), static_cast<long long>(mined->window()),
+              static_cast<long long>(mined->provenance().patterns_visited),
+              mined->provenance().truncated ? " (truncated)" : "");
+  for (const MinedPattern& m : mined->patterns()) {
+    std::printf("  score %.2f freq+=%.2f freq-=%.2f  %s\n", m.score,
+                m.freq_pos, m.freq_neg,
+                m.pattern.ToString(&session.dict()).c_str());
   }
 
   // The discriminative skeleton is the read-then-send order.
-  Pattern expected = Pattern::SingleEdge(secrets, bash).GrowForward(1, remote);
+  Pattern expected =
+      Pattern::SingleEdge(session.dict().Lookup("file:/hr/salaries.csv"),
+                          session.dict().Lookup("proc:bash"))
+          .GrowForward(1, session.dict().Lookup("sock:remote:443"));
   SeqMatcher matcher;
   bool contained = false;
-  for (const MinedPattern& m : result.top) {
-    if (m.score == result.best_score &&
-        matcher.Contains(expected, m.pattern)) {
+  for (const MinedPattern& m : mined->patterns()) {
+    if (matcher.Contains(expected, m.pattern)) {
       contained = true;
       break;
     }
   }
   std::printf("read-then-send chain found in a top pattern: %s\n",
               contained ? "yes" : "no");
-  return contained ? 0 : 1;
+
+  // 3. Persist: the query is a durable artifact...
+  std::stringstream artifact;
+  if (Status saved = session.SaveQuery(*mined, artifact); !saved.ok()) {
+    std::printf("save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+
+  // 4. ...that a different session (different process, different label
+  // interning order) reloads and runs over new logs.
+  api::Session analyst;
+  StatusOr<api::BehaviorQuery> reloaded = analyst.LoadQuery(artifact);
+  if (!reloaded.ok()) {
+    std::printf("load failed: %s\n", reloaded.status().ToString().c_str());
+    return 1;
+  }
+  for (bool exfiltrating : {true, false}) {
+    auto week = analyst.Ingest("last-week",
+                               Run(exfiltrating, exfiltrating ? 5000 : 9000));
+    if (!week.ok()) {
+      std::printf("ingest failed: %s\n", week.status().ToString().c_str());
+      return 1;
+    }
+  }
+  StatusOr<std::vector<Interval>> hits =
+      analyst.Search(*reloaded, "last-week");
+  if (!hits.ok()) {
+    std::printf("search failed: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reloaded query identified %zu interval(s) in last week's "
+              "logs:\n", hits->size());
+  for (const Interval& m : *hits) {
+    std::printf("  exfiltration activity in [%lld, %lld]\n",
+                static_cast<long long>(m.begin),
+                static_cast<long long>(m.end));
+  }
+  return contained && !hits->empty() ? 0 : 1;
 }

@@ -1,91 +1,114 @@
-// Urban computing — the paper's Example 3.
+// Urban computing — the paper's Example 3, on the tgm::api front door.
 //
 // Heterogeneous city data (traffic, health reports, food production) is
-// fused into temporal graphs: nodes are detected events, edges connect
+// fused into event streams: entities are detected events, records connect
 // events that are geographically close, timestamped by detection time.
 // Domain experts ask: are these unusual events caused by river pollution?
 // We mine the temporal dependency pattern of river-pollution episodes
-// against ordinary-congestion episodes and use it as a query template.
+// against ordinary-congestion episodes, persist it as a BehaviorQuery,
+// and use it as a query template over "this month's" feed.
 
 #include <cstdio>
 #include <random>
+#include <vector>
 
-#include "matching/edge_scan_matcher.h"
-#include "mining/miner.h"
-#include "temporal/label_dict.h"
+#include "api/session.h"
 
 namespace {
 
 using namespace tgm;
 
-TemporalGraph PollutionEpisode(LabelDict& dict, std::mt19937_64& rng) {
-  TemporalGraph g;
-  NodeId discharge = g.AddNode(dict.Intern("event:chemical-discharge"));
-  NodeId fish = g.AddNode(dict.Intern("event:fish-kill"));
-  NodeId sick = g.AddNode(dict.Intern("event:high-sickness-rate"));
-  NodeId food = g.AddNode(dict.Intern("event:food-yield-drop"));
-  NodeId jam = g.AddNode(dict.Intern("event:traffic-jam"));
+enum : std::int64_t {
+  kDischarge = 1, kFish = 2, kSick = 3, kFood = 4, kJam = 5, kConcert = 6,
+};
+
+std::vector<api::EventRecord> PollutionEpisode(std::mt19937_64& rng) {
   Timestamp t = static_cast<Timestamp>(rng() % 24);
+  std::vector<api::EventRecord> ev;
   // Pollution propagates downstream over days: discharge -> fish kill ->
   // sickness in river districts -> irrigation-fed food yield drop.
-  g.AddEdge(discharge, fish, t += 24 + static_cast<Timestamp>(rng() % 12));
-  g.AddEdge(fish, sick, t += 24 + static_cast<Timestamp>(rng() % 12));
-  g.AddEdge(sick, food, t += 24 + static_cast<Timestamp>(rng() % 12));
+  ev.push_back({kDischarge, kFish, "event:chemical-discharge",
+                "event:fish-kill", "",
+                t += 24 + static_cast<Timestamp>(rng() % 12)});
+  ev.push_back({kFish, kSick, "event:fish-kill", "event:high-sickness-rate",
+                "", t += 24 + static_cast<Timestamp>(rng() % 12)});
+  ev.push_back({kSick, kFood, "event:high-sickness-rate",
+                "event:food-yield-drop", "",
+                t += 24 + static_cast<Timestamp>(rng() % 12)});
   // A traffic jam near the hospital follows the sickness spike.
-  g.AddEdge(sick, jam, t += 6 + static_cast<Timestamp>(rng() % 6));
-  g.Finalize();
-  return g;
+  ev.push_back({kSick, kJam, "event:high-sickness-rate", "event:traffic-jam",
+                "", t += 6 + static_cast<Timestamp>(rng() % 6)});
+  return ev;
 }
 
-TemporalGraph CongestionEpisode(LabelDict& dict, std::mt19937_64& rng) {
-  TemporalGraph g;
-  NodeId concert = g.AddNode(dict.Intern("event:stadium-concert"));
-  NodeId jam = g.AddNode(dict.Intern("event:traffic-jam"));
-  NodeId sick = g.AddNode(dict.Intern("event:high-sickness-rate"));
-  NodeId food = g.AddNode(dict.Intern("event:food-yield-drop"));
+std::vector<api::EventRecord> CongestionEpisode(std::mt19937_64& rng) {
   Timestamp t = static_cast<Timestamp>(rng() % 24);
+  std::vector<api::EventRecord> ev;
   // Ordinary city life: a concert causes jams; sickness and a late-season
   // yield dip exist too, but the jam precedes the sickness report here.
-  g.AddEdge(concert, jam, t += 6 + static_cast<Timestamp>(rng() % 6));
-  g.AddEdge(jam, sick, t += 24 + static_cast<Timestamp>(rng() % 12));
-  g.AddEdge(sick, food, t += 24 + static_cast<Timestamp>(rng() % 12));
-  g.Finalize();
-  return g;
+  ev.push_back({kConcert, kJam, "event:stadium-concert", "event:traffic-jam",
+                "", t += 6 + static_cast<Timestamp>(rng() % 6)});
+  ev.push_back({kJam, kSick, "event:traffic-jam", "event:high-sickness-rate",
+                "", t += 24 + static_cast<Timestamp>(rng() % 12)});
+  ev.push_back({kSick, kFood, "event:high-sickness-rate",
+                "event:food-yield-drop", "",
+                t += 24 + static_cast<Timestamp>(rng() % 12)});
+  return ev;
 }
 
 }  // namespace
 
 int main() {
   using namespace tgm;
-  LabelDict dict;
   std::mt19937_64 rng(11);
 
-  std::vector<TemporalGraph> pollution;
-  std::vector<TemporalGraph> ordinary;
+  api::Session session;
   for (int i = 0; i < 25; ++i) {
-    pollution.push_back(PollutionEpisode(dict, rng));
-    ordinary.push_back(CongestionEpisode(dict, rng));
+    if (!session.Ingest("pollution-episodes", PollutionEpisode(rng)).ok() ||
+        !session.Ingest("ordinary-episodes", CongestionEpisode(rng)).ok()) {
+      std::printf("ingest failed\n");
+      return 1;
+    }
   }
 
-  MinerConfig config = MinerConfig::TGMiner();
-  config.max_edges = 3;
-  Miner miner(config, pollution, ordinary);
-  MineResult result = miner.Mine();
-
-  std::printf("river-pollution signature (score %.2f):\n", result.best_score);
+  auto config = api::MinerConfigBuilder().MaxEdges(3).Build();
+  if (!config.ok()) return 1;
+  api::MineSpec spec;
+  spec.positives = "pollution-episodes";
+  spec.negatives = "ordinary-episodes";
+  spec.config = *config;
+  // Episodes vary in length; give the query template generous slack.
+  spec.window_slack = 1.5;
+  StatusOr<api::BehaviorQuery> signature = session.Mine(spec);
+  if (!signature.ok()) {
+    std::printf("mining failed: %s\n",
+                signature.status().ToString().c_str());
+    return 1;
+  }
+  double best =
+      signature->patterns().empty() ? 0.0 : signature->patterns()[0].score;
+  std::printf("river-pollution signature (score %.2f, window %lld):\n", best,
+              static_cast<long long>(signature->window()));
   int shown = 0;
-  for (const MinedPattern& m : result.top) {
-    if (m.score < result.best_score || shown >= 3) break;
-    std::printf("  %s\n", m.pattern.ToString(&dict).c_str());
+  for (const MinedPattern& m : signature->patterns()) {
+    if (m.score < best || shown >= 3) break;
+    std::printf("  %s\n", m.pattern.ToString(&session.dict()).c_str());
     ++shown;
   }
 
-  // Use the top pattern as a query template on a "this month" feed.
+  // Use the behaviour query on a "this month" feed: one offline Search
+  // over a freshly ingested log corpus.
   std::mt19937_64 feed_rng(12);
-  TemporalGraph this_month = PollutionEpisode(dict, feed_rng);
-  EdgeScanMatcher matcher;
-  bool alarm = !result.top.empty() &&
-               matcher.Exists(result.top.front().pattern, this_month);
+  if (!session.Ingest("this-month", PollutionEpisode(feed_rng)).ok()) {
+    return 1;
+  }
+  StatusOr<std::vector<Interval>> hits =
+      session.Search(*signature, "this-month");
+  if (!hits.ok()) {
+    std::printf("search failed: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  bool alarm = !hits->empty();
   std::printf("does this month's event feed match the pollution signature? "
               "%s\n", alarm ? "YES - investigate the river" : "no");
   return alarm ? 0 : 1;

@@ -1,0 +1,177 @@
+#include "api/behavior_query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace tgm::api {
+
+namespace {
+
+/// Round-trip-exact double formatting (shortest representation that
+/// parses back to the same value).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool ParseDoubleToken(std::string_view token, double* out) {
+  // std::from_chars<double> handles "inf"/"-inf" (scores can be -inf for
+  // an artifact assembled by hand), unlike operator>>.
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Corpus names are stored as single tokens on the provenance line; every
+/// whitespace character (including newlines, which would split the line
+/// and make the artifact unloadable) becomes '_'.
+std::string SanitizeName(const std::string& name) {
+  if (name.empty()) return "-";
+  std::string out = name;
+  std::replace_if(
+      out.begin(), out.end(),
+      [](unsigned char c) { return std::isspace(c) != 0; }, '_');
+  return out;
+}
+
+}  // namespace
+
+Status BehaviorQuery::Validate() const {
+  if (patterns_.empty()) {
+    return Status::InvalidArgument("behaviour query has no patterns");
+  }
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i].pattern.edge_count() == 0) {
+      return Status::InvalidArgument("pattern " + std::to_string(i) +
+                                     " of the behaviour query is empty");
+    }
+  }
+  if (window_ < 0) {
+    return Status::InvalidArgument("behaviour query window is negative (" +
+                                   std::to_string(window_) + ")");
+  }
+  return Status::Ok();
+}
+
+void BehaviorQuery::Save(std::ostream& os, const LabelDict& dict) const {
+  os << "tquery 1 " << patterns_.size() << "\n";
+  os << "window " << window_ << "\n";
+  os << "provenance " << provenance_.patterns_visited << " "
+     << provenance_.patterns_expanded << " " << (provenance_.truncated ? 1 : 0)
+     << " " << FormatDouble(provenance_.elapsed_seconds) << " "
+     << provenance_.positive_graphs << " " << provenance_.negative_graphs
+     << " " << SanitizeName(provenance_.positives) << " "
+     << SanitizeName(provenance_.negatives) << "\n";
+  for (const MinedPattern& m : patterns_) {
+    os << "q " << FormatDouble(m.score) << " " << FormatDouble(m.freq_pos)
+       << " " << FormatDouble(m.freq_neg) << " " << m.support_pos << " "
+       << m.support_neg << "\n";
+    WritePattern(os, m.pattern, dict);
+  }
+}
+
+StatusOr<BehaviorQuery> BehaviorQuery::Load(LineCursor& cursor,
+                                            LabelDict& dict) {
+  std::string line;
+  std::vector<std::string_view> tokens;
+  if (!cursor.Next(&line)) {
+    return cursor.Error("expected 'tquery' header, got end of input");
+  }
+  TokenizeRecordLine(line, &tokens);
+  std::int64_t version = 0;
+  std::int64_t num_patterns = 0;
+  if (tokens.size() != 3 || tokens[0] != "tquery" ||
+      !ParseInt64Token(tokens[1], &version) ||
+      !ParseInt64Token(tokens[2], &num_patterns) || num_patterns < 0) {
+    return cursor.Error("expected 'tquery <version> <num_patterns>', got '" +
+                        line + "'");
+  }
+  if (version != 1) {
+    return cursor.Error("unsupported tquery version " +
+                        std::to_string(version));
+  }
+  if (num_patterns == 0) {
+    // An empty artifact could never execute (Validate rejects it); flag
+    // the corruption here, with file context, instead of far downstream.
+    return cursor.Error("a behaviour query artifact must contain at least "
+                        "one pattern");
+  }
+
+  if (!cursor.Next(&line)) {
+    return cursor.Error("expected 'window' line, got end of input");
+  }
+  TokenizeRecordLine(line, &tokens);
+  std::int64_t window = 0;
+  if (tokens.size() != 2 || tokens[0] != "window" ||
+      !ParseInt64Token(tokens[1], &window) || window < 0) {
+    return cursor.Error("expected 'window <non-negative span>', got '" +
+                        line + "'");
+  }
+
+  if (!cursor.Next(&line)) {
+    return cursor.Error("expected 'provenance' line, got end of input");
+  }
+  TokenizeRecordLine(line, &tokens);
+  QueryProvenance prov;
+  std::int64_t truncated = 0;
+  if (tokens.size() != 9 || tokens[0] != "provenance" ||
+      !ParseInt64Token(tokens[1], &prov.patterns_visited) ||
+      !ParseInt64Token(tokens[2], &prov.patterns_expanded) ||
+      !ParseInt64Token(tokens[3], &truncated) ||
+      !ParseDoubleToken(tokens[4], &prov.elapsed_seconds) ||
+      !ParseInt64Token(tokens[5], &prov.positive_graphs) ||
+      !ParseInt64Token(tokens[6], &prov.negative_graphs) ||
+      (truncated != 0 && truncated != 1)) {
+    return cursor.Error("malformed provenance line '" + line + "'");
+  }
+  prov.truncated = truncated == 1;
+  prov.positives = std::string(tokens[7]);
+  prov.negatives = std::string(tokens[8]);
+
+  std::vector<MinedPattern> patterns;
+  // No reserve from the header count: it is file-supplied and unvalidated
+  // (a corrupt count must surface as the kDataLoss below when the blocks
+  // run out, not as a length_error from a pathological allocation).
+  for (std::int64_t i = 0; i < num_patterns; ++i) {
+    if (!cursor.Next(&line)) {
+      return cursor.Error("expected " + std::to_string(num_patterns) +
+                          " 'q' blocks, got end of input after " +
+                          std::to_string(i));
+    }
+    TokenizeRecordLine(line, &tokens);
+    MinedPattern m;
+    if (tokens.size() != 6 || tokens[0] != "q" ||
+        !ParseDoubleToken(tokens[1], &m.score) ||
+        !ParseDoubleToken(tokens[2], &m.freq_pos) ||
+        !ParseDoubleToken(tokens[3], &m.freq_neg) ||
+        !ParseInt64Token(tokens[4], &m.support_pos) ||
+        !ParseInt64Token(tokens[5], &m.support_neg)) {
+      return cursor.Error(
+          "expected 'q <score> <freq_pos> <freq_neg> <support_pos> "
+          "<support_neg>', got '" + line + "'");
+    }
+    TGM_ASSIGN_OR_RETURN(m.pattern, ParsePattern(cursor, dict));
+    patterns.push_back(std::move(m));
+  }
+
+  BehaviorQuery query(std::move(patterns), static_cast<Timestamp>(window),
+                      std::move(prov));
+  return query;
+}
+
+StatusOr<BehaviorQuery> BehaviorQuery::Load(std::istream& is,
+                                            LabelDict& dict) {
+  LineCursor cursor(is);
+  return Load(cursor, dict);
+}
+
+}  // namespace tgm::api

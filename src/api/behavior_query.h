@@ -1,0 +1,103 @@
+#ifndef TGM_API_BEHAVIOR_QUERY_H_
+#define TGM_API_BEHAVIOR_QUERY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/status.h"
+#include "mining/result.h"
+#include "temporal/io.h"
+#include "temporal/label_dict.h"
+
+namespace tgm::api {
+
+/// Where a behaviour query came from: the mining-run summary that travels
+/// with the artifact so an analyst (or a reloading Session) can judge how
+/// much to trust it — how much pattern space the run covered, whether it
+/// was budget-truncated, and how much training data backed it.
+struct QueryProvenance {
+  std::int64_t patterns_visited = 0;
+  std::int64_t patterns_expanded = 0;
+  /// True if the mining run stopped on a visit/time budget rather than
+  /// exhausting the pattern space.
+  bool truncated = false;
+  double elapsed_seconds = 0.0;
+  std::int64_t positive_graphs = 0;
+  std::int64_t negative_graphs = 0;
+  /// Corpus names the query was mined from ("-" when unknown). Stored as
+  /// single tokens: whitespace is replaced with '_' on save.
+  std::string positives = "-";
+  std::string negatives = "-";
+};
+
+/// A compiled behaviour query: the paper's durable deliverable (§1,
+/// Fig. 2) — the top discriminative temporal patterns of one behaviour,
+/// the search window they are evaluated under, and the mining provenance.
+///
+/// A BehaviorQuery is the unit of exchange between discovery and
+/// evaluation: `Session::Mine` produces one, `Session::Search` (offline)
+/// and `Session::Watch` (online) execute one, and the `tquery` text
+/// format persists one, so an analyst can mine once and run the artifact
+/// over any future log — in the same process or years later in another.
+///
+/// Patterns keep their full `MinedPattern` statistics (score, positive /
+/// negative frequency and support), so ranked provenance survives the
+/// round-trip. Pattern labels are dictionary ids; Save resolves them
+/// through the given LabelDict and Load re-interns them into the target
+/// session's dictionary, so artifacts move freely across processes with
+/// different interning orders.
+///
+/// Text format (composes the io.h record formats):
+///   tquery 1 <num_patterns>
+///   window <W>
+///   provenance <visited> <expanded> <truncated> <elapsed_seconds>
+///              <pos_graphs> <neg_graphs> <positives> <negatives>
+///   q <score> <freq_pos> <freq_neg> <support_pos> <support_neg>
+///   tpattern ...                    (one embedded record per `q` line)
+class BehaviorQuery {
+ public:
+  BehaviorQuery() = default;
+  BehaviorQuery(std::vector<MinedPattern> patterns, Timestamp window,
+                QueryProvenance provenance = {})
+      : patterns_(std::move(patterns)),
+        window_(window),
+        provenance_(std::move(provenance)) {}
+
+  const std::vector<MinedPattern>& patterns() const { return patterns_; }
+  std::size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  /// Maximum allowed match span (the longest observed behaviour lifetime
+  /// times the slack); also the online expiry horizon.
+  Timestamp window() const { return window_; }
+  void set_window(Timestamp window) { window_ = window; }
+
+  const QueryProvenance& provenance() const { return provenance_; }
+  QueryProvenance& provenance() { return provenance_; }
+
+  /// Checks the artifact is executable: at least one pattern, every
+  /// pattern non-empty, and a non-negative window.
+  Status Validate() const;
+
+  /// Writes the `tquery` record. Labels resolve through `dict`, which
+  /// must cover every label of every pattern.
+  void Save(std::ostream& os, const LabelDict& dict) const;
+
+  /// Parses a `tquery` record, interning labels into `dict` (typically a
+  /// different Session's dictionary than the one that saved it).
+  /// Malformed input yields a line-numbered kDataLoss status.
+  static StatusOr<BehaviorQuery> Load(std::istream& is, LabelDict& dict);
+  static StatusOr<BehaviorQuery> Load(LineCursor& cursor, LabelDict& dict);
+
+ private:
+  std::vector<MinedPattern> patterns_;
+  Timestamp window_ = 0;
+  QueryProvenance provenance_;
+};
+
+}  // namespace tgm::api
+
+#endif  // TGM_API_BEHAVIOR_QUERY_H_

@@ -1,0 +1,175 @@
+#ifndef TGM_API_BUILDERS_H_
+#define TGM_API_BUILDERS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "api/status.h"
+#include "mining/miner_config.h"
+
+/// \file builders.h
+/// Fluent, validating builders for the library's configuration structs.
+///
+/// The raw structs (`MinerConfig`, `SessionOptions`) stay plain
+/// aggregates — cheap to copy, trivially defaultable — while the builders
+/// give callers a chained, discoverable construction path whose `Build()`
+/// validates ranges and returns `StatusOr` instead of letting a bad knob
+/// (zero max_edges, negative thread count) surface later as a TGM_CHECK
+/// crash deep inside the miner.
+
+namespace tgm::api {
+
+/// Chained construction of a MinerConfig:
+///
+///   TGM_ASSIGN_OR_RETURN(MinerConfig config,
+///                        MinerConfigBuilder("TGMiner")
+///                            .MaxEdges(6)
+///                            .TopK(32)
+///                            .MinPosFreq(0.75)
+///                            .Threads(4)
+///                            .RootBatch(16)
+///                            .Build());
+class MinerConfigBuilder {
+ public:
+  /// Starts from the TGMiner preset.
+  MinerConfigBuilder() : config_(MinerConfig::TGMiner()) {}
+  /// Starts from a named paper preset (TGMiner, SubPrune, SupPrune,
+  /// PruneGI, PruneVF2, LinearScan); unknown names fall back to TGMiner
+  /// exactly like MinerConfig::ByName.
+  explicit MinerConfigBuilder(std::string_view preset)
+      : config_(MinerConfig::ByName(std::string(preset))) {}
+  /// Starts from an existing config (tweak-and-validate).
+  explicit MinerConfigBuilder(const MinerConfig& config) : config_(config) {}
+
+  MinerConfigBuilder& MaxEdges(int v) { config_.max_edges = v; return *this; }
+  MinerConfigBuilder& TopK(int v) { config_.top_k = v; return *this; }
+  MinerConfigBuilder& MinPosFreq(double v) {
+    config_.min_pos_freq = v;
+    return *this;
+  }
+  MinerConfigBuilder& MaxEmbeddingsPerGraph(std::int64_t v) {
+    config_.max_embeddings_per_graph = v;
+    return *this;
+  }
+  MinerConfigBuilder& StopAtTopKTies(bool v) {
+    config_.stop_at_top_k_ties = v;
+    return *this;
+  }
+  MinerConfigBuilder& CheckReferenceScoreFirst(bool v) {
+    config_.check_reference_score_first = v;
+    return *this;
+  }
+  MinerConfigBuilder& Threads(int v) { config_.num_threads = v; return *this; }
+  MinerConfigBuilder& RootBatch(int v) { config_.root_batch = v; return *this; }
+  MinerConfigBuilder& MaxVisited(std::int64_t v) {
+    config_.max_visited = v;
+    return *this;
+  }
+  MinerConfigBuilder& MaxMillis(std::int64_t v) {
+    config_.max_millis = v;
+    return *this;
+  }
+
+  /// Validates and returns the config.
+  StatusOr<MinerConfig> Build() const {
+    if (config_.max_edges < 1) {
+      return Status::InvalidArgument("max_edges must be >= 1, got " +
+                                     std::to_string(config_.max_edges));
+    }
+    if (config_.top_k < 1) {
+      return Status::InvalidArgument("top_k must be >= 1, got " +
+                                     std::to_string(config_.top_k));
+    }
+    if (config_.min_pos_freq < 0.0 || config_.min_pos_freq > 1.0) {
+      return Status::InvalidArgument(
+          "min_pos_freq must be in [0, 1], got " +
+          std::to_string(config_.min_pos_freq));
+    }
+    if (config_.num_threads < 0) {
+      return Status::InvalidArgument(
+          "num_threads must be >= 0 (0 = all hardware threads), got " +
+          std::to_string(config_.num_threads));
+    }
+    if (config_.root_batch < 1) {
+      return Status::InvalidArgument("root_batch must be >= 1, got " +
+                                     std::to_string(config_.root_batch));
+    }
+    if (config_.max_embeddings_per_graph < 0 || config_.max_visited < 0 ||
+        config_.max_millis < 0) {
+      return Status::InvalidArgument(
+          "embedding/visit/time budgets must be >= 0 (0 = unlimited)");
+    }
+    return config_;
+  }
+
+ private:
+  MinerConfig config_;
+};
+
+/// Execution options of a Session (see api/session.h). A plain aggregate;
+/// build through SessionOptionsBuilder for validation.
+struct SessionOptions {
+  /// Match cap of one offline Search pass (guards pathological queries).
+  std::int64_t search_match_cap = 200000;
+  /// Worker shards of the online engine (Watch); <= 0 = all hardware
+  /// threads.
+  int watch_shards = 1;
+  /// Events per engine fan-out batch (>= 1).
+  std::size_t watch_batch_size = 1;
+  /// Per-query live-partial cap of the online engine. Defaults to
+  /// uncapped so Watch and Search agree exactly (the offline searcher
+  /// never drops work); production monitors with bounded memory should
+  /// lower it and accept drop accounting.
+  std::size_t watch_max_partials = std::numeric_limits<std::size_t>::max();
+};
+
+/// Chained construction of SessionOptions:
+///
+///   TGM_ASSIGN_OR_RETURN(SessionOptions opts, SessionOptionsBuilder()
+///                            .WatchShards(4)
+///                            .WatchBatchSize(64)
+///                            .Build());
+class SessionOptionsBuilder {
+ public:
+  SessionOptionsBuilder() = default;
+  explicit SessionOptionsBuilder(const SessionOptions& options)
+      : options_(options) {}
+
+  SessionOptionsBuilder& SearchMatchCap(std::int64_t v) {
+    options_.search_match_cap = v;
+    return *this;
+  }
+  SessionOptionsBuilder& WatchShards(int v) {
+    options_.watch_shards = v;
+    return *this;
+  }
+  SessionOptionsBuilder& WatchBatchSize(std::size_t v) {
+    options_.watch_batch_size = v;
+    return *this;
+  }
+  SessionOptionsBuilder& WatchMaxPartials(std::size_t v) {
+    options_.watch_max_partials = v;
+    return *this;
+  }
+
+  StatusOr<SessionOptions> Build() const {
+    if (options_.search_match_cap < 1) {
+      return Status::InvalidArgument(
+          "search_match_cap must be >= 1, got " +
+          std::to_string(options_.search_match_cap));
+    }
+    if (options_.watch_batch_size < 1) {
+      return Status::InvalidArgument("watch_batch_size must be >= 1");
+    }
+    return options_;
+  }
+
+ private:
+  SessionOptions options_;
+};
+
+}  // namespace tgm::api
+
+#endif  // TGM_API_BUILDERS_H_

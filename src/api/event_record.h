@@ -1,0 +1,38 @@
+#ifndef TGM_API_EVENT_RECORD_H_
+#define TGM_API_EVENT_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "temporal/common.h"
+
+namespace tgm::api {
+
+/// One producer-side audit event: a directed, timestamped interaction
+/// between two stable entities, with human-readable labels.
+///
+/// This is the generic ingestion unit of `Session`: any log source —
+/// syscall audit trails, alert buses, city event feeds, the bundled
+/// syslog simulator — reduces to a stream of these. Entity ids are the
+/// producer's stable identities (pid/inode/socket hashes, sensor ids);
+/// labels are the entity *types* the mined patterns abstract over
+/// ("proc:sshd", "alert:io-latency"). The Session interns labels into its
+/// LabelDict and maps entity ids to dense per-graph node ids, so records
+/// never need to know about `LabelId`/`NodeId`.
+struct EventRecord {
+  std::int64_t src_entity = 0;
+  std::int64_t dst_entity = 0;
+  /// Entity labels. Must be consistent per entity within one graph and
+  /// must not contain whitespace (they round-trip through the line-based
+  /// `tquery`/`tgraph` text formats).
+  std::string src_label;
+  std::string dst_label;
+  /// Optional interaction label ("op:read"); empty means unlabeled.
+  std::string edge_label;
+  /// Non-negative event time, in the producer's clock.
+  Timestamp ts = 0;
+};
+
+}  // namespace tgm::api
+
+#endif  // TGM_API_EVENT_RECORD_H_

@@ -1,0 +1,167 @@
+#ifndef TGM_API_STATUS_H_
+#define TGM_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "temporal/common.h"
+
+/// \file status.h
+/// The library's uniform error model: `tgm::Status` and
+/// `tgm::StatusOr<T>`.
+///
+/// Public entry points (the io parsers, Session ingestion, query
+/// registration, the config builders) report recoverable failures through
+/// these types instead of the bare `std::optional` / bool / silent-clamp
+/// returns they historically used: a failure carries a code that callers
+/// can branch on and a human-readable message (line-numbered for parsers)
+/// that callers can surface. TGM_CHECK remains reserved for representation
+/// invariants whose violation means a bug, not bad input.
+
+namespace tgm {
+
+/// Canonical error space (a deliberately small subset of the familiar
+/// google/absl code set — only what the library actually raises).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< malformed input or out-of-range option
+  kNotFound = 2,          ///< named corpus / label / file does not exist
+  kAlreadyExists = 3,     ///< name collision on registration
+  kFailedPrecondition = 4,///< call sequencing violated (e.g. watch mid-batch)
+  kDataLoss = 5,          ///< parse failure of a persisted artifact
+  kInternal = 6,          ///< invariant failure surfaced as a status
+};
+
+/// Returns the canonical lower-case name ("invalid-argument", ...).
+constexpr std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A success-or-error value: code + message. Cheap to copy on the success
+/// path (empty message, no allocation).
+class Status {
+ public:
+  /// Default is OK, so `Status s; ... return s;` reads naturally.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const {
+    if (ok()) return "ok";
+    std::string out(StatusCodeName(code_));
+    out += ": ";
+    out += message_;
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the status explaining why there is none. The invariant is
+/// exactly one of the two: `ok()` implies a value, `!ok()` implies a
+/// non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value (the success path of `return value;`).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (the failure path of
+  /// `return Status::InvalidArgument(...);`).
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    TGM_CHECK(!status_.ok());  // an OK status carries no value
+  }
+
+  bool ok() const { return value_.has_value(); }
+  /// OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value access requires ok() (checked: misuse is a caller bug).
+  const T& value() const& {
+    TGM_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    TGM_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    TGM_CHECK(ok());
+    return *std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller:
+///   TGM_RETURN_IF_ERROR(session.Ingest(...));
+#define TGM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tgm::Status tgm_status_tmp_ = (expr);        \
+    if (!tgm_status_tmp_.ok()) return tgm_status_tmp_; \
+  } while (0)
+
+/// Unwraps a StatusOr into `lhs`, propagating a non-OK status:
+///   TGM_ASSIGN_OR_RETURN(auto graph, ParseTemporalGraph(is, dict));
+#define TGM_ASSIGN_OR_RETURN(lhs, expr)                        \
+  TGM_ASSIGN_OR_RETURN_IMPL_(                                  \
+      TGM_STATUS_CONCAT_(tgm_statusor_, __LINE__), lhs, expr)
+#define TGM_STATUS_CONCAT_INNER_(a, b) a##b
+#define TGM_STATUS_CONCAT_(a, b) TGM_STATUS_CONCAT_INNER_(a, b)
+#define TGM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace tgm
+
+#endif  // TGM_API_STATUS_H_

@@ -3,17 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-
-#include "query/stream/engine.h"
+#include <span>
+#include <string>
 
 namespace tgm {
 
 namespace {
 
-std::size_t FractionCount(std::size_t n, double fraction) {
-  std::size_t count = static_cast<std::size_t>(
-      std::ceil(fraction * static_cast<double>(n)));
-  return std::clamp<std::size_t>(count, 1, n);
+// The one shared definition of the Figure 12/15 training-amount rounding
+// (api/session.h), so Pipeline subsampling and Session::Mine cannot drift.
+using api::TrainingFractionCount;
+
+// The facade keeps the historical crash-on-misuse contract, but the api
+// Status carries the actual diagnosis — print it before dying instead of
+// losing it to a bare TGM_CHECK expression.
+void CheckOk(const Status& status, const char* where) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", where, status.ToString().c_str());
+  }
+  TGM_CHECK(status.ok());
+}
+
+template <typename T>
+T UnwrapOrDie(StatusOr<T> value, const char* where) {
+  CheckOk(value.status(), where);
+  return *std::move(value);
 }
 
 }  // namespace
@@ -27,6 +41,20 @@ void Pipeline::Prepare() {
   sets.push_back(&training_.background);
   interest_.emplace(sets, world_.dict());
   static_pos_cache_.resize(training_.positives.size());
+  // The simulator is just one Session data source: attach its corpora
+  // (non-owning views; training_/test_log_ are members, so they outlive
+  // the session) and run every temporal stage through the api/ layer.
+  for (std::size_t i = 0; i < training_.positives.size(); ++i) {
+    CheckOk(session_.AttachCorpus(PositivesCorpus(static_cast<int>(i)),
+                                  training_.positives[i]),
+            "Pipeline::Prepare");
+  }
+  CheckOk(session_.AttachCorpus(kBackgroundCorpus, training_.background),
+          "Pipeline::Prepare");
+  CheckOk(session_.AttachCorpus(
+              kTestLogCorpus,
+              std::span<const TemporalGraph>(&test_log_.graph, 1)),
+          "Pipeline::Prepare");
   prepared_ = true;
 }
 
@@ -35,7 +63,7 @@ std::vector<const TemporalGraph*> Pipeline::Positives(int behavior_idx,
   TGM_CHECK(prepared_);
   const auto& graphs =
       training_.positives[static_cast<std::size_t>(behavior_idx)];
-  std::size_t count = FractionCount(graphs.size(), fraction);
+  std::size_t count = TrainingFractionCount(graphs.size(), fraction);
   std::vector<const TemporalGraph*> ptrs;
   ptrs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) ptrs.push_back(&graphs[i]);
@@ -44,7 +72,8 @@ std::vector<const TemporalGraph*> Pipeline::Positives(int behavior_idx,
 
 std::vector<const TemporalGraph*> Pipeline::Negatives(double fraction) const {
   TGM_CHECK(prepared_);
-  std::size_t count = FractionCount(training_.background.size(), fraction);
+  std::size_t count =
+      TrainingFractionCount(training_.background.size(), fraction);
   std::vector<const TemporalGraph*> ptrs;
   ptrs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -64,9 +93,18 @@ Timestamp Pipeline::WindowFor(int behavior_idx) const {
 MineResult Pipeline::MineTemporal(int behavior_idx,
                                   const MinerConfig& miner_config,
                                   double fraction) const {
-  Miner miner(miner_config, Positives(behavior_idx, fraction),
-              Negatives(fraction));
-  return miner.Mine();
+  TGM_CHECK(prepared_);
+  api::MineSpec spec;
+  spec.positives = PositivesCorpus(behavior_idx);
+  spec.negatives = std::string(kBackgroundCorpus);
+  spec.config = miner_config;
+  // The legacy stage clamped out-of-range fractions (<= 0 meant "one
+  // graph", > 1 meant "everything", as Positives/Negatives still do);
+  // the api validates instead, so translate before delegating.
+  double clamped = fraction > 1.0 ? 1.0 : fraction;
+  if (!(clamped > 0.0)) clamped = std::numeric_limits<double>::min();  // NaN too
+  spec.fraction = clamped;
+  return UnwrapOrDie(session_.MineRaw(spec), "Pipeline::MineTemporal");
 }
 
 std::vector<MinedPattern> Pipeline::TemporalQueries(
@@ -76,42 +114,29 @@ std::vector<MinedPattern> Pipeline::TemporalQueries(
 
 std::vector<Interval> Pipeline::SearchTemporal(
     int behavior_idx, const std::vector<MinedPattern>& queries) const {
-  TemporalQuerySearcher::Options options;
-  options.window = WindowFor(behavior_idx);
-  options.max_matches = config_.search_match_cap;
-  TemporalQuerySearcher searcher(options);
-  std::vector<Pattern> patterns;
-  patterns.reserve(queries.size());
-  for (const MinedPattern& q : queries) patterns.push_back(q.pattern);
-  return searcher.SearchAll(patterns, test_log_.graph);
+  TGM_CHECK(prepared_);
+  if (queries.empty()) return {};
+  api::BehaviorQuery query(queries, WindowFor(behavior_idx));
+  return UnwrapOrDie(session_.Search(query, kTestLogCorpus),
+                     "Pipeline::SearchTemporal");
 }
 
 std::vector<Interval> Pipeline::MonitorTemporal(
     int behavior_idx, const std::vector<MinedPattern>& queries,
     int num_shards) const {
-  StreamEngine::Options options;
-  options.window = WindowFor(behavior_idx);
-  options.num_shards = num_shards;
+  TGM_CHECK(prepared_);
+  if (queries.empty()) return {};
+  api::BehaviorQuery query(queries, WindowFor(behavior_idx));
+  api::WatchOptions options;
+  // WatchOptions' 0 means "session default"; this stage's 0 historically
+  // meant "all hardware threads", which the engine spells negative.
+  options.shards = num_shards == 0 ? -1 : num_shards;
   options.batch_size = 64;
   // Offline replay must match SearchTemporal exactly: no backpressure —
   // the offline searcher never drops work, so this stage must not either.
-  options.max_partials_per_query = std::numeric_limits<std::size_t>::max();
-  StreamEngine engine(options);
-  for (const MinedPattern& q : queries) engine.AddQuery(q.pattern);
-
-  const TemporalGraph& log = test_log_.graph;
-  std::vector<Interval> intervals;
-  auto sink = [&intervals](const StreamAlert& alert) {
-    intervals.push_back(alert.interval);
-  };
-  for (const TemporalEdge& e : log.edges()) {
-    engine.OnEvent(StreamEvent::FromEdge(log, e), sink);
-  }
-  engine.Flush(sink);
-  std::sort(intervals.begin(), intervals.end());
-  intervals.erase(std::unique(intervals.begin(), intervals.end()),
-                  intervals.end());
-  return intervals;
+  options.max_partials = std::numeric_limits<std::size_t>::max();
+  return UnwrapOrDie(session_.Watch(query, kTestLogCorpus, options),
+                     "Pipeline::MonitorTemporal");
 }
 
 const std::vector<StaticGraph>& Pipeline::StaticPositives(int behavior_idx) {
@@ -138,8 +163,8 @@ GspanResult Pipeline::MineStatic(int behavior_idx, double fraction) {
   TGM_CHECK(prepared_);
   const auto& pos = StaticPositives(behavior_idx);
   const auto& neg = StaticNegatives();
-  std::size_t pos_count = FractionCount(pos.size(), fraction);
-  std::size_t neg_count = FractionCount(neg.size(), fraction);
+  std::size_t pos_count = TrainingFractionCount(pos.size(), fraction);
+  std::size_t neg_count = TrainingFractionCount(neg.size(), fraction);
   std::vector<const StaticGraph*> pos_ptrs;
   for (std::size_t i = 0; i < pos_count; ++i) pos_ptrs.push_back(&pos[i]);
   std::vector<const StaticGraph*> neg_ptrs;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "api/session.h"
 #include "mining/miner.h"
 #include "nontemporal/gspan.h"
 #include "query/evaluator.h"
@@ -55,11 +56,36 @@ struct PipelineConfig {
 
 /// Owns the simulated world, training data and test log, and runs the
 /// three approaches of Table 2 (TGMiner, Ntemp, NodeSet) end to end.
+///
+/// Back-compat facade: since the api/ front door landed, the temporal
+/// stages (MineTemporal, SearchTemporal, MonitorTemporal) are thin
+/// wrappers over an embedded `api::Session` — the syslog simulator is
+/// just one Session data source, its training corpora and test log
+/// attached under the names below. New code should use `session()` (or a
+/// standalone Session) directly; this class keeps the original
+/// constructor-and-stages API for the paper-replication benches and
+/// tests, plus the non-temporal baselines (Ntemp, NodeSet) that exist
+/// only for Table 2.
 class Pipeline {
  public:
-  explicit Pipeline(const PipelineConfig& config) : config_(config) {}
+  explicit Pipeline(const PipelineConfig& config)
+      : config_(config),
+        session_(&world_.dict(), [&config] {
+          api::SessionOptions options;
+          options.search_match_cap = config.search_match_cap;
+          return options;
+        }()) {}
 
-  /// Generates training and test data; idempotent.
+  /// Not copyable or movable: the embedded session holds pointers into
+  /// this object's own members (world_'s dictionary, the training_ /
+  /// test_log_ corpus views), which a move would leave dangling in the
+  /// moved-to instance. Heap-allocate (or wrap in unique_ptr) to hand a
+  /// Pipeline around.
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Generates training and test data and attaches it to the session;
+  /// idempotent.
   void Prepare();
 
   const PipelineConfig& config() const { return config_; }
@@ -67,6 +93,19 @@ class Pipeline {
   const TrainingData& training() const { return training_; }
   const TestLog& test_log() const { return test_log_; }
   const InterestModel& interest() const { return *interest_; }
+
+  /// The underlying api::Session: the simulator's corpora are attached as
+  /// PositivesCorpus(i) / kBackgroundCorpus / kTestLogCorpus after
+  /// Prepare(). Use it to Mine/Search/Watch/persist BehaviorQuery
+  /// artifacts over the simulated world directly.
+  api::Session& session() { return session_; }
+  const api::Session& session() const { return session_; }
+
+  static constexpr std::string_view kBackgroundCorpus = "train/background";
+  static constexpr std::string_view kTestLogCorpus = "test/log";
+  static std::string PositivesCorpus(int behavior_idx) {
+    return "train/positives/" + std::to_string(behavior_idx);
+  }
 
   /// Positive/negative graph pointer views, truncated to the first
   /// ceil(fraction * n) graphs (the Figure 12/15 training-amount knob).
@@ -119,6 +158,12 @@ class Pipeline {
   SyslogWorld world_;
   TrainingData training_;
   TestLog test_log_;
+  /// Shares world_'s dictionary and holds non-owning corpus views over
+  /// training_/test_log_ (attached in Prepare). Declared after them so
+  /// the session — and with it the dangling-able views — is destroyed
+  /// first; construction order is irrelevant (the constructor only needs
+  /// world_.dict()).
+  api::Session session_;
   std::optional<InterestModel> interest_;
   std::vector<std::vector<StaticGraph>> static_pos_cache_;
   std::vector<StaticGraph> static_neg_cache_;

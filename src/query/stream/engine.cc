@@ -21,12 +21,17 @@ StreamEngine::StreamEngine(const Options& options) : options_(options) {
 }
 
 std::size_t StreamEngine::AddQuery(const Pattern& query) {
+  return AddQuery(query, options_.window);
+}
+
+std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window) {
   TGM_CHECK(query.edge_count() >= 1);
+  TGM_CHECK(window >= 0);
   // Registering mid-batch would make buffered events see a different query
   // set than their arrival order implies.
   TGM_CHECK(batch_.empty());
   std::size_t index = query_count_++;
-  shards_[index % shards_.size()].AddQuery(index, query);
+  shards_[index % shards_.size()].AddQuery(index, query, window);
   return index;
 }
 
@@ -103,10 +108,12 @@ EngineStats StreamEngine::Stats() const {
       row.wildcard_partials = query.table().wildcard_size();
       row.dropped_partials = query.dropped_partials();
       row.alerts = query.alerts();
+      row.seed_skips = query.seed_skips();
       stats.queries.push_back(row);
       stats.live_partials += row.live_partials;
       stats.dropped_partials += row.dropped_partials;
       stats.alerts += row.alerts;
+      stats.seed_skips += row.seed_skips;
     }
   }
   std::sort(stats.queries.begin(), stats.queries.end(),

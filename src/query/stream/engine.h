@@ -21,6 +21,10 @@ struct EngineQueryStats {
   std::size_t wildcard_partials = 0;
   std::int64_t dropped_partials = 0;  ///< backpressure evictions/drops
   std::int64_t alerts = 0;
+  /// Events this query never probed: it had no live partials and the
+  /// shard's seed-dispatch bitmap proved its edge-0 labels cannot match
+  /// the event (see StreamShard).
+  std::int64_t seed_skips = 0;
 };
 
 /// A point-in-time snapshot of engine health; take it between events (the
@@ -32,6 +36,7 @@ struct EngineStats {
   std::size_t live_partials = 0;
   std::int64_t dropped_partials = 0;
   std::int64_t alerts = 0;
+  std::int64_t seed_skips = 0;  ///< total over queries (seed dispatch)
 };
 
 /// The online surveillance engine (Section 1: behaviour queries "applied
@@ -93,6 +98,12 @@ class StreamEngine {
   /// first).
   std::size_t AddQuery(const Pattern& query);
 
+  /// Same, with a per-query expiry window overriding Options::window
+  /// (0 = unbounded). Lets one engine host behaviour queries with
+  /// different lifetimes — e.g. a Session's live watches, where every
+  /// BehaviorQuery artifact carries its own mined window.
+  std::size_t AddQuery(const Pattern& query, Timestamp window);
+
   /// Feeds one event. Timestamps must be non-decreasing: a decreasing
   /// `ts` is clamped to the newest timestamp seen (so window expiry stays
   /// monotonic instead of silently corrupting) and counted in
@@ -106,6 +117,12 @@ class StreamEngine {
 
   std::size_t query_count() const { return query_count_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// True while a partial batch is buffered (fed events not yet
+  /// processed). AddQuery is only legal when this is false; callers that
+  /// want a recoverable error instead of the TGM_CHECK can test this
+  /// first (Session does).
+  bool has_buffered_events() const { return !batch_.empty(); }
 
   /// Number of live partial matches (all queries).
   std::size_t PartialCount() const;

@@ -52,6 +52,11 @@ class QueryRuntime {
   const PartialTable& table() const { return table_; }
   std::int64_t dropped_partials() const { return dropped_partials_; }
   std::int64_t alerts() const { return alerts_; }
+  std::int64_t seed_skips() const { return seed_skips_; }
+
+  /// Records that the shard's seed dispatch skipped this (idle) query for
+  /// one event (see StreamShard).
+  void CountSeedSkip() { ++seed_skips_; }
 
   /// Feeds one event; appends every newly completed (distinct) match
   /// interval to `completions`, sorted ascending.
@@ -78,6 +83,7 @@ class QueryRuntime {
   std::set<Interval> emitted_;
   std::int64_t dropped_partials_ = 0;
   std::int64_t alerts_ = 0;
+  std::int64_t seed_skips_ = 0;
   // Scratch reused across events (capacity persists, no steady-state
   // allocation).
   std::vector<std::uint32_t> candidates_;

@@ -2,13 +2,55 @@
 
 namespace tgm {
 
+void StreamShard::RebuildSeedDispatch() {
+  seed_words_ = (queries_.size() + 63) / 64;
+  seed_by_elabel_.clear();
+  seed_by_src_label_.clear();
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    const PlanTransition& t = queries_[qi].plan().transition(0);
+    auto set_bit = [&](std::unordered_map<LabelId, SeedBitmap>& map,
+                       LabelId label) {
+      SeedBitmap& bits = map[label];
+      bits.resize(seed_words_, 0);
+      bits[qi >> 6] |= std::uint64_t{1} << (qi & 63);
+    };
+    set_bit(seed_by_elabel_, t.elabel);
+    set_bit(seed_by_src_label_, t.src_label);
+  }
+  dispatch_dirty_ = false;
+}
+
+const StreamShard::SeedBitmap* StreamShard::RowFor(
+    const std::unordered_map<LabelId, SeedBitmap>& map, LabelId label) {
+  auto it = map.find(label);
+  return it == map.end() ? nullptr : &it->second;
+}
+
 void StreamShard::ProcessBatch(std::span<const StreamEvent> batch,
                                std::vector<ShardAlert>* out) {
   out->clear();
+  if (dispatch_dirty_) RebuildSeedDispatch();
   for (std::size_t ei = 0; ei < batch.size(); ++ei) {
-    for (QueryRuntime& query : queries_) {
+    const StreamEvent& event = batch[ei];
+    const SeedBitmap* by_elabel = RowFor(seed_by_elabel_, event.elabel);
+    const SeedBitmap* by_src = RowFor(seed_by_src_label_, event.src_label);
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      QueryRuntime& query = queries_[qi];
+      if (query.table().live() == 0) {
+        // Idle query: only a seed could react, and seeding needs the
+        // event's (elabel, src label) to equal the plan's edge-0 labels
+        // (a necessary condition of CompiledQueryPlan::SeedMatches).
+        const std::uint64_t bit = std::uint64_t{1} << (qi & 63);
+        const bool can_seed =
+            by_elabel != nullptr && by_src != nullptr &&
+            ((*by_elabel)[qi >> 6] & (*by_src)[qi >> 6] & bit) != 0;
+        if (!can_seed) {
+          query.CountSeedSkip();
+          continue;
+        }
+      }
       scratch_.clear();
-      query.Advance(batch[ei], &scratch_);
+      query.Advance(event, &scratch_);
       for (const Interval& interval : scratch_) {
         out->push_back(ShardAlert{static_cast<std::uint32_t>(ei),
                                   query.global_index(), interval});

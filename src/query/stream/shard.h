@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "query/stream/query_runtime.h"
@@ -27,6 +28,21 @@ struct ShardAlert {
 /// query's state evolution is identical no matter how many shards the
 /// engine runs — the root of the engine's shard-count determinism.
 ///
+/// Seed dispatch: a query with no live partials can only react to an
+/// event that seeds it, and seeding requires the event's edge label and
+/// source label to equal the query's edge-0 labels. The shard keeps two
+/// label -> query bitmaps (by edge label, by source label); per event it
+/// intersects the two bitmap rows and skips every idle query whose bit is
+/// clear — no expiry scan, no index probe, no seed test. Skips are
+/// counted per query (`EngineQueryStats::seed_skips`). The decision is a
+/// pure per-query function of the event, so the alert stream — and every
+/// other stat — is unchanged by the dispatch and stays bit-identical
+/// across shard counts and batch sizes. Deliberate trade: a skipped query
+/// also skips its emitted-interval dedup pruning, so a query that goes
+/// permanently idle retains its final window's worth of dedup entries —
+/// a bounded, non-growing set; pruning it would require running Advance,
+/// which is the cost the dispatch exists to avoid.
+///
 /// A shard is single-threaded by construction: the engine gives each
 /// batch's ProcessBatch call to exactly one worker, and no state is shared
 /// between shards.
@@ -35,9 +51,17 @@ class StreamShard {
   explicit StreamShard(const StreamLimits& limits) : limits_(limits) {}
 
   /// Registers a query under its engine-global index. Indexes must arrive
-  /// in increasing order (the engine assigns round-robin).
+  /// in increasing order (the engine assigns round-robin). `window`
+  /// overrides the shard-wide StreamLimits::window for this query.
+  void AddQuery(std::size_t global_index, const Pattern& query,
+                Timestamp window) {
+    StreamLimits limits = limits_;
+    limits.window = window;
+    queries_.emplace_back(global_index, query, limits);
+    dispatch_dirty_ = true;
+  }
   void AddQuery(std::size_t global_index, const Pattern& query) {
-    queries_.emplace_back(global_index, query, limits_);
+    AddQuery(global_index, query, limits_.window);
   }
 
   /// Feeds every event of `batch` (in order) to every query of this
@@ -62,10 +86,25 @@ class StreamShard {
   }
 
  private:
+  using SeedBitmap = std::vector<std::uint64_t>;
+
+  /// (Re)builds the label -> query bitmaps after registrations.
+  void RebuildSeedDispatch();
+  /// The bitmap row for `label`, or null if no query of this shard seeds
+  /// on it.
+  static const SeedBitmap* RowFor(
+      const std::unordered_map<LabelId, SeedBitmap>& map, LabelId label);
+
   StreamLimits limits_;
   std::vector<QueryRuntime> queries_;
   std::int64_t events_processed_ = 0;
   std::vector<Interval> scratch_;
+  /// Seed-dispatch bitmaps over local query slots, keyed by the queries'
+  /// edge-0 labels.
+  std::unordered_map<LabelId, SeedBitmap> seed_by_elabel_;
+  std::unordered_map<LabelId, SeedBitmap> seed_by_src_label_;
+  std::size_t seed_words_ = 0;
+  bool dispatch_dirty_ = false;
 };
 
 }  // namespace tgm

@@ -4,19 +4,37 @@
 /// \file tgminer.h
 /// Umbrella header: the full public API of the TGMiner library.
 ///
-/// Layering (each header is also usable on its own):
+/// Layering, bottom to top (each header is also usable on its own):
+///  - error model: api/status.h (tgm::Status / tgm::StatusOr<T>, used by
+///    every layer's fallible public entry points)
 ///  - temporal graph substrate: temporal_graph.h, pattern.h, sequence.h,
-///    residual.h, label_dict.h
+///    residual.h, label_dict.h, io.h (text formats + parsers)
 ///  - temporal subgraph testers and match enumeration: matcher.h,
 ///    seq_matcher.h, vf2_matcher.h, index_matcher.h, edge_scan_matcher.h
 ///  - the discriminative miner and its ablations: miner.h, miner_config.h,
 ///    score.h, result.h
 ///  - the non-temporal baseline: static_graph.h, dfs_code.h, gspan.h
-///  - the syscall-log simulator: entity.h, script.h, behaviors.h,
-///    background.h, dataset.h
+///  - the syscall-log simulator (one Session data source among any):
+///    entity.h, script.h, behaviors.h, background.h, dataset.h
 ///  - query formulation, search and evaluation: interest.h, searcher.h,
-///    nodeset.h, static_search.h, evaluator.h, pipeline.h
+///    nodeset.h, static_search.h, evaluator.h; online surveillance:
+///    stream_monitor.h over query/stream/
+///  - **the stable front door** (new code starts here): api/session.h
+///    (tgm::api::Session — ingestion, corpora, the Search/Watch pair),
+///    api/behavior_query.h (the durable mined-query artifact),
+///    api/event_record.h (generic ingestion unit), api/builders.h
+///    (fluent validated config construction)
+///  - back-compat facade over the front door: pipeline.h (the
+///    paper-replication Pipeline; its temporal stages delegate to an
+///    embedded Session)
+///
+/// Every pre-api include below keeps working unchanged.
 
+#include "api/behavior_query.h"
+#include "api/builders.h"
+#include "api/event_record.h"
+#include "api/session.h"
+#include "api/status.h"
 #include "matching/edge_scan_matcher.h"
 #include "matching/index_matcher.h"
 #include "matching/matcher.h"

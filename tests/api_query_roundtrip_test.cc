@@ -1,0 +1,243 @@
+// BehaviorQuery persistence: the `tquery` text format round-trips the
+// artifact bit-identically — patterns, scores/support provenance, window
+// — including label-dict re-interning across sessions, and Search/Watch
+// over a reloaded artifact reproduce the in-memory query's intervals
+// exactly. Malformed artifacts yield line-numbered diagnostics.
+
+#include "api/behavior_query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "api/session.h"
+#include "test_util.h"
+
+namespace tgm {
+namespace {
+
+using api::BehaviorQuery;
+using api::QueryProvenance;
+using ::tgm::testing::MakePattern;
+
+// A dictionary with the label alphabet L0..L5 (plus the id-0 reserve).
+LabelDict MakeDict() {
+  LabelDict dict;
+  dict.Intern("<none>");
+  for (int i = 0; i < 6; ++i) dict.Intern("L" + std::to_string(i));
+  return dict;
+}
+
+BehaviorQuery MakeQuery() {
+  std::vector<MinedPattern> patterns;
+  MinedPattern a;
+  a.pattern = MakePattern({1, 2, 3}, {{0, 1}, {1, 2}});
+  a.score = 1.0 / 3.0;  // needs full double precision to round-trip
+  a.freq_pos = 0.9999999999999991;
+  a.freq_neg = 1e-17;
+  a.support_pos = 41;
+  a.support_neg = 1;
+  patterns.push_back(a);
+  MinedPattern b;
+  b.pattern = MakePattern({2, 2}, {{0, 1}});
+  b.score = -std::numeric_limits<double>::infinity();  // default-score entry
+  patterns.push_back(b);
+
+  QueryProvenance prov;
+  prov.patterns_visited = 12345;
+  prov.patterns_expanded = 678;
+  prov.truncated = true;
+  prov.elapsed_seconds = 0.125;
+  prov.positive_graphs = 30;
+  prov.negative_graphs = 150;
+  prov.positives = "train/sshd login";  // whitespace sanitized on save
+  prov.negatives = "train/background";
+  return BehaviorQuery(std::move(patterns), /*window=*/777, std::move(prov));
+}
+
+TEST(BehaviorQueryRoundTripTest, SaveLoadIsBitIdentical) {
+  LabelDict dict = MakeDict();
+  BehaviorQuery query = MakeQuery();
+  std::stringstream ss;
+  query.Save(ss, dict);
+
+  LabelDict dict2 = MakeDict();  // identical interning order
+  StatusOr<BehaviorQuery> back = BehaviorQuery::Load(ss, dict2);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ(back->window(), 777);
+  ASSERT_EQ(back->size(), query.size());
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    const MinedPattern& in = query.patterns()[i];
+    const MinedPattern& out = back->patterns()[i];
+    EXPECT_EQ(out.pattern, in.pattern) << "pattern " << i;
+    EXPECT_EQ(out.score, in.score) << "pattern " << i;
+    EXPECT_EQ(out.freq_pos, in.freq_pos) << "pattern " << i;
+    EXPECT_EQ(out.freq_neg, in.freq_neg) << "pattern " << i;
+    EXPECT_EQ(out.support_pos, in.support_pos);
+    EXPECT_EQ(out.support_neg, in.support_neg);
+  }
+  const QueryProvenance& prov = back->provenance();
+  EXPECT_EQ(prov.patterns_visited, 12345);
+  EXPECT_EQ(prov.patterns_expanded, 678);
+  EXPECT_TRUE(prov.truncated);
+  EXPECT_EQ(prov.elapsed_seconds, 0.125);
+  EXPECT_EQ(prov.positive_graphs, 30);
+  EXPECT_EQ(prov.negative_graphs, 150);
+  EXPECT_EQ(prov.positives, "train/sshd_login");  // sanitized
+  EXPECT_EQ(prov.negatives, "train/background");
+}
+
+TEST(BehaviorQueryRoundTripTest, ReinternsLabelsAcrossDictionaries) {
+  LabelDict dict = MakeDict();
+  BehaviorQuery query = MakeQuery();
+  std::stringstream ss;
+  query.Save(ss, dict);
+
+  // A dictionary with a different interning order: ids shift, names hold.
+  LabelDict shifted;
+  shifted.Intern("<none>");
+  shifted.Intern("unrelated:x");
+  shifted.Intern("L3");
+  StatusOr<BehaviorQuery> back = BehaviorQuery::Load(ss, shifted);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  const Pattern& original = query.patterns()[0].pattern;
+  const Pattern& reloaded = back->patterns()[0].pattern;
+  ASSERT_EQ(reloaded.node_count(), original.node_count());
+  for (std::size_t v = 0; v < original.node_count(); ++v) {
+    // Ids differ, names agree — the artifact is interning-independent.
+    EXPECT_EQ(shifted.Name(reloaded.label(static_cast<NodeId>(v))),
+              dict.Name(original.label(static_cast<NodeId>(v))));
+  }
+  EXPECT_NE(reloaded.label(0), original.label(0));
+}
+
+TEST(BehaviorQueryRoundTripTest, DoubleRoundTripIsStable) {
+  // Save -> Load -> Save must reproduce the byte stream (a fixpoint
+  // format: no precision decay over repeated round-trips).
+  LabelDict dict = MakeDict();
+  std::stringstream first;
+  MakeQuery().Save(first, dict);
+  LabelDict dict2 = MakeDict();
+  StatusOr<BehaviorQuery> back = BehaviorQuery::Load(first, dict2);
+  ASSERT_TRUE(back.ok());
+  std::stringstream second;
+  back->Save(second, dict2);
+  LabelDict dict3 = MakeDict();
+  std::stringstream reference;
+  MakeQuery().Save(reference, dict3);
+  EXPECT_EQ(second.str(), reference.str());
+}
+
+TEST(BehaviorQueryRoundTripTest, SearchAndWatchReloadedMatchInMemory) {
+  // End to end through a Session: mine, persist, reload in the same
+  // session, and pin that Search and Watch(1/2/4 shards) over the same
+  // log are bit-identical between the in-memory and reloaded artifacts.
+  api::Session session;
+  for (int run = 0; run < 4; ++run) {
+    std::vector<api::EventRecord> pos = {
+        {1, 2, "A", "B", "", run * 100 + 10},
+        {3, 2, "C", "B", "", run * 100 + 20},
+        {2, 4, "B", "D", "", run * 100 + 30},
+    };
+    std::vector<api::EventRecord> neg = {
+        {1, 2, "A", "B", "", run * 100 + 10},
+        {2, 4, "B", "D", "", run * 100 + 20},
+        {3, 2, "C", "B", "", run * 100 + 30},
+    };
+    ASSERT_TRUE(session.Ingest("pos", pos).ok());
+    ASSERT_TRUE(session.Ingest("neg", neg).ok());
+    // The log interleaves both shapes.
+    ASSERT_TRUE(session.Ingest("log", run % 2 == 0 ? pos : neg).ok());
+  }
+  api::MineSpec spec;
+  spec.positives = "pos";
+  spec.negatives = "neg";
+  spec.config.max_edges = 3;
+  StatusOr<BehaviorQuery> mined = session.Mine(spec);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_FALSE(mined->empty());
+
+  std::stringstream artifact;
+  ASSERT_TRUE(session.SaveQuery(*mined, artifact).ok());
+  StatusOr<BehaviorQuery> reloaded = session.LoadQuery(artifact);
+  ASSERT_TRUE(reloaded.ok());
+
+  StatusOr<std::vector<Interval>> in_memory = session.Search(*mined, "log");
+  StatusOr<std::vector<Interval>> from_disk =
+      session.Search(*reloaded, "log");
+  ASSERT_TRUE(in_memory.ok());
+  ASSERT_TRUE(from_disk.ok());
+  ASSERT_FALSE(in_memory->empty());
+  EXPECT_EQ(*from_disk, *in_memory);
+
+  for (int shards : {1, 2, 4}) {
+    api::WatchOptions options;
+    options.shards = shards;
+    StatusOr<std::vector<Interval>> watched =
+        session.Watch(*reloaded, "log", options);
+    ASSERT_TRUE(watched.ok());
+    EXPECT_EQ(*watched, *in_memory) << "shards=" << shards;
+  }
+}
+
+TEST(BehaviorQueryRoundTripTest, LoadDiagnosticsAreLineNumbered) {
+  auto load = [](const std::string& text) {
+    std::stringstream ss(text);
+    LabelDict fresh = MakeDict();
+    return BehaviorQuery::Load(ss, fresh);
+  };
+
+  StatusOr<BehaviorQuery> bad_header = load("nonsense 1 1\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_EQ(bad_header.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad_header.status().message().find("line 1"), std::string::npos);
+
+  StatusOr<BehaviorQuery> bad_version = load("tquery 9 0\n");
+  ASSERT_FALSE(bad_version.ok());
+  EXPECT_NE(bad_version.status().message().find("version 9"),
+            std::string::npos);
+
+  // A zero-pattern artifact could never execute; Load flags it with file
+  // context instead of deferring to a downstream Validate failure.
+  StatusOr<BehaviorQuery> no_patterns = load("tquery 1 0\nwindow 5\n");
+  ASSERT_FALSE(no_patterns.ok());
+  EXPECT_NE(no_patterns.status().message().find("at least one pattern"),
+            std::string::npos);
+
+  StatusOr<BehaviorQuery> bad_window =
+      load("tquery 1 1\nwindow -4\n");
+  ASSERT_FALSE(bad_window.ok());
+  EXPECT_NE(bad_window.status().message().find("line 2"), std::string::npos);
+
+  StatusOr<BehaviorQuery> bad_prov =
+      load("tquery 1 1\nwindow 5\nprovenance zero\n");
+  ASSERT_FALSE(bad_prov.ok());
+  EXPECT_NE(bad_prov.status().message().find("line 3"), std::string::npos);
+
+  // Truncated mid-pattern: the embedded tpattern parser reports its line.
+  StatusOr<BehaviorQuery> truncated =
+      load("tquery 1 1\nwindow 5\nprovenance 1 1 0 0.5 1 1 - -\n"
+           "q 1 1 0 1 0\ntpattern 2 1\nn L0\n");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(truncated.status().message().find("line 6"), std::string::npos);
+}
+
+TEST(BehaviorQueryRoundTripTest, ValidateCatchesUnexecutableArtifacts) {
+  EXPECT_EQ(BehaviorQuery{}.Validate().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<MinedPattern> patterns(1);
+  patterns[0].pattern = MakePattern({1, 2}, {{0, 1}});
+  EXPECT_EQ(BehaviorQuery(patterns, -1).Validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(BehaviorQuery(patterns, 10).Validate().ok());
+}
+
+}  // namespace
+}  // namespace tgm

@@ -119,6 +119,81 @@ TEST(IoTest, TemporalGraphDotRendering) {
   EXPECT_NE(dot.find("t=42"), std::string::npos);
 }
 
+TEST(IoTest, ParseDiagnosticsAreLineNumbered) {
+  // The StatusOr parsers point at the offending line; the legacy Read*
+  // wrappers collapse the same failures to nullopt (covered above).
+  LabelDict dict;
+
+  std::stringstream bad_header("garbage 1 1\n");
+  StatusOr<TemporalGraph> r1 = ParseTemporalGraph(bad_header, dict);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r1.status().message().find("line 1"), std::string::npos);
+
+  std::stringstream bad_node_tag("tgraph 1 0\nx A\n");
+  StatusOr<TemporalGraph> r2 = ParseTemporalGraph(bad_node_tag, dict);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("line 2"), std::string::npos);
+
+  std::stringstream out_of_range("tgraph 2 1\nn A\nn B\ne 0 7 5 <none>\n");
+  StatusOr<TemporalGraph> r3 = ParseTemporalGraph(out_of_range, dict);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().message().find("line 4"), std::string::npos);
+  EXPECT_NE(r3.status().message().find("out of range"), std::string::npos);
+
+  std::stringstream negative_ts("tgraph 2 1\nn A\nn B\ne 0 1 -3 <none>\n");
+  StatusOr<TemporalGraph> r4 = ParseTemporalGraph(negative_ts, dict);
+  ASSERT_FALSE(r4.ok());
+  EXPECT_NE(r4.status().message().find("negative timestamp"),
+            std::string::npos);
+
+  // Trailing tokens on a record line are malformed, not silently eaten.
+  std::stringstream trailing("tgraph 2 1\nn A\nn B\ne 0 1 5 <none> junk\n");
+  StatusOr<TemporalGraph> r5 = ParseTemporalGraph(trailing, dict);
+  ASSERT_FALSE(r5.ok());
+  EXPECT_NE(r5.status().message().find("line 4"), std::string::npos);
+
+  std::stringstream truncated("tgraph 2 2\nn A\nn B\ne 0 1 5 <none>\n");
+  StatusOr<TemporalGraph> r6 = ParseTemporalGraph(truncated, dict);
+  ASSERT_FALSE(r6.ok());
+  EXPECT_NE(r6.status().message().find("end of input"), std::string::npos);
+}
+
+TEST(IoTest, ParsePatternDiagnostics) {
+  LabelDict dict;
+  // Edges must reference declared nodes.
+  std::stringstream bad("tpattern 2 1\nn A\nn B\ne 0 9 <none>\n");
+  StatusOr<Pattern> r1 = ParsePattern(bad, dict);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r1.status().message().find("line 4"), std::string::npos);
+
+  // A pattern that is not T-connected is rejected with a reason, not a
+  // bare nullopt.
+  std::stringstream disconnected(
+      "tpattern 4 2\nn A\nn B\nn C\nn D\ne 0 1 <none>\ne 2 3 <none>\n");
+  StatusOr<Pattern> r2 = ParsePattern(disconnected, dict);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("T-connected"), std::string::npos);
+
+  std::stringstream empty("tpattern 1 0\nn A\n");
+  StatusOr<Pattern> r3 = ParsePattern(empty, dict);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_NE(r3.status().message().find("at least one edge"),
+            std::string::npos);
+}
+
+TEST(IoTest, ParserAcceptsBlankLinesAndCarriageReturns) {
+  LabelDict dict;
+  std::stringstream ss(
+      "\r\n\ntgraph 2 1\r\nn A\r\n\nn B\r\ne 0 1 5 <none>\r\n");
+  StatusOr<TemporalGraph> parsed = ParseTemporalGraph(ss, dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->node_count(), 2u);
+  EXPECT_EQ(parsed->edge(0).ts, 5);
+  EXPECT_EQ(dict.Name(parsed->label(0)), "A");
+}
+
 TEST(IoTest, MultiplePatternsInOneStream) {
   LabelDict dict;
   LabelId a = dict.Intern("x");

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "query/stream/compiled_plan.h"
@@ -312,6 +313,97 @@ TEST(StreamEngineTest, FullScanModeFilesEverythingUnderWildcard) {
   EngineStats stats = engine.Stats();
   EXPECT_EQ(stats.queries[0].index_buckets, 0u);
   EXPECT_EQ(stats.queries[0].wildcard_partials, 2u);
+}
+
+TEST(StreamEngineTest, SeedDispatchSkipsIdleQueriesAndCountsThem) {
+  // Two queries with disjoint edge-0 labels. Events that can only concern
+  // query 0 must never probe idle query 1: the shard's label->query
+  // bitmap skips it and the per-query seed_skips counter records it —
+  // without changing the alert stream.
+  StreamEngine::Options options;
+  options.window = 100;
+  StreamEngine engine(options);
+  engine.AddQuery(MakePattern({0, 1}, {{0, 1}}));  // seeds on src label 0
+  engine.AddQuery(MakePattern({2, 3}, {{0, 1}}));  // seeds on src label 2
+
+  std::vector<StreamAlert> alerts = FeedAll(
+      engine, {Ev(1, 2, 0, 1, 1), Ev(1, 2, 0, 1, 2), Ev(1, 2, 0, 1, 3)});
+  // The single-edge query 0 completes on every event; query 1 never fires.
+  ASSERT_EQ(alerts.size(), 3u);
+  for (const StreamAlert& a : alerts) EXPECT_EQ(a.query_index, 0u);
+
+  EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.queries.size(), 2u);
+  EXPECT_EQ(stats.queries[0].seed_skips, 0);
+  EXPECT_EQ(stats.queries[1].seed_skips, 3);
+  EXPECT_EQ(stats.seed_skips, 3);
+}
+
+TEST(StreamEngineTest, SeedDispatchNeverSkipsLiveQueries) {
+  // A(0)->B(1) then C(2)->B: the second event's source label (2) cannot
+  // seed the query, but by then the query holds a live partial — the
+  // dispatch must still deliver the event so the extension completes.
+  StreamEngine::Options options;
+  options.window = 100;
+  StreamEngine engine(options);
+  engine.AddQuery(MakePattern({0, 1, 2}, {{0, 1}, {2, 1}}));
+
+  std::vector<StreamAlert> alerts =
+      FeedAll(engine, {Ev(1, 2, 0, 1, 1), Ev(5, 2, 2, 1, 4)});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].interval, (Interval{1, 4}));
+  EXPECT_EQ(engine.Stats().queries[0].seed_skips, 0);
+}
+
+TEST(StreamEngineTest, SeedSkipsIdenticalAcrossShardsAndBatches) {
+  // The skip decision is a pure per-query function of the event, so the
+  // counters — like every other stat — are shard- and batch-invariant.
+  std::mt19937_64 rng(123);
+  TemporalGraph log = tgm::testing::RandomGraph(rng, 8, 60, 3);
+  std::vector<StreamEvent> events = GraphEvents(log);
+
+  auto run = [&](int shards, std::size_t batch) {
+    StreamEngine::Options options;
+    options.window = 40;
+    options.num_shards = shards;
+    options.batch_size = batch;
+    StreamEngine engine(options);
+    std::mt19937_64 qrng(5);
+    for (int q = 0; q < 6; ++q) {
+      engine.AddQuery(tgm::testing::RandomPattern(qrng, 2, 3));
+    }
+    FeedAll(engine, events);
+    std::vector<std::int64_t> skips;
+    for (const EngineQueryStats& q : engine.Stats().queries) {
+      skips.push_back(q.seed_skips);
+    }
+    return skips;
+  };
+  std::vector<std::int64_t> reference = run(1, 1);
+  EXPECT_GT(std::accumulate(reference.begin(), reference.end(),
+                            std::int64_t{0}),
+            0);
+  EXPECT_EQ(run(2, 1), reference);
+  EXPECT_EQ(run(4, 16), reference);
+}
+
+TEST(StreamEngineTest, PerQueryWindowOverridesEngineDefault) {
+  // One engine, two identical patterns, different expiry horizons: the
+  // tight window must reject the wide-span completion the loose one (the
+  // engine default) accepts — the basis of Session live watches, where
+  // every BehaviorQuery carries its own mined window.
+  StreamEngine::Options options;
+  options.window = 1000;
+  StreamEngine engine(options);
+  Pattern chain = MakePattern({0, 1, 2}, {{0, 1}, {1, 2}});
+  engine.AddQuery(chain, /*window=*/5);
+  engine.AddQuery(chain);  // inherits the engine-wide 1000
+
+  std::vector<StreamAlert> alerts =
+      FeedAll(engine, {Ev(1, 2, 0, 1, 0), Ev(2, 3, 1, 2, 50)});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].query_index, 1u);
+  EXPECT_EQ(alerts[0].interval, (Interval{0, 50}));
 }
 
 }  // namespace
