@@ -11,15 +11,20 @@
 // 1-core container the rows pin the merge overhead instead).
 //
 // Flags: --queries=Q (largest query-count step), --events=N, --window=W,
-// --shards=S (extra shard counts, plumbed like --threads), --seed,
-// --json_out=FILE. Alert totals are cross-checked across all
-// configurations of a step: every path and sharding must agree.
+// --shards=S (extra shard counts, plumbed like --threads), --max_gap=G
+// (adds a constrained comparison: every query's transitions get a max-gap
+// guard of G, run once with guard-driven per-partial expiry and once with
+// window-only expiry — identical alerts required, peak live partials is
+// the measurement), --seed, --json_out=FILE. Alert totals are
+// cross-checked across all configurations of a step: every path and
+// sharding must agree.
 
 #include <chrono>
 #include <random>
 
 #include "bench_common.h"
 #include "query/stream/engine.h"
+#include "temporal/constraints.h"
 
 namespace {
 
@@ -59,15 +64,24 @@ struct RunStats {
 
 RunStats RunEngine(const std::vector<Pattern>& queries,
                    const std::vector<StreamEvent>& events, Timestamp window,
-                   bool entity_index, int num_shards) {
+                   bool entity_index, int num_shards,
+                   const std::vector<TemporalConstraints>& constraints = {},
+                   bool guard_expiry = true) {
   StreamEngine::Options options;
   options.window = window;
   options.entity_index = entity_index;
   options.num_shards = num_shards;
   options.batch_size = num_shards > 1 ? 32 : 1;
   options.max_partials_per_query = 50000;
+  options.guard_expiry = guard_expiry;
   StreamEngine engine(options);
-  for (const Pattern& q : queries) engine.AddQuery(q);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (q < constraints.size()) {
+      engine.AddQuery(queries[q], window, constraints[q]);
+    } else {
+      engine.AddQuery(queries[q]);
+    }
+  }
 
   RunStats stats;
   auto sink = [&stats](const StreamAlert&) { ++stats.alerts; };
@@ -91,8 +105,8 @@ RunStats RunEngine(const std::vector<Pattern>& queries,
 
 int main(int argc, char** argv) {
   using namespace tgm;
-  bench::Flags flags(argc, argv,
-                     {"queries", "events", "window", "shards", "json_out"});
+  bench::Flags flags(argc, argv, {"queries", "events", "window", "shards",
+                                  "max_gap", "json_out"});
   bench::Banner("Stream engine", "online surveillance events/sec");
 
   const int max_queries =
@@ -102,6 +116,7 @@ int main(int argc, char** argv) {
   const Timestamp window = flags.GetInt("window", 500, 1);
   const int extra_shards =
       static_cast<int>(flags.GetInt("shards", 0, 0, 4096));
+  const Timestamp max_gap = flags.GetInt("max_gap", 0, 0);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   std::string json_out = flags.GetString("json_out", "");
@@ -206,6 +221,72 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Constrained comparison: the same event stream under queries whose
+  // every transition carries a max-gap guard, executed with guard-driven
+  // per-partial expiry (the PartialTable deadline heap) vs window-only
+  // expiry. Guards are enforced on extension either way, so the alert
+  // streams must be identical; only peak live partials may differ — the
+  // number this row exists to measure.
+  if (max_gap > 0) {
+    std::vector<TemporalConstraints> constraints;
+    constraints.reserve(queries.size());
+    for (const Pattern& q : queries) {
+      TemporalConstraints c(q.edge_count());
+      for (std::size_t k = 1; k < q.edge_count(); ++k) {
+        c.mutable_guard(k).max_gap = max_gap;
+      }
+      constraints.push_back(std::move(c));
+    }
+    auto constrained_row = [&](const char* path, bool guard_expiry) {
+      RunStats stats = RunEngine(queries, events, window, true, 1,
+                                 constraints, guard_expiry);
+      std::printf("%8d %8s %8d %14.0f %10lld %12zu %10lld %12lld\n",
+                  max_queries, path, 1, stats.events_per_sec,
+                  static_cast<long long>(stats.alerts), stats.peak_partials,
+                  static_cast<long long>(stats.dropped),
+                  static_cast<long long>(stats.seed_skips));
+      json.Add(std::string("StreamEngine/") + path + "/queries:" +
+                   std::to_string(max_queries) + "/max_gap:" +
+                   std::to_string(max_gap),
+               static_cast<double>(events.size()) / stats.events_per_sec,
+               {{"events_per_sec", stats.events_per_sec},
+                {"queries", static_cast<double>(max_queries)},
+                {"max_gap", static_cast<double>(max_gap)},
+                {"guard_expiry", guard_expiry ? 1.0 : 0.0},
+                {"peak_partials", static_cast<double>(stats.peak_partials)},
+                {"alerts", static_cast<double>(stats.alerts)},
+                {"dropped", static_cast<double>(stats.dropped)}});
+      return stats;
+    };
+    RunStats window_only = constrained_row("cons-win", false);
+    RunStats guard_driven = constrained_row("cons-gex", true);
+    if (window_only.dropped == 0 && guard_driven.dropped == 0 &&
+        guard_driven.alerts != window_only.alerts) {
+      std::fprintf(stderr,
+                   "error: constrained alert mismatch at max_gap=%lld: "
+                   "guard-expiry %lld vs window-only %lld\n",
+                   static_cast<long long>(max_gap),
+                   static_cast<long long>(guard_driven.alerts),
+                   static_cast<long long>(window_only.alerts));
+      ok = false;
+    }
+    if (guard_driven.peak_partials > window_only.peak_partials) {
+      std::fprintf(stderr,
+                   "error: guard expiry raised peak partials (%zu vs %zu)\n",
+                   guard_driven.peak_partials, window_only.peak_partials);
+      ok = false;
+    }
+    std::printf("  (max_gap=%lld guard expiry holds peak live partials at "
+                "%zu vs %zu window-only, %.1fx reduction, identical "
+                "alerts)\n",
+                static_cast<long long>(max_gap),
+                guard_driven.peak_partials, window_only.peak_partials,
+                guard_driven.peak_partials > 0
+                    ? static_cast<double>(window_only.peak_partials) /
+                          static_cast<double>(guard_driven.peak_partials)
+                    : 0.0);
+  }
+
   std::printf("(events=%lld window=%lld entities=%lld; scan = wildcard "
               "full-scan path, index = entity-keyed partial index; shard "
               "rows need a multicore host for wall-clock scaling)\n",

@@ -2,7 +2,7 @@
 # Runs the miner benchmark set and writes one BENCH_<name>.json per binary,
 # seeding the repo's benchmark-baseline trajectory.
 #
-# Usage: scripts/run_benches.sh [--smoke] [--threads=N] [--shards=N] [BUILD_DIR] [OUT_DIR]
+# Usage: scripts/run_benches.sh [--smoke] [--threads=N] [--shards=N] [--max_gap=N] [BUILD_DIR] [OUT_DIR]
 #   --smoke      tiny sizes for CI (seconds, shape checks only; numbers from
 #                shared CI runners are not comparable across runs)
 #   --threads=N  thread count for the fig13 miner rows (default 1). The
@@ -12,6 +12,11 @@
 #   --shards=N   extra shard count for the stream-engine rows (default 0 =
 #                just the built-in 1/2/4 sweep); recorded per row in the
 #                BENCH_stream_monitor JSON payload.
+#   --max_gap=N  max-gap guard for the constrained stream-engine rows
+#                (default 40): every query gets a per-transition max_gap=N
+#                guard and runs once with guard-driven per-partial expiry
+#                and once window-only; the peak-live-partials pair lands in
+#                BENCH_stream_monitor.json. 0 skips the constrained rows.
 #   BUILD_DIR    CMake build directory with the bench binaries (default: build)
 #   OUT_DIR      where the BENCH_*.json files land (default: bench-results)
 #
@@ -24,6 +29,7 @@ set -euo pipefail
 SMOKE=0
 THREADS=1
 SHARDS=0
+MAX_GAP=40
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke)
@@ -46,6 +52,14 @@ while [[ $# -gt 0 ]]; do
       SHARDS="${2:?--shards needs a value}"
       shift 2
       ;;
+    --max_gap=*)
+      MAX_GAP="${1#--max_gap=}"
+      shift
+      ;;
+    --max_gap)
+      MAX_GAP="${2:?--max_gap needs a value}"
+      shift 2
+      ;;
     *)
       break
       ;;
@@ -56,6 +70,9 @@ case "$THREADS" in
 esac
 case "$SHARDS" in
   ''|*[!0-9]*) echo "error: --shards must be a non-negative integer, got '$SHARDS'" >&2; exit 2 ;;
+esac
+case "$MAX_GAP" in
+  ''|*[!0-9]*) echo "error: --max_gap must be a non-negative integer, got '$MAX_GAP'" >&2; exit 2 ;;
 esac
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-bench-results}"
@@ -91,7 +108,8 @@ fi
 # path, and shard count) writes the same JSON shape via --json_out; every
 # row carries queries/shards/indexed counters.
 STREAM_ARGS=(--json_out="$OUT_DIR/BENCH_stream_monitor.json"
-             --shards="$SHARDS")
+             --shards="$SHARDS"
+             --max_gap="$MAX_GAP")
 if [[ "$SMOKE" == 1 ]]; then
   STREAM_ARGS+=(--events=3000 --queries=16)
 fi

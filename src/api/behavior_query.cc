@@ -45,6 +45,28 @@ std::string SanitizeName(const std::string& name) {
 
 }  // namespace
 
+const TemporalConstraints& BehaviorQuery::constraints(std::size_t i) const {
+  static const TemporalConstraints kTrivial;
+  return i < constraints_.size() ? constraints_[i] : kTrivial;
+}
+
+void BehaviorQuery::set_constraints(std::size_t i,
+                                    TemporalConstraints constraints) {
+  TGM_CHECK(i < patterns_.size());
+  if (constraints_.size() != patterns_.size()) {
+    constraints_.resize(patterns_.size());
+  }
+  constraints.Normalize();
+  constraints_[i] = std::move(constraints);
+}
+
+bool BehaviorQuery::constrained() const {
+  for (const TemporalConstraints& c : constraints_) {
+    if (!c.IsTrivial()) return true;
+  }
+  return false;
+}
+
 Status BehaviorQuery::Validate() const {
   if (patterns_.empty()) {
     return Status::InvalidArgument("behaviour query has no patterns");
@@ -59,11 +81,22 @@ Status BehaviorQuery::Validate() const {
     return Status::InvalidArgument("behaviour query window is negative (" +
                                    std::to_string(window_) + ")");
   }
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    Status status = constraints_[i].ValidateFor(patterns_[i].pattern);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          "constraints of pattern " + std::to_string(i) +
+          " of the behaviour query: " + std::string(status.message()));
+    }
+  }
   return Status::Ok();
 }
 
 void BehaviorQuery::Save(std::ostream& os, const LabelDict& dict) const {
-  os << "tquery 1 " << patterns_.size() << "\n";
+  // Unconstrained artifacts keep the historical version-1 byte layout so
+  // older readers stay compatible; any non-trivial guard bumps to 2.
+  const int version = constrained() ? 2 : 1;
+  os << "tquery " << version << " " << patterns_.size() << "\n";
   os << "window " << window_ << "\n";
   os << "provenance " << provenance_.patterns_visited << " "
      << provenance_.patterns_expanded << " " << (provenance_.truncated ? 1 : 0)
@@ -71,11 +104,32 @@ void BehaviorQuery::Save(std::ostream& os, const LabelDict& dict) const {
      << provenance_.positive_graphs << " " << provenance_.negative_graphs
      << " " << SanitizeName(provenance_.positives) << " "
      << SanitizeName(provenance_.negatives) << "\n";
-  for (const MinedPattern& m : patterns_) {
+  for (std::size_t i = 0; i < patterns_.size(); ++i) {
+    const MinedPattern& m = patterns_[i];
     os << "q " << FormatDouble(m.score) << " " << FormatDouble(m.freq_pos)
        << " " << FormatDouble(m.freq_neg) << " " << m.support_pos << " "
        << m.support_neg << "\n";
     WritePattern(os, m.pattern, dict);
+    if (version < 2) continue;
+    // Every pattern of a v2 artifact carries a constraints block (possibly
+    // `constraints 0 0`), so the parser never has to look ahead. Only
+    // non-trivial guards get `g` lines.
+    const TemporalConstraints& c = constraints(i);
+    static const TransitionGuard kTrivialGuard;
+    std::size_t num_guards = 0;
+    for (const TransitionGuard& g : c.guards()) {
+      if (!(g == kTrivialGuard)) ++num_guards;
+    }
+    os << "constraints " << num_guards << " " << c.deadline() << "\n";
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      const TransitionGuard& g = c.guard(k);
+      if (g == kTrivialGuard) continue;
+      os << "g " << k << " " << g.min_gap << " " << g.max_gap << " "
+         << g.min_since_seed << " " << g.max_since_seed << " "
+         << g.elabel_alts.size();
+      for (LabelId alt : g.elabel_alts) os << " " << dict.Name(alt);
+      os << "\n";
+    }
   }
 }
 
@@ -95,9 +149,13 @@ StatusOr<BehaviorQuery> BehaviorQuery::Load(LineCursor& cursor,
     return cursor.Error("expected 'tquery <version> <num_patterns>', got '" +
                         line + "'");
   }
-  if (version != 1) {
-    return cursor.Error("unsupported tquery version " +
-                        std::to_string(version));
+  if (version != 1 && version != 2) {
+    // A future (or garbage) format version: refuse loudly rather than
+    // misread an artifact written by a newer build.
+    return cursor.Error(
+        "unsupported tquery format version " + std::to_string(version) +
+        " (this build reads versions 1-2; the artifact was likely written "
+        "by a newer build)");
   }
   if (num_patterns == 0) {
     // An empty artifact could never execute (Validate rejects it); flag
@@ -138,6 +196,7 @@ StatusOr<BehaviorQuery> BehaviorQuery::Load(LineCursor& cursor,
   prov.negatives = std::string(tokens[8]);
 
   std::vector<MinedPattern> patterns;
+  std::vector<TemporalConstraints> constraints;  // one per pattern (v2)
   // No reserve from the header count: it is file-supplied and unvalidated
   // (a corrupt count must surface as the kDataLoss below when the blocks
   // run out, not as a length_error from a pathological allocation).
@@ -160,11 +219,83 @@ StatusOr<BehaviorQuery> BehaviorQuery::Load(LineCursor& cursor,
           "<support_neg>', got '" + line + "'");
     }
     TGM_ASSIGN_OR_RETURN(m.pattern, ParsePattern(cursor, dict));
+
+    TemporalConstraints pattern_constraints(m.pattern.edge_count());
+    if (version >= 2) {
+      if (!cursor.Next(&line)) {
+        return cursor.Error("expected 'constraints' line, got end of input");
+      }
+      TokenizeRecordLine(line, &tokens);
+      std::int64_t num_guards = 0;
+      std::int64_t deadline = 0;
+      if (tokens.size() != 3 || tokens[0] != "constraints" ||
+          !ParseInt64Token(tokens[1], &num_guards) ||
+          !ParseInt64Token(tokens[2], &deadline) || num_guards < 0 ||
+          deadline < 0) {
+        return cursor.Error(
+            "expected 'constraints <num_guards> <deadline>', got '" + line +
+            "'");
+      }
+      pattern_constraints.set_deadline(static_cast<Timestamp>(deadline));
+      std::vector<bool> seen(m.pattern.edge_count(), false);
+      for (std::int64_t gi = 0; gi < num_guards; ++gi) {
+        if (!cursor.Next(&line)) {
+          return cursor.Error("expected " + std::to_string(num_guards) +
+                              " 'g' lines, got end of input after " +
+                              std::to_string(gi));
+        }
+        TokenizeRecordLine(line, &tokens);
+        std::int64_t edge = 0;
+        std::int64_t num_alts = 0;
+        TransitionGuard guard;
+        if (tokens.size() < 7 || tokens[0] != "g" ||
+            !ParseInt64Token(tokens[1], &edge) ||
+            !ParseInt64Token(tokens[2], &guard.min_gap) ||
+            !ParseInt64Token(tokens[3], &guard.max_gap) ||
+            !ParseInt64Token(tokens[4], &guard.min_since_seed) ||
+            !ParseInt64Token(tokens[5], &guard.max_since_seed) ||
+            !ParseInt64Token(tokens[6], &num_alts) || num_alts < 0 ||
+            tokens.size() != 7 + static_cast<std::size_t>(num_alts)) {
+          return cursor.Error(
+              "expected 'g <edge> <min_gap> <max_gap> <min_since_seed> "
+              "<max_since_seed> <num_alts> <alt-names...>', got '" + line +
+              "'");
+        }
+        if (edge < 0 ||
+            edge >= static_cast<std::int64_t>(m.pattern.edge_count())) {
+          return cursor.Error("guard references edge " +
+                              std::to_string(edge) + " of a pattern with " +
+                              std::to_string(m.pattern.edge_count()) +
+                              " edges");
+        }
+        if (seen[static_cast<std::size_t>(edge)]) {
+          return cursor.Error("duplicate guard for edge " +
+                              std::to_string(edge));
+        }
+        seen[static_cast<std::size_t>(edge)] = true;
+        for (std::int64_t a = 0; a < num_alts; ++a) {
+          guard.elabel_alts.push_back(
+              dict.Intern(tokens[7 + static_cast<std::size_t>(a)]));
+        }
+        pattern_constraints.mutable_guard(static_cast<std::size_t>(edge)) =
+            std::move(guard);
+      }
+      pattern_constraints.Normalize();
+      Status valid = pattern_constraints.ValidateFor(m.pattern);
+      if (!valid.ok()) {
+        return cursor.Error("invalid constraints block: " +
+                            std::string(valid.message()));
+      }
+      constraints.push_back(std::move(pattern_constraints));
+    }
     patterns.push_back(std::move(m));
   }
 
   BehaviorQuery query(std::move(patterns), static_cast<Timestamp>(window),
                       std::move(prov));
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    query.set_constraints(i, std::move(constraints[i]));
+  }
   return query;
 }
 

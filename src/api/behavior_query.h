@@ -9,6 +9,7 @@
 
 #include "api/status.h"
 #include "mining/result.h"
+#include "temporal/constraints.h"
 #include "temporal/io.h"
 #include "temporal/label_dict.h"
 
@@ -50,13 +51,27 @@ struct QueryProvenance {
 /// session's dictionary, so artifacts move freely across processes with
 /// different interning orders.
 ///
+/// Each pattern may carry a TemporalConstraints annotation — the
+/// timed-automata guards both execution paths enforce (see
+/// temporal/constraints.h). Constraints persist with the artifact: a query
+/// sharpened with gap guards reloads sharpened.
+///
 /// Text format (composes the io.h record formats):
-///   tquery 1 <num_patterns>
+///   tquery <version> <num_patterns>
 ///   window <W>
 ///   provenance <visited> <expanded> <truncated> <elapsed_seconds>
 ///              <pos_graphs> <neg_graphs> <positives> <negatives>
 ///   q <score> <freq_pos> <freq_neg> <support_pos> <support_neg>
 ///   tpattern ...                    (one embedded record per `q` line)
+///   constraints <num_guards> <deadline>          (version 2 only)
+///   g <edge> <min_gap> <max_gap> <min_since_seed> <max_since_seed>
+///     <num_alts> <alt-label-names...>      (one per non-trivial guard)
+/// Version 1 is the historical constraint-free format; Save emits it
+/// whenever no pattern is constrained, so unconstrained artifacts stay
+/// byte-compatible with older readers. Version 2 appends one
+/// `constraints` block per pattern (after its `tpattern` record); -1 in a
+/// max field is the kNoGapLimit sentinel. Alternative edge labels are
+/// stored by name and re-interned on load, like every other label.
 class BehaviorQuery {
  public:
   BehaviorQuery() = default;
@@ -70,6 +85,22 @@ class BehaviorQuery {
   std::size_t size() const { return patterns_.size(); }
   bool empty() const { return patterns_.empty(); }
 
+  /// The constraint annotation of pattern `i` (trivial when none was
+  /// ever set).
+  const TemporalConstraints& constraints(std::size_t i) const;
+  /// Per-pattern annotations, aligned by index; empty when the artifact
+  /// is fully unconstrained (the vector is only materialized on the first
+  /// set_constraints).
+  const std::vector<TemporalConstraints>& constraints() const {
+    return constraints_;
+  }
+  /// Attaches guards to pattern `i` (normalizing label alternatives);
+  /// `i` must index an existing pattern. Validity against the pattern is
+  /// checked by Validate / Save-time callers, not here.
+  void set_constraints(std::size_t i, TemporalConstraints constraints);
+  /// True if any pattern carries a non-trivial annotation.
+  bool constrained() const;
+
   /// Maximum allowed match span (the longest observed behaviour lifetime
   /// times the slack); also the online expiry horizon.
   Timestamp window() const { return window_; }
@@ -79,7 +110,9 @@ class BehaviorQuery {
   QueryProvenance& provenance() { return provenance_; }
 
   /// Checks the artifact is executable: at least one pattern, every
-  /// pattern non-empty, and a non-negative window.
+  /// pattern non-empty, a non-negative window, and every constraint
+  /// annotation consistent with its pattern
+  /// (TemporalConstraints::ValidateFor).
   Status Validate() const;
 
   /// Writes the `tquery` record. Labels resolve through `dict`, which
@@ -94,6 +127,9 @@ class BehaviorQuery {
 
  private:
   std::vector<MinedPattern> patterns_;
+  /// Either empty (no pattern constrained, the common case) or exactly
+  /// patterns_.size() entries.
+  std::vector<TemporalConstraints> constraints_;
   Timestamp window_ = 0;
   QueryProvenance provenance_;
 };

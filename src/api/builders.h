@@ -8,6 +8,8 @@
 
 #include "api/status.h"
 #include "mining/miner_config.h"
+#include "temporal/constraints.h"
+#include "temporal/pattern.h"
 
 /// \file builders.h
 /// Fluent, validating builders for the library's configuration structs.
@@ -168,6 +170,93 @@ class SessionOptionsBuilder {
 
  private:
   SessionOptions options_;
+};
+
+/// Chained construction of a TemporalConstraints annotation for one
+/// behaviour-query pattern (timed-automata guards; see
+/// temporal/constraints.h). Transition indices are pattern edge positions;
+/// edge 0 is the seed edge and accepts only label alternatives (time-gap
+/// bounds on it are rejected at Build, like every other inconsistency):
+///
+///   TGM_ASSIGN_OR_RETURN(
+///       TemporalConstraints c,
+///       QueryConstraintsBuilder(pattern.edge_count())
+///           .MaxGap(1, 30)              // edge 1 within 30s of edge 0
+///           .MinGap(2, 5)               // edge 2 at least 5s after edge 1
+///           .MaxSinceSeed(2, 120)       // ... and within 120s of the seed
+///           .AlternativeEdgeLabel(1, sudo_label)  // edge 1: ssh OR sudo
+///           .Deadline(600)              // whole match within 10 minutes
+///           .Build(pattern));
+class QueryConstraintsBuilder {
+ public:
+  explicit QueryConstraintsBuilder(std::size_t edge_count)
+      : constraints_(edge_count) {}
+  /// Starts from an existing annotation (tweak-and-validate).
+  explicit QueryConstraintsBuilder(TemporalConstraints constraints)
+      : constraints_(std::move(constraints)) {}
+
+  /// Edge k must occur at least `v` after edge k-1.
+  QueryConstraintsBuilder& MinGap(std::size_t k, Timestamp v) {
+    if (TransitionGuard* g = GuardAt(k, "MinGap")) g->min_gap = v;
+    return *this;
+  }
+  /// Edge k must occur at most `v` after edge k-1 (kNoGapLimit resets to
+  /// unbounded).
+  QueryConstraintsBuilder& MaxGap(std::size_t k, Timestamp v) {
+    if (TransitionGuard* g = GuardAt(k, "MaxGap")) g->max_gap = v;
+    return *this;
+  }
+  /// Edge k must occur at least `v` after the seed edge.
+  QueryConstraintsBuilder& MinSinceSeed(std::size_t k, Timestamp v) {
+    if (TransitionGuard* g = GuardAt(k, "MinSinceSeed")) g->min_since_seed = v;
+    return *this;
+  }
+  /// Edge k must occur at most `v` after the seed edge.
+  QueryConstraintsBuilder& MaxSinceSeed(std::size_t k, Timestamp v) {
+    if (TransitionGuard* g = GuardAt(k, "MaxSinceSeed")) g->max_since_seed = v;
+    return *this;
+  }
+  /// Edge k also accepts edge label `label` (disjunction with the
+  /// pattern's own label; call repeatedly for more alternatives).
+  QueryConstraintsBuilder& AlternativeEdgeLabel(std::size_t k, LabelId label) {
+    if (TransitionGuard* g = GuardAt(k, "AlternativeEdgeLabel")) {
+      g->elabel_alts.push_back(label);
+    }
+    return *this;
+  }
+  /// The whole match must span at most `v` (composes with the query
+  /// window as min; 0 = window only).
+  QueryConstraintsBuilder& Deadline(Timestamp v) {
+    constraints_.set_deadline(v);
+    return *this;
+  }
+
+  /// Normalizes, validates against `pattern`, and returns the annotation.
+  StatusOr<TemporalConstraints> Build(const Pattern& pattern) const {
+    if (!deferred_error_.empty()) {
+      return Status::InvalidArgument(deferred_error_);
+    }
+    TemporalConstraints result = constraints_;
+    result.Normalize();
+    TGM_RETURN_IF_ERROR(result.ValidateFor(pattern));
+    return result;
+  }
+
+ private:
+  /// Chained setters cannot return Status, so an out-of-range transition
+  /// index is parked here and surfaces from Build.
+  TransitionGuard* GuardAt(std::size_t k, std::string_view setter) {
+    if (k < constraints_.size()) return &constraints_.mutable_guard(k);
+    if (deferred_error_.empty()) {
+      deferred_error_ = std::string(setter) + " on transition " +
+                        std::to_string(k) + " of a query with " +
+                        std::to_string(constraints_.size()) + " edges";
+    }
+    return nullptr;
+  }
+
+  TemporalConstraints constraints_;
+  std::string deferred_error_;
 };
 
 }  // namespace tgm::api

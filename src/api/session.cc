@@ -383,7 +383,8 @@ StatusOr<std::vector<Interval>> Session::Search(
 
   std::vector<Interval> intervals;
   for (const TemporalGraph* g : corpus->graphs) {
-    std::vector<Interval> hits = searcher.SearchAll(patterns, *g);
+    std::vector<Interval> hits =
+        searcher.SearchAll(patterns, query.constraints(), *g);
     intervals.insert(intervals.end(), hits.begin(), hits.end());
   }
   std::sort(intervals.begin(), intervals.end());
@@ -417,8 +418,9 @@ StatusOr<std::vector<Interval>> Session::Watch(
   // timestamp ranges may overlap), exactly how Search treats them.
   for (const TemporalGraph* g : corpus->graphs) {
     StreamEngine engine(engine_options);
-    for (const MinedPattern& m : query.patterns()) {
-      engine.AddQuery(m.pattern);
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      engine.AddQuery(query.patterns()[i].pattern, query.window(),
+                      query.constraints(i));
     }
     for (const TemporalEdge& e : g->edges()) {
       engine.OnEvent(StreamEvent::FromEdge(*g, e), sink);
@@ -468,7 +470,8 @@ StatusOr<WatchId> Session::Watch(const BehaviorQuery& query) {
   entry.pattern_count = query.size();
   for (std::size_t ordinal = 0; ordinal < query.size(); ++ordinal) {
     std::size_t engine_index =
-        engine_->AddQuery(query.patterns()[ordinal].pattern, query.window());
+        engine_->AddQuery(query.patterns()[ordinal].pattern, query.window(),
+                          query.constraints(ordinal));
     TGM_CHECK(engine_index == engine_index_map_.size());
     engine_index_map_.emplace_back(id, ordinal);
   }
@@ -544,6 +547,19 @@ Status Session::SaveQuery(const BehaviorQuery& query, std::ostream& os) const {
         return Status::InvalidArgument(
             "pattern edge label id " + std::to_string(e.elabel) +
             " is outside this session's dictionary");
+      }
+    }
+  }
+  // Constraint label alternatives are saved by name, so they must resolve
+  // through this dictionary too.
+  for (const TemporalConstraints& c : query.constraints()) {
+    for (const TransitionGuard& g : c.guards()) {
+      for (LabelId alt : g.elabel_alts) {
+        if (alt < 0 || alt >= limit) {
+          return Status::InvalidArgument(
+              "constraint alternative edge-label id " + std::to_string(alt) +
+              " is outside this session's dictionary");
+        }
       }
     }
   }

@@ -109,7 +109,11 @@ using WatchSink = std::function<void(const WatchAlert&)>;
 /// `Search` (offline) and `Watch` (online) execute it, and
 /// `SaveQuery`/`LoadQuery` persist it across sessions — Load re-interns
 /// labels into this session's dictionary, so artifacts move freely
-/// between processes with different interning orders. Search and a Watch
+/// between processes with different interning orders. An analyst can
+/// sharpen a mined artifact with timed-automata guards
+/// (QueryConstraintsBuilder -> BehaviorQuery::set_constraints); both
+/// execution paths enforce the guards identically and they persist with
+/// the artifact (tquery version 2). Search and a Watch
 /// replay of the same log return identical intervals for any shard
 /// count (pinned by tests/api_session_test.cc), provided Search's match
 /// cap (SessionOptions::search_match_cap) is not hit — a capped Search

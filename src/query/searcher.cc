@@ -8,8 +8,15 @@ namespace tgm {
 
 struct TemporalQuerySearcher::SearchContext {
   const Pattern* query = nullptr;
+  const TemporalConstraints* constraints = nullptr;
   const TemporalGraph* log = nullptr;
   const Options* options = nullptr;
+  /// min(options->window, constraint deadline); the span bound actually
+  /// enforced (0 = unbounded).
+  Timestamp window = 0;
+  /// Any non-trivial guard present (skips the guard checks entirely on the
+  /// plain-pattern path).
+  bool constrained = false;
   std::vector<std::size_t> plan;     // order in which pattern edges bind
   std::vector<NodeId> node_map;      // pattern node -> data node
   std::vector<bool> used;            // data node bound
@@ -17,6 +24,57 @@ struct TemporalQuerySearcher::SearchContext {
   std::int64_t raw_matches = 0;
   bool stop = false;
   std::set<Interval> intervals;
+
+  /// The accept test of pattern edge k: its own label or a guard
+  /// alternative (alternatives are normalized sorted).
+  bool AcceptsLabel(std::size_t k, LabelId label) const {
+    if (label == query->edge(k).elabel) return true;
+    const std::vector<LabelId>& alts = constraints->guard(k).elabel_alts;
+    return !alts.empty() &&
+           std::binary_search(alts.begin(), alts.end(), label);
+  }
+
+  /// Timed-automata guards of binding pattern edge k to a data edge at
+  /// `ts`, against every already-bound neighbour: the gap guards on both
+  /// sides (positions — and thus timestamps — are ascending in pattern
+  /// order, so adjacent deltas are the edge gaps) and the since-seed
+  /// guards (re-checked for all bound edges when the seed itself binds
+  /// last, in the descending phase).
+  bool GuardsAdmit(std::size_t k, Timestamp ts) const {
+    const std::size_t num_edges = query->edge_count();
+    const TransitionGuard& g = constraints->guard(k);
+    if (k > 0 && pos_of[k - 1] >= 0) {
+      const Timestamp gap = ts - log->edge(pos_of[k - 1]).ts;
+      if (gap < g.min_gap) return false;
+      if (g.max_gap != kNoGapLimit && gap > g.max_gap) return false;
+    }
+    if (k + 1 < num_edges && pos_of[k + 1] >= 0) {
+      const TransitionGuard& gn = constraints->guard(k + 1);
+      const Timestamp gap = log->edge(pos_of[k + 1]).ts - ts;
+      if (gap < gn.min_gap) return false;
+      if (gn.max_gap != kNoGapLimit && gap > gn.max_gap) return false;
+    }
+    if (k > 0) {
+      if (pos_of[0] >= 0) {
+        const Timestamp since = ts - log->edge(pos_of[0]).ts;
+        if (since < g.min_since_seed) return false;
+        if (g.max_since_seed != kNoGapLimit && since > g.max_since_seed) {
+          return false;
+        }
+      }
+    } else {
+      for (std::size_t j = 1; j < num_edges; ++j) {
+        if (pos_of[j] < 0) continue;
+        const TransitionGuard& gj = constraints->guard(j);
+        const Timestamp since = log->edge(pos_of[j]).ts - ts;
+        if (since < gj.min_since_seed) return false;
+        if (gj.max_since_seed != kNoGapLimit && since > gj.max_since_seed) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
 };
 
 void TemporalQuerySearcher::Extend(SearchContext& ctx,
@@ -63,12 +121,16 @@ void TemporalQuerySearcher::Extend(SearchContext& ctx,
     if (ctx.stop) return;
     if (p <= lo || p >= hi) return;
     const TemporalEdge& de = log.edge(p);
-    if (de.elabel != qe.elabel) return;
-    if (ctx.options->window > 0) {
+    if (ctx.constrained ? !ctx.AcceptsLabel(k, de.elabel)
+                        : de.elabel != qe.elabel) {
+      return;
+    }
+    if (ctx.window > 0) {
       Timestamp new_min = std::min(min_ts, de.ts);
       Timestamp new_max = std::max(max_ts, de.ts);
-      if (new_max - new_min > ctx.options->window) return;
+      if (new_max - new_min > ctx.window) return;
     }
+    if (ctx.constrained && !ctx.GuardsAdmit(k, de.ts)) return;
     if ((qe.src == qe.dst) != (de.src == de.dst)) return;
     if (ms != kInvalidNode && de.src != ms) return;
     if (md != kInvalidNode && de.dst != md) return;
@@ -107,51 +169,73 @@ void TemporalQuerySearcher::Extend(SearchContext& ctx,
     }
   };
 
-  // Candidate list selection: adjacency when an endpoint is bound,
-  // signature index otherwise. Lists are ascending in position (and thus
-  // in timestamp), so window violations terminate the scan early in the
-  // ascending direction.
-  EdgePosSpan positions;
-  if (ms != kInvalidNode) {
-    positions = log.out_edges(ms);
-  } else if (md != kInvalidNode) {
-    positions = log.in_edges(md);
-  } else {
-    positions = log.EdgesWithSignature(query.label(qe.src),
-                                       query.label(qe.dst), qe.elabel);
-  }
-
-  if (ascending) {
-    auto it = std::upper_bound(positions.begin(), positions.end(), lo);
-    for (; it != positions.end() && !ctx.stop; ++it) {
-      if (*it >= hi) break;
-      if (ctx.options->window > 0 && max_ts != std::numeric_limits<Timestamp>::min() &&
-          log.edge(*it).ts - min_ts > ctx.options->window) {
-        break;  // positions only get later; no candidate can fit the window
+  // Scans one ascending position list (adjacency or signature index).
+  // Lists are ascending in position (and thus in timestamp), so window
+  // violations terminate the scan early in the scan direction.
+  auto scan = [&](EdgePosSpan positions) {
+    if (ascending) {
+      auto it = std::upper_bound(positions.begin(), positions.end(), lo);
+      for (; it != positions.end() && !ctx.stop; ++it) {
+        if (*it >= hi) break;
+        if (ctx.window > 0 &&
+            max_ts != std::numeric_limits<Timestamp>::min() &&
+            log.edge(*it).ts - min_ts > ctx.window) {
+          break;  // positions only get later; no candidate can fit
+        }
+        try_position(*it);
       }
-      try_position(*it);
+    } else {
+      auto it = std::lower_bound(positions.begin(), positions.end(), hi);
+      while (it != positions.begin() && !ctx.stop) {
+        --it;
+        if (*it <= lo) break;
+        if (ctx.window > 0 &&
+            min_ts != std::numeric_limits<Timestamp>::max() &&
+            max_ts - log.edge(*it).ts > ctx.window) {
+          break;  // positions only get earlier
+        }
+        try_position(*it);
+      }
     }
+  };
+
+  // Candidate list selection: adjacency when an endpoint is bound (one
+  // list covering every label; try_position filters), signature index
+  // otherwise (one list per accepted edge label — the pattern label plus
+  // any guard alternatives).
+  if (ms != kInvalidNode) {
+    scan(log.out_edges(ms));
+  } else if (md != kInvalidNode) {
+    scan(log.in_edges(md));
   } else {
-    auto it = std::lower_bound(positions.begin(), positions.end(), hi);
-    while (it != positions.begin() && !ctx.stop) {
-      --it;
-      if (*it <= lo) break;
-      if (ctx.options->window > 0 && min_ts != std::numeric_limits<Timestamp>::max() &&
-          max_ts - log.edge(*it).ts > ctx.options->window) {
-        break;  // positions only get earlier
+    scan(log.EdgesWithSignature(query.label(qe.src), query.label(qe.dst),
+                                qe.elabel));
+    if (ctx.constrained) {
+      for (LabelId alt : ctx.constraints->guard(k).elabel_alts) {
+        if (alt == qe.elabel || ctx.stop) continue;
+        scan(log.EdgesWithSignature(query.label(qe.src),
+                                    query.label(qe.dst), alt));
       }
-      try_position(*it);
     }
   }
 }
 
 std::vector<Interval> TemporalQuerySearcher::Search(
-    const Pattern& query, const TemporalGraph& log) const {
+    const Pattern& query, const TemporalConstraints& constraints,
+    const TemporalGraph& log) const {
   TGM_CHECK(log.finalized());
   std::size_t num_edges = query.edge_count();
   if (num_edges == 0 || log.edge_count() == 0) return {};
 
-  // Anchor: the pattern edge with the fewest signature occurrences.
+  // Guard alternatives are consumed via binary_search; normalize a local
+  // copy in case the caller hand-built the guards unsorted.
+  TemporalConstraints normalized = constraints;
+  normalized.Normalize();
+  const bool constrained = !normalized.IsTrivial();
+
+  // Anchor: the pattern edge with the fewest signature occurrences,
+  // counting every accepted edge label (an edge whose own label never
+  // occurs may still match through an alternative).
   std::size_t anchor = 0;
   std::size_t best_count = std::numeric_limits<std::size_t>::max();
   for (std::size_t k = 0; k < num_edges; ++k) {
@@ -159,6 +243,12 @@ std::vector<Interval> TemporalQuerySearcher::Search(
     std::size_t count = log.EdgesWithSignature(query.label(qe.src),
                                                query.label(qe.dst), qe.elabel)
                             .size();
+    for (LabelId alt : normalized.guard(k).elabel_alts) {
+      if (alt == qe.elabel) continue;
+      count += log.EdgesWithSignature(query.label(qe.src),
+                                      query.label(qe.dst), alt)
+                   .size();
+    }
     if (count < best_count) {
       best_count = count;
       anchor = k;
@@ -168,8 +258,11 @@ std::vector<Interval> TemporalQuerySearcher::Search(
 
   SearchContext ctx;
   ctx.query = &query;
+  ctx.constraints = &normalized;
   ctx.log = &log;
   ctx.options = &options_;
+  ctx.window = normalized.EffectiveWindow(options_.window);
+  ctx.constrained = constrained;
   ctx.plan.push_back(anchor);
   for (std::size_t k = anchor + 1; k < num_edges; ++k) ctx.plan.push_back(k);
   for (std::size_t k = anchor; k-- > 0;) ctx.plan.push_back(k);
@@ -184,9 +277,19 @@ std::vector<Interval> TemporalQuerySearcher::Search(
 
 std::vector<Interval> TemporalQuerySearcher::SearchAll(
     const std::vector<Pattern>& queries, const TemporalGraph& log) const {
+  return SearchAll(queries, {}, log);
+}
+
+std::vector<Interval> TemporalQuerySearcher::SearchAll(
+    const std::vector<Pattern>& queries,
+    const std::vector<TemporalConstraints>& constraints,
+    const TemporalGraph& log) const {
+  static const TemporalConstraints kUnconstrained;
   std::set<Interval> all;
-  for (const Pattern& q : queries) {
-    for (const Interval& interval : Search(q, log)) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const TemporalConstraints& c =
+        i < constraints.size() ? constraints[i] : kUnconstrained;
+    for (const Interval& interval : Search(queries[i], c, log)) {
       all.insert(interval);
     }
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "temporal/common.h"
+#include "temporal/constraints.h"
 #include "temporal/pattern.h"
 #include "temporal/temporal_graph.h"
 
@@ -18,8 +19,9 @@ struct Interval {
   friend auto operator<=>(const Interval&, const Interval&) = default;
 };
 
-/// Searches a behaviour query (a temporal graph pattern) over a large
-/// monitoring log and returns the distinct time intervals of its matches.
+/// Searches a behaviour query (a temporal graph pattern, optionally
+/// annotated with TemporalConstraints) over a large monitoring log and
+/// returns the distinct time intervals of its matches.
 ///
 /// Strategy (modelled on the one-edge-index joining of [38]): the pattern
 /// edge with the rarest (source label, destination label, edge label)
@@ -31,6 +33,17 @@ struct Interval {
 /// behaviour lifetime — which both matches the evaluation semantics
 /// (matches must fit inside one behaviour execution) and keeps the search
 /// local.
+///
+/// Constraint guards are enforced incrementally: a candidate edge is
+/// rejected the moment any gap / since-seed guard against an already-bound
+/// neighbour fails (binding edge 0 last re-checks every bound edge's
+/// since-seed guard), the query deadline folds into the window as
+/// min(window, deadline), and disjunctive label alternatives widen both
+/// the per-edge accept test and the signature-index enumeration. The same
+/// guard semantics as the stream runtime, so offline Search and online
+/// Watch agree on constrained queries exactly as they do on plain ones; a
+/// trivial constraint annotation takes none of these paths and is
+/// bit-identical to the unconstrained search.
 class TemporalQuerySearcher {
  public:
   struct Options {
@@ -43,12 +56,28 @@ class TemporalQuerySearcher {
 
   /// Distinct match intervals, sorted ascending.
   std::vector<Interval> Search(const Pattern& query,
+                               const TemporalGraph& log) const {
+    return Search(query, TemporalConstraints(), log);
+  }
+
+  /// Same, with the query's timed-automata guards. The caller is
+  /// responsible for `constraints.ValidateFor(query)` (the api layer
+  /// does); a trivial value is exactly the unconstrained overload.
+  std::vector<Interval> Search(const Pattern& query,
+                               const TemporalConstraints& constraints,
                                const TemporalGraph& log) const;
 
   /// Union of distinct intervals over several queries (a behaviour query
   /// built from the top-k patterns).
   std::vector<Interval> SearchAll(const std::vector<Pattern>& queries,
                                   const TemporalGraph& log) const;
+
+  /// Same, with per-query constraints aligned by index; queries beyond
+  /// `constraints.size()` run unconstrained.
+  std::vector<Interval> SearchAll(
+      const std::vector<Pattern>& queries,
+      const std::vector<TemporalConstraints>& constraints,
+      const TemporalGraph& log) const;
 
  private:
   struct SearchContext;

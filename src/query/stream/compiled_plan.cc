@@ -2,8 +2,22 @@
 
 namespace tgm {
 
-CompiledQueryPlan::CompiledQueryPlan(const Pattern& pattern)
-    : pattern_(pattern) {
+namespace {
+
+/// min of two horizons where kNoGapLimit means +infinity.
+Timestamp MinHorizon(Timestamp a, Timestamp b) {
+  if (a == kNoGapLimit) return b;
+  if (b == kNoGapLimit) return a;
+  return a < b ? a : b;
+}
+
+}  // namespace
+
+CompiledQueryPlan::CompiledQueryPlan(const Pattern& pattern,
+                                     const TemporalConstraints& constraints)
+    : pattern_(pattern),
+      deadline_(constraints.deadline() > 0 ? constraints.deadline() : 0),
+      constrained_(!constraints.IsTrivial()) {
   TGM_CHECK(pattern_.edge_count() >= 1);
   transitions_.reserve(pattern_.edge_count());
   // Canonical numbering: nodes are numbered by first appearance in temporal
@@ -12,6 +26,7 @@ CompiledQueryPlan::CompiledQueryPlan(const Pattern& pattern)
   std::uint32_t bound = 0;
   for (std::size_t k = 0; k < pattern_.edge_count(); ++k) {
     const PatternEdge& qe = pattern_.edge(k);
+    const TransitionGuard& g = constraints.guard(k);
     PlanTransition t;
     t.elabel = qe.elabel;
     t.src = qe.src;
@@ -22,11 +37,45 @@ CompiledQueryPlan::CompiledQueryPlan(const Pattern& pattern)
     t.src_bound = static_cast<std::uint32_t>(qe.src) < bound;
     t.dst_bound = static_cast<std::uint32_t>(qe.dst) < bound;
     t.bound_nodes = bound;
-    transitions_.push_back(t);
+    t.min_gap = g.min_gap;
+    t.max_gap = g.max_gap;
+    t.min_since_seed = g.min_since_seed;
+    t.max_since_seed = g.max_since_seed;
+    // The pattern's own label never needs to be listed twice. Sorted +
+    // deduped here so AcceptsLabel's binary_search holds even for callers
+    // that skipped TemporalConstraints::Normalize.
+    for (LabelId alt : g.elabel_alts) {
+      if (alt != qe.elabel) t.elabel_alts.push_back(alt);
+    }
+    std::sort(t.elabel_alts.begin(), t.elabel_alts.end());
+    t.elabel_alts.erase(
+        std::unique(t.elabel_alts.begin(), t.elabel_alts.end()),
+        t.elabel_alts.end());
+    transitions_.push_back(std::move(t));
     std::uint32_t high = static_cast<std::uint32_t>(qe.src > qe.dst ? qe.src
                                                                     : qe.dst);
     if (high + 1 > bound) bound = high + 1;
   }
+  // seed_horizon(k) = min over j >= k of max_since_seed(j), folded with
+  // the deadline (the final edge must land within it): the latest
+  // now - first_ts at which a partial waiting on transition k can still
+  // complete. A suffix-min scan, so tighter later guards pull earlier
+  // expiry forward through the whole prefix.
+  Timestamp horizon = deadline_ > 0 ? deadline_ : kNoGapLimit;
+  for (std::size_t k = transitions_.size(); k-- > 0;) {
+    horizon = MinHorizon(horizon, transitions_[k].max_since_seed);
+    transitions_[k].seed_horizon = horizon;
+  }
+}
+
+std::vector<std::pair<LabelId, LabelId>> CompiledQueryPlan::SeedDispatchKeys()
+    const {
+  const PlanTransition& t = transitions_[0];
+  std::vector<std::pair<LabelId, LabelId>> keys;
+  keys.reserve(1 + t.elabel_alts.size());
+  keys.emplace_back(t.elabel, t.src_label);
+  for (LabelId alt : t.elabel_alts) keys.emplace_back(alt, t.src_label);
+  return keys;
 }
 
 }  // namespace tgm

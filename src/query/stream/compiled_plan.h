@@ -1,20 +1,24 @@
 #ifndef TGM_QUERY_STREAM_COMPILED_PLAN_H_
 #define TGM_QUERY_STREAM_COMPILED_PLAN_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "query/stream/event.h"
+#include "temporal/constraints.h"
 #include "temporal/pattern.h"
 
 namespace tgm {
 
 /// One state transition of a compiled behaviour query: matching pattern
 /// edge k moves a partial match from state k to state k+1. Everything the
-/// per-event dispatch needs — labels, which binding slots must already be
-/// bound, injectivity scan length — is precomputed here, so the hot path
-/// never re-derives it from the Pattern (cf. the per-edge guards of timed
-/// automata for temporal graph patterns).
+/// per-event dispatch needs — labels (with any disjunctive alternatives),
+/// which binding slots must already be bound, injectivity scan length, and
+/// the timed-automata guards of the transition — is precomputed here, so
+/// the hot path never re-derives it from the Pattern or the
+/// TemporalConstraints.
 struct PlanTransition {
   LabelId elabel = kNoEdgeLabel;
   /// Binding slots of the edge endpoints (canonical pattern node ids).
@@ -35,15 +39,49 @@ struct PlanTransition {
   /// (canonical numbering makes the bound slots exactly [0, bound_nodes)),
   /// i.e. the injectivity scan length.
   std::uint32_t bound_nodes = 0;
+
+  // --- timed-automata guards (TemporalConstraints; trivial values for an
+  // --- unconstrained query) -----------------------------------------------
+  /// Inclusive bounds on ts(this edge) - ts(previous matched edge);
+  /// kNoGapLimit = unbounded above.
+  Timestamp min_gap = 0;
+  Timestamp max_gap = kNoGapLimit;
+  /// Inclusive bounds on ts(this edge) - ts(seed edge).
+  Timestamp min_since_seed = 0;
+  Timestamp max_since_seed = kNoGapLimit;
+  /// A partial *waiting* on this transition can never complete once
+  /// now - first_ts exceeds this (suffix-min over the remaining
+  /// transitions' max_since_seed and the overall deadline; kNoGapLimit =
+  /// unbounded). Drives the per-partial expiry tighter than the window.
+  Timestamp seed_horizon = kNoGapLimit;
+  /// Disjunctive edge-label alternatives (sorted, excludes `elabel`).
+  /// Empty for the common single-label transition.
+  std::vector<LabelId> elabel_alts;
+
+  /// The transition's full edge-label accept set: `elabel` or any listed
+  /// alternative. Single source of truth for matching, seeding, and the
+  /// shard seed-dispatch bitmaps.
+  bool AcceptsLabel(LabelId label) const {
+    return label == elabel ||
+           (!elabel_alts.empty() &&
+            std::binary_search(elabel_alts.begin(), elabel_alts.end(),
+                               label));
+  }
 };
 
 /// A behaviour query compiled for per-event dispatch: the edge sequence is
 /// flattened into a transition table indexed by the partial's next
-/// unmatched edge. Built once at query registration; read-only afterwards
-/// (shared freely across threads).
+/// unmatched edge, with any TemporalConstraints guards baked into the
+/// transitions (the timed-automata generalization; an unconstrained query
+/// compiles to all-trivial guards and behaves bit-identically to the
+/// pre-constraint plan). Built once at query registration; read-only
+/// afterwards (shared freely across threads).
 class CompiledQueryPlan {
  public:
-  explicit CompiledQueryPlan(const Pattern& pattern);
+  explicit CompiledQueryPlan(const Pattern& pattern)
+      : CompiledQueryPlan(pattern, TemporalConstraints()) {}
+  CompiledQueryPlan(const Pattern& pattern,
+                    const TemporalConstraints& constraints);
 
   const Pattern& pattern() const { return pattern_; }
   std::size_t edge_count() const { return transitions_.size(); }
@@ -52,19 +90,40 @@ class CompiledQueryPlan {
     TGM_DCHECK(k < transitions_.size());
     return transitions_[k];
   }
+  /// True if any transition carries a non-trivial guard (or the query a
+  /// deadline) — i.e. the plan is not the degenerate linear case.
+  bool constrained() const { return constrained_; }
+  /// The overall match deadline folded with `window`: the span bound this
+  /// plan is actually executed under (0 = unbounded).
+  Timestamp EffectiveWindow(Timestamp window) const {
+    return deadline_ <= 0       ? window
+           : window <= 0        ? deadline_
+           : window < deadline_ ? window
+                                : deadline_;
+  }
 
   /// Cheap seed test: can `event` start a fresh partial (match edge 0)?
   bool SeedMatches(const StreamEvent& event) const {
     const PlanTransition& t = transitions_[0];
-    return event.elabel == t.elabel &&
+    return t.AcceptsLabel(event.elabel) &&
            t.self_loop == (event.src_entity == event.dst_entity) &&
            event.src_label == t.src_label &&
            (t.self_loop || event.dst_label == t.dst_label);
   }
 
+  /// The (edge label, source label) pairs under which this plan must be
+  /// dispatched as a potential seed: exactly the label pairs SeedMatches
+  /// can accept (one per edge-0 label alternative). StreamShard's
+  /// seed-dispatch bitmaps are built from this — the same accept set as
+  /// SeedMatches by construction, so the two can never drift (the bitmap
+  /// is a necessary condition of the predicate).
+  std::vector<std::pair<LabelId, LabelId>> SeedDispatchKeys() const;
+
  private:
   Pattern pattern_;
   std::vector<PlanTransition> transitions_;
+  Timestamp deadline_ = 0;
+  bool constrained_ = false;
 };
 
 }  // namespace tgm

@@ -13,6 +13,7 @@ StreamEngine::StreamEngine(const Options& options) : options_(options) {
   limits_.window = options_.window;
   limits_.max_partials = options_.max_partials_per_query;
   limits_.entity_index = options_.entity_index;
+  limits_.guard_expiry = options_.guard_expiry;
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int s = 0; s < shards; ++s) shards_.emplace_back(limits_);
   shard_alerts_.resize(static_cast<std::size_t>(shards));
@@ -25,13 +26,18 @@ std::size_t StreamEngine::AddQuery(const Pattern& query) {
 }
 
 std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window) {
+  return AddQuery(query, window, TemporalConstraints());
+}
+
+std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window,
+                                   const TemporalConstraints& constraints) {
   TGM_CHECK(query.edge_count() >= 1);
   TGM_CHECK(window >= 0);
   // Registering mid-batch would make buffered events see a different query
   // set than their arrival order implies.
   TGM_CHECK(batch_.empty());
   std::size_t index = query_count_++;
-  shards_[index % shards_.size()].AddQuery(index, query, window);
+  shards_[index % shards_.size()].AddQuery(index, query, window, constraints);
   return index;
 }
 

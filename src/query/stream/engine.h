@@ -87,6 +87,12 @@ class StreamEngine {
     /// The bit-identical guarantee across shard counts and batch sizes is
     /// per-path and holds with or without drops.
     bool entity_index = true;
+    /// Disable to expire constrained queries' partials by the window alone
+    /// instead of the tighter per-partial guard deadlines; alerts are
+    /// identical either way (guards are still enforced on extension), only
+    /// peak live partials differ. Bench comparison knob; no effect on
+    /// unconstrained queries. See StreamLimits::guard_expiry.
+    bool guard_expiry = true;
   };
 
   using AlertSink = std::function<void(const StreamAlert&)>;
@@ -103,6 +109,13 @@ class StreamEngine {
   /// different lifetimes — e.g. a Session's live watches, where every
   /// BehaviorQuery artifact carries its own mined window.
   std::size_t AddQuery(const Pattern& query, Timestamp window);
+
+  /// Same, with the query's timed-automata guards (TemporalConstraints).
+  /// The caller is responsible for `constraints.ValidateFor(query)` (the
+  /// api layer does); a trivial value is exactly the unconstrained
+  /// overload.
+  std::size_t AddQuery(const Pattern& query, Timestamp window,
+                       const TemporalConstraints& constraints);
 
   /// Feeds one event. Timestamps must be non-decreasing: a decreasing
   /// `ts` is clamped to the newest timestamp seen (so window expiry stays

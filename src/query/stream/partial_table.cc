@@ -29,7 +29,8 @@ std::vector<std::uint32_t>& PartialTable::BucketFor(Role role,
 
 std::uint32_t PartialTable::Insert(std::span<const std::int64_t> binding,
                                    std::uint32_t next_edge,
-                                   Timestamp first_ts, Role role,
+                                   Timestamp first_ts, Timestamp last_ts,
+                                   Timestamp expiry, Role role,
                                    std::int64_t key) {
   TGM_DCHECK(binding.size() == node_count_);
   if (!entity_index_) role = Role::kWildcard;
@@ -47,13 +48,14 @@ std::uint32_t PartialTable::Insert(std::span<const std::int64_t> binding,
   Meta& m = meta_[slot];
   m.next_edge = next_edge;
   m.first_ts = first_ts;
+  m.last_ts = last_ts;
   m.role = role;
   m.key = key;
   m.seq = next_seq_++;
   std::vector<std::uint32_t>& bucket = BucketFor(role, key);
   m.bucket_pos = static_cast<std::uint32_t>(bucket.size());
   bucket.push_back(slot);
-  by_age_.push(AgeKey{first_ts, m.seq, slot});
+  by_age_.push(AgeKey{expiry, first_ts, m.seq, slot});
   ++live_;
   if (live_ > peak_) peak_ = live_;
   return slot;
@@ -74,9 +76,9 @@ void PartialTable::Remove(std::uint32_t slot) {
   --live_;
 }
 
-void PartialTable::ExpireBefore(Timestamp cutoff) {
-  while (!by_age_.empty() && std::get<0>(by_age_.top()) < cutoff) {
-    std::uint32_t slot = std::get<2>(by_age_.top());
+void PartialTable::ExpireAt(Timestamp now) {
+  while (!by_age_.empty() && std::get<0>(by_age_.top()) < now) {
+    std::uint32_t slot = std::get<3>(by_age_.top());
     by_age_.pop();
     Remove(slot);
   }
@@ -84,7 +86,7 @@ void PartialTable::ExpireBefore(Timestamp cutoff) {
 
 void PartialTable::EvictOldest() {
   TGM_CHECK(!by_age_.empty());
-  std::uint32_t slot = std::get<2>(by_age_.top());
+  std::uint32_t slot = std::get<3>(by_age_.top());
   by_age_.pop();
   Remove(slot);
 }

@@ -2,6 +2,7 @@
 #define TGM_QUERY_STREAM_PARTIAL_TABLE_H_
 
 #include <cstdint>
+#include <limits>
 #include <queue>
 #include <span>
 #include <tuple>
@@ -31,11 +32,19 @@ namespace tgm {
 ///   probed twice. With `entity_index = false` everything is filed under
 ///   the wildcard bucket, which *is* the legacy full-scan path (used as
 ///   the bench baseline).
-/// - **Age order.** A min-heap keyed by (first_ts, insertion seq) drives
-///   both window expiry (pop while older than the cutoff) and
-///   backpressure eviction (pop the oldest), replacing the full
-///   compaction scan the old monitor ran per event. Partials are only
-///   ever removed through this heap, so it needs no lazy deletion.
+/// - **Expiry order.** A min-heap keyed by (expiry, first_ts, insertion
+///   seq) drives both expiry (pop while `expiry < now`) and backpressure
+///   eviction (pop the top), replacing the full compaction scan the old
+///   monitor ran per event. The expiry timestamp is computed by the
+///   caller per partial — the window horizon for a plain query, tightened
+///   by the max-gap / since-seed guard deadlines for a constrained one
+///   (see QueryRuntime), which is how dead constrained partials leave the
+///   table long before the window would reclaim them. For an
+///   unconstrained query every expiry is `first_ts + window` (or
+///   kNeverExpires), so the heap order collapses to the historical
+///   (first_ts, seq) age order and both expiry and eviction behave
+///   bit-identically to the pre-constraint table. Partials are only ever
+///   removed through this heap, so it needs no lazy deletion.
 ///
 /// Bucket iteration order is insertion order (swap-removal perturbs it
 /// deterministically), so every operation is a pure function of the event
@@ -43,6 +52,10 @@ namespace tgm {
 class PartialTable {
  public:
   enum class Role : std::uint8_t { kSrc, kDst, kWildcard };
+
+  /// Expiry value of a partial nothing can ever expire.
+  static constexpr Timestamp kNeverExpires =
+      std::numeric_limits<Timestamp>::max();
 
   PartialTable(std::size_t node_count, bool entity_index)
       : node_count_(node_count), entity_index_(entity_index) {}
@@ -61,6 +74,9 @@ class PartialTable {
     return meta_[slot].next_edge;
   }
   Timestamp first_ts(std::uint32_t slot) const { return meta_[slot].first_ts; }
+  /// Timestamp of the partial's most recently matched edge (the reference
+  /// point of the next transition's gap guard).
+  Timestamp last_ts(std::uint32_t slot) const { return meta_[slot].last_ts; }
 
   /// Appends the slots an event (src_entity, dst_entity) can possibly
   /// extend, in deterministic bucket order (by_src, by_dst, wildcard).
@@ -69,30 +85,40 @@ class PartialTable {
 
   /// Files a new partial; `binding` must have node_count entries. `role`
   /// and `key` describe where the *next* transition requires it (with the
-  /// index disabled the role is forced to wildcard).
+  /// index disabled the role is forced to wildcard). `expiry` is the
+  /// stream time at which the partial becomes dead (kNeverExpires = only
+  /// eviction can remove it).
   std::uint32_t Insert(std::span<const std::int64_t> binding,
                        std::uint32_t next_edge, Timestamp first_ts,
-                       Role role, std::int64_t key);
+                       Timestamp last_ts, Timestamp expiry, Role role,
+                       std::int64_t key);
 
-  /// Removes every partial with first_ts < cutoff (window expiry).
-  void ExpireBefore(Timestamp cutoff);
+  /// Removes every partial whose expiry precedes `now` (window expiry and
+  /// guard-deadline expiry in one pass; a partial with expiry == now can
+  /// still extend on an event at `now` and stays).
+  void ExpireAt(Timestamp now);
 
-  /// Removes the oldest partial — smallest (first_ts, insertion seq).
-  /// Requires live() > 0.
+  /// Removes the partial closest to death — smallest (expiry, first_ts,
+  /// insertion seq); for unconstrained queries this is exactly the oldest
+  /// partial. Requires live() > 0.
   void EvictOldest();
 
  private:
   struct Meta {
     std::uint32_t next_edge = 0;
     Timestamp first_ts = 0;
+    Timestamp last_ts = 0;
     Role role = Role::kWildcard;
     std::int64_t key = 0;
     std::uint32_t bucket_pos = 0;
     std::uint64_t seq = 0;
   };
-  // (first_ts, insertion seq, slot); seq makes the order total and
-  // deterministic under first_ts ties.
-  using AgeKey = std::tuple<Timestamp, std::uint64_t, std::uint32_t>;
+  // (expiry, first_ts, insertion seq, slot); first_ts keeps eviction
+  // oldest-first within equal expiries (and therefore globally for
+  // unconstrained queries, where expiry is first_ts plus a constant);
+  // seq makes the order total and deterministic under ties.
+  using AgeKey =
+      std::tuple<Timestamp, Timestamp, std::uint64_t, std::uint32_t>;
 
   std::vector<std::uint32_t>& BucketFor(Role role, std::int64_t key);
   void Remove(std::uint32_t slot);

@@ -4,19 +4,34 @@
 
 namespace tgm {
 
+namespace {
+
+/// first + horizon, saturating at PartialTable::kNeverExpires (both
+/// non-negative).
+Timestamp SaturatingExpiry(Timestamp base, Timestamp horizon) {
+  if (base > PartialTable::kNeverExpires - horizon) {
+    return PartialTable::kNeverExpires;
+  }
+  return base + horizon;
+}
+
+}  // namespace
+
 void QueryRuntime::Advance(const StreamEvent& event,
                            std::vector<Interval>* completions) {
   const auto out_base =
       static_cast<std::vector<Interval>::difference_type>(completions->size());
-  if (limits_.window > 0) {
-    // A partial expires when event.ts - first_ts > window, i.e. exactly
-    // when first_ts < event.ts - window.
-    table_.ExpireBefore(event.ts - limits_.window);
-    // Emitted-interval dedup entries older than the window can never be
-    // duplicated again; the set is ordered by begin, so they form its
-    // prefix.
+  // Every partial carries its own expiry (window horizon, tightened by any
+  // guard deadlines), so one heap pass handles both. For a pure-window
+  // query expiry is first_ts + window, and `expiry < now` is exactly the
+  // old `first_ts < now - window` cutoff.
+  table_.ExpireAt(event.ts);
+  if (window_ > 0) {
+    // Emitted-interval dedup entries older than the effective window can
+    // never be duplicated again; the set is ordered by begin, so they form
+    // its prefix.
     while (!emitted_.empty() &&
-           event.ts - emitted_.begin()->begin > limits_.window) {
+           event.ts - emitted_.begin()->begin > window_) {
       emitted_.erase(emitted_.begin());
     }
   }
@@ -39,8 +54,18 @@ void QueryRuntime::TryExtend(const StreamEvent& event, std::uint32_t slot,
                              std::vector<Interval>* completions) {
   const std::uint32_t k = table_.next_edge(slot);
   const PlanTransition& t = plan_.transition(k);
-  if (event.elabel != t.elabel) return;
+  if (!t.AcceptsLabel(event.elabel)) return;
   if (t.self_loop != (event.src_entity == event.dst_entity)) return;
+  // Timed-automata guards. Stored partials always wait on edge >= 1, so
+  // last_ts / first_ts are well-defined references; trivial guards (the
+  // unconstrained case) accept everything here.
+  const Timestamp first = table_.first_ts(slot);
+  const Timestamp gap = event.ts - table_.last_ts(slot);
+  if (gap < t.min_gap) return;
+  if (t.max_gap != kNoGapLimit && gap > t.max_gap) return;
+  const Timestamp since_seed = event.ts - first;
+  if (since_seed < t.min_since_seed) return;
+  if (t.max_since_seed != kNoGapLimit && since_seed > t.max_since_seed) return;
 
   std::span<const std::int64_t> binding = table_.binding(slot);
   const std::int64_t bound_src =
@@ -69,8 +94,7 @@ void QueryRuntime::TryExtend(const StreamEvent& event, std::uint32_t slot,
     if (bound_src == kUnbound && event.src_entity == event.dst_entity) return;
   }
 
-  const Timestamp first = table_.first_ts(slot);
-  if (limits_.window > 0 && event.ts - first > limits_.window) return;
+  if (window_ > 0 && since_seed > window_) return;
   if (k + 1 == plan_.edge_count()) {
     Complete(Interval{first, event.ts}, completions);
     return;
@@ -112,7 +136,27 @@ void QueryRuntime::QueuePending(std::span<const std::int64_t> base_binding,
   const PlanTransition& t = plan_.transition(matched_edge);
   pending_bindings_[off + static_cast<std::size_t>(t.src)] = event.src_entity;
   pending_bindings_[off + static_cast<std::size_t>(t.dst)] = event.dst_entity;
-  pending_.push_back(PendingMeta{matched_edge + 1, first_ts});
+  pending_.push_back(PendingMeta{matched_edge + 1, first_ts, event.ts});
+}
+
+Timestamp QueryRuntime::ComputeExpiry(std::uint32_t next_edge,
+                                      Timestamp first_ts,
+                                      Timestamp last_ts) const {
+  Timestamp expiry = window_ > 0 ? SaturatingExpiry(first_ts, window_)
+                                 : PartialTable::kNeverExpires;
+  if (limits_.guard_expiry && plan_.constrained()) {
+    const PlanTransition& t = plan_.transition(next_edge);
+    // The very next edge must land within max_gap of the last matched one
+    // and within seed_horizon (the suffix-min of every remaining
+    // transition's since-seed bound plus the deadline) of the seed.
+    if (t.max_gap != kNoGapLimit) {
+      expiry = std::min(expiry, SaturatingExpiry(last_ts, t.max_gap));
+    }
+    if (t.seed_horizon != kNoGapLimit) {
+      expiry = std::min(expiry, SaturatingExpiry(first_ts, t.seed_horizon));
+    }
+  }
+  return expiry;
 }
 
 void QueryRuntime::InsertPending() {
@@ -120,8 +164,8 @@ void QueryRuntime::InsertPending() {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     std::span<const std::int64_t> binding{pending_bindings_.data() + i * n, n};
     if (table_.live() >= limits_.max_partials) {
-      // Backpressure: make room by evicting the oldest live partial (see
-      // StreamLimits::max_partials). With a zero cap nothing can be
+      // Backpressure: make room by evicting the partial closest to death
+      // (see StreamLimits::max_partials). With a zero cap nothing can be
       // stored at all, so the newcomer itself is the drop.
       ++dropped_partials_;
       if (limits_.max_partials == 0) continue;
@@ -137,8 +181,11 @@ void QueryRuntime::InsertPending() {
       role = PartialTable::Role::kDst;
       key = binding[static_cast<std::size_t>(t.dst)];
     }
-    table_.Insert(binding, pending_[i].next_edge, pending_[i].first_ts, role,
-                  key);
+    table_.Insert(binding, pending_[i].next_edge, pending_[i].first_ts,
+                  pending_[i].last_ts,
+                  ComputeExpiry(pending_[i].next_edge, pending_[i].first_ts,
+                                pending_[i].last_ts),
+                  role, key);
   }
   pending_.clear();
   pending_bindings_.clear();

@@ -8,48 +8,69 @@
 #include "query/stream/compiled_plan.h"
 #include "query/stream/event.h"
 #include "query/stream/partial_table.h"
+#include "temporal/constraints.h"
 
 namespace tgm {
 
 /// Per-query limits shared by every runtime of an engine.
 struct StreamLimits {
   /// Maximum allowed match span; also the partial-match expiry horizon
-  /// (0 = unbounded).
+  /// (0 = unbounded). A query deadline (TemporalConstraints) tightens this
+  /// per query to min(window, deadline).
   Timestamp window = 0;
   /// High-water mark on live partials per query. When a new partial would
-  /// exceed it, the *oldest* live partial (smallest first_ts, then
-  /// insertion order) is evicted to make room — older partials are both
-  /// the closest to expiring and the first the window would have
-  /// reclaimed — and the query's drop counter increments.
+  /// exceed it, the live partial closest to death (earliest expiry, then
+  /// smallest first_ts, then insertion order — exactly the oldest partial
+  /// for an unconstrained query) is evicted to make room, and the query's
+  /// drop counter increments.
   std::size_t max_partials = 100000;
   /// Disable to file every partial under the wildcard bucket — the legacy
   /// full-scan path, kept as the bench baseline.
   bool entity_index = true;
+  /// When set (default), a constrained query's max-gap / since-seed guards
+  /// tighten each partial's expiry below the window horizon, so provably
+  /// dead partials leave the table early. Disabling falls back to
+  /// window-only expiry — guards are still *checked* on extension, so the
+  /// alert stream is identical either way; only peak live partials differ
+  /// (the bench's comparison knob). No effect on unconstrained queries.
+  bool guard_expiry = true;
 };
 
-/// One registered behaviour query's live state: compiled plan, the
-/// entity-indexed partial table, and the emitted-interval dedup set.
+/// One registered behaviour query's live state: compiled plan (with any
+/// timed-automata guards baked in), the entity-indexed partial table, and
+/// the emitted-interval dedup set.
 ///
 /// `Advance` preserves the original StreamMonitor semantics exactly —
 /// expiry before extension, in-place extension with a pending list (an
 /// extension is never re-extended by the event that created it), strict
 /// injectivity, window check on the extended span, one alert per distinct
 /// interval — while touching only the partials the event's entities can
-/// extend. Completions are reported sorted by interval, which makes the
-/// per-event alert order a pure function of the event history (the
-/// engine's canonical (ts, query, interval) order).
+/// extend. Constraint guards are enforced at the same point as the window
+/// check (a guarded extension simply rejects), so a trivial
+/// TemporalConstraints is bit-identical to the unconstrained path.
+/// Completions are reported sorted by interval, which makes the per-event
+/// alert order a pure function of the event history (the engine's
+/// canonical (ts, query, interval) order).
 class QueryRuntime {
  public:
   QueryRuntime(std::size_t global_index, const Pattern& query,
                const StreamLimits& limits)
+      : QueryRuntime(global_index, query, TemporalConstraints(), limits) {}
+  QueryRuntime(std::size_t global_index, const Pattern& query,
+               const TemporalConstraints& constraints,
+               const StreamLimits& limits)
       : global_index_(global_index),
-        plan_(query),
+        plan_(query, constraints),
         limits_(limits),
+        window_(plan_.EffectiveWindow(limits.window)),
         table_(plan_.node_count(), limits.entity_index) {}
 
   std::size_t global_index() const { return global_index_; }
   const CompiledQueryPlan& plan() const { return plan_; }
   const PartialTable& table() const { return table_; }
+  /// The span bound actually enforced: the engine window folded with the
+  /// query's deadline (0 = unbounded).
+  Timestamp effective_window() const { return window_; }
   std::int64_t dropped_partials() const { return dropped_partials_; }
   std::int64_t alerts() const { return alerts_; }
   std::int64_t seed_skips() const { return seed_skips_; }
@@ -73,10 +94,17 @@ class QueryRuntime {
                     const StreamEvent& event, std::uint32_t matched_edge,
                     Timestamp first_ts);
   void InsertPending();
+  /// The stream time at which a partial waiting on `next_edge` with the
+  /// given timestamps becomes provably dead: the window horizon, tightened
+  /// (under StreamLimits::guard_expiry) by the next transition's max_gap
+  /// and the suffix-min seed horizon of the remaining transitions.
+  Timestamp ComputeExpiry(std::uint32_t next_edge, Timestamp first_ts,
+                          Timestamp last_ts) const;
 
   std::size_t global_index_;
   CompiledQueryPlan plan_;
   StreamLimits limits_;
+  Timestamp window_;
   PartialTable table_;
   /// Dedup of emitted alert intervals, ordered by (begin, end): lookup and
   /// insert are one O(log) probe, window expiry erases the ordered front.
@@ -90,6 +118,7 @@ class QueryRuntime {
   struct PendingMeta {
     std::uint32_t next_edge = 0;
     Timestamp first_ts = 0;
+    Timestamp last_ts = 0;
   };
   std::vector<PendingMeta> pending_;
   std::vector<std::int64_t> pending_bindings_;  // pending_ x node_count

@@ -7,15 +7,20 @@ void StreamShard::RebuildSeedDispatch() {
   seed_by_elabel_.clear();
   seed_by_src_label_.clear();
   for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-    const PlanTransition& t = queries_[qi].plan().transition(0);
     auto set_bit = [&](std::unordered_map<LabelId, SeedBitmap>& map,
                        LabelId label) {
       SeedBitmap& bits = map[label];
       bits.resize(seed_words_, 0);
       bits[qi >> 6] |= std::uint64_t{1} << (qi & 63);
     };
-    set_bit(seed_by_elabel_, t.elabel);
-    set_bit(seed_by_src_label_, t.src_label);
+    // Derived from the plan's own dispatch keys — the same accept set as
+    // SeedMatches — so label alternatives can never drift from the
+    // predicate the dispatch is a necessary condition of.
+    for (const auto& [elabel, src_label] :
+         queries_[qi].plan().SeedDispatchKeys()) {
+      set_bit(seed_by_elabel_, elabel);
+      set_bit(seed_by_src_label_, src_label);
+    }
   }
   dispatch_dirty_ = false;
 }

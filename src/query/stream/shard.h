@@ -29,8 +29,11 @@ struct ShardAlert {
 /// engine runs — the root of the engine's shard-count determinism.
 ///
 /// Seed dispatch: a query with no live partials can only react to an
-/// event that seeds it, and seeding requires the event's edge label and
-/// source label to equal the query's edge-0 labels. The shard keeps two
+/// event that seeds it, and seeding requires the event's (edge label,
+/// source label) to be one of the plan's seed-dispatch keys (the edge-0
+/// labels, one pair per disjunctive label alternative — see
+/// CompiledQueryPlan::SeedDispatchKeys, the shared source of truth with
+/// SeedMatches). The shard keeps two
 /// label -> query bitmaps (by edge label, by source label); per event it
 /// intersects the two bitmap rows and skips every idle query whose bit is
 /// clear — no expiry scan, no index probe, no seed test. Skips are
@@ -52,13 +55,19 @@ class StreamShard {
 
   /// Registers a query under its engine-global index. Indexes must arrive
   /// in increasing order (the engine assigns round-robin). `window`
-  /// overrides the shard-wide StreamLimits::window for this query.
+  /// overrides the shard-wide StreamLimits::window for this query;
+  /// `constraints` are the query's timed-automata guards (a trivial value
+  /// is the plain unconstrained query).
   void AddQuery(std::size_t global_index, const Pattern& query,
-                Timestamp window) {
+                Timestamp window, const TemporalConstraints& constraints) {
     StreamLimits limits = limits_;
     limits.window = window;
-    queries_.emplace_back(global_index, query, limits);
+    queries_.emplace_back(global_index, query, constraints, limits);
     dispatch_dirty_ = true;
+  }
+  void AddQuery(std::size_t global_index, const Pattern& query,
+                Timestamp window) {
+    AddQuery(global_index, query, window, TemporalConstraints());
   }
   void AddQuery(std::size_t global_index, const Pattern& query) {
     AddQuery(global_index, query, limits_.window);

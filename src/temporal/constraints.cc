@@ -1,0 +1,79 @@
+#include "temporal/constraints.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tgm {
+
+bool TemporalConstraints::IsTrivial() const {
+  if (deadline_ > 0) return false;
+  for (const TransitionGuard& g : guards_) {
+    if (g.min_gap > 0 || g.max_gap != kNoGapLimit) return false;
+    if (g.min_since_seed > 0 || g.max_since_seed != kNoGapLimit) return false;
+    if (!g.elabel_alts.empty()) return false;
+  }
+  return true;
+}
+
+void TemporalConstraints::Normalize() {
+  for (TransitionGuard& g : guards_) {
+    std::sort(g.elabel_alts.begin(), g.elabel_alts.end());
+    g.elabel_alts.erase(
+        std::unique(g.elabel_alts.begin(), g.elabel_alts.end()),
+        g.elabel_alts.end());
+  }
+}
+
+Status TemporalConstraints::ValidateFor(const Pattern& pattern) const {
+  if (guards_.size() > pattern.edge_count()) {
+    return Status::InvalidArgument(
+        "constraints carry " + std::to_string(guards_.size()) +
+        " transition guards for a pattern of " +
+        std::to_string(pattern.edge_count()) + " edges");
+  }
+  if (deadline_ < 0) {
+    return Status::InvalidArgument("constraint deadline is negative (" +
+                                   std::to_string(deadline_) + ")");
+  }
+  for (std::size_t k = 0; k < guards_.size(); ++k) {
+    const TransitionGuard& g = guards_[k];
+    const std::string where = "guard of transition " + std::to_string(k);
+    if (g.min_gap < 0 || g.min_since_seed < 0) {
+      return Status::InvalidArgument(where + ": negative minimum gap");
+    }
+    if (g.max_gap < kNoGapLimit || g.max_since_seed < kNoGapLimit) {
+      return Status::InvalidArgument(
+          where + ": max gap below the kNoGapLimit sentinel");
+    }
+    if (g.max_gap != kNoGapLimit && g.max_gap < g.min_gap) {
+      return Status::InvalidArgument(
+          where + ": max_gap " + std::to_string(g.max_gap) + " < min_gap " +
+          std::to_string(g.min_gap));
+    }
+    if (g.max_since_seed != kNoGapLimit &&
+        g.max_since_seed < g.min_since_seed) {
+      return Status::InvalidArgument(
+          where + ": max_since_seed " + std::to_string(g.max_since_seed) +
+          " < min_since_seed " + std::to_string(g.min_since_seed));
+    }
+    if (k == 0 && (g.min_gap > 0 || g.max_gap != kNoGapLimit ||
+                   g.min_since_seed > 0 || g.max_since_seed != kNoGapLimit)) {
+      // The seed edge has no previous edge and *is* the seed: any time
+      // guard on it is either vacuous or unsatisfiable, so reject the
+      // ambiguity outright.
+      return Status::InvalidArgument(
+          "guard of transition 0 must not carry time-gap bounds (the seed "
+          "edge has no predecessor)");
+    }
+    for (LabelId alt : g.elabel_alts) {
+      if (alt < 0) {
+        return Status::InvalidArgument(where + ": negative alternative "
+                                               "edge-label id " +
+                                       std::to_string(alt));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace tgm

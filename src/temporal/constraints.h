@@ -1,0 +1,120 @@
+#ifndef TGM_TEMPORAL_CONSTRAINTS_H_
+#define TGM_TEMPORAL_CONSTRAINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "api/status.h"
+#include "temporal/common.h"
+#include "temporal/pattern.h"
+
+namespace tgm {
+
+/// Time-gap and label guards of one pattern-edge transition (cf. the clock
+/// constraints of temporal graph patterns by timed automata). All gap
+/// fields are inclusive bounds; a max of kNoGapLimit means unbounded. The
+/// guard of edge 0 (the seed edge) has no previous edge, so its gap fields
+/// must stay degenerate (min_gap == 0, max_gap == kNoGapLimit) — only its
+/// label alternatives participate in seed matching.
+struct TransitionGuard {
+  /// ts(edge k) - ts(edge k-1) must be >= min_gap ...
+  Timestamp min_gap = 0;
+  /// ... and <= max_gap (kNoGapLimit = unbounded).
+  Timestamp max_gap = -1;
+  /// ts(edge k) - ts(edge 0) must be >= min_since_seed ...
+  Timestamp min_since_seed = 0;
+  /// ... and <= max_since_seed (kNoGapLimit = unbounded).
+  Timestamp max_since_seed = -1;
+  /// Disjunctive edge-label alternatives: the transition accepts the
+  /// pattern edge's own label *or* any label listed here (sorted, deduped
+  /// by TemporalConstraints::Normalize). Empty = the pattern label only.
+  std::vector<LabelId> elabel_alts;
+
+  friend bool operator==(const TransitionGuard&,
+                         const TransitionGuard&) = default;
+};
+
+/// Sentinel for "no upper gap bound" (0 is a real, satisfiable bound for
+/// simultaneous timestamps, so unbounded needs its own value).
+inline constexpr Timestamp kNoGapLimit = -1;
+
+/// A query-time constraint annotation over one behaviour-query pattern:
+/// per-transition timed-automata guards plus an overall match deadline.
+/// Plain `Pattern` stays the canonical mining form — canonicalization,
+/// dedup and registry hashing never see constraints — and a
+/// default-constructed (or all-trivial) TemporalConstraints is the exact
+/// degenerate case: every execution path must produce bit-identical
+/// results to the unconstrained pattern (pinned by the parity suites).
+///
+/// Semantics, for a match binding pattern edge k to data edge with
+/// timestamp ts_k:
+///  - gap guard (k >= 1):        min_gap <= ts_k - ts_{k-1} <= max_gap
+///  - seed guard (k >= 1):       min_since_seed <= ts_k - ts_0
+///                                               <= max_since_seed
+///  - label alternatives:        the data edge label is the pattern
+///                               label or one of guard(k).elabel_alts
+///  - deadline:                  ts_last - ts_0 <= deadline
+/// The deadline composes with the query window as min(window, deadline)
+/// (both bound the match span; 0 keeps the window alone).
+class TemporalConstraints {
+ public:
+  TemporalConstraints() = default;
+  /// Trivial guards for a pattern of `edge_count` edges (the explicit
+  /// degenerate form; equivalent to the default-constructed value).
+  explicit TemporalConstraints(std::size_t edge_count)
+      : guards_(edge_count) {}
+
+  std::size_t size() const { return guards_.size(); }
+  bool empty() const { return guards_.empty(); }
+
+  /// The guard of transition `k`; out-of-range k (an unconstrained
+  /// annotation, or a pattern longer than the guard list) yields the
+  /// trivial guard.
+  const TransitionGuard& guard(std::size_t k) const {
+    static const TransitionGuard kTrivial;
+    return k < guards_.size() ? guards_[k] : kTrivial;
+  }
+  TransitionGuard& mutable_guard(std::size_t k) {
+    TGM_CHECK(k < guards_.size());
+    return guards_[k];
+  }
+  const std::vector<TransitionGuard>& guards() const { return guards_; }
+
+  /// Overall match deadline: ts_last - ts_0 <= deadline (0 = none).
+  Timestamp deadline() const { return deadline_; }
+  void set_deadline(Timestamp deadline) { deadline_ = deadline; }
+
+  /// True when every guard is trivial and no deadline is set — the
+  /// annotation adds nothing over the plain pattern.
+  bool IsTrivial() const;
+
+  /// Sorts and dedups every guard's label alternatives and drops
+  /// alternatives the caller listed redundantly; call after hand-editing
+  /// guards (the builder and the tquery loader normalize automatically).
+  void Normalize();
+
+  /// Checks internal consistency and fit against `pattern`: guard count
+  /// not exceeding the pattern's edge count, non-negative minima, max >=
+  /// min where both bound, degenerate gap fields on edge 0, non-negative
+  /// deadline, and valid alternative label ids.
+  Status ValidateFor(const Pattern& pattern) const;
+
+  /// The span bound the deadline and `window` jointly impose (0 = both
+  /// unbounded): min of the two nonzero values.
+  Timestamp EffectiveWindow(Timestamp window) const {
+    if (deadline_ <= 0) return window;
+    if (window <= 0) return deadline_;
+    return window < deadline_ ? window : deadline_;
+  }
+
+  friend bool operator==(const TemporalConstraints&,
+                         const TemporalConstraints&) = default;
+
+ private:
+  std::vector<TransitionGuard> guards_;
+  Timestamp deadline_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_TEMPORAL_CONSTRAINTS_H_

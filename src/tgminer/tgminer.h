@@ -8,7 +8,11 @@
 ///  - error model: api/status.h (tgm::Status / tgm::StatusOr<T>, used by
 ///    every layer's fallible public entry points)
 ///  - temporal graph substrate: temporal_graph.h, pattern.h, sequence.h,
-///    residual.h, label_dict.h, io.h (text formats + parsers)
+///    residual.h, label_dict.h, io.h (text formats + parsers);
+///    constraints.h (TemporalConstraints — timed-automata guards as a
+///    query-time annotation on a Pattern, enforced identically by the
+///    offline searcher and the stream runtime, persisted with the
+///    BehaviorQuery artifact)
 ///  - temporal subgraph testers and match enumeration: matcher.h,
 ///    seq_matcher.h, vf2_matcher.h, index_matcher.h, edge_scan_matcher.h
 ///  - the discriminative miner and its ablations: miner.h, miner_config.h,
@@ -59,6 +63,7 @@
 #include "syslog/entity.h"
 #include "syslog/script.h"
 #include "temporal/common.h"
+#include "temporal/constraints.h"
 #include "temporal/label_dict.h"
 #include "temporal/pattern.h"
 #include "temporal/residual.h"

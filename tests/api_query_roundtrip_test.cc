@@ -185,6 +185,138 @@ TEST(BehaviorQueryRoundTripTest, SearchAndWatchReloadedMatchInMemory) {
   }
 }
 
+// A constraint annotation on any pattern bumps the artifact to tquery
+// version 2; an unconstrained artifact keeps the historical version-1
+// byte layout so older readers stay compatible.
+TEST(BehaviorQueryRoundTripTest, UnconstrainedStaysVersion1) {
+  LabelDict dict = MakeDict();
+  std::stringstream ss;
+  MakeQuery().Save(ss, dict);
+  EXPECT_EQ(ss.str().rfind("tquery 1 ", 0), 0u);
+  EXPECT_EQ(ss.str().find("constraints"), std::string::npos);
+}
+
+TEST(BehaviorQueryRoundTripTest, ConstraintsRoundTripExactly) {
+  LabelDict dict = MakeDict();
+  BehaviorQuery query = MakeQuery();
+  TemporalConstraints c(query.patterns()[0].pattern.edge_count());
+  c.mutable_guard(1).min_gap = 3;
+  c.mutable_guard(1).max_gap = 40;
+  c.mutable_guard(1).min_since_seed = 1;
+  c.mutable_guard(1).max_since_seed = 90;
+  c.mutable_guard(1).elabel_alts = {dict.Lookup("L4"), dict.Lookup("L5")};
+  c.mutable_guard(0).elabel_alts = {dict.Lookup("L3")};
+  c.set_deadline(120);
+  query.set_constraints(0, std::move(c));
+  // Pattern 1 stays unconstrained: its v2 block is `constraints 0 0`.
+
+  std::stringstream ss;
+  query.Save(ss, dict);
+  EXPECT_EQ(ss.str().rfind("tquery 2 ", 0), 0u);
+
+  // Reload across a dictionary with a different interning order: guard
+  // values survive verbatim, alternative labels resolve by name.
+  LabelDict shifted;
+  shifted.Intern("<none>");
+  shifted.Intern("unrelated:x");
+  StatusOr<BehaviorQuery> back = BehaviorQuery::Load(ss, shifted);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(back->constrained());
+  const TemporalConstraints& rc = back->constraints(0);
+  EXPECT_EQ(rc.deadline(), 120);
+  EXPECT_EQ(rc.guard(1).min_gap, 3);
+  EXPECT_EQ(rc.guard(1).max_gap, 40);
+  EXPECT_EQ(rc.guard(1).min_since_seed, 1);
+  EXPECT_EQ(rc.guard(1).max_since_seed, 90);
+  ASSERT_EQ(rc.guard(1).elabel_alts.size(), 2u);
+  EXPECT_EQ(shifted.Name(rc.guard(1).elabel_alts[0]), "L4");
+  EXPECT_EQ(shifted.Name(rc.guard(1).elabel_alts[1]), "L5");
+  ASSERT_EQ(rc.guard(0).elabel_alts.size(), 1u);
+  EXPECT_EQ(shifted.Name(rc.guard(0).elabel_alts[0]), "L3");
+  EXPECT_TRUE(back->constraints(1).IsTrivial());
+
+  // Save -> Load -> Save is a fixpoint for v2 artifacts too.
+  std::stringstream second;
+  back->Save(second, shifted);
+  LabelDict third_dict = MakeDict();
+  StatusOr<BehaviorQuery> third = BehaviorQuery::Load(second, third_dict);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  std::stringstream reference;
+  third->Save(reference, third_dict);
+  std::stringstream expected;
+  query.Save(expected, dict);
+  EXPECT_EQ(reference.str(), expected.str());
+}
+
+TEST(BehaviorQueryRoundTripTest, ConstraintsDiagnosticsAreLineNumbered) {
+  auto load = [](const std::string& text) {
+    std::stringstream ss(text);
+    LabelDict fresh = MakeDict();
+    return BehaviorQuery::Load(ss, fresh);
+  };
+  // A well-formed single-pattern v2 artifact, tampered with per case.
+  const std::string header =
+      "tquery 2 1\nwindow 100\nprovenance 1 1 0 0.5 1 1 - -\n"
+      "q 1 1 0 1 0\ntpattern 3 2\nn L0\nn L1\nn L2\ne 0 1 L4\ne 1 2 L5\n";
+
+  StatusOr<BehaviorQuery> good =
+      load(header + "constraints 1 50\ng 1 2 10 0 -1 1 L3\n");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->constraints(0).guard(1).max_gap, 10);
+  EXPECT_EQ(good->constraints(0).deadline(), 50);
+
+  // A v2 pattern without its constraints block.
+  StatusOr<BehaviorQuery> missing = load(header);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(missing.status().message().find("constraints"),
+            std::string::npos);
+
+  // Guard line referencing a nonexistent pattern edge (line 12).
+  StatusOr<BehaviorQuery> bad_edge =
+      load(header + "constraints 1 0\ng 7 0 10 0 -1 0\n");
+  ASSERT_FALSE(bad_edge.ok());
+  EXPECT_NE(bad_edge.status().message().find("edge 7"), std::string::npos);
+  EXPECT_NE(bad_edge.status().message().find("line 12"), std::string::npos);
+
+  // Two guards for the same transition (line 13).
+  StatusOr<BehaviorQuery> duplicate =
+      load(header + "constraints 2 0\ng 1 0 10 0 -1 0\ng 1 0 9 0 -1 0\n");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("duplicate guard"),
+            std::string::npos);
+  EXPECT_NE(duplicate.status().message().find("line 13"), std::string::npos);
+
+  // Inconsistent bounds are caught by validation with file context.
+  StatusOr<BehaviorQuery> crossed =
+      load(header + "constraints 1 0\ng 1 20 10 0 -1 0\n");
+  ASSERT_FALSE(crossed.ok());
+  EXPECT_NE(crossed.status().message().find("invalid constraints"),
+            std::string::npos);
+
+  // Malformed guard line shape (missing alt names).
+  StatusOr<BehaviorQuery> short_line =
+      load(header + "constraints 1 0\ng 1 0 10 0 -1 2 L3\n");
+  ASSERT_FALSE(short_line.ok());
+  EXPECT_NE(short_line.status().message().find("line 12"),
+            std::string::npos);
+}
+
+TEST(BehaviorQueryRoundTripTest, FutureFormatVersionIsRejected) {
+  // A version-3 artifact (written by some newer build) must be refused
+  // with a clear diagnostic, not best-effort misread.
+  std::stringstream ss(
+      "tquery 3 1\nwindow 5\nprovenance 1 1 0 0.5 1 1 - -\n");
+  LabelDict dict = MakeDict();
+  StatusOr<BehaviorQuery> future = BehaviorQuery::Load(ss, dict);
+  ASSERT_FALSE(future.ok());
+  EXPECT_EQ(future.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(future.status().message().find("version 3"), std::string::npos);
+  EXPECT_NE(future.status().message().find("versions 1-2"),
+            std::string::npos);
+  EXPECT_NE(future.status().message().find("line 1"), std::string::npos);
+}
+
 TEST(BehaviorQueryRoundTripTest, LoadDiagnosticsAreLineNumbered) {
   auto load = [](const std::string& text) {
     std::stringstream ss(text);

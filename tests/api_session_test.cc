@@ -272,6 +272,112 @@ TEST(SessionTest, SearchAndWatchAgreeAcrossShardsOnReloadedQuery) {
   EXPECT_EQ(*original, *offline);
 }
 
+// The constrained acceptance pin: a query sharpened with timed-automata
+// guards keeps the Search/Watch interval parity across 1/2/4 shards and
+// batch sizes, including through a persisted-and-reloaded (version-2)
+// tquery artifact in a session with a different interning order.
+TEST(SessionTest, ConstrainedSearchAndWatchAgreeAcrossShardsOnReload) {
+  Session session = TrainedSession();
+  StatusOr<BehaviorQuery> mined = session.Mine(BasicSpec());
+  ASSERT_TRUE(mined.ok());
+  ASSERT_FALSE(mined->empty());
+
+  // Sharpen every pattern: per-transition max gap 15 (true runs step by
+  // 10) plus the mined window as an explicit deadline.
+  for (std::size_t i = 0; i < mined->size(); ++i) {
+    const Pattern& p = mined->patterns()[i].pattern;
+    api::QueryConstraintsBuilder builder(p.edge_count());
+    for (std::size_t k = 1; k < p.edge_count(); ++k) builder.MaxGap(k, 15);
+    builder.Deadline(mined->window());
+    StatusOr<TemporalConstraints> built = builder.Build(p);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    mined->set_constraints(i, *std::move(built));
+  }
+  ASSERT_TRUE(mined->constrained());
+  ASSERT_TRUE(mined->Validate().ok());
+
+  std::stringstream artifact;
+  ASSERT_TRUE(session.SaveQuery(*mined, artifact).ok());
+  EXPECT_EQ(artifact.str().rfind("tquery 2 ", 0), 0u);  // version bumped
+
+  Session analyst;
+  analyst.dict().Intern("decoy:a");  // shift every label id
+  ASSERT_TRUE(
+      analyst.Ingest("log", MixedLog({1000, 2000, 3000, 4000})).ok());
+  StatusOr<BehaviorQuery> reloaded = analyst.LoadQuery(artifact);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_TRUE(reloaded->constrained());
+
+  StatusOr<std::vector<Interval>> offline = analyst.Search(*reloaded, "log");
+  ASSERT_TRUE(offline.ok());
+  ASSERT_FALSE(offline->empty());  // guards must not kill the true matches
+
+  for (int shards : {1, 2, 4}) {
+    for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+      api::WatchOptions options;
+      options.shards = shards;
+      options.batch_size = batch;
+      StatusOr<std::vector<Interval>> online =
+          analyst.Watch(*reloaded, "log", options);
+      ASSERT_TRUE(online.ok());
+      EXPECT_EQ(*online, *offline) << "shards=" << shards
+                                   << " batch=" << batch;
+    }
+  }
+
+  // The reloaded constrained artifact behaves exactly like the in-memory
+  // one in the mining session (its own interning order).
+  ASSERT_TRUE(
+      session.Ingest("log", MixedLog({1000, 2000, 3000, 4000})).ok());
+  StatusOr<std::vector<Interval>> original = session.Search(*mined, "log");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(*original, *offline);
+}
+
+// The degenerate-case parity pin (api half): infinite gaps and
+// single-alternative labels are the unconstrained query, bit for bit,
+// offline and online.
+TEST(SessionTest, TrivialConstraintsMatchUnconstrainedEndToEnd) {
+  Session session = TrainedSession();
+  StatusOr<BehaviorQuery> plain = session.Mine(BasicSpec());
+  ASSERT_TRUE(plain.ok());
+
+  BehaviorQuery degenerate = *plain;
+  for (std::size_t i = 0; i < degenerate.size(); ++i) {
+    const Pattern& p = degenerate.patterns()[i].pattern;
+    TemporalConstraints c(p.edge_count());
+    for (std::size_t k = 0; k < p.edge_count(); ++k) {
+      c.mutable_guard(k).min_gap = 0;
+      c.mutable_guard(k).max_gap = kNoGapLimit;
+      // The single alternative is the pattern's own edge label.
+      c.mutable_guard(k).elabel_alts = {p.edge(k).elabel};
+    }
+    degenerate.set_constraints(i, std::move(c));
+  }
+  ASSERT_TRUE(degenerate.Validate().ok());
+
+  ASSERT_TRUE(session.Ingest("log", MixedLog({500, 1500, 2500})).ok());
+  StatusOr<std::vector<Interval>> want = session.Search(*plain, "log");
+  StatusOr<std::vector<Interval>> got = session.Search(degenerate, "log");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_FALSE(want->empty());
+  EXPECT_EQ(*got, *want);
+
+  for (int shards : {1, 2, 4}) {
+    api::WatchOptions options;
+    options.shards = shards;
+    StatusOr<std::vector<Interval>> watched_plain =
+        session.Watch(*plain, "log", options);
+    StatusOr<std::vector<Interval>> watched_degenerate =
+        session.Watch(degenerate, "log", options);
+    ASSERT_TRUE(watched_plain.ok());
+    ASSERT_TRUE(watched_degenerate.ok());
+    EXPECT_EQ(*watched_plain, *want) << "shards=" << shards;
+    EXPECT_EQ(*watched_degenerate, *want) << "shards=" << shards;
+  }
+}
+
 TEST(SessionTest, LiveWatchFeedMatchesOfflineSearch) {
   Session session = TrainedSession();
   StatusOr<BehaviorQuery> mined = session.Mine(BasicSpec());

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "query/stream/engine.h"
+#include "temporal/constraints.h"
 #include "test_util.h"
 
 namespace tgm {
@@ -25,9 +26,16 @@ struct RunResult {
 
 RunResult RunEngine(const StreamEngine::Options& options,
                     const std::vector<Pattern>& queries,
-                    const std::vector<StreamEvent>& events) {
+                    const std::vector<StreamEvent>& events,
+                    const std::vector<TemporalConstraints>& constraints = {}) {
   StreamEngine engine(options);
-  for (const Pattern& q : queries) engine.AddQuery(q);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    if (q < constraints.size()) {
+      engine.AddQuery(queries[q], options.window, constraints[q]);
+    } else {
+      engine.AddQuery(queries[q]);
+    }
+  }
   RunResult result;
   auto sink = [&result](const StreamAlert& a) {
     result.alerts.push_back(a);
@@ -130,6 +138,88 @@ TEST_P(StreamShardTest, BackpressureDeterministicAcrossShards) {
     options.num_shards = num_shards;
     ExpectIdentical(want, RunEngine(options, queries_, events_), num_shards,
                     base.batch_size);
+  }
+}
+
+TEST_P(StreamShardTest, ConstrainedAlertsIdenticalAcrossShardsAndBatches) {
+  // Timed-automata guards must not perturb the shard/batch determinism
+  // oracle: a mix of guarded and plain queries yields one canonical alert
+  // stream for every shard count and batch size.
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 1700);
+  std::vector<TemporalConstraints> constraints;
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    TemporalConstraints c(queries_[q].edge_count());
+    switch (q % 4) {
+      case 0:  // plain (trivial annotation)
+        break;
+      case 1:
+        c.mutable_guard(1).max_gap = 25;
+        break;
+      case 2:
+        c.mutable_guard(1).min_gap = 1;
+        c.set_deadline(35);
+        break;
+      case 3:
+        c.mutable_guard(0).elabel_alts = {kNoEdgeLabel};
+        c.mutable_guard(1).max_since_seed = 30;
+        break;
+    }
+    c.Normalize();
+    constraints.push_back(std::move(c));
+  }
+
+  StreamEngine::Options base;
+  base.window = 40;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries_, events_, constraints);
+
+  for (int num_shards : {2, 4}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{8}}) {
+      StreamEngine::Options options = base;
+      options.num_shards = num_shards;
+      options.batch_size = batch_size;
+      ExpectIdentical(want,
+                      RunEngine(options, queries_, events_, constraints),
+                      num_shards, batch_size);
+    }
+  }
+}
+
+TEST_P(StreamShardTest, DegenerateConstraintsBitIdenticalToUnconstrained) {
+  // The degenerate-case parity pin (online half): a query annotated with
+  // infinite gaps and single-alternative labels (each transition lists
+  // only its own pattern label) must produce bit-identical alerts, drops,
+  // and stats to the unconstrained path, across 1/2/4 shards and batch
+  // sizes.
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 2100);
+  std::vector<TemporalConstraints> degenerate;
+  for (const Pattern& q : queries_) {
+    TemporalConstraints c(q.edge_count());
+    for (std::size_t k = 0; k < q.edge_count(); ++k) {
+      c.mutable_guard(k).min_gap = 0;
+      c.mutable_guard(k).max_gap = kNoGapLimit;
+      c.mutable_guard(k).elabel_alts = {q.edge(k).elabel};
+    }
+    c.Normalize();
+    degenerate.push_back(std::move(c));
+  }
+
+  StreamEngine::Options base;
+  base.window = 40;
+  for (int num_shards : {1, 2, 4}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{8}}) {
+      StreamEngine::Options options = base;
+      options.num_shards = num_shards;
+      options.batch_size = batch_size;
+      RunResult plain = RunEngine(options, queries_, events_);
+      ExpectIdentical(plain,
+                      RunEngine(options, queries_, events_, degenerate),
+                      num_shards, batch_size);
+      if (num_shards == 1) EXPECT_FALSE(plain.alerts.empty());
+    }
   }
 }
 
