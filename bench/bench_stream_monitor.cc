@@ -1,14 +1,20 @@
 // Stream-engine throughput: events/sec of the online surveillance engine
 // (src/query/stream/) as a function of registered query count, matching
 // path (entity-keyed partial index vs. the legacy full-scan wildcard
-// path), and shard count.
+// path), shard count, and sharding mode (round-robin query partitioning
+// vs. entity-hash data partitioning).
 //
 // Shape to reproduce: the entity index must beat the full scan on the
 // many-queries workload — the scan path touches every live partial of
 // every query per event, the index only the partials the event's entities
 // can extend. Shard rows split the same workload across worker shards
 // (events/sec needs a multicore host to show wall-clock scaling; on a
-// 1-core container the rows pin the merge overhead instead).
+// 1-core container the rows pin the merge/inbox overhead instead, and
+// the entity-hash rows' routing_skew / handoffs / inbox_peak counters
+// document how the work *distributes* across shards). The hot-query rows
+// replay a hub-skewed stream against a single query — the workload
+// round-robin cannot scale (one query = one shard) but entity-hash
+// spreads by construction.
 //
 // Flags: --queries=Q (largest query-count step), --events=N, --window=W,
 // --shards=S (extra shard counts, plumbed like --threads), --max_gap=G
@@ -16,15 +22,35 @@
 // guard of G, run once with guard-driven per-partial expiry and once with
 // window-only expiry — identical alerts required, peak live partials is
 // the measurement), --seed, --json_out=FILE. Alert totals are
-// cross-checked across all configurations of a step: every path and
-// sharding must agree.
+// cross-checked across all configurations of a step: every path, shard
+// count, and sharding mode must agree.
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <new>
 #include <random>
 
 #include "bench_common.h"
 #include "query/stream/engine.h"
 #include "temporal/constraints.h"
+
+/// Heap-allocation counter behind the steady-state dispatch assertion:
+/// the double-buffered span dispatch must not allocate (or copy batches)
+/// once vector capacities are warm. Replacing global operator new is
+/// per-binary instrumentation — counts every allocation in the process.
+static std::atomic<std::int64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -60,13 +86,18 @@ struct RunStats {
   std::size_t peak_partials = 0;
   std::int64_t dropped = 0;
   std::int64_t seed_skips = 0;
+  // Entity-hash routing counters (zero in round-robin mode).
+  std::int64_t handoffs = 0;
+  double routing_skew = 0;
+  std::size_t inbox_peak = 0;  ///< max over shards
 };
 
 RunStats RunEngine(const std::vector<Pattern>& queries,
                    const std::vector<StreamEvent>& events, Timestamp window,
                    bool entity_index, int num_shards,
                    const std::vector<TemporalConstraints>& constraints = {},
-                   bool guard_expiry = true) {
+                   bool guard_expiry = true,
+                   ShardingMode mode = ShardingMode::kQueryRoundRobin) {
   StreamEngine::Options options;
   options.window = window;
   options.entity_index = entity_index;
@@ -74,6 +105,7 @@ RunStats RunEngine(const std::vector<Pattern>& queries,
   options.batch_size = num_shards > 1 ? 32 : 1;
   options.max_partials_per_query = 50000;
   options.guard_expiry = guard_expiry;
+  options.sharding = mode;
   StreamEngine engine(options);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     if (q < constraints.size()) {
@@ -97,6 +129,11 @@ RunStats RunEngine(const std::vector<Pattern>& queries,
   stats.seed_skips = engine_stats.seed_skips;
   for (const EngineQueryStats& q : engine_stats.queries) {
     stats.peak_partials += q.peak_partials;
+  }
+  stats.handoffs = engine_stats.handoffs;
+  stats.routing_skew = engine_stats.routing_skew;
+  for (const EngineShardStats& s : engine_stats.shards) {
+    if (s.inbox_peak > stats.inbox_peak) stats.inbox_peak = s.inbox_peak;
   }
   return stats;
 }
@@ -154,8 +191,10 @@ int main(int argc, char** argv) {
   for (int num_queries : steps) {
     std::vector<Pattern> subset(queries.begin(),
                                 queries.begin() + num_queries);
-    auto row = [&](const char* path, bool indexed, int shards) {
-      RunStats stats = RunEngine(subset, events, window, indexed, shards);
+    auto row = [&](const char* path, bool indexed, int shards,
+                   ShardingMode mode = ShardingMode::kQueryRoundRobin) {
+      RunStats stats = RunEngine(subset, events, window, indexed, shards, {},
+                                 true, mode);
       std::printf("%8d %8s %8d %14.0f %10lld %12zu %10lld %12lld\n",
                   num_queries, path, shards, stats.events_per_sec,
                   static_cast<long long>(stats.alerts), stats.peak_partials,
@@ -170,9 +209,13 @@ int main(int argc, char** argv) {
                 {"queries", static_cast<double>(num_queries)},
                 {"shards", static_cast<double>(shards)},
                 {"indexed", indexed ? 1.0 : 0.0},
+                {"entity_hash", mode == ShardingMode::kEntityHash ? 1.0 : 0.0},
                 {"alerts", static_cast<double>(stats.alerts)},
                 {"dropped", static_cast<double>(stats.dropped)},
-                {"seed_skips", static_cast<double>(stats.seed_skips)}});
+                {"seed_skips", static_cast<double>(stats.seed_skips)},
+                {"handoffs", static_cast<double>(stats.handoffs)},
+                {"routing_skew", stats.routing_skew},
+                {"inbox_peak", static_cast<double>(stats.inbox_peak)}});
       return stats;
     };
     RunStats scan = row("scan", false, 1);
@@ -196,20 +239,16 @@ int main(int argc, char** argv) {
                   num_queries);
     }
     if (num_queries == max_queries) {
-      std::vector<int> shard_steps = {2, 4};
-      if (extra_shards > 1 && extra_shards != 2 && extra_shards != 4) {
-        shard_steps.push_back(extra_shards);
-      }
-      for (int shards : shard_steps) {
-        RunStats sharded = row("index", true, shards);
+      auto check_mode = [&](const char* path, int shards,
+                            const RunStats& sharded) {
         if (sharded.alerts != index.alerts ||
             sharded.dropped != index.dropped ||
             sharded.seed_skips != index.seed_skips) {
           std::fprintf(stderr,
                        "error: shard determinism violated at queries=%d "
-                       "shards=%d: alerts %lld vs %lld, dropped %lld vs "
+                       "%s shards=%d: alerts %lld vs %lld, dropped %lld vs "
                        "%lld, seed_skips %lld vs %lld\n",
-                       num_queries, shards,
+                       num_queries, path, shards,
                        static_cast<long long>(sharded.alerts),
                        static_cast<long long>(index.alerts),
                        static_cast<long long>(sharded.dropped),
@@ -218,6 +257,97 @@ int main(int argc, char** argv) {
                        static_cast<long long>(index.seed_skips));
           ok = false;
         }
+      };
+      std::vector<int> shard_steps = {2, 4};
+      if (extra_shards > 1 && extra_shards != 2 && extra_shards != 4) {
+        shard_steps.push_back(extra_shards);
+      }
+      for (int shards : shard_steps) {
+        check_mode("index", shards, row("index", true, shards));
+      }
+      // Entity-hash sweep: shards=1 is the inline no-thread path (the
+      // no-regression baseline against round-robin shards=1); multi-shard
+      // rows carry the routing counters (handoffs, skew, inbox peaks)
+      // into the JSON. Alerts/drops/skips must match the round-robin
+      // oracle bit-for-bit in every configuration.
+      check_mode("ehash", 1,
+                 row("ehash", true, 1, ShardingMode::kEntityHash));
+      for (int shards : shard_steps) {
+        check_mode("ehash", shards,
+                   row("ehash", true, shards, ShardingMode::kEntityHash));
+      }
+    }
+  }
+
+  // Single hot query over a hub-skewed stream: the workload round-robin
+  // cannot parallelize (one query lives on one shard) but entity-hash
+  // spreads across shards by construction. On a 1-core host the
+  // events/sec columns stay flat; the routing_skew / handoffs counters
+  // are the evidence that the work *distributes* (the max/mean probe
+  // share per shard), which is what this row exists to record.
+  {
+    std::mt19937_64 hot_rng(seed + 1);
+    Pattern hot_query = RandomQuery(hot_rng, 3, 2);
+    std::vector<StreamEvent> hot_events;
+    hot_events.reserve(static_cast<std::size_t>(num_events));
+    const std::int64_t num_spokes = 499;
+    for (std::int64_t i = 0; i < num_events; ++i) {
+      std::int64_t a = 0;  // the hub
+      std::int64_t b = 1 + static_cast<std::int64_t>(hot_rng() % num_spokes);
+      if (i % 4 == 3) {  // a quarter of the traffic is spoke-to-spoke
+        a = 1 + static_cast<std::int64_t>(hot_rng() % num_spokes);
+        if (a == b) b = a % num_spokes + 1;
+      } else if (hot_rng() % 2 == 0) {
+        std::swap(a, b);
+      }
+      hot_events.push_back(StreamEvent{a, b, static_cast<LabelId>(a % 2),
+                                       static_cast<LabelId>(b % 2),
+                                       kNoEdgeLabel, i});
+    }
+    const std::vector<Pattern> hot_queries = {hot_query};
+    RunStats hot_rr =
+        RunEngine(hot_queries, hot_events, window, true, 1);
+    std::printf("%8s %8s %8d %14.0f %10lld %12zu %10lld %12lld\n", "hot",
+                "index", 1, hot_rr.events_per_sec,
+                static_cast<long long>(hot_rr.alerts), hot_rr.peak_partials,
+                static_cast<long long>(hot_rr.dropped),
+                static_cast<long long>(hot_rr.seed_skips));
+    json.Add("StreamEngine/hot/index/shards:1",
+             static_cast<double>(hot_events.size()) / hot_rr.events_per_sec,
+             {{"events_per_sec", hot_rr.events_per_sec},
+              {"alerts", static_cast<double>(hot_rr.alerts)}});
+    for (int shards : {1, 2, 4}) {
+      RunStats hot_eh = RunEngine(hot_queries, hot_events, window, true,
+                                  shards, {}, true, ShardingMode::kEntityHash);
+      std::printf("%8s %8s %8d %14.0f %10lld %12zu %10lld %12lld\n", "hot",
+                  "ehash", shards, hot_eh.events_per_sec,
+                  static_cast<long long>(hot_eh.alerts), hot_eh.peak_partials,
+                  static_cast<long long>(hot_eh.dropped),
+                  static_cast<long long>(hot_eh.seed_skips));
+      json.Add("StreamEngine/hot/ehash/shards:" + std::to_string(shards),
+               static_cast<double>(hot_events.size()) / hot_eh.events_per_sec,
+               {{"events_per_sec", hot_eh.events_per_sec},
+                {"shards", static_cast<double>(shards)},
+                {"alerts", static_cast<double>(hot_eh.alerts)},
+                {"handoffs", static_cast<double>(hot_eh.handoffs)},
+                {"routing_skew", hot_eh.routing_skew},
+                {"inbox_peak", static_cast<double>(hot_eh.inbox_peak)}});
+      if (hot_eh.alerts != hot_rr.alerts || hot_eh.dropped != hot_rr.dropped) {
+        std::fprintf(stderr,
+                     "error: hot-query determinism violated at shards=%d: "
+                     "alerts %lld vs %lld, dropped %lld vs %lld\n",
+                     shards, static_cast<long long>(hot_eh.alerts),
+                     static_cast<long long>(hot_rr.alerts),
+                     static_cast<long long>(hot_eh.dropped),
+                     static_cast<long long>(hot_rr.dropped));
+        ok = false;
+      }
+      if (shards > 1) {
+        std::printf("  (hot ehash shards=%d: routing_skew %.2f, handoffs "
+                    "%lld, inbox_peak %zu)\n",
+                    shards, hot_eh.routing_skew,
+                    static_cast<long long>(hot_eh.handoffs),
+                    hot_eh.inbox_peak);
       }
     }
   }
@@ -285,6 +415,56 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(window_only.peak_partials) /
                           static_cast<double>(guard_driven.peak_partials)
                     : 0.0);
+  }
+
+  // Steady-state dispatch allocations: with the double-buffered span
+  // dispatch, feeding events through a warm engine whose only query
+  // matches nothing must not allocate at all — no per-batch copies, no
+  // per-event scratch growth — on the inline (shards=1) paths of both
+  // sharding modes. A regression here (a reintroduced batch copy, a
+  // per-event vector) fails the bench, not just slows it.
+  {
+    auto steady_allocs = [&](ShardingMode mode) {
+      StreamEngine::Options options;
+      options.window = window;
+      options.num_shards = 1;
+      options.batch_size = 32;
+      options.sharding = mode;
+      StreamEngine engine(options);
+      // Labels absent from the stream: the seed-dispatch bitmap skips
+      // every event, isolating the dispatch path itself.
+      engine.AddQuery(Pattern::SingleEdge(98, 99));
+      const StreamEngine::AlertSink sink = [](const StreamAlert&) {};
+      const std::size_t half = events.size() / 2;
+      for (std::size_t i = 0; i < half; ++i) engine.OnEvent(events[i], sink);
+      engine.Flush(sink);
+      const std::int64_t before =
+          g_heap_allocs.load(std::memory_order_relaxed);
+      for (std::size_t i = half; i < events.size(); ++i) {
+        engine.OnEvent(events[i], sink);
+      }
+      engine.Flush(sink);
+      return g_heap_allocs.load(std::memory_order_relaxed) - before;
+    };
+    const std::int64_t rr_allocs =
+        steady_allocs(ShardingMode::kQueryRoundRobin);
+    const std::int64_t eh_allocs = steady_allocs(ShardingMode::kEntityHash);
+    std::printf("  (steady-state dispatch allocations over %zu events: "
+                "%lld round-robin, %lld entity-hash)\n",
+                events.size() - events.size() / 2,
+                static_cast<long long>(rr_allocs),
+                static_cast<long long>(eh_allocs));
+    if (rr_allocs != 0 || eh_allocs != 0) {
+      std::fprintf(stderr,
+                   "error: batch dispatch allocated in steady state "
+                   "(round-robin %lld, entity-hash %lld; expected 0)\n",
+                   static_cast<long long>(rr_allocs),
+                   static_cast<long long>(eh_allocs));
+      ok = false;
+    }
+    json.Add("StreamEngine/dispatch_steady_allocs", 0.0,
+             {{"rr_allocs", static_cast<double>(rr_allocs)},
+              {"ehash_allocs", static_cast<double>(eh_allocs)}});
   }
 
   std::printf("(events=%lld window=%lld entities=%lld; scan = wildcard "

@@ -1,0 +1,172 @@
+#ifndef TGM_EXEC_SPSC_QUEUE_H_
+#define TGM_EXEC_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tgm {
+
+/// A bounded lock-free single-producer/single-consumer ring queue, the
+/// transport of the entity-hash stream engine's per-shard inboxes and
+/// outboxes (query/stream/engine.h).
+///
+/// The fast path is wait-free for both sides: one release store of the
+/// tail (push) or head (pop) index per element, no CAS, no shared cache
+/// line between the two indices. Blocking is layered on top for the slow
+/// path only: a side that finds the queue empty (consumer) or full
+/// (producer) spins briefly, then parks on a mutex/condvar pair. The
+/// opposite side checks the (atomic) parked flag after its index store and
+/// signals through the mutex; parked waits additionally use a bounded
+/// timeout, so a wakeup lost to the flag race costs at most one timeout
+/// period rather than a hang — the queue's progress guarantee never rests
+/// on the flag ordering alone.
+///
+/// Exactly one thread may push and one may pop (they may be the same
+/// thread, which trivially never blocks itself in TryPush/TryPop). Size
+/// reads from other threads are approximate.
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer-side current depth (exact for the producer, approximate for
+  /// anyone else).
+  std::size_t SizeApprox() const {
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    return t - h;
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+
+  /// Producer only. Moves from `v` and returns true if the element was
+  /// enqueued; leaves `v` untouched and returns false when full.
+  bool TryPush(T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    if (consumer_parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_empty_.notify_one();
+    }
+    return true;
+  }
+
+  /// Producer only. Blocks (spin, then parked timed waits) until the
+  /// element is enqueued. Safe only when the consumer is a different,
+  /// live thread.
+  void Push(T v) {
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (TryPush(v)) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    producer_parked_.store(true, std::memory_order_seq_cst);
+    while (!TryPush(v)) {
+      not_full_.wait_for(lock, kParkTimeout);
+    }
+    producer_parked_.store(false, std::memory_order_seq_cst);
+  }
+
+  /// Consumer only. Moves the front element into `*out` and returns true;
+  /// returns false when empty.
+  bool TryPop(T* out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    if (producer_parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_one();
+    }
+    return true;
+  }
+
+  /// Consumer only. Blocks (spin, then parked timed waits) until an
+  /// element arrives.
+  void PopBlocking(T* out) {
+    for (int spin = 0; spin < kSpins; ++spin) {
+      if (TryPop(out)) return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    consumer_parked_.store(true, std::memory_order_seq_cst);
+    while (!TryPop(out)) {
+      not_empty_.wait_for(lock, kParkTimeout);
+    }
+    consumer_parked_.store(false, std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr int kSpins = 128;
+  static constexpr std::chrono::microseconds kParkTimeout{500};
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Pop index, written by the consumer only.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  /// Push index, written by the producer only.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::atomic<bool> consumer_parked_{false};
+  std::atomic<bool> producer_parked_{false};
+};
+
+/// A many-to-one wakeup channel: the entity-hash engine parks on one
+/// Notifier while any of its shards may have pushed results into their
+/// (per-shard) SPSC outboxes. Epoch-counted so a notify between reading
+/// the epoch and waiting is never lost; waits are additionally bounded,
+/// mirroring SpscQueue's parking discipline.
+class Notifier {
+ public:
+  std::uint64_t Epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  void Notify() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  /// Returns once the epoch has moved past `seen` (or after a bounded
+  /// timeout; callers re-check their condition in a loop).
+  void Wait(std::uint64_t seen) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::microseconds(500), [&] {
+      return epoch_.load(std::memory_order_relaxed) != seen;
+    });
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_EXEC_SPSC_QUEUE_H_

@@ -4,64 +4,117 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
+#include <set>
+#include <thread>
 #include <vector>
 
+#include "exec/spsc_queue.h"
 #include "exec/thread_pool.h"
+#include "query/stream/entity_shard.h"
 #include "query/stream/shard.h"
 
 namespace tgm {
 
+/// How the engine splits work across its shards.
+enum class ShardingMode {
+  /// Queries are partitioned round-robin; every shard sees every event.
+  /// One query never spans shards, so a single hot watch caps at one
+  /// core; scaling comes from query count.
+  kQueryRoundRobin,
+  /// Partials are partitioned by `hash(entity) % num_shards` — the entity
+  /// their next transition requires, the same key PartialTable buckets
+  /// by — and events are routed to the shards owning their endpoints'
+  /// buckets through per-shard SPSC inboxes (shards drain continuously;
+  /// no per-batch broadcast+join). A single query's work spreads across
+  /// shards; partials whose next required entity hashes elsewhere are
+  /// handed off, and wildcard-bucket partials live on the query's home
+  /// shard (query % num_shards). The alert stream, drops, and per-query
+  /// stats are bit-identical to kQueryRoundRobin for every shard count
+  /// and batch size.
+  kEntityHash,
+};
+
 /// Per-query snapshot row of EngineStats.
 struct EngineQueryStats {
   std::size_t query_index = 0;
+  /// kQueryRoundRobin: the shard owning this query's whole state.
+  /// kEntityHash: the query's *home* shard (wildcard bucket location);
+  /// entity buckets are spread across all shards. Both modes report
+  /// query_index % num_shards.
   std::size_t shard = 0;
   std::size_t live_partials = 0;
   std::size_t peak_partials = 0;  ///< high-water mark of live partials
-  std::size_t index_buckets = 0;  ///< occupied entity buckets
+  std::size_t index_buckets = 0;  ///< occupied entity buckets (all shards)
   std::size_t wildcard_partials = 0;
   std::int64_t dropped_partials = 0;  ///< backpressure evictions/drops
   std::int64_t alerts = 0;
   /// Events this query never probed: it had no live partials and the
-  /// shard's seed-dispatch bitmap proved its edge-0 labels cannot match
-  /// the event (see StreamShard).
+  /// seed-dispatch bitmap proved its edge-0 labels cannot match the event
+  /// (see SeedDispatchIndex).
   std::int64_t seed_skips = 0;
+};
+
+/// Per-shard inbox/routing row of EngineStats (kEntityHash mode; empty in
+/// kQueryRoundRobin, which has no inboxes).
+struct EngineShardStats {
+  std::size_t shard = 0;
+  std::size_t inbox_depth = 0;  ///< ops queued right now
+  std::size_t inbox_peak = 0;   ///< high-water mark of queued ops
+  /// Probe ops routed to this shard (the per-shard share of event work —
+  /// the routing-skew numerator).
+  std::int64_t events_routed = 0;
+  /// Partials inserted here that were produced by a probe on a different
+  /// shard (cross-shard handoffs received).
+  std::int64_t handoffs_in = 0;
 };
 
 /// A point-in-time snapshot of engine health; take it between events (the
 /// engine is externally synchronized, see StreamEngine).
 struct EngineStats {
   std::vector<EngineQueryStats> queries;  ///< ascending query_index
+  /// kQueryRoundRobin: events processed per shard (every shard sees every
+  /// event). kEntityHash: probe ops routed per shard (== events_routed).
   std::vector<std::int64_t> shard_events;
+  /// Per-shard inbox depth/peak + handoff rows (kEntityHash only).
+  std::vector<EngineShardStats> shards;
   std::int64_t out_of_order_events = 0;
   std::size_t live_partials = 0;
   std::int64_t dropped_partials = 0;
   std::int64_t alerts = 0;
   std::int64_t seed_skips = 0;  ///< total over queries (seed dispatch)
+  /// Total cross-shard partial handoffs (kEntityHash only).
+  std::int64_t handoffs = 0;
+  /// max/mean of shard_events (1.0 = perfectly balanced; 0 if no events).
+  double routing_skew = 0.0;
 };
 
 /// The online surveillance engine (Section 1: behaviour queries "applied
 /// on the real-time monitoring data for surveillance and policy compliance
 /// checking"), replacing the monolithic scan-everything StreamMonitor:
 ///
-/// - Queries are compiled once (CompiledQueryPlan) and partitioned
-///   round-robin across `num_shards` worker shards; per-event work inside
-///   a shard touches only the partials the event's entity ids can extend
-///   (PartialTable's entity-keyed index).
-/// - Events are buffered into batches of `batch_size` and broadcast to
-///   every shard through the exec/ pool (one deterministic ParallelFor
-///   chunk per shard); per-shard alerts come back tagged with their batch
-///   position and are merged in (event, query index, interval) order
-///   before reaching the sink.
-/// - Because every shard sees every event and a query lives in exactly one
-///   shard, the alert stream — including drop counters and all per-query
-///   stats — is bit-identical for every shard count and batch size.
-/// - Backpressure: per-query partial caps evict oldest-first with
-///   per-query drop accounting (StreamLimits::max_partials); an
+/// - Queries are compiled once (CompiledQueryPlan); per-event work touches
+///   only the partials the event's entity ids can extend (PartialTable's
+///   entity-keyed index).
+/// - Events are buffered into batches of `batch_size` and dispatched as
+///   `std::span` views into a double buffer (the batch being processed and
+///   the batch being filled are distinct vectors, swapped per batch — no
+///   per-shard copy, allocation-free steady state).
+/// - Two sharding modes (ShardingMode): round-robin query partitioning
+///   (every shard sees every event through one deterministic ParallelFor
+///   chunk per shard) or entity-hash data partitioning (per-shard SPSC
+///   inboxes fed by a central sequencer on the caller thread; shards drain
+///   continuously). Both produce the identical canonical
+///   (event, query index, interval) alert stream, drop counters, and
+///   per-query stats for every shard count and batch size.
+/// - Backpressure: per-query partial caps evict closest-to-death-first
+///   with per-query drop accounting (StreamLimits::max_partials); an
 ///   EngineStats snapshot exposes live partials, index occupancy, drops,
-///   and per-shard event counts.
+///   per-shard event counts, and (entity-hash) inbox depths, handoffs and
+///   routing skew.
 ///
 /// The engine is externally synchronized: one caller feeds OnEvent/Flush
-/// (internally it fans work out to its own pool). Alerts surface on the
+/// (internally it fans work out to its own workers). Alerts surface on the
 /// OnEvent call that completes a batch, and on Flush for a partial batch;
 /// with batch_size = 1 (the default and the StreamMonitor facade setting)
 /// every OnEvent is synchronous.
@@ -72,12 +125,15 @@ class StreamEngine {
     Timestamp window = 0;
     /// Per-query live-partial high-water mark (oldest-first eviction).
     std::size_t max_partials_per_query = 100000;
-    /// Worker shards queries are partitioned across; <= 0 means all
-    /// hardware threads. 1 runs inline with no pool.
+    /// Worker shards; <= 0 means all hardware threads. 1 runs inline with
+    /// no worker threads (both modes).
     int num_shards = 1;
     /// Events per fan-out batch (>= 1). Larger batches amortize the
-    /// per-batch shard join at the cost of alert latency.
+    /// per-batch dispatch at the cost of alert latency.
     std::size_t batch_size = 1;
+    /// How work is split across shards; see ShardingMode. The alert
+    /// stream is identical in both modes.
+    ShardingMode sharding = ShardingMode::kQueryRoundRobin;
     /// Disable to run the legacy full-scan matching path (bench baseline).
     /// Both paths accept exactly the same matches; while no partials are
     /// dropped their alert streams are identical. Under backpressure the
@@ -98,6 +154,10 @@ class StreamEngine {
   using AlertSink = std::function<void(const StreamAlert&)>;
 
   explicit StreamEngine(const Options& options);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
 
   /// Registers a behaviour query; returns its index in alerts. Must not be
   /// called while events are buffered (register queries up front, or Flush
@@ -129,7 +189,8 @@ class StreamEngine {
   void Flush(const AlertSink& sink);
 
   std::size_t query_count() const { return query_count_; }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const { return num_shards_; }
+  ShardingMode sharding() const { return options_.sharding; }
 
   /// True while a partial batch is buffered (fed events not yet
   /// processed). AddQuery is only legal when this is false; callers that
@@ -145,19 +206,123 @@ class StreamEngine {
   EngineStats Stats() const;
 
  private:
+  // --- entity-hash mode: central per-query control state ---------------
+  /// Heap entry of the engine-held age order over one query's partials
+  /// (all shards): same (expiry, first_ts, seq) key as the round-robin
+  /// PartialTable heap, plus where the partial lives so expiry/eviction
+  /// can address the erase.
+  struct AgeEntry {
+    Timestamp expiry = 0;
+    Timestamp first_ts = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t shard = 0;
+    bool wildcard = false;
+  };
+  struct AgeEntryGreater {
+    bool operator()(const AgeEntry& a, const AgeEntry& b) const {
+      if (a.expiry != b.expiry) return a.expiry > b.expiry;
+      if (a.first_ts != b.first_ts) return a.first_ts > b.first_ts;
+      return a.seq > b.seq;
+    }
+  };
+  /// Everything the sequencer decides with: the per-query facts that must
+  /// be global for drops, dedup, and stats to be bit-identical to a
+  /// single table.
+  struct QueryControl {
+    std::shared_ptr<const CompiledQueryPlan> plan;
+    Timestamp window = 0;  ///< effective (engine window folded w/ deadline)
+    std::set<Interval> emitted;
+    std::priority_queue<AgeEntry, std::vector<AgeEntry>, AgeEntryGreater>
+        by_age;
+    std::uint64_t next_seq = 0;
+    std::size_t live = 0;
+    std::size_t peak = 0;
+    std::size_t wildcard_live = 0;
+    std::int64_t alerts = 0;
+    std::int64_t dropped = 0;
+    std::int64_t seed_skips = 0;
+  };
+  /// One entity-hash worker: shard state + its op/result queues. With
+  /// num_shards == 1 the thread is never started and ops execute inline
+  /// on the caller (zero queue/thread overhead — the 1-shard baseline).
+  struct EntityWorker {
+    explicit EntityWorker(const StreamLimits& limits) : shard(limits) {}
+    EntityShard shard;
+    std::unique_ptr<SpscQueue<EntityShardOp>> inbox;
+    std::unique_ptr<SpscQueue<EntityShardResult>> outbox;
+    std::thread thread;
+    // Engine-side accounting (only the engine thread writes these).
+    std::size_t inbox_peak = 0;
+    std::int64_t events_routed = 0;
+    std::int64_t handoffs_in = 0;
+  };
+  /// A probe hit plus the shard that produced it (handoff accounting).
+  struct CollectedExt {
+    ProbeExtension ext;
+    std::uint32_t origin = 0;
+  };
+
   void ProcessBatch(const AlertSink& sink);
+  void ProcessBatchRoundRobin(std::span<const StreamEvent> batch,
+                              const AlertSink& sink);
+  void ProcessBatchEntityHash(std::span<const StreamEvent> batch,
+                              const AlertSink& sink);
+  void EmitMerged(const AlertSink& sink);
+
+  std::size_t ShardOf(std::int64_t entity) const;
+  void PushOp(std::size_t shard, EntityShardOp&& op);
+  void HandleResult(std::size_t shard, EntityShardResult& result);
+  bool DrainOutboxes();
+  void WaitForProbes();
+  /// Sends the erase for the query's closest-to-death partial (heap top).
+  void EraseTop(std::size_t query, QueryControl& qc);
+  void SendProbes(std::size_t query, QueryControl& qc, std::size_t event_index,
+                  const StreamEvent& event);
+  /// Routes, sequences, and dispatches one new partial, applying the
+  /// backpressure cap first. `origin` is the shard whose probe produced
+  /// it, or -1 for a seed (no handoff either way).
+  void SendInsert(std::size_t query, QueryControl& qc,
+                  std::uint32_t next_edge, Timestamp first_ts,
+                  Timestamp last_ts, std::span<const std::int64_t> binding,
+                  int origin);
+  /// Blocks until every op sent so far has executed (flush token per
+  /// shard). Establishes that the engine may touch shard state directly;
+  /// no-op when running inline.
+  void QuiesceShards();
 
   Options options_;
   StreamLimits limits_;
-  std::unique_ptr<ThreadPool> pool_;  // num_shards - 1 workers
-  std::vector<StreamShard> shards_;
-  std::vector<std::vector<ShardAlert>> shard_alerts_;  // per-shard outbox
-  std::vector<StreamEvent> batch_;                     // shared inbox
-  std::vector<ShardAlert> merged_;
+  int num_shards_ = 1;
   std::size_t query_count_ = 0;
+
+  // Shared batching state (both modes).
+  std::vector<StreamEvent> batch_;   ///< filling side of the double buffer
+  std::vector<StreamEvent> active_;  ///< processing side (span target)
+  std::vector<ShardAlert> merged_;
   bool any_event_ = false;
   Timestamp last_ts_ = 0;
   std::int64_t out_of_order_events_ = 0;
+
+  // kQueryRoundRobin state.
+  std::unique_ptr<ThreadPool> pool_;  // num_shards - 1 workers
+  std::vector<StreamShard> shards_;
+  std::vector<std::vector<ShardAlert>> shard_alerts_;  // per-shard outbox
+
+  // kEntityHash state.
+  std::vector<std::unique_ptr<EntityWorker>> workers_;
+  std::vector<QueryControl> controls_;
+  SeedDispatchIndex seed_dispatch_;
+  bool dispatch_dirty_ = false;
+  Notifier results_ready_;
+  std::size_t outstanding_probes_ = 0;
+  std::size_t flush_acks_ = 0;
+  std::uint64_t flush_token_ = 0;
+  // Per-event scratch (capacity persists across events).
+  std::vector<std::size_t> advancing_;
+  std::vector<std::vector<CollectedExt>> exts_by_query_;
+  std::vector<Interval> completions_scratch_;
+  std::vector<EntityShardResult> inline_results_;
+  BindingBuf seed_binding_;
 };
 
 }  // namespace tgm

@@ -1,0 +1,81 @@
+#include "query/stream/entity_shard.h"
+
+namespace tgm {
+
+void EntityShard::AddQuery(std::size_t global_index,
+                           std::shared_ptr<const CompiledQueryPlan> plan,
+                           Timestamp window) {
+  TGM_CHECK(global_index == queries_.size());
+  queries_.emplace_back(std::move(plan), window, limits_.entity_index);
+}
+
+void EntityShard::Execute(EntityShardOp& op,
+                          std::vector<EntityShardResult>* results) {
+  switch (op.kind) {
+    case EntityShardOp::Kind::kProbe: {
+      QueryState& q = queries_[op.query];
+      ++probes_executed_;
+      const StreamEvent& event = *op.event;
+      EntityShardResult r;
+      r.kind = EntityShardResult::Kind::kProbe;
+      r.query = op.query;
+      r.event_index = op.event_index;
+      auto probe = [&](std::uint32_t slot, std::uint8_t tag) {
+        const std::uint32_t k = q.table.next_edge(slot);
+        const Timestamp first = q.table.first_ts(slot);
+        const ExtendOutcome outcome =
+            MatchTransition(*q.plan, q.window, event, k, q.table.binding(slot),
+                            first, q.table.last_ts(slot));
+        if (outcome == ExtendOutcome::kReject) return;
+        ProbeExtension ext;
+        ext.tag = tag;
+        ext.first_ts = first;
+        if (outcome == ExtendOutcome::kComplete) {
+          ext.complete = true;
+          ext.interval = Interval{first, event.ts};
+        } else {
+          ext.next_edge = k + 1;
+          ext.last_ts = event.ts;
+          FillExtendedBinding(*q.plan, k, q.table.binding(slot), event,
+                              ext.binding.Resize(q.plan->node_count()));
+        }
+        r.exts.push_back(std::move(ext));
+      };
+      if ((op.probe_mask & kProbeSrc) != 0) {
+        q.table.ForEachInBucket(event.src_entity,
+                                [&](std::uint32_t s) { probe(s, 0); });
+      }
+      if ((op.probe_mask & kProbeDst) != 0) {
+        q.table.ForEachInBucket(event.dst_entity,
+                                [&](std::uint32_t s) { probe(s, 1); });
+      }
+      if ((op.probe_mask & kProbeWildcard) != 0) {
+        q.table.ForEachWildcard([&](std::uint32_t s) { probe(s, 2); });
+      }
+      results->push_back(std::move(r));
+      break;
+    }
+    case EntityShardOp::Kind::kInsert:
+      queries_[op.query].table.InsertWithSeq(op.binding.view(), op.next_edge,
+                                             op.first_ts, op.last_ts, op.role,
+                                             op.key, op.seq);
+      break;
+    case EntityShardOp::Kind::kErase: {
+      const bool erased = queries_[op.query].table.EraseBySeq(op.seq);
+      TGM_DCHECK(erased);
+      (void)erased;
+      break;
+    }
+    case EntityShardOp::Kind::kFlush: {
+      EntityShardResult r;
+      r.kind = EntityShardResult::Kind::kFlushAck;
+      r.token = op.token;
+      results->push_back(std::move(r));
+      break;
+    }
+    case EntityShardOp::Kind::kStop:
+      break;
+  }
+}
+
+}  // namespace tgm

@@ -1,0 +1,167 @@
+#ifndef TGM_QUERY_STREAM_ENTITY_SHARD_H_
+#define TGM_QUERY_STREAM_ENTITY_SHARD_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "query/stream/query_runtime.h"
+
+namespace tgm {
+
+/// Small-buffer binding carrier for the entity-hash op/result queues:
+/// bindings of up to kInline nodes (every query in practice) travel
+/// inline in the op struct, so pushing an insert through an SPSC ring
+/// moves no heap memory.
+class BindingBuf {
+ public:
+  BindingBuf() = default;
+
+  void Assign(std::span<const std::int64_t> v) {
+    std::span<std::int64_t> dst = Resize(v.size());
+    std::copy(v.begin(), v.end(), dst.begin());
+  }
+
+  /// Sets the size and returns the writable storage (contents
+  /// unspecified until written).
+  std::span<std::int64_t> Resize(std::size_t n) {
+    size_ = n;
+    if (n <= kInline) return {inline_.data(), n};
+    heap_.resize(n);
+    return {heap_.data(), n};
+  }
+
+  std::span<const std::int64_t> view() const {
+    if (size_ <= kInline) return {inline_.data(), size_};
+    return {heap_.data(), size_};
+  }
+
+ private:
+  static constexpr std::size_t kInline = 12;
+  std::array<std::int64_t, kInline> inline_{};
+  std::vector<std::int64_t> heap_;
+  std::size_t size_ = 0;
+};
+
+/// Which buckets of the target shard a probe op covers. The engine sets
+/// kProbeDst only when the event's dst entity differs from its src
+/// entity — the routing-layer mirror of PartialTable::ForEachExtendable's
+/// probe-dedup (a self-loop event names one bucket, probed once).
+inline constexpr std::uint8_t kProbeSrc = 1;
+inline constexpr std::uint8_t kProbeDst = 2;
+inline constexpr std::uint8_t kProbeWildcard = 4;
+
+/// One instruction from the engine's central sequencer to an entity-hash
+/// shard. Ops for one shard execute strictly in send (FIFO) order, which
+/// is the entire consistency model: the engine orders erases before the
+/// probes of the same event, and the inserts of event i before the probes
+/// of event i+1.
+struct EntityShardOp {
+  enum class Kind : std::uint8_t {
+    kProbe,   ///< match one event against this shard's buckets of a query
+    kInsert,  ///< file a new partial (route + seq assigned by the engine)
+    kErase,   ///< remove the partial with engine seq `seq` (expiry/evict)
+    kFlush,   ///< reply kFlushAck: everything before this op has executed
+    kStop,    ///< worker exits (handled by the loop, not Execute)
+  };
+  Kind kind = Kind::kProbe;
+  std::uint32_t query = 0;  ///< engine-global query index
+
+  // kProbe — `event` points into the engine's double-buffered batch,
+  // stable until the probe's result has been received.
+  const StreamEvent* event = nullptr;
+  std::uint32_t event_index = 0;
+  std::uint8_t probe_mask = 0;
+
+  // kInsert (seq doubles as the kErase address).
+  BindingBuf binding;
+  std::uint32_t next_edge = 0;
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+  PartialTable::Role role = PartialTable::Role::kWildcard;
+  std::int64_t key = 0;
+  std::uint64_t seq = 0;
+
+  // kFlush
+  std::uint64_t token = 0;
+};
+
+/// One probe hit: either a completed match (interval) or an extension
+/// (the grown partial, which the engine will route and re-insert). `tag`
+/// is the probe-order position of the bucket that produced it — 0 src
+/// bucket, 1 dst bucket, 2 wildcard — so the engine can reassemble the
+/// exact single-table candidate order from multi-shard results.
+struct ProbeExtension {
+  std::uint8_t tag = 0;
+  bool complete = false;
+  std::uint32_t next_edge = 0;
+  Timestamp first_ts = 0;
+  Timestamp last_ts = 0;
+  Interval interval;
+  BindingBuf binding;
+};
+
+/// One message from a shard back to the engine: the full result of one
+/// probe op (possibly empty — the engine counts these to know when an
+/// event's probes have all landed), or a flush acknowledgement.
+struct EntityShardResult {
+  enum class Kind : std::uint8_t { kProbe, kFlushAck };
+  Kind kind = Kind::kProbe;
+  std::uint32_t query = 0;
+  std::uint32_t event_index = 0;
+  std::uint64_t token = 0;
+  std::vector<ProbeExtension> exts;
+};
+
+/// One entity-hash shard: for every registered query, the fragment of its
+/// partial table whose bucket entities hash to this shard (plus, on the
+/// query's home shard, its wildcard bucket). The shard executes ops —
+/// probe / insert / erase — against those tables and reports probe hits;
+/// all *decisions* (dedup, routing, expiry, eviction, seq assignment)
+/// live in the engine's central sequencer, which is what keeps the mode
+/// bit-identical to round-robin execution. Single-threaded by
+/// construction: exactly one worker drains the shard's inbox.
+class EntityShard {
+ public:
+  explicit EntityShard(const StreamLimits& limits) : limits_(limits) {}
+
+  /// Registers query `global_index` (indexes must arrive consecutively).
+  /// `window` is the query's effective window (engine window folded with
+  /// any deadline — precomputed by the engine so every shard agrees).
+  void AddQuery(std::size_t global_index,
+                std::shared_ptr<const CompiledQueryPlan> plan,
+                Timestamp window);
+
+  /// Executes one op, appending at most one result message to `*results`.
+  void Execute(EntityShardOp& op, std::vector<EntityShardResult>* results);
+
+  std::size_t query_count() const { return queries_.size(); }
+  const PartialTable& table(std::size_t query) const {
+    return queries_[query].table;
+  }
+  std::int64_t probes_executed() const { return probes_executed_; }
+
+ private:
+  struct QueryState {
+    std::shared_ptr<const CompiledQueryPlan> plan;
+    Timestamp window = 0;
+    PartialTable table;
+
+    QueryState(std::shared_ptr<const CompiledQueryPlan> p, Timestamp w,
+               bool entity_index)
+        : plan(std::move(p)),
+          window(w),
+          table(plan->node_count(), entity_index, /*external_lifetime=*/true) {
+    }
+  };
+
+  StreamLimits limits_;
+  std::vector<QueryState> queries_;
+  std::int64_t probes_executed_ = 0;
+};
+
+}  // namespace tgm
+
+#endif  // TGM_QUERY_STREAM_ENTITY_SHARD_H_

@@ -4,34 +4,17 @@
 
 namespace tgm {
 
-void PartialTable::CollectCandidates(std::int64_t src_entity,
-                                     std::int64_t dst_entity,
-                                     std::vector<std::uint32_t>* out) const {
-  if (entity_index_) {
-    auto src_it = by_src_.find(src_entity);
-    if (src_it != by_src_.end()) {
-      out->insert(out->end(), src_it->second.begin(), src_it->second.end());
-    }
-    auto dst_it = by_dst_.find(dst_entity);
-    if (dst_it != by_dst_.end()) {
-      out->insert(out->end(), dst_it->second.begin(), dst_it->second.end());
-    }
-  }
-  out->insert(out->end(), wildcard_.begin(), wildcard_.end());
-}
-
 std::vector<std::uint32_t>& PartialTable::BucketFor(Role role,
                                                     std::int64_t key) {
-  if (role == Role::kSrc) return by_src_[key];
-  if (role == Role::kDst) return by_dst_[key];
+  if (role == Role::kEntity) return by_entity_[key];
   return wildcard_;
 }
 
-std::uint32_t PartialTable::Insert(std::span<const std::int64_t> binding,
-                                   std::uint32_t next_edge,
-                                   Timestamp first_ts, Timestamp last_ts,
-                                   Timestamp expiry, Role role,
-                                   std::int64_t key) {
+std::uint32_t PartialTable::AllocateSlot(std::span<const std::int64_t> binding,
+                                         std::uint32_t next_edge,
+                                         Timestamp first_ts, Timestamp last_ts,
+                                         Role role, std::int64_t key,
+                                         std::uint64_t seq) {
   TGM_DCHECK(binding.size() == node_count_);
   if (!entity_index_) role = Role::kWildcard;
   std::uint32_t slot;
@@ -51,14 +34,45 @@ std::uint32_t PartialTable::Insert(std::span<const std::int64_t> binding,
   m.last_ts = last_ts;
   m.role = role;
   m.key = key;
-  m.seq = next_seq_++;
+  m.seq = seq;
   std::vector<std::uint32_t>& bucket = BucketFor(role, key);
   m.bucket_pos = static_cast<std::uint32_t>(bucket.size());
   bucket.push_back(slot);
-  by_age_.push(AgeKey{expiry, first_ts, m.seq, slot});
   ++live_;
   if (live_ > peak_) peak_ = live_;
   return slot;
+}
+
+std::uint32_t PartialTable::Insert(std::span<const std::int64_t> binding,
+                                   std::uint32_t next_edge,
+                                   Timestamp first_ts, Timestamp last_ts,
+                                   Timestamp expiry, Role role,
+                                   std::int64_t key) {
+  TGM_DCHECK(!external_lifetime_);
+  std::uint32_t slot = AllocateSlot(binding, next_edge, first_ts, last_ts,
+                                    role, key, next_seq_++);
+  by_age_.push(AgeKey{expiry, first_ts, meta_[slot].seq, slot});
+  return slot;
+}
+
+std::uint32_t PartialTable::InsertWithSeq(
+    std::span<const std::int64_t> binding, std::uint32_t next_edge,
+    Timestamp first_ts, Timestamp last_ts, Role role, std::int64_t key,
+    std::uint64_t seq) {
+  TGM_DCHECK(external_lifetime_);
+  std::uint32_t slot =
+      AllocateSlot(binding, next_edge, first_ts, last_ts, role, key, seq);
+  by_seq_.emplace(seq, slot);
+  return slot;
+}
+
+bool PartialTable::EraseBySeq(std::uint64_t seq) {
+  auto it = by_seq_.find(seq);
+  if (it == by_seq_.end()) return false;
+  std::uint32_t slot = it->second;
+  by_seq_.erase(it);
+  Remove(slot);
+  return true;
 }
 
 void PartialTable::Remove(std::uint32_t slot) {
@@ -70,13 +84,14 @@ void PartialTable::Remove(std::uint32_t slot) {
   meta_[moved].bucket_pos = m.bucket_pos;
   bucket.pop_back();
   if (bucket.empty() && m.role != Role::kWildcard) {
-    (m.role == Role::kSrc ? by_src_ : by_dst_).erase(m.key);
+    by_entity_.erase(m.key);
   }
   free_slots_.push_back(slot);
   --live_;
 }
 
 void PartialTable::ExpireAt(Timestamp now) {
+  TGM_DCHECK(!external_lifetime_);
   while (!by_age_.empty() && std::get<0>(by_age_.top()) < now) {
     std::uint32_t slot = std::get<3>(by_age_.top());
     by_age_.pop();
@@ -85,6 +100,7 @@ void PartialTable::ExpireAt(Timestamp now) {
 }
 
 void PartialTable::EvictOldest() {
+  TGM_DCHECK(!external_lifetime_);
   TGM_CHECK(!by_age_.empty());
   std::uint32_t slot = std::get<3>(by_age_.top());
   by_age_.pop();

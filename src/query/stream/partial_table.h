@@ -7,6 +7,7 @@
 #include <span>
 #include <tuple>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "temporal/common.h"
@@ -25,13 +26,17 @@ namespace tgm {
 ///   the transition's source slot is bound, else the bound destination
 ///   entity, else a wildcard bucket (canonical consecutive growth makes
 ///   the wildcard reachable only by edge 0, but the bucket keeps the
-///   structure total). An event then probes exactly
-///   `by_src[event.src] ∪ by_dst[event.dst] ∪ wildcard` — the only
-///   partials that can possibly extend — instead of scanning all of them.
-///   The three sources are disjoint by construction, so no partial is
-///   probed twice. With `entity_index = false` everything is filed under
-///   the wildcard bucket, which *is* the legacy full-scan path (used as
-///   the bench baseline).
+///   structure total). The index is one role-agnostic entity -> bucket
+///   map — the same key the entity-hash engine shards the table by — so
+///   an event probes exactly `by_entity[event.src] ∪ by_entity[event.dst]
+///   ∪ wildcard`: the only partials that can possibly extend, instead of
+///   a scan of all of them. When the event is a self-loop
+///   (src == dst) the two probes name the *same* bucket; ForEachExtendable
+///   dedups at the bucket level so no partial is ever probed twice (a
+///   naive two-sided probe would double-extend every partial in that
+///   bucket). With `entity_index = false` everything is filed under the
+///   wildcard bucket, which *is* the legacy full-scan path (used as the
+///   bench baseline).
 /// - **Expiry order.** A min-heap keyed by (expiry, first_ts, insertion
 ///   seq) drives both expiry (pop while `expiry < now`) and backpressure
 ///   eviction (pop the top), replacing the full compaction scan the old
@@ -49,22 +54,36 @@ namespace tgm {
 /// Bucket iteration order is insertion order (swap-removal perturbs it
 /// deterministically), so every operation is a pure function of the event
 /// history — the basis of the engine's cross-shard determinism.
+///
+/// **External-lifetime mode** (`external_lifetime = true`): the table is
+/// one entity-hash shard's fragment of a query's partials. Expiry and
+/// eviction decisions are made centrally by the engine (which owns the
+/// age heap across all fragments), so the local heap is not maintained;
+/// instead every insert carries the engine-assigned sequence number and
+/// removal is addressed by it (EraseBySeq). ExpireAt/EvictOldest must not
+/// be called in this mode.
 class PartialTable {
  public:
-  enum class Role : std::uint8_t { kSrc, kDst, kWildcard };
+  /// Where a partial is filed: under the concrete entity its next
+  /// transition requires, or in the wildcard bucket (no bound endpoint —
+  /// or the index is disabled).
+  enum class Role : std::uint8_t { kEntity, kWildcard };
 
   /// Expiry value of a partial nothing can ever expire.
   static constexpr Timestamp kNeverExpires =
       std::numeric_limits<Timestamp>::max();
 
-  PartialTable(std::size_t node_count, bool entity_index)
-      : node_count_(node_count), entity_index_(entity_index) {}
+  PartialTable(std::size_t node_count, bool entity_index,
+               bool external_lifetime = false)
+      : node_count_(node_count),
+        entity_index_(entity_index),
+        external_lifetime_(external_lifetime) {}
 
   std::size_t live() const { return live_; }
   /// High-water mark of live partials.
   std::size_t peak() const { return peak_; }
   /// Occupied entity buckets (excluding the wildcard bucket).
-  std::size_t bucket_count() const { return by_src_.size() + by_dst_.size(); }
+  std::size_t bucket_count() const { return by_entity_.size(); }
   std::size_t wildcard_size() const { return wildcard_.size(); }
 
   std::span<const std::int64_t> binding(std::uint32_t slot) const {
@@ -78,20 +97,67 @@ class PartialTable {
   /// point of the next transition's gap guard).
   Timestamp last_ts(std::uint32_t slot) const { return meta_[slot].last_ts; }
 
-  /// Appends the slots an event (src_entity, dst_entity) can possibly
-  /// extend, in deterministic bucket order (by_src, by_dst, wildcard).
-  void CollectCandidates(std::int64_t src_entity, std::int64_t dst_entity,
-                         std::vector<std::uint32_t>* out) const;
+  /// Invokes `fn(slot)` for every partial an event (src_entity,
+  /// dst_entity) can possibly extend, in the deterministic probe order
+  /// (src-entity bucket, dst-entity bucket, wildcard). The dst probe is
+  /// skipped when both entities name the same bucket (self-loop events) —
+  /// the probe-dedup that keeps a partial from being extended twice by
+  /// one event. `fn` must not mutate the table (extensions are deferred
+  /// by the callers).
+  template <typename Fn>
+  void ForEachExtendable(std::int64_t src_entity, std::int64_t dst_entity,
+                         Fn&& fn) const {
+    if (entity_index_) {
+      auto src_it = by_entity_.find(src_entity);
+      if (src_it != by_entity_.end()) {
+        for (std::uint32_t slot : src_it->second) fn(slot);
+      }
+      if (dst_entity != src_entity) {
+        auto dst_it = by_entity_.find(dst_entity);
+        if (dst_it != by_entity_.end()) {
+          for (std::uint32_t slot : dst_it->second) fn(slot);
+        }
+      }
+    }
+    for (std::uint32_t slot : wildcard_) fn(slot);
+  }
+
+  /// One-sided probe of the entity-hash shard path: `fn(slot)` over the
+  /// bucket of `entity` alone (the shard owning hash(entity) probes only
+  /// that side; the other entity's bucket lives wherever it hashes).
+  template <typename Fn>
+  void ForEachInBucket(std::int64_t entity, Fn&& fn) const {
+    auto it = by_entity_.find(entity);
+    if (it == by_entity_.end()) return;
+    for (std::uint32_t slot : it->second) fn(slot);
+  }
+
+  template <typename Fn>
+  void ForEachWildcard(Fn&& fn) const {
+    for (std::uint32_t slot : wildcard_) fn(slot);
+  }
 
   /// Files a new partial; `binding` must have node_count entries. `role`
   /// and `key` describe where the *next* transition requires it (with the
   /// index disabled the role is forced to wildcard). `expiry` is the
   /// stream time at which the partial becomes dead (kNeverExpires = only
-  /// eviction can remove it).
+  /// eviction can remove it). Not available in external-lifetime mode.
   std::uint32_t Insert(std::span<const std::int64_t> binding,
                        std::uint32_t next_edge, Timestamp first_ts,
                        Timestamp last_ts, Timestamp expiry, Role role,
                        std::int64_t key);
+
+  /// External-lifetime insert: files the partial under the engine's
+  /// sequence number `seq` instead of maintaining the local age heap.
+  /// Removal is by EraseBySeq only.
+  std::uint32_t InsertWithSeq(std::span<const std::int64_t> binding,
+                              std::uint32_t next_edge, Timestamp first_ts,
+                              Timestamp last_ts, Role role, std::int64_t key,
+                              std::uint64_t seq);
+
+  /// Removes the partial filed under engine sequence number `seq`
+  /// (external-lifetime mode). Returns false if no such partial exists.
+  bool EraseBySeq(std::uint64_t seq);
 
   /// Removes every partial whose expiry precedes `now` (window expiry and
   /// guard-deadline expiry in one pass; a partial with expiry == now can
@@ -120,19 +186,26 @@ class PartialTable {
   using AgeKey =
       std::tuple<Timestamp, Timestamp, std::uint64_t, std::uint32_t>;
 
+  std::uint32_t AllocateSlot(std::span<const std::int64_t> binding,
+                             std::uint32_t next_edge, Timestamp first_ts,
+                             Timestamp last_ts, Role role, std::int64_t key,
+                             std::uint64_t seq);
   std::vector<std::uint32_t>& BucketFor(Role role, std::int64_t key);
   void Remove(std::uint32_t slot);
 
   std::size_t node_count_;
   bool entity_index_;
+  bool external_lifetime_;
   std::vector<Meta> meta_;
   std::vector<std::int64_t> bindings_;  // slots x node_count_
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> by_src_;
-  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> by_dst_;
+  /// Role-agnostic entity -> bucket index (the entity-hash routing key).
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> by_entity_;
   std::vector<std::uint32_t> wildcard_;
   std::priority_queue<AgeKey, std::vector<AgeKey>, std::greater<AgeKey>>
       by_age_;
+  /// External-lifetime mode: engine seq -> slot for EraseBySeq.
+  std::unordered_map<std::uint64_t, std::uint32_t> by_seq_;
   std::size_t live_ = 0;
   std::size_t peak_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -17,6 +17,119 @@ Timestamp SaturatingExpiry(Timestamp base, Timestamp horizon) {
 
 }  // namespace
 
+ExtendOutcome MatchTransition(const CompiledQueryPlan& plan, Timestamp window,
+                              const StreamEvent& event,
+                              std::uint32_t next_edge,
+                              std::span<const std::int64_t> binding,
+                              Timestamp first_ts, Timestamp last_ts) {
+  const PlanTransition& t = plan.transition(next_edge);
+  if (!t.AcceptsLabel(event.elabel)) return ExtendOutcome::kReject;
+  if (t.self_loop != (event.src_entity == event.dst_entity)) {
+    return ExtendOutcome::kReject;
+  }
+  // Timed-automata guards. Stored partials always wait on edge >= 1, so
+  // last_ts / first_ts are well-defined references; trivial guards (the
+  // unconstrained case) accept everything here.
+  const Timestamp gap = event.ts - last_ts;
+  if (gap < t.min_gap) return ExtendOutcome::kReject;
+  if (t.max_gap != kNoGapLimit && gap > t.max_gap) {
+    return ExtendOutcome::kReject;
+  }
+  const Timestamp since_seed = event.ts - first_ts;
+  if (since_seed < t.min_since_seed) return ExtendOutcome::kReject;
+  if (t.max_since_seed != kNoGapLimit && since_seed > t.max_since_seed) {
+    return ExtendOutcome::kReject;
+  }
+
+  const std::int64_t bound_src =
+      t.src_bound ? binding[static_cast<std::size_t>(t.src)] : kUnboundEntity;
+  const std::int64_t bound_dst =
+      t.dst_bound ? binding[static_cast<std::size_t>(t.dst)] : kUnboundEntity;
+  if (bound_src != kUnboundEntity && bound_src != event.src_entity) {
+    return ExtendOutcome::kReject;
+  }
+  if (bound_dst != kUnboundEntity && bound_dst != event.dst_entity) {
+    return ExtendOutcome::kReject;
+  }
+  // Canonical numbering makes the bound slots exactly [0, t.bound_nodes),
+  // so injectivity only needs to scan that prefix.
+  std::span<const std::int64_t> bound = binding.first(t.bound_nodes);
+  if (bound_src == kUnboundEntity) {
+    if (event.src_label != t.src_label) return ExtendOutcome::kReject;
+    // Injectivity: the new entity must not already be bound elsewhere.
+    if (std::find(bound.begin(), bound.end(), event.src_entity) !=
+        bound.end()) {
+      return ExtendOutcome::kReject;
+    }
+  }
+  if (bound_dst == kUnboundEntity && !t.self_loop) {
+    if (event.dst_label != t.dst_label) return ExtendOutcome::kReject;
+    if (std::find(bound.begin(), bound.end(), event.dst_entity) !=
+        bound.end()) {
+      return ExtendOutcome::kReject;
+    }
+    if (bound_src == kUnboundEntity && event.src_entity == event.dst_entity) {
+      return ExtendOutcome::kReject;
+    }
+  }
+
+  if (window > 0 && since_seed > window) return ExtendOutcome::kReject;
+  return next_edge + 1 == plan.edge_count() ? ExtendOutcome::kComplete
+                                            : ExtendOutcome::kExtend;
+}
+
+void FillExtendedBinding(const CompiledQueryPlan& plan,
+                         std::uint32_t matched_edge,
+                         std::span<const std::int64_t> base,
+                         const StreamEvent& event,
+                         std::span<std::int64_t> out) {
+  TGM_DCHECK(out.size() == plan.node_count());
+  if (base.empty()) {
+    std::fill(out.begin(), out.end(), kUnboundEntity);
+  } else {
+    std::copy(base.begin(), base.end(), out.begin());
+  }
+  const PlanTransition& t = plan.transition(matched_edge);
+  out[static_cast<std::size_t>(t.src)] = event.src_entity;
+  out[static_cast<std::size_t>(t.dst)] = event.dst_entity;
+}
+
+PartialRoute RouteForNextEdge(const CompiledQueryPlan& plan,
+                              std::uint32_t next_edge,
+                              std::span<const std::int64_t> binding) {
+  const PlanTransition& t = plan.transition(next_edge);
+  PartialRoute route;
+  if (binding[static_cast<std::size_t>(t.src)] != kUnboundEntity) {
+    route.role = PartialTable::Role::kEntity;
+    route.key = binding[static_cast<std::size_t>(t.src)];
+  } else if (binding[static_cast<std::size_t>(t.dst)] != kUnboundEntity) {
+    route.role = PartialTable::Role::kEntity;
+    route.key = binding[static_cast<std::size_t>(t.dst)];
+  }
+  return route;
+}
+
+Timestamp ComputePartialExpiry(const CompiledQueryPlan& plan,
+                               Timestamp window, bool guard_expiry,
+                               std::uint32_t next_edge, Timestamp first_ts,
+                               Timestamp last_ts) {
+  Timestamp expiry = window > 0 ? SaturatingExpiry(first_ts, window)
+                                : PartialTable::kNeverExpires;
+  if (guard_expiry && plan.constrained()) {
+    const PlanTransition& t = plan.transition(next_edge);
+    // The very next edge must land within max_gap of the last matched one
+    // and within seed_horizon (the suffix-min of every remaining
+    // transition's since-seed bound plus the deadline) of the seed.
+    if (t.max_gap != kNoGapLimit) {
+      expiry = std::min(expiry, SaturatingExpiry(last_ts, t.max_gap));
+    }
+    if (t.seed_horizon != kNoGapLimit) {
+      expiry = std::min(expiry, SaturatingExpiry(first_ts, t.seed_horizon));
+    }
+  }
+  return expiry;
+}
+
 void QueryRuntime::Advance(const StreamEvent& event,
                            std::vector<Interval>* completions) {
   const auto out_base =
@@ -39,9 +152,9 @@ void QueryRuntime::Advance(const StreamEvent& event,
   // Existing partials first. Extensions land in the pending scratch, so
   // the table is never mutated mid-scan and nothing produced by this event
   // can be re-extended by it.
-  candidates_.clear();
-  table_.CollectCandidates(event.src_entity, event.dst_entity, &candidates_);
-  for (std::uint32_t slot : candidates_) TryExtend(event, slot, completions);
+  table_.ForEachExtendable(
+      event.src_entity, event.dst_entity,
+      [&](std::uint32_t slot) { TryExtend(event, slot, completions); });
   // And a fresh partial starting at this event.
   TrySeed(event, completions);
 
@@ -53,53 +166,16 @@ void QueryRuntime::Advance(const StreamEvent& event,
 void QueryRuntime::TryExtend(const StreamEvent& event, std::uint32_t slot,
                              std::vector<Interval>* completions) {
   const std::uint32_t k = table_.next_edge(slot);
-  const PlanTransition& t = plan_.transition(k);
-  if (!t.AcceptsLabel(event.elabel)) return;
-  if (t.self_loop != (event.src_entity == event.dst_entity)) return;
-  // Timed-automata guards. Stored partials always wait on edge >= 1, so
-  // last_ts / first_ts are well-defined references; trivial guards (the
-  // unconstrained case) accept everything here.
   const Timestamp first = table_.first_ts(slot);
-  const Timestamp gap = event.ts - table_.last_ts(slot);
-  if (gap < t.min_gap) return;
-  if (t.max_gap != kNoGapLimit && gap > t.max_gap) return;
-  const Timestamp since_seed = event.ts - first;
-  if (since_seed < t.min_since_seed) return;
-  if (t.max_since_seed != kNoGapLimit && since_seed > t.max_since_seed) return;
-
-  std::span<const std::int64_t> binding = table_.binding(slot);
-  const std::int64_t bound_src =
-      t.src_bound ? binding[static_cast<std::size_t>(t.src)] : kUnbound;
-  const std::int64_t bound_dst =
-      t.dst_bound ? binding[static_cast<std::size_t>(t.dst)] : kUnbound;
-  if (bound_src != kUnbound && bound_src != event.src_entity) return;
-  if (bound_dst != kUnbound && bound_dst != event.dst_entity) return;
-  // Canonical numbering makes the bound slots exactly [0, t.bound_nodes),
-  // so injectivity only needs to scan that prefix.
-  std::span<const std::int64_t> bound = binding.first(t.bound_nodes);
-  if (bound_src == kUnbound) {
-    if (event.src_label != t.src_label) return;
-    // Injectivity: the new entity must not already be bound elsewhere.
-    if (std::find(bound.begin(), bound.end(), event.src_entity) !=
-        bound.end()) {
-      return;
-    }
-  }
-  if (bound_dst == kUnbound && !t.self_loop) {
-    if (event.dst_label != t.dst_label) return;
-    if (std::find(bound.begin(), bound.end(), event.dst_entity) !=
-        bound.end()) {
-      return;
-    }
-    if (bound_src == kUnbound && event.src_entity == event.dst_entity) return;
-  }
-
-  if (window_ > 0 && since_seed > window_) return;
-  if (k + 1 == plan_.edge_count()) {
+  const ExtendOutcome outcome =
+      MatchTransition(plan_, window_, event, k, table_.binding(slot), first,
+                      table_.last_ts(slot));
+  if (outcome == ExtendOutcome::kReject) return;
+  if (outcome == ExtendOutcome::kComplete) {
     Complete(Interval{first, event.ts}, completions);
     return;
   }
-  QueuePending(binding, event, k, first);
+  QueuePending(table_.binding(slot), event, k, first);
 }
 
 void QueryRuntime::TrySeed(const StreamEvent& event,
@@ -127,36 +203,11 @@ void QueryRuntime::QueuePending(std::span<const std::int64_t> base_binding,
                                 Timestamp first_ts) {
   const std::size_t n = plan_.node_count();
   const std::size_t off = pending_bindings_.size();
-  pending_bindings_.resize(off + n, kUnbound);
-  if (!base_binding.empty()) {
-    std::copy(base_binding.begin(), base_binding.end(),
-              pending_bindings_.begin() +
-                  static_cast<std::ptrdiff_t>(off));
-  }
-  const PlanTransition& t = plan_.transition(matched_edge);
-  pending_bindings_[off + static_cast<std::size_t>(t.src)] = event.src_entity;
-  pending_bindings_[off + static_cast<std::size_t>(t.dst)] = event.dst_entity;
+  pending_bindings_.resize(off + n);
+  FillExtendedBinding(
+      plan_, matched_edge, base_binding, event,
+      std::span<std::int64_t>{pending_bindings_.data() + off, n});
   pending_.push_back(PendingMeta{matched_edge + 1, first_ts, event.ts});
-}
-
-Timestamp QueryRuntime::ComputeExpiry(std::uint32_t next_edge,
-                                      Timestamp first_ts,
-                                      Timestamp last_ts) const {
-  Timestamp expiry = window_ > 0 ? SaturatingExpiry(first_ts, window_)
-                                 : PartialTable::kNeverExpires;
-  if (limits_.guard_expiry && plan_.constrained()) {
-    const PlanTransition& t = plan_.transition(next_edge);
-    // The very next edge must land within max_gap of the last matched one
-    // and within seed_horizon (the suffix-min of every remaining
-    // transition's since-seed bound plus the deadline) of the seed.
-    if (t.max_gap != kNoGapLimit) {
-      expiry = std::min(expiry, SaturatingExpiry(last_ts, t.max_gap));
-    }
-    if (t.seed_horizon != kNoGapLimit) {
-      expiry = std::min(expiry, SaturatingExpiry(first_ts, t.seed_horizon));
-    }
-  }
-  return expiry;
 }
 
 void QueryRuntime::InsertPending() {
@@ -171,21 +222,15 @@ void QueryRuntime::InsertPending() {
       if (limits_.max_partials == 0) continue;
       table_.EvictOldest();
     }
-    const PlanTransition& t = plan_.transition(pending_[i].next_edge);
-    PartialTable::Role role = PartialTable::Role::kWildcard;
-    std::int64_t key = 0;
-    if (binding[static_cast<std::size_t>(t.src)] != kUnbound) {
-      role = PartialTable::Role::kSrc;
-      key = binding[static_cast<std::size_t>(t.src)];
-    } else if (binding[static_cast<std::size_t>(t.dst)] != kUnbound) {
-      role = PartialTable::Role::kDst;
-      key = binding[static_cast<std::size_t>(t.dst)];
-    }
+    const PartialRoute route =
+        RouteForNextEdge(plan_, pending_[i].next_edge, binding);
     table_.Insert(binding, pending_[i].next_edge, pending_[i].first_ts,
                   pending_[i].last_ts,
-                  ComputeExpiry(pending_[i].next_edge, pending_[i].first_ts,
-                                pending_[i].last_ts),
-                  role, key);
+                  ComputePartialExpiry(plan_, window_, limits_.guard_expiry,
+                                       pending_[i].next_edge,
+                                       pending_[i].first_ts,
+                                       pending_[i].last_ts),
+                  route.role, route.key);
   }
   pending_.clear();
   pending_bindings_.clear();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "query/stream/compiled_plan.h"
@@ -11,6 +12,9 @@
 #include "temporal/constraints.h"
 
 namespace tgm {
+
+/// Sentinel for a query-node slot no entity is bound to yet.
+inline constexpr std::int64_t kUnboundEntity = -1;
 
 /// Per-query limits shared by every runtime of an engine.
 struct StreamLimits {
@@ -35,6 +39,63 @@ struct StreamLimits {
   /// (the bench's comparison knob). No effect on unconstrained queries.
   bool guard_expiry = true;
 };
+
+/// --- Shared transition semantics --------------------------------------
+///
+/// The round-robin path (QueryRuntime, below) and the entity-hash path
+/// (EntityShard + the engine's central sequencer) must agree bit-for-bit
+/// on what an event does to a partial. These free functions are that
+/// single definition: both paths call them, so the match/guard/routing
+/// logic cannot drift between sharding modes.
+
+/// Outcome of testing one live partial against one event.
+enum class ExtendOutcome : std::uint8_t {
+  kReject,    ///< Event cannot extend this partial.
+  kComplete,  ///< Event matches the final edge — a full match.
+  kExtend,    ///< Event matches; the partial grows by one edge.
+};
+
+/// Pure filter: can `event` match transition `next_edge` of `plan` given
+/// the partial's binding and timestamps? Applies the label/self-loop
+/// tests, the timed-automata guards (min/max gap, since-seed bounds),
+/// bound-entity equality, label checks and injectivity for newly bound
+/// entities, and the effective-window span check — in exactly that order.
+/// `window` is the query's effective window (0 = unbounded). Seeds are
+/// not handled here (see CompiledQueryPlan::SeedMatches).
+ExtendOutcome MatchTransition(const CompiledQueryPlan& plan, Timestamp window,
+                              const StreamEvent& event,
+                              std::uint32_t next_edge,
+                              std::span<const std::int64_t> binding,
+                              Timestamp first_ts, Timestamp last_ts);
+
+/// Writes the binding of the partial produced by matching `matched_edge`
+/// with `event` on top of `base` (empty span = seed, all slots unbound).
+/// `out` must have plan.node_count() entries.
+void FillExtendedBinding(const CompiledQueryPlan& plan,
+                         std::uint32_t matched_edge,
+                         std::span<const std::int64_t> base,
+                         const StreamEvent& event,
+                         std::span<std::int64_t> out);
+
+/// Where a partial waiting on `next_edge` files in a PartialTable: under
+/// the concrete entity its next transition requires (the entity-hash
+/// routing key), or the wildcard bucket when neither endpoint is bound.
+struct PartialRoute {
+  PartialTable::Role role = PartialTable::Role::kWildcard;
+  std::int64_t key = 0;
+};
+PartialRoute RouteForNextEdge(const CompiledQueryPlan& plan,
+                              std::uint32_t next_edge,
+                              std::span<const std::int64_t> binding);
+
+/// The stream time at which a partial waiting on `next_edge` with the
+/// given timestamps becomes provably dead: the window horizon, tightened
+/// (under `guard_expiry`, for constrained plans) by the next transition's
+/// max_gap and the suffix-min seed horizon of the remaining transitions.
+Timestamp ComputePartialExpiry(const CompiledQueryPlan& plan,
+                               Timestamp window, bool guard_expiry,
+                               std::uint32_t next_edge, Timestamp first_ts,
+                               Timestamp last_ts);
 
 /// One registered behaviour query's live state: compiled plan (with any
 /// timed-automata guards baked in), the entity-indexed partial table, and
@@ -84,7 +145,7 @@ class QueryRuntime {
   void Advance(const StreamEvent& event, std::vector<Interval>* completions);
 
  private:
-  static constexpr std::int64_t kUnbound = -1;
+  static constexpr std::int64_t kUnbound = kUnboundEntity;
 
   void TryExtend(const StreamEvent& event, std::uint32_t slot,
                  std::vector<Interval>* completions);
@@ -94,12 +155,6 @@ class QueryRuntime {
                     const StreamEvent& event, std::uint32_t matched_edge,
                     Timestamp first_ts);
   void InsertPending();
-  /// The stream time at which a partial waiting on `next_edge` with the
-  /// given timestamps becomes provably dead: the window horizon, tightened
-  /// (under StreamLimits::guard_expiry) by the next transition's max_gap
-  /// and the suffix-min seed horizon of the remaining transitions.
-  Timestamp ComputeExpiry(std::uint32_t next_edge, Timestamp first_ts,
-                          Timestamp last_ts) const;
 
   std::size_t global_index_;
   CompiledQueryPlan plan_;
@@ -114,7 +169,6 @@ class QueryRuntime {
   std::int64_t seed_skips_ = 0;
   // Scratch reused across events (capacity persists, no steady-state
   // allocation).
-  std::vector<std::uint32_t> candidates_;
   struct PendingMeta {
     std::uint32_t next_edge = 0;
     Timestamp first_ts = 0;

@@ -2,57 +2,26 @@
 
 namespace tgm {
 
-void StreamShard::RebuildSeedDispatch() {
-  seed_words_ = (queries_.size() + 63) / 64;
-  seed_by_elabel_.clear();
-  seed_by_src_label_.clear();
-  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-    auto set_bit = [&](std::unordered_map<LabelId, SeedBitmap>& map,
-                       LabelId label) {
-      SeedBitmap& bits = map[label];
-      bits.resize(seed_words_, 0);
-      bits[qi >> 6] |= std::uint64_t{1} << (qi & 63);
-    };
-    // Derived from the plan's own dispatch keys — the same accept set as
-    // SeedMatches — so label alternatives can never drift from the
-    // predicate the dispatch is a necessary condition of.
-    for (const auto& [elabel, src_label] :
-         queries_[qi].plan().SeedDispatchKeys()) {
-      set_bit(seed_by_elabel_, elabel);
-      set_bit(seed_by_src_label_, src_label);
-    }
-  }
-  dispatch_dirty_ = false;
-}
-
-const StreamShard::SeedBitmap* StreamShard::RowFor(
-    const std::unordered_map<LabelId, SeedBitmap>& map, LabelId label) {
-  auto it = map.find(label);
-  return it == map.end() ? nullptr : &it->second;
-}
-
 void StreamShard::ProcessBatch(std::span<const StreamEvent> batch,
                                std::vector<ShardAlert>* out) {
   out->clear();
-  if (dispatch_dirty_) RebuildSeedDispatch();
+  if (dispatch_dirty_) {
+    seed_dispatch_.Reset(queries_.size());
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      seed_dispatch_.Add(qi, queries_[qi].plan());
+    }
+    dispatch_dirty_ = false;
+  }
   for (std::size_t ei = 0; ei < batch.size(); ++ei) {
     const StreamEvent& event = batch[ei];
-    const SeedBitmap* by_elabel = RowFor(seed_by_elabel_, event.elabel);
-    const SeedBitmap* by_src = RowFor(seed_by_src_label_, event.src_label);
+    const SeedDispatchIndex::Rows rows = seed_dispatch_.Lookup(event);
     for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
       QueryRuntime& query = queries_[qi];
-      if (query.table().live() == 0) {
-        // Idle query: only a seed could react, and seeding needs the
-        // event's (elabel, src label) to equal the plan's edge-0 labels
-        // (a necessary condition of CompiledQueryPlan::SeedMatches).
-        const std::uint64_t bit = std::uint64_t{1} << (qi & 63);
-        const bool can_seed =
-            by_elabel != nullptr && by_src != nullptr &&
-            ((*by_elabel)[qi >> 6] & (*by_src)[qi >> 6] & bit) != 0;
-        if (!can_seed) {
-          query.CountSeedSkip();
-          continue;
-        }
+      if (query.table().live() == 0 && !SeedDispatchIndex::Test(rows, qi)) {
+        // Idle query: only a seed could react, and the dispatch bitmaps
+        // prove this event cannot seed it.
+        query.CountSeedSkip();
+        continue;
       }
       scratch_.clear();
       query.Advance(event, &scratch_);

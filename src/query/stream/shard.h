@@ -22,25 +22,90 @@ struct ShardAlert {
   friend auto operator<=>(const ShardAlert&, const ShardAlert&) = default;
 };
 
-/// One worker shard of the stream engine: a disjoint subset of the
-/// registered queries plus all of their live state. Every shard sees the
-/// full event batch (events are broadcast; queries are partitioned), so a
-/// query's state evolution is identical no matter how many shards the
+/// Label -> query seed-dispatch bitmaps: a query with no live partials can
+/// only react to an event that seeds it, and seeding requires the event's
+/// (edge label, source label) to be one of the plan's seed-dispatch keys
+/// (the edge-0 labels, one pair per disjunctive label alternative — see
+/// CompiledQueryPlan::SeedDispatchKeys, the shared source of truth with
+/// SeedMatches). Per event the dispatcher looks up the two bitmap rows
+/// once and tests the intersection bit per idle query — no expiry scan, no
+/// index probe, no seed test. The decision is a pure per-query function of
+/// the event, so skipping changes no alert or stat other than the
+/// `seed_skips` counter itself.
+///
+/// Used over *local* query slots by each round-robin StreamShard, and over
+/// *global* query indexes by the entity-hash engine's central sequencer —
+/// one implementation so the two sharding modes cannot drift.
+class SeedDispatchIndex {
+ public:
+  using Bitmap = std::vector<std::uint64_t>;
+  /// The two bitmap rows of one event (null = no query seeds on that
+  /// label, i.e. every idle query is skipped).
+  struct Rows {
+    const Bitmap* by_elabel = nullptr;
+    const Bitmap* by_src_label = nullptr;
+  };
+
+  /// Clears and re-sizes for `query_count` queries; follow with Add per
+  /// query.
+  void Reset(std::size_t query_count) {
+    words_ = (query_count + 63) / 64;
+    by_elabel_.clear();
+    by_src_label_.clear();
+  }
+
+  void Add(std::size_t query, const CompiledQueryPlan& plan) {
+    auto set_bit = [&](std::unordered_map<LabelId, Bitmap>& map,
+                       LabelId label) {
+      Bitmap& bits = map[label];
+      bits.resize(words_, 0);
+      bits[query >> 6] |= std::uint64_t{1} << (query & 63);
+    };
+    // Derived from the plan's own dispatch keys — the same accept set as
+    // SeedMatches — so label alternatives can never drift from the
+    // predicate the dispatch is a necessary condition of.
+    for (const auto& [elabel, src_label] : plan.SeedDispatchKeys()) {
+      set_bit(by_elabel_, elabel);
+      set_bit(by_src_label_, src_label);
+    }
+  }
+
+  Rows Lookup(const StreamEvent& event) const {
+    return Rows{RowFor(by_elabel_, event.elabel),
+                RowFor(by_src_label_, event.src_label)};
+  }
+
+  /// Whether `query` could seed on the event the rows were looked up for.
+  static bool Test(const Rows& rows, std::size_t query) {
+    if (rows.by_elabel == nullptr || rows.by_src_label == nullptr) {
+      return false;
+    }
+    const std::uint64_t bit = std::uint64_t{1} << (query & 63);
+    return ((*rows.by_elabel)[query >> 6] & (*rows.by_src_label)[query >> 6] &
+            bit) != 0;
+  }
+
+ private:
+  static const Bitmap* RowFor(const std::unordered_map<LabelId, Bitmap>& map,
+                              LabelId label) {
+    auto it = map.find(label);
+    return it == map.end() ? nullptr : &it->second;
+  }
+
+  std::unordered_map<LabelId, Bitmap> by_elabel_;
+  std::unordered_map<LabelId, Bitmap> by_src_label_;
+  std::size_t words_ = 0;
+};
+
+/// One worker shard of the round-robin stream engine: a disjoint subset of
+/// the registered queries plus all of their live state. Every shard sees
+/// the full event batch (events are broadcast; queries are partitioned),
+/// so a query's state evolution is identical no matter how many shards the
 /// engine runs — the root of the engine's shard-count determinism.
 ///
-/// Seed dispatch: a query with no live partials can only react to an
-/// event that seeds it, and seeding requires the event's (edge label,
-/// source label) to be one of the plan's seed-dispatch keys (the edge-0
-/// labels, one pair per disjunctive label alternative — see
-/// CompiledQueryPlan::SeedDispatchKeys, the shared source of truth with
-/// SeedMatches). The shard keeps two
-/// label -> query bitmaps (by edge label, by source label); per event it
-/// intersects the two bitmap rows and skips every idle query whose bit is
-/// clear — no expiry scan, no index probe, no seed test. Skips are
-/// counted per query (`EngineQueryStats::seed_skips`). The decision is a
-/// pure per-query function of the event, so the alert stream — and every
-/// other stat — is unchanged by the dispatch and stays bit-identical
-/// across shard counts and batch sizes. Deliberate trade: a skipped query
+/// Idle queries are skipped per event via a SeedDispatchIndex over the
+/// shard's local query slots; skips are counted per query
+/// (`EngineQueryStats::seed_skips`). Deliberate trade: a skipped query
 /// also skips its emitted-interval dedup pruning, so a query that goes
 /// permanently idle retains its final window's worth of dedup entries —
 /// a bounded, non-growing set; pruning it would require running Advance,
@@ -95,24 +160,12 @@ class StreamShard {
   }
 
  private:
-  using SeedBitmap = std::vector<std::uint64_t>;
-
-  /// (Re)builds the label -> query bitmaps after registrations.
-  void RebuildSeedDispatch();
-  /// The bitmap row for `label`, or null if no query of this shard seeds
-  /// on it.
-  static const SeedBitmap* RowFor(
-      const std::unordered_map<LabelId, SeedBitmap>& map, LabelId label);
-
   StreamLimits limits_;
   std::vector<QueryRuntime> queries_;
   std::int64_t events_processed_ = 0;
   std::vector<Interval> scratch_;
-  /// Seed-dispatch bitmaps over local query slots, keyed by the queries'
-  /// edge-0 labels.
-  std::unordered_map<LabelId, SeedBitmap> seed_by_elabel_;
-  std::unordered_map<LabelId, SeedBitmap> seed_by_src_label_;
-  std::size_t seed_words_ = 0;
+  /// Seed-dispatch bitmaps over local query slots.
+  SeedDispatchIndex seed_dispatch_;
   bool dispatch_dirty_ = false;
 };
 

@@ -22,7 +22,16 @@
 ///    entity.h, script.h, behaviors.h, background.h, dataset.h
 ///  - query formulation, search and evaluation: interest.h, searcher.h,
 ///    nodeset.h, static_search.h, evaluator.h; online surveillance:
-///    stream_monitor.h over query/stream/
+///    stream_monitor.h over query/stream/, itself layered bottom-up as
+///    event.h (the stream unit) -> compiled_plan.h (Pattern compiled to
+///    transition guards once, plus seed-dispatch keys) -> partial_table.h
+///    (live partials bucketed by the entity their next transition
+///    requires) -> query_runtime.h (shared transition/routing semantics:
+///    MatchTransition/RouteForNextEdge + the single-table runtime) ->
+///    shard.h / entity_shard.h (the two shard executors: round-robin
+///    query shards, entity-hash op shards) -> engine.h (StreamEngine:
+///    batching, ShardingMode routing over exec/spsc_queue.h inboxes, the
+///    canonical alert merge both modes reproduce bit-identically)
 ///  - **the stable front door** (new code starts here): api/session.h
 ///    (tgm::api::Session — ingestion, corpora, the Search/Watch pair),
 ///    api/behavior_query.h (the durable mined-query artifact),

@@ -1,0 +1,173 @@
+// SpscQueue / Notifier: the lock-free transport under the entity-hash
+// stream engine's shard inboxes (exec/spsc_queue.h). Single-threaded
+// ring-buffer semantics (capacity rounding, FIFO order, full/empty
+// edges), then threaded producer/consumer stress — the TSAN CI job runs
+// this suite to pin the acquire/release index protocol and the parked
+// wakeup handshake race-free.
+
+#include "exec/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tgm {
+namespace {
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscQueueTest, FifoOrderSingleThread) {
+  SpscQueue<int> q(8);
+  EXPECT_TRUE(q.Empty());
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_TRUE(q.TryPush(v));
+  }
+  EXPECT_EQ(q.SizeApprox(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    EXPECT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpscQueueTest, TryPushFailsWhenFullAndLeavesValueIntact) {
+  SpscQueue<std::string> q(2);
+  std::string a = "a", b = "b", c = "keepme";
+  EXPECT_TRUE(q.TryPush(a));
+  EXPECT_TRUE(q.TryPush(b));
+  EXPECT_FALSE(q.TryPush(c));
+  EXPECT_EQ(c, "keepme");  // failed push must not consume the value
+  std::string out;
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, "a");
+  EXPECT_TRUE(q.TryPush(c));  // slot freed, push succeeds now
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, "b");
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(out, "keepme");
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(SpscQueueTest, WrapsAroundManyTimes) {
+  SpscQueue<int> q(4);
+  int next_out = 0;
+  for (int i = 0; i < 1000; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.TryPush(v));
+    // Keep a partial backlog queued across wraps (never draining fully,
+    // never filling up) so head and tail stay offset while both lap the
+    // ring many times.
+    if (q.SizeApprox() < 3) continue;
+    int out = -1;
+    ASSERT_TRUE(q.TryPop(&out));
+    ASSERT_EQ(out, next_out++);
+  }
+  int out = -1;
+  while (q.TryPop(&out)) ASSERT_EQ(out, next_out++);
+  EXPECT_EQ(next_out, 1000);
+}
+
+TEST(SpscQueueTest, MoveOnlyElements) {
+  SpscQueue<std::unique_ptr<int>> q(4);
+  auto v = std::make_unique<int>(42);
+  ASSERT_TRUE(q.TryPush(v));
+  EXPECT_EQ(v, nullptr);  // moved from on success
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscQueueTest, ThreadedProducerConsumerPreservesOrder) {
+  // Tiny capacity so both sides exercise the full ring repeatedly and the
+  // blocking Push/PopBlocking slow paths (spin -> parked timed wait) fire.
+  constexpr int kCount = 20000;
+  SpscQueue<std::int64_t> q(4);
+  std::thread producer([&q] {
+    for (std::int64_t i = 0; i < kCount; ++i) q.Push(i);
+  });
+  std::int64_t expected = 0;
+  for (int i = 0; i < kCount; ++i) {
+    std::int64_t out = -1;
+    q.PopBlocking(&out);
+    ASSERT_EQ(out, expected++);
+  }
+  producer.join();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpscQueueTest, ThreadedBurstsWithIdleGaps) {
+  // Bursty producer: the consumer repeatedly drains to empty and parks,
+  // so wakeups happen from the genuinely-parked state, not just the spin
+  // phase.
+  constexpr int kBursts = 50;
+  constexpr int kPerBurst = 64;
+  SpscQueue<int> q(16);
+  std::thread producer([&] {
+    for (int b = 0; b < kBursts; ++b) {
+      for (int i = 0; i < kPerBurst; ++i) q.Push(b * kPerBurst + i);
+      std::this_thread::yield();
+    }
+  });
+  std::int64_t sum = 0;
+  for (int i = 0; i < kBursts * kPerBurst; ++i) {
+    int out = 0;
+    q.PopBlocking(&out);
+    sum += out;
+  }
+  producer.join();
+  const std::int64_t n = static_cast<std::int64_t>(kBursts) * kPerBurst;
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(NotifierTest, NotifyAdvancesEpoch) {
+  Notifier n;
+  const std::uint64_t e0 = n.Epoch();
+  n.Notify();
+  EXPECT_NE(n.Epoch(), e0);
+}
+
+TEST(NotifierTest, WaitReturnsAfterStaleEpoch) {
+  // A notify that lands before Wait must not be lost: the epoch already
+  // moved, so Wait(seen) returns immediately.
+  Notifier n;
+  const std::uint64_t seen = n.Epoch();
+  n.Notify();
+  n.Wait(seen);  // must not hang
+  SUCCEED();
+}
+
+TEST(NotifierTest, CrossThreadWakeup) {
+  Notifier n;
+  std::atomic<bool> done{false};
+  std::thread waker([&] {
+    n.Notify();
+    done.store(true);
+  });
+  // Bounded waits mean this loop terminates even if a single wakeup is
+  // missed; the test pins that it terminates promptly under contention.
+  std::uint64_t seen = n.Epoch();
+  while (!done.load()) {
+    n.Wait(seen);
+    seen = n.Epoch();
+  }
+  waker.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tgm

@@ -1,15 +1,22 @@
-// Shard-count determinism of the stream engine: because every shard sees
-// every event and each query lives in exactly one shard, the merged alert
-// stream — order and content — plus drops and per-query stats must be
-// bit-identical across 1/2/4 shards and any batch size (mirroring
-// parallel_miner_test.cc's approach for the miner). The TSAN CI job runs
-// this suite to pin the batch fan-out / merge protocol race-free.
+// Shard-count determinism of the stream engine, across both sharding
+// modes. kQueryRoundRobin: every shard sees every event and each query
+// lives in exactly one shard. kEntityHash: partials are partitioned by
+// the entity their next transition requires and a central sequencer
+// routes probes through per-shard SPSC inboxes. Either way the merged
+// alert stream — order and content — plus drops and per-query stats must
+// be bit-identical across 1/2/4/8 shards and any batch size (mirroring
+// parallel_miner_test.cc's approach for the miner). The round-robin
+// serial run is the oracle for everything. The TSAN CI job runs this
+// suite to pin the batch fan-out / merge / inbox protocols race-free.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "query/stream/engine.h"
+#include "query/stream/partial_table.h"
+#include "query/stream/query_runtime.h"
 #include "temporal/constraints.h"
 #include "test_util.h"
 
@@ -20,8 +27,16 @@ struct RunResult {
   std::vector<StreamAlert> alerts;
   std::size_t live_partials;
   std::int64_t dropped;
+  std::int64_t seed_skips;
   std::vector<std::int64_t> per_query_drops;
   std::vector<std::int64_t> per_query_alerts;
+  std::vector<std::size_t> per_query_live;
+  std::vector<std::size_t> per_query_peak;
+  std::vector<std::size_t> per_query_buckets;
+  std::vector<std::size_t> per_query_wildcard;
+  /// Full snapshot, for mode-specific assertions (inbox depths, handoffs,
+  /// routing skew) that are *not* part of the cross-mode parity oracle.
+  EngineStats stats;
 };
 
 RunResult RunEngine(const StreamEngine::Options& options,
@@ -44,9 +59,15 @@ RunResult RunEngine(const StreamEngine::Options& options,
   engine.Flush(sink);
   result.live_partials = engine.PartialCount();
   result.dropped = engine.dropped_partials();
-  for (const EngineQueryStats& q : engine.Stats().queries) {
+  result.stats = engine.Stats();
+  result.seed_skips = result.stats.seed_skips;
+  for (const EngineQueryStats& q : result.stats.queries) {
     result.per_query_drops.push_back(q.dropped_partials);
     result.per_query_alerts.push_back(q.alerts);
+    result.per_query_live.push_back(q.live_partials);
+    result.per_query_peak.push_back(q.peak_partials);
+    result.per_query_buckets.push_back(q.index_buckets);
+    result.per_query_wildcard.push_back(q.wildcard_partials);
   }
   return result;
 }
@@ -58,8 +79,21 @@ void ExpectIdentical(const RunResult& want, const RunResult& got,
   EXPECT_EQ(want.alerts, got.alerts);
   EXPECT_EQ(want.live_partials, got.live_partials);
   EXPECT_EQ(want.dropped, got.dropped);
+  EXPECT_EQ(want.seed_skips, got.seed_skips);
   EXPECT_EQ(want.per_query_drops, got.per_query_drops);
   EXPECT_EQ(want.per_query_alerts, got.per_query_alerts);
+  EXPECT_EQ(want.per_query_live, got.per_query_live);
+  EXPECT_EQ(want.per_query_peak, got.per_query_peak);
+  EXPECT_EQ(want.per_query_buckets, got.per_query_buckets);
+  EXPECT_EQ(want.per_query_wildcard, got.per_query_wildcard);
+}
+
+StreamEngine::Options EntityHash(StreamEngine::Options base, int num_shards,
+                                 std::size_t batch_size) {
+  base.sharding = ShardingMode::kEntityHash;
+  base.num_shards = num_shards;
+  base.batch_size = batch_size;
+  return base;
 }
 
 class StreamShardTest : public ::testing::TestWithParam<int> {
@@ -223,6 +257,131 @@ TEST_P(StreamShardTest, DegenerateConstraintsBitIdenticalToUnconstrained) {
   }
 }
 
+TEST_P(StreamShardTest, EntityHashParityWithRoundRobin) {
+  // The cross-mode oracle: entity-hash data partitioning must reproduce
+  // the round-robin serial run bit-for-bit — alerts, drops, and per-query
+  // stats — for every shard count and batch size, including 8 shards
+  // (more shards than queries, so some home shards hold no query at all).
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 2500);
+  StreamEngine::Options base;
+  base.window = 40;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries_, events_);
+  EXPECT_FALSE(want.alerts.empty());
+
+  for (int num_shards : {1, 2, 4, 8}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{8}}) {
+      ExpectIdentical(
+          want,
+          RunEngine(EntityHash(base, num_shards, batch_size), queries_,
+                    events_),
+          num_shards, batch_size);
+    }
+  }
+}
+
+TEST_P(StreamShardTest, EntityHashConstrainedParity) {
+  // Timed-automata guards change routing-relevant behaviour (tighter
+  // expiries, label alternatives widening the seed dispatch), so the
+  // cross-mode oracle is pinned again with a guarded query mix — the
+  // persisted-artifact (tquery v2) execution path.
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 2900);
+  std::vector<TemporalConstraints> constraints;
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    TemporalConstraints c(queries_[q].edge_count());
+    switch (q % 4) {
+      case 0:  // plain (trivial annotation)
+        break;
+      case 1:
+        c.mutable_guard(1).max_gap = 25;
+        break;
+      case 2:
+        c.mutable_guard(1).min_gap = 1;
+        c.set_deadline(35);
+        break;
+      case 3:
+        c.mutable_guard(0).elabel_alts = {kNoEdgeLabel};
+        c.mutable_guard(1).max_since_seed = 30;
+        break;
+    }
+    c.Normalize();
+    constraints.push_back(std::move(c));
+  }
+
+  StreamEngine::Options base;
+  base.window = 40;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries_, events_, constraints);
+
+  for (int num_shards : {1, 2, 4, 8}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{8}}) {
+      ExpectIdentical(
+          want,
+          RunEngine(EntityHash(base, num_shards, batch_size), queries_,
+                    events_, constraints),
+          num_shards, batch_size);
+    }
+  }
+}
+
+TEST_P(StreamShardTest, EntityHashBackpressureParity) {
+  // Under a tight partial cap the eviction *victims* are observable
+  // through drops and survivors. The entity-hash sequencer owns the age
+  // order centrally, so eviction must pick the same victims as the
+  // single-table run regardless of which shards the partials live on.
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 3300);
+  StreamEngine::Options base;
+  base.window = 40;
+  base.max_partials_per_query = 3;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries_, events_);
+  EXPECT_GT(want.dropped, 0);  // the cap must actually bite
+
+  for (int num_shards : {1, 2, 4, 8}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{4}}) {
+      ExpectIdentical(
+          want,
+          RunEngine(EntityHash(base, num_shards, batch_size), queries_,
+                    events_),
+          num_shards, batch_size);
+    }
+  }
+}
+
+TEST_P(StreamShardTest, EntityHashScanPathParity) {
+  // entity_index = false degrades every partial to the wildcard bucket;
+  // in entity-hash mode that pins all of a query's state to its home
+  // shard. The scan path must still reproduce the round-robin scan run.
+  BuildFixture(static_cast<std::uint64_t>(GetParam()) + 3700);
+  StreamEngine::Options base;
+  base.window = 40;
+  base.entity_index = false;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries_, events_);
+
+  for (int num_shards : {2, 4}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{8}}) {
+      ExpectIdentical(
+          want,
+          RunEngine(EntityHash(base, num_shards, batch_size), queries_,
+                    events_),
+          num_shards, batch_size);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamShardTest, ::testing::Range(0, 6));
 
 TEST(StreamShardPlumbingTest, EveryShardSeesEveryEvent) {
@@ -259,6 +418,176 @@ TEST(StreamShardPlumbingTest, RoundRobinPartition) {
     EXPECT_EQ(stats.queries[q].shard, q % 2);
   }
 }
+
+/// A hub-and-spoke stream: entity 0 participates in three of every four
+/// events, so its bucket — and every partial waiting on it — hashes to
+/// one shard while extensions keep hopping to spoke entities on other
+/// shards. This is the adversarial fixture for entity-hash routing: heavy
+/// skew plus constant cross-shard partial handoff.
+std::vector<StreamEvent> HotEntityStream(int count) {
+  std::mt19937_64 rng(7);
+  std::vector<StreamEvent> events;
+  Timestamp ts = 1;
+  const auto label_of = [](std::int64_t e) {
+    return static_cast<LabelId>(e % 2);
+  };
+  for (int i = 0; i < count; ++i) {
+    std::int64_t a, b;
+    if (i % 4 != 3) {
+      a = 0;  // the hub
+      b = 1 + static_cast<std::int64_t>(rng() % 7);
+      if (rng() % 2 == 0) std::swap(a, b);
+    } else {
+      a = 1 + static_cast<std::int64_t>(rng() % 7);
+      b = 1 + static_cast<std::int64_t>(rng() % 7);
+      if (a == b) b = a % 7 + 1;
+    }
+    events.push_back(
+        StreamEvent{a, b, label_of(a), label_of(b), kNoEdgeLabel, ts});
+    ts += 1;
+  }
+  return events;
+}
+
+TEST(StreamShardEntityHashTest, HotEntityHandoffDeterminism) {
+  std::mt19937_64 rng(11);
+  std::vector<Pattern> queries;
+  for (int q = 0; q < 4; ++q) {
+    queries.push_back(tgm::testing::RandomPattern(rng, 3, 2));
+  }
+  std::vector<StreamEvent> events = HotEntityStream(240);
+
+  StreamEngine::Options base;
+  base.window = 60;
+
+  StreamEngine::Options serial = base;
+  serial.num_shards = 1;
+  serial.batch_size = 1;
+  RunResult want = RunEngine(serial, queries, events);
+  EXPECT_FALSE(want.alerts.empty());
+
+  for (int num_shards : {2, 4}) {
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{4}}) {
+      RunResult got =
+          RunEngine(EntityHash(base, num_shards, batch_size), queries, events);
+      ExpectIdentical(want, got, num_shards, batch_size);
+      // The fixture must actually exercise cross-shard handoff — partials
+      // produced by a probe on one shard whose next required entity
+      // hashes to another. (Equal per-run, not asserted equal across
+      // shard counts: placement depends on the shard count.)
+      EXPECT_GT(got.stats.handoffs, 0)
+          << "num_shards=" << num_shards << " batch_size=" << batch_size;
+    }
+  }
+}
+
+TEST(StreamShardEntityHashTest, ShardStatsRows) {
+  std::mt19937_64 rng(13);
+  std::vector<Pattern> queries;
+  for (int q = 0; q < 3; ++q) {
+    queries.push_back(tgm::testing::RandomPattern(rng, 2, 2));
+  }
+  std::vector<StreamEvent> events = HotEntityStream(120);
+
+  StreamEngine::Options base;
+  base.window = 60;
+
+  // Round-robin has no inboxes: no shard rows, skew still reported.
+  RunResult rr = RunEngine(base, queries, events);
+  EXPECT_TRUE(rr.stats.shards.empty());
+  EXPECT_GE(rr.stats.routing_skew, 1.0);
+
+  RunResult eh = RunEngine(EntityHash(base, 3, 4), queries, events);
+  ASSERT_EQ(eh.stats.shards.size(), 3u);
+  std::int64_t routed = 0;
+  std::int64_t handoffs = 0;
+  for (std::size_t s = 0; s < eh.stats.shards.size(); ++s) {
+    const EngineShardStats& row = eh.stats.shards[s];
+    EXPECT_EQ(row.shard, s);
+    // Stats() quiesces the shards first, so no ops can still be queued.
+    EXPECT_EQ(row.inbox_depth, 0u);
+    routed += row.events_routed;
+    handoffs += row.handoffs_in;
+  }
+  EXPECT_GT(routed, 0);
+  EXPECT_EQ(handoffs, eh.stats.handoffs);
+  // shard_events mirrors events_routed in entity-hash mode.
+  ASSERT_EQ(eh.stats.shard_events.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(eh.stats.shard_events[s], eh.stats.shards[s].events_routed);
+  }
+  // The hub concentrates probes on one shard: skew must be visible.
+  EXPECT_GE(eh.stats.routing_skew, 1.0);
+}
+
+// --- self-loop probe dedup (the double-extension regression) -----------
+//
+// The entity index files partials in one role-agnostic bucket map keyed
+// by required entity. A self-loop event (src_entity == dst_entity) names
+// the same bucket twice; without bucket-level dedup in ForEachExtendable
+// every partial in it would be probed — and on a successful match
+// extended — twice.
+
+TEST(PartialTableSelfLoopTest, SelfLoopProbesBucketOnce) {
+  PartialTable table(/*node_count=*/3, /*entity_index=*/true);
+  const std::vector<std::int64_t> binding = {5, 7, kUnboundEntity};
+  table.Insert(binding, 1, 1, 1, PartialTable::kNeverExpires,
+               PartialTable::Role::kEntity, 7);
+  int visits = 0;
+  table.ForEachExtendable(7, 7, [&](std::uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 1);  // would be 2 if both endpoint probes fired
+
+  // Distinct endpoints still probe both buckets.
+  const std::vector<std::int64_t> other = {9, 11, kUnboundEntity};
+  table.Insert(other, 1, 2, 2, PartialTable::kNeverExpires,
+               PartialTable::Role::kEntity, 9);
+  visits = 0;
+  table.ForEachExtendable(7, 9, [&](std::uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+class SelfLoopExtensionTest
+    : public ::testing::TestWithParam<std::pair<ShardingMode, int>> {};
+
+TEST_P(SelfLoopExtensionTest, SelfLoopEventExtendsPartialOnce) {
+  // Query: A -[e0]-> B, B -[e1]-> B (self-loop), B -[e2]-> C. After the
+  // seed, the partial waits on the self-loop transition in entity bucket
+  // B; the self-loop event must extend it exactly once. A double probe
+  // would leave a duplicate partial behind (live 3, not 2) — the final
+  // completion stays deduplicated either way, which is exactly why the
+  // live count is the pin.
+  const auto [mode, num_shards] = GetParam();
+  Pattern p = Pattern::SingleEdge(0, 1).GrowInward(1, 1).GrowForward(1, 2);
+
+  StreamEngine::Options options;
+  options.window = 100;
+  options.num_shards = num_shards;
+  options.sharding = mode;
+  StreamEngine engine(options);
+  engine.AddQuery(p);
+
+  std::vector<StreamAlert> alerts;
+  auto sink = [&alerts](const StreamAlert& a) { alerts.push_back(a); };
+  engine.OnEvent(StreamEvent{10, 20, 0, 1, kNoEdgeLabel, 1}, sink);  // seed
+  engine.OnEvent(StreamEvent{20, 20, 1, 1, kNoEdgeLabel, 2}, sink);  // loop
+  EXPECT_EQ(engine.PartialCount(), 2u);  // seed partial + one extension
+  engine.OnEvent(StreamEvent{20, 30, 1, 2, kNoEdgeLabel, 3}, sink);  // done
+  engine.Flush(sink);
+
+  const std::vector<StreamAlert> expected = {{0, Interval{1, 3}}};
+  EXPECT_EQ(alerts, expected);
+  EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.queries.size(), 1u);
+  EXPECT_EQ(stats.queries[0].peak_partials, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SelfLoopExtensionTest,
+    ::testing::Values(std::pair{ShardingMode::kQueryRoundRobin, 1},
+                      std::pair{ShardingMode::kQueryRoundRobin, 2},
+                      std::pair{ShardingMode::kEntityHash, 1},
+                      std::pair{ShardingMode::kEntityHash, 2},
+                      std::pair{ShardingMode::kEntityHash, 4}));
 
 }  // namespace
 }  // namespace tgm
