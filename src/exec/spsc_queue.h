@@ -60,14 +60,8 @@ class SpscQueue {
   /// Producer only. Moves from `v` and returns true if the element was
   /// enqueued; leaves `v` untouched and returns false when full.
   bool TryPush(T& v) {
-    const std::size_t t = tail_.load(std::memory_order_relaxed);
-    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
-    slots_[t & mask_] = std::move(v);
-    tail_.store(t + 1, std::memory_order_release);
-    if (consumer_parked_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      not_empty_.notify_one();
-    }
+    if (!TryPushNoNotify(v)) return false;
+    NotifyConsumerIfParked();
     return true;
   }
 
@@ -79,25 +73,24 @@ class SpscQueue {
       if (TryPush(v)) return;
       std::this_thread::yield();
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    producer_parked_.store(true, std::memory_order_seq_cst);
-    while (!TryPush(v)) {
-      not_full_.wait_for(lock, kParkTimeout);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_parked_.store(true, std::memory_order_seq_cst);
+      // Only the non-notifying variant may run under mu_: the notifying
+      // TryPush would re-lock mu_ when the consumer is parked.
+      while (!TryPushNoNotify(v)) {
+        not_full_.wait_for(lock, kParkTimeout);
+      }
+      producer_parked_.store(false, std::memory_order_seq_cst);
     }
-    producer_parked_.store(false, std::memory_order_seq_cst);
+    NotifyConsumerIfParked();
   }
 
   /// Consumer only. Moves the front element into `*out` and returns true;
   /// returns false when empty.
   bool TryPop(T* out) {
-    const std::size_t h = head_.load(std::memory_order_relaxed);
-    if (h == tail_.load(std::memory_order_acquire)) return false;
-    *out = std::move(slots_[h & mask_]);
-    head_.store(h + 1, std::memory_order_release);
-    if (producer_parked_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      not_full_.notify_one();
-    }
+    if (!TryPopNoNotify(out)) return false;
+    NotifyProducerIfParked();
     return true;
   }
 
@@ -108,17 +101,58 @@ class SpscQueue {
       if (TryPop(out)) return;
       std::this_thread::yield();
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    consumer_parked_.store(true, std::memory_order_seq_cst);
-    while (!TryPop(out)) {
-      not_empty_.wait_for(lock, kParkTimeout);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      consumer_parked_.store(true, std::memory_order_seq_cst);
+      // See Push(): the notifying TryPop must never run while mu_ is held.
+      while (!TryPopNoNotify(out)) {
+        not_empty_.wait_for(lock, kParkTimeout);
+      }
+      consumer_parked_.store(false, std::memory_order_seq_cst);
     }
-    consumer_parked_.store(false, std::memory_order_seq_cst);
+    NotifyProducerIfParked();
   }
 
  private:
   static constexpr int kSpins = 128;
   static constexpr std::chrono::microseconds kParkTimeout{500};
+
+  /// Ring push without the parked-consumer wakeup; safe to call with mu_
+  /// held (the blocking slow paths) or not (via TryPush).
+  bool TryPushNoNotify(T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Ring pop without the parked-producer wakeup; safe to call with mu_
+  /// held (the blocking slow paths) or not (via TryPop).
+  bool TryPopNoNotify(T* out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Must not be called with mu_ held. A wakeup lost to the flag race is
+  /// recovered by the waiter's bounded wait_for timeout.
+  void NotifyConsumerIfParked() {
+    if (consumer_parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_empty_.notify_one();
+    }
+  }
+
+  /// Must not be called with mu_ held; see NotifyConsumerIfParked().
+  void NotifyProducerIfParked() {
+    if (producer_parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_one();
+    }
+  }
 
   std::vector<T> slots_;
   std::size_t mask_ = 0;

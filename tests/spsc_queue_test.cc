@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -132,6 +133,37 @@ TEST(SpscQueueTest, ThreadedBurstsWithIdleGaps) {
   producer.join();
   const std::int64_t n = static_cast<std::int64_t>(kBursts) * kPerBurst;
   EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(SpscQueueTest, BothSidesParkRepeatedly) {
+  // Regression for a self-deadlock: the blocking slow paths used to run the
+  // notifying TryPush/TryPop while holding mu_, which re-locked the
+  // non-recursive mu_ whenever the opposite side's parked flag was set
+  // (e.g. consumer parked on empty, producer fills the ring and parks,
+  // consumer wakes under mu_ and pops with producer_parked_ true). Force
+  // both sides through the genuinely-parked state many times on a
+  // capacity-2 ring with stalls longer than the spin phase; under the old
+  // code this hangs, now it must drain in FIFO order.
+  constexpr int kRounds = 400;
+  SpscQueue<int> q(2);
+  std::thread producer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      q.Push(i);
+      if (i % 3 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    int out = -1;
+    q.PopBlocking(&out);
+    ASSERT_EQ(out, i);
+    if (i % 5 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.Empty());
 }
 
 TEST(NotifierTest, NotifyAdvancesEpoch) {
