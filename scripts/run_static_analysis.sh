@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# TGMiner static-analysis wall. Three gates, all zero-tolerance:
+#
+#   1. assert() ban — production code uses TGM_CHECK/TGM_DCHECK
+#      (temporal/common.h), never bare assert: TGM_CHECK survives NDEBUG
+#      and prints the failed expression with its location; assert
+#      silently vanishes from release builds.
+#   2. Clang -Werror=thread-safety build — the capability annotations of
+#      src/base/annotations.h (mutex-guarded exec/ state, role-confined
+#      stream-engine state) are enforced, not decorative.
+#   3. clang-tidy over compile_commands.json (.clang-tidy config).
+#
+# Modes:
+#   scripts/run_static_analysis.sh                 # all gates
+#   scripts/run_static_analysis.sh --seeded-defect # prove gate 2 bites:
+#       re-introduce the PR-7 SpscQueue self-deadlock (notifying TryPush
+#       inside the mu_-held slow path) and require the build to FAIL.
+#
+# Requires clang++ and (for gate 3) clang-tidy; gates degrade to hard
+# errors, never silent skips, so CI cannot go green without them.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+CLANGXX="${CLANGXX:-clang++}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+BUILD_DIR="${BUILD_DIR:-build-static-analysis}"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- Gate 1: no bare assert() in production code -----------------------
+# static_assert is fine (compile-time); assert( is not. src/ only — tests
+# are gtest-macro territory anyway.
+echo "== Gate 1: assert() ban over src/"
+if grep -rnE '(^|[^_[:alnum:]])assert\(' --include='*.h' --include='*.cc' src/ \
+    | grep -v 'static_assert' | grep -v '// *assert-ok:'; then
+  fail "bare assert() in src/ — use TGM_CHECK/TGM_DCHECK (temporal/common.h)"
+fi
+echo "   OK: no bare assert() sites"
+
+command -v "${CLANGXX}" >/dev/null 2>&1 \
+  || fail "${CLANGXX} not found — the thread-safety wall needs Clang (set CLANGXX=...)"
+
+# --- Seeded-defect mode: the PR-7 deadlock must not compile ------------
+if [[ "${1:-}" == "--seeded-defect" ]]; then
+  echo "== Seeded defect: re-introducing the SpscQueue slow-path re-lock"
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "${WORK}"' EXIT
+  mkdir -p "${WORK}/exec"
+  # Swap the non-notifying ring op back to the notifying TryPush inside
+  # Push()'s mu_-held wait loop — the exact shape of the PR-7 self
+  # deadlock (TryPush locks mu_ via NotifyConsumerIfParked).
+  sed 's/while (!TryPushNoNotify(v)) {/while (!TryPush(v)) {/' \
+    src/exec/spsc_queue.h > "${WORK}/exec/spsc_queue.h"
+  if cmp -s src/exec/spsc_queue.h "${WORK}/exec/spsc_queue.h"; then
+    fail "seed pattern did not match spsc_queue.h — update the sed in $0"
+  fi
+  cat > "${WORK}/seeded_tu.cc" <<'EOF'
+// Instantiates the blocking slow paths: Clang's thread-safety analysis
+// checks templates at instantiation, so without this TU the seeded
+// defect would go unnoticed.
+#include "exec/spsc_queue.h"
+void SeededDefectInstantiation() {
+  tgm::SpscQueue<int> q(8);
+  q.Push(1);
+  int out = 0;
+  q.PopBlocking(&out);
+}
+EOF
+  set +e
+  OUT="$("${CLANGXX}" -std=c++20 -fsyntax-only \
+      -Wthread-safety -Werror=thread-safety \
+      -I "${WORK}" -I src "${WORK}/seeded_tu.cc" 2>&1)"
+  STATUS=$?
+  set -e
+  if [[ ${STATUS} -eq 0 ]]; then
+    fail "seeded deadlock COMPILED — the thread-safety wall is not biting"
+  fi
+  echo "${OUT}" | grep -q 'thread-safety' \
+    || fail "seeded build failed for the wrong reason: ${OUT}"
+  echo "   OK: seeded deadlock rejected by -Werror=thread-safety:"
+  echo "${OUT}" | grep 'requires negative capability\|acquiring mutex\|thread-safety' | head -3 | sed 's/^/   | /'
+  # Sanity: the pristine header must still compile with the same TU.
+  "${CLANGXX}" -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety \
+      -I src "${WORK}/seeded_tu.cc" \
+    || fail "pristine spsc_queue.h does not pass the wall"
+  echo "   OK: pristine header passes the same check"
+  exit 0
+fi
+
+# --- Gate 2: full Clang build with -Werror=thread-safety ----------------
+echo "== Gate 2: Clang -Werror=thread-safety build"
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DTGMINER_CHECK_INVARIANTS=ON \
+  > "${BUILD_DIR}.configure.log" 2>&1 \
+  || { cat "${BUILD_DIR}.configure.log"; fail "clang configure failed"; }
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  || fail "clang build failed (thread-safety violations are errors)"
+echo "   OK: clang build clean under -Werror=thread-safety"
+
+# --- Gate 3: clang-tidy over the compilation database -------------------
+echo "== Gate 3: clang-tidy"
+command -v "${CLANG_TIDY}" >/dev/null 2>&1 \
+  || fail "${CLANG_TIDY} not found (set CLANG_TIDY=...)"
+[[ -f "${BUILD_DIR}/compile_commands.json" ]] \
+  || fail "no compile_commands.json in ${BUILD_DIR}"
+# First-party sources only: the database also holds gtest/bench TUs.
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+"${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${SOURCES[@]}" \
+  || fail "clang-tidy reported findings (WarningsAsErrors: '*')"
+echo "   OK: clang-tidy clean over ${#SOURCES[@]} sources"
+
+echo "All static-analysis gates passed."

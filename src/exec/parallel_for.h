@@ -1,13 +1,12 @@
 #ifndef TGM_EXEC_PARALLEL_FOR_H_
 #define TGM_EXEC_PARALLEL_FOR_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "base/mutex.h"
 #include "exec/thread_pool.h"
 
 namespace tgm {
@@ -46,9 +45,12 @@ void ParallelFor(ThreadPool* pool, std::size_t n, const Body& body) {
     return c * base + (c < rem ? c : rem);
   };
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::size_t pending = chunks - 1;
+  // The join latch. `pending` is guarded by `mu`; `errors` needs no guard
+  // (chunk c is the only writer of errors[c], and the latch's
+  // release/acquire pairing orders every write before the final read).
+  Mutex mu;
+  CondVar done_cv;
+  std::size_t pending TGM_GUARDED_BY(mu) = chunks - 1;
   std::vector<std::exception_ptr> errors(chunks);
 
   auto run_chunk = [&body, &errors, chunk_begin](std::size_t c,
@@ -63,14 +65,14 @@ void ParallelFor(ThreadPool* pool, std::size_t n, const Body& body) {
   for (std::size_t c = 1; c < chunks; ++c) {
     pool->Submit([&, c] {
       run_chunk(c, chunk_begin(c + 1));
-      std::lock_guard<std::mutex> lock(mu);
-      if (--pending == 0) done_cv.notify_one();
+      MutexLock lock(mu);
+      if (--pending == 0) done_cv.NotifyOne();
     });
   }
   run_chunk(0, chunk_begin(1));
   {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&pending] { return pending == 0; });
+    MutexLock lock(mu);
+    done_cv.Wait(lock, [&pending]() TGM_REQUIRES(mu) { return pending == 0; });
   }
   for (std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(std::move(e));

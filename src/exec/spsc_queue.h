@@ -3,15 +3,19 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "base/invariants.h"
+#include "base/mutex.h"
+
 namespace tgm {
+
+struct SpscQueueTestPeer;
 
 /// A bounded lock-free single-producer/single-consumer ring queue, the
 /// transport of the entity-hash stream engine's per-shard inboxes and
@@ -27,6 +31,16 @@ namespace tgm {
 /// timeout, so a wakeup lost to the flag race costs at most one timeout
 /// period rather than a hang — the queue's progress guarantee never rests
 /// on the flag ordering alone.
+///
+/// Locking contract (machine-checked on Clang via -Werror=thread-safety):
+/// every notifying operation — TryPush/TryPop and the Notify*IfParked
+/// helpers they call — is TGM_EXCLUDES(mu_), because notifying locks mu_
+/// internally. The blocking slow paths hold mu_ across their parked wait
+/// loops, so inside those loops only the non-notifying ring ops
+/// (TryPushNoNotify/TryPopNoNotify, capability-neutral) are legal;
+/// re-introducing the notifying call there — the PR 7 self-deadlock — is
+/// now a compile error, not a hang (`scripts/run_static_analysis.sh
+/// --seeded-defect` pins this).
 ///
 /// Exactly one thread may push and one may pop (they may be the same
 /// thread, which trivially never blocks itself in TryPush/TryPop). Size
@@ -59,7 +73,7 @@ class SpscQueue {
 
   /// Producer only. Moves from `v` and returns true if the element was
   /// enqueued; leaves `v` untouched and returns false when full.
-  bool TryPush(T& v) {
+  bool TryPush(T& v) TGM_EXCLUDES(mu_) {
     if (!TryPushNoNotify(v)) return false;
     NotifyConsumerIfParked();
     return true;
@@ -68,18 +82,19 @@ class SpscQueue {
   /// Producer only. Blocks (spin, then parked timed waits) until the
   /// element is enqueued. Safe only when the consumer is a different,
   /// live thread.
-  void Push(T v) {
+  void Push(T v) TGM_EXCLUDES(mu_) {
     for (int spin = 0; spin < kSpins; ++spin) {
       if (TryPush(v)) return;
       std::this_thread::yield();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       producer_parked_.store(true, std::memory_order_seq_cst);
       // Only the non-notifying variant may run under mu_: the notifying
-      // TryPush would re-lock mu_ when the consumer is parked.
+      // TryPush (TGM_EXCLUDES(mu_)) would re-lock mu_ when the consumer
+      // is parked — swapping it in here must not compile.
       while (!TryPushNoNotify(v)) {
-        not_full_.wait_for(lock, kParkTimeout);
+        not_full_.WaitFor(lock, kParkTimeout);
       }
       producer_parked_.store(false, std::memory_order_seq_cst);
     }
@@ -88,7 +103,7 @@ class SpscQueue {
 
   /// Consumer only. Moves the front element into `*out` and returns true;
   /// returns false when empty.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) TGM_EXCLUDES(mu_) {
     if (!TryPopNoNotify(out)) return false;
     NotifyProducerIfParked();
     return true;
@@ -96,29 +111,65 @@ class SpscQueue {
 
   /// Consumer only. Blocks (spin, then parked timed waits) until an
   /// element arrives.
-  void PopBlocking(T* out) {
+  void PopBlocking(T* out) TGM_EXCLUDES(mu_) {
     for (int spin = 0; spin < kSpins; ++spin) {
       if (TryPop(out)) return;
       std::this_thread::yield();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       consumer_parked_.store(true, std::memory_order_seq_cst);
       // See Push(): the notifying TryPop must never run while mu_ is held.
       while (!TryPopNoNotify(out)) {
-        not_empty_.wait_for(lock, kParkTimeout);
+        not_empty_.WaitFor(lock, kParkTimeout);
       }
       consumer_parked_.store(false, std::memory_order_seq_cst);
     }
     NotifyProducerIfParked();
   }
 
+  /// Structural validator (base/invariants.h): returns "" when the ring
+  /// representation is consistent, else a description of the first
+  /// violated invariant. Call only from a thread that may observe both
+  /// indices coherently — in practice a quiescent queue (no concurrent
+  /// push/pop). `quiescent` additionally demands that neither side is
+  /// parked, which must hold whenever no thread is inside Push/PopBlocking.
+  std::string CheckInvariants(bool quiescent = true) const {
+    const std::size_t cap = slots_.size();
+    if (cap < 2 || (cap & (cap - 1)) != 0) {
+      return "capacity " + std::to_string(cap) + " is not a power of two >= 2";
+    }
+    if (mask_ != cap - 1) {
+      return "mask " + std::to_string(mask_) + " != capacity-1 " +
+             std::to_string(cap - 1);
+    }
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t - h > cap) {
+      return "depth " + std::to_string(t - h) + " (head " + std::to_string(h) +
+             ", tail " + std::to_string(t) + ") exceeds capacity " +
+             std::to_string(cap);
+    }
+    if (quiescent) {
+      if (producer_parked_.load(std::memory_order_seq_cst)) {
+        return "producer parked flag set on a quiescent queue";
+      }
+      if (consumer_parked_.load(std::memory_order_seq_cst)) {
+        return "consumer parked flag set on a quiescent queue";
+      }
+    }
+    return std::string();
+  }
+
  private:
+  friend struct SpscQueueTestPeer;
+
   static constexpr int kSpins = 128;
   static constexpr std::chrono::microseconds kParkTimeout{500};
 
-  /// Ring push without the parked-consumer wakeup; safe to call with mu_
-  /// held (the blocking slow paths) or not (via TryPush).
+  /// Ring push without the parked-consumer wakeup; capability-neutral —
+  /// safe to call with mu_ held (the blocking slow paths) or not (via
+  /// TryPush).
   bool TryPushNoNotify(T& v) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     if (t - head_.load(std::memory_order_acquire) > mask_) return false;
@@ -127,8 +178,9 @@ class SpscQueue {
     return true;
   }
 
-  /// Ring pop without the parked-producer wakeup; safe to call with mu_
-  /// held (the blocking slow paths) or not (via TryPop).
+  /// Ring pop without the parked-producer wakeup; capability-neutral —
+  /// safe to call with mu_ held (the blocking slow paths) or not (via
+  /// TryPop).
   bool TryPopNoNotify(T* out) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (h == tail_.load(std::memory_order_acquire)) return false;
@@ -139,18 +191,18 @@ class SpscQueue {
 
   /// Must not be called with mu_ held. A wakeup lost to the flag race is
   /// recovered by the waiter's bounded wait_for timeout.
-  void NotifyConsumerIfParked() {
+  void NotifyConsumerIfParked() TGM_EXCLUDES(mu_) {
     if (consumer_parked_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      not_empty_.notify_one();
+      MutexLock lock(mu_);
+      not_empty_.NotifyOne();
     }
   }
 
   /// Must not be called with mu_ held; see NotifyConsumerIfParked().
-  void NotifyProducerIfParked() {
+  void NotifyProducerIfParked() TGM_EXCLUDES(mu_) {
     if (producer_parked_.load(std::memory_order_seq_cst)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      not_full_.notify_one();
+      MutexLock lock(mu_);
+      not_full_.NotifyOne();
     }
   }
 
@@ -160,9 +212,12 @@ class SpscQueue {
   alignas(64) std::atomic<std::size_t> head_{0};
   /// Push index, written by the producer only.
   alignas(64) std::atomic<std::size_t> tail_{0};
-  alignas(64) std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  /// Guards no data — it is the parked-wakeup handshake channel. The
+  /// capability contract it anchors (EXCLUDES on every notifying op) is
+  /// what makes the handshake deadlock-free by construction.
+  alignas(64) Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
   std::atomic<bool> consumer_parked_{false};
   std::atomic<bool> producer_parked_{false};
 };
@@ -178,27 +233,27 @@ class Notifier {
     return epoch_.load(std::memory_order_acquire);
   }
 
-  void Notify() {
+  void Notify() TGM_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       epoch_.fetch_add(1, std::memory_order_release);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   /// Returns once the epoch has moved past `seen` (or after a bounded
   /// timeout; callers re-check their condition in a loop).
-  void Wait(std::uint64_t seen) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::microseconds(500), [&] {
+  void Wait(std::uint64_t seen) TGM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    cv_.WaitFor(lock, std::chrono::microseconds(500), [&] {
       return epoch_.load(std::memory_order_relaxed) != seen;
     });
   }
 
  private:
   std::atomic<std::uint64_t> epoch_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
 };
 
 }  // namespace tgm

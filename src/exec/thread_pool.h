@@ -1,13 +1,13 @@
 #ifndef TGM_EXEC_THREAD_POOL_H_
 #define TGM_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
 
 namespace tgm {
 
@@ -28,7 +28,7 @@ class ThreadPool {
   /// Drains nothing: outstanding tasks submitted through ParallelFor are
   /// always joined before their region returns, so at destruction time the
   /// queue is empty unless a caller misused raw Submit().
-  ~ThreadPool();
+  ~ThreadPool() TGM_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -37,15 +37,17 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not block on other tasks in this pool
   /// (the pool has no work stealing, so that can deadlock).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) TGM_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TGM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ TGM_GUARDED_BY(mu_);
+  bool stop_ TGM_GUARDED_BY(mu_) = false;
+  /// Written once by the constructor before any worker can observe it;
+  /// read-only afterwards (num_workers(), the destructor's join loop).
   std::vector<std::thread> workers_;
 };
 

@@ -343,6 +343,15 @@ class Miner {
   /// Latched by whichever worker observes the max_millis cutoff first so
   /// sibling subtrees stop promptly (truncation points are
   /// timing-dependent either way; see MinerConfig::num_threads).
+  ///
+  /// All accesses are memory_order_relaxed, deliberately: the flag is a
+  /// pure go/stop signal that carries no data — no reader dereferences
+  /// anything "published" by the writer, so no acquire/release pairing is
+  /// needed, and a worker reading a stale false merely visits a few more
+  /// patterns before stopping (the cutoff is timing-dependent anyway).
+  /// Every result a worker produced before stopping is ordered with the
+  /// main thread by the pool's join (ThreadPool's queue mutex), not by
+  /// this flag.
   std::atomic<bool> timed_out_{false};
   std::chrono::steady_clock::time_point start_time_;
 };

@@ -1,12 +1,27 @@
 #include "query/stream/engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "base/invariants.h"
 #include "exec/parallel_for.h"
 
 namespace tgm {
 
 namespace {
+
+/// Read access to a priority_queue's underlying container (protected
+/// member `c`) — same well-defined pointer-to-member idiom as
+/// partial_table.cc, here for auditing the engine's central age heaps.
+template <typename T, typename C, typename Cmp>
+const C& HeapContainer(const std::priority_queue<T, C, Cmp>& q) {
+  struct Access : std::priority_queue<T, C, Cmp> {
+    static const C& Get(const std::priority_queue<T, C, Cmp>& queue) {
+      return queue.*&Access::c;
+    }
+  };
+  return Access::Get(q);
+}
 
 /// splitmix64 finalizer: entity ids are often dense small integers, so a
 /// plain modulo would alias adjacent ids to adjacent shards; the mix
@@ -26,6 +41,7 @@ constexpr std::size_t kQueueCapacity = 1024;
 }  // namespace
 
 StreamEngine::StreamEngine(const Options& options) : options_(options) {
+  RoleGuard seq(sequencer_role_);
   num_shards_ = ResolveNumThreads(options_.num_shards);
   TGM_CHECK(num_shards_ >= 1);
   if (options_.batch_size == 0) options_.batch_size = 1;
@@ -54,6 +70,11 @@ StreamEngine::StreamEngine(const Options& options) : options_(options) {
         w->outbox =
             std::make_unique<SpscQueue<EntityShardResult>>(kQueueCapacity);
         w->thread = std::thread([this, w] {
+          // The worker owns its shard for the thread's whole lifetime —
+          // the RoleGuard is what lets it call Execute; conversely the
+          // lambda holds no sequencer capability, so reaching into the
+          // engine's central state here would not compile on Clang.
+          RoleGuard shard_owner(w->shard.role());
           EntityShardOp op;
           std::vector<EntityShardResult> results;
           for (;;) {
@@ -75,6 +96,7 @@ StreamEngine::StreamEngine(const Options& options) : options_(options) {
 }
 
 StreamEngine::~StreamEngine() {
+  RoleGuard seq(sequencer_role_);
   for (std::size_t s = 0; s < workers_.size(); ++s) {
     if (!workers_[s]->thread.joinable()) continue;
     EntityShardOp op;
@@ -96,6 +118,7 @@ std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window) {
 
 std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window,
                                    const TemporalConstraints& constraints) {
+  RoleGuard seq(sequencer_role_);
   TGM_CHECK(query.edge_count() >= 1);
   TGM_CHECK(window >= 0);
   // Registering mid-batch would make buffered events see a different query
@@ -103,8 +126,11 @@ std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window,
   TGM_CHECK(batch_.empty());
   const std::size_t index = query_count_++;
   if (options_.sharding == ShardingMode::kQueryRoundRobin) {
-    shards_[index % shards_.size()].AddQuery(index, query, window,
-                                             constraints);
+    // No batch is in flight (checked above), so the engine thread owns
+    // the shard.
+    StreamShard& shard = shards_[index % shards_.size()];
+    RoleGuard owner(shard.role());
+    shard.AddQuery(index, query, window, constraints);
     return index;
   }
   // In-flight inserts/erases of earlier batches must land before the
@@ -117,6 +143,7 @@ std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window,
   const Timestamp effective_window = qc.window;
   controls_.push_back(std::move(qc));
   for (auto& w : workers_) {
+    RoleGuard owner(w->shard.role());
     w->shard.AddQuery(index, plan, effective_window);
   }
   dispatch_dirty_ = true;
@@ -124,6 +151,7 @@ std::size_t StreamEngine::AddQuery(const Pattern& query, Timestamp window,
 }
 
 void StreamEngine::OnEvent(const StreamEvent& event, const AlertSink& sink) {
+  RoleGuard seq(sequencer_role_);
   StreamEvent accepted = event;
   if (any_event_ && accepted.ts < last_ts_) {
     // Stream precondition violated. Clamping to the newest timestamp keeps
@@ -139,7 +167,10 @@ void StreamEngine::OnEvent(const StreamEvent& event, const AlertSink& sink) {
   if (batch_.size() >= options_.batch_size) ProcessBatch(sink);
 }
 
-void StreamEngine::Flush(const AlertSink& sink) { ProcessBatch(sink); }
+void StreamEngine::Flush(const AlertSink& sink) {
+  RoleGuard seq(sequencer_role_);
+  ProcessBatch(sink);
+}
 
 void StreamEngine::ProcessBatch(const AlertSink& sink) {
   if (batch_.empty()) return;
@@ -157,6 +188,10 @@ void StreamEngine::ProcessBatch(const AlertSink& sink) {
   } else {
     ProcessBatchEntityHash(batch, sink);
   }
+  // Debug builds (-DTGMINER_CHECK_INVARIANTS=ON) audit the whole engine at
+  // every batch boundary; compiled out otherwise.
+  TGM_VALIDATE_INVARIANTS("StreamEngine::ProcessBatch",
+                          CheckInvariantsInternal());
 }
 
 void StreamEngine::ProcessBatchRoundRobin(std::span<const StreamEvent> batch,
@@ -166,6 +201,8 @@ void StreamEngine::ProcessBatchRoundRobin(std::span<const StreamEvent> batch,
   // shard 0 runs on the calling thread). Shards share nothing but the
   // read-only batch view.
   ParallelFor(pool_.get(), shards_.size(), [this, batch](std::size_t s) {
+    // Each chunk owns exactly one shard for the duration of the batch.
+    RoleGuard owner(shards_[s].role());
     shards_[s].ProcessBatch(batch, &shard_alerts_[s]);
   });
   // Merge the per-shard outboxes into canonical (event, query, interval)
@@ -297,7 +334,9 @@ std::size_t StreamEngine::ShardOf(std::int64_t entity) const {
 void StreamEngine::PushOp(std::size_t shard, EntityShardOp&& op) {
   EntityWorker& w = *workers_[shard];
   if (!w.thread.joinable()) {
-    // Inline (shards=1) execution: same ops, same order, no queues.
+    // Inline (shards=1) execution: same ops, same order, no queues. No
+    // worker thread exists, so the sequencer owns the shard outright.
+    RoleGuard owner(w.shard.role());
     inline_results_.clear();
     w.shard.Execute(op, &inline_results_);
     for (EntityShardResult& r : inline_results_) HandleResult(shard, r);
@@ -357,6 +396,7 @@ void StreamEngine::EraseTop(std::size_t query, QueryControl& qc) {
   op.kind = EntityShardOp::Kind::kErase;
   op.query = static_cast<std::uint32_t>(query);
   op.seq = top.seq;
+  ++erases_sent_;
   PushOp(top.shard, std::move(op));
 }
 
@@ -448,6 +488,7 @@ void StreamEngine::SendInsert(std::size_t query, QueryControl& qc,
     // required entity hashes here: a cross-shard handoff.
     ++workers_[target]->handoffs_in;
   }
+  ++inserts_sent_;
   PushOp(target, std::move(op));
 }
 
@@ -473,9 +514,15 @@ void StreamEngine::QuiesceShards() {
 }
 
 std::size_t StreamEngine::PartialCount() const {
+  RoleGuard seq(sequencer_role_);
   if (options_.sharding == ShardingMode::kQueryRoundRobin) {
     std::size_t total = 0;
-    for (const StreamShard& shard : shards_) total += shard.PartialCount();
+    for (const StreamShard& shard : shards_) {
+      // No batch is in flight (external synchronization), so the engine
+      // thread owns every shard.
+      RoleGuard owner(shard.role());
+      total += shard.PartialCount();
+    }
     return total;
   }
   std::size_t total = 0;
@@ -484,9 +531,13 @@ std::size_t StreamEngine::PartialCount() const {
 }
 
 std::int64_t StreamEngine::dropped_partials() const {
+  RoleGuard seq(sequencer_role_);
   if (options_.sharding == ShardingMode::kQueryRoundRobin) {
     std::int64_t total = 0;
-    for (const StreamShard& shard : shards_) total += shard.dropped_partials();
+    for (const StreamShard& shard : shards_) {
+      RoleGuard owner(shard.role());
+      total += shard.dropped_partials();
+    }
     return total;
   }
   std::int64_t total = 0;
@@ -495,12 +546,19 @@ std::int64_t StreamEngine::dropped_partials() const {
 }
 
 EngineStats StreamEngine::Stats() const {
+  // Logically const but written through `self`: the entity-hash branch
+  // quiesces the shards (drains already-issued work) before reading their
+  // tables, and the capability analysis needs one consistent object
+  // expression for the sequencer role it claims here.
+  StreamEngine* self = const_cast<StreamEngine*>(this);
+  RoleGuard seq(self->sequencer_role_);
   EngineStats stats;
-  stats.out_of_order_events = out_of_order_events_;
-  if (options_.sharding == ShardingMode::kQueryRoundRobin) {
-    stats.shard_events.reserve(shards_.size());
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const StreamShard& shard = shards_[s];
+  stats.out_of_order_events = self->out_of_order_events_;
+  if (self->options_.sharding == ShardingMode::kQueryRoundRobin) {
+    stats.shard_events.reserve(self->shards_.size());
+    for (std::size_t s = 0; s < self->shards_.size(); ++s) {
+      const StreamShard& shard = self->shards_[s];
+      RoleGuard owner(shard.role());
       stats.shard_events.push_back(shard.events_processed());
       for (const QueryRuntime& query : shard.queries()) {
         EngineQueryStats row;
@@ -525,12 +583,13 @@ EngineStats StreamEngine::Stats() const {
                 return a.query_index < b.query_index;
               });
   } else {
-    // Logically const: the engine is externally synchronized, and the
-    // quiesce only drains already-issued work so the shard tables can be
-    // read coherently.
-    const_cast<StreamEngine*>(this)->QuiesceShards();
-    for (std::size_t s = 0; s < workers_.size(); ++s) {
-      const EntityWorker& w = *workers_[s];
+    // Quiescing establishes that the engine may read shard tables
+    // directly (every issued op has landed, workers parked on their
+    // inboxes), which is what makes the per-worker RoleGuard claims
+    // below legitimate.
+    self->QuiesceShards();
+    for (std::size_t s = 0; s < self->workers_.size(); ++s) {
+      const EntityWorker& w = *self->workers_[s];
       EngineShardStats row;
       row.shard = s;
       row.inbox_depth = w.inbox ? w.inbox->SizeApprox() : 0;
@@ -541,14 +600,15 @@ EngineStats StreamEngine::Stats() const {
       stats.shard_events.push_back(w.events_routed);
       stats.handoffs += w.handoffs_in;
     }
-    for (std::size_t q = 0; q < controls_.size(); ++q) {
-      const QueryControl& qc = controls_[q];
+    for (std::size_t q = 0; q < self->controls_.size(); ++q) {
+      const QueryControl& qc = self->controls_[q];
       EngineQueryStats row;
       row.query_index = q;
-      row.shard = q % workers_.size();
+      row.shard = q % self->workers_.size();
       row.live_partials = qc.live;
       row.peak_partials = qc.peak;
-      for (const auto& w : workers_) {
+      for (const auto& w : self->workers_) {
+        RoleGuard owner(w->shard.role());
         row.index_buckets += w->shard.table(q).bucket_count();
         row.wildcard_partials += w->shard.table(q).wildcard_size();
       }
@@ -574,6 +634,125 @@ EngineStats StreamEngine::Stats() const {
     stats.routing_skew = static_cast<double>(max_events) / mean;
   }
   return stats;
+}
+
+std::string StreamEngine::CheckInvariants() {
+  RoleGuard seq(sequencer_role_);
+  return CheckInvariantsInternal();
+}
+
+std::string StreamEngine::CheckInvariantsInternal() {
+  if (options_.sharding == ShardingMode::kQueryRoundRobin) {
+    // Events are broadcast, so every shard must have processed the same
+    // count; each shard's tables must be structurally sound.
+    std::int64_t events = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const StreamShard& shard = shards_[s];
+      RoleGuard owner(shard.role());
+      if (std::string err = shard.CheckInvariants(); !err.empty()) {
+        return "shard " + std::to_string(s) + ": " + err;
+      }
+      if (events < 0) {
+        events = shard.events_processed();
+      } else if (shard.events_processed() != events) {
+        return "shard " + std::to_string(s) + " processed " +
+               std::to_string(shard.events_processed()) +
+               " events, shard 0 processed " + std::to_string(events) +
+               " (batches are broadcast to every shard)";
+      }
+    }
+    return std::string();
+  }
+  // Entity-hash: land every in-flight op, then audit the sequencer's
+  // central accounting against what the shards actually did.
+  QuiesceShards();
+  std::int64_t inserts_executed = 0;
+  std::int64_t erases_executed = 0;
+  for (std::size_t s = 0; s < workers_.size(); ++s) {
+    const EntityWorker& w = *workers_[s];
+    RoleGuard owner(w.shard.role());
+    if (std::string err = w.shard.CheckInvariants(); !err.empty()) {
+      return "shard " + std::to_string(s) + ": " + err;
+    }
+    if (w.shard.probes_executed() != w.events_routed) {
+      return "shard " + std::to_string(s) + " executed " +
+             std::to_string(w.shard.probes_executed()) +
+             " probe ops, engine routed " + std::to_string(w.events_routed);
+    }
+    inserts_executed += w.shard.inserts_executed();
+    erases_executed += w.shard.erases_executed();
+  }
+  if (inserts_executed != inserts_sent_) {
+    return "engine sent " + std::to_string(inserts_sent_) +
+           " inserts, shards executed " + std::to_string(inserts_executed);
+  }
+  if (erases_executed != erases_sent_) {
+    return "engine sent " + std::to_string(erases_sent_) +
+           " erases, shards executed " + std::to_string(erases_executed);
+  }
+  for (std::size_t q = 0; q < controls_.size(); ++q) {
+    const QueryControl& qc = controls_[q];
+    const std::string prefix = "query " + std::to_string(q) + ": ";
+    std::size_t table_live = 0;
+    std::size_t table_wildcard = 0;
+    for (const auto& w : workers_) {
+      RoleGuard owner(w->shard.role());
+      table_live += w->shard.table(q).live();
+      table_wildcard += w->shard.table(q).wildcard_size();
+    }
+    if (qc.live != table_live) {
+      return prefix + "central live count " + std::to_string(qc.live) +
+             " != shard tables' total " + std::to_string(table_live);
+    }
+    if (qc.wildcard_live != table_wildcard) {
+      return prefix + "central wildcard count " +
+             std::to_string(qc.wildcard_live) + " != shard tables' total " +
+             std::to_string(table_wildcard);
+    }
+    if (qc.peak < qc.live) {
+      return prefix + "peak " + std::to_string(qc.peak) + " below live " +
+             std::to_string(qc.live);
+    }
+    // The central age heap must name exactly the live partials: one entry
+    // per engine seq, each resolvable on the shard the heap says owns it.
+    const auto& heap = HeapContainer(qc.by_age);
+    if (heap.size() != qc.live) {
+      return prefix + "age heap holds " + std::to_string(heap.size()) +
+             " entries, live count " + std::to_string(qc.live) +
+             " (the heap has no lazy deletion)";
+    }
+    std::unordered_set<std::uint64_t> seqs;
+    seqs.reserve(heap.size());
+    for (const AgeEntry& entry : heap) {
+      if (!seqs.insert(entry.seq).second) {
+        return prefix + "seq " + std::to_string(entry.seq) +
+               " appears twice in the age heap";
+      }
+      if (entry.seq >= qc.next_seq) {
+        return prefix + "age-heap seq " + std::to_string(entry.seq) +
+               " was never issued (next_seq " + std::to_string(qc.next_seq) +
+               ")";
+      }
+      if (entry.shard >= workers_.size()) {
+        return prefix + "age-heap entry names shard " +
+               std::to_string(entry.shard) + " of " +
+               std::to_string(workers_.size());
+      }
+      if (entry.wildcard && entry.shard != q % workers_.size()) {
+        return prefix + "wildcard partial filed on shard " +
+               std::to_string(entry.shard) + ", home shard is " +
+               std::to_string(q % workers_.size());
+      }
+      const EntityWorker& w = *workers_[entry.shard];
+      RoleGuard owner(w.shard.role());
+      if (!w.shard.table(q).HasSeq(entry.seq)) {
+        return prefix + "age-heap seq " + std::to_string(entry.seq) +
+               " missing from its shard " + std::to_string(entry.shard) +
+               " table";
+      }
+    }
+  }
+  return std::string();
 }
 
 }  // namespace tgm

@@ -6,9 +6,11 @@
 #include <memory>
 #include <queue>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "base/mutex.h"
 #include "exec/spsc_queue.h"
 #include "exec/thread_pool.h"
 #include "query/stream/entity_shard.h"
@@ -118,6 +120,17 @@ struct EngineStats {
 /// OnEvent call that completes a batch, and on Flush for a partial batch;
 /// with batch_size = 1 (the default and the StreamMonitor facade setting)
 /// every OnEvent is synchronous.
+///
+/// Concurrency contract (machine-checked on Clang, see base/annotations.h):
+/// the caller thread is the *sequencer* — all central decision state
+/// (batching buffers, per-query QueryControl, dispatch bitmaps, probe
+/// bookkeeping) is TGM_GUARDED_BY(sequencer_role_), claimed by each public
+/// entry point for its duration. Shard-owned state carries each shard's
+/// own role capability: the worker loop holds its shard's RoleGuard for
+/// its lifetime, and the sequencer may claim a shard role only where it
+/// provably owns the shard — inline (no worker thread) or after
+/// QuiesceShards(). A worker lambda reaching into sequencer state (or
+/// vice versa) no longer type-checks.
 class StreamEngine {
  public:
   struct Options {
@@ -188,7 +201,10 @@ class StreamEngine {
   /// before reading stats that must include all fed events).
   void Flush(const AlertSink& sink);
 
-  std::size_t query_count() const { return query_count_; }
+  std::size_t query_count() const {
+    RoleGuard seq(sequencer_role_);
+    return query_count_;
+  }
   int num_shards() const { return num_shards_; }
   ShardingMode sharding() const { return options_.sharding; }
 
@@ -196,14 +212,30 @@ class StreamEngine {
   /// processed). AddQuery is only legal when this is false; callers that
   /// want a recoverable error instead of the TGM_CHECK can test this
   /// first (Session does).
-  bool has_buffered_events() const { return !batch_.empty(); }
+  bool has_buffered_events() const {
+    RoleGuard seq(sequencer_role_);
+    return !batch_.empty();
+  }
 
   /// Number of live partial matches (all queries).
   std::size_t PartialCount() const;
   std::int64_t dropped_partials() const;
-  std::int64_t out_of_order_events() const { return out_of_order_events_; }
+  std::int64_t out_of_order_events() const {
+    RoleGuard seq(sequencer_role_);
+    return out_of_order_events_;
+  }
 
   EngineStats Stats() const;
+
+  /// Full-engine structural validator ("" = consistent, else the first
+  /// violation). Quiesces the shards, then checks every shard table's
+  /// PartialTable::CheckInvariants plus the engine-level cross-shard
+  /// accounting: central live counts vs. the sum of shard-table live
+  /// counts, the age heap's agreement with shard seq indexes, and
+  /// sent-vs-executed op counters (probes, inserts, erases). Run
+  /// automatically at every batch boundary when built with
+  /// -DTGMINER_CHECK_INVARIANTS=ON; callable any time between events.
+  std::string CheckInvariants();
 
  private:
   // --- entity-hash mode: central per-query control state ---------------
@@ -262,67 +294,99 @@ class StreamEngine {
     std::uint32_t origin = 0;
   };
 
-  void ProcessBatch(const AlertSink& sink);
+  void ProcessBatch(const AlertSink& sink) TGM_REQUIRES(sequencer_role_);
   void ProcessBatchRoundRobin(std::span<const StreamEvent> batch,
-                              const AlertSink& sink);
+                              const AlertSink& sink)
+      TGM_REQUIRES(sequencer_role_);
   void ProcessBatchEntityHash(std::span<const StreamEvent> batch,
-                              const AlertSink& sink);
-  void EmitMerged(const AlertSink& sink);
+                              const AlertSink& sink)
+      TGM_REQUIRES(sequencer_role_);
+  void EmitMerged(const AlertSink& sink) TGM_REQUIRES(sequencer_role_);
 
   std::size_t ShardOf(std::int64_t entity) const;
-  void PushOp(std::size_t shard, EntityShardOp&& op);
-  void HandleResult(std::size_t shard, EntityShardResult& result);
-  bool DrainOutboxes();
-  void WaitForProbes();
+  void PushOp(std::size_t shard, EntityShardOp&& op)
+      TGM_REQUIRES(sequencer_role_);
+  void HandleResult(std::size_t shard, EntityShardResult& result)
+      TGM_REQUIRES(sequencer_role_);
+  bool DrainOutboxes() TGM_REQUIRES(sequencer_role_);
+  void WaitForProbes() TGM_REQUIRES(sequencer_role_);
   /// Sends the erase for the query's closest-to-death partial (heap top).
-  void EraseTop(std::size_t query, QueryControl& qc);
+  void EraseTop(std::size_t query, QueryControl& qc)
+      TGM_REQUIRES(sequencer_role_);
   void SendProbes(std::size_t query, QueryControl& qc, std::size_t event_index,
-                  const StreamEvent& event);
+                  const StreamEvent& event) TGM_REQUIRES(sequencer_role_);
   /// Routes, sequences, and dispatches one new partial, applying the
   /// backpressure cap first. `origin` is the shard whose probe produced
   /// it, or -1 for a seed (no handoff either way).
   void SendInsert(std::size_t query, QueryControl& qc,
                   std::uint32_t next_edge, Timestamp first_ts,
                   Timestamp last_ts, std::span<const std::int64_t> binding,
-                  int origin);
+                  int origin) TGM_REQUIRES(sequencer_role_);
   /// Blocks until every op sent so far has executed (flush token per
   /// shard). Establishes that the engine may touch shard state directly;
   /// no-op when running inline.
-  void QuiesceShards();
+  void QuiesceShards() TGM_REQUIRES(sequencer_role_);
+  /// CheckInvariants body; split out so the ProcessBatch tail (which
+  /// already holds the sequencer role) can run it without re-acquiring.
+  std::string CheckInvariantsInternal() TGM_REQUIRES(sequencer_role_);
 
   Options options_;
   StreamLimits limits_;
   int num_shards_ = 1;
-  std::size_t query_count_ = 0;
+
+  /// The sequencer capability: stands for "I am the externally
+  /// synchronized caller thread". Every public entry point claims it with
+  /// a RoleGuard for its duration; the entity-hash worker lambdas never
+  /// hold it, so code running on a worker cannot touch the guarded
+  /// members below (it would not compile under Clang's analysis).
+  ThreadRole sequencer_role_;
+
+  std::size_t query_count_ TGM_GUARDED_BY(sequencer_role_) = 0;
 
   // Shared batching state (both modes).
-  std::vector<StreamEvent> batch_;   ///< filling side of the double buffer
-  std::vector<StreamEvent> active_;  ///< processing side (span target)
-  std::vector<ShardAlert> merged_;
-  bool any_event_ = false;
-  Timestamp last_ts_ = 0;
-  std::int64_t out_of_order_events_ = 0;
+  /// Filling side of the double buffer.
+  std::vector<StreamEvent> batch_ TGM_GUARDED_BY(sequencer_role_);
+  /// Processing side (span target).
+  std::vector<StreamEvent> active_ TGM_GUARDED_BY(sequencer_role_);
+  std::vector<ShardAlert> merged_ TGM_GUARDED_BY(sequencer_role_);
+  bool any_event_ TGM_GUARDED_BY(sequencer_role_) = false;
+  Timestamp last_ts_ TGM_GUARDED_BY(sequencer_role_) = 0;
+  std::int64_t out_of_order_events_ TGM_GUARDED_BY(sequencer_role_) = 0;
 
-  // kQueryRoundRobin state.
+  // kQueryRoundRobin state. The containers themselves are structurally
+  // immutable after the constructor (no guard needed to index them); the
+  // *elements* are confined — each StreamShard's state by its own role
+  // capability, each shard_alerts_ slot by the convention that only the
+  // worker running that shard's batch writes it.
   std::unique_ptr<ThreadPool> pool_;  // num_shards - 1 workers
   std::vector<StreamShard> shards_;
   std::vector<std::vector<ShardAlert>> shard_alerts_;  // per-shard outbox
 
-  // kEntityHash state.
+  // kEntityHash state. `workers_` is likewise fixed after construction;
+  // each EntityShard is confined by its role, the queues are internally
+  // synchronized, and the engine-side counters inside EntityWorker are
+  // written only by the sequencer.
   std::vector<std::unique_ptr<EntityWorker>> workers_;
-  std::vector<QueryControl> controls_;
-  SeedDispatchIndex seed_dispatch_;
-  bool dispatch_dirty_ = false;
-  Notifier results_ready_;
-  std::size_t outstanding_probes_ = 0;
-  std::size_t flush_acks_ = 0;
-  std::uint64_t flush_token_ = 0;
+  std::vector<QueryControl> controls_ TGM_GUARDED_BY(sequencer_role_);
+  SeedDispatchIndex seed_dispatch_ TGM_GUARDED_BY(sequencer_role_);
+  bool dispatch_dirty_ TGM_GUARDED_BY(sequencer_role_) = false;
+  Notifier results_ready_;  // internally synchronized
+  std::size_t outstanding_probes_ TGM_GUARDED_BY(sequencer_role_) = 0;
+  std::size_t flush_acks_ TGM_GUARDED_BY(sequencer_role_) = 0;
+  std::uint64_t flush_token_ TGM_GUARDED_BY(sequencer_role_) = 0;
+  /// Op counters for the sent-vs-executed accounting identity (the shard
+  /// side is EntityShard::inserts_executed/erases_executed; probes pair
+  /// with the per-worker events_routed).
+  std::int64_t inserts_sent_ TGM_GUARDED_BY(sequencer_role_) = 0;
+  std::int64_t erases_sent_ TGM_GUARDED_BY(sequencer_role_) = 0;
   // Per-event scratch (capacity persists across events).
-  std::vector<std::size_t> advancing_;
-  std::vector<std::vector<CollectedExt>> exts_by_query_;
-  std::vector<Interval> completions_scratch_;
-  std::vector<EntityShardResult> inline_results_;
-  BindingBuf seed_binding_;
+  std::vector<std::size_t> advancing_ TGM_GUARDED_BY(sequencer_role_);
+  std::vector<std::vector<CollectedExt>> exts_by_query_
+      TGM_GUARDED_BY(sequencer_role_);
+  std::vector<Interval> completions_scratch_ TGM_GUARDED_BY(sequencer_role_);
+  std::vector<EntityShardResult> inline_results_
+      TGM_GUARDED_BY(sequencer_role_);
+  BindingBuf seed_binding_ TGM_GUARDED_BY(sequencer_role_);
 };
 
 }  // namespace tgm

@@ -59,11 +59,13 @@ void EntityShard::Execute(EntityShardOp& op,
       queries_[op.query].table.InsertWithSeq(op.binding.view(), op.next_edge,
                                              op.first_ts, op.last_ts, op.role,
                                              op.key, op.seq);
+      ++inserts_executed_;
       break;
     case EntityShardOp::Kind::kErase: {
       const bool erased = queries_[op.query].table.EraseBySeq(op.seq);
       TGM_DCHECK(erased);
       (void)erased;
+      ++erases_executed_;
       break;
     }
     case EntityShardOp::Kind::kFlush: {

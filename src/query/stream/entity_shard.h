@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "base/mutex.h"
 #include "query/stream/query_runtime.h"
 
 namespace tgm {
@@ -122,26 +124,61 @@ struct EntityShardResult {
 /// all *decisions* (dedup, routing, expiry, eviction, seq assignment)
 /// live in the engine's central sequencer, which is what keeps the mode
 /// bit-identical to round-robin execution. Single-threaded by
-/// construction: exactly one worker drains the shard's inbox.
+/// construction: exactly one worker drains the shard's inbox — a
+/// confinement contract carried by `role()`: every member is
+/// TGM_GUARDED_BY(role_), so touching shard state requires a visible
+/// RoleGuard (the worker loop holds one for its lifetime; the engine may
+/// claim one only after QuiesceShards).
 class EntityShard {
  public:
   explicit EntityShard(const StreamLimits& limits) : limits_(limits) {}
+
+  /// The shard's confinement capability (see class comment).
+  const ThreadRole& role() const TGM_RETURN_CAPABILITY(role_) {
+    return role_;
+  }
 
   /// Registers query `global_index` (indexes must arrive consecutively).
   /// `window` is the query's effective window (engine window folded with
   /// any deadline — precomputed by the engine so every shard agrees).
   void AddQuery(std::size_t global_index,
                 std::shared_ptr<const CompiledQueryPlan> plan,
-                Timestamp window);
+                Timestamp window) TGM_REQUIRES(role_);
 
   /// Executes one op, appending at most one result message to `*results`.
-  void Execute(EntityShardOp& op, std::vector<EntityShardResult>* results);
+  void Execute(EntityShardOp& op, std::vector<EntityShardResult>* results)
+      TGM_REQUIRES(role_);
 
-  std::size_t query_count() const { return queries_.size(); }
-  const PartialTable& table(std::size_t query) const {
+  std::size_t query_count() const TGM_REQUIRES(role_) {
+    return queries_.size();
+  }
+  const PartialTable& table(std::size_t query) const TGM_REQUIRES(role_) {
     return queries_[query].table;
   }
-  std::int64_t probes_executed() const { return probes_executed_; }
+  std::int64_t probes_executed() const TGM_REQUIRES(role_) {
+    return probes_executed_;
+  }
+  /// Ops landed, by kind — the shard side of the engine's cross-shard
+  /// accounting check (sent counters must equal executed counters once
+  /// the shard is quiesced).
+  std::int64_t inserts_executed() const TGM_REQUIRES(role_) {
+    return inserts_executed_;
+  }
+  std::int64_t erases_executed() const TGM_REQUIRES(role_) {
+    return erases_executed_;
+  }
+
+  /// Structural validator: every query table's CheckInvariants, first
+  /// violation reported with its query index ("" = all consistent).
+  std::string CheckInvariants() const TGM_REQUIRES(role_) {
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      if (std::string err = queries_[q].table.CheckInvariants();
+          !err.empty()) {
+        return "query " + std::to_string(q) + ": " + err;
+      }
+    }
+    return std::string();
+  }
 
  private:
   struct QueryState {
@@ -158,8 +195,11 @@ class EntityShard {
   };
 
   StreamLimits limits_;
-  std::vector<QueryState> queries_;
-  std::int64_t probes_executed_ = 0;
+  ThreadRole role_;
+  std::vector<QueryState> queries_ TGM_GUARDED_BY(role_);
+  std::int64_t probes_executed_ TGM_GUARDED_BY(role_) = 0;
+  std::int64_t inserts_executed_ TGM_GUARDED_BY(role_) = 0;
+  std::int64_t erases_executed_ TGM_GUARDED_BY(role_) = 0;
 };
 
 }  // namespace tgm

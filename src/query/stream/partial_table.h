@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 #include <span>
+#include <string>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +14,8 @@
 #include "temporal/common.h"
 
 namespace tgm {
+
+struct PartialTableTestPeer;
 
 /// Storage for one query's live partial matches, organised for O(touched)
 /// per-event work instead of O(live):
@@ -169,7 +172,24 @@ class PartialTable {
   /// partial. Requires live() > 0.
   void EvictOldest();
 
+  /// Whether a partial is filed under engine sequence number `seq`
+  /// (external-lifetime mode; the engine's cross-shard validator uses it
+  /// to check its age heap against the shard tables).
+  bool HasSeq(std::uint64_t seq) const {
+    return by_seq_.find(seq) != by_seq_.end();
+  }
+
+  /// Structural validator (base/invariants.h): returns "" when the
+  /// representation is consistent, else a description of the first
+  /// violated invariant. Checked relations: binding-arena and free-list
+  /// bounds; live count == allocated − free == Σ bucket sizes; every
+  /// bucket entry's meta (role, key, bucket_pos) points back at its
+  /// bucket; no empty entity buckets; the age heap (internal mode) or the
+  /// seq index (external-lifetime mode) covers exactly the live slots.
+  std::string CheckInvariants() const;
+
  private:
+  friend struct PartialTableTestPeer;
   struct Meta {
     std::uint32_t next_edge = 0;
     Timestamp first_ts = 0;

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.h"
 #include "query/stream/query_runtime.h"
 
 namespace tgm {
@@ -113,10 +115,22 @@ class SeedDispatchIndex {
 ///
 /// A shard is single-threaded by construction: the engine gives each
 /// batch's ProcessBatch call to exactly one worker, and no state is shared
-/// between shards.
+/// between shards. That confinement is a machine-checked contract: every
+/// piece of shard state is TGM_GUARDED_BY(role()) and every accessor
+/// requires the role, so any caller — the ParallelFor chunk that owns a
+/// batch, or the engine reading stats between batches — must claim
+/// ownership with a visible RoleGuard (base/mutex.h) for the code to
+/// compile under Clang's thread-safety analysis.
 class StreamShard {
  public:
   explicit StreamShard(const StreamLimits& limits) : limits_(limits) {}
+
+  /// The shard's confinement capability; hold it (RoleGuard) to touch any
+  /// shard state. Legitimate claimants: the worker running this shard's
+  /// ProcessBatch, and the engine thread while no batch is in flight.
+  const ThreadRole& role() const TGM_RETURN_CAPABILITY(role_) {
+    return role_;
+  }
 
   /// Registers a query under its engine-global index. Indexes must arrive
   /// in increasing order (the engine assigns round-robin). `window`
@@ -124,17 +138,19 @@ class StreamShard {
   /// `constraints` are the query's timed-automata guards (a trivial value
   /// is the plain unconstrained query).
   void AddQuery(std::size_t global_index, const Pattern& query,
-                Timestamp window, const TemporalConstraints& constraints) {
+                Timestamp window, const TemporalConstraints& constraints)
+      TGM_REQUIRES(role_) {
     StreamLimits limits = limits_;
     limits.window = window;
     queries_.emplace_back(global_index, query, constraints, limits);
     dispatch_dirty_ = true;
   }
   void AddQuery(std::size_t global_index, const Pattern& query,
-                Timestamp window) {
+                Timestamp window) TGM_REQUIRES(role_) {
     AddQuery(global_index, query, window, TemporalConstraints());
   }
-  void AddQuery(std::size_t global_index, const Pattern& query) {
+  void AddQuery(std::size_t global_index, const Pattern& query)
+      TGM_REQUIRES(role_) {
     AddQuery(global_index, query, limits_.window);
   }
 
@@ -143,30 +159,46 @@ class StreamShard {
   /// (event_index, query_index, interval) because queries are advanced in
   /// ascending global order and each advance reports sorted intervals.
   void ProcessBatch(std::span<const StreamEvent> batch,
-                    std::vector<ShardAlert>* out);
+                    std::vector<ShardAlert>* out) TGM_REQUIRES(role_);
 
-  const std::vector<QueryRuntime>& queries() const { return queries_; }
-  std::int64_t events_processed() const { return events_processed_; }
+  const std::vector<QueryRuntime>& queries() const TGM_REQUIRES(role_) {
+    return queries_;
+  }
+  std::int64_t events_processed() const TGM_REQUIRES(role_) {
+    return events_processed_;
+  }
 
-  std::size_t PartialCount() const {
+  std::size_t PartialCount() const TGM_REQUIRES(role_) {
     std::size_t total = 0;
     for (const QueryRuntime& q : queries_) total += q.table().live();
     return total;
   }
-  std::int64_t dropped_partials() const {
+  std::int64_t dropped_partials() const TGM_REQUIRES(role_) {
     std::int64_t total = 0;
     for (const QueryRuntime& q : queries_) total += q.dropped_partials();
     return total;
   }
 
+  /// Structural validator: every query table's CheckInvariants, first
+  /// violation reported with its query index ("" = all consistent).
+  std::string CheckInvariants() const TGM_REQUIRES(role_) {
+    for (const QueryRuntime& q : queries_) {
+      if (std::string err = q.table().CheckInvariants(); !err.empty()) {
+        return "query " + std::to_string(q.global_index()) + ": " + err;
+      }
+    }
+    return std::string();
+  }
+
  private:
   StreamLimits limits_;
-  std::vector<QueryRuntime> queries_;
-  std::int64_t events_processed_ = 0;
-  std::vector<Interval> scratch_;
+  ThreadRole role_;
+  std::vector<QueryRuntime> queries_ TGM_GUARDED_BY(role_);
+  std::int64_t events_processed_ TGM_GUARDED_BY(role_) = 0;
+  std::vector<Interval> scratch_ TGM_GUARDED_BY(role_);
   /// Seed-dispatch bitmaps over local query slots.
-  SeedDispatchIndex seed_dispatch_;
-  bool dispatch_dirty_ = false;
+  SeedDispatchIndex seed_dispatch_ TGM_GUARDED_BY(role_);
+  bool dispatch_dirty_ TGM_GUARDED_BY(role_) = false;
 };
 
 }  // namespace tgm

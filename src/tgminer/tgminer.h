@@ -5,6 +5,16 @@
 /// Umbrella header: the full public API of the TGMiner library.
 ///
 /// Layering, bottom to top (each header is also usable on its own):
+///  - base vocabulary: base/annotations.h (the Clang thread-safety
+///    capability macros — TGM_GUARDED_BY/TGM_REQUIRES/TGM_EXCLUDES/... —
+///    no-ops off Clang), base/mutex.h (annotated Mutex/MutexLock/CondVar
+///    wrappers plus the ThreadRole confinement capability), and
+///    base/invariants.h (structural validators + the
+///    TGMINER_CHECK_INVARIANTS batch-boundary hook). base/ depends on
+///    nothing in the tree and everything concurrent depends on it: the
+///    exec/ primitives' locking contracts and the stream engine's
+///    sequencer/shard ownership split are spelled in these macros and
+///    machine-checked by the static-analysis CI wall.
 ///  - error model: api/status.h (tgm::Status / tgm::StatusOr<T>, used by
 ///    every layer's fallible public entry points)
 ///  - temporal graph substrate: temporal_graph.h, pattern.h, sequence.h,
