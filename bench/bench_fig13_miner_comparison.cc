@@ -52,10 +52,13 @@ int main(int argc, char** argv) {
   // values and only the response times change. TIMEOUT rows truncate at a
   // timing-dependent point, so their results may differ per thread count.
   // --root_batch=1 recovers the exact serial search (inner-loop
-  // parallelism only); note results are comparable across runs only for
-  // equal --root_batch, which is therefore recorded in the JSON payload.
+  // parallelism only) and --root_batch=0 auto-sizes batches from the
+  // thread count (adaptive; repeatable per thread count but not
+  // comparable across thread counts); note results are comparable across
+  // runs only for equal --root_batch, which is therefore recorded in the
+  // JSON payload.
   int num_threads = static_cast<int>(flags.GetInt("threads", 1, 0, 4096));
-  int root_batch = static_cast<int>(flags.GetInt("root_batch", 16, 1, 4096));
+  int root_batch = static_cast<int>(flags.GetInt("root_batch", 16, 0, 4096));
 
   const std::vector<MinerSpec> miners = {
       {"TGMiner", MinerConfig::TGMiner()},  {"PruneGI", MinerConfig::PruneGI()},

@@ -279,6 +279,12 @@ BENCHMARK(BM_MineParallel)
     ->Args({2, 16})
     ->Args({4, 16})
     ->Args({8, 16})
+    // root_batch=0: the adaptive sentinel sizes batches from the thread
+    // count, so these rows measure the prune-loss-vs-speedup trade of the
+    // auto batch against the explicit rows above (patterns_visited shows
+    // the extra exploration, time/iteration the payoff).
+    ->Args({4, 0})
+    ->Args({8, 0})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -99,8 +99,10 @@ fi
 "$BUILD_DIR/bench/bench_micro_operations" "${MICRO_ARGS[@]}"
 
 # The fig13 miner comparison writes the same-shaped JSON via --json_out and
-# records --threads/--root_batch as counters on every row.
-FIG13_ARGS=(--json_out="$OUT_DIR/BENCH_fig13_miner_comparison.json"
+# records --threads/--root_batch as counters on every row. The committed
+# seed baselines live in bench/baselines/BENCH_*.json; refresh them from a
+# full (non-smoke) run on an idle machine.
+FIG13_ARGS=(--json_out="$OUT_DIR/BENCH_fig13.json"
             --threads="$THREADS")
 if [[ "$SMOKE" == 1 ]]; then
   FIG13_ARGS+=(--scale=0.2 --budget_ms=5000 --max_edges=4

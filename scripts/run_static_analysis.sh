@@ -13,8 +13,12 @@
 # Modes:
 #   scripts/run_static_analysis.sh                 # all gates
 #   scripts/run_static_analysis.sh --seeded-defect # prove gate 2 bites:
-#       re-introduce the PR-7 SpscQueue self-deadlock (notifying TryPush
-#       inside the mu_-held slow path) and require the build to FAIL.
+#       (1) re-introduce the PR-7 SpscQueue self-deadlock (notifying
+#           TryPush inside the mu_-held slow path), and
+#       (2) re-introduce the old thread-pool's blocking join in the
+#           work-stealing TaskGroup (helping while wait_mu_ is held, the
+#           nested-Submit deadlock shape the scheduler was built to kill);
+#       both seeds must FAIL the -Werror=thread-safety build.
 #
 # Requires clang++ and (for gate 3) clang-tidy; gates degrade to hard
 # errors, never silent skips, so CI cannot go green without them.
@@ -86,6 +90,36 @@ EOF
       -I src "${WORK}/seeded_tu.cc" \
     || fail "pristine spsc_queue.h does not pass the wall"
   echo "   OK: pristine header passes the same check"
+
+  echo "== Seeded defect: re-introducing the old pool's blocking nested join"
+  # Swap TaskGroup::ParkUntilProgress's bounded park for helping while
+  # wait_mu_ is held. Running backlog tasks under the join mutex is exactly
+  # the old ThreadPool nested-Submit deadlock re-born: the helped task's
+  # OnTaskFinished() re-locks wait_mu_ on this same thread. HelpOne() is
+  # annotated TGM_EXCLUDES(wait_mu_), so the wall must reject the call.
+  sed 's/done_cv_.WaitFor(lock, kParkTimeout);/while (pending_ != 0) HelpOne();/' \
+    src/exec/work_stealing.cc > "${WORK}/exec/work_stealing.cc"
+  if cmp -s src/exec/work_stealing.cc "${WORK}/exec/work_stealing.cc"; then
+    fail "seed pattern did not match work_stealing.cc — update the sed in $0"
+  fi
+  set +e
+  OUT="$("${CLANGXX}" -std=c++20 -fsyntax-only \
+      -Wthread-safety -Werror=thread-safety \
+      -I src "${WORK}/exec/work_stealing.cc" 2>&1)"
+  STATUS=$?
+  set -e
+  if [[ ${STATUS} -eq 0 ]]; then
+    fail "seeded nested-join deadlock COMPILED — the wall is not biting"
+  fi
+  echo "${OUT}" | grep -q 'thread-safety' \
+    || fail "seeded scheduler build failed for the wrong reason: ${OUT}"
+  echo "   OK: seeded nested-join deadlock rejected by -Werror=thread-safety:"
+  echo "${OUT}" | grep "wait_mu_\|thread-safety" | head -3 | sed 's/^/   | /'
+  # Sanity: the pristine scheduler source must still pass the same check.
+  "${CLANGXX}" -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety \
+      -I src src/exec/work_stealing.cc \
+    || fail "pristine work_stealing.cc does not pass the wall"
+  echo "   OK: pristine scheduler passes the same check"
   exit 0
 fi
 

@@ -6,36 +6,44 @@
 #include <utility>
 #include <vector>
 
-#include "base/mutex.h"
-#include "exec/thread_pool.h"
+#include "exec/work_stealing.h"
 
 namespace tgm {
 
 /// Deterministic parallel-for: runs `body(i)` for every i in [0, n).
 ///
-/// The index space is split into at most `1 + pool->num_workers()`
-/// contiguous chunks whose boundaries are a pure function of (n, chunk
-/// count) — never of timing — so iterations see a schedule-independent
-/// index assignment. Results must be written to per-index (or per-chunk)
-/// slots; callers that then combine slots in index order get output
-/// bit-identical to the serial loop, which is how the miner keeps
-/// `num_threads > 1` results equal to serial mining.
+/// The index space is split into contiguous chunks whose boundaries are a
+/// pure function of (n, chunk count) — never of timing — so iterations see
+/// a schedule-independent index assignment. Results must be written to
+/// per-index (or per-chunk) slots; callers that then combine slots in
+/// index order get output bit-identical to the serial loop, which is how
+/// the miner keeps `num_threads > 1` results equal to serial mining.
+///
+/// Chunks are stealable tasks on the scheduler, oversubscribed several per
+/// thread, so uneven per-index costs rebalance instead of the call
+/// tail-waiting on its slowest fixed chunk. Which thread runs a chunk
+/// varies run to run; which *indices* form a chunk does not.
 ///
 /// Chunk 0 runs on the calling thread; the call blocks until every chunk
-/// has finished. With a null pool, zero workers, or n < 2 the loop runs
-/// inline. If bodies throw, the exception from the lowest-indexed chunk is
-/// rethrown after all chunks complete (again schedule-independent).
-///
-/// Must not be called from inside a pool worker: the pool has no work
-/// stealing, so a region waiting on its own pool's queue can deadlock.
+/// has finished. With a null scheduler, zero workers, or n < 2 the loop
+/// runs inline. If bodies throw, the exception from the lowest-indexed
+/// chunk is rethrown after all chunks complete (again
+/// schedule-independent). Safe to call from inside a scheduler task:
+/// the join helps (steals) instead of sleeping.
 template <typename Body>
-void ParallelFor(ThreadPool* pool, std::size_t n, const Body& body) {
-  const std::size_t max_chunks =
-      pool == nullptr ? 1 : static_cast<std::size_t>(pool->num_workers()) + 1;
-  if (max_chunks <= 1 || n < 2) {
+void ParallelFor(StealScheduler* pool, std::size_t n, const Body& body) {
+  const std::size_t workers =
+      pool == nullptr ? 0 : static_cast<std::size_t>(pool->num_workers());
+  if (workers == 0 || n < 2) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // Oversubscribe so early finishers steal remaining chunks; the count is a
+  // pure function of (n, workers), keeping chunk boundaries deterministic.
+  // 2x is deliberately mild: each extra chunk costs an enqueue/steal/join
+  // round-trip, which on small regions rivals the chunk's own work.
+  constexpr std::size_t kChunksPerThread = 2;
+  const std::size_t max_chunks = (workers + 1) * kChunksPerThread;
   const std::size_t chunks = n < max_chunks ? n : max_chunks;
   const std::size_t base = n / chunks;
   const std::size_t rem = n % chunks;
@@ -45,14 +53,11 @@ void ParallelFor(ThreadPool* pool, std::size_t n, const Body& body) {
     return c * base + (c < rem ? c : rem);
   };
 
-  // The join latch. `pending` is guarded by `mu`; `errors` needs no guard
-  // (chunk c is the only writer of errors[c], and the latch's
-  // release/acquire pairing orders every write before the final read).
-  Mutex mu;
-  CondVar done_cv;
-  std::size_t pending TGM_GUARDED_BY(mu) = chunks - 1;
+  // Chunk c is the only writer of errors[c]; the group join orders every
+  // write before the final read. Keeping per-chunk slots (instead of the
+  // group's own first-recorded error) makes the rethrown exception the
+  // lowest-indexed one regardless of steal schedule.
   std::vector<std::exception_ptr> errors(chunks);
-
   auto run_chunk = [&body, &errors, chunk_begin](std::size_t c,
                                                  std::size_t end) {
     try {
@@ -62,18 +67,12 @@ void ParallelFor(ThreadPool* pool, std::size_t n, const Body& body) {
     }
   };
 
+  TaskGroup group(pool);
   for (std::size_t c = 1; c < chunks; ++c) {
-    pool->Submit([&, c] {
-      run_chunk(c, chunk_begin(c + 1));
-      MutexLock lock(mu);
-      if (--pending == 0) done_cv.NotifyOne();
-    });
+    group.Run([&run_chunk, &chunk_begin, c] { run_chunk(c, chunk_begin(c + 1)); });
   }
   run_chunk(0, chunk_begin(1));
-  {
-    MutexLock lock(mu);
-    done_cv.Wait(lock, [&pending]() TGM_REQUIRES(mu) { return pending == 0; });
-  }
+  group.Wait();
   for (std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(std::move(e));
   }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 
+#include "base/invariants.h"
 #include "exec/parallel_for.h"
 #include "mining/key_index.h"
 
@@ -24,6 +26,14 @@ std::size_t CountEmbeddings(const EmbeddingTable& table) {
   return n;
 }
 
+/// Number of entries in an ascending position list that lie strictly after
+/// `last` — the incident tail-edge count CSR enumeration works from.
+std::size_t TailSuffixCount(EdgePosSpan positions, EdgePos last) {
+  return static_cast<std::size_t>(
+      positions.end() -
+      std::upper_bound(positions.begin(), positions.end(), last));
+}
+
 }  // namespace
 
 Miner::Miner(const MinerConfig& config,
@@ -35,7 +45,7 @@ Miner::Miner(const MinerConfig& config,
       score_(config.score_kind, static_cast<std::int64_t>(pos_graphs_.size()),
              static_cast<std::int64_t>(neg_graphs_.size()), config.epsilon),
       pool_(ResolveNumThreads(config.num_threads) > 1
-                ? std::make_unique<ThreadPool>(
+                ? std::make_unique<StealScheduler>(
                       ResolveNumThreads(config.num_threads) - 1)
                 : nullptr),
       tester_(MakeTester(config.subgraph_algo)),
@@ -85,7 +95,7 @@ std::int64_t Miner::DedupeAndCap(EmbeddingTable& table) const {
   return cap_hits;
 }
 
-void Miner::DedupeAndCapAll(ThreadPool* pool,
+void Miner::DedupeAndCapAll(StealScheduler* pool,
                             const std::vector<EmbeddingTable*>& tables,
                             std::int64_t* cap_hits) const {
   std::size_t total_embeddings = 0;
@@ -180,6 +190,16 @@ void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
     node_slot.assign(g.node_count(), kNewNode);
   }
 
+  // CSR-driven candidate enumeration: when the per-node position lists say
+  // few tail edges touch the mapped nodes, gather exactly those positions
+  // from the incidence spans instead of scanning the whole tail. The
+  // gathered set, sorted ascending, is precisely the positions the linear
+  // scan would have accepted, in the same order — candidate streams (and
+  // therefore run first-encounter order and ranked output) are identical
+  // either way, so the cutover is purely a cost decision.
+  std::vector<EdgePos> incident;
+  bool incident_acquired = false;
+
   for (const Embedding& emb : ge.embeds) {
     if (use_node_slot) {
       for (std::size_t i = 0; i < emb.nodes.size(); ++i) {
@@ -187,8 +207,7 @@ void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
             static_cast<NodeId>(i);
       }
     }
-    for (std::size_t p = static_cast<std::size_t>(emb.last) + 1;
-         p < edges.size(); ++p) {
+    auto process = [&](std::size_t p) {
       const TemporalEdge& e = edges[p];
       NodeId u = use_node_slot
                      ? node_slot[static_cast<std::size_t>(e.src)]
@@ -196,7 +215,7 @@ void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
       NodeId v = use_node_slot
                      ? node_slot[static_cast<std::size_t>(e.dst)]
                      : FindMappedNode(emb.nodes, e.dst);
-      if (u == kNewNode && v == kNewNode) continue;  // not T-connected
+      if (u == kNewNode && v == kNewNode) return;  // not T-connected
       ExtensionKey key;
       key.src = u;
       key.dst = v;
@@ -208,6 +227,46 @@ void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
       if (u == kNewNode) child.nodes.push_back(e.src);
       if (v == kNewNode) child.nodes.push_back(e.dst);
       child.last = static_cast<EdgePos>(p);
+    };
+
+    // Incident tail-edge estimate from the CSR spans. Edges joining two
+    // mapped nodes are counted twice (once per endpoint) — acceptable for
+    // a cost estimate, deduplicated in the gather below. Short tails are
+    // exempt outright — a linear scan of a few dozen edges beats any
+    // amount of per-node bookkeeping — and the loop bails as soon as the
+    // estimate disqualifies the gather, so dense embeddings pay at most
+    // one or two binary searches, not one per mapped node.
+    constexpr std::size_t kCsrGatherMinTail = 64;
+    const std::size_t tail_len =
+        edges.size() - static_cast<std::size_t>(emb.last) - 1;
+    std::size_t incident_estimate = tail_len < kCsrGatherMinTail ? tail_len : 0;
+    for (std::size_t i = 0;
+         i < emb.nodes.size() && 2 * incident_estimate < tail_len; ++i) {
+      incident_estimate += TailSuffixCount(g.out_edges(emb.nodes[i]), emb.last);
+      incident_estimate += TailSuffixCount(g.in_edges(emb.nodes[i]), emb.last);
+    }
+    if (2 * incident_estimate < tail_len) {
+      if (!incident_acquired) {
+        incident = ScratchPool<EdgePos>::Acquire();
+        incident_acquired = true;
+      }
+      incident.clear();
+      for (std::size_t i = 0; i < emb.nodes.size(); ++i) {
+        for (EdgePosSpan span :
+             {g.out_edges(emb.nodes[i]), g.in_edges(emb.nodes[i])}) {
+          auto it = std::upper_bound(span.begin(), span.end(), emb.last);
+          incident.insert(incident.end(), it, span.end());
+        }
+      }
+      std::sort(incident.begin(), incident.end());
+      incident.erase(std::unique(incident.begin(), incident.end()),
+                     incident.end());
+      for (EdgePos p : incident) process(static_cast<std::size_t>(p));
+    } else {
+      for (std::size_t p = static_cast<std::size_t>(emb.last) + 1;
+           p < edges.size(); ++p) {
+        process(p);
+      }
     }
     if (use_node_slot) {
       for (std::size_t i = 0; i < emb.nodes.size(); ++i) {
@@ -215,10 +274,11 @@ void Miner::CollectGraphExtensions(const GraphEmbeddings& ge,
       }
     }
   }
+  if (incident_acquired) ScratchPool<EdgePos>::Release(std::move(incident));
   if (use_node_slot) ScratchPool<NodeId>::Release(std::move(node_slot));
 }
 
-void Miner::CollectExtensions(ThreadPool* pool, const EmbeddingTable& table,
+void Miner::CollectExtensions(StealScheduler* pool, const EmbeddingTable& table,
                               const std::vector<const TemporalGraph*>& graphs,
                               bool positive_side,
                               std::vector<KeyedEmbeds>& out) const {
@@ -258,8 +318,10 @@ std::vector<Miner::ChildWork> Miner::BuildChildren(
   // order reproduces the exact per-key bucket layout the seed built by
   // inserting into a std::map — without comparison-sorting the whole run
   // list. Only the small distinct-key children list is sorted, which also
-  // erases the hash-driven first-encounter order.
-  std::vector<ChildWork> children;
+  // erases the hash-driven first-encounter order. The vector itself is
+  // pooled: every DFS level builds one, so callers release it (after
+  // recycling any leftover bucket tables) when the level unwinds.
+  std::vector<ChildWork> children = ScratchPool<ChildWork>::Acquire();
   HybridKeyIndex child_index(
       0, [](const ExtensionKey& key) { return HashKey(key); },
       [&children](std::size_t i) -> const ExtensionKey& {
@@ -366,9 +428,179 @@ void Miner::CommitTopEntry(MinedPattern mined) {
   if (static_cast<int>(top_.size()) > config_.top_k) top_.pop_back();
 }
 
+std::int64_t Miner::CollectPruneCandidates(
+    const WorkerState& ws, std::int64_t pos_i_value,
+    const std::vector<std::pair<std::int32_t, EdgePos>>& pos_cuts,
+    std::vector<PruneCandidate>& out) const {
+  // Same committed-then-local order and counting as ForEachCandidate, but
+  // into a materialized list: cum_equiv_tests snapshots the counter at each
+  // candidate so an early-exit scan's charges can be replayed afterwards.
+  std::int64_t equiv_tests = 0;
+  auto sink = [&](const PatternRegistry::CandidateMeta& meta,
+                  const RegisteredPattern& entry) {
+    out.push_back(PruneCandidate{&meta, &entry, equiv_tests});
+    return true;
+  };
+  ws.committed->ForEachPosCandidate(pos_i_value, pos_cuts, &equiv_tests, sink);
+  ws.local.ForEachPosCandidate(pos_i_value, pos_cuts, &equiv_tests, sink);
+  return equiv_tests;
+}
+
+std::unique_ptr<TemporalSubgraphTester> Miner::AcquireLaneTester() {
+  {
+    MutexLock lock(lane_tester_mu_);
+    if (!lane_testers_.empty()) {
+      std::unique_ptr<TemporalSubgraphTester> tester =
+          std::move(lane_testers_.back());
+      lane_testers_.pop_back();
+      return tester;
+    }
+  }
+  return MakeTester(config_.subgraph_algo);
+}
+
+void Miner::ReleaseLaneTester(std::unique_ptr<TemporalSubgraphTester> tester) {
+  MutexLock lock(lane_tester_mu_);
+  lane_testers_.push_back(std::move(tester));
+}
+
+std::size_t Miner::FanOutFirstTrigger(
+    StealScheduler* pool, std::size_t n,
+    const std::function<bool(std::size_t, TemporalSubgraphTester&)>& test) {
+  // Chunk boundaries are a pure function of (n, workers) — never of
+  // timing — and each chunk borrows one tester for its whole range, so
+  // the memoizing testers see runs of candidates instead of singletons.
+  //
+  // `first_trigger` holds the smallest index that triggered so far. It
+  // only ever decreases, so any lane it causes to be skipped lies past
+  // the final value — exactly the lanes a serial early-exit scan never
+  // reaches — and every index below the final value was tested. The
+  // returned index therefore equals the serial stop for every schedule.
+  const std::size_t chunks =
+      std::min(n, (static_cast<std::size_t>(pool->num_workers()) + 1) * 2);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  auto chunk_begin = [base, rem](std::size_t c) {
+    return c * base + std::min(c, rem);
+  };
+  std::atomic<std::size_t> first_trigger{n};
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = chunk_begin(c);
+    const std::size_t end = chunk_begin(c + 1);
+    if (begin > first_trigger.load(std::memory_order_acquire)) return;
+    std::unique_ptr<TemporalSubgraphTester> tester = AcquireLaneTester();
+    for (std::size_t s = begin; s < end; ++s) {
+      if (s > first_trigger.load(std::memory_order_acquire)) break;
+      if (test(s, *tester)) {
+        std::size_t cur = first_trigger.load(std::memory_order_acquire);
+        while (s < cur && !first_trigger.compare_exchange_weak(
+                              cur, s, std::memory_order_acq_rel)) {
+        }
+        break;  // later indices in this chunk are past the trigger
+      }
+    }
+    ReleaseLaneTester(std::move(tester));
+  };
+  TaskGroup group(pool);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    group.Run([&run_chunk, c] { run_chunk(c); });
+  }
+  run_chunk(0);
+  group.Wait();
+  return first_trigger.load(std::memory_order_acquire);
+}
+
 bool Miner::TrySubgraphPrune(WorkerState& ws, const Pattern& pattern,
                              const ResidualSet& pos_res,
                              double* inherited_bound) {
+  if (ws.pool != nullptr && ws.pool->num_workers() > 0 &&
+      static_cast<std::int64_t>(
+          ws.committed->PosCandidateCountBound(pos_res.i_value()) +
+          ws.local.PosCandidateCountBound(pos_res.i_value())) >=
+          std::max<std::int64_t>(2, config_.parallel_min_prune_candidates)) {
+    // Pooled pass: materialize the candidate stream, apply the cheap gates
+    // serially in candidate order, fan the expensive mapping tests out,
+    // then charge the counters exactly as the serial early-exit scan would
+    // have — so search-shape stats stay bit-identical to a serial run.
+    // With no workers the streaming path below is strictly cheaper (it
+    // stops enumerating at the first trigger), so this pass requires a
+    // pool that can actually overlap the tests — and a candidate bucket at
+    // least the fan-out floor deep, checked on the O(1) count bound so the
+    // (common) shallow passes never pay for materialization at all.
+    std::vector<PruneCandidate> cands;
+    const std::int64_t total_equiv =
+        CollectPruneCandidates(ws, pos_res.i_value(), pos_res.cuts(), cands);
+    std::vector<std::size_t> survivors;
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      const PatternRegistry::CandidateMeta& meta = *cands[c].meta;
+      if (config_.check_reference_score_first &&
+          meta.branch_best >= ws.best_score) {
+        continue;
+      }
+      if (static_cast<std::int32_t>(pattern.edge_count()) > meta.edge_count) {
+        continue;
+      }
+      survivors.push_back(c);
+    }
+
+    // The verdict for one survivor — the serial lambda body after its
+    // gates: a mapping exists, condition (3) holds, and the reference
+    // branch's best stays below the current best. A pure function of the
+    // candidate (ws.best_score is constant for the whole pass).
+    auto test_survivor = [&](std::size_t s, TemporalSubgraphTester& tester,
+                             std::vector<char>& mapped) {
+      const PruneCandidate& cand = cands[survivors[s]];
+      auto mapping = tester.FindMapping(pattern, cand.entry->pattern);
+      if (!mapping.has_value()) return false;
+      mapped.assign(static_cast<std::size_t>(cand.meta->node_count), 0);
+      for (NodeId target : *mapping) {
+        mapped[static_cast<std::size_t>(target)] = 1;
+      }
+      for (std::size_t v = 0; v < mapped.size(); ++v) {
+        if (mapped[v] != 0) continue;
+        LabelId l = cand.entry->pattern.label(static_cast<NodeId>(v));
+        if (pos_res.ResidualLabelSetContains(l, pos_graphs_)) return false;
+      }
+      return cand.meta->branch_best < ws.best_score;
+    };
+
+    std::size_t stop_s = survivors.size();
+    if (static_cast<std::int64_t>(survivors.size()) >=
+        std::max<std::int64_t>(2, config_.parallel_min_prune_candidates)) {
+      stop_s = FanOutFirstTrigger(
+          ws.pool, survivors.size(),
+          [&](std::size_t s, TemporalSubgraphTester& tester) {
+            std::vector<char> mapped = ScratchPool<char>::Acquire();
+            const bool hit = test_survivor(s, tester, mapped);
+            ScratchPool<char>::Release(std::move(mapped));
+            return hit;
+          });
+    } else {
+      for (std::size_t s = 0; s < survivors.size(); ++s) {
+        if (test_survivor(s, *ws.tester, ws.mapped_scratch)) {
+          stop_s = s;
+          break;
+        }
+      }
+    }
+
+    // Counter replay: a serial scan stopping at the triggering candidate
+    // charges its cumulative enumeration count and one subgraph test per
+    // survivor reached; a full scan charges the totals. Tests the fan-out
+    // ran beyond the stop index are speculative waste, never stats.
+    const bool pruned = stop_s < survivors.size();
+    if (pruned) {
+      const PruneCandidate& cand = cands[survivors[stop_s]];
+      ws.stats.residual_equiv_tests += cand.cum_equiv_tests;
+      ws.stats.subgraph_tests += static_cast<std::int64_t>(stop_s) + 1;
+      *inherited_bound = cand.meta->branch_best;
+    } else {
+      ws.stats.residual_equiv_tests += total_equiv;
+      ws.stats.subgraph_tests += static_cast<std::int64_t>(survivors.size());
+    }
+    return pruned;
+  }
+
   bool pruned = false;
   ForEachCandidate(
       ws, pos_res.i_value(), pos_res.cuts(), &ws.stats.residual_equiv_tests,
@@ -416,6 +648,82 @@ bool Miner::TrySupergraphPrune(WorkerState& ws, const Pattern& pattern,
                                const ResidualSet& pos_res,
                                const ResidualSet& neg_res,
                                double* inherited_bound) {
+  if (ws.pool != nullptr && ws.pool->num_workers() > 0 &&
+      static_cast<std::int64_t>(
+          ws.committed->PosCandidateCountBound(pos_res.i_value()) +
+          ws.local.PosCandidateCountBound(pos_res.i_value())) >=
+          std::max<std::int64_t>(2, config_.parallel_min_prune_candidates)) {
+    // Pooled pass, mirroring TrySubgraphPrune (including its O(1)
+    // count-bound gate above). The neg-residual
+    // equivalence check is cheap, so it stays in the serial gate phase;
+    // `extra` replays its per-candidate counter increment (the serial path
+    // charges one residual_equiv_tests per candidate that reaches the
+    // check, before knowing the outcome).
+    std::vector<PruneCandidate> cands;
+    const std::int64_t total_equiv =
+        CollectPruneCandidates(ws, pos_res.i_value(), pos_res.cuts(), cands);
+    std::vector<std::size_t> survivors;
+    std::vector<std::int64_t> survivor_extra;
+    std::int64_t extra = 0;
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      const PatternRegistry::CandidateMeta& meta = *cands[c].meta;
+      if (config_.check_reference_score_first &&
+          meta.branch_best >= ws.best_score) {
+        continue;
+      }
+      if (meta.node_count != static_cast<std::int32_t>(pattern.node_count())) {
+        continue;
+      }
+      if (meta.edge_count > static_cast<std::int32_t>(pattern.edge_count())) {
+        continue;
+      }
+      ++extra;
+      if (ws.local.algo() == ResidualEquivAlgo::kIValue) {
+        if (meta.neg_i_value != neg_res.i_value()) continue;
+      } else {
+        if (cands[c].entry->neg_cuts != neg_res.cuts()) continue;
+      }
+      survivors.push_back(c);
+      survivor_extra.push_back(extra);
+    }
+
+    auto test_survivor = [&](std::size_t s, TemporalSubgraphTester& tester) {
+      const PruneCandidate& cand = cands[survivors[s]];
+      if (!tester.Contains(cand.entry->pattern, pattern)) return false;
+      return cand.meta->branch_best < ws.best_score;
+    };
+
+    std::size_t stop_s = survivors.size();
+    if (static_cast<std::int64_t>(survivors.size()) >=
+        std::max<std::int64_t>(2, config_.parallel_min_prune_candidates)) {
+      stop_s = FanOutFirstTrigger(
+          ws.pool, survivors.size(),
+          [&](std::size_t s, TemporalSubgraphTester& tester) {
+            return test_survivor(s, tester);
+          });
+    } else {
+      for (std::size_t s = 0; s < survivors.size(); ++s) {
+        if (test_survivor(s, *ws.tester)) {
+          stop_s = s;
+          break;
+        }
+      }
+    }
+
+    const bool pruned = stop_s < survivors.size();
+    if (pruned) {
+      const PruneCandidate& cand = cands[survivors[stop_s]];
+      ws.stats.residual_equiv_tests +=
+          cand.cum_equiv_tests + survivor_extra[stop_s];
+      ws.stats.subgraph_tests += static_cast<std::int64_t>(stop_s) + 1;
+      *inherited_bound = cand.meta->branch_best;
+    } else {
+      ws.stats.residual_equiv_tests += total_equiv + extra;
+      ws.stats.subgraph_tests += static_cast<std::int64_t>(survivors.size());
+    }
+    return pruned;
+  }
+
   bool pruned = false;
   ForEachCandidate(
       ws, pos_res.i_value(), pos_res.cuts(), &ws.stats.residual_equiv_tests,
@@ -510,8 +818,28 @@ double Miner::Dfs(WorkerState& ws, const Pattern& pattern,
     return own_score;
   }
 
-  ResidualSet pos_res = BuildResidual(pos_table, pos_graphs_);
-  ResidualSet neg_res = BuildResidual(neg_table, neg_graphs_);
+  // Residual sets for the two sides are independent pure functions of
+  // their tables, so with a pool (and enough embeddings to amortize a
+  // task) the negative side builds as a stealable sub-task while this
+  // thread builds the positive side. ResidualSet has no default
+  // constructor, hence the optionals.
+  std::optional<ResidualSet> pos_res_opt;
+  std::optional<ResidualSet> neg_res_opt;
+  if (ws.pool != nullptr &&
+      static_cast<std::int64_t>(CountEmbeddings(pos_table) +
+                                CountEmbeddings(neg_table)) >=
+          config_.parallel_min_embeddings) {
+    TaskGroup residual_group(ws.pool);
+    residual_group.Run(
+        [&] { neg_res_opt.emplace(BuildResidual(neg_table, neg_graphs_)); });
+    pos_res_opt.emplace(BuildResidual(pos_table, pos_graphs_));
+    residual_group.Wait();
+  } else {
+    pos_res_opt.emplace(BuildResidual(pos_table, pos_graphs_));
+    neg_res_opt.emplace(BuildResidual(neg_table, neg_graphs_));
+  }
+  const ResidualSet& pos_res = *pos_res_opt;
+  const ResidualSet& neg_res = *neg_res_opt;
 
   double inherited = 0.0;
   if (config_.use_subgraph_pruning &&
@@ -575,6 +903,17 @@ double Miner::Dfs(WorkerState& ws, const Pattern& pattern,
     if (BudgetExhausted(ws)) break;
   }
 
+  // Recycle before returning the pooled children vector: a budget break
+  // leaves unvisited children's tables populated, and Release would
+  // destroy (not pool) the nested buffers. Already-released tables are
+  // empty, so the sweep is idempotent.
+  for (ChildWork& child : children) {
+    ReleaseTable(child.buckets.pos);
+    ReleaseTable(child.buckets.neg);
+  }
+  children.clear();
+  ScratchPool<ChildWork>::Release(std::move(children));
+
   RegisterEntry(ws, pattern, pos_res, neg_res, branch_best);
   return branch_best;
 }
@@ -617,17 +956,40 @@ bool Miner::BudgetExhausted(WorkerState& ws) {
   return false;
 }
 
+std::size_t Miner::ResolveRootBatch(std::size_t root_count) const {
+  if (config_.root_batch != 0) {
+    // Explicit settings pass through (negatives clamp to the serial 1, as
+    // before the sentinel existed).
+    return static_cast<std::size_t>(std::max(config_.root_batch, 1));
+  }
+  const std::size_t threads =
+      pool_ != nullptr ? static_cast<std::size_t>(pool_->num_workers()) + 1
+                       : 1;
+  if (threads <= 1 || root_count <= 1) return 1;
+  // Adaptive sizing trades pruning context for parallelism: subtrees in
+  // one batch cannot prune against each other, and measured pruning loss
+  // grows with batch size (see bench/BM_MineParallel root_batch=0 rows).
+  // A few batch rounds (~4) keep the loss bounded while oversubscribing
+  // each round (up to 4 roots per thread) so steals can level skew.
+  const std::size_t batch =
+      std::min(4 * threads, std::max(threads, root_count / 4));
+  return std::max<std::size_t>(batch, 1);
+}
+
 Miner::WorkerState Miner::MakeWorker(std::size_t batch_size) {
   WorkerState ws(config_.residual_algo);
   ws.committed = &registry_;
   ws.top = top_;
   ws.best_score = best_score_;
   ws.committed_visited = stats_.patterns_visited;
+  // Every worker drives the inner-loop scheduler: its helping joins make
+  // nested parallel regions inside subtree tasks safe, so concurrent
+  // subtrees simply share the steal pool.
+  ws.pool = pool_.get();
   if (batch_size <= 1) {
     // Nothing runs concurrently with a single-subtree batch, so the worker
-    // may drive the inner-loop pool and share the miner's memoizing tester
-    // (keeping the serial search's warm memo across roots).
-    ws.pool = pool_.get();
+    // may share the miner's memoizing tester (keeping the serial search's
+    // warm memo across roots).
     ws.tester = tester_.get();
   } else {
     ws.owned_tester = MakeTester(config_.subgraph_algo);
@@ -730,16 +1092,17 @@ MineResult Miner::Mine() {
   std::vector<ChildWork> work = BuildChildren(runs);
   ScratchPool<KeyedEmbeds>::Release(std::move(runs));
 
-  // Root subtrees are mined in fixed-size batches. Every subtree in a
+  // Root subtrees are mined in batches of stealable tasks — one task per
+  // root, so a worker that finishes an easy subtree takes a pending one
+  // instead of the batch joining on its slowest member. Every subtree in a
   // batch runs against the same read-only committed snapshot (registry,
   // top-k, best score, visit count) on its own WorkerState, then the
   // workers are committed in ascending root-bucket order — so the search
   // is a pure function of (inputs, root_batch), independent of thread
-  // count and scheduling. With root_batch == 1 (the default) each
-  // snapshot holds every earlier root and the search is exactly the
+  // count, steal order, and scheduling. With root_batch == 1 (the default)
+  // each snapshot holds every earlier root and the search is exactly the
   // serial DFS dispatch, including the inner-loop pool use.
-  const std::size_t batch_size =
-      static_cast<std::size_t>(std::max(config_.root_batch, 1));
+  const std::size_t batch_size = ResolveRootBatch(work.size());
   for (std::size_t begin = 0; begin < work.size(); begin += batch_size) {
     // Budget check between batches (the first batch always runs, as the
     // serial dispatch always mined at least one root).
@@ -761,10 +1124,10 @@ MineResult Miner::Mine() {
     workers.reserve(n);
     for (std::size_t i = 0; i < n; ++i) workers.push_back(MakeWorker(n));
 
-    // Chunk 0 runs on this thread; single-subtree batches (n == 1) run
-    // entirely inline here, which keeps the n == 1 workers free to drive
-    // the inner-loop pool without nesting.
-    ParallelFor(pool_.get(), n, [&](std::size_t i) {
+    // One stealable task per root subtree; root 0 runs on this thread and
+    // the join helps-steal pending siblings, so single-subtree batches
+    // (n == 1) run entirely inline.
+    auto mine_root = [&](std::size_t i) {
       WorkerState& ws = workers[i];
       ChildWork& w = work[begin + i];
       Pattern root = Pattern::SingleEdge(w.key.src_label, w.key.dst_label,
@@ -772,12 +1135,34 @@ MineResult Miner::Mine() {
       Dfs(ws, root, w.buckets.pos, w.buckets.neg);
       ReleaseTable(w.buckets.pos);
       ReleaseTable(w.buckets.neg);
-    });
+    };
+    {
+      TaskGroup batch_group(pool_.get());
+      for (std::size_t i = 1; i < n; ++i) {
+        batch_group.Run([&mine_root, i] { mine_root(i); });
+      }
+      mine_root(0);
+      batch_group.Wait();
+    }
+    // The join above quiesces the scheduler, so the batch boundary is
+    // where structural audits are cheap and race-free.
+    TGM_VALIDATE_INVARIANTS(
+        "Miner batch boundary",
+        pool_ != nullptr ? pool_->CheckInvariants() : std::string());
 
     // Deterministic merge: ascending root-bucket index, regardless of
-    // which worker finished first.
+    // which worker (or steal schedule) finished first.
     for (WorkerState& ws : workers) CommitWorker(ws);
   }
+  // A budget break can leave later roots unmined with populated buckets;
+  // recycle them (released tables are empty, so the sweep is idempotent)
+  // before pooling the work vector itself.
+  for (ChildWork& w : work) {
+    ReleaseTable(w.buckets.pos);
+    ReleaseTable(w.buckets.neg);
+  }
+  work.clear();
+  ScratchPool<ChildWork>::Release(std::move(work));
 
   MineResult result;
   result.top = top_;

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <vector>
 
-#include "exec/thread_pool.h"
+#include "base/mutex.h"
+#include "exec/work_stealing.h"
 #include "matching/matcher.h"
 #include "mining/arena.h"
 #include "mining/miner_config.h"
@@ -69,27 +71,35 @@ using EmbeddingTable = std::vector<GraphEmbeddings>;
 /// Parallelism: two levels, both deterministic for every thread count.
 ///
 ///  1. Data-parallel inner loops (`MinerConfig::num_threads > 1`):
-///     per-graph extension collection, per-graph embedding dedupe, and
-///     root-bucket preparation run on an internal thread pool via the
-///     deterministic ParallelFor (exec/parallel_for.h), merging per-index
-///     results in index order.
+///     per-graph extension collection, per-graph embedding dedupe,
+///     residual construction, the pruning passes' subgraph-isomorphism
+///     tests, and root-bucket preparation run on the internal
+///     StealScheduler via the deterministic ParallelFor
+///     (exec/parallel_for.h) / TaskGroup, merging per-index results in
+///     index order. Nested joins help-steal, so these loops run inside
+///     subtree tasks too.
 ///  2. Root-subtree parallelism (`MinerConfig::root_batch > 1`): the root
 ///     buckets are independent subtrees of the pattern-space tree, mined
-///     in fixed-size batches. Every subtree in a batch runs on a pool
-///     worker with its own WorkerState — thread-local PatternRegistry,
-///     top-k list, MinerStats, subgraph tester, and scratch — seeded from
-///     a read-only snapshot of the registry/top/best-score committed by
-///     earlier batches. When the batch joins, worker results are
-///     committed in ascending root-bucket order: registries are absorbed,
-///     top-k insertions are replayed, and stats are summed. Batch
-///     membership and snapshots depend only on root indices, so ranked
-///     output is bit-identical for any thread count.
+///     in batches of stealable tasks — one task per root, so a worker
+///     that finishes an easy subtree steals a pending one instead of the
+///     batch joining on its slowest member. Each task owns a WorkerState
+///     — thread-local PatternRegistry, top-k list, MinerStats, subgraph
+///     tester, and scratch — seeded from a read-only snapshot of the
+///     registry/top/best-score committed by earlier batches. When the
+///     batch joins, worker results are committed in ascending
+///     root-bucket order: registries are absorbed, top-k insertions are
+///     replayed, and stats are summed. Batch membership and snapshots
+///     depend only on root indices — never on which thread ran a subtree
+///     or in what order tasks were stolen — so ranked output is
+///     bit-identical for any thread count and any steal schedule.
 ///
 /// root_batch == 1 (the default) makes level 2 degenerate into the exact
 /// serial search: each root's snapshot holds every earlier root, which is
-/// what the serial DFS dispatch sees. A max_millis wall-clock budget
-/// truncates either mode at a timing-dependent point, so timed-out runs
-/// may differ across thread counts (see MinerConfig::num_threads).
+/// what the serial DFS dispatch sees. root_batch == 0 auto-sizes batches
+/// from the root count and thread count (see MinerConfig::root_batch). A
+/// max_millis wall-clock budget truncates either mode at a
+/// timing-dependent point, so timed-out runs may differ across thread
+/// counts (see MinerConfig::num_threads).
 class Miner {
  public:
   /// The graph pointers must outlive the miner. Graphs must be finalized
@@ -182,10 +192,11 @@ class Miner {
     std::int64_t committed_visited = 0;
     /// BudgetExhausted call counter; the wall clock is read every 64 calls.
     std::int64_t budget_calls = 0;
-    /// Pool for the data-parallel inner loops. Null on batch workers:
-    /// nesting ParallelFor inside a pool task can deadlock, so subtree
-    /// workers run their inner loops inline.
-    ThreadPool* pool = nullptr;
+    /// Scheduler for the data-parallel inner loops (ParallelFor chunks,
+    /// pruning-pass test fan-out, residual construction). Set for every
+    /// worker: the stealing scheduler's helping joins make nested
+    /// parallel regions inside subtree tasks safe.
+    StealScheduler* pool = nullptr;
     /// Subgraph tester for the pruning passes. Testers memoize (SeqMatcher
     /// caches per-argument reps), so they are per-worker, never shared.
     TemporalSubgraphTester* tester = nullptr;
@@ -244,12 +255,57 @@ class Miner {
                                  wrapped);
   }
 
+  /// One registry candidate materialized out of the ForEachCandidate
+  /// stream so a pruning pass can fan its subgraph-isomorphism tests out
+  /// over the pool. Pointers are stable for the duration of a pruning
+  /// pass: entries live in a std::deque and no registration happens
+  /// mid-pass. `cum_equiv_tests` is the equiv-test counter value *after*
+  /// enumerating this candidate — the replay data that lets the parallel
+  /// path charge exactly the tests a serial early-exit scan would have.
+  struct PruneCandidate {
+    const PatternRegistry::CandidateMeta* meta = nullptr;
+    const RegisteredPattern* entry = nullptr;
+    std::int64_t cum_equiv_tests = 0;
+  };
+
+  /// Materializes the full candidate stream for one pruning pass without
+  /// touching ws counters; returns the total equiv-test count of the
+  /// complete enumeration. Callers replay counter charges from the
+  /// per-candidate cumulative values.
+  std::int64_t CollectPruneCandidates(
+      const WorkerState& ws, std::int64_t pos_i_value,
+      const std::vector<std::pair<std::int32_t, EdgePos>>& pos_cuts,
+      std::vector<PruneCandidate>& out) const;
+
+  /// Lane testers for the parallel pruning fan-out: each concurrent test
+  /// lane borrows a memoizing tester (testers are never shared across
+  /// threads), returning it when the pass ends so memo state accumulates
+  /// across passes instead of being rebuilt.
+  std::unique_ptr<TemporalSubgraphTester> AcquireLaneTester()
+      TGM_EXCLUDES(lane_tester_mu_);
+  void ReleaseLaneTester(std::unique_ptr<TemporalSubgraphTester> tester)
+      TGM_EXCLUDES(lane_tester_mu_);
+
+  /// Runs `test(s, tester)` over survivors [0, n) as chunked stealable
+  /// tasks — one borrowed lane tester per chunk, so its memo warms across
+  /// the chunk — and returns the smallest s whose test triggered (n if
+  /// none). Lanes past the current best trigger are skipped; the result
+  /// equals the serial early-exit scan's stop index for every schedule.
+  std::size_t FanOutFirstTrigger(
+      StealScheduler* pool, std::size_t n,
+      const std::function<bool(std::size_t, TemporalSubgraphTester&)>& test);
+
+  /// Resolves config_.root_batch against the actual root-bucket count:
+  /// >= 1 is taken as-is, 0 auto-sizes from the thread count (see
+  /// MinerConfig::root_batch).
+  std::size_t ResolveRootBatch(std::size_t root_count) const;
+
   /// Appends one side's key-grouped extension runs to `out`, graphs in
   /// ascending order. Run order within a graph is first-encounter (hash
   /// probe) order, NOT key order — consumers must group through
   /// BuildChildren, whose key sort establishes the deterministic order.
   /// `pool` may be null (inline).
-  void CollectExtensions(ThreadPool* pool, const EmbeddingTable& table,
+  void CollectExtensions(StealScheduler* pool, const EmbeddingTable& table,
                          const std::vector<const TemporalGraph*>& graphs,
                          bool positive_side,
                          std::vector<KeyedEmbeds>& out) const;
@@ -277,7 +333,7 @@ class Miner {
   /// Dedupes (and caps) every per-graph embedding list in `tables`, using
   /// `pool` when non-null: one parallel unit per (table, graph) entry.
   /// Adds the cap-hit count to `*cap_hits` in index order.
-  void DedupeAndCapAll(ThreadPool* pool,
+  void DedupeAndCapAll(StealScheduler* pool,
                        const std::vector<EmbeddingTable*>& tables,
                        std::int64_t* cap_hits) const;
 
@@ -322,13 +378,17 @@ class Miner {
   std::vector<const TemporalGraph*> neg_graphs_;
 
   DiscriminativeScore score_;
-  /// Worker pool for batch subtrees and the data-parallel inner loops;
-  /// null when the resolved num_threads is 1 (the serial path has zero
-  /// pool overhead).
-  std::unique_ptr<ThreadPool> pool_;
+  /// Steal-capable scheduler for batch subtrees and the data-parallel
+  /// inner loops; null when the resolved num_threads is 1 (the serial
+  /// path has zero scheduler overhead).
+  std::unique_ptr<StealScheduler> pool_;
   /// Tester lent to single-subtree batches so the serial search keeps one
   /// warm memo across roots; multi-subtree batches build per-worker ones.
   std::unique_ptr<TemporalSubgraphTester> tester_;
+  /// Free list backing AcquireLaneTester/ReleaseLaneTester.
+  Mutex lane_tester_mu_;
+  std::vector<std::unique_ptr<TemporalSubgraphTester>> lane_testers_
+      TGM_GUARDED_BY(lane_tester_mu_);
 
   /// Committed state: everything below reflects exactly the root subtrees
   /// committed so far, is read-only while a batch is in flight, and is
@@ -350,8 +410,8 @@ class Miner {
   /// needed, and a worker reading a stale false merely visits a few more
   /// patterns before stopping (the cutoff is timing-dependent anyway).
   /// Every result a worker produced before stopping is ordered with the
-  /// main thread by the pool's join (ThreadPool's queue mutex), not by
-  /// this flag.
+  /// main thread by the batch's TaskGroup join (the group's wait mutex),
+  /// not by this flag.
   std::atomic<bool> timed_out_{false};
   std::chrono::steady_clock::time_point start_time_;
 };

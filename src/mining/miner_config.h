@@ -82,22 +82,26 @@ struct MinerConfig {
   /// pipeline, at the cost of no longer measuring the paper's overheads.
   bool check_reference_score_first = false;
 
-  /// Threads used for the miner's parallel work. 1 = fully serial (no pool
-  /// is created); 0 = all hardware threads. What the pool runs depends on
-  /// `root_batch`:
+  /// Threads used for the miner's parallel work. 1 = fully serial (no
+  /// scheduler is created); 0 = all hardware threads. Parallel work runs
+  /// on a steal-capable scheduler (exec/work_stealing.h) whose workers
+  /// take pending tasks from each other, so joins never idle on a slow
+  /// member; what gets scheduled depends on `root_batch`:
   ///
-  ///  - root_batch == 1 (default): only the data-parallel inner loops —
+  ///  - root_batch == 1 (default): the data-parallel inner loops —
   ///    root-bucket preparation, per-graph embedding dedupe, per-graph
-  ///    extension collection — run on the pool. The DFS skeleton — visit
-  ///    order, pruning decisions, registry and top-k updates — runs on the
-  ///    calling thread and every parallel region merges per-index results
-  ///    in index order, so ranked results are bit-identical for every
-  ///    thread count.
-  ///  - root_batch > 1: whole root subtrees additionally run concurrently
-  ///    on the pool (see root_batch below); inner loops then run inline on
-  ///    their subtree's worker. Ranked results remain bit-identical for
-  ///    every thread count because subtree inputs are fixed at batch start
-  ///    and commits happen in ascending root-bucket order.
+  ///    extension collection, residual construction, and the pruning
+  ///    passes' subgraph tests — run on the scheduler. The DFS skeleton —
+  ///    visit order, pruning decisions, registry and top-k updates — runs
+  ///    on the calling thread and every parallel region merges per-index
+  ///    results in index order, so ranked results are bit-identical for
+  ///    every thread count and steal schedule.
+  ///  - root_batch != 1: whole root subtrees additionally run as
+  ///    stealable tasks (see root_batch below); nested joins inside a
+  ///    subtree help-steal, so the inner loops fan out from subtree tasks
+  ///    too. Ranked results remain bit-identical for every thread count
+  ///    because subtree inputs are fixed at batch start and commits
+  ///    happen in ascending root-bucket order.
   ///
   /// Both invariants hold provided the search runs to its natural end or a
   /// max_visited cap. A max_millis wall-clock cutoff truncates the search
@@ -128,8 +132,16 @@ struct MinerConfig {
   /// either way (the pruning rules are sound under any registry subset,
   /// Theorem 2). For a fixed root_batch the search is deterministic: batch
   /// membership and snapshots depend only on root indices, never on
-  /// timing or thread count. Keep it a constant (not derived from
-  /// num_threads) when comparing runs across machines.
+  /// timing, thread count, or steal order. Keep it an explicit constant
+  /// when comparing runs across machines.
+  ///
+  /// 0 is the adaptive sentinel: batches are auto-sized from the
+  /// root-bucket count and the resolved thread count (a few rounds,
+  /// oversubscribed so steals level skew). Adaptive runs are repeatable
+  /// for a fixed (corpus, num_threads) pair, but because the derived
+  /// batch size changes with the thread count, results are comparable
+  /// across thread counts only in best score, not in ranked tail —
+  /// measure with explicit values, deploy with 0.
   int root_batch = 1;
 
   /// Minimum number of embeddings in a parallel region before the pool is
@@ -139,6 +151,18 @@ struct MinerConfig {
   /// computes identical results. Tests set 0 to force the parallel paths
   /// on small fixtures.
   std::int64_t parallel_min_embeddings = 512;
+
+  /// Minimum number of gate-surviving registry candidates in one pruning
+  /// pass before its subgraph-isomorphism tests fan out across the
+  /// scheduler; passes below the floor test serially on the worker's own
+  /// tester. Purely a scheduling knob: the fan-out replays the serial
+  /// early-exit counters exactly, so results and stats are identical
+  /// either way. The floor is deliberately high: cheap sequence-algebra
+  /// tests with an early first trigger lose more to task handoff than
+  /// they gain from overlap, so only passes with a deep survivor list
+  /// (the expensive ones) fan out. Tests set 0 to force the parallel
+  /// path on small fixtures.
+  std::int64_t parallel_min_prune_candidates = 32;
 
   /// Safety cap on visited patterns; 0 = unlimited.
   std::int64_t max_visited = 0;

@@ -54,7 +54,7 @@ StreamEngine::StreamEngine(const Options& options) : options_(options) {
     shards_.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) shards_.emplace_back(limits_);
     shard_alerts_.resize(shards);
-    if (shards > 1) pool_ = std::make_unique<ThreadPool>(num_shards_ - 1);
+    if (shards > 1) pool_ = std::make_unique<StealScheduler>(num_shards_ - 1);
   } else {
     workers_.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -196,10 +196,11 @@ void StreamEngine::ProcessBatch(const AlertSink& sink) {
 
 void StreamEngine::ProcessBatchRoundRobin(std::span<const StreamEvent> batch,
                                           const AlertSink& sink) {
-  // Broadcast the batch: one deterministic chunk per shard (the pool has
-  // shards-1 workers, so ParallelFor assigns exactly one shard per chunk;
-  // shard 0 runs on the calling thread). Shards share nothing but the
-  // read-only batch view.
+  // Broadcast the batch: shard count is below ParallelFor's oversubscribed
+  // chunk cap, so each shard is its own stealable task and a shard that
+  // finishes early picks up a slower sibling's — while the index-to-shard
+  // assignment stays fixed. Shards share nothing but the read-only batch
+  // view.
   ParallelFor(pool_.get(), shards_.size(), [this, batch](std::size_t s) {
     // Each chunk owns exactly one shard for the duration of the batch.
     RoleGuard owner(shards_[s].role());

@@ -12,7 +12,7 @@
 
 #include "base/mutex.h"
 #include "exec/spsc_queue.h"
-#include "exec/thread_pool.h"
+#include "exec/work_stealing.h"
 #include "query/stream/entity_shard.h"
 #include "query/stream/shard.h"
 
@@ -358,7 +358,7 @@ class StreamEngine {
   // *elements* are confined — each StreamShard's state by its own role
   // capability, each shard_alerts_ slot by the convention that only the
   // worker running that shard's batch writes it.
-  std::unique_ptr<ThreadPool> pool_;  // num_shards - 1 workers
+  std::unique_ptr<StealScheduler> pool_;  // num_shards - 1 workers
   std::vector<StreamShard> shards_;
   std::vector<std::vector<ShardAlert>> shard_alerts_;  // per-shard outbox
 

@@ -15,6 +15,15 @@
 ///    exec/ primitives' locking contracts and the stream engine's
 ///    sequencer/shard ownership split are spelled in these macros and
 ///    machine-checked by the static-analysis CI wall.
+///  - execution substrate: exec/work_stealing.h (StealScheduler —
+///    per-worker steal deques plus a shared injector — and TaskGroup,
+///    whose Wait() helps run queued tasks instead of blocking, so
+///    nested fork/join is safe by construction), exec/parallel_for.h
+///    (deterministic index-ordered ParallelFor over a TaskGroup), and
+///    exec/spsc_queue.h (bounded single-producer/single-consumer rings
+///    for the stream shards). The miner and the stream engine both
+///    schedule onto these primitives; nothing above exec/ spawns raw
+///    threads.
 ///  - error model: api/status.h (tgm::Status / tgm::StatusOr<T>, used by
 ///    every layer's fallible public entry points)
 ///  - temporal graph substrate: temporal_graph.h, pattern.h, sequence.h,

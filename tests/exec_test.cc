@@ -1,4 +1,4 @@
-// The exec subsystem: ThreadPool mechanics and the determinism contract of
+// The exec subsystem: StealScheduler mechanics and the determinism contract of
 // ParallelFor — every index visited exactly once, chunk boundaries a pure
 // function of (n, thread count), exceptions surfaced schedule-independently.
 
@@ -11,13 +11,13 @@
 #include <vector>
 
 #include "exec/parallel_for.h"
-#include "exec/thread_pool.h"
+#include "exec/work_stealing.h"
 
 namespace tgm {
 namespace {
 
-TEST(ThreadPoolTest, RunsSubmittedTasks) {
-  ThreadPool pool(3);
+TEST(StealSchedulerTest, RunsSubmittedTasks) {
+  StealScheduler pool(3);
   EXPECT_EQ(pool.num_workers(), 3);
   std::atomic<int> done{0};
   std::mutex mu;
@@ -35,8 +35,8 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   EXPECT_EQ(done.load(), 50);
 }
 
-TEST(ThreadPoolTest, ZeroWorkersIsValid) {
-  ThreadPool pool(0);
+TEST(StealSchedulerTest, ZeroWorkersIsValid) {
+  StealScheduler pool(0);
   EXPECT_EQ(pool.num_workers(), 0);
   // ParallelFor over a workerless pool runs inline on the caller.
   std::vector<int> hits(7, 0);
@@ -44,9 +44,9 @@ TEST(ThreadPoolTest, ZeroWorkersIsValid) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
-TEST(ThreadPoolTest, DestructorJoinsIdleWorkers) {
+TEST(StealSchedulerTest, DestructorJoinsIdleWorkers) {
   // Construct and destroy without submitting anything; must not hang.
-  ThreadPool pool(4);
+  StealScheduler pool(4);
 }
 
 TEST(ResolveNumThreadsTest, PositivePassesThroughNonPositiveMeansHardware) {
@@ -59,7 +59,7 @@ TEST(ResolveNumThreadsTest, PositivePassesThroughNonPositiveMeansHardware) {
 class ParallelForTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelForTest, VisitsEveryIndexExactlyOnce) {
-  ThreadPool pool(GetParam());
+  StealScheduler pool(GetParam());
   for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
                         std::size_t{5}, std::size_t{64}, std::size_t{1000}}) {
     std::vector<std::atomic<int>> hits(n);
@@ -72,7 +72,7 @@ TEST_P(ParallelForTest, VisitsEveryIndexExactlyOnce) {
 }
 
 TEST_P(ParallelForTest, PerIndexOutputSlotsMatchSerial) {
-  ThreadPool pool(GetParam());
+  StealScheduler pool(GetParam());
   const std::size_t n = 333;
   std::vector<std::int64_t> serial(n), parallel(n);
   auto body = [](std::size_t i) {
@@ -84,7 +84,7 @@ TEST_P(ParallelForTest, PerIndexOutputSlotsMatchSerial) {
 }
 
 TEST_P(ParallelForTest, RethrowsBodyException) {
-  ThreadPool pool(GetParam());
+  StealScheduler pool(GetParam());
   EXPECT_THROW(
       ParallelFor(&pool, std::size_t{100},
                   [](std::size_t i) {
@@ -112,7 +112,7 @@ TEST(ParallelForTest, SumReductionInIndexOrderIsDeterministic) {
   // the same floating-point result for every worker count.
   auto run = [](int workers) {
     const std::size_t n = 501;
-    ThreadPool pool(workers);
+    StealScheduler pool(workers);
     std::vector<double> slots(n);
     ParallelFor(&pool, n, [&](std::size_t i) {
       slots[i] = 1.0 / static_cast<double>(i + 1);

@@ -5,10 +5,11 @@
 // merges per-index slots in index order.
 //
 // With MinerConfig::root_batch > 1 whole root subtrees additionally run
-// concurrently on the pool; determinism then comes from fixed batch
-// membership (a function of root indices only), per-subtree WorkerState
-// seeded from the committed snapshot, and commits in ascending
-// root-bucket order — pinned below across 1/2/4/8 threads, including the
+// as stealable tasks on the scheduler; determinism then comes from fixed
+// batch membership (a function of root indices only), per-subtree
+// WorkerState seeded from the committed snapshot, and commits in
+// ascending root-bucket order — pinned below across 1/2/4/8 threads and
+// across repeated runs (steal schedules vary run to run), including the
 // search-shape stats.
 
 #include <gtest/gtest.h>
@@ -50,10 +51,13 @@ void ExpectThreadCountInvariance(const MinerConfig& base,
   for (int num_threads : {2, 4, 8}) {
     MinerConfig config = base;
     config.num_threads = num_threads;
-    // Force the pool to engage even on these small fixtures, so the
+    // Force the scheduler to engage even on these small fixtures, so the
     // parallel merge paths themselves are what gets pinned (the inline
     // fallback below the default grain is trivially identical to serial).
+    // Likewise for the pruning-pass fan-out floor: every pass with >= 2
+    // gate survivors tests on the pool.
     config.parallel_min_embeddings = 0;
+    config.parallel_min_prune_candidates = 0;
     MineResult got = Miner(config, pos, neg).Mine();
     ExpectIdenticalResults(want, got, num_threads);
     // The search itself must also be identical, not just the output: the
@@ -214,6 +218,7 @@ void ExpectRootBatchThreadInvariance(const MinerConfig& base,
     MinerConfig config = base;
     config.num_threads = num_threads;
     config.parallel_min_embeddings = 0;
+    config.parallel_min_prune_candidates = 0;
     MineResult got = Miner(config, pos, neg).Mine();
     ExpectIdenticalResults(want, got, num_threads);
     EXPECT_EQ(want.stats.patterns_visited, got.stats.patterns_visited);
@@ -364,6 +369,82 @@ TEST(RootSubtreeParallelTest, ReplicatedFixturesRankIdenticallyAcrossThreads) {
   config.top_k = 256;
   config.root_batch = 8;
   ExpectRootBatchThreadInvariance(config, pos_syn, neg_syn);
+}
+
+TEST(RootSubtreeParallelTest, RepeatedStealingRunsAreIdentical) {
+  // Steal schedules differ run to run (they depend on timing), so rerunning
+  // the same batched, heavily-threaded configuration is a direct regression
+  // net for schedule-dependent state leaking into results or search-shape
+  // stats.
+  std::mt19937_64 rng(211);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 3; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 6, 10, 2));
+  }
+  MinerConfig config = MinerConfig::TGMiner();
+  config.max_edges = 3;
+  config.top_k = 512;
+  config.root_batch = 16;
+  config.num_threads = 8;
+  config.parallel_min_embeddings = 0;
+  config.parallel_min_prune_candidates = 0;
+  MineResult want = Miner(config, pos, neg).Mine();
+  for (int run = 0; run < 3; ++run) {
+    SCOPED_TRACE(::testing::Message() << "run " << run);
+    MineResult got = Miner(config, pos, neg).Mine();
+    ExpectIdenticalResults(want, got, config.num_threads);
+    EXPECT_EQ(want.stats.patterns_visited, got.stats.patterns_visited);
+    EXPECT_EQ(want.stats.patterns_expanded, got.stats.patterns_expanded);
+    EXPECT_EQ(want.stats.subgraph_tests, got.stats.subgraph_tests);
+    EXPECT_EQ(want.stats.residual_equiv_tests,
+              got.stats.residual_equiv_tests);
+    EXPECT_EQ(want.stats.subgraph_prune_triggers,
+              got.stats.subgraph_prune_triggers);
+    EXPECT_EQ(want.stats.supergraph_prune_triggers,
+              got.stats.supergraph_prune_triggers);
+  }
+}
+
+TEST(RootSubtreeParallelTest, AdaptiveRootBatchIsRepeatableAndSound) {
+  // root_batch == 0 derives the batch size from the thread count, so its
+  // ranked tail is only comparable at fixed num_threads — pin that
+  // repeatability, plus best-score preservation against the fully serial
+  // search (the soundness guarantee adaptive sizing must not break).
+  std::mt19937_64 rng(223);
+  std::vector<TemporalGraph> pos;
+  std::vector<TemporalGraph> neg;
+  for (int i = 0; i < 4; ++i) {
+    pos.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+    neg.push_back(tgm::testing::RandomGraph(rng, 5, 9, 2));
+  }
+  MinerConfig serial = MinerConfig::TGMiner();
+  serial.max_edges = 3;
+  MineResult want = Miner(serial, pos, neg).Mine();
+
+  MinerConfig adaptive = serial;
+  adaptive.root_batch = 0;
+  adaptive.num_threads = 4;
+  adaptive.parallel_min_embeddings = 0;
+  adaptive.parallel_min_prune_candidates = 0;
+  MineResult first = Miner(adaptive, pos, neg).Mine();
+  EXPECT_DOUBLE_EQ(want.best_score, first.best_score);
+  ASSERT_FALSE(first.top.empty());
+  EXPECT_EQ(want.top[0].score, first.top[0].score);
+  for (int run = 0; run < 2; ++run) {
+    SCOPED_TRACE(::testing::Message() << "run " << run);
+    MineResult got = Miner(adaptive, pos, neg).Mine();
+    ExpectIdenticalResults(first, got, adaptive.num_threads);
+    EXPECT_EQ(first.stats.patterns_visited, got.stats.patterns_visited);
+  }
+
+  // With one thread the sentinel degenerates to the exact serial search.
+  MinerConfig adaptive_serial = serial;
+  adaptive_serial.root_batch = 0;
+  MineResult degenerate = Miner(adaptive_serial, pos, neg).Mine();
+  ExpectIdenticalResults(want, degenerate, 1);
+  EXPECT_EQ(want.stats.patterns_visited, degenerate.stats.patterns_visited);
 }
 
 TEST(ParallelMinerConfigTest, ZeroMeansHardwareThreadsAndStillMatches) {
