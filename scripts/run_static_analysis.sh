@@ -1,66 +1,140 @@
 #!/usr/bin/env bash
-# TGMiner static-analysis wall. Three gates, all zero-tolerance:
+# TGMiner static-analysis wall. Four gates:
 #
 #   1. assert() ban — production code uses TGM_CHECK/TGM_DCHECK
 #      (temporal/common.h), never bare assert: TGM_CHECK survives NDEBUG
 #      and prints the failed expression with its location; assert
-#      silently vanishes from release builds.
+#      silently vanishes from release builds. Toolchain-independent.
 #   2. Clang -Werror=thread-safety build — the capability annotations of
 #      src/base/annotations.h (mutex-guarded exec/ state, role-confined
-#      stream-engine state) are enforced, not decorative.
-#   3. clang-tidy over compile_commands.json (.clang-tidy config).
+#      stream-engine state) are enforced, not decorative. Needs clang++.
+#   3. clang-tidy over compile_commands.json (.clang-tidy config). Needs
+#      clang-tidy.
+#   4. tgm-lint (tools/lint/tgm_lint.py) — the project-contract linter:
+#      determinism (no unordered-container iteration into results without
+#      a canonical sort or waiver; no pointer-keyed ordered containers),
+#      layering (the include DAG of tools/lint/layers.conf), Status
+#      discipline (no discarded Status/StatusOr results), and the
+#      raw-primitive ban (std::mutex/condition_variable outside
+#      src/base/). Toolchain-independent (python3; token engine, with a
+#      libclang AST refinement when the binding is installed).
 #
-# Modes:
-#   scripts/run_static_analysis.sh                 # all gates
-#   scripts/run_static_analysis.sh --seeded-defect # prove gate 2 bites:
-#       (1) re-introduce the PR-7 SpscQueue self-deadlock (notifying
-#           TryPush inside the mu_-held slow path), and
-#       (2) re-introduce the old thread-pool's blocking join in the
-#           work-stealing TaskGroup (helping while wait_mu_ is held, the
-#           nested-Submit deadlock shape the scheduler was built to kill);
-#       both seeds must FAIL the -Werror=thread-safety build.
-#
-# Requires clang++ and (for gate 3) clang-tidy; gates degrade to hard
-# errors, never silent skips, so CI cannot go green without them.
+# Gate order puts the toolchain-independent gates (1, 4) first, so a
+# gcc-only host always gets them; the clang gates report their missing
+# toolchain per-gate as a loud SKIP instead of aborting the whole script.
+# Skips are never silent: the summary names every skipped gate, and
+# --require-clang (what CI uses) turns those skips into hard failures so
+# CI cannot go green without the full wall.
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: scripts/run_static_analysis.sh [MODE] [--require-clang]
+
+Modes:
+  (none)                   Run all four gates:
+                             1 assert() ban          (toolchain-independent)
+                             2 -Werror=thread-safety (needs clang++)
+                             3 clang-tidy            (needs clang-tidy)
+                             4 tgm-lint              (needs python3)
+                           Missing clang tooling SKIPs gates 2/3 loudly;
+                           with --require-clang the skip is a failure.
+  --seeded-defect[=WHICH]  Prove the wall bites: seed a historical or
+                           synthetic defect and require the gate to
+                           REJECT it. WHICH is one of
+                             spsc-deadlock   (gate 2, needs clang++)
+                             nested-join     (gate 2, needs clang++)
+                             determinism     (gate 4)
+                             layering        (gate 4)
+                             status-discard  (gate 4)
+                             raw-primitive   (gate 4)
+                             all             (default: every variant)
+  --audit-waivers          List every tgm-lint suppression in src/ with
+                           its file, line, and reason (CI uploads this as
+                           an artifact). Fails on malformed waivers.
+  --help                   This text.
+
+Environment: CLANGXX (default clang++), CLANG_TIDY (default clang-tidy),
+PYTHON3 (default python3), BUILD_DIR (default build-static-analysis).
+EOF
+}
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 
 CLANGXX="${CLANGXX:-clang++}"
 CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+PYTHON3="${PYTHON3:-python3}"
 BUILD_DIR="${BUILD_DIR:-build-static-analysis}"
+TGM_LINT=(tools/lint/tgm_lint.py --root "${REPO_ROOT}" --src src
+          --layers tools/lint/layers.conf)
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
-# --- Gate 1: no bare assert() in production code -----------------------
-# static_assert is fine (compile-time); assert( is not. src/ only — tests
-# are gtest-macro territory anyway.
-echo "== Gate 1: assert() ban over src/"
-if grep -rnE '(^|[^_[:alnum:]])assert\(' --include='*.h' --include='*.cc' src/ \
-    | grep -v 'static_assert' | grep -v '// *assert-ok:'; then
-  fail "bare assert() in src/ — use TGM_CHECK/TGM_DCHECK (temporal/common.h)"
+MODE="run"
+SEED_WHICH="all"
+REQUIRE_CLANG=0
+for arg in "$@"; do
+  case "${arg}" in
+    --help|-h) usage; exit 0 ;;
+    --seeded-defect) MODE="seed" ;;
+    --seeded-defect=*) MODE="seed"; SEED_WHICH="${arg#*=}" ;;
+    --audit-waivers) MODE="audit" ;;
+    --require-clang) REQUIRE_CLANG=1 ;;
+    *) usage >&2; fail "unknown argument '${arg}'" ;;
+  esac
+done
+
+command -v "${PYTHON3}" >/dev/null 2>&1 \
+  || fail "${PYTHON3} not found — gate 4 (tgm-lint) needs python3"
+
+HAVE_CLANGXX=0
+command -v "${CLANGXX}" >/dev/null 2>&1 && HAVE_CLANGXX=1
+HAVE_TIDY=0
+command -v "${CLANG_TIDY}" >/dev/null 2>&1 && HAVE_TIDY=1
+
+SKIPPED=()
+skip_or_fail() {  # $1 gate label, $2 missing tool
+  if [[ ${REQUIRE_CLANG} -eq 1 ]]; then
+    fail "$1 requires $2 and --require-clang is set"
+  fi
+  echo "   SKIP: $1 — $2 not found (install it or set its env var;" \
+       "CI runs this gate with --require-clang)"
+  SKIPPED+=("$1")
+}
+
+# --- Waiver audit mode --------------------------------------------------
+if [[ "${MODE}" == "audit" ]]; then
+  exec "${PYTHON3}" "${TGM_LINT[@]}" --audit-waivers
 fi
-echo "   OK: no bare assert() sites"
 
-command -v "${CLANGXX}" >/dev/null 2>&1 \
-  || fail "${CLANGXX} not found — the thread-safety wall needs Clang (set CLANGXX=...)"
-
-# --- Seeded-defect mode: the PR-7 deadlock must not compile ------------
-if [[ "${1:-}" == "--seeded-defect" ]]; then
-  echo "== Seeded defect: re-introducing the SpscQueue slow-path re-lock"
+# --- Seeded-defect mode: every gate must bite ---------------------------
+# Each variant re-introduces a defect (two historical deadlocks for the
+# thread-safety wall, one synthetic violation per tgm-lint check) and
+# requires the gate to REJECT it — proving enforcement, not just that
+# clean code passes.
+if [[ "${MODE}" == "seed" ]]; then
   WORK="$(mktemp -d)"
   trap 'rm -rf "${WORK}"' EXIT
-  mkdir -p "${WORK}/exec"
-  # Swap the non-notifying ring op back to the notifying TryPush inside
-  # Push()'s mu_-held wait loop — the exact shape of the PR-7 self
-  # deadlock (TryPush locks mu_ via NotifyConsumerIfParked).
-  sed 's/while (!TryPushNoNotify(v)) {/while (!TryPush(v)) {/' \
-    src/exec/spsc_queue.h > "${WORK}/exec/spsc_queue.h"
-  if cmp -s src/exec/spsc_queue.h "${WORK}/exec/spsc_queue.h"; then
-    fail "seed pattern did not match spsc_queue.h — update the sed in $0"
-  fi
-  cat > "${WORK}/seeded_tu.cc" <<'EOF'
+
+  want() { [[ "${SEED_WHICH}" == "all" || "${SEED_WHICH}" == "$1" ]]; }
+  RAN_ANY=0
+
+  if want spsc-deadlock; then
+    RAN_ANY=1
+    if [[ ${HAVE_CLANGXX} -eq 0 ]]; then
+      skip_or_fail "seed spsc-deadlock" "${CLANGXX}"
+    else
+      echo "== Seeded defect [spsc-deadlock]: SpscQueue slow-path re-lock"
+      mkdir -p "${WORK}/exec"
+      # Swap the non-notifying ring op back to the notifying TryPush inside
+      # Push()'s mu_-held wait loop — the exact shape of the PR-7 self
+      # deadlock (TryPush locks mu_ via NotifyConsumerIfParked).
+      sed 's/while (!TryPushNoNotify(v)) {/while (!TryPush(v)) {/' \
+        src/exec/spsc_queue.h > "${WORK}/exec/spsc_queue.h"
+      cmp -s src/exec/spsc_queue.h "${WORK}/exec/spsc_queue.h" \
+        && fail "seed pattern did not match spsc_queue.h — update the sed in $0"
+      cat > "${WORK}/seeded_tu.cc" <<'EOF'
 // Instantiates the blocking slow paths: Clang's thread-safety analysis
 // checks templates at instantiation, so without this TU the seeded
 // defect would go unnoticed.
@@ -72,79 +146,179 @@ void SeededDefectInstantiation() {
   q.PopBlocking(&out);
 }
 EOF
-  set +e
-  OUT="$("${CLANGXX}" -std=c++20 -fsyntax-only \
-      -Wthread-safety -Werror=thread-safety \
-      -I "${WORK}" -I src "${WORK}/seeded_tu.cc" 2>&1)"
-  STATUS=$?
-  set -e
-  if [[ ${STATUS} -eq 0 ]]; then
-    fail "seeded deadlock COMPILED — the thread-safety wall is not biting"
+      set +e
+      OUT="$("${CLANGXX}" -std=c++20 -fsyntax-only \
+          -Wthread-safety -Werror=thread-safety \
+          -I "${WORK}" -I src "${WORK}/seeded_tu.cc" 2>&1)"
+      STATUS=$?
+      set -e
+      [[ ${STATUS} -ne 0 ]] \
+        || fail "seeded deadlock COMPILED — the thread-safety wall is not biting"
+      echo "${OUT}" | grep -q 'thread-safety' \
+        || fail "seeded build failed for the wrong reason: ${OUT}"
+      echo "   OK: seeded deadlock rejected by -Werror=thread-safety:"
+      echo "${OUT}" | grep 'requires negative capability\|acquiring mutex\|thread-safety' \
+        | head -3 | sed 's/^/   | /'
+      # Sanity: the pristine header must still compile with the same TU.
+      "${CLANGXX}" -std=c++20 -fsyntax-only -Wthread-safety \
+          -Werror=thread-safety -I src "${WORK}/seeded_tu.cc" \
+        || fail "pristine spsc_queue.h does not pass the wall"
+      echo "   OK: pristine header passes the same check"
+    fi
   fi
-  echo "${OUT}" | grep -q 'thread-safety' \
-    || fail "seeded build failed for the wrong reason: ${OUT}"
-  echo "   OK: seeded deadlock rejected by -Werror=thread-safety:"
-  echo "${OUT}" | grep 'requires negative capability\|acquiring mutex\|thread-safety' | head -3 | sed 's/^/   | /'
-  # Sanity: the pristine header must still compile with the same TU.
-  "${CLANGXX}" -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety \
-      -I src "${WORK}/seeded_tu.cc" \
-    || fail "pristine spsc_queue.h does not pass the wall"
-  echo "   OK: pristine header passes the same check"
 
-  echo "== Seeded defect: re-introducing the old pool's blocking nested join"
-  # Swap TaskGroup::ParkUntilProgress's bounded park for helping while
-  # wait_mu_ is held. Running backlog tasks under the join mutex is exactly
-  # the old ThreadPool nested-Submit deadlock re-born: the helped task's
-  # OnTaskFinished() re-locks wait_mu_ on this same thread. HelpOne() is
-  # annotated TGM_EXCLUDES(wait_mu_), so the wall must reject the call.
-  sed 's/done_cv_.WaitFor(lock, kParkTimeout);/while (pending_ != 0) HelpOne();/' \
-    src/exec/work_stealing.cc > "${WORK}/exec/work_stealing.cc"
-  if cmp -s src/exec/work_stealing.cc "${WORK}/exec/work_stealing.cc"; then
-    fail "seed pattern did not match work_stealing.cc — update the sed in $0"
+  if want nested-join; then
+    RAN_ANY=1
+    if [[ ${HAVE_CLANGXX} -eq 0 ]]; then
+      skip_or_fail "seed nested-join" "${CLANGXX}"
+    else
+      echo "== Seeded defect [nested-join]: blocking join in TaskGroup"
+      mkdir -p "${WORK}/exec"
+      # Swap TaskGroup::ParkUntilProgress's bounded park for helping while
+      # wait_mu_ is held — the old ThreadPool nested-Submit deadlock
+      # re-born. HelpOne() is TGM_EXCLUDES(wait_mu_); the wall must reject.
+      sed 's/done_cv_.WaitFor(lock, kParkTimeout);/while (pending_ != 0) HelpOne();/' \
+        src/exec/work_stealing.cc > "${WORK}/exec/work_stealing.cc"
+      cmp -s src/exec/work_stealing.cc "${WORK}/exec/work_stealing.cc" \
+        && fail "seed pattern did not match work_stealing.cc — update the sed in $0"
+      set +e
+      OUT="$("${CLANGXX}" -std=c++20 -fsyntax-only \
+          -Wthread-safety -Werror=thread-safety \
+          -I src "${WORK}/exec/work_stealing.cc" 2>&1)"
+      STATUS=$?
+      set -e
+      [[ ${STATUS} -ne 0 ]] \
+        || fail "seeded nested-join deadlock COMPILED — the wall is not biting"
+      echo "${OUT}" | grep -q 'thread-safety' \
+        || fail "seeded scheduler build failed for the wrong reason: ${OUT}"
+      echo "   OK: seeded nested-join deadlock rejected by -Werror=thread-safety:"
+      echo "${OUT}" | grep "wait_mu_\|thread-safety" | head -3 | sed 's/^/   | /'
+      "${CLANGXX}" -std=c++20 -fsyntax-only -Wthread-safety \
+          -Werror=thread-safety -I src src/exec/work_stealing.cc \
+        || fail "pristine work_stealing.cc does not pass the wall"
+      echo "   OK: pristine scheduler passes the same check"
+    fi
   fi
-  set +e
-  OUT="$("${CLANGXX}" -std=c++20 -fsyntax-only \
-      -Wthread-safety -Werror=thread-safety \
-      -I src "${WORK}/exec/work_stealing.cc" 2>&1)"
-  STATUS=$?
-  set -e
-  if [[ ${STATUS} -eq 0 ]]; then
-    fail "seeded nested-join deadlock COMPILED — the wall is not biting"
+
+  # tgm-lint seeds: copy the tree, inject one violation, require the gate
+  # to reject it with the right check tag.
+  seed_lint() {  # $1 variant, $2 target file, $3 expected tag, $4 payload
+    RAN_ANY=1
+    echo "== Seeded defect [$1]: injecting into $2"
+    local tree="${WORK}/lint-$1"
+    mkdir -p "${tree}/tools/lint"
+    cp -r src "${tree}/src"
+    cp tools/lint/layers.conf "${tree}/tools/lint/layers.conf"
+    printf '%s\n' "$4" >> "${tree}/$2"
+    set +e
+    OUT="$("${PYTHON3}" tools/lint/tgm_lint.py --root "${tree}" --src src \
+        --layers tools/lint/layers.conf 2>&1)"
+    STATUS=$?
+    set -e
+    [[ ${STATUS} -ne 0 ]] \
+      || fail "seeded $1 violation PASSED tgm-lint — gate 4 is not biting"
+    echo "${OUT}" | grep -q "\[$3\]" \
+      || fail "seeded $1 violation rejected for the wrong reason: ${OUT}"
+    echo "${OUT}" | grep "\[$3\]" | head -2 | sed 's/^/   | /'
+    echo "   OK: seeded $1 violation rejected by tgm-lint [$3]"
+  }
+
+  if want determinism; then
+    seed_lint determinism src/query/interest.cc unordered-iter \
+'namespace tgm { namespace seeded {
+std::vector<int> LeakHashOrder(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  for (const auto& [k, v] : m) { out.push_back(k + v); }
+  return out;
+} } }'
   fi
-  echo "${OUT}" | grep -q 'thread-safety' \
-    || fail "seeded scheduler build failed for the wrong reason: ${OUT}"
-  echo "   OK: seeded nested-join deadlock rejected by -Werror=thread-safety:"
-  echo "${OUT}" | grep "wait_mu_\|thread-safety" | head -3 | sed 's/^/   | /'
-  # Sanity: the pristine scheduler source must still pass the same check.
-  "${CLANGXX}" -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety \
-      -I src src/exec/work_stealing.cc \
-    || fail "pristine work_stealing.cc does not pass the wall"
-  echo "   OK: pristine scheduler passes the same check"
+  if want layering; then
+    seed_lint layering src/temporal/sequence.h layering \
+'#include "api/session.h"'
+  fi
+  if want status-discard; then
+    seed_lint status-discard src/api/session.cc status-discard \
+'namespace tgm { namespace api { namespace seeded {
+void DropError(Session& s, const StreamEvent& e, const WatchSink& sink) {
+  s.Feed(e, sink);
+} } } }'
+  fi
+  if want raw-primitive; then
+    seed_lint raw-primitive src/mining/miner.cc raw-primitive \
+'#include <mutex>
+static std::mutex tgm_lint_seeded_mu;'
+  fi
+
+  [[ ${RAN_ANY} -eq 1 ]] \
+    || fail "unknown --seeded-defect variant '${SEED_WHICH}' (see --help)"
+  if [[ ${#SKIPPED[@]} -gt 0 ]]; then
+    echo "Seeded-defect run finished; SKIPPED (no clang): ${SKIPPED[*]}"
+  else
+    echo "All seeded defects rejected — the wall bites."
+  fi
   exit 0
 fi
 
+# --- Gate 1: no bare assert() in production code -----------------------
+# static_assert is fine (compile-time); assert( is not. src/ only — tests
+# are gtest-macro territory anyway. Toolchain-independent, so it runs
+# first on every host.
+echo "== Gate 1: assert() ban over src/"
+if grep -rnE '(^|[^_[:alnum:]])assert\(' --include='*.h' --include='*.cc' src/ \
+    | grep -v 'static_assert' | grep -v '// *assert-ok:'; then
+  fail "bare assert() in src/ — use TGM_CHECK/TGM_DCHECK (temporal/common.h)"
+fi
+echo "   OK: no bare assert() sites"
+
+# --- Gate 4: tgm-lint project-contract checks ---------------------------
+# Runs second (before the clang gates) because it is also
+# toolchain-independent: determinism, layering, Status discipline, and
+# the raw-primitive ban all gate a gcc-only host. Uses the compilation
+# database when present (enables the libclang AST refinement).
+echo "== Gate 4: tgm-lint (determinism, layering, status-discard, raw-primitive)"
+LINT_ARGS=()
+if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  LINT_ARGS+=(--compdb "${BUILD_DIR}/compile_commands.json")
+elif [[ -f build/compile_commands.json ]]; then
+  LINT_ARGS+=(--compdb build/compile_commands.json)
+fi
+"${PYTHON3}" "${TGM_LINT[@]}" "${LINT_ARGS[@]}" \
+  || fail "tgm-lint found contract violations (waive only with a reason)"
+echo "   OK: tgm-lint clean over src/"
+
 # --- Gate 2: full Clang build with -Werror=thread-safety ----------------
 echo "== Gate 2: Clang -Werror=thread-safety build"
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_CXX_COMPILER="${CLANGXX}" \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DTGMINER_CHECK_INVARIANTS=ON \
-  > "${BUILD_DIR}.configure.log" 2>&1 \
-  || { cat "${BUILD_DIR}.configure.log"; fail "clang configure failed"; }
-cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  || fail "clang build failed (thread-safety violations are errors)"
-echo "   OK: clang build clean under -Werror=thread-safety"
+if [[ ${HAVE_CLANGXX} -eq 0 ]]; then
+  skip_or_fail "gate 2 (thread-safety build)" "${CLANGXX}"
+else
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTGMINER_CHECK_INVARIANTS=ON \
+    > "${BUILD_DIR}.configure.log" 2>&1 \
+    || { cat "${BUILD_DIR}.configure.log"; fail "clang configure failed"; }
+  cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+    || fail "clang build failed (thread-safety violations are errors)"
+  echo "   OK: clang build clean under -Werror=thread-safety"
+fi
 
 # --- Gate 3: clang-tidy over the compilation database -------------------
 echo "== Gate 3: clang-tidy"
-command -v "${CLANG_TIDY}" >/dev/null 2>&1 \
-  || fail "${CLANG_TIDY} not found (set CLANG_TIDY=...)"
-[[ -f "${BUILD_DIR}/compile_commands.json" ]] \
-  || fail "no compile_commands.json in ${BUILD_DIR}"
-# First-party sources only: the database also holds gtest/bench TUs.
-mapfile -t SOURCES < <(find src -name '*.cc' | sort)
-"${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${SOURCES[@]}" \
-  || fail "clang-tidy reported findings (WarningsAsErrors: '*')"
-echo "   OK: clang-tidy clean over ${#SOURCES[@]} sources"
+if [[ ${HAVE_TIDY} -eq 0 || ${HAVE_CLANGXX} -eq 0 ]]; then
+  skip_or_fail "gate 3 (clang-tidy)" "${CLANG_TIDY}"
+else
+  [[ -f "${BUILD_DIR}/compile_commands.json" ]] \
+    || fail "no compile_commands.json in ${BUILD_DIR}"
+  # First-party sources only: the database also holds gtest/bench TUs.
+  mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+  "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${SOURCES[@]}" \
+    || fail "clang-tidy reported findings (WarningsAsErrors: '*')"
+  echo "   OK: clang-tidy clean over ${#SOURCES[@]} sources"
+fi
 
-echo "All static-analysis gates passed."
+if [[ ${#SKIPPED[@]} -gt 0 ]]; then
+  echo "Gates passed WITH SKIPS (${SKIPPED[*]}) — install clang or run" \
+       "with --require-clang for the full wall."
+else
+  echo "All static-analysis gates passed."
+fi

@@ -113,7 +113,7 @@ class BehaviorQuery {
   /// pattern non-empty, a non-negative window, and every constraint
   /// annotation consistent with its pattern
   /// (TemporalConstraints::ValidateFor).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Writes the `tquery` record. Labels resolve through `dict`, which
   /// must cover every label of every pattern.
@@ -122,8 +122,8 @@ class BehaviorQuery {
   /// Parses a `tquery` record, interning labels into `dict` (typically a
   /// different Session's dictionary than the one that saved it).
   /// Malformed input yields a line-numbered kDataLoss status.
-  static StatusOr<BehaviorQuery> Load(std::istream& is, LabelDict& dict);
-  static StatusOr<BehaviorQuery> Load(LineCursor& cursor, LabelDict& dict);
+  [[nodiscard]] static StatusOr<BehaviorQuery> Load(std::istream& is, LabelDict& dict);
+  [[nodiscard]] static StatusOr<BehaviorQuery> Load(LineCursor& cursor, LabelDict& dict);
 
  private:
   std::vector<MinedPattern> patterns_;

@@ -76,7 +76,7 @@ class MinerConfigBuilder {
   }
 
   /// Validates and returns the config.
-  StatusOr<MinerConfig> Build() const {
+  [[nodiscard]] StatusOr<MinerConfig> Build() const {
     if (config_.max_edges < 1) {
       return Status::InvalidArgument("max_edges must be >= 1, got " +
                                      std::to_string(config_.max_edges));
@@ -166,7 +166,7 @@ class SessionOptionsBuilder {
     return *this;
   }
 
-  StatusOr<SessionOptions> Build() const {
+  [[nodiscard]] StatusOr<SessionOptions> Build() const {
     if (options_.search_match_cap < 1) {
       return Status::InvalidArgument(
           "search_match_cap must be >= 1, got " +
@@ -242,7 +242,7 @@ class QueryConstraintsBuilder {
   }
 
   /// Normalizes, validates against `pattern`, and returns the annotation.
-  StatusOr<TemporalConstraints> Build(const Pattern& pattern) const {
+  [[nodiscard]] StatusOr<TemporalConstraints> Build(const Pattern& pattern) const {
     if (!deferred_error_.empty()) {
       return Status::InvalidArgument(deferred_error_);
     }

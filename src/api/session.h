@@ -154,26 +154,26 @@ class Session {
   /// them; Search/Watch handle them) — but mining a corpus containing
   /// one fails, checked per Mine run. Returns the graph's index within
   /// the corpus.
-  StatusOr<std::size_t> Ingest(std::string_view corpus,
+  [[nodiscard]] StatusOr<std::size_t> Ingest(std::string_view corpus,
                                std::span<const EventRecord> events);
 
   /// Appends an already-built graph (finalized, or finalizable) to
   /// `corpus`; the session takes ownership.
-  StatusOr<std::size_t> IngestGraph(std::string_view corpus,
+  [[nodiscard]] StatusOr<std::size_t> IngestGraph(std::string_view corpus,
                                     TemporalGraph graph);
 
   /// Registers a non-owning view over externally owned graphs as (part
   /// of) `corpus`. The graphs must be finalized, must use this session's
   /// dictionary, and must outlive the session. This is how bulk
   /// simulator/test data plugs in without copies.
-  Status AttachCorpus(std::string_view corpus,
+  [[nodiscard]] Status AttachCorpus(std::string_view corpus,
                       std::span<const TemporalGraph> graphs);
 
   /// The graphs of a corpus (ingested and attached, in registration
   /// order), or kNotFound. The span views session-internal storage: any
   /// later ingest/attach into the *same* corpus invalidates it (the
   /// graphs themselves stay put; re-call Corpus after growing one).
-  StatusOr<std::span<const TemporalGraph* const>> Corpus(
+  [[nodiscard]] StatusOr<std::span<const TemporalGraph* const>> Corpus(
       std::string_view name) const;
   /// Registered corpus names, sorted.
   std::vector<std::string> CorpusNames() const;
@@ -183,24 +183,24 @@ class Session {
   /// Runs discriminative mining over the spec's corpora and compiles the
   /// top-ranked patterns into a BehaviorQuery artifact (window stamped,
   /// provenance filled).
-  StatusOr<BehaviorQuery> Mine(const MineSpec& spec) const;
+  [[nodiscard]] StatusOr<BehaviorQuery> Mine(const MineSpec& spec) const;
 
   /// The raw mining result (full retained top list plus search stats) for
   /// callers that post-process rankings themselves (benches, Pipeline).
-  StatusOr<MineResult> MineRaw(const MineSpec& spec) const;
+  [[nodiscard]] StatusOr<MineResult> MineRaw(const MineSpec& spec) const;
 
   // --- execution: the one offline/online entry-point pair ---------------
 
   /// Offline: searches the query over every graph of `log_corpus` and
   /// returns the union of distinct match intervals, sorted ascending.
-  StatusOr<std::vector<Interval>> Search(const BehaviorQuery& query,
+  [[nodiscard]] StatusOr<std::vector<Interval>> Search(const BehaviorQuery& query,
                                          std::string_view log_corpus) const;
 
   /// Online replay: registers the query with a fresh stream engine and
   /// replays `log_corpus` as a live event stream; returns the distinct
   /// alert intervals, sorted ascending — identical to Search over the
   /// same corpus for every shard count and batch size.
-  StatusOr<std::vector<Interval>> Watch(const BehaviorQuery& query,
+  [[nodiscard]] StatusOr<std::vector<Interval>> Watch(const BehaviorQuery& query,
                                         std::string_view log_corpus,
                                         const WatchOptions& options = {})
       const;
@@ -211,20 +211,20 @@ class Session {
   /// alerts carry. Watches must be registered while no events are
   /// buffered (before the first Feed, or right after FlushWatches with
   /// batch_size 1).
-  StatusOr<WatchId> Watch(const BehaviorQuery& query);
+  [[nodiscard]] StatusOr<WatchId> Watch(const BehaviorQuery& query);
 
   /// Feeds one live event to every watched query. `record` labels are
   /// interned on the fly; alerts of the batch this event completes are
   /// delivered to `sink` in canonical (event, watch, pattern, interval)
   /// order.
-  Status Feed(const EventRecord& record, const WatchSink& sink);
+  [[nodiscard]] Status Feed(const EventRecord& record, const WatchSink& sink);
   /// Same, for producers that already intern labels (replaying graph
   /// edges via StreamEvent::FromEdge).
-  Status Feed(const StreamEvent& event, const WatchSink& sink);
+  [[nodiscard]] Status Feed(const StreamEvent& event, const WatchSink& sink);
 
   /// Delivers any buffered partial batch (end of stream, or before stats
   /// that must include all fed events).
-  Status FlushWatches(const WatchSink& sink);
+  [[nodiscard]] Status FlushWatches(const WatchSink& sink);
 
   /// Live-engine health snapshot (empty stats before the first Watch).
   EngineStats WatchStats() const;
@@ -233,10 +233,10 @@ class Session {
   // --- persistence ------------------------------------------------------
 
   /// Persists a validated query artifact (`tquery` text format).
-  Status SaveQuery(const BehaviorQuery& query, std::ostream& os) const;
+  [[nodiscard]] Status SaveQuery(const BehaviorQuery& query, std::ostream& os) const;
   /// Reloads an artifact, re-interning its labels into this session's
   /// dictionary.
-  StatusOr<BehaviorQuery> LoadQuery(std::istream& is);
+  [[nodiscard]] StatusOr<BehaviorQuery> LoadQuery(std::istream& is);
 
  private:
   struct CorpusData {
@@ -257,15 +257,15 @@ class Session {
     std::vector<const TemporalGraph*> positives;
     std::vector<const TemporalGraph*> negatives;
   };
-  StatusOr<TrainingSubset> ResolveTrainingSubset(const MineSpec& spec) const;
+  [[nodiscard]] StatusOr<TrainingSubset> ResolveTrainingSubset(const MineSpec& spec) const;
   /// Runs one mining pass over an already-resolved subset (shared by
   /// MineRaw and Mine so neither resolves twice).
   static MineResult RunMiner(const MinerConfig& config,
                              const TrainingSubset& subset);
 
-  StatusOr<const CorpusData*> FindCorpus(std::string_view name) const;
+  [[nodiscard]] StatusOr<const CorpusData*> FindCorpus(std::string_view name) const;
   CorpusData& CorpusFor(std::string_view name);
-  Status EnsureEngine();
+  [[nodiscard]] Status EnsureEngine();
   /// Adapts a WatchSink to the engine's StreamAlert sink (query index ->
   /// (watch, pattern ordinal)). `sink` must outlive the returned functor's
   /// use (it is consumed within one OnEvent/Flush call).

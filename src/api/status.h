@@ -50,7 +50,12 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
 
 /// A success-or-error value: code + message. Cheap to copy on the success
 /// path (empty message, no allocation).
-class Status {
+///
+/// [[nodiscard]] at the class level: any call returning a Status by value
+/// must consume it — a dropped error compiles into silent data loss.
+/// Builds enforce the attribute with -Werror=unused-result and tgm-lint's
+/// status-discard check backstops macro-expanded and (void)-cast sites.
+class [[nodiscard]] Status {
  public:
   /// Default is OK, so `Status s; ... return s;` reads naturally.
   Status() = default;
@@ -103,7 +108,7 @@ class Status {
 /// exactly one of the two: `ok()` implies a value, `!ok()` implies a
 /// non-OK status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value (the success path of `return value;`).
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -32,6 +32,7 @@ void PatternRegistry::Absorb(PatternRegistry&& other) {
     // Bucket-local index order is registration order; rebasing and
     // appending keeps absorbed candidates after the existing ones, exactly
     // where serial registration would have put them.
+    // tgm-lint: unordered-iter-ok(disjoint per-key buckets; merged order is visit-order-independent)
     for (auto& [key, indices] : other.by_pos_i_) {
       std::vector<std::size_t>& dst = by_pos_i_[key];
       dst.reserve(dst.size() + indices.size());

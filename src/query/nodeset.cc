@@ -6,6 +6,43 @@
 
 namespace tgm {
 
+std::vector<std::pair<double, LabelId>> RankDiscriminativeLabels(
+    const std::unordered_map<LabelId, std::int64_t>& pos_count,
+    const std::unordered_map<LabelId, std::int64_t>& neg_count,
+    std::int64_t num_pos, std::int64_t num_neg,
+    const DiscriminativeScore& score, double min_pos_freq) {
+  // Canonicalize before ranking: the count maps are hash tables, so their
+  // iteration order is hash-layout-dependent. Pull the keys out, sort
+  // them, and only ever probe the maps from then on — the ranking is a
+  // pure function of the (label, count) multiset.
+  std::vector<LabelId> labels;
+  labels.reserve(pos_count.size());
+  for (const auto& [label, count] : pos_count) labels.push_back(label);
+  std::sort(labels.begin(), labels.end());
+
+  std::vector<std::pair<double, LabelId>> ranked;
+  ranked.reserve(labels.size());
+  for (LabelId label : labels) {
+    double x = static_cast<double>(pos_count.at(label)) /
+               static_cast<double>(num_pos);
+    if (x < min_pos_freq) continue;
+    auto it = neg_count.find(label);
+    double y = it == neg_count.end()
+                   ? 0.0
+                   : static_cast<double>(it->second) /
+                         static_cast<double>(num_neg);
+    ranked.emplace_back(score(x, y), label);
+  }
+  // (score desc, label asc) is a total order over unique labels, so the
+  // sort pins the full tie-break, not just the score order.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  return ranked;
+}
+
 NodeSetQuery NodeSetQuery::Mine(
     const std::vector<const TemporalGraph*>& positives,
     const std::vector<const TemporalGraph*>& negatives, int k,
@@ -23,24 +60,9 @@ NodeSetQuery NodeSetQuery::Mine(
                             static_cast<std::int64_t>(positives.size()),
                             static_cast<std::int64_t>(negatives.size()),
                             epsilon);
-  std::vector<std::pair<double, LabelId>> ranked;
-  ranked.reserve(pos_count.size());
-  for (const auto& [label, count] : pos_count) {
-    double x = static_cast<double>(count) /
-               static_cast<double>(positives.size());
-    if (x < min_pos_freq) continue;
-    auto it = neg_count.find(label);
-    double y = it == neg_count.end()
-                   ? 0.0
-                   : static_cast<double>(it->second) /
-                         static_cast<double>(negatives.size());
-    ranked.emplace_back(score(x, y), label);
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) {
-              if (a.first != b.first) return a.first > b.first;
-              return a.second < b.second;
-            });
+  std::vector<std::pair<double, LabelId>> ranked = RankDiscriminativeLabels(
+      pos_count, neg_count, static_cast<std::int64_t>(positives.size()),
+      static_cast<std::int64_t>(negatives.size()), score, min_pos_freq);
   NodeSetQuery query;
   for (const auto& [s, label] : ranked) {
     if (static_cast<int>(query.labels_.size()) >= k) break;

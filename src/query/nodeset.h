@@ -1,6 +1,9 @@
 #ifndef TGM_QUERY_NODESET_H_
 #define TGM_QUERY_NODESET_H_
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mining/score.h"
@@ -8,6 +11,19 @@
 #include "temporal/temporal_graph.h"
 
 namespace tgm {
+
+/// Ranks candidate labels by discriminative score, highest first, with
+/// ties broken toward the smaller label id. Deterministic by
+/// construction: the unordered count maps are only ever *probed* by key —
+/// candidate labels are visited in ascending label-id order (their keys
+/// canonically sorted first), so the returned ranking is bit-identical
+/// across reruns, hash-seed/layout perturbation, and insertion order.
+/// Labels whose positive frequency is below `min_pos_freq` are excluded.
+std::vector<std::pair<double, LabelId>> RankDiscriminativeLabels(
+    const std::unordered_map<LabelId, std::int64_t>& pos_count,
+    const std::unordered_map<LabelId, std::int64_t>& neg_count,
+    std::int64_t num_pos, std::int64_t num_neg,
+    const DiscriminativeScore& score, double min_pos_freq);
 
 /// The NodeSet baseline (Section 6.1): keyword queries made of the top-k
 /// discriminative node labels. A match is a set of k nodes whose label set

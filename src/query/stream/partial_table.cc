@@ -193,6 +193,7 @@ std::string PartialTable::CheckInvariants() const {
     }
     return std::string();
   };
+  // tgm-lint: unordered-iter-ok(debug validator; order only picks which violation reports first)
   for (const auto& [key, bucket] : by_entity_) {
     if (bucket.empty()) {
       return "empty entity bucket for key " + std::to_string(key) +
@@ -222,6 +223,7 @@ std::string PartialTable::CheckInvariants() const {
       return "seq index holds " + std::to_string(by_seq_.size()) +
              " entries, live count " + std::to_string(live_);
     }
+    // tgm-lint: unordered-iter-ok(debug validator; order only picks which violation reports first)
     for (const auto& [seq, slot] : by_seq_) {
       if (slot >= slots || is_free[slot]) {
         return "seq " + std::to_string(seq) + " maps to dead " + SlotStr(slot);

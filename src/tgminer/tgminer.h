@@ -60,6 +60,13 @@
 ///    paper-replication Pipeline; its temporal stages delegate to an
 ///    embedded Session)
 ///
+/// This prose is documentation; the machine-checked source of truth for
+/// the include DAG is tools/lint/layers.conf, enforced by tgm-lint
+/// (tools/lint/tgm_lint.py, gate 4 of scripts/run_static_analysis.sh).
+/// An include from a lower layer into a higher one fails CI; if you add
+/// a header or move one between layers, update layers.conf in the same
+/// change.
+///
 /// Every pre-api include below keeps working unchanged.
 
 #include "api/behavior_query.h"

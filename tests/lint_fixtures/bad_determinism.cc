@@ -1,0 +1,36 @@
+// VIOLATIONS (determinism, exactly 3 findings):
+//   1. range-for over an unordered map with no canonical sort downstream
+//   2. iterator loop over an unordered set, same problem
+//   3. a pointer-keyed ordered map (iteration order = allocation order)
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lintfix {
+
+struct Node {};
+
+std::vector<int> LeakHashOrder() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  std::vector<int> out;
+  for (const auto& [k, v] : counts) {  // finding 1
+    out.push_back(k + v);
+  }
+  return out;
+}
+
+int SumInHashOrder() {
+  std::unordered_set<int> seen;
+  seen.insert(9);
+  int acc = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // finding 2
+    acc = acc * 31 + *it;  // order-sensitive fold
+  }
+  return acc;
+}
+
+std::map<Node*, int> g_by_node;  // finding 3
+
+}  // namespace lintfix

@@ -1,0 +1,15 @@
+// VIOLATIONS (raw-primitive, exactly 2 findings): a bare std::mutex and a
+// std::condition_variable outside src/base/ — invisible to the Clang
+// thread-safety wall, which only sees the annotated base/mutex.h wrappers.
+#include <condition_variable>
+#include <mutex>
+
+namespace lintfix {
+
+struct Queue {
+  std::mutex mu;                // finding 1
+  std::condition_variable cv;   // finding 2
+  int depth = 0;
+};
+
+}  // namespace lintfix

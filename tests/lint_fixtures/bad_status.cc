@@ -1,0 +1,20 @@
+// VIOLATIONS (status-discard, exactly 2 findings):
+//   1. a bare call statement discarding a Status
+//   2. an explicit (void) discard without a waiver
+
+namespace lintfix {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+Status Cleanup();
+
+void Caller() {
+  DoWork();          // finding 1: silently dropped error
+  (void)Cleanup();   // finding 2: (void) needs a waiver with a reason
+}
+
+}  // namespace lintfix

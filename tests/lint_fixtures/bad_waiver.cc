@@ -1,0 +1,13 @@
+// VIOLATIONS (waiver parsing, exactly 2 findings): a waiver with an empty
+// reason and a waiver of an unknown kind. Suppressions are never
+// anonymous and never typo-silently-ignored.
+
+namespace lintfix {
+
+// tgm-lint: unordered-iter-ok()
+int a = 1;
+
+// tgm-lint: speling-mistake-ok(some reason)
+int b = 2;
+
+}  // namespace lintfix

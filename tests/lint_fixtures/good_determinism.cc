@@ -1,0 +1,40 @@
+// CONFORMING (determinism, 0 findings, 1 waiver):
+//   1. unordered iteration followed by a canonical sort
+//   2. unordered iteration draining into an ordered container
+//   3. a waived pointer-keyed map with a reason
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lintfix {
+
+struct Arena {};
+
+std::vector<int> SortedAfter() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  std::vector<int> out;
+  for (const auto& [k, v] : counts) {
+    out.push_back(k + v);
+  }
+  std::sort(out.begin(), out.end());  // canonical order restored
+  return out;
+}
+
+std::set<int> OrderedSink() {
+  std::unordered_set<int> seen;
+  seen.insert(9);
+  std::set<int> ordered;
+  for (int v : seen) {
+    ordered.insert(v);  // the ordered container canonicalizes
+  }
+  return ordered;
+}
+
+// tgm-lint: pointer-key-ok(scratch-only diagnostics map, never iterated into results)
+std::map<Arena*, int> g_scratch_use;
+
+}  // namespace lintfix

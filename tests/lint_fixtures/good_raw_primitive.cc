@@ -1,0 +1,24 @@
+// CONFORMING (raw-primitive, 0 findings, 1 waiver): synchronization goes
+// through the annotated wrappers; the one place that genuinely needs the
+// raw primitive (interop with a C callback ABI, say) is waived with its
+// reason.
+#include <mutex>
+
+namespace lintfix {
+
+// Stand-in for the annotated tgm::Mutex wrapper (base/mutex.h).
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+struct Guarded {
+  Mutex mu;
+  int value = 0;
+};
+
+// tgm-lint: raw-primitive-ok(C ABI interop: external callback contract requires a std handle)
+std::mutex g_c_abi_handle;
+
+}  // namespace lintfix

@@ -1,0 +1,34 @@
+// CONFORMING (status-discard, 0 findings, 1 waiver): every Status result
+// is consumed — assigned, branched on, returned, macro-propagated — and
+// the one deliberate discard carries a waiver with its reason.
+
+#define TGM_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    auto tgm_status_tmp_ = (expr);           \
+    if (!tgm_status_tmp_.ok()) return tgm_status_tmp_; \
+  } while (0)
+
+namespace lintfix {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+Status Cleanup();
+Status BestEffortLog();
+
+Status Caller() {
+  Status s = DoWork();          // consumed: initialization
+  if (!s.ok()) return s;
+  if (!Cleanup().ok()) {        // consumed: branched on
+    return Cleanup();           // consumed: returned
+  }
+  TGM_RETURN_IF_ERROR(DoWork());  // consumed: propagation macro
+  // tgm-lint: status-discard-ok(best-effort telemetry; failure must not mask the real status)
+  (void)BestEffortLog();
+  return DoWork();
+}
+
+}  // namespace lintfix

@@ -1,0 +1,9 @@
+// Layer 'high' of the fixture DAG.
+#ifndef TGM_LINT_FIXTURE_HIGH_API_H_
+#define TGM_LINT_FIXTURE_HIGH_API_H_
+
+namespace lintfix {
+int ApiEntry();
+}  // namespace lintfix
+
+#endif

@@ -1,0 +1,7 @@
+// CONFORMING (layering, 0 findings): a 'high' file including a 'low'
+// header — the downward edge is the legal direction.
+#include "low/vocab.h"
+
+namespace lintfix {
+lintfix::Id Fine() { return 7; }
+}  // namespace lintfix

@@ -1,0 +1,7 @@
+// VIOLATION (layering, exactly 1 finding): a 'low' file including a
+// 'high' header — the upward edge layers_fixture.conf forbids.
+#include "high/api.h"
+
+namespace lintfix {
+int UsesHigherLayer() { return ApiEntry(); }
+}  // namespace lintfix

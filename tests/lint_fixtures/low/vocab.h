@@ -1,0 +1,9 @@
+// Layer 'low' of the fixture DAG: includes nothing, includable by all.
+#ifndef TGM_LINT_FIXTURE_LOW_VOCAB_H_
+#define TGM_LINT_FIXTURE_LOW_VOCAB_H_
+
+namespace lintfix {
+using Id = long;
+}  // namespace lintfix
+
+#endif

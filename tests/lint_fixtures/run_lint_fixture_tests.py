@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CTest suite for tgm-lint itself, run over the fixture corpus in this
+directory. Pins exact finding counts per (file, check) — a linter that
+stops biting, or starts over-flagging, fails here before it ever gates a
+real change — plus waiver parsing, per-check selection, and exit codes.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = None
+FIXDIR = "tests/lint_fixtures"
+LINT = None
+
+FAILURES = []
+
+
+def run_lint(extra_args, checks=None):
+    cmd = [sys.executable, LINT, "--root", REPO_ROOT, "--src", FIXDIR,
+           "--layers", f"{FIXDIR}/layers_fixture.conf", "--mode", "tokens"]
+    if checks:
+        cmd += ["--checks", checks]
+    cmd += extra_args
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc
+
+
+def check(name, cond, detail=""):
+    if cond:
+        print(f"  PASS  {name}")
+    else:
+        print(f"  FAIL  {name}  {detail}")
+        FAILURES.append(name)
+
+
+def finding_counts(stdout):
+    counts = {}
+    for line in stdout.splitlines():
+        m = re.match(r"([^:]+):(\d+): \[([a-z-]+)\]", line)
+        if m:
+            path = os.path.relpath(m.group(1), FIXDIR) \
+                if m.group(1).startswith(FIXDIR) else m.group(1)
+            counts[(path, m.group(3))] = counts.get(
+                (path, m.group(3)), 0) + 1
+    return counts
+
+
+def main():
+    global REPO_ROOT, LINT
+    REPO_ROOT = sys.argv[sys.argv.index("--repo-root") + 1] \
+        if "--repo-root" in sys.argv else os.getcwd()
+    REPO_ROOT = os.path.realpath(REPO_ROOT)
+    LINT = os.path.join(REPO_ROOT, "tools", "lint", "tgm_lint.py")
+    os.chdir(REPO_ROOT)
+
+    # ---- full run over the corpus: exact finding counts ----------------
+    proc = run_lint([])
+    counts = finding_counts(proc.stdout)
+    expected = {
+        ("bad_determinism.cc", "unordered-iter"): 2,
+        ("bad_determinism.cc", "pointer-key"): 1,
+        ("bad_status.cc", "status-discard"): 2,
+        ("bad_raw_primitive.cc", "raw-primitive"): 2,
+        ("low/bad_upward.cc", "layering"): 1,
+        ("bad_waiver.cc", "waiver"): 2,
+    }
+    print("== full corpus run")
+    check("exit code 1 with findings", proc.returncode == 1,
+          f"got {proc.returncode}\n{proc.stdout}\n{proc.stderr}")
+    for key, want in sorted(expected.items()):
+        check(f"{key[0]} [{key[1]}] == {want}",
+              counts.get(key, 0) == want,
+              f"got {counts.get(key, 0)}")
+    total = sum(counts.values())
+    check("no findings beyond the pinned set",
+          total == sum(expected.values()),
+          f"got {total}: {counts}\n{proc.stdout}")
+    for good in ("good_determinism.cc", "good_status.cc",
+                 "good_raw_primitive.cc", "high/good_downward.cc"):
+        bad = [k for k in counts if k[0] == good]
+        check(f"{good} clean", not bad, f"flagged: {bad}")
+
+    # ---- per-check selection isolates each check -----------------------
+    print("== per-check selection")
+    for group, files in (
+            ("determinism", {"bad_determinism.cc"}),
+            ("layering", {"low/bad_upward.cc"}),
+            ("status-discard", {"bad_status.cc"}),
+            ("raw-primitive", {"bad_raw_primitive.cc"})):
+        proc = run_lint([], checks=group)
+        got = {k[0] for k in finding_counts(proc.stdout)
+               if k[1] != "waiver"}
+        check(f"--checks {group} flags exactly {sorted(files)}",
+              got == files, f"got {sorted(got)}")
+
+    # ---- waiver audit: every suppression listed with its reason --------
+    print("== waiver audit")
+    proc = run_lint(["--audit-waivers"])
+    check("audit exits 1 (malformed waivers in corpus)",
+          proc.returncode == 1, f"got {proc.returncode}")
+    for frag in (
+            "good_determinism.cc", "pointer-key-ok — scratch-only",
+            "good_status.cc", "status-discard-ok — best-effort telemetry",
+            "good_raw_primitive.cc", "raw-primitive-ok — C ABI interop"):
+        check(f"audit lists '{frag}'", frag in proc.stdout,
+              proc.stdout)
+    check("audit reports the empty-reason waiver",
+          "empty reason" in proc.stderr, proc.stderr)
+    check("audit reports the unknown-kind waiver",
+          "unknown waiver kind" in proc.stderr, proc.stderr)
+
+    # ---- the real tree: src/ must lint clean (the Gate 4 contract) -----
+    print("== src/ clean under the real manifest")
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", REPO_ROOT, "--src", "src",
+         "--layers", "tools/lint/layers.conf", "--mode", "tokens"],
+        capture_output=True, text=True)
+    check("src/ lints clean", proc.returncode == 0,
+          f"exit {proc.returncode}\n{proc.stdout}")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} fixture check(s) FAILED")
+        return 1
+    print("\nAll lint fixture checks passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+// RankDiscriminativeLabels must be deterministic by construction: the
+// ranking the NodeSet baseline (and anything downstream of its query
+// labels) sees may not depend on std::unordered_map hash layout. These
+// tests perturb everything a hash table's iteration order can depend on —
+// insertion order, rehash history, container identity — and pin the
+// ranked output bit-identical, including full tie-break order.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "mining/score.h"
+#include "query/nodeset.h"
+#include "syslog/dataset.h"
+#include "syslog/entity.h"
+
+namespace tgm {
+namespace {
+
+using Counts = std::unordered_map<LabelId, std::int64_t>;
+using Ranked = std::vector<std::pair<double, LabelId>>;
+
+// Builds the same (label -> count) mapping with the given insertion order
+// and an optional pre-reserve, so the table's bucket layout (and thus its
+// iteration order) differs across calls while its contents do not.
+Counts BuildCounts(const std::vector<std::pair<LabelId, std::int64_t>>& kv,
+                   const std::vector<std::size_t>& order,
+                   std::size_t reserve) {
+  Counts out;
+  if (reserve > 0) out.reserve(reserve);
+  for (std::size_t idx : order) out.emplace(kv[idx].first, kv[idx].second);
+  return out;
+}
+
+std::vector<std::size_t> Iota(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+TEST(NodeSetDeterminismTest, RankingIdenticalAcrossRepeatedRuns) {
+  // 40 labels, many sharing counts so score ties exercise the tie-break.
+  std::vector<std::pair<LabelId, std::int64_t>> pos_kv, neg_kv;
+  for (LabelId l = 1; l <= 40; ++l) {
+    pos_kv.emplace_back(l, 3 + (l % 5));
+    if (l % 2 == 0) neg_kv.emplace_back(l, 1 + (l % 3));
+  }
+  DiscriminativeScore score(ScoreKind::kLogRatio, 8, 8, 1e-6);
+  Counts pos = BuildCounts(pos_kv, Iota(pos_kv.size()), 0);
+  Counts neg = BuildCounts(neg_kv, Iota(neg_kv.size()), 0);
+
+  Ranked first = RankDiscriminativeLabels(pos, neg, 8, 8, score, 0.0);
+  ASSERT_FALSE(first.empty());
+  for (int run = 0; run < 10; ++run) {
+    EXPECT_EQ(first, RankDiscriminativeLabels(pos, neg, 8, 8, score, 0.0))
+        << "run " << run;
+  }
+}
+
+TEST(NodeSetDeterminismTest, RankingImmuneToHashLayoutPerturbation) {
+  // The nearest portable stand-in for hash-seed perturbation: shuffle the
+  // insertion order and vary the reserve (bucket count trajectory) so the
+  // tables' internal layouts — and therefore their iteration orders —
+  // genuinely differ. The ranking must not.
+  std::vector<std::pair<LabelId, std::int64_t>> pos_kv, neg_kv;
+  for (LabelId l = 1; l <= 64; ++l) {
+    pos_kv.emplace_back(l * 7 % 97, 2 + (l % 4));
+    if (l % 3 != 0) neg_kv.emplace_back(l * 7 % 97, 1 + (l % 2));
+  }
+  DiscriminativeScore score(ScoreKind::kGTest, 10, 10, 1e-6);
+
+  Ranked baseline;
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::size_t> pos_order = Iota(pos_kv.size());
+    std::vector<std::size_t> neg_order = Iota(neg_kv.size());
+    std::shuffle(pos_order.begin(), pos_order.end(), rng);
+    std::shuffle(neg_order.begin(), neg_order.end(), rng);
+    Counts pos = BuildCounts(pos_kv, pos_order,
+                             (trial % 4) * 64);  // vary rehash history
+    Counts neg = BuildCounts(neg_kv, neg_order, (trial % 3) * 32);
+    Ranked got = RankDiscriminativeLabels(pos, neg, 10, 10, score, 0.1);
+    if (trial == 0) {
+      baseline = got;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(baseline, got) << "trial " << trial;
+    }
+  }
+}
+
+TEST(NodeSetDeterminismTest, TieBreakIsAscendingLabelIdWithinEqualScore) {
+  // All labels get identical counts -> identical scores; the full order
+  // must then be ascending label id, independent of hash order.
+  std::vector<std::pair<LabelId, std::int64_t>> kv;
+  for (LabelId l : {19, 3, 42, 7, 23, 11}) kv.emplace_back(l, 4);
+  DiscriminativeScore score(ScoreKind::kLogRatio, 4, 4, 1e-6);
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<std::size_t> order = Iota(kv.size());
+    std::shuffle(order.begin(), order.end(), rng);
+    Counts pos = BuildCounts(kv, order, (trial % 2) * 16);
+    Ranked got = RankDiscriminativeLabels(pos, {}, 4, 4, score, 0.0);
+    ASSERT_EQ(got.size(), kv.size());
+    for (std::size_t i = 1; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, got[0].first);
+      EXPECT_LT(got[i - 1].second, got[i].second);
+    }
+  }
+}
+
+TEST(NodeSetDeterminismTest, MineEndToEndStableAcrossRuns) {
+  // The public entry point over real graphs: repeated Mine calls must
+  // produce the same top-k label list.
+  SyslogWorld world;
+  DatasetConfig config;
+  config.runs_per_behavior = 6;
+  config.background_graphs = 6;
+  config.seed = 11;
+  TrainingData data = BuildTrainingData(world, config);
+  std::vector<const TemporalGraph*> pos, neg;
+  for (const TemporalGraph& g : data.positives[0]) pos.push_back(&g);
+  for (const TemporalGraph& g : data.background) neg.push_back(&g);
+  ASSERT_FALSE(pos.empty());
+  ASSERT_FALSE(neg.empty());
+
+  NodeSetQuery first = NodeSetQuery::Mine(pos, neg, 5);
+  ASSERT_FALSE(first.labels().empty());
+  for (int run = 0; run < 5; ++run) {
+    NodeSetQuery again = NodeSetQuery::Mine(pos, neg, 5);
+    EXPECT_EQ(first.labels(), again.labels()) << "run " << run;
+  }
+}
+
+}  // namespace
+}  // namespace tgm

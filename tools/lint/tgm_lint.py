@@ -1,0 +1,1062 @@
+#!/usr/bin/env python3
+"""tgm-lint: TGMiner's project-contract linter.
+
+Four checks, each enforcing a contract the test suite can only sample but
+never prove:
+
+  determinism     Iteration over unordered associative containers
+                  (std::unordered_map/set/...) feeds result-adjacent code in
+                  nondeterministic order unless the site is followed by a
+                  canonical sort / drains into an ordered container, or
+                  carries a waiver. Pointer-keyed ordered containers
+                  (std::map<T*, ...>, std::set<T*>) are flagged at the
+                  declaration: pointer order is allocation order, which no
+                  rerun reproduces.
+  layering        The include DAG of tools/lint/layers.conf (derived from
+                  the prose contract in src/tgminer/tgminer.h) is enforced:
+                  a file may include only files in its own or a lower
+                  layer. Every linted file must be covered by the manifest.
+  status-discard  Any call to a function returning tgm::Status /
+                  tgm::StatusOr<T> whose result is discarded (a bare
+                  expression statement, or an explicit (void) cast without
+                  a waiver). Belt and braces for the [[nodiscard]]
+                  attribute on gcc builds and for macro-expanded contexts
+                  the compiler never warns about.
+  raw-primitive   std::mutex / std::condition_variable / friends outside
+                  src/base/: all locking goes through the annotated
+                  base/mutex.h wrappers so the Clang thread-safety wall
+                  sees every acquisition. (Extends the assert() ban of
+                  run_static_analysis.sh Gate 1.)
+
+Engine: a token-level analyzer (comments and string literals stripped,
+line structure preserved) that needs nothing but Python. When the libclang
+Python binding is importable and a compilation database is supplied, the
+determinism check is refined per translation unit with real AST type
+resolution (range-for over a type spelling containing "unordered_"); any
+libclang failure falls back to the token analysis for that file, so
+gcc-only hosts get the same gate with slightly coarser type inference.
+
+Waivers are inline comments carrying a mandatory reason:
+
+    // tgm-lint: unordered-iter-ok(<reason>)
+    // tgm-lint: pointer-key-ok(<reason>)
+    // tgm-lint: layering-ok(<reason>)
+    // tgm-lint: status-discard-ok(<reason>)
+    // tgm-lint: raw-primitive-ok(<reason>)
+
+A waiver suppresses findings of its kind on its own line, or — when the
+comment stands alone — on the next code line. `--audit-waivers` lists
+every waiver with its location and reason; a waiver with an empty reason
+is itself a finding, so suppressions are never anonymous.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+CHECK_GROUPS = ("determinism", "layering", "status-discard", "raw-primitive")
+
+# finding kind -> check group (waiver token is "<kind>-ok").
+KIND_TO_GROUP = {
+    "unordered-iter": "determinism",
+    "pointer-key": "determinism",
+    "layering": "layering",
+    "status-discard": "status-discard",
+    "raw-primitive": "raw-primitive",
+    "waiver": None,  # malformed waivers are reported unconditionally
+}
+
+UNORDERED_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+ORDERED_ASSOC_RE = re.compile(r"\bstd::(?:map|set|multimap|multiset)\b")
+RAW_PRIMITIVE_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any)\b")
+SORT_CALL_RE = re.compile(
+    r"\bstd::(?:ranges::)?(?:stable_)?sort\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+WAIVER_RE = re.compile(
+    r"//\s*tgm-lint:\s*([a-z-]+)-ok\s*\(([^)]*)\)")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+# Statement openers that mean "this fragment is not a bare call statement".
+STMT_SKIP_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "co_return", "throw", "goto", "break", "continue", "using",
+    "namespace", "class", "struct", "enum", "template", "typedef", "public",
+    "private", "protected", "static_assert", "delete", "new", "typename",
+    "friend", "extern", "operator",
+}
+# Macros that consume a Status expression by construction.
+CONSUMING_MACROS = re.compile(
+    r"^(?:TGM_RETURN_IF_ERROR|TGM_ASSIGN_OR_RETURN|TGM_CHECK|TGM_DCHECK|"
+    r"TGM_VALIDATE_INVARIANTS|EXPECT_\w+|ASSERT_\w+)\b")
+
+
+@dataclass
+class Finding:
+    path: str      # repo-root-relative, forward slashes
+    line: int      # 1-based
+    kind: str      # key of KIND_TO_GROUP
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.kind}] {self.message}"
+
+
+@dataclass
+class Waiver:
+    path: str
+    line: int       # line the waiver comment sits on
+    applies_to: int  # code line it suppresses
+    kind: str
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class FileText:
+    path: str                  # root-relative
+    raw_lines: list
+    code_lines: list           # comments/strings stripped, same line count
+    waivers: list = field(default_factory=list)
+
+    @property
+    def code(self):
+        return "\n".join(self.code_lines)
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literal contents, preserving line
+    structure (and the quotes of #include "..." paths, which layering
+    needs — include lines are kept verbatim)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    line_start = 0
+    line_is_include = False
+
+    def flush_line_marker(pos):
+        nonlocal line_start, line_is_include
+        line_start = pos
+        line_is_include = False
+
+    # Pre-scan include lines so their quoted paths survive stripping.
+    include_lines = set()
+    for ln, line in enumerate(text.split("\n")):
+        if INCLUDE_RE.match(line):
+            include_lines.add(ln)
+    cur_line = 0
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("\n")
+            cur_line += 1
+            if state in ("line_comment",):
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                if cur_line in include_lines:
+                    # keep include path text verbatim
+                    j = text.find('"', i + 1)
+                    if j == -1:
+                        j = n - 1
+                    out.append(text[i:j + 1])
+                    i = j + 1
+                    continue
+                # Raw string literal?
+                m = re.match(r'R"([^ ()\\\t\n]*)\(', text[i - 1:i + 20]) \
+                    if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append('"')
+                    i += 1 + len(m.group(1)) + 1
+                    continue
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+            continue
+        if state == "line_comment":
+            out.append(" ")
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+            continue
+        if state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if state == "raw":
+            if text.startswith(raw_delim, i):
+                out.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                state = "code"
+            else:
+                out.append(" ")
+                i += 1
+            continue
+    return "".join(out)
+
+
+def collect_waivers(path, raw_lines, code_lines, findings):
+    """Parses waiver comments. A waiver on a line with code applies to that
+    line; a comment-only line applies to the next non-blank code line."""
+    waivers = []
+    for idx, line in enumerate(raw_lines):
+        for m in WAIVER_RE.finditer(line):
+            kind, reason = m.group(1), m.group(2).strip()
+            lineno = idx + 1
+            if kind not in KIND_TO_GROUP or kind == "waiver":
+                findings.append(Finding(
+                    path, lineno, "waiver",
+                    f"unknown waiver kind '{kind}-ok' (expected one of: "
+                    + ", ".join(k + "-ok" for k in KIND_TO_GROUP
+                                if k != "waiver") + ")"))
+                continue
+            if not reason:
+                findings.append(Finding(
+                    path, lineno, "waiver",
+                    f"waiver '{kind}-ok' has an empty reason — every "
+                    "suppression must say why"))
+                continue
+            applies_to = lineno
+            if code_lines[idx].strip() == "":
+                # Comment-only line: suppresses the next code line.
+                j = idx + 1
+                while j < len(code_lines) and code_lines[j].strip() == "":
+                    j += 1
+                applies_to = j + 1 if j < len(code_lines) else lineno
+            waivers.append(Waiver(path, lineno, applies_to, kind, reason))
+    return waivers
+
+
+# --------------------------------------------------------------------------
+# Token-level type tracking for the determinism check
+# --------------------------------------------------------------------------
+
+def skip_template_args(code, i):
+    """code[i] == '<'; returns index just past the matching '>'."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return i  # malformed / not a template argument list
+        i += 1
+    return i
+
+
+def first_template_arg(code, open_idx):
+    """code[open_idx] == '<'; returns the first template argument text."""
+    depth = 0
+    i = open_idx
+    start = open_idx + 1
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+            if depth == 0:
+                return code[start:i].strip()
+        elif c == "," and depth == 1:
+            return code[start:i].strip()
+        i += 1
+    return ""
+
+
+def declared_names_after_type(code, i):
+    """After a type ends at index i, yields (name, line_offset_idx) for the
+    declarator names up to the next ';', '{', ')', or '='. Handles
+    'const T& name', 'T* name', 'T name, other', 'T name_;'."""
+    n = len(code)
+    names = []
+    while i < n and code[i] in " \t\n&*":
+        i += 1
+    # 'const'/'constexpr' may trail ("T const& x") — also allow leading refs
+    while True:
+        m = IDENT_RE.match(code, i)
+        if not m:
+            break
+        word = m.group(0)
+        j = m.end()
+        if word in ("const", "constexpr", "volatile"):
+            i = j
+            while i < n and code[i] in " \t\n&*":
+                i += 1
+            continue
+        # word is a candidate declarator name if the next non-space char
+        # terminates a declarator.
+        k = j
+        while k < n and code[k] in " \t\n":
+            k += 1
+        if k < n and code[k] in ";,={()[":
+            if k < n and code[k] == "(":
+                # function declaration returning the type, not a variable —
+                # unless it's a constructor-style initializer T name(args);
+                # treat as non-variable (rare in this tree).
+                break
+            names.append((word, m.start()))
+            if k < n and code[k] == ",":
+                i = k + 1
+                while i < n and code[i] in " \t\n&*":
+                    i += 1
+                continue
+        break
+    return names
+
+
+def line_of_index(code, idx):
+    return code.count("\n", 0, idx) + 1
+
+
+@dataclass
+class TypeInfo:
+    unordered_vars: dict = field(default_factory=dict)   # name -> line
+    ordered_sinks: set = field(default_factory=set)      # std::set/map vars
+    unordered_aliases: set = field(default_factory=set)  # using X = unordered
+
+
+def scan_types(ft, aliases_global):
+    """One pass over a file's code collecting unordered-container variable
+    names, using-aliases, and ordered sink variables."""
+    code = ft.code
+    info = TypeInfo()
+    # using NAME = std::unordered_map<...>;
+    for m in re.finditer(r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;]+);", code):
+        target = m.group(2)
+        if UNORDERED_RE.search(target) or any(
+                re.search(r"\b%s\b" % re.escape(a), target)
+                for a in aliases_global):
+            info.unordered_aliases.add(m.group(1))
+    alias_names = info.unordered_aliases | aliases_global
+    alias_re = (re.compile(
+        r"\b(?:%s)\b" % "|".join(re.escape(a) for a in sorted(alias_names)))
+        if alias_names else None)
+
+    def record_decls(type_re, sink):
+        for m in type_re.finditer(code):
+            i = m.end()
+            if i < len(code) and code[i] == "<":
+                i = skip_template_args(code, i)
+            for name, pos in declared_names_after_type(code, i):
+                if sink == "unordered":
+                    info.unordered_vars[name] = line_of_index(code, pos)
+                else:
+                    info.ordered_sinks.add(name)
+
+    record_decls(UNORDERED_RE, "unordered")
+    if alias_re:
+        record_decls(alias_re, "unordered")
+    record_decls(ORDERED_ASSOC_RE, "ordered")
+    return info
+
+
+def base_identifier(expr):
+    """'table_->by_entity_' -> 'by_entity_'; '(*m)' -> 'm'; 'a.b().c' -> None
+    (call results are handled via the method-name map)."""
+    expr = expr.strip()
+    while expr.startswith("(") and expr.endswith(")"):
+        expr = expr[1:-1].strip()
+    expr = expr.lstrip("*&").strip()
+    if expr.endswith(")"):
+        return None
+    m = re.search(r"([A-Za-z_]\w*)$", expr)
+    return m.group(1) if m else None
+
+
+def method_call_name(expr):
+    """'g->DistinctNodeLabels()' -> 'DistinctNodeLabels' for no-arg calls."""
+    m = re.search(r"(?:\.|->|::)([A-Za-z_]\w*)\s*\(\s*\)$", expr.strip())
+    return m.group(1) if m else None
+
+
+def scan_unordered_returning_methods(files):
+    """Names of functions declared to return (a reference to) an unordered
+    container, collected across all linted files."""
+    names = set()
+    pat = re.compile(
+        r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+    for ft in files:
+        code = ft.code
+        for m in pat.finditer(code):
+            i = skip_template_args(code, m.end() - 1)
+            j = i
+            n = len(code)
+            while j < n and code[j] in " \t\n&*":
+                j += 1
+            mm = IDENT_RE.match(code, j)
+            if not mm:
+                continue
+            k = mm.end()
+            while k < n and code[k] in " \t\n":
+                k += 1
+            if k < n and code[k] == "(":
+                names.add(mm.group(0))
+    return names
+
+
+def find_matching_paren(code, open_idx):
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def body_extent_lines(code, after_paren_idx):
+    """Given the index just past a for(...)'s closing paren, returns the
+    last line of the loop body (brace-matched, or single statement)."""
+    n = len(code)
+    i = after_paren_idx
+    while i < n and code[i] in " \t\n":
+        i += 1
+    if i < n and code[i] == "{":
+        depth = 0
+        for j in range(i, n):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return line_of_index(code, j)
+        return line_of_index(code, n - 1)
+    # single statement: up to the ';'
+    j = code.find(";", i)
+    return line_of_index(code, j if j != -1 else n - 1)
+
+
+SORT_WINDOW_LINES = 12  # canonical sort must appear within this many lines
+                        # after the loop body ends
+
+
+def check_determinism_tokens(ft, info, unordered_methods):
+    """Flags range-for / .begin() iteration over unordered containers unless
+    canonically sorted afterwards or drained into an ordered sink, plus
+    pointer-keyed ordered container declarations."""
+    findings = []
+    code = ft.code
+    lines = ft.code_lines
+
+    def exempt_by_sort(start_line, end_line):
+        lo = start_line - 1
+        hi = min(len(lines), end_line + SORT_WINDOW_LINES)
+        window = "\n".join(lines[lo:hi])
+        if SORT_CALL_RE.search(window):
+            return True
+        for sink in info.ordered_sinks:
+            if re.search(r"\b%s\s*(?:\.|->)\s*(?:insert|emplace)\s*\(|"
+                         r"\b%s\s*\[" % (re.escape(sink), re.escape(sink)),
+                         window):
+                return True
+        return False
+
+    # Range-for loops.
+    for m in re.finditer(r"\bfor\s*\(", code):
+        open_idx = m.end() - 1
+        close_idx = find_matching_paren(code, open_idx)
+        if close_idx == -1:
+            continue
+        header = code[open_idx + 1:close_idx]
+        if ":" in header:
+            # strip any '::' qualifications before looking for the range ':'
+            probe = header.replace("::", "  ")
+            if ":" in probe:
+                range_expr = header[probe.index(":") + 1:]
+                target = None
+                base = base_identifier(range_expr)
+                if base and base in info.unordered_vars:
+                    target = f"'{base}'"
+                else:
+                    meth = method_call_name(range_expr)
+                    if meth and meth in unordered_methods:
+                        target = f"{meth}()"
+                if target:
+                    line = line_of_index(code, m.start())
+                    end_line = body_extent_lines(code, close_idx + 1)
+                    if not exempt_by_sort(line, end_line):
+                        findings.append(Finding(
+                            ft.path, line, "unordered-iter",
+                            f"range-for over unordered container {target} "
+                            "with no canonical sort, ordered sink, or "
+                            "waiver — iteration order is hash-layout-"
+                            "dependent"))
+        # iterator loops: for (auto it = m.begin(); ...)
+        for mm in re.finditer(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*begin\s*\(",
+                              header):
+            if mm.group(1) in info.unordered_vars:
+                line = line_of_index(code, m.start())
+                end_line = body_extent_lines(code, close_idx + 1)
+                if not exempt_by_sort(line, end_line):
+                    findings.append(Finding(
+                        ft.path, line, "unordered-iter",
+                        f"iterator loop over unordered container "
+                        f"'{mm.group(1)}' with no canonical sort, ordered "
+                        "sink, or waiver"))
+
+    # Pointer-keyed ordered containers at the declaration.
+    for m in ORDERED_ASSOC_RE.finditer(code):
+        i = m.end()
+        if i >= len(code) or code[i] != "<":
+            continue
+        arg = first_template_arg(code, i)
+        if arg.endswith("*"):
+            findings.append(Finding(
+                ft.path, line_of_index(code, m.start()), "pointer-key",
+                f"{m.group(0)}<{arg}, ...> is keyed on a pointer — "
+                "iteration order is allocation order; key on a stable id "
+                "or add a waiver"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Layering
+# --------------------------------------------------------------------------
+
+@dataclass
+class LayerManifest:
+    names: list                 # layer names, bottom (0) -> top
+    patterns: list              # (pattern, layer_index) in file order
+    path: str
+
+    def layer_of(self, relpath):
+        """Most-specific (longest) matching pattern wins, so a file-level
+        exception ('src/api/status.h') can sit in a lower layer than its
+        directory's glob ('src/api/*') regardless of declaration order."""
+        best = None
+        best_len = -1
+        for pat, idx in self.patterns:
+            if fnmatch.fnmatch(relpath, pat) and len(pat) > best_len:
+                best, best_len = idx, len(pat)
+        return best
+
+
+def parse_layers_conf(path):
+    names, patterns = [], []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+    except OSError as e:
+        raise SystemExit(f"tgm-lint: cannot read layers manifest: {e}")
+    for lineno, line in enumerate(raw.split("\n"), 1):
+        stripped = line.split("#", 1)[0].rstrip()
+        if not stripped.strip():
+            continue
+        if not stripped[0].isspace():
+            parts = stripped.split()
+            if len(parts) != 2 or parts[0] != "layer":
+                raise SystemExit(
+                    f"{path}:{lineno}: expected 'layer <name>' or an "
+                    f"indented pattern, got '{stripped}'")
+            if parts[1] in names:
+                raise SystemExit(
+                    f"{path}:{lineno}: duplicate layer '{parts[1]}'")
+            names.append(parts[1])
+        else:
+            if not names:
+                raise SystemExit(
+                    f"{path}:{lineno}: pattern before any 'layer' line")
+            patterns.append((stripped.strip(), len(names) - 1))
+    if not names:
+        raise SystemExit(f"{path}: no layers defined")
+    return LayerManifest(names, patterns, path)
+
+
+def check_layering(ft, manifest, src_prefix):
+    findings = []
+    my_layer = manifest.layer_of(ft.path)
+    if my_layer is None:
+        findings.append(Finding(
+            ft.path, 1, "layering",
+            f"file not covered by any pattern in {manifest.path} — add it "
+            "to its layer"))
+        return findings
+    for idx, line in enumerate(ft.code_lines):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        inc = src_prefix + m.group(1)
+        inc_layer = manifest.layer_of(inc)
+        if inc_layer is None:
+            # Not a first-party header under the manifest (e.g. a path we
+            # do not model); only enforce edges between modeled files.
+            continue
+        if inc_layer > my_layer:
+            findings.append(Finding(
+                ft.path, idx + 1, "layering",
+                f'upward include: "{m.group(1)}" is layer '
+                f"'{manifest.names[inc_layer]}' but this file is layer "
+                f"'{manifest.names[my_layer]}' "
+                f"(see {manifest.path})"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Status discipline
+# --------------------------------------------------------------------------
+
+def scan_status_returning_names(files):
+    """Unqualified names of functions declared/defined returning Status or
+    StatusOr<...> anywhere in the linted set."""
+    names = set()
+    pat = re.compile(r"\b(?:tgm::)?(Status|StatusOr)\b")
+    for ft in files:
+        code = ft.code
+        for m in pat.finditer(code):
+            i = m.end()
+            n = len(code)
+            if m.group(1) == "StatusOr":
+                while i < n and code[i] in " \t\n":
+                    i += 1
+                if i >= n or code[i] != "<":
+                    continue
+                i = skip_template_args(code, i)
+            # Skip refs/qualifiers, then expect (Qualified::)*Name (
+            while True:
+                while i < n and code[i] in " \t\n&*":
+                    i += 1
+                mm = IDENT_RE.match(code, i)
+                if not mm:
+                    break
+                word = mm.group(0)
+                j = mm.end()
+                if code.startswith("::", j):
+                    i = j + 2
+                    continue
+                k = j
+                while k < n and code[k] in " \t\n":
+                    k += 1
+                if k < n and code[k] == "(":
+                    if word not in ("operator",):
+                        names.add(word)
+                break
+    # Factory/ctor-ish names that return Status by design but whose result
+    # is itself the object (never bare-called): keep them out of the set.
+    names.discard("Status")
+    names.discard("StatusOr")
+    names.discard("Ok")
+    return names
+
+
+def split_statements(code):
+    """Yields (start_index, fragment) for ';'-terminated fragments, resetting
+    at braces so block structure does not leak between statements."""
+    start = 0
+    depth = 0
+    for i, c in enumerate(code):
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth = max(0, depth - 1)
+        elif c in "{}" and depth == 0:
+            start = i + 1
+        elif c == ";" and depth == 0:
+            frag = code[start:i]
+            yield start, frag
+            start = i + 1
+
+
+BARE_CALL_RE = re.compile(
+    r"^\s*(?P<void>\(\s*void\s*\)\s*)?"
+    r"(?P<chain>(?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*)"
+    r"(?P<name>[A-Za-z_]\w*)\s*\(")
+
+
+def check_status_discard(ft, status_names):
+    findings = []
+    code = ft.code
+    for start, frag in split_statements(code):
+        stripped = frag.strip()
+        if not stripped:
+            continue
+        if CONSUMING_MACROS.match(stripped):
+            continue
+        first = IDENT_RE.match(stripped)
+        if first and first.group(0) in STMT_SKIP_KEYWORDS:
+            continue
+        if "=" in stripped.split("(", 1)[0]:
+            continue  # assignment / initialization consumes
+        m = BARE_CALL_RE.match(stripped)
+        if not m or m.group("name") not in status_names:
+            continue
+        # The call must span the whole statement (outermost call).
+        open_idx = stripped.index("(", m.start("name"))
+        close_idx = find_matching_paren(stripped, open_idx)
+        if close_idx == -1 or stripped[close_idx + 1:].strip():
+            continue
+        line = line_of_index(code, start + len(frag) - len(frag.lstrip()))
+        what = ("explicit (void) discard of" if m.group("void")
+                else "discarded")
+        findings.append(Finding(
+            ft.path, line, "status-discard",
+            f"{what} result of Status-returning call "
+            f"'{m.group('name')}(...)' — handle, propagate "
+            "(TGM_RETURN_IF_ERROR), or waive with a reason"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Raw synchronization primitives
+# --------------------------------------------------------------------------
+
+def check_raw_primitives(ft, exempt_prefixes):
+    findings = []
+    if any(ft.path.startswith(p) for p in exempt_prefixes):
+        return findings
+    for idx, line in enumerate(ft.code_lines):
+        m = RAW_PRIMITIVE_RE.search(line)
+        if m:
+            findings.append(Finding(
+                ft.path, idx + 1, "raw-primitive",
+                f"{m.group(0)} outside src/base/ — use the annotated "
+                "wrappers in base/mutex.h so the thread-safety wall sees "
+                "this acquisition"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Optional libclang refinement (determinism only)
+# --------------------------------------------------------------------------
+
+def try_libclang():
+    try:
+        import clang.cindex as ci  # type: ignore
+        # Verify a usable library is actually loadable.
+        ci.Index.create()
+        return ci
+    except Exception:
+        return None
+
+
+def ast_unordered_findings(ci, compdb_path, ft, abs_path, info,
+                           sort_exempt):
+    """Returns (ok, findings): AST-resolved range-for-over-unordered sites
+    for one file, or ok=False to fall back to token results."""
+    try:
+        import clang.cindex as _  # noqa: F401
+        compdb = ci.CompilationDatabase.fromDirectory(
+            os.path.dirname(compdb_path))
+        cmds = compdb.getCompileCommands(abs_path)
+        if not cmds:
+            return False, []
+        args = [a for a in list(cmds[0].arguments)[1:]
+                if a not in ("-c", "-o", abs_path)
+                and not a.endswith((".o", ".cc", ".cpp"))]
+        index = ci.Index.create()
+        tu = index.parse(abs_path, args=args)
+        if any(d.severity >= ci.Diagnostic.Error
+               for d in tu.diagnostics):
+            return False, []
+        findings = []
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != ci.CursorKind.CXX_FOR_RANGE_STMT:
+                continue
+            if not cur.location.file or \
+                    os.path.realpath(cur.location.file.name) != abs_path:
+                continue
+            children = list(cur.get_children())
+            if not children:
+                continue
+            range_type = children[0].type.spelling
+            if "unordered_" in range_type:
+                line = cur.location.line
+                if not sort_exempt(line):
+                    findings.append(Finding(
+                        ft.path, line, "unordered-iter",
+                        f"range-for over {range_type} (AST-resolved) with "
+                        "no canonical sort, ordered sink, or waiver"))
+        return True, findings
+    except Exception:
+        return False, []
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def discover_files(root, src_dirs, compdb_path):
+    """Returns sorted root-relative paths of first-party sources to lint:
+    the union of compdb entries under the src dirs and a glob of .h/.cc
+    files (headers are not compdb entries but carry contracts too)."""
+    rels = set()
+    for d in src_dirs:
+        base = os.path.join(root, d)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in filenames:
+                if fn.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    rels.add(os.path.relpath(
+                        os.path.join(dirpath, fn), root).replace(os.sep, "/"))
+    if compdb_path:
+        try:
+            with open(compdb_path, encoding="utf-8") as f:
+                for entry in json.load(f):
+                    p = os.path.realpath(os.path.join(
+                        entry.get("directory", "."), entry["file"]))
+                    rel = os.path.relpath(p, root).replace(os.sep, "/")
+                    if any(rel.startswith(d.rstrip("/") + "/")
+                           for d in src_dirs):
+                        rels.add(rel)
+        except (OSError, ValueError, KeyError) as e:
+            raise SystemExit(
+                f"tgm-lint: cannot read compilation database "
+                f"{compdb_path}: {e}")
+    return sorted(rels)
+
+
+def load_file(root, rel, findings):
+    abs_path = os.path.join(root, rel)
+    try:
+        with open(abs_path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        raise SystemExit(f"tgm-lint: cannot read {rel}: {e}")
+    raw_lines = text.split("\n")
+    code_lines = strip_comments_and_strings(text).split("\n")
+    ft = FileText(rel, raw_lines, code_lines)
+    ft.waivers = collect_waivers(rel, raw_lines, code_lines, findings)
+    return ft
+
+
+def apply_waivers(findings, files_by_path):
+    """Drops findings covered by a matching waiver; marks waivers used."""
+    kept = []
+    for f in findings:
+        if f.kind == "waiver":
+            kept.append(f)
+            continue
+        ft = files_by_path.get(f.path)
+        waived = False
+        if ft:
+            for w in ft.waivers:
+                if w.kind == f.kind and w.applies_to == f.line:
+                    w.used = True
+                    waived = True
+                    break
+        if not waived:
+            kept.append(f)
+    return kept
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="tgm_lint",
+        description="TGMiner project-contract linter (determinism, "
+                    "layering, Status discipline, raw-primitive ban).")
+    ap.add_argument("--root", default=".",
+                    help="repository root all paths are relative to")
+    ap.add_argument("--src", action="append", default=[],
+                    help="source dir(s) under root to lint "
+                         "(default: src)")
+    ap.add_argument("--compdb", default=None,
+                    help="compile_commands.json (adds its first-party TUs "
+                         "to the file set and enables the libclang AST "
+                         "refinement when importable)")
+    ap.add_argument("--layers", default="tools/lint/layers.conf",
+                    help="layer manifest for the layering check "
+                         "(root-relative)")
+    ap.add_argument("--checks", default=",".join(CHECK_GROUPS),
+                    help="comma-separated subset of: "
+                         + ", ".join(CHECK_GROUPS))
+    ap.add_argument("--mode", choices=("auto", "ast", "tokens"),
+                    default="auto",
+                    help="auto: libclang refinement when importable; "
+                         "tokens: pure token engine; ast: require libclang")
+    ap.add_argument("--audit-waivers", action="store_true",
+                    help="list every waiver with its reason and exit "
+                         "(malformed waivers still fail)")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the per-run summary line")
+    args = ap.parse_args(argv)
+
+    checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+    for c in checks:
+        if c not in CHECK_GROUPS:
+            ap.error(f"unknown check '{c}' (expected subset of: "
+                     + ", ".join(CHECK_GROUPS) + ")")
+
+    root = os.path.realpath(args.root)
+    src_dirs = args.src or ["src"]
+    files_rel = discover_files(root, src_dirs, args.compdb)
+    if not files_rel:
+        print(f"tgm-lint: no source files under {src_dirs} in {root}",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    files = [load_file(root, rel, findings) for rel in files_rel]
+    files_by_path = {ft.path: ft for ft in files}
+
+    ci_mod = None
+    if args.mode in ("auto", "ast"):
+        ci_mod = try_libclang()
+        if args.mode == "ast" and (ci_mod is None or not args.compdb):
+            print("tgm-lint: --mode=ast requires the libclang python "
+                  "binding and --compdb", file=sys.stderr)
+            return 2
+
+    if "determinism" in checks:
+        unordered_methods = scan_unordered_returning_methods(files)
+
+        def sibling_of(path):
+            stem, ext = os.path.splitext(path)
+            other = {".cc": ".h", ".cpp": ".hpp", ".h": ".cc",
+                     ".hpp": ".cpp"}.get(ext)
+            alt = {".cc": ".hpp", ".h": ".cpp"}.get(ext)
+            for cand in (other, alt):
+                if cand and stem + cand in files_by_path:
+                    return files_by_path[stem + cand]
+            return None
+
+        for ft in files:
+            info = scan_types(ft, set())
+            # Members live in the header but are iterated in the source:
+            # merge the declaration info of the .h/.cc sibling.
+            sib = sibling_of(ft.path)
+            if sib is not None:
+                sib_info = scan_types(sib, set())
+                for name, line in sib_info.unordered_vars.items():
+                    info.unordered_vars.setdefault(name, line)
+                info.ordered_sinks |= sib_info.ordered_sinks
+            token_findings = check_determinism_tokens(
+                ft, info, unordered_methods)
+            used_ast = False
+            if ci_mod is not None and args.compdb \
+                    and ft.path.endswith((".cc", ".cpp")):
+                token_lines = {f.line for f in token_findings
+                               if f.kind == "unordered-iter"}
+
+                def sort_exempt(line, _tl=token_lines):
+                    # reuse token-side judgment: a line the token engine
+                    # did NOT flag (but AST did) is checked with the same
+                    # sort-window heuristic around that line.
+                    if line in _tl:
+                        return False
+                    lo = max(0, line - 1)
+                    hi = min(len(ft.code_lines), line + SORT_WINDOW_LINES)
+                    return bool(SORT_CALL_RE.search(
+                        "\n".join(ft.code_lines[lo:hi])))
+
+                ok, ast_findings = ast_unordered_findings(
+                    ci_mod, args.compdb, ft,
+                    os.path.join(root, ft.path), info, sort_exempt)
+                if ok:
+                    used_ast = True
+                    findings.extend(
+                        [f for f in token_findings
+                         if f.kind == "pointer-key"] + ast_findings)
+            if not used_ast:
+                findings.extend(token_findings)
+
+    if "layering" in checks:
+        manifest = parse_layers_conf(os.path.join(root, args.layers))
+        # Includes are written relative to the src/ include root; rebuild
+        # the manifest-relative path with the first src dir's prefix.
+        src_prefix = src_dirs[0].rstrip("/") + "/"
+        for ft in files:
+            findings.extend(check_layering(ft, manifest, src_prefix))
+
+    if "status-discard" in checks:
+        status_names = scan_status_returning_names(files)
+        for ft in files:
+            findings.extend(check_status_discard(ft, status_names))
+
+    if "raw-primitive" in checks:
+        exempt = [src_dirs[0].rstrip("/") + "/base/"]
+        for ft in files:
+            findings.extend(check_raw_primitives(ft, exempt))
+
+    findings = apply_waivers(findings, files_by_path)
+    findings.sort(key=lambda f: (f.path, f.line, f.kind))
+
+    all_waivers = [w for ft in files for w in ft.waivers]
+    if args.audit_waivers:
+        print(f"tgm-lint waiver audit: {len(all_waivers)} waiver(s)")
+        for w in sorted(all_waivers, key=lambda w: (w.path, w.line)):
+            print(f"  {w.path}:{w.line}: {w.kind}-ok — {w.reason}")
+        malformed = [f for f in findings if f.kind == "waiver"]
+        for f in malformed:
+            print(f.render(), file=sys.stderr)
+        return 1 if malformed else 0
+
+    for f in findings:
+        print(f.render())
+    if not args.quiet:
+        mode = "ast+tokens" if ci_mod is not None else "tokens"
+        print(f"tgm-lint: {len(findings)} finding(s) across "
+              f"{len(files)} file(s), {len(all_waivers)} waiver(s) "
+              f"[engine: {mode}; checks: {','.join(checks)}]",
+              file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
