@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_training_amount.dir/bench_fig12_training_amount.cc.o"
+  "CMakeFiles/bench_fig12_training_amount.dir/bench_fig12_training_amount.cc.o.d"
+  "bench_fig12_training_amount"
+  "bench_fig12_training_amount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_training_amount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

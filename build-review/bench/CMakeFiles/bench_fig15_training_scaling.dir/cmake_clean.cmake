@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_training_scaling.dir/bench_fig15_training_scaling.cc.o"
+  "CMakeFiles/bench_fig15_training_scaling.dir/bench_fig15_training_scaling.cc.o.d"
+  "bench_fig15_training_scaling"
+  "bench_fig15_training_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_training_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

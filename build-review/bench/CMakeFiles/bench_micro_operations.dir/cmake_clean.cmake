@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_operations.dir/bench_micro_operations.cc.o"
+  "CMakeFiles/bench_micro_operations.dir/bench_micro_operations.cc.o.d"
+  "bench_micro_operations"
+  "bench_micro_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

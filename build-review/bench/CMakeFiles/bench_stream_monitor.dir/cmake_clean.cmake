@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_monitor.dir/bench_stream_monitor.cc.o"
+  "CMakeFiles/bench_stream_monitor.dir/bench_stream_monitor.cc.o.d"
+  "bench_stream_monitor"
+  "bench_stream_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

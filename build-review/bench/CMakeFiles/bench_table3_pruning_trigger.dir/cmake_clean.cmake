@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pruning_trigger.dir/bench_table3_pruning_trigger.cc.o"
+  "CMakeFiles/bench_table3_pruning_trigger.dir/bench_table3_pruning_trigger.cc.o.d"
+  "bench_table3_pruning_trigger"
+  "bench_table3_pruning_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pruning_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cybersecurity_hunt.dir/cybersecurity_hunt.cpp.o"
+  "CMakeFiles/cybersecurity_hunt.dir/cybersecurity_hunt.cpp.o.d"
+  "cybersecurity_hunt"
+  "cybersecurity_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cybersecurity_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

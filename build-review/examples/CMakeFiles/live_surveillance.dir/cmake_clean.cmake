@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_surveillance.dir/live_surveillance.cpp.o"
+  "CMakeFiles/live_surveillance.dir/live_surveillance.cpp.o.d"
+  "live_surveillance"
+  "live_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_events.dir/urban_events.cpp.o"
+  "CMakeFiles/urban_events.dir/urban_events.cpp.o.d"
+  "urban_events"
+  "urban_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/behavior_query.cc" "src/CMakeFiles/tgminer.dir/api/behavior_query.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/api/behavior_query.cc.o.d"
+  "/root/repo/src/api/session.cc" "src/CMakeFiles/tgminer.dir/api/session.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/api/session.cc.o.d"
+  "/root/repo/src/exec/work_stealing.cc" "src/CMakeFiles/tgminer.dir/exec/work_stealing.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/exec/work_stealing.cc.o.d"
+  "/root/repo/src/matching/edge_scan_matcher.cc" "src/CMakeFiles/tgminer.dir/matching/edge_scan_matcher.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/matching/edge_scan_matcher.cc.o.d"
+  "/root/repo/src/matching/index_matcher.cc" "src/CMakeFiles/tgminer.dir/matching/index_matcher.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/matching/index_matcher.cc.o.d"
+  "/root/repo/src/matching/matcher.cc" "src/CMakeFiles/tgminer.dir/matching/matcher.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/matching/matcher.cc.o.d"
+  "/root/repo/src/matching/seq_matcher.cc" "src/CMakeFiles/tgminer.dir/matching/seq_matcher.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/matching/seq_matcher.cc.o.d"
+  "/root/repo/src/matching/vf2_matcher.cc" "src/CMakeFiles/tgminer.dir/matching/vf2_matcher.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/matching/vf2_matcher.cc.o.d"
+  "/root/repo/src/mining/miner.cc" "src/CMakeFiles/tgminer.dir/mining/miner.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/mining/miner.cc.o.d"
+  "/root/repo/src/mining/registry.cc" "src/CMakeFiles/tgminer.dir/mining/registry.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/mining/registry.cc.o.d"
+  "/root/repo/src/mining/score.cc" "src/CMakeFiles/tgminer.dir/mining/score.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/mining/score.cc.o.d"
+  "/root/repo/src/nontemporal/dfs_code.cc" "src/CMakeFiles/tgminer.dir/nontemporal/dfs_code.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/nontemporal/dfs_code.cc.o.d"
+  "/root/repo/src/nontemporal/gspan.cc" "src/CMakeFiles/tgminer.dir/nontemporal/gspan.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/nontemporal/gspan.cc.o.d"
+  "/root/repo/src/nontemporal/static_graph.cc" "src/CMakeFiles/tgminer.dir/nontemporal/static_graph.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/nontemporal/static_graph.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/tgminer.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/interest.cc" "src/CMakeFiles/tgminer.dir/query/interest.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/interest.cc.o.d"
+  "/root/repo/src/query/nodeset.cc" "src/CMakeFiles/tgminer.dir/query/nodeset.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/nodeset.cc.o.d"
+  "/root/repo/src/query/pipeline.cc" "src/CMakeFiles/tgminer.dir/query/pipeline.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/pipeline.cc.o.d"
+  "/root/repo/src/query/searcher.cc" "src/CMakeFiles/tgminer.dir/query/searcher.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/searcher.cc.o.d"
+  "/root/repo/src/query/static_search.cc" "src/CMakeFiles/tgminer.dir/query/static_search.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/static_search.cc.o.d"
+  "/root/repo/src/query/stream/compiled_plan.cc" "src/CMakeFiles/tgminer.dir/query/stream/compiled_plan.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream/compiled_plan.cc.o.d"
+  "/root/repo/src/query/stream/engine.cc" "src/CMakeFiles/tgminer.dir/query/stream/engine.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream/engine.cc.o.d"
+  "/root/repo/src/query/stream/entity_shard.cc" "src/CMakeFiles/tgminer.dir/query/stream/entity_shard.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream/entity_shard.cc.o.d"
+  "/root/repo/src/query/stream/partial_table.cc" "src/CMakeFiles/tgminer.dir/query/stream/partial_table.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream/partial_table.cc.o.d"
+  "/root/repo/src/query/stream/query_runtime.cc" "src/CMakeFiles/tgminer.dir/query/stream/query_runtime.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream/query_runtime.cc.o.d"
+  "/root/repo/src/query/stream/shard.cc" "src/CMakeFiles/tgminer.dir/query/stream/shard.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream/shard.cc.o.d"
+  "/root/repo/src/query/stream_monitor.cc" "src/CMakeFiles/tgminer.dir/query/stream_monitor.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/query/stream_monitor.cc.o.d"
+  "/root/repo/src/syslog/background.cc" "src/CMakeFiles/tgminer.dir/syslog/background.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/syslog/background.cc.o.d"
+  "/root/repo/src/syslog/behaviors.cc" "src/CMakeFiles/tgminer.dir/syslog/behaviors.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/syslog/behaviors.cc.o.d"
+  "/root/repo/src/syslog/dataset.cc" "src/CMakeFiles/tgminer.dir/syslog/dataset.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/syslog/dataset.cc.o.d"
+  "/root/repo/src/syslog/entity.cc" "src/CMakeFiles/tgminer.dir/syslog/entity.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/syslog/entity.cc.o.d"
+  "/root/repo/src/syslog/parser.cc" "src/CMakeFiles/tgminer.dir/syslog/parser.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/syslog/parser.cc.o.d"
+  "/root/repo/src/syslog/script.cc" "src/CMakeFiles/tgminer.dir/syslog/script.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/syslog/script.cc.o.d"
+  "/root/repo/src/temporal/constraints.cc" "src/CMakeFiles/tgminer.dir/temporal/constraints.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/constraints.cc.o.d"
+  "/root/repo/src/temporal/io.cc" "src/CMakeFiles/tgminer.dir/temporal/io.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/io.cc.o.d"
+  "/root/repo/src/temporal/label_dict.cc" "src/CMakeFiles/tgminer.dir/temporal/label_dict.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/label_dict.cc.o.d"
+  "/root/repo/src/temporal/pattern.cc" "src/CMakeFiles/tgminer.dir/temporal/pattern.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/pattern.cc.o.d"
+  "/root/repo/src/temporal/residual.cc" "src/CMakeFiles/tgminer.dir/temporal/residual.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/residual.cc.o.d"
+  "/root/repo/src/temporal/sequence.cc" "src/CMakeFiles/tgminer.dir/temporal/sequence.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/sequence.cc.o.d"
+  "/root/repo/src/temporal/temporal_graph.cc" "src/CMakeFiles/tgminer.dir/temporal/temporal_graph.cc.o" "gcc" "src/CMakeFiles/tgminer.dir/temporal/temporal_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

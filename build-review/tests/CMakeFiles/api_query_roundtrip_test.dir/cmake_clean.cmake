@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_query_roundtrip_test.dir/api_query_roundtrip_test.cc.o"
+  "CMakeFiles/api_query_roundtrip_test.dir/api_query_roundtrip_test.cc.o.d"
+  "api_query_roundtrip_test"
+  "api_query_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_query_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_session_test.dir/api_session_test.cc.o"
+  "CMakeFiles/api_session_test.dir/api_session_test.cc.o.d"
+  "api_session_test"
+  "api_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

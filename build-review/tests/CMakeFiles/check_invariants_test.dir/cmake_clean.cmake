@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_invariants_test.dir/check_invariants_test.cc.o"
+  "CMakeFiles/check_invariants_test.dir/check_invariants_test.cc.o.d"
+  "check_invariants_test"
+  "check_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_edges_test.dir/concurrent_edges_test.cc.o"
+  "CMakeFiles/concurrent_edges_test.dir/concurrent_edges_test.cc.o.d"
+  "concurrent_edges_test"
+  "concurrent_edges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_edges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_parity_test.dir/csr_parity_test.cc.o"
+  "CMakeFiles/csr_parity_test.dir/csr_parity_test.cc.o.d"
+  "csr_parity_test"
+  "csr_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

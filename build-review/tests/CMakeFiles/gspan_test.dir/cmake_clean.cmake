@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gspan_test.dir/gspan_test.cc.o"
+  "CMakeFiles/gspan_test.dir/gspan_test.cc.o.d"
+  "gspan_test"
+  "gspan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gspan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_test.dir/interest_test.cc.o"
+  "CMakeFiles/interest_test.dir/interest_test.cc.o.d"
+  "interest_test"
+  "interest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_pruning_test.dir/miner_pruning_test.cc.o"
+  "CMakeFiles/miner_pruning_test.dir/miner_pruning_test.cc.o.d"
+  "miner_pruning_test"
+  "miner_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

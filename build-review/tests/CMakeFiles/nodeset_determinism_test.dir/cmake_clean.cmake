@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodeset_determinism_test.dir/nodeset_determinism_test.cc.o"
+  "CMakeFiles/nodeset_determinism_test.dir/nodeset_determinism_test.cc.o.d"
+  "nodeset_determinism_test"
+  "nodeset_determinism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodeset_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

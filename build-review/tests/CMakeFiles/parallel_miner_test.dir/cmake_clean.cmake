@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_miner_test.dir/parallel_miner_test.cc.o"
+  "CMakeFiles/parallel_miner_test.dir/parallel_miner_test.cc.o.d"
+  "parallel_miner_test"
+  "parallel_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

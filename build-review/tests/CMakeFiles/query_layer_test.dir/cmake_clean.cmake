@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_layer_test.dir/query_layer_test.cc.o"
+  "CMakeFiles/query_layer_test.dir/query_layer_test.cc.o.d"
+  "query_layer_test"
+  "query_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_test.dir/score_test.cc.o"
+  "CMakeFiles/score_test.dir/score_test.cc.o.d"
+  "score_test"
+  "score_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searcher_test.dir/searcher_test.cc.o"
+  "CMakeFiles/searcher_test.dir/searcher_test.cc.o.d"
+  "searcher_test"
+  "searcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_engine_test.dir/stream_engine_test.cc.o"
+  "CMakeFiles/stream_engine_test.dir/stream_engine_test.cc.o.d"
+  "stream_engine_test"
+  "stream_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_monitor_test.dir/stream_monitor_test.cc.o"
+  "CMakeFiles/stream_monitor_test.dir/stream_monitor_test.cc.o.d"
+  "stream_monitor_test"
+  "stream_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_shard_test.dir/stream_shard_test.cc.o"
+  "CMakeFiles/stream_shard_test.dir/stream_shard_test.cc.o.d"
+  "stream_shard_test"
+  "stream_shard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syslog_test.dir/syslog_test.cc.o"
+  "CMakeFiles/syslog_test.dir/syslog_test.cc.o.d"
+  "syslog_test"
+  "syslog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syslog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_stealing_test.dir/work_stealing_test.cc.o"
+  "CMakeFiles/work_stealing_test.dir/work_stealing_test.cc.o.d"
+  "work_stealing_test"
+  "work_stealing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_stealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
